@@ -1,0 +1,58 @@
+//! Microbenchmarks of the GF(2⁸) kernels — the cost floor under every
+//! coding operation in the system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossamer_gf256::{slice, Gf256, Matrix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_scalar_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256/scalar");
+    let a = Gf256::new(0x57);
+    let b = Gf256::new(0x83);
+    group.bench_function("mul", |bencher| {
+        bencher.iter(|| black_box(a) * black_box(b))
+    });
+    group.bench_function("inv", |bencher| bencher.iter(|| black_box(a).inv()));
+    group.bench_function("pow", |bencher| bencher.iter(|| black_box(a).pow(200)));
+    group.finish();
+}
+
+fn bench_slice_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256/slice");
+    let mut rng = StdRng::seed_from_u64(1);
+    for len in [64usize, 1024, 16 * 1024] {
+        let src: Vec<u8> = (0..len).map(|_| rng.random()).collect();
+        let mut dst: Vec<u8> = (0..len).map(|_| rng.random()).collect();
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::new("add_assign", len), &len, |b, _| {
+            b.iter(|| slice::add_assign(black_box(&mut dst), black_box(&src)))
+        });
+        group.bench_with_input(BenchmarkId::new("axpy", len), &len, |b, _| {
+            b.iter(|| slice::axpy(black_box(&mut dst), Gf256::new(0xA5), black_box(&src)))
+        });
+        group.bench_with_input(BenchmarkId::new("scale_assign", len), &len, |b, _| {
+            b.iter(|| slice::scale_assign(black_box(&mut dst), Gf256::new(0xA5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256/matrix");
+    let mut rng = StdRng::seed_from_u64(2);
+    for n in [8usize, 32, 64] {
+        let m = Matrix::random(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("rref", n), &n, |b, _| {
+            b.iter(|| black_box(m.clone()).rref())
+        });
+        group.bench_with_input(BenchmarkId::new("invert", n), &n, |b, _| {
+            b.iter(|| black_box(&m).invert())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalar_ops, bench_slice_kernels, bench_matrix);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Benchmarks of the ODE model: steady-state solves at the paper's
+//! parameters, across segment sizes (state dimension grows as s·I).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossamer_ode::{solve_steady_state, ModelParams, SteadyOptions};
+use std::hint::black_box;
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ode/steady_state");
+    group.sample_size(10);
+    for s in [1usize, 10, 30] {
+        let params = ModelParams::builder()
+            .lambda(20.0)
+            .mu(10.0)
+            .gamma(1.0)
+            .segment_size(s)
+            .server_capacity(6.0)
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("solve", s), &s, |b, _| {
+            b.iter(|| black_box(solve_steady_state(params, SteadyOptions::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steady_state);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Macro-benchmarks of the protocol library: full collection sessions
+//! over the in-memory harness, and the hot node-level operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossamer_core::{Addr, CollectorConfig, MemoryNetwork, Message, NodeConfig, PeerNode};
+use gossamer_rlnc::SegmentParams;
+use std::hint::black_box;
+
+fn configs(s: usize, block_len: usize) -> (NodeConfig, CollectorConfig) {
+    let params = SegmentParams::new(s, block_len).unwrap();
+    let node = NodeConfig::builder(params)
+        .gossip_rate(10.0)
+        .expiry_rate(0.05)
+        .buffer_cap(512)
+        .build()
+        .unwrap();
+    let collector = CollectorConfig::builder(params)
+        .pull_rate(80.0)
+        .build()
+        .unwrap();
+    (node, collector)
+}
+
+/// A full session: 20 peers log one record each, run until collected.
+fn bench_memory_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/session");
+    group.sample_size(10);
+    for s in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("collect_10_records", s), &s, |b, &s| {
+            b.iter(|| {
+                let (node, collector_cfg) = configs(s, 64);
+                let mut net = MemoryNetwork::new(7);
+                let peers: Vec<Addr> = (0..10).map(|_| net.add_peer(node.clone())).collect();
+                let sink = net.add_collector(collector_cfg);
+                for (i, &p) in peers.iter().enumerate() {
+                    net.record(p, format!("record {i}").as_bytes()).unwrap();
+                    net.flush(p);
+                }
+                net.run_for(3.0, 0.05);
+                black_box(net.collector_mut(sink).take_records().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The peer's message-handling hot path: receiving a gossip block.
+fn bench_peer_receive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/peer");
+    for s in [8usize, 32] {
+        let (node_cfg, _) = configs(s, 1024);
+        // A source peer that produces blocks to feed the receiver.
+        let mut source = PeerNode::new(Addr(1), node_cfg.clone(), 1);
+        source.set_neighbours(vec![Addr(2)]);
+        let payload = vec![0xAB; s * 1024 - 16];
+        source.record(&payload, 0.0).unwrap();
+        // Pre-generate gossip messages by ticking the source.
+        let mut blocks = Vec::new();
+        let mut t = 0.0;
+        while blocks.len() < 64 {
+            t += 0.01;
+            for out in source.tick(t) {
+                if let Message::Gossip(b) = out.message {
+                    blocks.push(b);
+                }
+            }
+        }
+        group.throughput(Throughput::Bytes((1024 * blocks.len()) as u64));
+        group.bench_with_input(BenchmarkId::new("handle_gossip_batch", s), &s, |b, _| {
+            b.iter(|| {
+                let mut receiver = PeerNode::new(Addr(2), node_cfg.clone(), 2);
+                for block in &blocks {
+                    black_box(receiver.handle(Addr(1), Message::Gossip(block.clone()), 0.0));
+                }
+                receiver.stats().buffer.blocks
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memory_session, bench_peer_receive);
+criterion_main!(benches);

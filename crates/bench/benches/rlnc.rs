@@ -1,0 +1,148 @@
+//! Benchmarks of the RLNC codec: source encoding, relay recoding,
+//! progressive decoding and the wire format. The paper puts the decode
+//! cost at ~O(s) per input block; these benches verify the constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossamer_rlnc::{wire, Decoder, SegmentBuffer, SegmentId, SegmentParams, SourceSegment};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+const BLOCK_LEN: usize = 1024;
+
+fn make_source(s: usize, rng: &mut StdRng) -> SourceSegment {
+    let params = SegmentParams::new(s, BLOCK_LEN).unwrap();
+    let blocks: Vec<Vec<u8>> = (0..s)
+        .map(|_| (0..BLOCK_LEN).map(|_| rng.random()).collect())
+        .collect();
+    SourceSegment::new(SegmentId::new(1), params, blocks).unwrap()
+}
+
+fn full_buffer(src: &SourceSegment, rng: &mut StdRng) -> SegmentBuffer {
+    let mut buf = SegmentBuffer::new(src.id(), src.params());
+    while !buf.is_full() {
+        buf.insert(src.emit(rng)).unwrap();
+    }
+    buf
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rlnc/encode");
+    let mut rng = StdRng::seed_from_u64(1);
+    for s in [8usize, 32, 64] {
+        let src = make_source(s, &mut rng);
+        group.throughput(Throughput::Bytes((s * BLOCK_LEN) as u64));
+        group.bench_with_input(BenchmarkId::new("source_emit", s), &s, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(src.emit(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_recode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rlnc/recode");
+    let mut rng = StdRng::seed_from_u64(3);
+    for s in [8usize, 32, 64] {
+        let src = make_source(s, &mut rng);
+        let buf = full_buffer(&src, &mut rng);
+        group.throughput(Throughput::Bytes((s * BLOCK_LEN) as u64));
+        group.bench_with_input(BenchmarkId::new("relay_recode", s), &s, |b, _| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| black_box(buf.recode(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_recode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rlnc/recode_sparse");
+    let mut rng = StdRng::seed_from_u64(7);
+    let s = 64;
+    let src = make_source(s, &mut rng);
+    let buf = full_buffer(&src, &mut rng);
+    for density in [1usize, 4, 16, 64] {
+        group.throughput(Throughput::Bytes((s * BLOCK_LEN) as u64));
+        group.bench_with_input(BenchmarkId::new("density", density), &density, |b, &d| {
+            let mut rng = StdRng::seed_from_u64(8);
+            b.iter(|| black_box(buf.recode_sparse(d, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rlnc/decode");
+    let mut rng = StdRng::seed_from_u64(5);
+    for s in [8usize, 32, 64] {
+        let src = make_source(s, &mut rng);
+        // Pre-generate enough coded blocks for one full decode.
+        let blocks: Vec<_> = (0..s).map(|_| src.emit(&mut rng)).collect();
+        group.throughput(Throughput::Bytes((s * BLOCK_LEN) as u64));
+        group.bench_with_input(BenchmarkId::new("segment_decode", s), &s, |b, _| {
+            b.iter(|| {
+                let mut decoder = Decoder::new(src.params());
+                let mut done = None;
+                for block in &blocks {
+                    if let Some(seg) = decoder.receive(block.clone()).unwrap() {
+                        done = Some(seg);
+                    }
+                }
+                black_box(done)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    use gossamer_rlnc::ReedSolomon;
+    let mut group = c.benchmark_group("rlnc/reed_solomon");
+    let mut rng = StdRng::seed_from_u64(11);
+    for (k, n) in [(8usize, 12usize), (32, 48)] {
+        let rs = ReedSolomon::new(k, n).unwrap();
+        let blocks: Vec<Vec<u8>> = (0..k)
+            .map(|_| (0..BLOCK_LEN).map(|_| rng.random()).collect())
+            .collect();
+        let shares = rs.encode(&blocks).unwrap();
+        group.throughput(Throughput::Bytes((k * BLOCK_LEN) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("{k}of{n}")),
+            &k,
+            |b, _| b.iter(|| black_box(rs.encode(&blocks).unwrap())),
+        );
+        // Worst-case reconstruction: all parity shares.
+        let kept: Vec<(usize, &[u8])> = (n - k..n).map(|i| (i, shares[i].as_slice())).collect();
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct_from_parity", format!("{k}of{n}")),
+            &k,
+            |b, _| b.iter(|| black_box(rs.reconstruct(&kept).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rlnc/wire");
+    let mut rng = StdRng::seed_from_u64(6);
+    let src = make_source(32, &mut rng);
+    let block = src.emit(&mut rng);
+    let frame = wire::encode(&block);
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| black_box(wire::encode(&block))));
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(wire::decode(&frame).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_recode,
+    bench_sparse_recode,
+    bench_decode,
+    bench_reed_solomon,
+    bench_wire
+);
+criterion_main!(benches);

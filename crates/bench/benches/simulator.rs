@@ -1,0 +1,52 @@
+//! Benchmarks of the discrete-event simulator: end-to-end runs and
+//! event throughput under the paper's Fig. 3 parameters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossamer_sim::{CodingModel, SimConfig, Simulation};
+use std::hint::black_box;
+
+fn config(peers: usize, s: usize, coding: CodingModel) -> SimConfig {
+    SimConfig::builder()
+        .peers(peers)
+        .lambda(20.0)
+        .mu(10.0)
+        .gamma(1.0)
+        .segment_size(s)
+        .servers(4)
+        .normalized_server_capacity(6.0)
+        .coding(coding)
+        .warmup(2.0)
+        .measure(4.0)
+        .seed(1)
+        .build()
+        .unwrap()
+}
+
+fn bench_idealized_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/idealized");
+    group.sample_size(10);
+    for peers in [100usize, 300] {
+        let cfg = config(peers, 10, CodingModel::Idealized);
+        let events = Simulation::new(cfg.clone()).unwrap().run().events;
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::new("run", peers), &peers, |b, _| {
+            b.iter(|| black_box(Simulation::new(cfg.clone()).unwrap().run()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/exact");
+    group.sample_size(10);
+    let cfg = config(100, 10, CodingModel::Exact);
+    let events = Simulation::new(cfg.clone()).unwrap().run().events;
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("run_100_peers", |b| {
+        b.iter(|| black_box(Simulation::new(cfg.clone()).unwrap().run()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_idealized_runs, bench_exact_runs);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Experiment E1 — Figure 3: session throughput vs segment size `s`.
+//!
+//! Paper setting: λ = 20, μ = 10, γ = 1, normalized server capacity
+//! c ∈ {2, 6, 10, 14}. The y-axis is throughput normalized by the
+//! aggregate demand N·λ; each dashed capacity line sits at c/λ.
+//!
+//! Expected shape: throughput rises with `s` toward the capacity line;
+//! the gap at s = 1 widens as c grows (harder to reach capacity when
+//! more capacity is available).
+
+use gossamer_bench::{csv_row, fmt, simulate, solve, Point, Scale};
+use gossamer_ode::theorems;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (lambda, mu, gamma) = (20.0, 10.0, 1.0);
+    let capacities = [2.0, 6.0, 10.0, 14.0];
+    let segment_sizes = [1usize, 2, 5, 10, 20, 30, 40, 50];
+
+    csv_row(&[
+        "c".into(),
+        "s".into(),
+        "capacity_fraction".into(),
+        "ode_normalized_throughput".into(),
+        "closed_form_s1".into(),
+        "sim_normalized_throughput".into(),
+        "sim_efficiency".into(),
+    ]);
+    for &c in &capacities {
+        for &s in &segment_sizes {
+            let point = Point::indirect(lambda, mu, gamma, s, c);
+            let ode = theorems::session_throughput(&solve(point));
+            let closed = if s == 1 {
+                fmt(theorems::throughput_s1_closed_form(lambda, mu, gamma, c))
+            } else {
+                String::new()
+            };
+            let sim = simulate(point, scale, 300 + s as u64);
+            csv_row(&[
+                fmt(c),
+                s.to_string(),
+                fmt(ode.capacity_fraction),
+                fmt(ode.normalized),
+                closed,
+                fmt(sim.throughput.normalized),
+                fmt(sim.throughput.efficiency),
+            ]);
+        }
+    }
+}

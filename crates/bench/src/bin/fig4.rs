@@ -1,0 +1,78 @@
+//! Experiment E2 — Figure 4: session throughput vs gossip bandwidth μ,
+//! static network vs severe churn, for scarce (c = 2) and ample (c = 8)
+//! server capacity.
+//!
+//! Paper setting: λ = 8, γ = 1; churn simulated with the replacement
+//! model (exponential lifetimes). Expected shape:
+//!
+//! * c = 8 (capacity ≈ demand): under churn, larger s and larger μ can
+//!   *hurt* — buffering is unnecessary and large segments become
+//!   undecodable when peers abort;
+//! * c = 2 (scarce): larger s and μ help even under churn, because
+//!   servers could not keep up anyway and redundancy preserves data for
+//!   delayed delivery.
+
+use gossamer_bench::{csv_row, fmt, simulate, Point, Scale};
+use gossamer_ode::{solve_steady_state, theorems, ModelParams, SteadyOptions};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (lambda, gamma) = (8.0, 1.0);
+    let mus = [2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0];
+    let segment_sizes = [1usize, 8, 32];
+    let capacities = [2.0, 8.0];
+    // "Severe" churn: mean lifetime of 2 time units, i.e. a peer lives
+    // through only ~2 TTL periods.
+    let lifetimes: [Option<f64>; 2] = [None, Some(2.0)];
+
+    csv_row(&[
+        "c".into(),
+        "s".into(),
+        "mu".into(),
+        "churn_mean_lifetime".into(),
+        "ode_normalized_throughput".into(),
+        "sim_normalized_throughput".into(),
+        "sim_decoded_throughput".into(),
+        "sim_lost_segments".into(),
+    ]);
+    for &c in &capacities {
+        for &s in &segment_sizes {
+            for &mu in &mus {
+                for &lifetime in &lifetimes {
+                    let mut point = Point::indirect(lambda, mu, gamma, s, c);
+                    if let Some(l) = lifetime {
+                        point = point.with_churn(l);
+                    }
+                    // Mean-field prediction (our churn extension of the
+                    // paper's model; exact at s = 1, optimistic above).
+                    let params = ModelParams::builder()
+                        .lambda(lambda)
+                        .mu(mu)
+                        .gamma(gamma)
+                        .segment_size(s)
+                        .server_capacity(c)
+                        .churn_rate(lifetime.map_or(0.0, |l| 1.0 / l))
+                        .build()
+                        .expect("valid params");
+                    let ode = theorems::session_throughput(&solve_steady_state(
+                        params,
+                        SteadyOptions::default(),
+                    ))
+                    .normalized;
+                    let seed = 400 + s as u64 + mu as u64;
+                    let sim = simulate(point, scale, seed);
+                    csv_row(&[
+                        fmt(c),
+                        s.to_string(),
+                        fmt(mu),
+                        lifetime.map(fmt).unwrap_or_default(),
+                        fmt(ode),
+                        fmt(sim.throughput.normalized),
+                        fmt(sim.throughput.decoded_normalized),
+                        sim.lost_segments.to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Experiment E6 — the Fig. 1 motivation: direct centralized pulls vs
+//! indirect collection through a flash crowd.
+//!
+//! Methodology (burst-then-drain): peers generate statistics only during
+//! a short burst at four times the servers' aggregate pull capacity,
+//! then generation stops and the servers drain what remains reachable —
+//! the paper's "delayed delivery" phase. Loss comes from churn only
+//! (γ = 0): departed peers take their buffers with them.
+//!
+//! The direct baseline runs unsegmented (`s = 1`, every pulled block is
+//! immediately usable) so it is not handicapped by coupon-collector
+//! effects it would never face. The indirect scheme pays a replication
+//! and quantization overhead but keeps departed peers' data collectable;
+//! the expected shape is a crossover: direct wins in a static network,
+//! indirect wins once churn sets in (and the gap grows with the
+//! burst-to-capacity ratio).
+
+use gossamer_bench::{csv_row, fmt, Point, Scale};
+use gossamer_sim::{SimConfig, Simulation};
+
+const BURST_END: f64 = 2.0;
+
+fn run(point: Point, scale: Scale, seed: u64) -> gossamer_sim::SimReport {
+    let mut builder = SimConfig::builder()
+        .peers(scale.peers)
+        .lambda(point.lambda)
+        .mu(point.mu)
+        .gamma(point.gamma)
+        .segment_size(point.segment_size)
+        .servers(3)
+        .normalized_server_capacity(point.capacity)
+        .scheme(point.scheme)
+        .generation_until(BURST_END)
+        .warmup(0.0)
+        .measure(scale.measure.max(80.0))
+        .seed(seed);
+    if let Some(l) = point.churn {
+        builder = builder.churn(l);
+    }
+    Simulation::new(builder.build().expect("valid config"))
+        .expect("sim builds")
+        .run()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let lifetimes = [f64::INFINITY, 8.0, 4.0, 2.0, 1.0];
+
+    csv_row(&[
+        "scheme".into(),
+        "mean_lifetime".into(),
+        "injected_blocks".into(),
+        "recovered_blocks".into(),
+        "recovered_fraction".into(),
+        "lost_segments".into(),
+    ]);
+    for &lifetime in &lifetimes {
+        for scheme in ["direct", "indirect"] {
+            let mut point = Point::indirect(8.0, 32.0, 0.0, 2, 1.0);
+            if scheme == "direct" {
+                point = point.direct();
+                point.segment_size = 1;
+            }
+            if lifetime.is_finite() {
+                point = point.with_churn(lifetime);
+            }
+            let sim = run(point, scale, 800);
+            csv_row(&[
+                scheme.into(),
+                if lifetime.is_finite() {
+                    fmt(lifetime)
+                } else {
+                    "static".into()
+                },
+                sim.throughput.injected_blocks.to_string(),
+                sim.throughput.delivered_blocks.to_string(),
+                fmt(sim.throughput.delivered_fraction),
+                sim.lost_segments.to_string(),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Experiment E8 (extension) — transient validation of the mean-field
+//! approximation.
+//!
+//! The paper justifies its ODE systems by Wormald's theorem, which
+//! guarantees convergence of the *trajectories*, not just the fixed
+//! points. This experiment overlays the ODE solution from the empty
+//! network against the simulator's sampled state at finite `N`:
+//! edge density `e(t)`, empty-peer fraction `z₀(t)`, live segments and
+//! collected segments per peer. Agreement through the ramp-up, not just
+//! at equilibrium, is the strongest check that the simulator and the
+//! model describe the same process.
+
+use gossamer_bench::{csv_row, fmt, Scale};
+use gossamer_ode::{solve_trajectory, ModelParams};
+use gossamer_sim::{SimConfig, Simulation};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (lambda, mu, gamma, s, c) = (8.0, 4.0, 1.0, 4, 2.0);
+    let horizon = 20.0;
+    let sample = 0.5;
+
+    let params = ModelParams::builder()
+        .lambda(lambda)
+        .mu(mu)
+        .gamma(gamma)
+        .segment_size(s)
+        .server_capacity(c)
+        .build()
+        .expect("valid params");
+    let ode = solve_trajectory(params, 0.005, sample, horizon);
+
+    let config = SimConfig::builder()
+        .peers(scale.peers)
+        .lambda(lambda)
+        .mu(mu)
+        .gamma(gamma)
+        .segment_size(s)
+        .servers(4)
+        .normalized_server_capacity(c)
+        .warmup(0.0)
+        .measure(horizon)
+        .sample_interval(sample)
+        .seed(1234)
+        .build()
+        .expect("valid config");
+    let report = Simulation::new(config).expect("builds").run();
+
+    csv_row(&[
+        "t".into(),
+        "ode_blocks_per_peer".into(),
+        "sim_blocks_per_peer".into(),
+        "ode_empty_fraction".into(),
+        "sim_empty_fraction".into(),
+        "ode_segments_per_peer".into(),
+        "sim_segments_per_peer".into(),
+        "ode_collected_per_peer".into(),
+        "sim_collected_per_peer".into(),
+    ]);
+    for point in &report.series {
+        // Match the closest ODE sample.
+        let Some(ode_point) = ode.points.iter().min_by(|a, b| {
+            (a.t - point.t)
+                .abs()
+                .partial_cmp(&(b.t - point.t).abs())
+                .expect("no NaN times")
+        }) else {
+            continue;
+        };
+        csv_row(&[
+            fmt(point.t),
+            fmt(ode_point.edge_density),
+            fmt(point.blocks_per_peer),
+            fmt(ode_point.empty_fraction),
+            fmt(point.empty_fraction),
+            fmt(ode_point.segments),
+            fmt(point.segments_per_peer),
+            fmt(ode_point.collected_segments),
+            fmt(point.collected_segments_per_peer),
+        ]);
+    }
+}

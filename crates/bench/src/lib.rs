@@ -1,0 +1,207 @@
+//! Shared machinery for the experiment binaries that regenerate the
+//! paper's figures (see `DESIGN.md`, experiment index E1–E7).
+//!
+//! Each binary prints a CSV table to stdout with both the analytical
+//! (ODE / closed-form) series and the simulated series, so a figure can
+//! be reproduced with any plotting tool. Pass `--quick` to any binary to
+//! run a scaled-down configuration (fewer peers, shorter windows) for a
+//! fast smoke pass; the full configuration matches the paper's
+//! parameters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gossamer_ode::{solve_steady_state, ModelParams, SteadyOptions, SteadyState};
+use gossamer_sim::{Scheme, SimConfig, SimReport, Simulation};
+
+/// Experiment scale, chosen from the command line.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Number of simulated peers.
+    pub peers: usize,
+    /// Warm-up time before measurement.
+    pub warmup: f64,
+    /// Measurement window.
+    pub measure: f64,
+    /// Independent simulation repetitions averaged per point.
+    pub repetitions: usize,
+}
+
+impl Scale {
+    /// The full-figure scale.
+    pub const FULL: Scale = Scale {
+        peers: 400,
+        warmup: 15.0,
+        measure: 30.0,
+        repetitions: 3,
+    };
+
+    /// A fast smoke-test scale.
+    pub const QUICK: Scale = Scale {
+        peers: 100,
+        warmup: 6.0,
+        measure: 10.0,
+        repetitions: 1,
+    };
+
+    /// Parses the scale from process arguments (`--quick` selects
+    /// [`Scale::QUICK`]).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::QUICK
+        } else {
+            Scale::FULL
+        }
+    }
+}
+
+/// The protocol parameters a single experiment point runs with.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Block generation rate λ.
+    pub lambda: f64,
+    /// Gossip rate μ.
+    pub mu: f64,
+    /// Deletion rate γ.
+    pub gamma: f64,
+    /// Segment size s.
+    pub segment_size: usize,
+    /// Normalized server capacity c.
+    pub capacity: f64,
+    /// Mean peer lifetime (`None` = static network).
+    pub churn: Option<f64>,
+    /// Collection scheme.
+    pub scheme: Scheme,
+}
+
+impl Point {
+    /// A static indirect-collection point.
+    pub fn indirect(lambda: f64, mu: f64, gamma: f64, s: usize, c: f64) -> Point {
+        Point {
+            lambda,
+            mu,
+            gamma,
+            segment_size: s,
+            capacity: c,
+            churn: None,
+            scheme: Scheme::Indirect,
+        }
+    }
+
+    /// Adds churn with the given mean lifetime.
+    pub fn with_churn(mut self, mean_lifetime: f64) -> Point {
+        self.churn = Some(mean_lifetime);
+        self
+    }
+
+    /// Switches to the direct-pull baseline.
+    pub fn direct(mut self) -> Point {
+        self.scheme = Scheme::DirectPull;
+        self
+    }
+}
+
+/// Runs the simulator at one experiment point, averaging
+/// `scale.repetitions` seeded runs.
+pub fn simulate(point: Point, scale: Scale, base_seed: u64) -> SimReport {
+    let mut reports = Vec::with_capacity(scale.repetitions);
+    for rep in 0..scale.repetitions {
+        let mut builder = SimConfig::builder()
+            .peers(scale.peers)
+            .lambda(point.lambda)
+            .mu(point.mu)
+            .gamma(point.gamma)
+            .segment_size(point.segment_size)
+            .servers(4)
+            .normalized_server_capacity(point.capacity)
+            .scheme(point.scheme)
+            .warmup(scale.warmup)
+            .measure(scale.measure)
+            .seed(base_seed.wrapping_add(rep as u64).wrapping_mul(0x9E37_79B9));
+        if let Some(lifetime) = point.churn {
+            builder = builder.churn(lifetime);
+        }
+        let config = builder.build().expect("experiment point is valid");
+        reports.push(Simulation::new(config).expect("simulation builds").run());
+    }
+    average_reports(&reports)
+}
+
+/// Element-wise average of the metrics the experiment binaries consume.
+fn average_reports(reports: &[SimReport]) -> SimReport {
+    assert!(!reports.is_empty());
+    let n = reports.len() as f64;
+    let mut out = reports[0].clone();
+    let mean = |f: fn(&SimReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
+    out.throughput.normalized = mean(|r| r.throughput.normalized);
+    out.throughput.decoded_normalized = mean(|r| r.throughput.decoded_normalized);
+    out.throughput.efficiency = mean(|r| r.throughput.efficiency);
+    out.delay.mean = mean(|r| r.delay.mean);
+    out.storage.mean_blocks_per_peer = mean(|r| r.storage.mean_blocks_per_peer);
+    out.storage.mean_saved_blocks_per_peer = mean(|r| r.storage.mean_saved_blocks_per_peer);
+    out.storage.mean_empty_fraction = mean(|r| r.storage.mean_empty_fraction);
+    out.storage.mean_segments_per_peer = mean(|r| r.storage.mean_segments_per_peer);
+    out
+}
+
+/// Solves the ODE model for one experiment point (static network only).
+pub fn solve(point: Point) -> SteadyState {
+    let params = ModelParams::builder()
+        .lambda(point.lambda)
+        .mu(point.mu)
+        .gamma(point.gamma)
+        .segment_size(point.segment_size)
+        .server_capacity(point.capacity)
+        .build()
+        .expect("experiment point is valid");
+    solve_steady_state(params, SteadyOptions::default())
+}
+
+/// Prints a CSV row, joining fields with commas.
+pub fn csv_row(fields: &[String]) {
+    println!("{}", fields.join(","));
+}
+
+/// Formats a float for CSV output.
+pub fn fmt(x: f64) -> String {
+    format!("{x:.5}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_selection_defaults_to_full() {
+        // No --quick in the test binary's args.
+        let s = Scale::from_args();
+        assert_eq!(s.peers, Scale::FULL.peers);
+    }
+
+    #[test]
+    fn point_builders() {
+        let p = Point::indirect(8.0, 4.0, 1.0, 4, 2.0)
+            .with_churn(3.0)
+            .direct();
+        assert_eq!(p.churn, Some(3.0));
+        assert_eq!(p.scheme, Scheme::DirectPull);
+    }
+
+    #[test]
+    fn simulate_averages_repetitions() {
+        let scale = Scale {
+            peers: 30,
+            warmup: 2.0,
+            measure: 4.0,
+            repetitions: 2,
+        };
+        let report = simulate(Point::indirect(4.0, 2.0, 1.0, 2, 1.0), scale, 7);
+        assert!(report.throughput.normalized > 0.0);
+    }
+
+    #[test]
+    fn solve_produces_converged_state() {
+        let st = solve(Point::indirect(4.0, 2.0, 1.0, 2, 1.0));
+        assert!(st.converged());
+    }
+}

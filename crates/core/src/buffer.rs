@@ -1,0 +1,325 @@
+//! The peer's block buffer: capped, TTL-governed storage of coded blocks.
+
+use std::collections::BTreeMap;
+
+use gossamer_rlnc::{
+    CodedBlock, CodingError, InsertOutcome, SegmentBuffer, SegmentId, SegmentParams,
+};
+use rand::{Rng, RngExt};
+
+/// Counters describing a buffer's life.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Blocks currently stored (the peer's bipartite degree).
+    pub blocks: usize,
+    /// Segments currently represented.
+    pub segments: usize,
+    /// Blocks evicted by TTL expiry so far.
+    pub expired: u64,
+    /// Incoming blocks rejected because the buffer was full.
+    pub rejected_full: u64,
+    /// Incoming blocks discarded as linearly dependent.
+    pub discarded_redundant: u64,
+}
+
+/// Per-peer storage of coded blocks, organised per segment, with a
+/// global cap of `B` blocks and memoryless TTL expiry.
+///
+/// Only linearly independent blocks are stored (a dependent reception
+/// carries no information and would waste a buffer slot); stored rows
+/// are themselves valid coded blocks, so TTL expiry simply evicts a
+/// uniformly random stored row — which, because exponential TTLs are
+/// memoryless, is statistically identical to tracking a timer per block.
+#[derive(Debug)]
+pub struct PeerBuffer {
+    params: SegmentParams,
+    cap: usize,
+    segments: BTreeMap<SegmentId, SegmentBuffer>,
+    blocks: usize,
+    expired: u64,
+    rejected_full: u64,
+    discarded_redundant: u64,
+}
+
+impl PeerBuffer {
+    /// Creates an empty buffer with the given cap.
+    pub fn new(params: SegmentParams, cap: usize) -> Self {
+        PeerBuffer {
+            params,
+            cap,
+            segments: BTreeMap::new(),
+            blocks: 0,
+            expired: 0,
+            rejected_full: 0,
+            discarded_redundant: 0,
+        }
+    }
+
+    /// Total blocks stored.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Number of distinct segments held.
+    pub fn segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Returns `true` when no blocks are stored.
+    pub fn is_empty(&self) -> bool {
+        self.blocks == 0
+    }
+
+    /// Returns `true` when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.blocks >= self.cap
+    }
+
+    /// Remaining slots.
+    pub fn free_slots(&self) -> usize {
+        self.cap.saturating_sub(self.blocks)
+    }
+
+    /// The rank held for `segment` (0 if unknown).
+    pub fn rank_of(&self, segment: SegmentId) -> usize {
+        self.segments.get(&segment).map_or(0, SegmentBuffer::rank)
+    }
+
+    /// Offers a block. Returns `Ok(true)` if stored (innovative),
+    /// `Ok(false)` if discarded (redundant or buffer full).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the block's shape does not match the
+    /// deployment parameters.
+    pub fn offer(&mut self, block: CodedBlock) -> Result<bool, CodingError> {
+        block.validate(&self.params)?;
+        if self.is_full() {
+            self.rejected_full += 1;
+            return Ok(false);
+        }
+        let entry = self
+            .segments
+            .entry(block.segment())
+            .or_insert_with(|| SegmentBuffer::new(block.segment(), self.params));
+        match entry.insert(block)? {
+            InsertOutcome::Innovative { .. } => {
+                self.blocks += 1;
+                Ok(true)
+            }
+            InsertOutcome::Redundant => {
+                self.discarded_redundant += 1;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Chooses a segment uniformly at random among those buffered.
+    pub fn random_segment<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<SegmentId> {
+        if self.segments.is_empty() {
+            return None;
+        }
+        let k = rng.random_range(0..self.segments.len());
+        self.segments.keys().nth(k).copied()
+    }
+
+    /// Produces a recoded block of `segment` (a fresh random combination
+    /// of the stored rows), or `None` if the segment is not held.
+    pub fn recode<R: Rng + ?Sized>(&self, segment: SegmentId, rng: &mut R) -> Option<CodedBlock> {
+        self.segments.get(&segment)?.recode(rng)
+    }
+
+    /// Evicts one uniformly random stored block (TTL expiry). Returns
+    /// the segment it belonged to, or `None` if the buffer was empty.
+    pub fn expire_one<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<SegmentId> {
+        self.expire_one_excluding(rng, &std::collections::BTreeSet::new())
+    }
+
+    /// Like [`PeerBuffer::expire_one`], but never evicts blocks of the
+    /// excluded segments (used to shield fresh own segments until their
+    /// priming pushes have replicated them; see
+    /// [`NodeConfigBuilder::source_priming`](crate::NodeConfigBuilder::source_priming)).
+    /// Returns `None` if every stored block is excluded.
+    pub fn expire_one_excluding<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        exclude: &std::collections::BTreeSet<SegmentId>,
+    ) -> Option<SegmentId> {
+        let excluded_blocks: usize = exclude
+            .iter()
+            .map(|id| self.rank_of(*id))
+            .sum();
+        let eligible = self.blocks - excluded_blocks.min(self.blocks);
+        if eligible == 0 {
+            return None;
+        }
+        // Pick a block index uniformly over the eligible rows, then walk
+        // the per-segment counts to locate it.
+        let mut k = rng.random_range(0..eligible);
+        let segment = *self
+            .segments
+            .iter()
+            .filter(|(id, _)| !exclude.contains(id))
+            .find(|(_, buf)| {
+                if k < buf.rank() {
+                    true
+                } else {
+                    k -= buf.rank();
+                    false
+                }
+            })
+            .map(|(id, _)| id)
+            .expect("k < eligible blocks");
+        let buf = self.segments.get_mut(&segment).expect("segment exists");
+        buf.remove_row(k);
+        self.blocks -= 1;
+        self.expired += 1;
+        if buf.is_empty() {
+            self.segments.remove(&segment);
+        }
+        Some(segment)
+    }
+
+    /// Iterates over `(segment, rank)` pairs.
+    pub fn iter_ranks(&self) -> impl Iterator<Item = (SegmentId, usize)> + '_ {
+        self.segments.iter().map(|(id, buf)| (*id, buf.rank()))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> BufferStats {
+        BufferStats {
+            blocks: self.blocks,
+            segments: self.segments.len(),
+            expired: self.expired,
+            rejected_full: self.rejected_full,
+            discarded_redundant: self.discarded_redundant,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossamer_rlnc::SourceSegment;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> SegmentParams {
+        SegmentParams::new(3, 16).unwrap()
+    }
+
+    fn source(id: u64) -> SourceSegment {
+        let blocks = (0..3).map(|i| vec![id as u8 + i as u8; 16]).collect();
+        SourceSegment::new(SegmentId::new(id), params(), blocks).unwrap()
+    }
+
+    #[test]
+    fn stores_innovative_discards_redundant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = PeerBuffer::new(params(), 100);
+        let src = source(1);
+        let mut stored = 0;
+        for _ in 0..20 {
+            if buf.offer(src.emit(&mut rng)).unwrap() {
+                stored += 1;
+            }
+        }
+        assert_eq!(stored, 3, "only s innovative blocks exist");
+        assert_eq!(buf.blocks(), 3);
+        assert_eq!(buf.rank_of(SegmentId::new(1)), 3);
+        assert!(buf.stats().discarded_redundant > 0);
+    }
+
+    #[test]
+    fn enforces_cap() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut buf = PeerBuffer::new(params(), 4);
+        for id in 1..=3u64 {
+            let src = source(id);
+            for _ in 0..3 {
+                let _ = buf.offer(src.emit(&mut rng)).unwrap();
+            }
+        }
+        assert!(buf.blocks() <= 4);
+        assert!(buf.is_full());
+        assert!(buf.stats().rejected_full > 0);
+        assert_eq!(buf.free_slots(), 0);
+    }
+
+    #[test]
+    fn expiry_removes_exactly_one_and_cleans_up() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = PeerBuffer::new(params(), 100);
+        let src = source(5);
+        while buf.rank_of(src.id()) < 3 {
+            let _ = buf.offer(src.emit(&mut rng)).unwrap();
+        }
+        assert_eq!(buf.blocks(), 3);
+        for expected in (0..3).rev() {
+            let seg = buf.expire_one(&mut rng).unwrap();
+            assert_eq!(seg, src.id());
+            assert_eq!(buf.blocks(), expected);
+        }
+        assert!(buf.is_empty());
+        assert_eq!(buf.segments(), 0, "empty segment entries are dropped");
+        assert!(buf.expire_one(&mut rng).is_none());
+        assert_eq!(buf.stats().expired, 3);
+    }
+
+    #[test]
+    fn recode_round_trips_through_decoder() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = PeerBuffer::new(params(), 100);
+        let src = source(9);
+        while buf.rank_of(src.id()) < 3 {
+            let _ = buf.offer(src.emit(&mut rng)).unwrap();
+        }
+        let mut decoder = gossamer_rlnc::Decoder::new(params());
+        loop {
+            let block = buf.recode(src.id(), &mut rng).unwrap();
+            if let Some(seg) = decoder.receive(block).unwrap() {
+                assert_eq!(seg.blocks(), src.blocks());
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn random_segment_is_uniformish() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = PeerBuffer::new(params(), 100);
+        for id in 1..=4u64 {
+            let src = source(id);
+            let _ = buf.offer(src.emit(&mut rng)).unwrap();
+        }
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..4000 {
+            let seg = buf.random_segment(&mut rng).unwrap();
+            *counts.entry(seg).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        for (&seg, &count) in &counts {
+            assert!(
+                (800..1200).contains(&count),
+                "segment {seg} picked {count}/4000"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_buffer_behaviour() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let buf = PeerBuffer::new(params(), 10);
+        assert!(buf.is_empty());
+        assert!(buf.random_segment(&mut rng).is_none());
+        assert!(buf.recode(SegmentId::new(1), &mut rng).is_none());
+        assert_eq!(buf.iter_ranks().count(), 0);
+    }
+
+    #[test]
+    fn rejects_misshapen_blocks() {
+        let mut buf = PeerBuffer::new(params(), 10);
+        let bad = CodedBlock::new(SegmentId::new(1), vec![1, 2], vec![0; 16]).unwrap();
+        assert!(buf.offer(bad).is_err());
+    }
+}

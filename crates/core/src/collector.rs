@@ -1,0 +1,451 @@
+//! The logging-server (collector) state machine.
+
+use gossamer_rlnc::{Decoder, Reassembler, SegmentParams};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::message::{Addr, Message, Outbound};
+use crate::peer::exp_sample;
+use crate::ProtocolError;
+
+/// How a collector chooses which peer to probe next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PullPolicy {
+    /// A uniformly random peer per pull — the paper's coupon-collector
+    /// rule.
+    #[default]
+    UniformRandom,
+    /// Cycle through the peer list in a fixed rotation. Covers the
+    /// population evenly at low rates, at the cost of predictability.
+    RoundRobin,
+}
+
+/// Configuration of a [`Collector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectorConfig {
+    pub(crate) params: SegmentParams,
+    pub(crate) pull_rate: f64,
+    pub(crate) pull_policy: PullPolicy,
+    pub(crate) announce_interval: Option<f64>,
+}
+
+impl CollectorConfig {
+    /// Starts a builder; `params` must match the deployment.
+    pub fn builder(params: SegmentParams) -> CollectorConfigBuilder {
+        CollectorConfigBuilder {
+            params,
+            pull_rate: 10.0,
+            pull_policy: PullPolicy::default(),
+            announce_interval: None,
+        }
+    }
+
+    /// Coding parameters.
+    pub fn params(&self) -> SegmentParams {
+        self.params
+    }
+
+    /// Pull requests per second (the server capacity `cₛ`).
+    pub fn pull_rate(&self) -> f64 {
+        self.pull_rate
+    }
+
+    /// Peer-selection policy.
+    pub fn pull_policy(&self) -> PullPolicy {
+        self.pull_policy
+    }
+
+    /// Interval between decoded-segment announcements to sibling
+    /// collectors (`None` disables coordination).
+    pub fn announce_interval(&self) -> Option<f64> {
+        self.announce_interval
+    }
+}
+
+/// Builder for [`CollectorConfig`].
+#[derive(Debug, Clone)]
+pub struct CollectorConfigBuilder {
+    params: SegmentParams,
+    pull_rate: f64,
+    pull_policy: PullPolicy,
+    announce_interval: Option<f64>,
+}
+
+impl CollectorConfigBuilder {
+    /// Sets the pull rate `cₛ` (default 10/s).
+    pub fn pull_rate(mut self, rate: f64) -> Self {
+        self.pull_rate = rate;
+        self
+    }
+
+    /// Sets the peer-selection policy (default: the paper's uniform
+    /// random choice).
+    pub fn pull_policy(mut self, policy: PullPolicy) -> Self {
+        self.pull_policy = policy;
+        self
+    }
+
+    /// Enables sibling coordination: every `interval` seconds the
+    /// collector announces its newly decoded segments to its siblings,
+    /// which then stop spending elimination work on those segments.
+    pub fn announce_interval(mut self, interval: f64) -> Self {
+        self.announce_interval = Some(interval);
+        self
+    }
+
+    /// Validates and builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::BadRate`] for a non-positive or
+    /// non-finite pull rate.
+    pub fn build(self) -> Result<CollectorConfig, ProtocolError> {
+        if !(self.pull_rate.is_finite() && self.pull_rate > 0.0) {
+            return Err(ProtocolError::BadRate { name: "pull_rate" });
+        }
+        if let Some(i) = self.announce_interval {
+            if !(i.is_finite() && i > 0.0) {
+                return Err(ProtocolError::BadRate {
+                    name: "announce_interval",
+                });
+            }
+        }
+        Ok(CollectorConfig {
+            params: self.params,
+            pull_rate: self.pull_rate,
+            pull_policy: self.pull_policy,
+            announce_interval: self.announce_interval,
+        })
+    }
+}
+
+/// Counters describing a collector's life.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Pull requests sent.
+    pub pulls_sent: u64,
+    /// Responses carrying a block.
+    pub blocks_received: u64,
+    /// Responses from peers with empty buffers.
+    pub empty_responses: u64,
+    /// Blocks that advanced some segment's rank.
+    pub innovative_blocks: u64,
+    /// Blocks that were redundant (already-spanned or already-decoded
+    /// segments) — the coupon-collector waste Theorem 2 quantifies.
+    pub redundant_blocks: u64,
+    /// Segments fully decoded.
+    pub segments_decoded: u64,
+    /// Segments abandoned because a sibling collector announced them.
+    pub abandoned_segments: u64,
+    /// Log records recovered from decoded segments.
+    pub records_recovered: u64,
+    /// Malformed blocks discarded.
+    pub malformed_blocks: u64,
+}
+
+/// A logging server: pulls coded blocks from random peers at its
+/// provisioned capacity, decodes segments progressively, and reassembles
+/// log records.
+#[derive(Debug)]
+pub struct Collector {
+    addr: Addr,
+    config: CollectorConfig,
+    rng: StdRng,
+    peers: Vec<Addr>,
+    siblings: Vec<Addr>,
+    decoder: Decoder,
+    reassembler: Reassembler,
+    next_pull_at: Option<f64>,
+    next_announce_at: Option<f64>,
+    /// Segments decoded locally but not yet announced to siblings.
+    unannounced: Vec<gossamer_rlnc::SegmentId>,
+    rotation: usize,
+    stats: CollectorStats,
+}
+
+impl Collector {
+    /// Creates a collector.
+    pub fn new(addr: Addr, config: CollectorConfig, seed: u64) -> Self {
+        let decoder = Decoder::new(config.params);
+        Collector {
+            addr,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            peers: Vec::new(),
+            siblings: Vec::new(),
+            decoder,
+            reassembler: Reassembler::new(),
+            next_pull_at: None,
+            next_announce_at: None,
+            unannounced: Vec::new(),
+            rotation: 0,
+            stats: CollectorStats::default(),
+        }
+    }
+
+    /// This collector's address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Replaces the set of peers this collector probes.
+    pub fn set_peers(&mut self, peers: Vec<Addr>) {
+        self.peers = peers;
+    }
+
+    /// Replaces the set of sibling collectors that receive decoded
+    /// announcements (has no effect unless
+    /// [`CollectorConfigBuilder::announce_interval`] is set).
+    pub fn set_siblings(&mut self, siblings: Vec<Addr>) {
+        self.siblings = siblings;
+        self.siblings.retain(|&a| a != self.addr);
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CollectorStats {
+        self.stats
+    }
+
+    /// Advances the pull schedule to `now`, emitting due pull requests
+    /// (and, if coordination is enabled, decoded announcements).
+    pub fn tick(&mut self, now: f64) -> Vec<Outbound> {
+        let mut out = Vec::new();
+        self.tick_announce(now, &mut out);
+        if self.peers.is_empty() {
+            return out;
+        }
+        let mut next = self
+            .next_pull_at
+            .unwrap_or_else(|| now + exp_sample(&mut self.rng, self.config.pull_rate));
+        while next <= now {
+            let to = match self.config.pull_policy {
+                PullPolicy::UniformRandom => self.peers[self.rng.random_range(0..self.peers.len())],
+                PullPolicy::RoundRobin => {
+                    let to = self.peers[self.rotation % self.peers.len()];
+                    self.rotation = (self.rotation + 1) % self.peers.len();
+                    to
+                }
+            };
+            self.stats.pulls_sent += 1;
+            out.push(Outbound {
+                to,
+                message: Message::PullRequest,
+            });
+            next += exp_sample(&mut self.rng, self.config.pull_rate);
+        }
+        self.next_pull_at = Some(next);
+        out
+    }
+
+    fn tick_announce(&mut self, now: f64, out: &mut Vec<Outbound>) {
+        let Some(interval) = self.config.announce_interval else {
+            return;
+        };
+        let next = self.next_announce_at.get_or_insert(now + interval);
+        if *next > now {
+            return;
+        }
+        *next = now + interval;
+        if self.unannounced.is_empty() || self.siblings.is_empty() {
+            return;
+        }
+        let segments = std::mem::take(&mut self.unannounced);
+        for &sibling in &self.siblings {
+            out.push(Outbound {
+                to: sibling,
+                message: Message::DecodedAnnounce {
+                    segments: segments.clone(),
+                },
+            });
+        }
+    }
+
+    /// Processes one incoming message (pull responses and sibling
+    /// announcements; everything else is ignored).
+    pub fn handle(&mut self, _from: Addr, message: Message, _now: f64) -> Vec<Outbound> {
+        match message {
+            Message::PullResponse(Some(block)) => {
+                self.stats.blocks_received += 1;
+                match self.decoder.receive(block) {
+                    Ok(Some(segment)) => {
+                        self.stats.segments_decoded += 1;
+                        self.unannounced.push(segment.id());
+                        let records = self.reassembler.feed(&segment);
+                        self.stats.records_recovered += records as u64;
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        self.stats.malformed_blocks += 1;
+                    }
+                }
+                // The decoder's counters are authoritative for the
+                // innovative/redundant split.
+                self.stats.innovative_blocks = self.decoder.stats().innovative as u64;
+                self.stats.redundant_blocks = self.decoder.stats().redundant as u64;
+                Vec::new()
+            }
+            Message::PullResponse(None) => {
+                self.stats.empty_responses += 1;
+                Vec::new()
+            }
+            Message::DecodedAnnounce { segments } => {
+                for id in segments {
+                    if self.decoder.abandon(id) {
+                        self.stats.abandoned_segments += 1;
+                    }
+                }
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Takes ownership of all log records recovered so far.
+    pub fn take_records(&mut self) -> Vec<Vec<u8>> {
+        self.reassembler.take_records()
+    }
+
+    /// Records recovered and not yet taken.
+    pub fn records(&self) -> &[Vec<u8>] {
+        self.reassembler.records()
+    }
+
+    /// Number of segments fully decoded so far.
+    pub fn segments_decoded(&self) -> usize {
+        self.decoder.stats().segments_decoded
+    }
+
+    /// Collection efficiency so far (fraction of received blocks that
+    /// were innovative) — the empirical `η` of Theorem 2.
+    pub fn efficiency(&self) -> f64 {
+        self.decoder.stats().efficiency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeConfig, PeerNode};
+
+    fn params() -> SegmentParams {
+        SegmentParams::new(2, 16).unwrap()
+    }
+
+    fn collector() -> Collector {
+        let cfg = CollectorConfig::builder(params())
+            .pull_rate(50.0)
+            .build()
+            .unwrap();
+        Collector::new(Addr(100), cfg, 9)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CollectorConfig::builder(params())
+            .pull_rate(0.0)
+            .build()
+            .is_err());
+        assert!(CollectorConfig::builder(params())
+            .pull_rate(f64::INFINITY)
+            .build()
+            .is_err());
+        let c = CollectorConfig::builder(params()).build().unwrap();
+        assert_eq!(c.pull_rate(), 10.0);
+        assert_eq!(c.params(), params());
+    }
+
+    #[test]
+    fn pulls_fire_at_rate_toward_random_peers() {
+        let mut c = collector();
+        c.set_peers(vec![Addr(1), Addr(2), Addr(3)]);
+        // The first tick arms the Poisson clock; the second processes a
+        // full second of pulls.
+        c.tick(0.0);
+        let out = c.tick(1.0);
+        // Expected ~50 pulls in one second.
+        assert!(
+            (25..90).contains(&out.len()),
+            "pulled {} times in 1s at rate 50",
+            out.len()
+        );
+        assert!(out
+            .iter()
+            .all(|o| matches!(o.message, Message::PullRequest)));
+        assert!(out
+            .iter()
+            .all(|o| [Addr(1), Addr(2), Addr(3)].contains(&o.to)));
+        assert_eq!(c.stats().pulls_sent, out.len() as u64);
+    }
+
+    #[test]
+    fn no_peers_no_pulls() {
+        let mut c = collector();
+        assert!(c.tick(10.0).is_empty());
+        assert_eq!(c.stats().pulls_sent, 0);
+    }
+
+    #[test]
+    fn end_to_end_with_one_peer() {
+        let node_cfg = NodeConfig::builder(params())
+            .gossip_rate(1.0)
+            .expiry_rate(0.0)
+            .build()
+            .unwrap();
+        let mut peer = PeerNode::new(Addr(1), node_cfg, 4);
+        peer.record(&[9u8; 27], 0.0).unwrap();
+
+        let mut c = collector();
+        c.set_peers(vec![Addr(1)]);
+        let mut now = 0.0;
+        while c.segments_decoded() == 0 && now < 10.0 {
+            now += 0.05;
+            for pull in c.tick(now) {
+                for resp in peer.handle(c.addr(), pull.message, now) {
+                    c.handle(Addr(1), resp.message, now);
+                }
+            }
+        }
+        assert_eq!(c.segments_decoded(), 1);
+        let records = c.take_records();
+        assert_eq!(records, vec![vec![9u8; 27]]);
+        assert_eq!(c.stats().records_recovered, 1);
+        assert!(c.stats().blocks_received >= 2);
+        assert!(c.efficiency() > 0.0);
+    }
+
+    #[test]
+    fn round_robin_covers_peers_evenly() {
+        let cfg = CollectorConfig::builder(params())
+            .pull_rate(300.0)
+            .pull_policy(PullPolicy::RoundRobin)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.pull_policy(), PullPolicy::RoundRobin);
+        let mut c = Collector::new(Addr(100), cfg, 9);
+        c.set_peers(vec![Addr(1), Addr(2), Addr(3)]);
+        c.tick(0.0);
+        let out = c.tick(1.0);
+        assert!(out.len() > 100);
+        let mut counts = std::collections::HashMap::new();
+        for o in &out {
+            *counts.entry(o.to).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().unwrap();
+        let min = counts.values().min().unwrap();
+        assert!(max - min <= 1, "rotation must be even: {counts:?}");
+    }
+
+    #[test]
+    fn empty_responses_are_counted() {
+        let mut c = collector();
+        c.handle(Addr(1), Message::PullResponse(None), 0.0);
+        assert_eq!(c.stats().empty_responses, 1);
+    }
+
+    #[test]
+    fn irrelevant_messages_are_ignored() {
+        let mut c = collector();
+        let out = c.handle(Addr(1), Message::PullRequest, 0.0);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Peer node configuration.
+
+use gossamer_rlnc::SegmentParams;
+
+use crate::ProtocolError;
+
+/// Configuration of a [`PeerNode`](crate::PeerNode).
+///
+/// Rates are per second of the clock the caller passes as `now`; the
+/// paper's symbols map as: `gossip_rate` = μ, `expiry_rate` = γ,
+/// `buffer_cap` = B, and `params` carries `s` and the block length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeConfig {
+    pub(crate) params: SegmentParams,
+    pub(crate) gossip_rate: f64,
+    pub(crate) expiry_rate: f64,
+    pub(crate) buffer_cap: usize,
+    pub(crate) source_priming: f64,
+}
+
+impl NodeConfig {
+    /// Starts a builder; `params` fixes the coding layout for the whole
+    /// deployment.
+    pub fn builder(params: SegmentParams) -> NodeConfigBuilder {
+        NodeConfigBuilder {
+            params,
+            gossip_rate: 1.0,
+            expiry_rate: 0.1,
+            buffer_cap: None,
+            source_priming: 2.0,
+        }
+    }
+
+    /// Coding parameters.
+    pub fn params(&self) -> SegmentParams {
+        self.params
+    }
+
+    /// Gossip transmissions per second (μ).
+    pub fn gossip_rate(&self) -> f64 {
+        self.gossip_rate
+    }
+
+    /// Per-block expiry rate (γ); `0` disables TTL expiry.
+    pub fn expiry_rate(&self) -> f64 {
+        self.expiry_rate
+    }
+
+    /// Buffer cap in blocks (B).
+    pub fn buffer_cap(&self) -> usize {
+        self.buffer_cap
+    }
+
+    /// Source-priming factor (see [`NodeConfigBuilder::source_priming`]).
+    pub fn source_priming(&self) -> f64 {
+        self.source_priming
+    }
+}
+
+/// Builder for [`NodeConfig`].
+#[derive(Debug, Clone)]
+pub struct NodeConfigBuilder {
+    params: SegmentParams,
+    gossip_rate: f64,
+    expiry_rate: f64,
+    buffer_cap: Option<usize>,
+    source_priming: f64,
+}
+
+impl NodeConfigBuilder {
+    /// Sets μ, the gossip transmissions per second (default 1).
+    pub fn gossip_rate(mut self, mu: f64) -> Self {
+        self.gossip_rate = mu;
+        self
+    }
+
+    /// Sets γ, the per-block expiry rate (default 0.1; `0` disables).
+    pub fn expiry_rate(mut self, gamma: f64) -> Self {
+        self.expiry_rate = gamma;
+        self
+    }
+
+    /// Sets B, the buffer cap in blocks (default `64·s`).
+    pub fn buffer_cap(mut self, cap: usize) -> Self {
+        self.buffer_cap = Some(cap);
+        self
+    }
+
+    /// Sets the source-priming factor (default 2.0; `0` disables).
+    ///
+    /// The paper's protocol picks the gossiped segment uniformly among
+    /// everything buffered. In a real deployment that under-serves a
+    /// peer's *own fresh* segments: if fewer than `s` independent coded
+    /// blocks escape the origin before its copies expire, the segment's
+    /// network-wide span collapses below `s` and it can never be decoded
+    /// — an effect the paper's idealized analysis does not model. With
+    /// priming, an origin prioritizes its own segments until it has
+    /// pushed `⌈factor·s⌉` coded blocks of each, then falls back to the
+    /// paper's uniform rule. Set to `0` for the letter of the paper.
+    pub fn source_priming(mut self, factor: f64) -> Self {
+        self.source_priming = factor;
+        self
+    }
+
+    /// Validates and builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::BadRate`] for non-finite or negative
+    /// rates (`gossip_rate` must be strictly positive) and
+    /// [`ProtocolError::BufferTooSmall`] if the cap cannot hold one
+    /// segment.
+    pub fn build(self) -> Result<NodeConfig, ProtocolError> {
+        if !(self.gossip_rate.is_finite() && self.gossip_rate > 0.0) {
+            return Err(ProtocolError::BadRate {
+                name: "gossip_rate",
+            });
+        }
+        if !(self.expiry_rate.is_finite() && self.expiry_rate >= 0.0) {
+            return Err(ProtocolError::BadRate {
+                name: "expiry_rate",
+            });
+        }
+        if !(self.source_priming.is_finite() && self.source_priming >= 0.0) {
+            return Err(ProtocolError::BadRate {
+                name: "source_priming",
+            });
+        }
+        let buffer_cap = self.buffer_cap.unwrap_or(self.params.segment_size() * 64);
+        if buffer_cap < self.params.segment_size() {
+            return Err(ProtocolError::BufferTooSmall {
+                buffer_cap,
+                segment_size: self.params.segment_size(),
+            });
+        }
+        Ok(NodeConfig {
+            params: self.params,
+            gossip_rate: self.gossip_rate,
+            expiry_rate: self.expiry_rate,
+            buffer_cap,
+            source_priming: self.source_priming,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SegmentParams {
+        SegmentParams::new(4, 32).unwrap()
+    }
+
+    #[test]
+    fn defaults() {
+        let c = NodeConfig::builder(params()).build().unwrap();
+        assert_eq!(c.gossip_rate(), 1.0);
+        assert_eq!(c.expiry_rate(), 0.1);
+        assert_eq!(c.buffer_cap(), 256);
+        assert_eq!(c.params().segment_size(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(NodeConfig::builder(params())
+            .gossip_rate(0.0)
+            .build()
+            .is_err());
+        assert!(NodeConfig::builder(params())
+            .gossip_rate(f64::NAN)
+            .build()
+            .is_err());
+        assert!(NodeConfig::builder(params())
+            .expiry_rate(-0.1)
+            .build()
+            .is_err());
+        // Zero expiry is allowed (no TTL).
+        assert!(NodeConfig::builder(params())
+            .expiry_rate(0.0)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_tiny_buffer() {
+        let err = NodeConfig::builder(params())
+            .buffer_cap(3)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::BufferTooSmall { .. }));
+    }
+}

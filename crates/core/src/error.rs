@@ -1,0 +1,93 @@
+//! Protocol-level errors.
+
+use core::fmt;
+
+use gossamer_rlnc::{CodingError, RecordTooLarge};
+
+/// Errors surfaced by protocol nodes.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// A record does not fit in one segment under the configured
+    /// parameters.
+    RecordTooLarge(RecordTooLarge),
+    /// A received block has the wrong shape for this deployment.
+    BadBlock(CodingError),
+    /// A configuration rate was non-positive or non-finite.
+    BadRate {
+        /// Parameter name.
+        name: &'static str,
+    },
+    /// The buffer cap cannot hold a single segment.
+    BufferTooSmall {
+        /// Requested cap (blocks).
+        buffer_cap: usize,
+        /// Segment size it must hold.
+        segment_size: usize,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::RecordTooLarge(e) => write!(f, "{e}"),
+            ProtocolError::BadBlock(e) => write!(f, "bad block: {e}"),
+            ProtocolError::BadRate { name } => {
+                write!(f, "{name} must be positive and finite")
+            }
+            ProtocolError::BufferTooSmall {
+                buffer_cap,
+                segment_size,
+            } => write!(
+                f,
+                "buffer cap {buffer_cap} cannot hold one segment of {segment_size} blocks"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::RecordTooLarge(e) => Some(e),
+            ProtocolError::BadBlock(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RecordTooLarge> for ProtocolError {
+    fn from(e: RecordTooLarge) -> Self {
+        ProtocolError::RecordTooLarge(e)
+    }
+}
+
+impl From<CodingError> for ProtocolError {
+    fn from(e: CodingError) -> Self {
+        ProtocolError::BadBlock(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ProtocolError::BadRate { name: "mu" };
+        assert_eq!(e.to_string(), "mu must be positive and finite");
+        assert!(e.source().is_none());
+
+        let inner = CodingError::EmptyBlock;
+        let e: ProtocolError = inner.into();
+        assert!(e.to_string().starts_with("bad block:"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<ProtocolError>();
+    }
+}

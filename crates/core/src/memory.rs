@@ -1,0 +1,513 @@
+//! In-process deterministic network harness.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::collector::{Collector, CollectorConfig};
+use crate::config::NodeConfig;
+use crate::message::{Addr, Message};
+use crate::peer::PeerNode;
+use crate::ProtocolError;
+
+/// Wires peers and collectors together in one process with a virtual
+/// clock and instantaneous (optionally lossy) message delivery.
+///
+/// Peers are connected in a full mesh, matching the paper's mean-field
+/// assumption; collectors probe every peer. Determinism: a harness seed
+/// fixes every node's RNG and the loss coin-flips.
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct MemoryNetwork {
+    now: f64,
+    rng: StdRng,
+    peers: BTreeMap<u32, PeerNode>,
+    collectors: BTreeMap<u32, Collector>,
+    next_addr: u32,
+    loss_rate: f64,
+    latency: Option<(f64, f64)>,
+    /// Messages in flight, ordered by delivery time; the sequence number
+    /// keeps ordering deterministic for equal timestamps.
+    in_flight: BinaryHeap<Reverse<InFlight>>,
+    flight_seq: u64,
+    messages_delivered: u64,
+    messages_dropped: u64,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    deliver_at: f64,
+    seq: u64,
+    from: Addr,
+    to: Addr,
+    message: Message,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+
+impl Eq for InFlight {}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.deliver_at
+            .partial_cmp(&other.deliver_at)
+            .expect("delivery times are never NaN")
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl MemoryNetwork {
+    /// Creates an empty network; `seed` fixes all randomness.
+    pub fn new(seed: u64) -> Self {
+        MemoryNetwork {
+            now: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+            peers: BTreeMap::new(),
+            collectors: BTreeMap::new(),
+            next_addr: 0,
+            loss_rate: 0.0,
+            latency: None,
+            in_flight: BinaryHeap::new(),
+            flight_seq: 0,
+            messages_delivered: 0,
+            messages_dropped: 0,
+        }
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Sets an independent per-message drop probability (failure
+    /// injection). The protocol is gossip-based and tolerates loss; this
+    /// lets tests verify that.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ rate < 1`.
+    pub fn set_loss_rate(&mut self, rate: f64) {
+        assert!((0.0..1.0).contains(&rate), "loss rate must be in [0, 1)");
+        self.loss_rate = rate;
+    }
+
+    /// Adds a uniformly random per-message delivery latency in
+    /// `[min, max]` seconds. Because each message samples its own delay,
+    /// messages can be *reordered* in flight — the realistic failure mode
+    /// this knob exists to exercise. `None` restores instant delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`, or either bound is negative or non-finite.
+    pub fn set_latency(&mut self, range: Option<(f64, f64)>) {
+        if let Some((min, max)) = range {
+            assert!(
+                min.is_finite() && max.is_finite() && 0.0 <= min && min <= max,
+                "latency bounds must satisfy 0 <= min <= max"
+            );
+        }
+        self.latency = range;
+    }
+
+    /// Adds a peer and rewires the full mesh. Returns its address.
+    pub fn add_peer(&mut self, config: NodeConfig) -> Addr {
+        let addr = Addr(self.next_addr);
+        self.next_addr += 1;
+        let seed = self.rng.random();
+        self.peers.insert(addr.0, PeerNode::new(addr, config, seed));
+        self.rewire();
+        addr
+    }
+
+    /// Adds a collector probing all current and future peers. Returns
+    /// its address.
+    pub fn add_collector(&mut self, config: CollectorConfig) -> Addr {
+        let addr = Addr(self.next_addr);
+        self.next_addr += 1;
+        let seed = self.rng.random();
+        self.collectors
+            .insert(addr.0, Collector::new(addr, config, seed));
+        self.rewire();
+        addr
+    }
+
+    /// Removes a peer abruptly (churn): its buffer and pending data are
+    /// lost, exactly like a departure in the paper's replacement model.
+    pub fn remove_peer(&mut self, addr: Addr) -> bool {
+        let removed = self.peers.remove(&addr.0).is_some();
+        if removed {
+            self.rewire();
+        }
+        removed
+    }
+
+    fn rewire(&mut self) {
+        let peer_addrs: Vec<Addr> = self.peers.keys().map(|&a| Addr(a)).collect();
+        let collector_addrs: Vec<Addr> = self.collectors.keys().map(|&a| Addr(a)).collect();
+        for peer in self.peers.values_mut() {
+            peer.set_neighbours(peer_addrs.clone());
+        }
+        for collector in self.collectors.values_mut() {
+            collector.set_peers(peer_addrs.clone());
+            collector.set_siblings(collector_addrs.clone());
+        }
+    }
+
+    /// Addresses of all live peers.
+    pub fn peer_addrs(&self) -> Vec<Addr> {
+        self.peers.keys().map(|&a| Addr(a)).collect()
+    }
+
+    /// Mutable access to a peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is not a live peer.
+    pub fn peer_mut(&mut self, addr: Addr) -> &mut PeerNode {
+        self.peers.get_mut(&addr.0).expect("no such peer")
+    }
+
+    /// Shared access to a peer.
+    pub fn peer(&self, addr: Addr) -> Option<&PeerNode> {
+        self.peers.get(&addr.0)
+    }
+
+    /// Mutable access to a collector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is not a collector.
+    pub fn collector_mut(&mut self, addr: Addr) -> &mut Collector {
+        self.collectors.get_mut(&addr.0).expect("no such collector")
+    }
+
+    /// Shared access to a collector.
+    pub fn collector(&self, addr: Addr) -> Option<&Collector> {
+        self.collectors.get(&addr.0)
+    }
+
+    /// Feeds a log record to a peer at the current time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProtocolError`] from the peer (e.g. oversized
+    /// record).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is not a live peer.
+    pub fn record(&mut self, peer: Addr, record: &[u8]) -> Result<(), ProtocolError> {
+        let now = self.now;
+        self.peer_mut(peer).record(record, now)
+    }
+
+    /// Flushes a peer's partial segment so its records become
+    /// collectable immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is not a live peer.
+    pub fn flush(&mut self, peer: Addr) {
+        let now = self.now;
+        self.peer_mut(peer).flush(now);
+    }
+
+    /// Advances the virtual clock by `dt` and delivers all traffic that
+    /// becomes due (including replies, transitively). With latency
+    /// injection enabled, messages whose delay extends past `now` stay
+    /// in flight and are delivered by a later step.
+    pub fn step(&mut self, dt: f64) {
+        assert!(dt > 0.0 && dt.is_finite(), "step must be positive");
+        self.now += dt;
+        let now = self.now;
+        let mut sends: VecDeque<(Addr, Addr, Message)> = VecDeque::new();
+        for (&id, peer) in self.peers.iter_mut() {
+            for out in peer.tick(now) {
+                sends.push_back((Addr(id), out.to, out.message));
+            }
+        }
+        for (&id, collector) in self.collectors.iter_mut() {
+            for out in collector.tick(now) {
+                sends.push_back((Addr(id), out.to, out.message));
+            }
+        }
+        loop {
+            // Put fresh sends in flight (loss and latency apply here).
+            while let Some((from, to, message)) = sends.pop_front() {
+                if self.loss_rate > 0.0 && self.rng.random::<f64>() < self.loss_rate {
+                    self.messages_dropped += 1;
+                    continue;
+                }
+                let delay = match self.latency {
+                    None => 0.0,
+                    Some((min, max)) if min == max => min,
+                    Some((min, max)) => min + self.rng.random::<f64>() * (max - min),
+                };
+                let seq = self.flight_seq;
+                self.flight_seq += 1;
+                self.in_flight.push(Reverse(InFlight {
+                    deliver_at: now + delay,
+                    seq,
+                    from,
+                    to,
+                    message,
+                }));
+            }
+            // Deliver everything due; replies go back through the send
+            // path (and may land in a later step under latency).
+            let due = matches!(self.in_flight.peek(), Some(Reverse(m)) if m.deliver_at <= now);
+            if !due {
+                break;
+            }
+            let Reverse(InFlight {
+                from, to, message, ..
+            }) = self.in_flight.pop().expect("peeked");
+            self.messages_delivered += 1;
+            let replies = if let Some(peer) = self.peers.get_mut(&to.0) {
+                peer.handle(from, message, now)
+            } else if let Some(collector) = self.collectors.get_mut(&to.0) {
+                collector.handle(from, message, now)
+            } else {
+                Vec::new() // destination departed; message lost
+            };
+            for out in replies {
+                sends.push_back((to, out.to, out.message));
+            }
+        }
+    }
+
+    /// Runs the clock forward `duration` seconds in steps of `dt`.
+    pub fn run_for(&mut self, duration: f64, dt: f64) {
+        let steps = (duration / dt).ceil() as usize;
+        for _ in 0..steps {
+            self.step(dt);
+        }
+    }
+
+    /// Messages delivered so far.
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered
+    }
+
+    /// Messages dropped by loss injection (or to departed nodes).
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossamer_rlnc::SegmentParams;
+
+    fn node_config() -> NodeConfig {
+        NodeConfig::builder(SegmentParams::new(2, 32).unwrap())
+            .gossip_rate(6.0)
+            .expiry_rate(0.1)
+            .buffer_cap(128)
+            .build()
+            .unwrap()
+    }
+
+    fn collector_config() -> CollectorConfig {
+        CollectorConfig::builder(SegmentParams::new(2, 32).unwrap())
+            .pull_rate(30.0)
+            .build()
+            .unwrap()
+    }
+
+    fn small_net() -> (MemoryNetwork, Vec<Addr>, Addr) {
+        let mut net = MemoryNetwork::new(11);
+        let peers: Vec<Addr> = (0..8).map(|_| net.add_peer(node_config())).collect();
+        let collector = net.add_collector(collector_config());
+        (net, peers, collector)
+    }
+
+    #[test]
+    fn collects_every_record() {
+        let (mut net, peers, collector) = small_net();
+        for (i, &p) in peers.iter().enumerate() {
+            net.record(p, format!("metric {i}").as_bytes()).unwrap();
+            net.flush(p);
+        }
+        net.run_for(12.0, 0.02);
+        let mut records = net.collector_mut(collector).take_records();
+        records.sort();
+        assert_eq!(records.len(), 8, "all records recovered");
+        for i in 0..8 {
+            assert!(records.contains(&format!("metric {i}").into_bytes()));
+        }
+    }
+
+    #[test]
+    fn survives_message_loss() {
+        let (mut net, peers, collector) = small_net();
+        net.set_loss_rate(0.3);
+        for &p in &peers {
+            net.record(p, b"lossy but alive").unwrap();
+            net.flush(p);
+        }
+        net.run_for(12.0, 0.02);
+        assert!(net.messages_dropped() > 0);
+        let records = net.collector_mut(collector).take_records();
+        assert!(
+            records.len() >= 6,
+            "collection should survive 30% loss, got {}",
+            records.len()
+        );
+    }
+
+    #[test]
+    fn departed_peers_data_survives_via_gossip() {
+        let (mut net, peers, collector) = small_net();
+        let victim = peers[0];
+        net.record(victim, b"last words of a dying peer").unwrap();
+        net.flush(victim);
+        // Let gossip replicate the victim's segment, then kill it.
+        net.run_for(2.0, 0.02);
+        assert!(net.remove_peer(victim));
+        assert!(net.peer(victim).is_none());
+        net.run_for(8.0, 0.02);
+        let records = net.collector_mut(collector).take_records();
+        assert!(
+            records.contains(&b"last words of a dying peer".to_vec()),
+            "indirect collection must recover departed peers' data"
+        );
+    }
+
+    #[test]
+    fn departed_peer_without_gossip_time_loses_data() {
+        // Control for the test above: kill the peer immediately, before
+        // any gossip slot fires — the data is genuinely gone.
+        let (mut net, peers, collector) = small_net();
+        let victim = peers[0];
+        net.record(victim, b"never replicated").unwrap();
+        net.flush(victim);
+        assert!(net.remove_peer(victim));
+        net.run_for(8.0, 0.02);
+        let records = net.collector_mut(collector).take_records();
+        assert!(!records.contains(&b"never replicated".to_vec()));
+    }
+
+    #[test]
+    fn survives_latency_and_reordering() {
+        let (mut net, peers, collector) = small_net();
+        net.set_latency(Some((0.05, 0.4))); // heavy jitter: reordering certain
+        for (i, &p) in peers.iter().enumerate() {
+            net.record(p, format!("jittered {i}").as_bytes()).unwrap();
+            net.flush(p);
+        }
+        net.run_for(15.0, 0.02);
+        let records = net.collector_mut(collector).take_records();
+        assert_eq!(records.len(), 8, "latency must not lose records");
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let (mut net, peers, collector) = small_net();
+        net.set_latency(Some((5.0, 5.0))); // every message takes 5 s
+        net.record(peers[0], b"slow boat").unwrap();
+        net.flush(peers[0]);
+        net.run_for(2.0, 0.1);
+        assert_eq!(
+            net.collector_mut(collector).stats().blocks_received,
+            0,
+            "nothing can arrive before the 5 s latency elapses"
+        );
+        net.run_for(20.0, 0.1);
+        assert!(net.collector_mut(collector).stats().blocks_received > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency bounds")]
+    fn latency_validation() {
+        let mut net = MemoryNetwork::new(1);
+        net.set_latency(Some((2.0, 1.0)));
+    }
+
+    #[test]
+    fn sibling_announcements_avoid_duplicate_decoding() {
+        let run = |coordinate: bool| {
+            let mut net = MemoryNetwork::new(21);
+            let peers: Vec<Addr> = (0..10).map(|_| net.add_peer(node_config())).collect();
+            let mut collector_cfg =
+                CollectorConfig::builder(SegmentParams::new(2, 32).unwrap()).pull_rate(30.0);
+            if coordinate {
+                collector_cfg = collector_cfg.announce_interval(0.25);
+            }
+            let collectors = [
+                net.add_collector(collector_cfg.clone().build().unwrap()),
+                net.add_collector(collector_cfg.build().unwrap()),
+            ];
+            for (i, &p) in peers.iter().enumerate() {
+                net.record(p, format!("dup {i}").as_bytes()).unwrap();
+                net.flush(p);
+            }
+            net.run_for(12.0, 0.02);
+            let mut all = Vec::new();
+            let mut decoded = 0;
+            let mut abandoned = 0;
+            for &c in &collectors {
+                let stats = net.collector_mut(c).stats();
+                decoded += stats.segments_decoded;
+                abandoned += stats.abandoned_segments;
+                all.extend(net.collector_mut(c).take_records());
+            }
+            all.sort();
+            all.dedup();
+            (all.len(), decoded, abandoned)
+        };
+        let (rec_dup, decoded_dup, abandoned_dup) = run(false);
+        let (rec_coord, decoded_coord, abandoned_coord) = run(true);
+        // Coverage is preserved either way.
+        assert_eq!(rec_dup, 10);
+        assert_eq!(rec_coord, 10);
+        assert_eq!(abandoned_dup, 0);
+        // With coordination, segments are decoded (close to) once in
+        // total instead of once per collector, and abandonments happen.
+        assert!(abandoned_coord > 0, "announcements must cause abandonment");
+        assert!(
+            decoded_coord < decoded_dup,
+            "coordination should reduce duplicate decodes: {decoded_coord} vs {decoded_dup}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut net = MemoryNetwork::new(99);
+            let peers: Vec<Addr> = (0..5).map(|_| net.add_peer(node_config())).collect();
+            let collector = net.add_collector(collector_config());
+            for &p in &peers {
+                net.record(p, b"deterministic").unwrap();
+                net.flush(p);
+            }
+            net.run_for(5.0, 0.05);
+            (
+                net.messages_delivered(),
+                net.collector_mut(collector).stats().blocks_received,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "no such peer")]
+    fn unknown_peer_access_panics() {
+        let (mut net, _, collector) = small_net();
+        let _ = net.peer_mut(collector);
+    }
+}

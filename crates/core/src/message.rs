@@ -1,0 +1,104 @@
+//! Protocol messages and addressing.
+
+use core::fmt;
+
+use gossamer_rlnc::{CodedBlock, SegmentId};
+
+/// Opaque node address. A transport maps addresses to real endpoints
+/// (the memory harness uses them as table indices; the TCP transport
+/// maps them to sockets). Peer addresses double as the `origin` field of
+/// the segment ids they inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u32);
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The protocol's message vocabulary. A transport's only job is to move
+/// these between addresses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Peer → peer: a freshly recoded block, pushed by the gossip
+    /// protocol.
+    Gossip(CodedBlock),
+    /// Peer → peer: receipt for a gossip push, reporting the receiver's
+    /// rank for that segment so the sender can stop pushing what is no
+    /// longer needed.
+    GossipAck {
+        /// Which segment the receipt is about.
+        segment: SegmentId,
+        /// The receiver's rank for the segment after processing.
+        rank: u8,
+        /// Whether the block was stored (false: buffer full or malformed).
+        accepted: bool,
+    },
+    /// Collector → peer: "send me one coded block of a random buffered
+    /// segment" (the paper's blind coupon-collector pull).
+    PullRequest,
+    /// Peer → collector: the pulled block, or `None` if the buffer was
+    /// empty.
+    PullResponse(Option<CodedBlock>),
+    /// Collector → collector: segments this collector has fully decoded
+    /// since its last announcement. Sibling collectors abandon those
+    /// segments instead of duplicating the decode work.
+    DecodedAnnounce {
+        /// Newly decoded segment ids.
+        segments: Vec<SegmentId>,
+    },
+}
+
+impl Message {
+    /// Short tag for logging/metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Gossip(_) => "gossip",
+            Message::GossipAck { .. } => "gossip-ack",
+            Message::PullRequest => "pull-request",
+            Message::PullResponse(_) => "pull-response",
+            Message::DecodedAnnounce { .. } => "decoded-announce",
+        }
+    }
+}
+
+/// A message queued for sending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outbound {
+    /// Destination address.
+    pub to: Addr,
+    /// Payload.
+    pub message: Message,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_display() {
+        assert_eq!(Addr(7).to_string(), "#7");
+    }
+
+    #[test]
+    fn message_kinds() {
+        let block = CodedBlock::new(SegmentId::new(1), vec![1], vec![2]).unwrap();
+        assert_eq!(Message::Gossip(block.clone()).kind(), "gossip");
+        assert_eq!(
+            Message::GossipAck {
+                segment: SegmentId::new(1),
+                rank: 0,
+                accepted: false
+            }
+            .kind(),
+            "gossip-ack"
+        );
+        assert_eq!(Message::PullRequest.kind(), "pull-request");
+        assert_eq!(Message::PullResponse(Some(block)).kind(), "pull-response");
+        assert_eq!(
+            Message::DecodedAnnounce { segments: vec![] }.kind(),
+            "decoded-announce"
+        );
+    }
+}

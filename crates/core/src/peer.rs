@@ -1,0 +1,692 @@
+//! The peer state machine.
+
+use std::collections::BTreeMap;
+
+use gossamer_rlnc::{SegmentId, Segmenter, SourceSegment};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::buffer::{BufferStats, PeerBuffer};
+use crate::config::NodeConfig;
+use crate::message::{Addr, Message, Outbound};
+use crate::ProtocolError;
+
+/// Counters describing a peer's life.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerStats {
+    /// Buffer counters.
+    pub buffer: BufferStats,
+    /// Records ingested through [`PeerNode::record`].
+    pub records_ingested: u64,
+    /// Segments injected into the buffer (own data).
+    pub segments_injected: u64,
+    /// Own segments dropped because the buffer could not hold them.
+    pub blocked_injections: u64,
+    /// Gossip blocks sent.
+    pub gossip_sent: u64,
+    /// Gossip blocks received.
+    pub gossip_received: u64,
+    /// Pull requests served.
+    pub pulls_served: u64,
+    /// Messages received that a peer does not handle.
+    pub unexpected_messages: u64,
+}
+
+/// A protocol peer, transport-agnostic.
+///
+/// Drive it by calling [`PeerNode::tick`] frequently (its internal
+/// Poisson timers fire between calls and are processed in order) and
+/// [`PeerNode::handle`] for every incoming message; both return the
+/// messages to transmit. See the crate-level example.
+#[derive(Debug)]
+pub struct PeerNode {
+    addr: Addr,
+    config: NodeConfig,
+    rng: StdRng,
+    segmenter: Segmenter,
+    buffer: PeerBuffer,
+    neighbours: Vec<Addr>,
+    /// What we know about each neighbour's rank per segment, from acks.
+    /// Keyed by segment first so entries die with the segment.
+    view: BTreeMap<SegmentId, BTreeMap<Addr, u8>>,
+    /// Own fresh segments still owed priority pushes (source priming);
+    /// the value is the number of pushes remaining.
+    priming: BTreeMap<SegmentId, u32>,
+    next_gossip_at: Option<f64>,
+    next_expiry_at: Option<f64>,
+    stats: PeerStats,
+}
+
+impl PeerNode {
+    /// Creates a peer. `addr` doubles as the origin id of every segment
+    /// this peer injects; `seed` makes the peer's randomness (gossip
+    /// timing, coding coefficients, target choice) reproducible.
+    pub fn new(addr: Addr, config: NodeConfig, seed: u64) -> Self {
+        let segmenter = Segmenter::new(addr.0, config.params);
+        let buffer = PeerBuffer::new(config.params, config.buffer_cap);
+        PeerNode {
+            addr,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            segmenter,
+            buffer,
+            neighbours: Vec::new(),
+            view: BTreeMap::new(),
+            priming: BTreeMap::new(),
+            next_gossip_at: None,
+            next_expiry_at: None,
+            stats: PeerStats::default(),
+        }
+    }
+
+    /// This peer's address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Replaces the neighbour set used for gossip targeting.
+    pub fn set_neighbours(&mut self, neighbours: Vec<Addr>) {
+        self.neighbours = neighbours;
+        self.neighbours.retain(|&a| a != self.addr);
+    }
+
+    /// Current neighbour set.
+    pub fn neighbours(&self) -> &[Addr] {
+        &self.neighbours
+    }
+
+    /// Counters, including buffer state.
+    pub fn stats(&self) -> PeerStats {
+        PeerStats {
+            buffer: self.buffer.stats(),
+            ..self.stats
+        }
+    }
+
+    /// Read-only access to the block buffer.
+    pub fn buffer(&self) -> &PeerBuffer {
+        &self.buffer
+    }
+
+    /// Ingests one log record at time `now`. Completed segments are
+    /// coded and stored immediately; partial data waits in the segmenter
+    /// (see [`PeerNode::flush`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::RecordTooLarge`] if the record cannot
+    /// fit one segment; the peer state is unchanged in that case.
+    pub fn record(&mut self, record: &[u8], now: f64) -> Result<(), ProtocolError> {
+        let segments = self.segmenter.push(record)?;
+        self.stats.records_ingested += 1;
+        for segment in segments {
+            self.inject(segment, now);
+        }
+        Ok(())
+    }
+
+    /// Pads and stores any partially filled segment, making buffered
+    /// records immediately collectable.
+    pub fn flush(&mut self, now: f64) {
+        if let Some(segment) = self.segmenter.flush() {
+            self.inject(segment, now);
+        }
+    }
+
+    fn inject(&mut self, segment: SourceSegment, now: f64) {
+        // Anchor the gossip clock no later than the first injection, so
+        // the expiry shield for priming segments (whose clock starts
+        // here) can always be lifted by upcoming gossip slots,
+        // regardless of how coarsely the caller ticks.
+        if self.next_gossip_at.is_none() {
+            self.next_gossip_at =
+                Some(now + exp_sample(&mut self.rng, self.config.gossip_rate));
+        }
+        let s = self.config.params.segment_size();
+        if self.buffer.free_slots() < s {
+            // The paper's model: peers with degree > B - s do not inject.
+            self.stats.blocked_injections += 1;
+            return;
+        }
+        for i in 0..s {
+            let stored = self
+                .buffer
+                .offer(segment.emit_systematic(i))
+                .expect("systematic blocks match deployment parameters");
+            debug_assert!(
+                stored,
+                "systematic blocks of a fresh segment are innovative"
+            );
+        }
+        self.stats.segments_injected += 1;
+        if self.config.source_priming > 0.0 {
+            let pushes = (self.config.source_priming * s as f64).ceil() as u32;
+            self.priming.insert(segment.id(), pushes);
+        }
+        self.reschedule_expiry(now);
+    }
+
+    /// Advances the peer's internal timers to `now`, returning gossip
+    /// transmissions that became due.
+    ///
+    /// Gossip slots and block expiries are processed in *time order*, so
+    /// a single large tick behaves identically to many small ones —
+    /// important because the expiry shield for still-priming segments
+    /// (see below) must not outlast the gossip slots that retire the
+    /// priming.
+    pub fn tick(&mut self, now: f64) -> Vec<Outbound> {
+        let mut out = Vec::new();
+        // Initialise the gossip clock lazily so peers created late join
+        // the schedule relative to their own start.
+        if self.next_gossip_at.is_none() {
+            self.next_gossip_at =
+                Some(now + exp_sample(&mut self.rng, self.config.gossip_rate));
+        }
+        loop {
+            let gossip_at = self.next_gossip_at.expect("initialised above");
+            let expiry_due = match self.next_expiry_at {
+                Some(e) if e < gossip_at => Some(e),
+                _ => None,
+            };
+            match expiry_due {
+                Some(at) if at <= now => {
+                    self.run_one_expiry(at);
+                }
+                None if gossip_at <= now => {
+                    if let Some(msg) = self.try_gossip() {
+                        out.push(msg);
+                    }
+                    self.next_gossip_at = Some(
+                        gossip_at + exp_sample(&mut self.rng, self.config.gossip_rate),
+                    );
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Processes one incoming message, returning any replies.
+    pub fn handle(&mut self, from: Addr, message: Message, now: f64) -> Vec<Outbound> {
+        match message {
+            Message::Gossip(block) => {
+                self.stats.gossip_received += 1;
+                let segment = block.segment();
+                let accepted = self.buffer.offer(block).unwrap_or(false);
+                if accepted {
+                    self.reschedule_expiry(now);
+                }
+                let rank = self.buffer.rank_of(segment).min(255) as u8;
+                vec![Outbound {
+                    to: from,
+                    message: Message::GossipAck {
+                        segment,
+                        rank,
+                        accepted,
+                    },
+                }]
+            }
+            Message::GossipAck { segment, rank, .. } => {
+                // Only track segments we still buffer; acks for segments
+                // we dropped are useless and would leak memory.
+                if self.buffer.rank_of(segment) > 0 {
+                    self.view.entry(segment).or_default().insert(from, rank);
+                }
+                Vec::new()
+            }
+            Message::PullRequest => {
+                self.stats.pulls_served += 1;
+                let block = self
+                    .buffer
+                    .random_segment(&mut self.rng)
+                    .and_then(|seg| self.buffer.recode(seg, &mut self.rng));
+                vec![Outbound {
+                    to: from,
+                    message: Message::PullResponse(block),
+                }]
+            }
+            Message::PullResponse(_) | Message::DecodedAnnounce { .. } => {
+                self.stats.unexpected_messages += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// One gossip slot: choose a segment — a still-priming own segment
+    /// if any, else uniformly among everything buffered (the paper's
+    /// rule) — then a target uniformly among neighbours not known to
+    /// have full rank for it.
+    fn try_gossip(&mut self) -> Option<Outbound> {
+        // Source priming: push fresh own segments first so at least
+        // ~factor·s independent combinations escape before TTL expiry.
+        while let Some((&segment, _)) = self.priming.first_key_value() {
+            if self.buffer.rank_of(segment) == 0 {
+                // Expired before priming finished; nothing left to push.
+                self.priming.remove(&segment);
+                continue;
+            }
+            match self.gossip_segment(segment) {
+                Some(out) => {
+                    let remaining = self.priming.get_mut(&segment).expect("present");
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        self.priming.remove(&segment);
+                    }
+                    return Some(out);
+                }
+                None => {
+                    // No neighbour needs it: the segment has saturated,
+                    // priming is done.
+                    self.priming.remove(&segment);
+                }
+            }
+        }
+        let segment = self.buffer.random_segment(&mut self.rng)?;
+        self.gossip_segment(segment)
+    }
+
+    /// Emits one recoded block of `segment` to an eligible neighbour, if
+    /// any neighbour still needs it.
+    fn gossip_segment(&mut self, segment: SegmentId) -> Option<Outbound> {
+        let s = self.config.params.segment_size() as u8;
+        let known = self.view.get(&segment);
+        let eligible: Vec<Addr> = self
+            .neighbours
+            .iter()
+            .copied()
+            .filter(|a| known.and_then(|m| m.get(a)).copied().unwrap_or(0) < s)
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let to = eligible[self.rng.random_range(0..eligible.len())];
+        let block = self.buffer.recode(segment, &mut self.rng)?;
+        self.stats.gossip_sent += 1;
+        Some(Outbound {
+            to,
+            message: Message::Gossip(block),
+        })
+    }
+
+    // ---- TTL expiry -----------------------------------------------------
+
+    fn run_one_expiry(&mut self, at: f64) {
+        // Fresh own segments still being primed are expiry-exempt:
+        // rotating a log away before it has replicated is exactly the
+        // span-collapse failure priming exists to prevent. (The shield
+        // cannot outlast gossip: priming entries retire at gossip slots,
+        // which `tick` interleaves in time order.)
+        let shielded: std::collections::BTreeSet<SegmentId> =
+            self.priming.keys().copied().collect();
+        if let Some(segment) = self.buffer.expire_one_excluding(&mut self.rng, &shielded)
+        {
+            if self.buffer.rank_of(segment) == 0 {
+                self.view.remove(&segment);
+            }
+        }
+        self.reschedule_expiry(at);
+    }
+
+    /// Resamples the time of the next block expiry. Valid at any moment
+    /// because exponential TTLs are memoryless: the aggregate hazard is
+    /// simply `blocks · γ`.
+    fn reschedule_expiry(&mut self, now: f64) {
+        if self.config.expiry_rate <= 0.0 || self.buffer.is_empty() {
+            self.next_expiry_at = None;
+        } else {
+            let rate = self.buffer.blocks() as f64 * self.config.expiry_rate;
+            self.next_expiry_at = Some(now + exp_sample(&mut self.rng, rate));
+        }
+    }
+}
+
+pub(crate) fn exp_sample<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossamer_rlnc::SegmentParams;
+
+    fn config() -> NodeConfig {
+        NodeConfig::builder(SegmentParams::new(2, 16).unwrap())
+            .gossip_rate(5.0)
+            .expiry_rate(0.0)
+            .buffer_cap(64)
+            .build()
+            .unwrap()
+    }
+
+    fn peer(id: u32) -> PeerNode {
+        PeerNode::new(Addr(id), config(), id as u64 + 100)
+    }
+
+    #[test]
+    fn record_injects_completed_segments() {
+        let mut p = peer(1);
+        // Segment payload = 2 * 16 = 32 bytes; a 27-byte record fills one
+        // (framed 32 bytes).
+        p.record(&[7u8; 27], 0.0).unwrap();
+        assert_eq!(p.stats().segments_injected, 1);
+        assert_eq!(p.buffer().blocks(), 2);
+        // A short record waits in the segmenter until flushed.
+        p.record(b"tail", 0.0).unwrap();
+        assert_eq!(p.stats().segments_injected, 1);
+        p.flush(0.0);
+        assert_eq!(p.stats().segments_injected, 2);
+    }
+
+    #[test]
+    fn oversized_record_is_rejected() {
+        let mut p = peer(1);
+        assert!(matches!(
+            p.record(&[0u8; 100], 0.0),
+            Err(ProtocolError::RecordTooLarge(_))
+        ));
+        assert_eq!(p.stats().records_ingested, 0);
+    }
+
+    #[test]
+    fn gossip_fires_at_configured_rate() {
+        let mut p = peer(1);
+        p.set_neighbours(vec![Addr(2), Addr(3)]);
+        p.record(&[1u8; 27], 0.0).unwrap();
+        let mut sent = 0;
+        let mut t = 0.0;
+        while t < 20.0 {
+            t += 0.01;
+            sent += p.tick(t).len();
+        }
+        // Expected ~ rate * time = 100 transmissions.
+        assert!(
+            (60..140).contains(&sent),
+            "sent {sent} gossip messages in 20s at rate 5"
+        );
+    }
+
+    #[test]
+    fn gossip_needs_neighbours_and_data() {
+        let mut p = peer(1);
+        // No data: ticks produce nothing.
+        assert!(p.tick(10.0).is_empty());
+        // Data but no neighbours: still nothing.
+        p.record(&[1u8; 27], 10.0).unwrap();
+        assert!(p.tick(20.0).is_empty());
+        // With neighbours it flows.
+        p.set_neighbours(vec![Addr(9)]);
+        let mut sent = 0;
+        let mut t = 20.0;
+        while t < 30.0 && sent == 0 {
+            t += 0.01;
+            sent += p.tick(t).len();
+        }
+        assert!(sent > 0);
+    }
+
+    #[test]
+    fn gossip_skips_neighbours_known_full() {
+        let mut p = peer(1);
+        p.set_neighbours(vec![Addr(2)]);
+        p.record(&[1u8; 27], 0.0).unwrap();
+        let segment = p.buffer().iter_ranks().next().unwrap().0;
+        // The lone neighbour acks full rank.
+        p.handle(
+            Addr(2),
+            Message::GossipAck {
+                segment,
+                rank: 2,
+                accepted: true,
+            },
+            0.0,
+        );
+        let mut t = 0.0;
+        let mut sent = 0;
+        while t < 10.0 {
+            t += 0.01;
+            sent += p.tick(t).len();
+        }
+        assert_eq!(sent, 0, "no eligible target, nothing should be sent");
+    }
+
+    #[test]
+    fn handles_gossip_and_acks_with_rank() {
+        let mut a = peer(1);
+        let mut b = peer(2);
+        a.set_neighbours(vec![Addr(2)]);
+        a.record(&[5u8; 27], 0.0).unwrap();
+        // Drive until a sends a block.
+        let mut t = 0.0;
+        let out = loop {
+            t += 0.01;
+            let out = a.tick(t);
+            if !out.is_empty() {
+                break out;
+            }
+            assert!(t < 10.0);
+        };
+        let Outbound { to, message } = out.into_iter().next().unwrap();
+        assert_eq!(to, Addr(2));
+        let replies = b.handle(Addr(1), message, t);
+        assert_eq!(replies.len(), 1);
+        let Message::GossipAck { rank, accepted, .. } = replies[0].message else {
+            panic!("expected ack");
+        };
+        assert!(accepted);
+        assert_eq!(rank, 1);
+        assert_eq!(b.stats().gossip_received, 1);
+        // Feed the ack back; a's view updates (observable: once b acks
+        // rank == s, a stops sending).
+        a.handle(Addr(2), replies[0].message.clone(), t);
+    }
+
+    #[test]
+    fn pull_request_gets_a_block_or_none() {
+        let mut p = peer(1);
+        let replies = p.handle(Addr(50), Message::PullRequest, 0.0);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].to, Addr(50));
+        assert!(matches!(replies[0].message, Message::PullResponse(None)));
+
+        p.record(&[3u8; 27], 0.0).unwrap();
+        let replies = p.handle(Addr(50), Message::PullRequest, 0.0);
+        let Message::PullResponse(Some(ref block)) = replies[0].message else {
+            panic!("expected a block");
+        };
+        assert_eq!(block.segment().origin(), 1);
+        assert_eq!(p.stats().pulls_served, 2);
+    }
+
+    #[test]
+    fn expiry_drains_the_buffer() {
+        let cfg = NodeConfig::builder(SegmentParams::new(2, 16).unwrap())
+            .gossip_rate(1.0)
+            .expiry_rate(2.0)
+            .buffer_cap(64)
+            .build()
+            .unwrap();
+        let mut p = PeerNode::new(Addr(1), cfg, 7);
+        p.record(&[1u8; 27], 0.0).unwrap();
+        assert_eq!(p.buffer().blocks(), 2);
+        // Mean block lifetime 0.5s; by t = 20 everything is gone whp.
+        p.tick(20.0);
+        assert_eq!(p.buffer().blocks(), 0);
+        assert_eq!(p.stats().buffer.expired, 2);
+    }
+
+    #[test]
+    fn source_priming_pushes_fresh_segments_first() {
+        // Two segments injected; with priming on, the first ~2s·2 = 4
+        // gossip slots must all carry *own* fresh segments rather than a
+        // uniform choice that could starve one of them.
+        let cfg = NodeConfig::builder(SegmentParams::new(2, 16).unwrap())
+            .gossip_rate(5.0)
+            .expiry_rate(0.0)
+            .source_priming(2.0)
+            .build()
+            .unwrap();
+        let mut p = PeerNode::new(Addr(1), cfg, 3);
+        p.set_neighbours(vec![Addr(2), Addr(3), Addr(4)]);
+        p.record(&[1u8; 27], 0.0).unwrap();
+        p.record(&[2u8; 27], 0.0).unwrap();
+        let mut sent_segments = Vec::new();
+        let mut t = 0.0;
+        while sent_segments.len() < 8 && t < 30.0 {
+            t += 0.01;
+            for out in p.tick(t) {
+                if let Message::Gossip(block) = out.message {
+                    sent_segments.push(block.segment());
+                }
+            }
+        }
+        // The first eight sends cover both fresh segments with exactly
+        // four pushes each (priming factor 2 · s = 4), in id order.
+        assert_eq!(sent_segments.len(), 8);
+        let seg0 = sent_segments[0];
+        assert_eq!(sent_segments.iter().filter(|&&s| s == seg0).count(), 4);
+    }
+
+    #[test]
+    fn priming_zero_restores_paper_behaviour() {
+        let cfg = NodeConfig::builder(SegmentParams::new(2, 16).unwrap())
+            .gossip_rate(5.0)
+            .expiry_rate(0.0)
+            .source_priming(0.0)
+            .build()
+            .unwrap();
+        let mut p = PeerNode::new(Addr(1), cfg, 3);
+        p.set_neighbours(vec![Addr(2)]);
+        p.record(&[1u8; 27], 0.0).unwrap();
+        // Just confirm gossip still flows without the priming path.
+        let mut sent = 0;
+        let mut t = 0.0;
+        while t < 5.0 {
+            t += 0.01;
+            sent += p.tick(t).len();
+        }
+        assert!(sent > 0);
+    }
+
+    #[test]
+    fn acks_for_unbuffered_segments_do_not_leak_view_state() {
+        let mut p = peer(1);
+        p.set_neighbours(vec![Addr(2)]);
+        // Ack for a segment we never buffered: must be ignored (no view
+        // growth), observable via gossip still being unconstrained once
+        // data arrives under a *different* segment id.
+        let ghost = gossamer_rlnc::SegmentId::compose(99, 0);
+        p.handle(
+            Addr(2),
+            Message::GossipAck {
+                segment: ghost,
+                rank: 2,
+                accepted: true,
+            },
+            0.0,
+        );
+        p.record(&[1u8; 27], 0.0).unwrap();
+        let mut sent = 0;
+        let mut t = 0.0;
+        while t < 5.0 {
+            t += 0.01;
+            sent += p.tick(t).len();
+        }
+        assert!(sent > 0, "ghost ack must not suppress real gossip");
+    }
+
+    #[test]
+    fn view_entries_die_with_the_segment() {
+        // With fast expiry, a fully expired segment takes its neighbour
+        // view along; the peer then behaves as if it never existed.
+        let cfg = NodeConfig::builder(SegmentParams::new(2, 16).unwrap())
+            .gossip_rate(0.5)
+            .expiry_rate(5.0)
+            .buffer_cap(64)
+            .build()
+            .unwrap();
+        let mut p = PeerNode::new(Addr(1), cfg, 13);
+        p.set_neighbours(vec![Addr(2)]);
+        p.record(&[3u8; 27], 0.0).unwrap();
+        let segment = p.buffer().iter_ranks().next().unwrap().0;
+        p.handle(
+            Addr(2),
+            Message::GossipAck {
+                segment,
+                rank: 1,
+                accepted: true,
+            },
+            0.0,
+        );
+        // Mean block lifetime 0.2 s: by t = 10 the segment is gone.
+        p.tick(10.0);
+        assert_eq!(p.buffer().blocks(), 0);
+        // Re-learning the same segment id later starts from a clean view:
+        // the old rank-1 entry must not block gossip to Addr(2) if the
+        // segment somehow reappears (e.g. received from elsewhere).
+        let params = SegmentParams::new(2, 16).unwrap();
+        let blocks: Vec<Vec<u8>> = vec![vec![7u8; 16], vec![8u8; 16]];
+        let src = gossamer_rlnc::SourceSegment::new(segment, params, blocks).unwrap();
+        p.handle(Addr(3), Message::Gossip(src.emit_systematic(0)), 10.0);
+        assert_eq!(p.buffer().rank_of(segment), 1);
+    }
+
+    #[test]
+    fn priming_shields_fresh_segments_from_expiry() {
+        // Aggressive TTL, slow gossip: without the shield the origin's
+        // blocks would almost surely die before ~2s coded copies escape;
+        // with it, every priming push happens before any own-block
+        // expiry.
+        let cfg = NodeConfig::builder(SegmentParams::new(2, 16).unwrap())
+            .gossip_rate(1.0)
+            .expiry_rate(10.0) // mean block life 0.1 s
+            .buffer_cap(64)
+            .source_priming(2.0)
+            .build()
+            .unwrap();
+        let mut p = PeerNode::new(Addr(1), cfg, 5);
+        p.set_neighbours(vec![Addr(2), Addr(3), Addr(4)]);
+        p.record(&[9u8; 27], 0.0).unwrap();
+        let mut pushes = 0;
+        let mut t = 0.0;
+        while pushes < 4 && t < 30.0 {
+            t += 0.05;
+            for out in p.tick(t) {
+                if matches!(out.message, Message::Gossip(_)) {
+                    pushes += 1;
+                    // While priming is owed, the origin still holds its
+                    // full-rank copy: the shield held.
+                    let (seg, rank) = p.buffer().iter_ranks().next().expect("held");
+                    assert_eq!(rank, 2, "segment {seg} lost rank during priming");
+                }
+            }
+        }
+        assert_eq!(pushes, 4, "priming must complete");
+        // After priming retires, expiry drains the blocks as usual.
+        p.tick(t + 5.0);
+        assert_eq!(p.buffer().blocks(), 0, "shield must not outlive priming");
+    }
+
+    #[test]
+    fn unexpected_messages_are_counted() {
+        let mut p = peer(1);
+        p.handle(Addr(2), Message::PullResponse(None), 0.0);
+        assert_eq!(p.stats().unexpected_messages, 1);
+    }
+
+    #[test]
+    fn blocked_injection_when_buffer_full() {
+        let cfg = NodeConfig::builder(SegmentParams::new(2, 16).unwrap())
+            .gossip_rate(1.0)
+            .expiry_rate(0.0)
+            .buffer_cap(2)
+            .build()
+            .unwrap();
+        let mut p = PeerNode::new(Addr(1), cfg, 7);
+        p.record(&[1u8; 27], 0.0).unwrap();
+        p.record(&[2u8; 27], 0.0).unwrap();
+        assert_eq!(p.stats().segments_injected, 1);
+        assert_eq!(p.stats().blocked_injections, 1);
+    }
+}

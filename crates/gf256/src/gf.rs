@@ -1,0 +1,454 @@
+//! The scalar field element type [`Gf256`].
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use rand::distr::{Distribution, StandardUniform};
+use rand::{Rng, RngExt};
+
+use crate::tables::{EXP, LOG};
+
+/// An element of the Galois field GF(2⁸).
+///
+/// The representation is the canonical byte; addition is XOR and
+/// multiplication is polynomial multiplication modulo `0x11D`. All four
+/// arithmetic operators are implemented, along with their `Assign`
+/// variants, on both values and references.
+///
+/// Because the field has characteristic 2, subtraction equals addition and
+/// every element is its own additive inverse.
+///
+/// # Examples
+///
+/// ```
+/// use gossamer_gf256::Gf256;
+///
+/// let a = Gf256::new(17);
+/// assert_eq!(a - a, Gf256::ZERO);
+/// assert_eq!(a * Gf256::ONE, a);
+/// assert_eq!(a * a.inv().unwrap(), Gf256::ONE);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gf256(u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The canonical generator `α = 2` of the multiplicative group.
+    pub const GENERATOR: Gf256 = Gf256(2);
+
+    /// Wraps a byte as a field element.
+    #[inline]
+    pub const fn new(value: u8) -> Self {
+        Gf256(value)
+    }
+
+    /// Returns the canonical byte representation.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if this is the additive identity.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `α^k` (the `k`-th power of the generator).
+    ///
+    /// `k` is reduced modulo 255, the order of the multiplicative group.
+    #[inline]
+    pub fn alpha_pow(k: usize) -> Self {
+        Gf256(EXP[k % 255])
+    }
+
+    /// Returns the discrete logarithm base `α`, or `None` for zero.
+    #[inline]
+    pub fn log(self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(LOG[self.0 as usize])
+        }
+    }
+
+    /// Returns the multiplicative inverse, or `None` for zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gossamer_gf256::Gf256;
+    /// assert_eq!(Gf256::ZERO.inv(), None);
+    /// let x = Gf256::new(0xC3);
+    /// assert_eq!((x * x.inv().unwrap()), Gf256::ONE);
+    /// ```
+    #[inline]
+    pub fn inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Gf256(EXP[255 - LOG[self.0 as usize] as usize]))
+        }
+    }
+
+    /// Raises this element to the power `exp`.
+    ///
+    /// `Gf256::ZERO.pow(0)` is defined as `ONE`, following the usual
+    /// empty-product convention.
+    pub fn pow(self, exp: u32) -> Self {
+        if exp == 0 {
+            return Gf256::ONE;
+        }
+        if self.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let log = LOG[self.0 as usize] as u64;
+        let e = (log * exp as u64) % 255;
+        Gf256(EXP[e as usize])
+    }
+
+    /// Samples a uniformly random element (possibly zero).
+    #[inline]
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Gf256(rng.random())
+    }
+
+    /// Samples a uniformly random **non-zero** element.
+    ///
+    /// RLNC coding coefficients drawn non-zero guarantee that a freshly
+    /// recoded block involves every buffered block.
+    #[inline]
+    pub fn random_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Gf256(rng.random_range(1..=255u8))
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256(0x{:02x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl From<u8> for Gf256 {
+    #[inline]
+    fn from(value: u8) -> Self {
+        Gf256(value)
+    }
+}
+
+impl From<Gf256> for u8 {
+    #[inline]
+    fn from(value: Gf256) -> Self {
+        value.0
+    }
+}
+
+impl Distribution<Gf256> for StandardUniform {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Gf256 {
+        Gf256(rng.random())
+    }
+}
+
+#[inline]
+pub(crate) fn mul_bytes(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+// Addition in a characteristic-2 field IS XOR.
+#[allow(clippy::suspicious_arithmetic_impl)]
+impl Add for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)]
+impl Sub for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        // Characteristic 2: subtraction coincides with addition.
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        Gf256(mul_bytes(self.0, rhs.0))
+    }
+}
+
+// Division is multiplication by the inverse.
+#[allow(clippy::suspicious_arithmetic_impl)]
+impl Div for Gf256 {
+    type Output = Gf256;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero. Use [`Gf256::inv`] for a fallible variant.
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        let inv = rhs.inv().expect("division by zero in GF(2^8)");
+        self * inv
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn neg(self) -> Gf256 {
+        // Every element is its own additive inverse.
+        self
+    }
+}
+
+#[allow(clippy::suspicious_op_assign_impl)]
+impl AddAssign for Gf256 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+#[allow(clippy::suspicious_op_assign_impl)]
+impl SubAssign for Gf256 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Gf256 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Gf256) {
+        *self = *self / rhs;
+    }
+}
+
+macro_rules! forward_ref_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<&Gf256> for Gf256 {
+            type Output = Gf256;
+            #[inline]
+            fn $method(self, rhs: &Gf256) -> Gf256 {
+                $trait::$method(self, *rhs)
+            }
+        }
+        impl $trait<Gf256> for &Gf256 {
+            type Output = Gf256;
+            #[inline]
+            fn $method(self, rhs: Gf256) -> Gf256 {
+                $trait::$method(*self, rhs)
+            }
+        }
+        impl $trait<&Gf256> for &Gf256 {
+            type Output = Gf256;
+            #[inline]
+            fn $method(self, rhs: &Gf256) -> Gf256 {
+                $trait::$method(*self, *rhs)
+            }
+        }
+    };
+}
+
+forward_ref_binop!(Add, add);
+forward_ref_binop!(Sub, sub);
+forward_ref_binop!(Mul, mul);
+forward_ref_binop!(Div, div);
+
+impl Sum for Gf256 {
+    fn sum<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Gf256> for Gf256 {
+    fn sum<I: Iterator<Item = &'a Gf256>>(iter: I) -> Gf256 {
+        iter.copied().sum()
+    }
+}
+
+impl Product for Gf256 {
+    fn product<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ONE, Mul::mul)
+    }
+}
+
+impl<'a> Product<&'a Gf256> for Gf256 {
+    fn product<I: Iterator<Item = &'a Gf256>>(iter: I) -> Gf256 {
+        iter.copied().product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identities() {
+        for v in 0..=255u8 {
+            let x = Gf256::new(v);
+            assert_eq!(x + Gf256::ZERO, x);
+            assert_eq!(x * Gf256::ONE, x);
+            assert_eq!(x * Gf256::ZERO, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        let a = Gf256::new(0b1010_1010);
+        let b = Gf256::new(0b0101_0101);
+        assert_eq!((a + b).value(), 0xFF);
+        assert_eq!(a + a, Gf256::ZERO);
+        assert_eq!(-a, a);
+    }
+
+    #[test]
+    fn every_nonzero_element_has_an_inverse() {
+        for v in 1..=255u8 {
+            let x = Gf256::new(v);
+            let inv = x.inv().expect("non-zero must invert");
+            assert_eq!(x * inv, Gf256::ONE, "v={v}");
+        }
+        assert_eq!(Gf256::ZERO.inv(), None);
+    }
+
+    #[test]
+    fn division_round_trips_multiplication() {
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                let (a, b) = (Gf256::new(a), Gf256::new(b));
+                assert_eq!((a * b) / b, a);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf256::ONE / Gf256::ZERO;
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let x = Gf256::new(0x53);
+        let mut acc = Gf256::ONE;
+        for e in 0..600u32 {
+            assert_eq!(x.pow(e), acc, "exponent {e}");
+            acc *= x;
+        }
+    }
+
+    #[test]
+    fn pow_zero_conventions() {
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(7), Gf256::ZERO);
+        assert_eq!(Gf256::new(9).pow(0), Gf256::ONE);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut x = Gf256::ONE;
+        for k in 1..255 {
+            x *= Gf256::GENERATOR;
+            assert_ne!(x, Gf256::ONE, "order divides {k}");
+        }
+        x *= Gf256::GENERATOR;
+        assert_eq!(x, Gf256::ONE);
+    }
+
+    #[test]
+    fn alpha_pow_wraps_modulo_255() {
+        assert_eq!(Gf256::alpha_pow(0), Gf256::ONE);
+        assert_eq!(Gf256::alpha_pow(255), Gf256::ONE);
+        assert_eq!(Gf256::alpha_pow(256), Gf256::GENERATOR);
+    }
+
+    #[test]
+    fn log_is_inverse_of_alpha_pow() {
+        for k in 0..255usize {
+            assert_eq!(Gf256::alpha_pow(k).log(), Some(k as u8));
+        }
+        assert_eq!(Gf256::ZERO.log(), None);
+    }
+
+    #[test]
+    fn sum_and_product_impls() {
+        let xs = [Gf256::new(1), Gf256::new(2), Gf256::new(3)];
+        let s: Gf256 = xs.iter().sum();
+        assert_eq!(s, Gf256::new(1 ^ 2 ^ 3));
+        let p: Gf256 = xs.iter().product();
+        assert_eq!(p, Gf256::new(1) * Gf256::new(2) * Gf256::new(3));
+    }
+
+    #[test]
+    fn random_nonzero_never_returns_zero() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(!Gf256::random_nonzero(&mut rng).is_zero());
+        }
+    }
+
+    #[test]
+    fn conversions_and_formatting() {
+        let x: Gf256 = 0xABu8.into();
+        let back: u8 = x.into();
+        assert_eq!(back, 0xAB);
+        assert_eq!(format!("{x}"), "ab");
+        assert_eq!(format!("{x:?}"), "Gf256(0xab)");
+        assert_eq!(format!("{x:X}"), "AB");
+        assert_eq!(format!("{x:b}"), "10101011");
+    }
+}

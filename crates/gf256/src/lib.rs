@@ -1,0 +1,49 @@
+//! Arithmetic over the Galois field GF(2⁸).
+//!
+//! This crate is the finite-field substrate for gossamer's random linear
+//! network coding (RLNC). The paper performs all coding operations "in the
+//! Galois field GF(2⁸)" (Niu & Li, ICDCS 2008, Sec. 2); this crate provides:
+//!
+//! * [`Gf256`] — a scalar field element with full operator support,
+//! * [`mod@slice`] — bulk kernels over `&[u8]` buffers (`add`, `scale`,
+//!   `axpy`), the hot path of block encoding and decoding,
+//! * [`Matrix`] — dense matrices over GF(2⁸) with Gaussian elimination,
+//!   rank, inversion and linear solving, used by the RLNC decoder,
+//! * [`Poly`] — polynomials over GF(2⁸) (evaluation and Lagrange
+//!   interpolation), used for structured test vectors,
+//! * [`Gf65536`] — the wide field GF(2¹⁶), the upgrade path for
+//!   deployments that outgrow byte symbols.
+//!
+//! The field is realised as GF(2)\[x\]/(x⁸ + x⁴ + x³ + x² + 1), i.e. the
+//! primitive polynomial `0x11D` with generator `α = 2` — the standard
+//! choice in erasure-coding and network-coding implementations.
+//! Multiplication and inversion go through compile-time–generated
+//! logarithm/antilogarithm tables, so every scalar operation is O(1) with
+//! no data-dependent branches.
+//!
+//! # Examples
+//!
+//! ```
+//! use gossamer_gf256::Gf256;
+//!
+//! let a = Gf256::new(0x57);
+//! let b = Gf256::new(0x83);
+//! let product = a * b;
+//! assert_eq!(product / b, a);
+//! assert_eq!(a + a, Gf256::ZERO); // characteristic 2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gf;
+mod matrix;
+mod poly;
+pub mod slice;
+mod tables;
+mod wide;
+
+pub use gf::Gf256;
+pub use matrix::{Matrix, SolveError};
+pub use poly::Poly;
+pub use wide::Gf65536;

@@ -1,0 +1,260 @@
+//! Polynomials over GF(2⁸).
+//!
+//! Used by the test suites to build structured (Reed–Solomon-like) code
+//! vectors with known rank properties, and exposed publicly because it is
+//! generally useful alongside the field type.
+
+use core::fmt;
+
+use crate::Gf256;
+
+/// A polynomial over GF(2⁸), stored as coefficients from the constant term
+/// upward (`coeffs[i]` multiplies `x^i`).
+///
+/// The zero polynomial is represented by an empty coefficient vector;
+/// construction trims trailing zeros so equality is structural.
+///
+/// # Examples
+///
+/// ```
+/// use gossamer_gf256::{Gf256, Poly};
+///
+/// // p(x) = 3 + x
+/// let p = Poly::new(vec![Gf256::new(3), Gf256::ONE]);
+/// assert_eq!(p.eval(Gf256::ZERO), Gf256::new(3));
+/// assert_eq!(p.degree(), Some(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    coeffs: Vec<Gf256>,
+}
+
+impl Poly {
+    /// Creates a polynomial from coefficients (constant term first),
+    /// trimming trailing zeros.
+    pub fn new(mut coeffs: Vec<Gf256>) -> Self {
+        while coeffs.last().is_some_and(|c| c.is_zero()) {
+            coeffs.pop();
+        }
+        Poly { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: Gf256) -> Self {
+        Poly::new(vec![c])
+    }
+
+    /// Returns the degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Returns `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Borrows the coefficients (constant term first, no trailing zeros).
+    pub fn coeffs(&self) -> &[Gf256] {
+        &self.coeffs
+    }
+
+    /// Evaluates the polynomial at `x` by Horner's rule.
+    pub fn eval(&self, x: Gf256) -> Gf256 {
+        let mut acc = Gf256::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Adds two polynomials.
+    pub fn add(&self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = vec![Gf256::ZERO; n];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let a = self.coeffs.get(i).copied().unwrap_or(Gf256::ZERO);
+            let b = rhs.coeffs.get(i).copied().unwrap_or(Gf256::ZERO);
+            *slot = a + b;
+        }
+        Poly::new(out)
+    }
+
+    /// Multiplies two polynomials (schoolbook convolution).
+    pub fn mul(&self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![Gf256::ZERO; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly::new(out)
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, c: Gf256) -> Poly {
+        Poly::new(self.coeffs.iter().map(|&a| a * c).collect())
+    }
+
+    /// Lagrange interpolation: the unique polynomial of degree `< n`
+    /// passing through the `n` given `(x, y)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two `x` values coincide.
+    pub fn interpolate(points: &[(Gf256, Gf256)]) -> Poly {
+        let mut result = Poly::zero();
+        for (i, &(xi, yi)) in points.iter().enumerate() {
+            // Basis polynomial l_i(x) = prod_{j != i} (x - x_j) / (x_i - x_j)
+            let mut basis = Poly::constant(Gf256::ONE);
+            let mut denom = Gf256::ONE;
+            for (j, &(xj, _)) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                // (x - x_j) == (x + x_j) in characteristic 2.
+                basis = basis.mul(&Poly::new(vec![xj, Gf256::ONE]));
+                let diff = xi - xj;
+                assert!(!diff.is_zero(), "duplicate interpolation point");
+                denom *= diff;
+            }
+            result = result.add(&basis.scale(yi / denom));
+        }
+        result
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "Poly(0)");
+        }
+        write!(f, "Poly(")?;
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}·x^{i}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_poly(rng: &mut StdRng, max_deg: usize) -> Poly {
+        let deg = rng.random_range(0..=max_deg);
+        Poly::new((0..=deg).map(|_| Gf256::new(rng.random())).collect())
+    }
+
+    #[test]
+    fn zero_polynomial_basics() {
+        let z = Poly::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+        assert_eq!(z.eval(Gf256::new(99)), Gf256::ZERO);
+        assert_eq!(format!("{z:?}"), "Poly(0)");
+    }
+
+    #[test]
+    fn trailing_zeros_are_trimmed() {
+        let p = Poly::new(vec![Gf256::ONE, Gf256::ZERO, Gf256::ZERO]);
+        assert_eq!(p.degree(), Some(0));
+        assert_eq!(p, Poly::constant(Gf256::ONE));
+    }
+
+    #[test]
+    fn eval_constant_and_linear() {
+        let p = Poly::new(vec![Gf256::new(5), Gf256::new(2)]); // 5 + 2x
+        assert_eq!(p.eval(Gf256::ZERO), Gf256::new(5));
+        let x = Gf256::new(3);
+        assert_eq!(p.eval(x), Gf256::new(5) + Gf256::new(2) * x);
+    }
+
+    #[test]
+    fn addition_is_commutative_and_cancels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = random_poly(&mut rng, 6);
+        let q = random_poly(&mut rng, 6);
+        assert_eq!(p.add(&q), q.add(&p));
+        assert!(p.add(&p).is_zero());
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let p = random_poly(&mut rng, 4);
+            let q = random_poly(&mut rng, 4);
+            let r = random_poly(&mut rng, 4);
+            assert_eq!(p.mul(&q.add(&r)), p.mul(&q).add(&p.mul(&r)));
+        }
+    }
+
+    #[test]
+    fn eval_is_ring_homomorphism() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let p = random_poly(&mut rng, 5);
+            let q = random_poly(&mut rng, 5);
+            let x = Gf256::new(rng.random());
+            assert_eq!(p.add(&q).eval(x), p.eval(x) + q.eval(x));
+            assert_eq!(p.mul(&q).eval(x), p.eval(x) * q.eval(x));
+        }
+    }
+
+    #[test]
+    fn mul_degree_adds() {
+        let p = Poly::new(vec![Gf256::ONE, Gf256::ONE]); // deg 1
+        let q = Poly::new(vec![Gf256::new(7), Gf256::ZERO, Gf256::new(2)]); // deg 2
+        assert_eq!(p.mul(&q).degree(), Some(3));
+    }
+
+    #[test]
+    fn interpolation_recovers_polynomial() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let p = random_poly(&mut rng, 7);
+            let points: Vec<(Gf256, Gf256)> = (0..=7u8)
+                .map(|i| {
+                    let x = Gf256::new(i + 1);
+                    (x, p.eval(x))
+                })
+                .collect();
+            let q = Poly::interpolate(&points);
+            for &(x, y) in &points {
+                assert_eq!(q.eval(x), y);
+            }
+            // Same degree bound + same evaluations at deg+1 points => equal.
+            assert_eq!(p, q);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate interpolation point")]
+    fn interpolation_rejects_duplicates() {
+        let pts = [(Gf256::ONE, Gf256::ONE), (Gf256::ONE, Gf256::new(2))];
+        let _ = Poly::interpolate(&pts);
+    }
+
+    #[test]
+    fn scale_by_zero_gives_zero() {
+        let p = Poly::new(vec![Gf256::new(3), Gf256::new(4)]);
+        assert!(p.scale(Gf256::ZERO).is_zero());
+    }
+}

@@ -1,0 +1,246 @@
+//! Bulk GF(2⁸) kernels over byte slices.
+//!
+//! Encoding and decoding RLNC blocks reduces to three primitives over the
+//! block payloads, all provided here:
+//!
+//! * [`add_assign`] — `dst[i] ^= src[i]` (field addition),
+//! * [`scale_assign`] — `dst[i] *= c`,
+//! * [`axpy`] — `dst[i] += c * src[i]`, the fused kernel that dominates
+//!   both encoding and Gaussian elimination.
+//!
+//! `add_assign` XORs eight bytes at a time through `u64` lanes;
+//! multiplication kernels specialise `c == 0` and `c == 1` and otherwise
+//! use a per-call row of the multiplication table so the inner loop is a
+//! single indexed load and XOR per byte.
+
+use crate::gf::mul_bytes;
+use crate::tables::MUL;
+use crate::Gf256;
+
+/// Adds `src` into `dst` element-wise (`dst[i] += src[i]` in GF(2⁸)).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// let mut dst = [0x0F, 0xF0];
+/// gossamer_gf256::slice::add_assign(&mut dst, &[0xFF, 0xFF]);
+/// assert_eq!(dst, [0xF0, 0x0F]);
+/// ```
+pub fn add_assign(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "add_assign requires equal-length slices"
+    );
+    let (dst_chunks, dst_tail) = dst.as_chunks_mut::<8>();
+    let (src_chunks, src_tail) = src.as_chunks::<8>();
+    for (d, s) in dst_chunks.iter_mut().zip(src_chunks) {
+        let x = u64::from_ne_bytes(*d) ^ u64::from_ne_bytes(*s);
+        *d = x.to_ne_bytes();
+    }
+    for (d, s) in dst_tail.iter_mut().zip(src_tail) {
+        *d ^= *s;
+    }
+}
+
+/// The precomputed multiplication row `t[b] = c * b` for a fixed `c`.
+#[inline]
+fn mul_row(c: u8) -> &'static [u8; 256] {
+    &MUL[c as usize]
+}
+
+/// Scales `dst` in place by the scalar `c` (`dst[i] *= c`).
+///
+/// # Examples
+///
+/// ```
+/// use gossamer_gf256::Gf256;
+/// let mut buf = [1, 2, 3];
+/// gossamer_gf256::slice::scale_assign(&mut buf, Gf256::ONE);
+/// assert_eq!(buf, [1, 2, 3]);
+/// gossamer_gf256::slice::scale_assign(&mut buf, Gf256::ZERO);
+/// assert_eq!(buf, [0, 0, 0]);
+/// ```
+pub fn scale_assign(dst: &mut [u8], c: Gf256) {
+    match c.value() {
+        0 => dst.fill(0),
+        1 => {}
+        cv => {
+            let row = mul_row(cv);
+            for d in dst {
+                *d = row[*d as usize];
+            }
+        }
+    }
+}
+
+/// Fused multiply-add: `dst[i] += c * src[i]` in GF(2⁸).
+///
+/// This is the hot kernel of RLNC: a coded block is produced by `axpy`-ing
+/// each buffered block into an accumulator with a fresh random
+/// coefficient, and Gaussian elimination applies it to both coefficient
+/// vectors and payloads.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use gossamer_gf256::Gf256;
+/// let mut acc = [0u8; 3];
+/// gossamer_gf256::slice::axpy(&mut acc, Gf256::new(2), &[1, 2, 3]);
+/// assert_eq!(acc, [2, 4, 6]);
+/// ```
+pub fn axpy(dst: &mut [u8], c: Gf256, src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "axpy requires equal-length slices");
+    match c.value() {
+        0 => {}
+        1 => add_assign(dst, src),
+        cv => {
+            let row = mul_row(cv);
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= row[*s as usize];
+            }
+        }
+    }
+}
+
+/// Returns the dot product of two GF(2⁸) vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[u8], b: &[u8]) -> Gf256 {
+    assert_eq!(a.len(), b.len(), "dot requires equal-length slices");
+    let mut acc = 0u8;
+    for (&x, &y) in a.iter().zip(b) {
+        acc ^= mul_bytes(x, y);
+    }
+    Gf256::new(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_buf(rng: &mut StdRng, len: usize) -> Vec<u8> {
+        (0..len).map(|_| rng.random()).collect()
+    }
+
+    #[test]
+    fn add_assign_matches_scalar_loop_for_all_alignments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in [0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1000] {
+            let mut dst = random_buf(&mut rng, len);
+            let src = random_buf(&mut rng, len);
+            let expected: Vec<u8> = dst.iter().zip(&src).map(|(d, s)| d ^ s).collect();
+            add_assign(&mut dst, &src);
+            assert_eq!(dst, expected, "len={len}");
+        }
+    }
+
+    #[test]
+    fn add_assign_twice_is_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut dst = random_buf(&mut rng, 129);
+        let src = random_buf(&mut rng, 129);
+        let original = dst.clone();
+        add_assign(&mut dst, &src);
+        add_assign(&mut dst, &src);
+        assert_eq!(dst, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn add_assign_length_mismatch_panics() {
+        add_assign(&mut [0u8; 3], &[0u8; 4]);
+    }
+
+    #[test]
+    fn scale_assign_special_cases() {
+        let mut buf = [5u8, 6, 7];
+        scale_assign(&mut buf, Gf256::ONE);
+        assert_eq!(buf, [5, 6, 7]);
+        scale_assign(&mut buf, Gf256::ZERO);
+        assert_eq!(buf, [0, 0, 0]);
+    }
+
+    #[test]
+    fn scale_assign_matches_scalar_multiplication() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for c in [2u8, 3, 0x53, 0xFF] {
+            let buf = random_buf(&mut rng, 100);
+            let mut scaled = buf.clone();
+            scale_assign(&mut scaled, Gf256::new(c));
+            for (i, (&orig, &got)) in buf.iter().zip(&scaled).enumerate() {
+                assert_eq!(
+                    Gf256::new(got),
+                    Gf256::new(orig) * Gf256::new(c),
+                    "i={i} c={c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scale_then_inverse_scale_round_trips() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let buf = random_buf(&mut rng, 256);
+        let c = Gf256::new(0xA7);
+        let mut work = buf.clone();
+        scale_assign(&mut work, c);
+        scale_assign(&mut work, c.inv().unwrap());
+        assert_eq!(work, buf);
+    }
+
+    #[test]
+    fn axpy_matches_scalar_formula() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dst0 = random_buf(&mut rng, 333);
+        let src = random_buf(&mut rng, 333);
+        for c in [0u8, 1, 2, 0x80, 0xFF] {
+            let mut dst = dst0.clone();
+            axpy(&mut dst, Gf256::new(c), &src);
+            for i in 0..dst.len() {
+                let expected = Gf256::new(dst0[i]) + Gf256::new(c) * Gf256::new(src[i]);
+                assert_eq!(Gf256::new(dst[i]), expected, "i={i} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_zero_coefficient_is_noop() {
+        let mut dst = [1u8, 2, 3];
+        axpy(&mut dst, Gf256::ZERO, &[9, 9, 9]);
+        assert_eq!(dst, [1, 2, 3]);
+    }
+
+    #[test]
+    fn dot_is_bilinear() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random_buf(&mut rng, 64);
+        let b = random_buf(&mut rng, 64);
+        let c = random_buf(&mut rng, 64);
+        // dot(a, b + c) == dot(a, b) + dot(a, c)
+        let bc: Vec<u8> = b.iter().zip(&c).map(|(x, y)| x ^ y).collect();
+        assert_eq!(dot(&a, &bc), dot(&a, &b) + dot(&a, &c));
+        // dot(a, k*b) == k * dot(a, b)
+        let k = Gf256::new(0x1D);
+        let mut kb = b.clone();
+        scale_assign(&mut kb, k);
+        assert_eq!(dot(&a, &kb), k * dot(&a, &b));
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), Gf256::ZERO);
+    }
+}

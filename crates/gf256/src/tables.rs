@@ -1,0 +1,143 @@
+//! Compile-time–generated logarithm and antilogarithm tables for GF(2⁸).
+//!
+//! The field is GF(2)[x]/(x⁸ + x⁴ + x³ + x² + 1) (primitive polynomial
+//! `0x11D`). The element `α = 2` generates the multiplicative group, so
+//! every non-zero element equals `α^k` for a unique `k ∈ 0..255`.
+//!
+//! `EXP[k] = α^k` for `k ∈ 0..510` (doubled so `EXP[log a + log b]` never
+//! needs a modular reduction) and `LOG[α^k] = k`. `LOG[0]` is a sentinel
+//! that must never be consumed; the public API guards against it.
+
+/// The primitive polynomial x⁸ + x⁴ + x³ + x² + 1 used for reduction.
+pub(crate) const PRIMITIVE_POLY: u16 = 0x11D;
+
+/// `EXP[k] = α^k` for `k` in `0..510` (table is doubled to skip a `% 255`).
+pub(crate) const EXP: [u8; 510] = build_exp();
+
+/// `LOG[α^k] = k`; `LOG[0]` is unused (guarded by the caller).
+pub(crate) const LOG: [u8; 256] = build_log();
+
+/// Full 256×256 multiplication table: `MUL[a][b] = a·b`.
+///
+/// 64 KiB, built at compile time. The bulk slice kernels index one row
+/// per call (`MUL[c]`), turning the per-byte inner loop into a single
+/// table load and XOR with no per-call setup; the row also stays hot in
+/// L1 across consecutive kernel invocations with the same coefficient.
+pub(crate) static MUL: [[u8; 256]; 256] = build_mul();
+
+const fn build_mul() -> [[u8; 256]; 256] {
+    let exp = build_exp();
+    let log = build_log();
+    let mut table = [[0u8; 256]; 256];
+    let mut a = 1usize;
+    while a < 256 {
+        let la = log[a] as usize;
+        let mut b = 1usize;
+        while b < 256 {
+            table[a][b] = exp[la + log[b] as usize];
+            b += 1;
+        }
+        a += 1;
+    }
+    table
+}
+
+const fn build_exp() -> [u8; 510] {
+    let mut table = [0u8; 510];
+    let mut value: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        table[i] = value as u8;
+        table[i + 255] = value as u8;
+        value <<= 1;
+        if value & 0x100 != 0 {
+            value ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    table
+}
+
+const fn build_log() -> [u8; 256] {
+    let exp = build_exp();
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        table[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bit-by-bit carry-less ("Russian peasant") multiplication, the
+    /// reference implementation the tables must agree with.
+    pub(crate) fn mul_reference(mut a: u8, mut b: u8) -> u8 {
+        let mut acc: u8 = 0;
+        while b != 0 {
+            if b & 1 != 0 {
+                acc ^= a;
+            }
+            let carry = a & 0x80 != 0;
+            a <<= 1;
+            if carry {
+                a ^= (PRIMITIVE_POLY & 0xFF) as u8;
+            }
+            b >>= 1;
+        }
+        acc
+    }
+
+    #[test]
+    fn exp_table_cycles_with_period_255() {
+        assert_eq!(EXP[0], 1);
+        assert_eq!(EXP[255], 1);
+        for (k, &v) in EXP.iter().enumerate().take(255) {
+            assert_eq!(v, EXP[k + 255]);
+        }
+    }
+
+    #[test]
+    fn exp_hits_every_nonzero_element_once() {
+        let mut seen = [false; 256];
+        for (k, &value) in EXP.iter().enumerate().take(255) {
+            let v = value as usize;
+            assert_ne!(v, 0, "alpha^{k} must be non-zero");
+            assert!(!seen[v], "alpha^{k} repeats value {v}");
+            seen[v] = true;
+        }
+    }
+
+    #[test]
+    fn log_inverts_exp() {
+        for k in 0..255u16 {
+            assert_eq!(LOG[EXP[k as usize] as usize] as u16, k);
+        }
+    }
+
+    #[test]
+    fn full_mul_table_matches_reference() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(
+                    MUL[a as usize][b as usize],
+                    mul_reference(a, b),
+                    "a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tables_agree_with_carryless_reference() {
+        for a in 1..=255u8 {
+            for b in 1..=255u8 {
+                let via_tables = EXP[LOG[a as usize] as usize + LOG[b as usize] as usize];
+                assert_eq!(via_tables, mul_reference(a, b), "a={a} b={b}");
+            }
+        }
+    }
+}

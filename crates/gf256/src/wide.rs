@@ -1,0 +1,359 @@
+//! The wide field GF(2¹⁶).
+//!
+//! RLNC over GF(2⁸) pays a ≈`1/256` per-reception linear-dependence
+//! probability and caps segment sizes at 255. A 16-bit symbol field
+//! shrinks the dependence probability to ≈`1/65536` and lifts the size
+//! cap — the standard upgrade path for coding systems that outgrow byte
+//! symbols. [`Gf65536`] provides the scalar arithmetic (the paper's
+//! protocol itself stays on GF(2⁸), matching its Sec. 2 statement).
+//!
+//! Realised as GF(2)\[x\]/(x¹⁶ + x¹² + x³ + x + 1) (primitive polynomial
+//! `0x1100B`, generator `α = 2`) with compile-time log/exp tables
+//! (384 KiB total), so multiplication and inversion are O(1) table
+//! lookups exactly as in the byte field.
+//!
+//! # Examples
+//!
+//! ```
+//! use gossamer_gf256::Gf65536;
+//!
+//! let a = Gf65536::new(0x1234);
+//! let b = Gf65536::new(0xBEEF);
+//! assert_eq!((a * b) / b, a);
+//! assert_eq!(a + a, Gf65536::ZERO);
+//! ```
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use rand::{Rng, RngExt};
+
+/// The primitive polynomial x¹⁶ + x¹² + x³ + x + 1.
+const PRIMITIVE_POLY_16: u32 = 0x1100B;
+const ORDER: usize = 65535;
+
+static EXP16: [u16; 2 * ORDER] = build_exp16();
+static LOG16: [u16; 65536] = build_log16();
+
+const fn build_exp16() -> [u16; 2 * ORDER] {
+    let mut table = [0u16; 2 * ORDER];
+    let mut value: u32 = 1;
+    let mut i = 0;
+    while i < ORDER {
+        table[i] = value as u16;
+        table[i + ORDER] = value as u16;
+        value <<= 1;
+        if value & 0x10000 != 0 {
+            value ^= PRIMITIVE_POLY_16;
+        }
+        i += 1;
+    }
+    table
+}
+
+const fn build_log16() -> [u16; 65536] {
+    let exp = build_exp16();
+    let mut table = [0u16; 65536];
+    let mut i = 0;
+    while i < ORDER {
+        table[exp[i] as usize] = i as u16;
+        i += 1;
+    }
+    table
+}
+
+/// An element of GF(2¹⁶). See the module docs.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gf65536(u16);
+
+impl Gf65536 {
+    /// The additive identity.
+    pub const ZERO: Gf65536 = Gf65536(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf65536 = Gf65536(1);
+    /// The canonical generator `α = 2`.
+    pub const GENERATOR: Gf65536 = Gf65536(2);
+
+    /// Wraps a raw value.
+    #[inline]
+    pub const fn new(value: u16) -> Self {
+        Gf65536(value)
+    }
+
+    /// The canonical representation.
+    #[inline]
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+
+    /// Returns `true` for the additive identity.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The multiplicative inverse, or `None` for zero.
+    #[inline]
+    pub fn inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Gf65536(EXP16[ORDER - LOG16[self.0 as usize] as usize]))
+        }
+    }
+
+    /// Raises to the power `exp` (`0⁰ = 1` by convention).
+    pub fn pow(self, exp: u32) -> Self {
+        if exp == 0 {
+            return Gf65536::ONE;
+        }
+        if self.0 == 0 {
+            return Gf65536::ZERO;
+        }
+        let log = LOG16[self.0 as usize] as u64;
+        let e = (log * exp as u64) % ORDER as u64;
+        Gf65536(EXP16[e as usize])
+    }
+
+    /// Uniformly random element.
+    #[inline]
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Gf65536(rng.random())
+    }
+
+    /// Uniformly random non-zero element.
+    #[inline]
+    pub fn random_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Gf65536(rng.random_range(1..=u16::MAX))
+    }
+}
+
+#[inline]
+fn mul16(a: u16, b: u16) -> u16 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP16[LOG16[a as usize] as usize + LOG16[b as usize] as usize]
+    }
+}
+
+impl fmt::Debug for Gf65536 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf65536(0x{:04x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf65536 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04x}", self.0)
+    }
+}
+
+// Addition in a characteristic-2 field IS XOR.
+#[allow(clippy::suspicious_arithmetic_impl)]
+impl Add for Gf65536 {
+    type Output = Gf65536;
+    #[inline]
+    fn add(self, rhs: Gf65536) -> Gf65536 {
+        Gf65536(self.0 ^ rhs.0)
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)]
+impl Sub for Gf65536 {
+    type Output = Gf65536;
+    #[inline]
+    fn sub(self, rhs: Gf65536) -> Gf65536 {
+        Gf65536(self.0 ^ rhs.0)
+    }
+}
+
+impl Mul for Gf65536 {
+    type Output = Gf65536;
+    #[inline]
+    fn mul(self, rhs: Gf65536) -> Gf65536 {
+        Gf65536(mul16(self.0, rhs.0))
+    }
+}
+
+// Division is multiplication by the inverse.
+#[allow(clippy::suspicious_arithmetic_impl)]
+impl Div for Gf65536 {
+    type Output = Gf65536;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero; use [`Gf65536::inv`] for a fallible form.
+    #[inline]
+    fn div(self, rhs: Gf65536) -> Gf65536 {
+        self * rhs.inv().expect("division by zero in GF(2^16)")
+    }
+}
+
+impl Neg for Gf65536 {
+    type Output = Gf65536;
+    #[inline]
+    fn neg(self) -> Gf65536 {
+        self
+    }
+}
+
+#[allow(clippy::suspicious_op_assign_impl)]
+impl AddAssign for Gf65536 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf65536) {
+        self.0 ^= rhs.0;
+    }
+}
+
+#[allow(clippy::suspicious_op_assign_impl)]
+impl SubAssign for Gf65536 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Gf65536) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl MulAssign for Gf65536 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf65536) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Gf65536 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Gf65536) {
+        *self = *self / rhs;
+    }
+}
+
+impl From<u16> for Gf65536 {
+    #[inline]
+    fn from(v: u16) -> Self {
+        Gf65536(v)
+    }
+}
+
+impl From<Gf65536> for u16 {
+    #[inline]
+    fn from(v: Gf65536) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log_exp_tables_are_consistent() {
+        assert_eq!(EXP16[0], 1);
+        assert_eq!(EXP16[ORDER], 1, "generator order must be 65535");
+        for k in (0..ORDER).step_by(97) {
+            assert_eq!(LOG16[EXP16[k] as usize] as usize, k);
+        }
+    }
+
+    #[test]
+    fn field_axioms_on_random_sample() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let a = Gf65536::random(&mut rng);
+            let b = Gf65536::random(&mut rng);
+            let c = Gf65536::random(&mut rng);
+            assert_eq!(a + b, b + a);
+            assert_eq!(a * b, b * a);
+            assert_eq!((a + b) + c, a + (b + c));
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a + a, Gf65536::ZERO);
+            assert_eq!(a * Gf65536::ONE, a);
+        }
+    }
+
+    #[test]
+    fn every_sampled_nonzero_inverts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(Gf65536::ZERO.inv(), None);
+        for _ in 0..2000 {
+            let a = Gf65536::random_nonzero(&mut rng);
+            assert_eq!(a * a.inv().unwrap(), Gf65536::ONE);
+            assert_eq!((a * a) / a, a);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let x = Gf65536::new(0xABCD);
+        let mut acc = Gf65536::ONE;
+        for e in 0..200u32 {
+            assert_eq!(x.pow(e), acc);
+            acc *= x;
+        }
+        assert_eq!(Gf65536::ZERO.pow(0), Gf65536::ONE);
+        assert_eq!(Gf65536::ZERO.pow(3), Gf65536::ZERO);
+    }
+
+    #[test]
+    fn agrees_with_carryless_reference() {
+        fn mul_reference(mut a: u16, mut b: u16) -> u16 {
+            let mut acc = 0u16;
+            while b != 0 {
+                if b & 1 != 0 {
+                    acc ^= a;
+                }
+                let carry = a & 0x8000 != 0;
+                a <<= 1;
+                if carry {
+                    a ^= (PRIMITIVE_POLY_16 & 0xFFFF) as u16;
+                }
+                b >>= 1;
+            }
+            acc
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5000 {
+            let a: u16 = rng.random();
+            let b: u16 = rng.random();
+            assert_eq!(mul16(a, b), mul_reference(a, b), "a={a:04x} b={b:04x}");
+        }
+    }
+
+    /// The motivation: random single coefficients collide far less often
+    /// in the wide field.
+    #[test]
+    fn dependence_probability_shrinks() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 60_000;
+        let mut byte_collisions = 0u32;
+        let mut wide_collisions = 0u32;
+        for _ in 0..trials {
+            let a: u8 = rng.random();
+            let b: u8 = rng.random();
+            if a == b {
+                byte_collisions += 1;
+            }
+            let c: u16 = rng.random();
+            let d: u16 = rng.random();
+            if c == d {
+                wide_collisions += 1;
+            }
+        }
+        // Expected ~234 vs ~1.
+        assert!(byte_collisions > 120, "byte collisions {byte_collisions}");
+        assert!(wide_collisions < 20, "wide collisions {wide_collisions}");
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let x: Gf65536 = 0x00FFu16.into();
+        let raw: u16 = x.into();
+        assert_eq!(raw, 0x00FF);
+        assert_eq!(format!("{x}"), "00ff");
+        assert_eq!(format!("{x:?}"), "Gf65536(0x00ff)");
+        assert_eq!(-x, x);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the GF(2⁸) field, slice kernels and matrices.
+
+use gossamer_gf256::{slice, Gf256, Matrix, Poly};
+use proptest::prelude::*;
+
+fn gf() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256::new)
+}
+
+fn gf_nonzero() -> impl Strategy<Value = Gf256> {
+    (1..=255u8).prop_map(Gf256::new)
+}
+
+proptest! {
+    // --- field axioms -----------------------------------------------------
+
+    #[test]
+    fn add_commutative(a in gf(), b in gf()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_commutative(a in gf(), b in gf()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributivity(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn additive_inverse(a in gf()) {
+        prop_assert_eq!(a + a, Gf256::ZERO);
+        prop_assert_eq!(-a, a);
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in gf_nonzero()) {
+        let inv = a.inv().unwrap();
+        prop_assert_eq!(a * inv, Gf256::ONE);
+        prop_assert_eq!(Gf256::ONE / a, inv);
+    }
+
+    #[test]
+    fn pow_homomorphism(a in gf(), e1 in 0u32..100, e2 in 0u32..100) {
+        // a^(e1+e2) == a^e1 * a^e2 (for a != 0; for a == 0 both sides are 0
+        // unless e1+e2 == 0)
+        if !a.is_zero() || (e1 + e2 > 0 && e1 > 0 && e2 > 0) {
+            prop_assert_eq!(a.pow(e1 + e2), a.pow(e1) * a.pow(e2));
+        }
+    }
+
+    // --- slice kernels -----------------------------------------------------
+
+    #[test]
+    fn axpy_equals_scale_plus_add(
+        c in gf(),
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+        acc in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let n = data.len().min(acc.len());
+        let (data, acc0) = (&data[..n], &acc[..n]);
+
+        let mut via_axpy = acc0.to_vec();
+        slice::axpy(&mut via_axpy, c, data);
+
+        let mut scaled = data.to_vec();
+        slice::scale_assign(&mut scaled, c);
+        let mut via_two_step = acc0.to_vec();
+        slice::add_assign(&mut via_two_step, &scaled);
+
+        prop_assert_eq!(via_axpy, via_two_step);
+    }
+
+    #[test]
+    fn scale_assign_is_linear(
+        c in gf_nonzero(),
+        data in proptest::collection::vec(any::<u8>(), 1..100),
+    ) {
+        let mut forward = data.clone();
+        slice::scale_assign(&mut forward, c);
+        slice::scale_assign(&mut forward, c.inv().unwrap());
+        prop_assert_eq!(forward, data);
+    }
+
+    #[test]
+    fn dot_commutative(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let n = a.len().min(b.len());
+        prop_assert_eq!(slice::dot(&a[..n], &b[..n]), slice::dot(&b[..n], &a[..n]));
+    }
+
+    // --- matrices ----------------------------------------------------------
+
+    #[test]
+    fn matrix_inverse_round_trip(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = Matrix::random(6, 6, &mut rng);
+        if let Ok(inv) = m.invert() {
+            prop_assert_eq!(m.mul(&inv), Matrix::identity(6));
+            prop_assert_eq!(inv.mul(&m), Matrix::identity(6));
+        } else {
+            prop_assert!(m.rank() < 6);
+        }
+    }
+
+    #[test]
+    fn solve_consistency(seed in any::<u64>(), width in 1usize..16) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::random(5, 5, &mut rng);
+        let x = Matrix::random(5, width, &mut rng);
+        let b = a.mul(&x);
+        match a.solve(&b) {
+            Ok(got) => prop_assert_eq!(got, x),
+            Err(_) => prop_assert!(a.rank() < 5),
+        }
+    }
+
+    #[test]
+    fn matrix_mul_associative(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::random(3, 4, &mut rng);
+        let b = Matrix::random(4, 5, &mut rng);
+        let c = Matrix::random(5, 2, &mut rng);
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn rank_invariant_under_transpose(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = Matrix::random(4, 7, &mut rng);
+        prop_assert_eq!(m.rank(), m.transpose().rank());
+    }
+
+    // --- polynomials ---------------------------------------------------------
+
+    #[test]
+    fn poly_eval_homomorphism(
+        p in proptest::collection::vec(any::<u8>(), 0..8),
+        q in proptest::collection::vec(any::<u8>(), 0..8),
+        x in gf(),
+    ) {
+        let p = Poly::new(p.into_iter().map(Gf256::new).collect());
+        let q = Poly::new(q.into_iter().map(Gf256::new).collect());
+        prop_assert_eq!(p.mul(&q).eval(x), p.eval(x) * q.eval(x));
+        prop_assert_eq!(p.add(&q).eval(x), p.eval(x) + q.eval(x));
+    }
+
+    #[test]
+    fn poly_interpolation_fits_points(ys in proptest::collection::vec(any::<u8>(), 1..12)) {
+        let points: Vec<(Gf256, Gf256)> = ys
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| (Gf256::new(i as u8 + 1), Gf256::new(y)))
+            .collect();
+        let p = Poly::interpolate(&points);
+        for &(x, y) in &points {
+            prop_assert_eq!(p.eval(x), y);
+        }
+        prop_assert!(p.degree().map_or(0, |d| d + 1) <= points.len());
+    }
+}

@@ -1,0 +1,87 @@
+//! Standalone collector daemon.
+//!
+//! Runs one logging server over TCP: pulls coded blocks from the peers
+//! in the address book and prints every recovered log record to stdout.
+//!
+//! ```text
+//! gossamer-collector --id 100 --book swarm.txt [--pull-rate 60]
+//!                    [--segment-size 4] [--block-len 64] [--seed 7]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use gossamer_core::{Addr, CollectorConfig};
+use gossamer_net::{util, CollectorHandle};
+use gossamer_rlnc::SegmentParams;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match util::CliOptions::parse(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: gossamer-collector --id <u32> [--book <file>] [options]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let params = match SegmentParams::new(parsed.segment_size, parsed.block_len) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: invalid coding parameters: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match CollectorConfig::builder(params)
+        .pull_rate(parsed.pull_rate)
+        .build()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: invalid collector configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let collector = match match parsed.listen {
+        Some(listen) => CollectorHandle::spawn_on(Addr(parsed.id), listen, config, parsed.seed),
+        None => CollectorHandle::spawn(Addr(parsed.id), config, parsed.seed),
+    } {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: failed to start daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "gossamer-collector id={} listening on {}",
+        parsed.id,
+        collector.socket()
+    );
+
+    let mut peers = Vec::new();
+    for entry in &parsed.book {
+        if entry.id == parsed.id || entry.collector {
+            continue;
+        }
+        collector.register(Addr(entry.id), entry.socket);
+        peers.push(Addr(entry.id));
+    }
+    collector.set_peers(peers);
+
+    loop {
+        std::thread::sleep(Duration::from_millis(500));
+        match collector.take_records() {
+            Ok(records) => {
+                for r in records {
+                    println!("{}", String::from_utf8_lossy(&r));
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Standalone peer daemon.
+//!
+//! Runs one protocol peer over TCP, reading log records from stdin (one
+//! per line) and gossiping them into the swarm described by an
+//! address-book file.
+//!
+//! ```text
+//! gossamer-peer --id 3 --book swarm.txt [--segment-size 4] [--block-len 64]
+//!               [--gossip-rate 8] [--expiry-rate 0.05] [--buffer-cap 512]
+//!               [--seed 42]
+//! ```
+//!
+//! The address book is one `id host:port` pair per line; `id` values
+//! other than this peer's are registered as neighbours (peers) or
+//! collectors (any id marked with a `collector` third column). The
+//! daemon prints its own listen address on startup so books can be
+//! assembled incrementally.
+//!
+//! Press Ctrl-D (EOF) to stop; the daemon flushes its partial segment
+//! first so the last records remain collectable while the process keeps
+//! serving until killed.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+
+use gossamer_core::{Addr, NodeConfig};
+use gossamer_net::{util, PeerHandle};
+use gossamer_rlnc::SegmentParams;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match util::CliOptions::parse(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: gossamer-peer --id <u32> [--book <file>] [options]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let params = match SegmentParams::new(parsed.segment_size, parsed.block_len) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: invalid coding parameters: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match NodeConfig::builder(params)
+        .gossip_rate(parsed.gossip_rate)
+        .expiry_rate(parsed.expiry_rate)
+        .buffer_cap(parsed.buffer_cap)
+        .build()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: invalid node configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let peer = match match parsed.listen {
+        Some(listen) => PeerHandle::spawn_on(Addr(parsed.id), listen, config, parsed.seed),
+        None => PeerHandle::spawn(Addr(parsed.id), config, parsed.seed),
+    } {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: failed to start daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "gossamer-peer id={} listening on {}",
+        parsed.id,
+        peer.socket()
+    );
+
+    let mut neighbours = Vec::new();
+    for entry in &parsed.book {
+        if entry.id == parsed.id {
+            continue;
+        }
+        peer.register(Addr(entry.id), entry.socket);
+        if !entry.collector {
+            neighbours.push(Addr(entry.id));
+        }
+    }
+    peer.set_neighbours(neighbours);
+
+    // Records come from stdin, one per line.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.is_empty() {
+            continue;
+        }
+        if let Err(e) = peer.record(line.as_bytes()) {
+            eprintln!("record rejected: {e}");
+        }
+    }
+    let _ = peer.flush();
+    eprintln!("stdin closed; buffered data remains collectable (Ctrl-C to exit)");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

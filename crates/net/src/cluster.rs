@@ -1,0 +1,126 @@
+//! Loopback cluster harness.
+
+use gossamer_core::{Addr, CollectorConfig, NodeConfig};
+
+use crate::daemon::{CollectorHandle, DaemonError, PeerHandle};
+
+/// A complete deployment on loopback: `n` peer daemons in a full gossip
+/// mesh plus `m` collector daemons probing all of them.
+///
+/// Peers get addresses `0..n`, collectors `n..n+m`. Everything is wired
+/// (address books, neighbour sets, probe lists) before `start` returns.
+pub struct LocalCluster {
+    peers: Vec<PeerHandle>,
+    collectors: Vec<CollectorHandle>,
+}
+
+impl LocalCluster {
+    /// Boots and wires the whole cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any daemon fails to bind its listener.
+    pub fn start(
+        n_peers: usize,
+        node_config: NodeConfig,
+        n_collectors: usize,
+        collector_config: CollectorConfig,
+        seed: u64,
+    ) -> Result<Self, DaemonError> {
+        let mut peers = Vec::with_capacity(n_peers);
+        for i in 0..n_peers {
+            peers.push(PeerHandle::spawn(
+                Addr(i as u32),
+                node_config.clone(),
+                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )?);
+        }
+        let mut collectors = Vec::with_capacity(n_collectors);
+        for j in 0..n_collectors {
+            collectors.push(CollectorHandle::spawn(
+                Addr((n_peers + j) as u32),
+                collector_config.clone(),
+                seed ^ 0x00C0_FFEE ^ (j as u64) << 32,
+            )?);
+        }
+
+        // Wire address books: everyone knows everyone.
+        let peer_addrs: Vec<Addr> = peers.iter().map(PeerHandle::addr).collect();
+        for a in &peers {
+            for b in &peers {
+                if a.addr() != b.addr() {
+                    a.register(b.addr(), b.socket());
+                }
+            }
+            for c in &collectors {
+                a.register(c.addr(), c.socket());
+            }
+            a.set_neighbours(peer_addrs.clone());
+        }
+        let collector_addrs: Vec<Addr> = collectors.iter().map(CollectorHandle::addr).collect();
+        for c in &collectors {
+            for p in &peers {
+                c.register(p.addr(), p.socket());
+            }
+            for other in &collectors {
+                if other.addr() != c.addr() {
+                    c.register(other.addr(), other.socket());
+                }
+            }
+            c.set_peers(peer_addrs.clone());
+            c.set_siblings(collector_addrs.clone());
+        }
+        Ok(LocalCluster { peers, collectors })
+    }
+
+    /// Number of peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Access the `i`-th peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn peer(&self, i: usize) -> &PeerHandle {
+        &self.peers[i]
+    }
+
+    /// Access the `j`-th collector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn collector(&self, j: usize) -> &CollectorHandle {
+        &self.collectors[j]
+    }
+
+    /// Iterate over all peers.
+    pub fn peers(&self) -> impl Iterator<Item = &PeerHandle> {
+        self.peers.iter()
+    }
+
+    /// Kills one peer abruptly (simulated churn): its daemon stops and
+    /// its buffered data is gone. Remaining peers keep its address in
+    /// their books; sends to it simply fail, which the loss-tolerant
+    /// protocol absorbs.
+    pub fn kill_peer(&mut self, i: usize) -> Option<()> {
+        if i >= self.peers.len() {
+            return None;
+        }
+        let handle = self.peers.remove(i);
+        handle.shutdown();
+        Some(())
+    }
+
+    /// Shuts down every daemon.
+    pub fn shutdown(self) {
+        for p in self.peers {
+            p.shutdown();
+        }
+        for c in self.collectors {
+            c.shutdown();
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Binary framing of protocol messages.
+//!
+//! Frame layout (big-endian):
+//!
+//! ```text
+//! +---------+--------+------+---------------------+
+//! | len u32 | from   | type | payload (len-5 B)   |
+//! |         | u32    | u8   |                     |
+//! +---------+--------+------+---------------------+
+//! ```
+//!
+//! `len` counts everything after itself. Coded blocks inside payloads
+//! use the `gossamer-rlnc` wire format, which carries its own CRC.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, BytesMut};
+use gossamer_core::{Addr, Message};
+use gossamer_rlnc::{wire, SegmentId};
+
+const TYPE_GOSSIP: u8 = 1;
+const TYPE_GOSSIP_ACK: u8 = 2;
+const TYPE_PULL_REQUEST: u8 = 3;
+const TYPE_PULL_RESPONSE: u8 = 4;
+const TYPE_DECODED_ANNOUNCE: u8 = 5;
+
+/// Hard cap on accepted frame sizes; a malicious or corrupt length
+/// prefix must not trigger a giant allocation.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Errors from frame decoding.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying socket error.
+    Io(io::Error),
+    /// The frame is structurally invalid.
+    Malformed(&'static str),
+    /// A coded block failed wire decoding (bad CRC, truncation, ...).
+    Block(gossamer_rlnc::WireError),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "io error: {e}"),
+            CodecError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            CodecError::Block(e) => write!(f, "bad block payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+impl From<gossamer_rlnc::WireError> for CodecError {
+    fn from(e: gossamer_rlnc::WireError) -> Self {
+        CodecError::Block(e)
+    }
+}
+
+/// Serialises one message into a self-delimiting frame.
+pub fn encode_frame(from: Addr, message: &Message) -> Vec<u8> {
+    let mut payload = BytesMut::new();
+    let msg_type = match message {
+        Message::Gossip(block) => {
+            payload.put_slice(&wire::encode(block));
+            TYPE_GOSSIP
+        }
+        Message::GossipAck {
+            segment,
+            rank,
+            accepted,
+        } => {
+            payload.put_u64(segment.raw());
+            payload.put_u8(*rank);
+            payload.put_u8(u8::from(*accepted));
+            TYPE_GOSSIP_ACK
+        }
+        Message::PullRequest => TYPE_PULL_REQUEST,
+        Message::DecodedAnnounce { segments } => {
+            payload.put_u32(segments.len() as u32);
+            for s in segments {
+                payload.put_u64(s.raw());
+            }
+            TYPE_DECODED_ANNOUNCE
+        }
+        Message::PullResponse(block) => {
+            match block {
+                Some(b) => {
+                    payload.put_u8(1);
+                    payload.put_slice(&wire::encode(b));
+                }
+                None => payload.put_u8(0),
+            }
+            TYPE_PULL_RESPONSE
+        }
+    };
+    let mut out = Vec::with_capacity(9 + payload.len());
+    out.extend_from_slice(&((payload.len() + 5) as u32).to_be_bytes());
+    out.extend_from_slice(&from.0.to_be_bytes());
+    out.push(msg_type);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes the body of a frame (everything after the length prefix).
+pub fn decode_body(body: &[u8]) -> Result<(Addr, Message), CodecError> {
+    if body.len() < 5 {
+        return Err(CodecError::Malformed("body shorter than header"));
+    }
+    let mut buf = body;
+    let from = Addr(buf.get_u32());
+    let msg_type = buf.get_u8();
+    let message = match msg_type {
+        TYPE_GOSSIP => Message::Gossip(wire::decode(buf)?),
+        TYPE_GOSSIP_ACK => {
+            if buf.remaining() != 10 {
+                return Err(CodecError::Malformed("ack payload size"));
+            }
+            let segment = SegmentId::new(buf.get_u64());
+            let rank = buf.get_u8();
+            let accepted = match buf.get_u8() {
+                0 => false,
+                1 => true,
+                _ => return Err(CodecError::Malformed("ack accepted flag")),
+            };
+            Message::GossipAck {
+                segment,
+                rank,
+                accepted,
+            }
+        }
+        TYPE_PULL_REQUEST => {
+            if buf.has_remaining() {
+                return Err(CodecError::Malformed("pull request with payload"));
+            }
+            Message::PullRequest
+        }
+        TYPE_PULL_RESPONSE => {
+            if !buf.has_remaining() {
+                return Err(CodecError::Malformed("empty pull response"));
+            }
+            match buf.get_u8() {
+                0 => {
+                    if buf.has_remaining() {
+                        return Err(CodecError::Malformed("trailing bytes"));
+                    }
+                    Message::PullResponse(None)
+                }
+                1 => Message::PullResponse(Some(wire::decode(buf)?)),
+                _ => return Err(CodecError::Malformed("pull response flag")),
+            }
+        }
+        TYPE_DECODED_ANNOUNCE => {
+            if buf.remaining() < 4 {
+                return Err(CodecError::Malformed("announce too short"));
+            }
+            let count = buf.get_u32() as usize;
+            if buf.remaining() != count.saturating_mul(8) {
+                return Err(CodecError::Malformed("announce length mismatch"));
+            }
+            let mut segments = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                segments.push(SegmentId::new(buf.get_u64()));
+            }
+            Message::DecodedAnnounce { segments }
+        }
+        _ => return Err(CodecError::Malformed("unknown message type")),
+    };
+    Ok((from, message))
+}
+
+/// Writes one frame to a stream.
+pub fn write_frame<W: Write>(writer: &mut W, from: Addr, message: &Message) -> io::Result<()> {
+    let frame = encode_frame(from, message);
+    writer.write_all(&frame)?;
+    writer.flush()
+}
+
+/// Reads one frame from a stream. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Option<(Addr, Message)>, CodecError> {
+    let mut len_buf = [0u8; 4];
+    match reader.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if !(5..=MAX_FRAME).contains(&len) {
+        return Err(CodecError::Malformed("frame length out of bounds"));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    decode_body(&body).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossamer_rlnc::CodedBlock;
+
+    fn block() -> CodedBlock {
+        CodedBlock::new(SegmentId::compose(3, 4), vec![1, 2, 3], vec![0xAB; 48]).unwrap()
+    }
+
+    fn round_trip(msg: Message) {
+        let frame = encode_frame(Addr(9), &msg);
+        let (from, decoded) = decode_body(&frame[4..]).unwrap();
+        assert_eq!(from, Addr(9));
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn all_message_types_round_trip() {
+        round_trip(Message::Gossip(block()));
+        round_trip(Message::GossipAck {
+            segment: SegmentId::compose(1, 2),
+            rank: 7,
+            accepted: true,
+        });
+        round_trip(Message::PullRequest);
+        round_trip(Message::PullResponse(None));
+        round_trip(Message::PullResponse(Some(block())));
+        round_trip(Message::DecodedAnnounce { segments: vec![] });
+        round_trip(Message::DecodedAnnounce {
+            segments: vec![SegmentId::new(1), SegmentId::compose(9, 9)],
+        });
+    }
+
+    #[test]
+    fn streamed_frames_round_trip() {
+        let messages = vec![
+            Message::PullRequest,
+            Message::Gossip(block()),
+            Message::PullResponse(Some(block())),
+        ];
+        let mut stream = Vec::new();
+        for m in &messages {
+            write_frame(&mut stream, Addr(5), m).unwrap();
+        }
+        let mut cursor = io::Cursor::new(stream);
+        for expected in &messages {
+            let (from, got) = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(from, Addr(5));
+            assert_eq!(&got, expected);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn rejects_oversized_length() {
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        bad.extend_from_slice(&[0u8; 16]);
+        let mut cursor = io::Cursor::new(bad);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let frame = encode_frame(Addr(1), &Message::PullRequest);
+        let mut cursor = io::Cursor::new(&frame[..frame.len() - 1]);
+        assert!(matches!(read_frame(&mut cursor), Err(CodecError::Io(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_type_and_bad_flags() {
+        let mut frame = encode_frame(Addr(1), &Message::PullRequest);
+        frame[8] = 99; // type byte
+        assert!(decode_body(&frame[4..]).is_err());
+
+        let mut frame = encode_frame(
+            Addr(1),
+            &Message::GossipAck {
+                segment: SegmentId::new(1),
+                rank: 0,
+                accepted: true,
+            },
+        );
+        *frame.last_mut().unwrap() = 7; // accepted flag
+        assert!(decode_body(&frame[4..]).is_err());
+    }
+
+    #[test]
+    fn corrupted_block_payload_is_detected() {
+        let mut frame = encode_frame(Addr(1), &Message::Gossip(block()));
+        let mid = frame.len() - 10;
+        frame[mid] ^= 0xFF;
+        assert!(matches!(
+            decode_body(&frame[4..]),
+            Err(CodecError::Block(_))
+        ));
+    }
+}

@@ -1,0 +1,479 @@
+//! Threaded daemons wrapping the core state machines.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gossamer_core::{
+    Addr, Collector, CollectorConfig, CollectorStats, Message, NodeConfig, Outbound, PeerNode,
+    PeerStats, ProtocolError,
+};
+use parking_lot::Mutex;
+
+use crate::codec::{read_frame, write_frame, CodecError};
+
+/// Poll interval of the timer thread driving node ticks.
+const TICK_INTERVAL: Duration = Duration::from_millis(2);
+/// Read timeout used so reader threads notice shutdown.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Errors surfaced by daemon operations.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Protocol-level failure from the wrapped node.
+    Protocol(ProtocolError),
+    /// The daemon has been shut down.
+    Closed,
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::Io(e) => write!(f, "io error: {e}"),
+            DaemonError::Protocol(e) => write!(f, "protocol error: {e}"),
+            DaemonError::Closed => write!(f, "daemon is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<io::Error> for DaemonError {
+    fn from(e: io::Error) -> Self {
+        DaemonError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for DaemonError {
+    fn from(e: ProtocolError) -> Self {
+        DaemonError::Protocol(e)
+    }
+}
+
+/// Abstraction over the two node flavours so one daemon implementation
+/// serves both.
+trait ProtocolNode: Send + 'static {
+    fn tick(&mut self, now: f64) -> Vec<Outbound>;
+    fn handle(&mut self, from: Addr, message: Message, now: f64) -> Vec<Outbound>;
+}
+
+impl ProtocolNode for PeerNode {
+    fn tick(&mut self, now: f64) -> Vec<Outbound> {
+        PeerNode::tick(self, now)
+    }
+    fn handle(&mut self, from: Addr, message: Message, now: f64) -> Vec<Outbound> {
+        PeerNode::handle(self, from, message, now)
+    }
+}
+
+impl ProtocolNode for Collector {
+    fn tick(&mut self, now: f64) -> Vec<Outbound> {
+        Collector::tick(self, now)
+    }
+    fn handle(&mut self, from: Addr, message: Message, now: f64) -> Vec<Outbound> {
+        Collector::handle(self, from, message, now)
+    }
+}
+
+struct Shared<T> {
+    addr: Addr,
+    node: Mutex<T>,
+    start: Instant,
+    /// Where to dial each known address.
+    book: Mutex<HashMap<Addr, SocketAddr>>,
+    /// Open outbound connections.
+    pool: Mutex<HashMap<Addr, Arc<Mutex<TcpStream>>>>,
+    shutdown: AtomicBool,
+    io_errors: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+}
+
+impl<T: ProtocolNode> Shared<T> {
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    fn dispatch(self: &Arc<Self>, outbound: Vec<Outbound>) {
+        for out in outbound {
+            self.send(out.to, &out.message);
+        }
+    }
+
+    /// Best-effort send; failures drop the pooled connection and are
+    /// counted. The protocol is loss-tolerant by design, so a dropped
+    /// message is not an error condition.
+    fn send(self: &Arc<Self>, to: Addr, message: &Message) {
+        let Some(stream) = self.connection_to(to) else {
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let mut guard = stream.lock();
+        if write_frame(&mut *guard, self.addr, message).is_err() {
+            drop(guard);
+            self.pool.lock().remove(&to);
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.frames_out.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn connection_to(self: &Arc<Self>, to: Addr) -> Option<Arc<Mutex<TcpStream>>> {
+        if let Some(existing) = self.pool.lock().get(&to) {
+            return Some(existing.clone());
+        }
+        let target = *self.book.lock().get(&to)?;
+        let stream = TcpStream::connect_timeout(&target, Duration::from_secs(1)).ok()?;
+        stream.set_nodelay(true).ok();
+        // Connections are bidirectional: the remote replies over this
+        // same stream, so a dialed connection needs a reader too.
+        if let Ok(read_half) = stream.try_clone() {
+            read_half.set_read_timeout(Some(READ_TIMEOUT)).ok();
+            let shared = self.clone();
+            std::thread::spawn(move || reader_loop(read_half, shared));
+        }
+        let stream = Arc::new(Mutex::new(stream));
+        self.pool.lock().insert(to, stream.clone());
+        Some(stream)
+    }
+
+    fn handle_incoming(self: &Arc<Self>, from: Addr, message: Message) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        // Release the node lock before touching the network.
+        let replies = self.node.lock().handle(from, message, now);
+        self.dispatch(replies);
+    }
+}
+
+fn spawn_acceptor<T: ProtocolNode>(
+    listener: TcpListener,
+    shared: Arc<Shared<T>>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut readers = Vec::new();
+        for conn in listener.incoming() {
+            if shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+            let shared = shared.clone();
+            readers.push(std::thread::spawn(move || reader_loop(stream, shared)));
+        }
+        for r in readers {
+            let _ = r.join();
+        }
+    })
+}
+
+fn reader_loop<T: ProtocolNode>(mut stream: TcpStream, shared: Arc<Shared<T>>) {
+    // The return path is learned from the first frame: replies to `from`
+    // reuse this connection, so responding does not require an
+    // address-book entry for the requester (collectors need not be
+    // dialable by peers).
+    let mut learned_return_path = false;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match read_frame(&mut stream) {
+            Ok(Some((from, message))) => {
+                if !learned_return_path {
+                    learned_return_path = true;
+                    if let Ok(write_half) = stream.try_clone() {
+                        shared
+                            .pool
+                            .lock()
+                            .entry(from)
+                            .or_insert_with(|| Arc::new(Mutex::new(write_half)));
+                    }
+                }
+                shared.handle_incoming(from, message);
+            }
+            Ok(None) => return, // clean EOF
+            Err(CodecError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => {
+                shared.io_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+fn spawn_ticker<T: ProtocolNode>(shared: Arc<Shared<T>>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !shared.shutdown.load(Ordering::Acquire) {
+            let now = shared.now();
+            let outbound = shared.node.lock().tick(now);
+            shared.dispatch(outbound);
+            std::thread::sleep(TICK_INTERVAL);
+        }
+    })
+}
+
+struct Daemon<T: ProtocolNode> {
+    shared: Arc<Shared<T>>,
+    socket: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+    closed: bool,
+}
+
+impl<T: ProtocolNode> Daemon<T> {
+    fn spawn(addr: Addr, node: T) -> io::Result<Self> {
+        Self::spawn_on(addr, node, SocketAddr::from(([127, 0, 0, 1], 0)))
+    }
+
+    fn spawn_on(addr: Addr, node: T, listen: SocketAddr) -> io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        let socket = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            addr,
+            node: Mutex::new(node),
+            start: Instant::now(),
+            book: Mutex::new(HashMap::new()),
+            pool: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            io_errors: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+        });
+        let threads = vec![
+            spawn_acceptor(listener, shared.clone()),
+            spawn_ticker(shared.clone()),
+        ];
+        Ok(Daemon {
+            shared,
+            socket,
+            threads,
+            closed: false,
+        })
+    }
+
+    fn register(&self, addr: Addr, socket: SocketAddr) {
+        self.shared.book.lock().insert(addr, socket);
+    }
+
+    fn shutdown(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept.
+        let _ = TcpStream::connect_timeout(&self.socket, Duration::from_millis(500));
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.shared.pool.lock().clear();
+    }
+}
+
+impl<T: ProtocolNode> Drop for Daemon<T> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A running peer daemon: listener, connection pool and timer threads
+/// around a [`PeerNode`].
+pub struct PeerHandle {
+    daemon: Daemon<PeerNode>,
+}
+
+impl PeerHandle {
+    /// Boots a peer on an ephemeral loopback port.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind.
+    pub fn spawn(addr: Addr, config: NodeConfig, seed: u64) -> Result<Self, DaemonError> {
+        let node = PeerNode::new(addr, config, seed);
+        Ok(PeerHandle {
+            daemon: Daemon::spawn(addr, node)?,
+        })
+    }
+
+    /// Like [`PeerHandle::spawn`], but binds a specific socket address
+    /// instead of an ephemeral loopback port.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind.
+    pub fn spawn_on(
+        addr: Addr,
+        listen: SocketAddr,
+        config: NodeConfig,
+        seed: u64,
+    ) -> Result<Self, DaemonError> {
+        let node = PeerNode::new(addr, config, seed);
+        Ok(PeerHandle {
+            daemon: Daemon::spawn_on(addr, node, listen)?,
+        })
+    }
+
+    /// The protocol address of this peer.
+    pub fn addr(&self) -> Addr {
+        self.daemon.shared.addr
+    }
+
+    /// The TCP socket this peer listens on.
+    pub fn socket(&self) -> SocketAddr {
+        self.daemon.socket
+    }
+
+    /// Teaches the peer where another node listens.
+    pub fn register(&self, addr: Addr, socket: SocketAddr) {
+        self.daemon.register(addr, socket);
+    }
+
+    /// Sets the gossip neighbour set.
+    pub fn set_neighbours(&self, neighbours: Vec<Addr>) {
+        self.daemon.shared.node.lock().set_neighbours(neighbours);
+    }
+
+    /// Ingests one log record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProtocolError`] (e.g. oversized record).
+    pub fn record(&self, record: &[u8]) -> Result<(), DaemonError> {
+        let now = self.daemon.shared.now();
+        self.daemon
+            .shared
+            .node
+            .lock()
+            .record(record, now)
+            .map_err(DaemonError::from)
+    }
+
+    /// Flushes the partial segment, making buffered records collectable.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; mirrors [`PeerHandle::record`].
+    pub fn flush(&self) -> Result<(), DaemonError> {
+        let now = self.daemon.shared.now();
+        self.daemon.shared.node.lock().flush(now);
+        Ok(())
+    }
+
+    /// Snapshot of the node's counters.
+    pub fn stats(&self) -> PeerStats {
+        self.daemon.shared.node.lock().stats()
+    }
+
+    /// Frames sent/received and socket errors so far.
+    pub fn transport_counters(&self) -> (u64, u64, u64) {
+        let s = &self.daemon.shared;
+        (
+            s.frames_out.load(Ordering::Relaxed),
+            s.frames_in.load(Ordering::Relaxed),
+            s.io_errors.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Stops all threads and closes connections.
+    pub fn shutdown(mut self) {
+        self.daemon.shutdown();
+    }
+}
+
+/// A running collector daemon around a [`Collector`].
+pub struct CollectorHandle {
+    daemon: Daemon<Collector>,
+}
+
+impl CollectorHandle {
+    /// Boots a collector on an ephemeral loopback port.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind.
+    pub fn spawn(addr: Addr, config: CollectorConfig, seed: u64) -> Result<Self, DaemonError> {
+        let node = Collector::new(addr, config, seed);
+        Ok(CollectorHandle {
+            daemon: Daemon::spawn(addr, node)?,
+        })
+    }
+
+    /// Like [`CollectorHandle::spawn`], but binds a specific socket
+    /// address instead of an ephemeral loopback port.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind.
+    pub fn spawn_on(
+        addr: Addr,
+        listen: SocketAddr,
+        config: CollectorConfig,
+        seed: u64,
+    ) -> Result<Self, DaemonError> {
+        let node = Collector::new(addr, config, seed);
+        Ok(CollectorHandle {
+            daemon: Daemon::spawn_on(addr, node, listen)?,
+        })
+    }
+
+    /// The protocol address of this collector.
+    pub fn addr(&self) -> Addr {
+        self.daemon.shared.addr
+    }
+
+    /// The TCP socket this collector listens on.
+    pub fn socket(&self) -> SocketAddr {
+        self.daemon.socket
+    }
+
+    /// Teaches the collector where a peer listens.
+    pub fn register(&self, addr: Addr, socket: SocketAddr) {
+        self.daemon.register(addr, socket);
+    }
+
+    /// Sets the population of peers to probe.
+    pub fn set_peers(&self, peers: Vec<Addr>) {
+        self.daemon.shared.node.lock().set_peers(peers);
+    }
+
+    /// Sets the sibling collectors that receive decoded announcements.
+    pub fn set_siblings(&self, siblings: Vec<Addr>) {
+        self.daemon.shared.node.lock().set_siblings(siblings);
+    }
+
+    /// Takes all log records recovered so far.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; kept fallible for API stability.
+    pub fn take_records(&self) -> Result<Vec<Vec<u8>>, DaemonError> {
+        Ok(self.daemon.shared.node.lock().take_records())
+    }
+
+    /// Number of segments decoded so far.
+    pub fn segments_decoded(&self) -> usize {
+        self.daemon.shared.node.lock().segments_decoded()
+    }
+
+    /// Snapshot of the collector's counters.
+    pub fn stats(&self) -> CollectorStats {
+        self.daemon.shared.node.lock().stats()
+    }
+
+    /// Stops all threads and closes connections.
+    pub fn shutdown(mut self) {
+        self.daemon.shutdown();
+    }
+}

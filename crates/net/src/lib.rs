@@ -1,0 +1,52 @@
+//! TCP deployment of the gossamer collection protocol.
+//!
+//! The `gossamer-core` state machines are transport-agnostic; this crate
+//! runs them over real sockets with plain threads:
+//!
+//! * [`codec`] — binary framing of [`Message`](gossamer_core::Message)s
+//!   (length-prefixed, sender-tagged, CRC-protected block payloads via
+//!   the `gossamer-rlnc` wire format),
+//! * [`PeerHandle`] / [`CollectorHandle`] — daemons that own a node,
+//!   accept connections, route messages by [`Addr`](gossamer_core::Addr)
+//!   through a connection pool, and drive the node's Poisson timers,
+//! * [`LocalCluster`] — a harness that boots a whole deployment on
+//!   loopback for integration tests and demos.
+//!
+//! The paper's deployment target is a commercial P2P streaming network;
+//! this crate substitutes a loopback cluster, which exercises the same
+//! wire behaviour (real sockets, framing, concurrency, partial reads) at
+//! laptop scale.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use gossamer_core::{CollectorConfig, NodeConfig};
+//! use gossamer_net::LocalCluster;
+//! use gossamer_rlnc::SegmentParams;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = SegmentParams::new(4, 64)?;
+//! let node = NodeConfig::builder(params).gossip_rate(50.0).build()?;
+//! let collector = CollectorConfig::builder(params).pull_rate(200.0).build()?;
+//!
+//! let mut cluster = LocalCluster::start(8, node, 1, collector, 42)?;
+//! cluster.peer(0).record(b"cpu=55%")?;
+//! cluster.peer(0).flush()?;
+//! std::thread::sleep(std::time::Duration::from_secs(2));
+//! let records = cluster.collector(0).take_records()?;
+//! cluster.shutdown();
+//! assert!(!records.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+pub mod codec;
+mod daemon;
+pub mod util;
+
+pub use cluster::LocalCluster;
+pub use daemon::{CollectorHandle, DaemonError, PeerHandle};

@@ -1,0 +1,264 @@
+//! Command-line plumbing shared by the standalone daemons.
+
+use std::fmt;
+use std::net::SocketAddr;
+use std::path::Path;
+
+/// One address-book line: `id host:port [collector]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BookEntry {
+    /// Protocol address of the node.
+    pub id: u32,
+    /// Where it listens.
+    pub socket: SocketAddr,
+    /// Whether the node is a collector (third column `collector`).
+    pub collector: bool,
+}
+
+/// Options accepted by `gossamer-peer` and `gossamer-collector`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Protocol address (`--id`).
+    pub id: u32,
+    /// Parsed address book (`--book <file>`, optional).
+    pub book: Vec<BookEntry>,
+    /// Segment size `s` (`--segment-size`, default 4).
+    pub segment_size: usize,
+    /// Block length in bytes (`--block-len`, default 64).
+    pub block_len: usize,
+    /// Gossip rate μ (`--gossip-rate`, default 8).
+    pub gossip_rate: f64,
+    /// Expiry rate γ (`--expiry-rate`, default 0.05).
+    pub expiry_rate: f64,
+    /// Buffer cap B (`--buffer-cap`, default 512).
+    pub buffer_cap: usize,
+    /// Collector pull rate (`--pull-rate`, default 60).
+    pub pull_rate: f64,
+    /// RNG seed (`--seed`, default 0).
+    pub seed: u64,
+    /// Explicit listen address (`--listen host:port`, default ephemeral
+    /// loopback).
+    pub listen: Option<SocketAddr>,
+}
+
+/// Errors from option or book parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+impl CliOptions {
+    /// Parses `--flag value` style arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] describing the first unknown flag, missing
+    /// value, unparsable number, or unreadable book file. `--id` is
+    /// required.
+    pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
+        let mut opts = CliOptions {
+            id: 0,
+            book: Vec::new(),
+            segment_size: 4,
+            block_len: 64,
+            gossip_rate: 8.0,
+            expiry_rate: 0.05,
+            buffer_cap: 512,
+            pull_rate: 60.0,
+            seed: 0,
+            listen: None,
+        };
+        let mut saw_id = false;
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| err(format!("{name} requires a value")))
+            };
+            match flag.as_str() {
+                "--id" => {
+                    opts.id = parse_num(&value("--id")?, "--id")?;
+                    saw_id = true;
+                }
+                "--book" => {
+                    let path = value("--book")?;
+                    opts.book = parse_book_file(Path::new(&path))?;
+                }
+                "--segment-size" => {
+                    opts.segment_size = parse_num(&value("--segment-size")?, "--segment-size")?;
+                }
+                "--block-len" => {
+                    opts.block_len = parse_num(&value("--block-len")?, "--block-len")?;
+                }
+                "--gossip-rate" => {
+                    opts.gossip_rate = parse_num(&value("--gossip-rate")?, "--gossip-rate")?;
+                }
+                "--expiry-rate" => {
+                    opts.expiry_rate = parse_num(&value("--expiry-rate")?, "--expiry-rate")?;
+                }
+                "--buffer-cap" => {
+                    opts.buffer_cap = parse_num(&value("--buffer-cap")?, "--buffer-cap")?;
+                }
+                "--pull-rate" => {
+                    opts.pull_rate = parse_num(&value("--pull-rate")?, "--pull-rate")?;
+                }
+                "--seed" => {
+                    opts.seed = parse_num(&value("--seed")?, "--seed")?;
+                }
+                "--listen" => {
+                    opts.listen = Some(parse_num(&value("--listen")?, "--listen")?);
+                }
+                other => return Err(err(format!("unknown flag {other}"))),
+            }
+        }
+        if !saw_id {
+            return Err(err("--id is required"));
+        }
+        Ok(opts)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, CliError> {
+    raw.parse()
+        .map_err(|_| err(format!("cannot parse {flag} value {raw:?}")))
+}
+
+/// Parses an address-book file: one `id host:port [collector]` per line;
+/// blank lines and `#` comments are skipped.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unreadable files or malformed lines.
+pub fn parse_book_file(path: &Path) -> Result<Vec<BookEntry>, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {}: {e}", path.display())))?;
+    parse_book(&text)
+}
+
+/// Parses address-book text (see [`parse_book_file`]).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for the first malformed line.
+pub fn parse_book(text: &str) -> Result<Vec<BookEntry>, CliError> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let id: u32 = fields
+            .next()
+            .ok_or_else(|| err(format!("line {}: missing id", lineno + 1)))?
+            .parse()
+            .map_err(|_| err(format!("line {}: bad id", lineno + 1)))?;
+        let socket: SocketAddr = fields
+            .next()
+            .ok_or_else(|| err(format!("line {}: missing address", lineno + 1)))?
+            .parse()
+            .map_err(|_| err(format!("line {}: bad address", lineno + 1)))?;
+        let collector = match fields.next() {
+            None => false,
+            Some("collector") => true,
+            Some(other) => {
+                return Err(err(format!(
+                    "line {}: unknown column {other:?}",
+                    lineno + 1
+                )))
+            }
+        };
+        out.push(BookEntry {
+            id,
+            socket,
+            collector,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let opts = CliOptions::parse(&strs(&[
+            "--id",
+            "7",
+            "--segment-size",
+            "8",
+            "--block-len",
+            "128",
+            "--gossip-rate",
+            "12.5",
+            "--expiry-rate",
+            "0.1",
+            "--buffer-cap",
+            "1024",
+            "--pull-rate",
+            "99",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(opts.id, 7);
+        assert_eq!(opts.segment_size, 8);
+        assert_eq!(opts.block_len, 128);
+        assert_eq!(opts.gossip_rate, 12.5);
+        assert_eq!(opts.expiry_rate, 0.1);
+        assert_eq!(opts.buffer_cap, 1024);
+        assert_eq!(opts.pull_rate, 99.0);
+        assert_eq!(opts.seed, 3);
+    }
+
+    #[test]
+    fn id_is_required() {
+        let e = CliOptions::parse(&strs(&["--seed", "1"])).unwrap_err();
+        assert!(e.to_string().contains("--id is required"));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(CliOptions::parse(&strs(&["--id", "1", "--bogus", "2"])).is_err());
+        assert!(CliOptions::parse(&strs(&["--id"])).is_err());
+        assert!(CliOptions::parse(&strs(&["--id", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_book_text() {
+        let book = parse_book(
+            "# swarm\n0 127.0.0.1:9000\n1 127.0.0.1:9001\n\n100 127.0.0.1:9100 collector\n",
+        )
+        .unwrap();
+        assert_eq!(book.len(), 3);
+        assert_eq!(book[0].id, 0);
+        assert!(!book[0].collector);
+        assert_eq!(book[2].id, 100);
+        assert!(book[2].collector);
+        assert_eq!(book[1].socket, "127.0.0.1:9001".parse().unwrap());
+    }
+
+    #[test]
+    fn rejects_malformed_book_lines() {
+        assert!(parse_book("x 127.0.0.1:1").is_err());
+        assert!(parse_book("1 not-an-address").is_err());
+        assert!(parse_book("1 127.0.0.1:1 wat").is_err());
+        assert!(parse_book("1").is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration tests: the full protocol over real TCP sockets.
+
+use std::time::{Duration, Instant};
+
+use gossamer_core::{CollectorConfig, NodeConfig};
+use gossamer_net::LocalCluster;
+use gossamer_rlnc::SegmentParams;
+
+fn params() -> SegmentParams {
+    SegmentParams::new(4, 64).unwrap()
+}
+
+fn node_config(gossip: f64) -> NodeConfig {
+    NodeConfig::builder(params())
+        .gossip_rate(gossip)
+        .expiry_rate(0.02)
+        .buffer_cap(512)
+        .build()
+        .unwrap()
+}
+
+fn collector_config(pull: f64) -> CollectorConfig {
+    CollectorConfig::builder(params())
+        .pull_rate(pull)
+        .build()
+        .unwrap()
+}
+
+/// Polls until `check` succeeds or the deadline passes.
+fn wait_until(limit: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + limit;
+    while Instant::now() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+#[test]
+fn collects_records_over_tcp() {
+    let cluster = LocalCluster::start(6, node_config(40.0), 1, collector_config(150.0), 1)
+        .expect("cluster boots");
+    for i in 0..cluster.peer_count() {
+        cluster
+            .peer(i)
+            .record(format!("peer {i}: bitrate=812kbps viewers=17").as_bytes())
+            .expect("record fits");
+        cluster.peer(i).flush().expect("flush");
+    }
+    let ok = wait_until(Duration::from_secs(15), || {
+        cluster.collector(0).segments_decoded() >= 6
+    });
+    assert!(
+        ok,
+        "collector decoded only {} of 6 segments",
+        cluster.collector(0).segments_decoded()
+    );
+    let mut records = cluster.collector(0).take_records().expect("records");
+    records.sort();
+    assert_eq!(records.len(), 6);
+    for i in 0..6 {
+        assert!(records.contains(&format!("peer {i}: bitrate=812kbps viewers=17").into_bytes()));
+    }
+    // Gossip actually flowed peer-to-peer, not just peer-to-collector.
+    let gossiped: u64 = (0..6).map(|i| cluster.peer(i).stats().gossip_sent).sum();
+    assert!(gossiped > 0, "no gossip traffic observed");
+    cluster.shutdown();
+}
+
+#[test]
+fn departed_peers_data_survives_over_tcp() {
+    let mut cluster = LocalCluster::start(6, node_config(60.0), 1, collector_config(100.0), 2)
+        .expect("cluster boots");
+    cluster
+        .peer(0)
+        .record(b"victim's final measurements")
+        .expect("record fits");
+    cluster.peer(0).flush().expect("flush");
+
+    // Give gossip a moment to replicate the victim's segment, then kill
+    // the victim abruptly.
+    let replicated = wait_until(Duration::from_secs(10), || {
+        (1..6).any(|i| cluster.peer(i).stats().gossip_received > 0)
+            && cluster.peer(0).stats().gossip_sent >= 4
+    });
+    assert!(replicated, "victim never gossiped");
+    cluster.kill_peer(0).expect("victim exists");
+
+    let ok = wait_until(Duration::from_secs(15), || {
+        cluster.collector(0).segments_decoded() >= 1
+    });
+    assert!(ok, "segment not recovered after the origin departed");
+    let records = cluster.collector(0).take_records().expect("records");
+    assert!(records.contains(&b"victim's final measurements".to_vec()));
+    cluster.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_and_idempotent() {
+    let cluster = LocalCluster::start(3, node_config(10.0), 1, collector_config(20.0), 3)
+        .expect("cluster boots");
+    // Immediate shutdown with in-flight timers must not hang or panic.
+    cluster.shutdown();
+}
+
+#[test]
+fn transport_counters_move() {
+    let cluster = LocalCluster::start(4, node_config(40.0), 1, collector_config(120.0), 4)
+        .expect("cluster boots");
+    cluster.peer(0).record(b"traffic please").expect("record");
+    cluster.peer(0).flush().expect("flush");
+    let ok = wait_until(Duration::from_secs(10), || {
+        let (out0, _, _) = cluster.peer(0).transport_counters();
+        out0 > 0
+    });
+    assert!(ok, "peer 0 never sent a frame");
+    cluster.shutdown();
+}

@@ -1,0 +1,103 @@
+//! Fuzz-style robustness tests for the TCP frame codec: arbitrary and
+//! adversarial bytes must never panic a reader thread.
+
+use std::io::Cursor;
+
+use gossamer_core::{Addr, Message};
+use gossamer_net::codec::{decode_body, encode_frame, read_frame};
+use gossamer_rlnc::{CodedBlock, SegmentId};
+use proptest::prelude::*;
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    let block = (
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 1..16),
+        proptest::collection::vec(any::<u8>(), 1..128),
+    )
+        .prop_map(|(id, coeffs, payload)| {
+            CodedBlock::new(SegmentId::new(id), coeffs, payload).expect("valid")
+        });
+    prop_oneof![
+        block.clone().prop_map(Message::Gossip),
+        (any::<u64>(), any::<u8>(), any::<bool>()).prop_map(|(seg, rank, accepted)| {
+            Message::GossipAck {
+                segment: SegmentId::new(seg),
+                rank,
+                accepted,
+            }
+        }),
+        Just(Message::PullRequest),
+        Just(Message::PullResponse(None)),
+        block.prop_map(|b| Message::PullResponse(Some(b))),
+        proptest::collection::vec(any::<u64>(), 0..32).prop_map(|ids| {
+            Message::DecodedAnnounce {
+                segments: ids.into_iter().map(SegmentId::new).collect(),
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every message round-trips through the stream reader.
+    #[test]
+    fn arbitrary_messages_round_trip(from in any::<u32>(), msg in arb_message()) {
+        let frame = encode_frame(Addr(from), &msg);
+        let mut cursor = Cursor::new(frame);
+        let (got_from, got) = read_frame(&mut cursor).unwrap().unwrap();
+        prop_assert_eq!(got_from, Addr(from));
+        prop_assert_eq!(got, msg);
+    }
+
+    /// Arbitrary bytes never panic the body decoder.
+    #[test]
+    fn garbage_bodies_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = decode_body(&bytes);
+    }
+
+    /// Arbitrary byte streams never panic the frame reader (it errors or
+    /// reports EOF).
+    #[test]
+    fn garbage_streams_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let mut cursor = Cursor::new(bytes);
+        // Read frames until an error or EOF; bounded by stream length.
+        for _ in 0..64 {
+            match read_frame(&mut cursor) {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// A single flipped byte anywhere in a block-bearing frame is
+    /// detected (by frame structure or the block CRC).
+    #[test]
+    fn single_byte_corruption_of_gossip_is_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let block = CodedBlock::new(SegmentId::new(5), vec![1, 2, 3], payload)
+            .expect("valid");
+        let msg = Message::Gossip(block.clone());
+        let mut frame = encode_frame(Addr(1), &msg);
+        // Corrupt anywhere after the length prefix and the from/type
+        // header (corrupting those fields changes routing, not content).
+        let start = 9;
+        let pos = start + (((frame.len() - 1 - start) as f64) * pos_frac) as usize;
+        frame[pos] ^= flip;
+        match decode_body(&frame[4..]) {
+            Err(_) => {} // detected
+            Ok((_, Message::Gossip(got))) => {
+                prop_assert_ne!(got, block, "corruption silently ignored");
+                // Any accepted mutation must still be a structurally
+                // valid block (CRC collision is ~2^-32; a changed
+                // coefficient byte keeps the frame valid only if the CRC
+                // was also hit, so reaching here is effectively a
+                // changed-but-valid header field).
+            }
+            Ok(_) => prop_assert!(false, "message type changed silently"),
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Failure-path tests for the TCP daemons: dead address-book entries,
+//! peers vanishing mid-conversation, malformed traffic.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use gossamer_core::{Addr, CollectorConfig, NodeConfig};
+use gossamer_net::{CollectorHandle, PeerHandle};
+use gossamer_rlnc::SegmentParams;
+
+fn params() -> SegmentParams {
+    SegmentParams::new(2, 32).unwrap()
+}
+
+fn node_config() -> NodeConfig {
+    NodeConfig::builder(params())
+        .gossip_rate(50.0)
+        .expiry_rate(0.0)
+        .buffer_cap(256)
+        .build()
+        .unwrap()
+}
+
+fn wait_until(limit: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + limit;
+    while Instant::now() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    false
+}
+
+/// A peer whose only neighbour is unreachable keeps running; sends fail
+/// and are counted, nothing hangs or panics.
+#[test]
+fn unreachable_neighbour_is_tolerated() {
+    let peer = PeerHandle::spawn(Addr(1), node_config(), 1).expect("spawn");
+    // Reserve a port and close it again: guaranteed-dead endpoint.
+    let dead = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    peer.register(Addr(2), dead);
+    peer.set_neighbours(vec![Addr(2)]);
+    peer.record(b"shouting into the void").expect("record");
+    peer.flush().expect("flush");
+
+    let saw_errors = wait_until(Duration::from_secs(10), || {
+        let (_, _, errors) = peer.transport_counters();
+        errors > 0
+    });
+    assert!(saw_errors, "failed sends must be counted");
+    // The node is still alive and serviceable.
+    assert_eq!(peer.stats().segments_injected, 1);
+    peer.shutdown();
+}
+
+/// A collector pulling from a peer that dies mid-session keeps pulling
+/// from the survivors and completes.
+#[test]
+fn collector_survives_peer_death() {
+    let collector_cfg = CollectorConfig::builder(params())
+        .pull_rate(100.0)
+        .build()
+        .unwrap();
+    let collector = CollectorHandle::spawn(Addr(100), collector_cfg, 5).expect("spawn");
+
+    let victim = PeerHandle::spawn(Addr(1), node_config(), 1).expect("spawn");
+    let survivor = PeerHandle::spawn(Addr(2), node_config(), 2).expect("spawn");
+    for p in [&victim, &survivor] {
+        collector.register(p.addr(), p.socket());
+    }
+    collector.set_peers(vec![Addr(1), Addr(2)]);
+    survivor.record(b"still here").expect("record");
+    survivor.flush().expect("flush");
+
+    // Let the collector talk to both, then kill the victim.
+    std::thread::sleep(Duration::from_millis(300));
+    victim.shutdown();
+
+    let ok = wait_until(Duration::from_secs(10), || {
+        collector.segments_decoded() >= 1
+    });
+    assert!(ok, "survivor's data must still be collected");
+    let records = collector.take_records().expect("records");
+    assert!(records.contains(&b"still here".to_vec()));
+    collector.shutdown();
+    survivor.shutdown();
+}
+
+/// Garbage bytes thrown at a daemon's listener are rejected without
+/// disturbing real traffic.
+#[test]
+fn garbage_connections_are_shrugged_off() {
+    let peer = PeerHandle::spawn(Addr(1), node_config(), 3).expect("spawn");
+    for garbage in [
+        &b"\x00\x00\x00\x05GARBAGE-GARBAGE"[..],
+        &b"\xff\xff\xff\xff"[..],
+        &b"short"[..],
+    ] {
+        let mut conn = TcpStream::connect(peer.socket()).expect("connect");
+        let _ = conn.write_all(garbage);
+        // Dropping the connection mid-frame is part of the abuse.
+    }
+    // The daemon still serves a legitimate pull conversation afterwards.
+    let collector_cfg = CollectorConfig::builder(params())
+        .pull_rate(100.0)
+        .build()
+        .unwrap();
+    let collector = CollectorHandle::spawn(Addr(100), collector_cfg, 7).expect("spawn");
+    collector.register(Addr(1), peer.socket());
+    collector.set_peers(vec![Addr(1)]);
+    peer.record(b"alive and well").expect("record");
+    peer.flush().expect("flush");
+    let ok = wait_until(Duration::from_secs(10), || {
+        collector.segments_decoded() >= 1
+    });
+    assert!(ok, "daemon must survive garbage connections");
+    collector.shutdown();
+    peer.shutdown();
+}

@@ -1,0 +1,395 @@
+//! Generic explicit ODE integrators.
+//!
+//! Two integrators are provided:
+//!
+//! * [`rk4_step`] / [`integrate_fixed`] — the classic fourth-order
+//!   Runge–Kutta method with a fixed step, predictable and fast for the
+//!   smooth, mildly stiff systems in this crate,
+//! * [`integrate_adaptive`] — Runge–Kutta–Fehlberg 4(5) with step-size
+//!   control, used when a caller wants error control instead of picking a
+//!   step.
+//!
+//! [`integrate_to_steady`] drives either stepper until the derivative's
+//! infinity norm falls below a tolerance, which is how every steady-state
+//! quantity in the paper's evaluation is obtained.
+
+/// A first-order ODE system `y' = f(t, y)`.
+///
+/// The derivative is written into `dy` to avoid per-step allocation.
+pub trait OdeSystem {
+    /// Dimension of the state vector.
+    fn dim(&self) -> usize;
+    /// Computes `dy = f(t, y)`.
+    fn deriv(&self, t: f64, y: &[f64], dy: &mut [f64]);
+}
+
+impl<F> OdeSystem for (usize, F)
+where
+    F: Fn(f64, &[f64], &mut [f64]),
+{
+    fn dim(&self) -> usize {
+        self.0
+    }
+    fn deriv(&self, t: f64, y: &[f64], dy: &mut [f64]) {
+        (self.1)(t, y, dy)
+    }
+}
+
+/// Scratch buffers reused across steps.
+struct Scratch {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(dim: usize) -> Self {
+        Scratch {
+            k1: vec![0.0; dim],
+            k2: vec![0.0; dim],
+            k3: vec![0.0; dim],
+            k4: vec![0.0; dim],
+            tmp: vec![0.0; dim],
+        }
+    }
+}
+
+/// Advances `y` by one RK4 step of size `dt` at time `t`.
+pub fn rk4_step<S: OdeSystem>(system: &S, t: f64, y: &mut [f64], dt: f64) {
+    let mut s = Scratch::new(y.len());
+    rk4_step_with(system, t, y, dt, &mut s);
+}
+
+fn rk4_step_with<S: OdeSystem>(system: &S, t: f64, y: &mut [f64], dt: f64, s: &mut Scratch) {
+    system.deriv(t, y, &mut s.k1);
+    for ((tmp, &yi), &k) in s.tmp.iter_mut().zip(y.iter()).zip(&s.k1) {
+        *tmp = yi + 0.5 * dt * k;
+    }
+    system.deriv(t + 0.5 * dt, &s.tmp, &mut s.k2);
+    for ((tmp, &yi), &k) in s.tmp.iter_mut().zip(y.iter()).zip(&s.k2) {
+        *tmp = yi + 0.5 * dt * k;
+    }
+    system.deriv(t + 0.5 * dt, &s.tmp, &mut s.k3);
+    for ((tmp, &yi), &k) in s.tmp.iter_mut().zip(y.iter()).zip(&s.k3) {
+        *tmp = yi + dt * k;
+    }
+    system.deriv(t + dt, &s.tmp, &mut s.k4);
+    for (i, yi) in y.iter_mut().enumerate() {
+        *yi += dt / 6.0 * (s.k1[i] + 2.0 * s.k2[i] + 2.0 * s.k3[i] + s.k4[i]);
+    }
+}
+
+/// Integrates from `t0` to `t1` with fixed step `dt`, returning the final
+/// state.
+///
+/// # Panics
+///
+/// Panics if `dt <= 0`, `t1 < t0`, or `y0.len() != system.dim()`.
+pub fn integrate_fixed<S: OdeSystem>(
+    system: &S,
+    y0: &[f64],
+    t0: f64,
+    t1: f64,
+    dt: f64,
+) -> Vec<f64> {
+    assert!(dt > 0.0, "step must be positive");
+    assert!(t1 >= t0, "integration interval must be forward");
+    assert_eq!(y0.len(), system.dim(), "state dimension mismatch");
+    let mut y = y0.to_vec();
+    let mut scratch = Scratch::new(y.len());
+    let mut t = t0;
+    while t < t1 {
+        let step = dt.min(t1 - t);
+        rk4_step_with(system, t, &mut y, step, &mut scratch);
+        t += step;
+    }
+    y
+}
+
+/// Result of [`integrate_adaptive`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome {
+    /// Final state at `t1`.
+    pub y: Vec<f64>,
+    /// Number of accepted steps.
+    pub steps_accepted: usize,
+    /// Number of rejected (re-tried) steps.
+    pub steps_rejected: usize,
+}
+
+/// Integrates from `t0` to `t1` with the RKF45 embedded pair and
+/// per-step error control at tolerance `tol`.
+///
+/// # Panics
+///
+/// Panics if `tol <= 0`, `t1 < t0`, or `y0.len() != system.dim()`.
+pub fn integrate_adaptive<S: OdeSystem>(
+    system: &S,
+    y0: &[f64],
+    t0: f64,
+    t1: f64,
+    tol: f64,
+) -> AdaptiveOutcome {
+    assert!(tol > 0.0, "tolerance must be positive");
+    assert!(t1 >= t0, "integration interval must be forward");
+    assert_eq!(y0.len(), system.dim(), "state dimension mismatch");
+
+    // Fehlberg coefficients.
+    const A: [[f64; 5]; 5] = [
+        [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
+        [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+        [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+        [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+        [
+            -8.0 / 27.0,
+            2.0,
+            -3544.0 / 2565.0,
+            1859.0 / 4104.0,
+            -11.0 / 40.0,
+        ],
+    ];
+    const C: [f64; 6] = [0.0, 0.25, 3.0 / 8.0, 12.0 / 13.0, 1.0, 0.5];
+    const B5: [f64; 6] = [
+        16.0 / 135.0,
+        0.0,
+        6656.0 / 12825.0,
+        28561.0 / 56430.0,
+        -9.0 / 50.0,
+        2.0 / 55.0,
+    ];
+    const B4: [f64; 6] = [
+        25.0 / 216.0,
+        0.0,
+        1408.0 / 2565.0,
+        2197.0 / 4104.0,
+        -1.0 / 5.0,
+        0.0,
+    ];
+
+    let n = y0.len();
+    let mut y = y0.to_vec();
+    let mut t = t0;
+    let mut h = ((t1 - t0) / 100.0).max(1e-8);
+    let mut k = vec![vec![0.0; n]; 6];
+    let mut tmp = vec![0.0; n];
+    let mut accepted = 0;
+    let mut rejected = 0;
+
+    while t < t1 {
+        h = h.min(t1 - t);
+        system.deriv(t, &y, &mut k[0]);
+        for stage in 1..6 {
+            for i in 0..n {
+                let mut acc = 0.0;
+                for (j, kj) in k.iter().enumerate().take(stage) {
+                    acc += A[stage - 1][j] * kj[i];
+                }
+                tmp[i] = y[i] + h * acc;
+            }
+            let (head, tail) = k.split_at_mut(stage);
+            let _ = head;
+            system.deriv(t + C[stage] * h, &tmp, &mut tail[0]);
+        }
+        // Error estimate: |y5 - y4|.
+        let mut err: f64 = 0.0;
+        for i in 0..n {
+            let mut diff = 0.0;
+            for (j, kj) in k.iter().enumerate() {
+                diff += (B5[j] - B4[j]) * kj[i];
+            }
+            err = err.max((h * diff).abs());
+        }
+        if err <= tol || h <= 1e-12 {
+            for i in 0..n {
+                let mut acc = 0.0;
+                for (j, kj) in k.iter().enumerate() {
+                    acc += B5[j] * kj[i];
+                }
+                y[i] += h * acc;
+            }
+            t += h;
+            accepted += 1;
+        } else {
+            rejected += 1;
+        }
+        // Standard step-size update with safety factor.
+        let scale = if err > 0.0 {
+            0.9 * (tol / err).powf(0.2)
+        } else {
+            2.0
+        };
+        h *= scale.clamp(0.2, 5.0);
+    }
+
+    AdaptiveOutcome {
+        y,
+        steps_accepted: accepted,
+        steps_rejected: rejected,
+    }
+}
+
+/// Outcome of [`integrate_to_steady`].
+#[derive(Debug, Clone)]
+pub struct SteadyOutcome {
+    /// The (approximately) stationary state.
+    pub y: Vec<f64>,
+    /// Virtual time at which convergence was declared.
+    pub t: f64,
+    /// Whether the residual dropped below tolerance before `t_max`.
+    pub converged: bool,
+    /// Final residual `‖f(t, y)‖∞`.
+    pub residual: f64,
+}
+
+/// Integrates with fixed-step RK4 until `‖y'‖∞ < tol` or `t_max` is
+/// reached.
+///
+/// # Panics
+///
+/// Panics on non-positive `dt`/`tol` or a dimension mismatch.
+pub fn integrate_to_steady<S: OdeSystem>(
+    system: &S,
+    y0: &[f64],
+    dt: f64,
+    tol: f64,
+    t_max: f64,
+) -> SteadyOutcome {
+    assert!(dt > 0.0 && tol > 0.0, "dt and tol must be positive");
+    assert_eq!(y0.len(), system.dim(), "state dimension mismatch");
+    let mut y = y0.to_vec();
+    let mut scratch = Scratch::new(y.len());
+    let mut dy = vec![0.0; y.len()];
+    let mut t = 0.0;
+    // Check the residual every ~1 time unit to amortise the extra deriv.
+    let check_interval = (1.0 / dt).ceil() as usize;
+    let mut since_check = 0;
+    while t < t_max {
+        rk4_step_with(system, t, &mut y, dt, &mut scratch);
+        t += dt;
+        since_check += 1;
+        if since_check >= check_interval {
+            since_check = 0;
+            system.deriv(t, &y, &mut dy);
+            let residual = dy.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            if residual < tol {
+                return SteadyOutcome {
+                    y,
+                    t,
+                    converged: true,
+                    residual,
+                };
+            }
+        }
+    }
+    system.deriv(t, &y, &mut dy);
+    let residual = dy.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    SteadyOutcome {
+        y,
+        t,
+        converged: residual < tol,
+        residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y' = -y, y(0) = 1  =>  y(t) = e^-t.
+    fn decay() -> (usize, impl Fn(f64, &[f64], &mut [f64])) {
+        (1, |_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = -y[0])
+    }
+
+    /// Harmonic oscillator: y'' = -y as a 2-d system; energy conserved.
+    fn oscillator() -> (usize, impl Fn(f64, &[f64], &mut [f64])) {
+        (2, |_t: f64, y: &[f64], dy: &mut [f64]| {
+            dy[0] = y[1];
+            dy[1] = -y[0];
+        })
+    }
+
+    #[test]
+    fn rk4_matches_exponential_decay() {
+        let sys = decay();
+        let y = integrate_fixed(&sys, &[1.0], 0.0, 5.0, 0.01);
+        assert!((y[0] - (-5.0f64).exp()).abs() < 1e-8, "got {}", y[0]);
+    }
+
+    #[test]
+    fn rk4_has_fourth_order_convergence() {
+        let sys = decay();
+        let exact = (-1.0f64).exp();
+        let coarse = (integrate_fixed(&sys, &[1.0], 0.0, 1.0, 0.1)[0] - exact).abs();
+        let fine = (integrate_fixed(&sys, &[1.0], 0.0, 1.0, 0.05)[0] - exact).abs();
+        // Halving dt should shrink error by ~2^4 = 16.
+        assert!(coarse / fine > 10.0, "ratio {}", coarse / fine);
+    }
+
+    #[test]
+    fn rk4_oscillator_conserves_energy() {
+        let sys = oscillator();
+        let y = integrate_fixed(&sys, &[1.0, 0.0], 0.0, 20.0, 0.01);
+        let energy = y[0] * y[0] + y[1] * y[1];
+        assert!((energy - 1.0).abs() < 1e-6, "energy {energy}");
+        assert!((y[0] - 20.0f64.cos()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adaptive_matches_exact_solution() {
+        let sys = decay();
+        let out = integrate_adaptive(&sys, &[1.0], 0.0, 5.0, 1e-10);
+        assert!((out.y[0] - (-5.0f64).exp()).abs() < 1e-7);
+        assert!(out.steps_accepted > 0);
+    }
+
+    #[test]
+    fn adaptive_takes_fewer_steps_at_loose_tolerance() {
+        let sys = oscillator();
+        let tight = integrate_adaptive(&sys, &[1.0, 0.0], 0.0, 10.0, 1e-10);
+        let loose = integrate_adaptive(&sys, &[1.0, 0.0], 0.0, 10.0, 1e-4);
+        assert!(loose.steps_accepted < tight.steps_accepted);
+    }
+
+    #[test]
+    fn steady_state_of_relaxation() {
+        // y' = 3 - y has fixed point 3.
+        let sys = (1usize, |_t: f64, y: &[f64], dy: &mut [f64]| {
+            dy[0] = 3.0 - y[0];
+        });
+        let out = integrate_to_steady(&sys, &[0.0], 0.01, 1e-9, 100.0);
+        assert!(out.converged);
+        assert!((out.y[0] - 3.0).abs() < 1e-6);
+        assert!(out.residual < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_reports_non_convergence() {
+        // Oscillator never converges to a point.
+        let sys = oscillator();
+        let out = integrate_to_steady(&sys, &[1.0, 0.0], 0.01, 1e-9, 5.0);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn integrate_zero_interval_is_identity() {
+        let sys = decay();
+        let y = integrate_fixed(&sys, &[0.7], 2.0, 2.0, 0.1);
+        assert_eq!(y, vec![0.7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn rejects_bad_step() {
+        let sys = decay();
+        let _ = integrate_fixed(&sys, &[1.0], 0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "state dimension mismatch")]
+    fn rejects_dimension_mismatch() {
+        let sys = decay();
+        let _ = integrate_fixed(&sys, &[1.0, 2.0], 0.0, 1.0, 0.1);
+    }
+}

@@ -1,0 +1,48 @@
+//! The differential-equation model of indirect P2P data collection.
+//!
+//! Niu & Li (ICDCS 2008, Sec. 3) characterise the gossip/pull system as a
+//! random bipartite graph process whose limit, as the number of peers
+//! `N → ∞`, obeys a system of ordinary differential equations (Wormald's
+//! method). This crate implements that model exactly:
+//!
+//! * [`ModelParams`] — the paper's parameters: block generation rate `λ`,
+//!   gossip bandwidth `μ`, deletion rate `γ`, segment size `s`, normalized
+//!   server capacity `c`, buffer cap `B`, plus the numerical truncation
+//!   degree,
+//! * [`IndirectCollectionOde`] — the coupled systems (7), (8) and (12)
+//!   for the peer-degree distribution `zᵢ`, the segment-degree
+//!   distribution `wᵢ`, and the segment collection matrix `mᵢʲ`,
+//! * [`integrator`] — fixed-step RK4 and adaptive RKF45 integrators with
+//!   steady-state detection,
+//! * [`SteadyState`] — the equilibrium solution with accessors for every
+//!   quantity the paper's evaluation needs,
+//! * [`theorems`] — Theorems 1–4: storage overhead, session throughput
+//!   (including the closed-form `s = 1` case via the quadratic root
+//!   `θ₊`), block delivery delay (Little's theorem), and the
+//!   buffered-data guarantee.
+//!
+//! # Example: Theorem 1's storage overhead
+//!
+//! ```
+//! use gossamer_ode::theorems;
+//!
+//! // λ = 20, μ = 10, γ = 1  (the paper's Fig. 3 setting)
+//! let t1 = theorems::storage_overhead(20.0, 10.0, 1.0);
+//! assert!(t1.overhead < 10.0);            // bounded by μ/γ
+//! assert!((t1.rho - (t1.overhead + 20.0)).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod integrator;
+mod params;
+mod steady;
+mod system;
+pub mod theorems;
+
+pub use params::{ModelParams, ModelParamsBuilder, ParamError};
+pub use steady::{
+    solve_steady_state, solve_trajectory, SteadyOptions, SteadyState, Trajectory, TrajectoryPoint,
+};
+pub use system::IndirectCollectionOde;

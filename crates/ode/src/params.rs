@@ -1,0 +1,380 @@
+//! Model parameters and their validation.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned by [`ModelParamsBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParamError {
+    /// A rate parameter (λ, μ, γ, c) was non-positive or non-finite.
+    NonPositiveRate {
+        /// Which parameter was rejected.
+        name: &'static str,
+    },
+    /// The segment size was zero.
+    ZeroSegmentSize,
+    /// The buffer cap cannot hold even one segment.
+    BufferTooSmall {
+        /// The requested buffer cap.
+        buffer_cap: usize,
+        /// The segment size it must at least hold.
+        segment_size: usize,
+    },
+    /// The truncation degree is too small to be meaningful.
+    TruncationTooSmall {
+        /// The requested truncation degree.
+        max_degree: usize,
+        /// The minimum sensible value.
+        minimum: usize,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::NonPositiveRate { name } => {
+                write!(f, "parameter {name} must be positive and finite")
+            }
+            ParamError::ZeroSegmentSize => write!(f, "segment size must be at least 1"),
+            ParamError::BufferTooSmall {
+                buffer_cap,
+                segment_size,
+            } => write!(
+                f,
+                "buffer cap {buffer_cap} cannot hold one segment of {segment_size} blocks"
+            ),
+            ParamError::TruncationTooSmall {
+                max_degree,
+                minimum,
+            } => write!(f, "truncation degree {max_degree} below minimum {minimum}"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The parameters of the indirect-collection model (paper Sec. 2):
+///
+/// | symbol | meaning |
+/// |---|---|
+/// | `λ` | per-peer original-block generation rate (Poisson) |
+/// | `μ` | per-peer gossip upload rate |
+/// | `γ` | per-block deletion (TTL) rate |
+/// | `s` | segment size (blocks per segment; `1` = no coding) |
+/// | `c` | normalized server capacity `cₛ·Nₛ/N` |
+/// | `B` | per-peer buffer cap in blocks |
+///
+/// plus `max_degree`, the numerical truncation for the segment-degree
+/// distributions `wᵢ` and `mᵢʲ` (the paper's infinite sums).
+///
+/// # Examples
+///
+/// ```
+/// use gossamer_ode::ModelParams;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = ModelParams::builder()
+///     .lambda(20.0)
+///     .mu(10.0)
+///     .gamma(1.0)
+///     .segment_size(8)
+///     .server_capacity(6.0)
+///     .build()?;
+/// assert_eq!(params.segment_size(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    lambda: f64,
+    mu: f64,
+    gamma: f64,
+    segment_size: usize,
+    server_capacity: f64,
+    buffer_cap: usize,
+    max_degree: usize,
+    churn_rate: f64,
+}
+
+impl ModelParams {
+    /// Starts building parameters; see [`ModelParamsBuilder`] for
+    /// defaults.
+    pub fn builder() -> ModelParamsBuilder {
+        ModelParamsBuilder::default()
+    }
+
+    /// Per-peer block generation rate λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Per-peer gossip upload rate μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Per-block deletion rate γ (TTL mean is `1/γ`).
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Segment size `s`.
+    pub fn segment_size(&self) -> usize {
+        self.segment_size
+    }
+
+    /// Normalized server capacity `c = cₛ·Nₛ/N`.
+    pub fn server_capacity(&self) -> f64 {
+        self.server_capacity
+    }
+
+    /// Per-peer buffer cap `B` (blocks).
+    pub fn buffer_cap(&self) -> usize {
+        self.buffer_cap
+    }
+
+    /// Truncation degree for the segment-side distributions.
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Peer-departure rate `δ = 1/L` in the replacement model (`0` =
+    /// static network). This is a mean-field *extension* beyond the
+    /// paper, which only simulates churn: peers reset to an empty
+    /// buffer at rate δ, and segment-side edges die at the effective
+    /// rate `γ + δ` (each block vanishes when either its TTL fires or
+    /// its host departs). The approximation treats a segment's blocks
+    /// as hosted by distinct peers, which is accurate for `N ≫ ρ`.
+    pub fn churn_rate(&self) -> f64 {
+        self.churn_rate
+    }
+
+    /// The first-order estimate of the steady-state blocks per peer,
+    /// `ρ ≈ μ/γ + λ/γ`, used to pick sensible defaults for `B` and the
+    /// truncation degree.
+    pub fn rho_upper_bound(&self) -> f64 {
+        (self.mu + self.lambda) / self.gamma
+    }
+}
+
+/// Builder for [`ModelParams`].
+///
+/// Defaults follow the paper's Fig. 3 setting: `λ = 20`, `μ = 10`,
+/// `γ = 1`, `s = 1`, `c = 6`. The buffer cap and truncation degree
+/// default to generous multiples of the expected steady-state degree
+/// (`B ≈ 4ρ`), honouring the paper's "B large enough" assumption.
+#[derive(Debug, Clone, Default)]
+pub struct ModelParamsBuilder {
+    lambda: Option<f64>,
+    mu: Option<f64>,
+    gamma: Option<f64>,
+    segment_size: Option<usize>,
+    server_capacity: Option<f64>,
+    buffer_cap: Option<usize>,
+    max_degree: Option<usize>,
+    churn_rate: f64,
+}
+
+impl ModelParamsBuilder {
+    /// Sets the block generation rate λ.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = Some(lambda);
+        self
+    }
+
+    /// Sets the gossip upload rate μ.
+    pub fn mu(mut self, mu: f64) -> Self {
+        self.mu = Some(mu);
+        self
+    }
+
+    /// Sets the deletion rate γ.
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = Some(gamma);
+        self
+    }
+
+    /// Sets the segment size `s`.
+    pub fn segment_size(mut self, s: usize) -> Self {
+        self.segment_size = Some(s);
+        self
+    }
+
+    /// Sets the normalized server capacity `c`.
+    pub fn server_capacity(mut self, c: f64) -> Self {
+        self.server_capacity = Some(c);
+        self
+    }
+
+    /// Sets the buffer cap `B` (blocks per peer).
+    pub fn buffer_cap(mut self, b: usize) -> Self {
+        self.buffer_cap = Some(b);
+        self
+    }
+
+    /// Sets the truncation degree for `wᵢ`/`mᵢʲ`.
+    pub fn max_degree(mut self, d: usize) -> Self {
+        self.max_degree = Some(d);
+        self
+    }
+
+    /// Sets the peer-departure rate `δ = 1/mean_lifetime` (default 0,
+    /// the paper's static analysis; see
+    /// [`ModelParams::churn_rate`]).
+    pub fn churn_rate(mut self, delta: f64) -> Self {
+        self.churn_rate = delta;
+        self
+    }
+
+    /// Validates and produces the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] for non-positive rates, a zero segment
+    /// size, a buffer smaller than one segment, or a truncation degree
+    /// smaller than the segment size.
+    pub fn build(self) -> Result<ModelParams, ParamError> {
+        let lambda = self.lambda.unwrap_or(20.0);
+        let mu = self.mu.unwrap_or(10.0);
+        let gamma = self.gamma.unwrap_or(1.0);
+        let segment_size = self.segment_size.unwrap_or(1);
+        let server_capacity = self.server_capacity.unwrap_or(6.0);
+
+        for (name, v) in [
+            ("lambda", lambda),
+            ("mu", mu),
+            ("gamma", gamma),
+            ("server_capacity", server_capacity),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ParamError::NonPositiveRate { name });
+            }
+        }
+        if !(self.churn_rate.is_finite() && self.churn_rate >= 0.0) {
+            return Err(ParamError::NonPositiveRate { name: "churn_rate" });
+        }
+        if segment_size == 0 {
+            return Err(ParamError::ZeroSegmentSize);
+        }
+
+        let rho_bound = (mu + lambda) / gamma;
+        let buffer_cap = self
+            .buffer_cap
+            .unwrap_or_else(|| ((4.0 * rho_bound).ceil() as usize).max(segment_size * 4));
+        if buffer_cap < segment_size {
+            return Err(ParamError::BufferTooSmall {
+                buffer_cap,
+                segment_size,
+            });
+        }
+        // Segment degrees drift downward from the injection degree `s`
+        // (the encode rate per edge is always below γ — see Theorem 1),
+        // with upward excursions of geometric ratio q ≈ μ/(μ+λ). The
+        // default truncation covers s plus enough tail for q close to 1.
+        let tail = ((6.0 * (mu + lambda) / lambda).ceil() as usize).max(40);
+        let max_degree = self.max_degree.unwrap_or(segment_size + tail);
+        if max_degree < segment_size {
+            return Err(ParamError::TruncationTooSmall {
+                max_degree,
+                minimum: segment_size,
+            });
+        }
+
+        Ok(ModelParams {
+            lambda,
+            mu,
+            gamma,
+            segment_size,
+            server_capacity,
+            buffer_cap,
+            max_degree,
+            churn_rate: self.churn_rate,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_fig3_setting() {
+        let p = ModelParams::builder().build().unwrap();
+        assert_eq!(p.lambda(), 20.0);
+        assert_eq!(p.mu(), 10.0);
+        assert_eq!(p.gamma(), 1.0);
+        assert_eq!(p.segment_size(), 1);
+        assert_eq!(p.server_capacity(), 6.0);
+        assert!(p.buffer_cap() >= 100, "B defaults to ~4rho");
+        assert!(p.max_degree() >= p.segment_size() + 40);
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        for f in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                ModelParams::builder().lambda(f).build(),
+                Err(ParamError::NonPositiveRate { name: "lambda" })
+            ));
+            assert!(ModelParams::builder().mu(f).build().is_err());
+            assert!(ModelParams::builder().gamma(f).build().is_err());
+            assert!(ModelParams::builder().server_capacity(f).build().is_err());
+        }
+    }
+
+    #[test]
+    fn rejects_zero_segment_size() {
+        assert_eq!(
+            ModelParams::builder().segment_size(0).build(),
+            Err(ParamError::ZeroSegmentSize)
+        );
+    }
+
+    #[test]
+    fn rejects_buffer_smaller_than_segment() {
+        let err = ModelParams::builder()
+            .segment_size(10)
+            .buffer_cap(5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ParamError::BufferTooSmall { .. }));
+        assert!(err.to_string().contains("cannot hold"));
+    }
+
+    #[test]
+    fn rejects_tiny_truncation() {
+        let err = ModelParams::builder()
+            .segment_size(10)
+            .max_degree(5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ParamError::TruncationTooSmall { .. }));
+    }
+
+    #[test]
+    fn explicit_values_are_respected() {
+        let p = ModelParams::builder()
+            .lambda(8.0)
+            .mu(4.0)
+            .gamma(0.5)
+            .segment_size(16)
+            .server_capacity(2.0)
+            .buffer_cap(120)
+            .max_degree(300)
+            .build()
+            .unwrap();
+        assert_eq!(p.buffer_cap(), 120);
+        assert_eq!(p.max_degree(), 300);
+        assert_eq!(p.rho_upper_bound(), 24.0);
+    }
+
+    #[test]
+    fn params_are_serde_and_send_sync() {
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_serde::<ModelParams>();
+        assert_send_sync::<ModelParams>();
+    }
+}

@@ -1,0 +1,362 @@
+//! Steady-state solutions of the coupled model.
+
+use crate::integrator::{integrate_to_steady, SteadyOutcome};
+use crate::{IndirectCollectionOde, ModelParams};
+
+/// Numerical options for the steady-state solve.
+#[derive(Debug, Clone, Copy)]
+pub struct SteadyOptions {
+    /// RK4 step size (in units of `1/γ`-scale model time).
+    pub dt: f64,
+    /// Convergence tolerance on `‖y'‖∞`.
+    pub tol: f64,
+    /// Abandon integration at this virtual time.
+    pub t_max: f64,
+}
+
+impl Default for SteadyOptions {
+    fn default() -> Self {
+        SteadyOptions {
+            dt: 0.01,
+            tol: 1e-8,
+            t_max: 400.0,
+        }
+    }
+}
+
+/// The equilibrium of the coupled system, with accessors for every
+/// steady-state quantity the paper's theorems consume.
+#[derive(Debug, Clone)]
+pub struct SteadyState {
+    system: IndirectCollectionOde,
+    y: Vec<f64>,
+    t: f64,
+    converged: bool,
+    residual: f64,
+}
+
+impl SteadyState {
+    /// The parameters the solve was run with.
+    pub fn params(&self) -> &ModelParams {
+        self.system.params()
+    }
+
+    /// Whether the integrator declared convergence.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Final residual `‖y'‖∞`.
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+
+    /// Virtual time at which the solve stopped.
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Steady-state `z̃ᵢ` — fraction of peers with `i` buffered blocks.
+    pub fn z(&self, i: usize) -> f64 {
+        self.system.z(&self.y, i)
+    }
+
+    /// Steady-state `w̃ᵢ` — rescaled count of degree-`i` segments.
+    pub fn w(&self, i: usize) -> f64 {
+        self.system.w(&self.y, i)
+    }
+
+    /// Steady-state `m̃ᵢʲ`.
+    pub fn m(&self, i: usize, j: usize) -> f64 {
+        self.system.m(&self.y, i, j)
+    }
+
+    /// Steady-state average blocks per peer, `ẽ = Σ i·z̃ᵢ`.
+    pub fn edge_density(&self) -> f64 {
+        self.system.edge_density(&self.y)
+    }
+
+    /// `Σᵢ w̃ᵢ` — rescaled count of live segments.
+    pub fn total_segments(&self) -> f64 {
+        (1..=self.params().max_degree()).map(|i| self.w(i)).sum()
+    }
+
+    /// `Σᵢ w̃ᵢ` restricted to `i ≥ s` — rescaled count of *decodable*
+    /// segments (enough live blocks to reconstruct).
+    pub fn decodable_segments(&self) -> f64 {
+        (self.params().segment_size()..=self.params().max_degree())
+            .map(|i| self.w(i))
+            .sum()
+    }
+
+    /// `Σᵢ m̃ᵢˢ` — rescaled count of segments fully collected by servers
+    /// and still alive.
+    pub fn collected_segments(&self) -> f64 {
+        let s = self.params().segment_size();
+        (1..=self.params().max_degree()).map(|i| self.m(i, s)).sum()
+    }
+
+    /// `Σᵢ m̃ᵢˢ` restricted to `i ≥ s`.
+    pub fn collected_decodable_segments(&self) -> f64 {
+        let s = self.params().segment_size();
+        (s..=self.params().max_degree()).map(|i| self.m(i, s)).sum()
+    }
+
+    /// `Σᵢ i·m̃ᵢˢ` — the block mass sitting in already-collected
+    /// segments, the quantity Theorem 2's efficiency subtracts.
+    pub fn collected_block_mass(&self) -> f64 {
+        let s = self.params().segment_size();
+        (1..=self.params().max_degree())
+            .map(|i| i as f64 * self.m(i, s))
+            .sum()
+    }
+
+    /// Raw state vector (for diagnostics).
+    pub fn raw(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// The system object, for index arithmetic on [`SteadyState::raw`].
+    pub fn system(&self) -> &IndirectCollectionOde {
+        &self.system
+    }
+}
+
+/// One sampled instant of a transient solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Model time.
+    pub t: f64,
+    /// Average blocks per peer `e(t)`.
+    pub edge_density: f64,
+    /// Fraction of empty peers `z₀(t)`.
+    pub empty_fraction: f64,
+    /// Rescaled count of live segments `Σ wᵢ(t)`.
+    pub segments: f64,
+    /// Rescaled count of fully collected, still-alive segments
+    /// `Σ mᵢˢ(t)`.
+    pub collected_segments: f64,
+}
+
+/// The transient solution of the model from the empty network: the
+/// quantities the paper's Wormald-style ODE approximation predicts for
+/// every instant, not just the equilibrium.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// Samples in time order, starting at `t = 0`.
+    pub points: Vec<TrajectoryPoint>,
+}
+
+/// Integrates the model from the empty network to `t_end`, sampling
+/// every `sample_interval`. Used to validate the mean-field ODEs against
+/// the simulator *during the transient*, where finite-`N` effects are
+/// strongest.
+///
+/// # Panics
+///
+/// Panics if `sample_interval` or `t_end` is not positive.
+pub fn solve_trajectory(
+    params: ModelParams,
+    dt: f64,
+    sample_interval: f64,
+    t_end: f64,
+) -> Trajectory {
+    assert!(
+        sample_interval > 0.0 && t_end > 0.0,
+        "positive times required"
+    );
+    let system = IndirectCollectionOde::new(params);
+    let dt = dt.min(system.stable_dt());
+    let mut y = system.empty_state();
+    let s = params.segment_size();
+    let sample = |t: f64, y: &[f64]| TrajectoryPoint {
+        t,
+        edge_density: system.edge_density(y),
+        empty_fraction: system.z(y, 0),
+        segments: (1..=params.max_degree()).map(|i| system.w(y, i)).sum(),
+        collected_segments: (1..=params.max_degree()).map(|i| system.m(y, i, s)).sum(),
+    };
+    let mut points = vec![sample(0.0, &y)];
+    let mut t = 0.0;
+    let mut next_sample = sample_interval;
+    while t < t_end {
+        let step = dt.min(t_end - t);
+        crate::integrator::rk4_step(&system, t, &mut y, step);
+        t += step;
+        if t + 1e-12 >= next_sample {
+            points.push(sample(t, &y));
+            next_sample += sample_interval;
+        }
+    }
+    Trajectory { points }
+}
+
+/// Integrates the coupled model from the empty network to equilibrium.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gossamer_ode::{solve_steady_state, ModelParams, SteadyOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = ModelParams::builder().segment_size(8).build()?;
+/// let steady = solve_steady_state(params, SteadyOptions::default());
+/// println!("blocks per peer: {:.2}", steady.edge_density());
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_steady_state(params: ModelParams, opts: SteadyOptions) -> SteadyState {
+    let system = IndirectCollectionOde::new(params);
+    let y0 = system.empty_state();
+    // Respect the caller's step only when it is already stable; the
+    // stiffest eigenvalue grows with the truncation degree, so large
+    // configurations need a smaller step than the default.
+    let dt = opts.dt.min(system.stable_dt());
+    let SteadyOutcome {
+        y,
+        t,
+        converged,
+        residual,
+    } = integrate_to_steady(&system, &y0, dt, opts.tol, opts.t_max);
+    SteadyState {
+        system,
+        y,
+        t,
+        converged,
+        residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(s: usize, c: f64) -> SteadyState {
+        let params = ModelParams::builder()
+            .lambda(4.0)
+            .mu(2.0)
+            .gamma(1.0)
+            .segment_size(s)
+            .server_capacity(c)
+            .buffer_cap(30)
+            .max_degree(60)
+            .build()
+            .unwrap();
+        solve_steady_state(
+            params,
+            SteadyOptions {
+                dt: 0.01,
+                tol: 1e-8,
+                t_max: 300.0,
+            },
+        )
+    }
+
+    #[test]
+    fn converges_and_matches_theorem1_poisson_form() {
+        let st = solve(1, 2.0);
+        assert!(st.converged(), "residual {}", st.residual());
+        // Theorem 1: z̃ᵢ = z̃₀ ρⁱ / i! with ρ = (1-z̃₀)μ/γ + λ/γ.
+        let t1 = crate::theorems::storage_overhead(4.0, 2.0, 1.0);
+        let mut fact = 1.0;
+        for i in 0..=8 {
+            if i > 0 {
+                fact *= i as f64;
+            }
+            let predicted = t1.z0 * t1.rho.powi(i) / fact;
+            let got = st.z(i as usize);
+            assert!(
+                (got - predicted).abs() < 5e-3,
+                "z[{i}]: got {got}, predicted {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_density_equals_rho_for_any_segment_size() {
+        // Theorem 1 holds "regardless of the value of s".
+        let t1 = crate::theorems::storage_overhead(4.0, 2.0, 1.0);
+        for s in [1, 2, 4] {
+            let st = solve(s, 2.0);
+            let e = st.edge_density();
+            assert!(
+                (e - t1.rho).abs() / t1.rho < 0.05,
+                "s={s}: e={e} rho={}",
+                t1.rho
+            );
+        }
+    }
+
+    #[test]
+    fn segment_side_block_mass_matches_peer_side() {
+        // Every edge counted from the segment side must equal the count
+        // from the peer side: Σ i·wᵢ == Σ i·zᵢ (up to truncation error).
+        let st = solve(2, 2.0);
+        let from_w: f64 = (1..=60).map(|i| i as f64 * st.w(i)).sum();
+        let from_z = st.edge_density();
+        assert!(
+            (from_w - from_z).abs() / from_z < 0.02,
+            "w-side {from_w}, z-side {from_z}"
+        );
+    }
+
+    #[test]
+    fn collected_mass_is_bounded_by_total_mass() {
+        let st = solve(2, 2.0);
+        assert!(st.collected_block_mass() <= st.edge_density() + 1e-9);
+        assert!(st.collected_segments() <= st.total_segments() + 1e-9);
+        assert!(st.collected_decodable_segments() <= st.decodable_segments() + 1e-9);
+    }
+
+    #[test]
+    fn trajectory_starts_empty_and_reaches_steady_state() {
+        let params = ModelParams::builder()
+            .lambda(4.0)
+            .mu(2.0)
+            .gamma(1.0)
+            .segment_size(2)
+            .server_capacity(2.0)
+            .buffer_cap(30)
+            .max_degree(60)
+            .build()
+            .unwrap();
+        let traj = solve_trajectory(params, 0.01, 0.5, 40.0);
+        let first = traj.points.first().unwrap();
+        assert_eq!(first.t, 0.0);
+        assert_eq!(first.edge_density, 0.0);
+        assert_eq!(first.empty_fraction, 1.0);
+        // Sampling interval respected.
+        assert!(traj.points.len() >= 80, "got {} points", traj.points.len());
+        // Monotone rise of edge density during the early transient.
+        assert!(traj.points[4].edge_density > traj.points[1].edge_density);
+        // End of trajectory agrees with the steady-state solve.
+        let steady = solve_steady_state(params, SteadyOptions::default());
+        let last = traj.points.last().unwrap();
+        assert!(
+            (last.edge_density - steady.edge_density()).abs() < 0.05,
+            "trajectory end {} vs steady {}",
+            last.edge_density,
+            steady.edge_density()
+        );
+        assert!(last.collected_segments <= last.segments + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive times required")]
+    fn trajectory_rejects_bad_sampling() {
+        let params = ModelParams::builder().build().unwrap();
+        let _ = solve_trajectory(params, 0.01, 0.0, 1.0);
+    }
+
+    #[test]
+    fn higher_capacity_collects_more() {
+        let low = solve(2, 0.5);
+        let high = solve(2, 3.0);
+        assert!(
+            high.collected_segments() > low.collected_segments(),
+            "high {} <= low {}",
+            high.collected_segments(),
+            low.collected_segments()
+        );
+    }
+}

@@ -1,0 +1,404 @@
+//! The coupled ODE systems (7), (8) and (12) of the paper.
+//!
+//! State layout (one flat vector, see [`IndirectCollectionOde`]):
+//!
+//! * `z[0..=B]` — fraction of peers whose buffer holds `i` blocks
+//!   (peer-side degree distribution, eq. 7),
+//! * `w[1..=I]` — rescaled count of segments with `i` live blocks in the
+//!   network (segment-side degree distribution, eq. 8), truncated at the
+//!   configurable degree `I`,
+//! * `m[i][j]`, `i ∈ 1..=I`, `j ∈ 0..=s` — rescaled count of degree-`i`
+//!   segments from which servers have already collected `j` linearly
+//!   independent blocks (collection matrix, eq. 12).
+//!
+//! Two refinements relative to the in-text equations, both of which the
+//! paper itself applies in its derivation and then drops under the
+//! "`B` large enough" assumption:
+//!
+//! * segment injection only happens at peers with degree `≤ B − s`
+//!   (the graph operation in Sec. 3 requires it), which makes
+//!   `Σᵢ zᵢ = 1` an exact invariant of the dynamics;
+//! * at the truncation degree `I` the encode outflow `i·wᵢ` is
+//!   suppressed so that probability mass cannot leak past the boundary;
+//!   with `I ≫ ρ` the mass near `I` is negligible.
+
+use crate::integrator::OdeSystem;
+use crate::ModelParams;
+
+/// Guard against division by the (initially zero) edge density.
+const EDGE_EPS: f64 = 1e-12;
+
+/// The edge-density denominator in the `w`/`m` systems is floored at this
+/// fraction of the lower bound `λ/γ` on the steady-state density. Early in
+/// the transient `e(t)` is tiny and `1/e` terms make the system arbitrarily
+/// stiff; flooring only slows the (irrelevant) early transient — the
+/// steady state, where `e ≈ ρ ≥ λ/γ`, is untouched.
+const EDGE_FLOOR_FRACTION: f64 = 0.2;
+
+/// The full coupled model; implements [`OdeSystem`] over the flat state
+/// vector described at the module level.
+///
+/// # Examples
+///
+/// ```
+/// use gossamer_ode::{IndirectCollectionOde, ModelParams};
+/// use gossamer_ode::integrator::integrate_fixed;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = ModelParams::builder()
+///     .lambda(4.0).mu(2.0).gamma(1.0).segment_size(2)
+///     .buffer_cap(40).max_degree(60)
+///     .build()?;
+/// let sys = IndirectCollectionOde::new(params);
+/// let y = integrate_fixed(&sys, &sys.empty_state(), 0.0, 1.0, 0.01);
+/// // Peer-degree fractions remain a probability distribution.
+/// let total: f64 = (0..=params.buffer_cap()).map(|i| sys.z(&y, i)).sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndirectCollectionOde {
+    params: ModelParams,
+}
+
+impl IndirectCollectionOde {
+    /// Creates the system for the given parameters.
+    pub fn new(params: ModelParams) -> Self {
+        IndirectCollectionOde { params }
+    }
+
+    /// The parameters this system was built from.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    #[inline]
+    fn b(&self) -> usize {
+        self.params.buffer_cap()
+    }
+
+    #[inline]
+    fn imax(&self) -> usize {
+        self.params.max_degree()
+    }
+
+    #[inline]
+    fn s(&self) -> usize {
+        self.params.segment_size()
+    }
+
+    /// Offset of `w₁` in the state vector.
+    #[inline]
+    fn w_base(&self) -> usize {
+        self.b() + 1
+    }
+
+    /// Offset of `m₁⁰` in the state vector.
+    #[inline]
+    fn m_base(&self) -> usize {
+        self.w_base() + self.imax()
+    }
+
+    /// Reads `zᵢ` from a state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > B`.
+    pub fn z(&self, y: &[f64], i: usize) -> f64 {
+        assert!(i <= self.b(), "peer degree out of range");
+        y[i]
+    }
+
+    /// Reads `wᵢ` (`1 ≤ i ≤ max_degree`) from a state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside `1..=max_degree`.
+    pub fn w(&self, y: &[f64], i: usize) -> f64 {
+        assert!(i >= 1 && i <= self.imax(), "segment degree out of range");
+        y[self.w_base() + i - 1]
+    }
+
+    /// Reads `mᵢʲ` from a state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside `1..=max_degree` or `j > s`.
+    pub fn m(&self, y: &[f64], i: usize, j: usize) -> f64 {
+        assert!(i >= 1 && i <= self.imax(), "segment degree out of range");
+        assert!(j <= self.s(), "collection state out of range");
+        y[self.m_base() + (i - 1) * (self.s() + 1) + j]
+    }
+
+    /// Average blocks per peer, `e = Σᵢ i·zᵢ`.
+    pub fn edge_density(&self, y: &[f64]) -> f64 {
+        (1..=self.b()).map(|i| i as f64 * y[i]).sum()
+    }
+
+    /// The empty-network initial condition: every peer has degree zero,
+    /// no segments exist.
+    pub fn empty_state(&self) -> Vec<f64> {
+        let mut y = vec![0.0; self.dim()];
+        y[0] = 1.0; // z₀ = 1
+        y
+    }
+
+    /// The floor applied to the edge density wherever it appears in a
+    /// denominator (see the module docs).
+    pub fn edge_floor(&self) -> f64 {
+        EDGE_FLOOR_FRACTION * self.params.lambda() / self.params.gamma()
+    }
+
+    /// An RK4 step size guaranteed stable for this system: the stiffest
+    /// eigenvalue scales like `I·(γ + (μ + c)/e_floor)`, and explicit RK4
+    /// is stable for `dt·|λ| ≲ 2.7`; a safety factor of 1 is used.
+    pub fn stable_dt(&self) -> f64 {
+        let p = &self.params;
+        let rate =
+            self.imax() as f64 * (p.gamma() + (p.mu() + p.server_capacity()) / self.edge_floor());
+        1.0 / rate
+    }
+}
+
+impl OdeSystem for IndirectCollectionOde {
+    fn dim(&self) -> usize {
+        // z: B+1, w: imax, m: imax * (s+1)
+        self.b() + 1 + self.imax() + self.imax() * (self.s() + 1)
+    }
+
+    fn deriv(&self, _t: f64, y: &[f64], dy: &mut [f64]) {
+        let b = self.b();
+        let imax = self.imax();
+        let s = self.s();
+        let sf = s as f64;
+        let lambda = self.params.lambda();
+        let mu = self.params.mu();
+        let gamma = self.params.gamma();
+        let c = self.params.server_capacity();
+        let delta = self.params.churn_rate();
+        // Segment-side edges die by TTL or by host departure.
+        let gamma_eff = gamma + delta;
+
+        dy.fill(0.0);
+
+        let z0 = y[0];
+        let zb = y[b];
+        let e = self.edge_density(y);
+
+        // Total gossip transmission rate per peer-slot: only non-empty
+        // peers transmit, and targets are drawn among peers below the cap.
+        let transmit = (1.0 - z0) * mu;
+        let target_norm = (1.0 - zb).max(EDGE_EPS);
+        let g = transmit / target_norm;
+
+        // Fraction of peers too full to accept a whole segment
+        // (degree > B - s): injection pauses there, keeping Σz = 1 exact.
+        let z_full: f64 = ((b - s + 1)..=b).map(|k| y[k]).sum();
+        let inject_rate = (1.0 - z_full) * lambda / sf; // segments per unit time per peer
+
+        // ---- z system (eq. 7, with exact injection gating) -------------
+        for i in 0..=b {
+            let mut d = 0.0;
+            // Gossip (eq. 1): inflow from i-1, outflow to i+1 (blocked at B).
+            if i > 0 {
+                d += g * y[i - 1];
+            }
+            if i < b {
+                d -= g * y[i];
+            }
+            // Injection (eq. 5 refined): a peer of degree i ≤ B-s gains s
+            // blocks at rate λ/s.
+            if i + s <= b {
+                d -= y[i] * lambda / sf;
+            }
+            if i >= s && (i - s) + s <= b {
+                d += y[i - s] * lambda / sf;
+            }
+            // Deletion (eq. 3).
+            if i < b {
+                d += (i + 1) as f64 * y[i + 1] * gamma;
+            }
+            d -= i as f64 * y[i] * gamma;
+            // Churn (extension): departing peers reset to degree zero.
+            if delta > 0.0 {
+                if i == 0 {
+                    d += (1.0 - y[0]) * delta;
+                } else {
+                    d -= y[i] * delta;
+                }
+            }
+            dy[i] = d;
+        }
+
+        // ---- w system (eq. 8) -------------------------------------------
+        let wb = self.w_base();
+        let e_eff = e.max(self.edge_floor()).max(EDGE_EPS);
+        let enc = transmit / e_eff;
+        for i in 1..=imax {
+            let wi = y[wb + i - 1];
+            let mut d = 0.0;
+            // Encoding & transfer: degree-(i-1) segments gain a block.
+            if i >= 2 {
+                d += enc * (i - 1) as f64 * y[wb + i - 2];
+            }
+            if i < imax {
+                d -= enc * i as f64 * wi;
+            }
+            // Deletion (TTL + host departure).
+            if i < imax {
+                d += (i + 1) as f64 * y[wb + i] * gamma_eff;
+            }
+            d -= i as f64 * wi * gamma_eff;
+            // Injection creates degree-s segments.
+            if i == s {
+                d += inject_rate;
+            }
+            dy[wb + i - 1] = d;
+        }
+
+        // ---- m system (eq. 12) ------------------------------------------
+        let mb = self.m_base();
+        let coll = c / e_eff;
+        let idx = |i: usize, j: usize| mb + (i - 1) * (s + 1) + j;
+        for i in 1..=imax {
+            let i_f = i as f64;
+            for j in 0..=s {
+                let mij = y[idx(i, j)];
+                let mut d = 0.0;
+                // Encoding & transfer move segments i-1 -> i (same j).
+                if i >= 2 {
+                    d += enc * (i - 1) as f64 * y[idx(i - 1, j)];
+                }
+                if i < imax {
+                    d -= enc * i_f * mij;
+                }
+                // Deletion moves i+1 -> i (same j).
+                if i < imax {
+                    d += (i + 1) as f64 * y[idx(i + 1, j)] * gamma_eff;
+                }
+                d -= i_f * mij * gamma_eff;
+                // Server collection advances j (stops at j = s).
+                if j > 0 {
+                    d += coll * i_f * y[idx(i, j - 1)];
+                }
+                if j < s {
+                    d -= coll * i_f * mij;
+                }
+                // Injection creates degree-s segments with j = 0.
+                if i == s && j == 0 {
+                    d += inject_rate;
+                }
+                dy[idx(i, j)] = d;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrator::{integrate_fixed, integrate_to_steady};
+
+    fn small_params(s: usize) -> ModelParams {
+        ModelParams::builder()
+            .lambda(4.0)
+            .mu(2.0)
+            .gamma(1.0)
+            .segment_size(s)
+            .server_capacity(2.0)
+            .buffer_cap(30)
+            .max_degree(50)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dimensions_add_up() {
+        let sys = IndirectCollectionOde::new(small_params(3));
+        assert_eq!(sys.dim(), 31 + 50 + 50 * 4);
+        assert_eq!(sys.empty_state().len(), sys.dim());
+    }
+
+    #[test]
+    fn probability_mass_is_conserved() {
+        let sys = IndirectCollectionOde::new(small_params(2));
+        let y = integrate_fixed(&sys, &sys.empty_state(), 0.0, 10.0, 0.005);
+        let total: f64 = (0..=30).map(|i| sys.z(&y, i)).sum();
+        assert!((total - 1.0).abs() < 1e-8, "sum z = {total}");
+        // All fractions stay within [0, 1] (tiny negative noise allowed).
+        for i in 0..=30 {
+            let zi = sys.z(&y, i);
+            assert!(zi > -1e-9 && zi < 1.0 + 1e-9, "z[{i}] = {zi}");
+        }
+    }
+
+    #[test]
+    fn collection_matrix_marginals_match_w() {
+        // Summing m over j must reproduce w at all times, because both
+        // track the same segments partitioned by collection state.
+        let sys = IndirectCollectionOde::new(small_params(3));
+        let y = integrate_fixed(&sys, &sys.empty_state(), 0.0, 8.0, 0.005);
+        for i in 1..=50 {
+            let sum_j: f64 = (0..=3).map(|j| sys.m(&y, i, j)).sum();
+            let wi = sys.w(&y, i);
+            assert!(
+                (sum_j - wi).abs() < 1e-8,
+                "i={i}: sum_j m = {sum_j}, w = {wi}"
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_is_reached() {
+        let sys = IndirectCollectionOde::new(small_params(2));
+        let out = integrate_to_steady(&sys, &sys.empty_state(), 0.01, 1e-7, 300.0);
+        assert!(out.converged, "residual {}", out.residual);
+        // Edge density settles near Theorem 1's rho.
+        let e = sys.edge_density(&out.y);
+        let t1 = crate::theorems::storage_overhead(4.0, 2.0, 1.0);
+        assert!(
+            (e - t1.rho).abs() / t1.rho < 0.05,
+            "e = {e}, rho = {}",
+            t1.rho
+        );
+    }
+
+    #[test]
+    fn empty_network_stays_empty_without_injection() {
+        // With the empty initial condition, w and m start at zero; only
+        // injection populates them. Verify derivative structure: at t=0,
+        // the only non-zero derivatives are z0, z_s, w_s and m_s^0.
+        let sys = IndirectCollectionOde::new(small_params(3));
+        let y0 = sys.empty_state();
+        let mut dy = vec![0.0; sys.dim()];
+        sys.deriv(0.0, &y0, &mut dy);
+        // z0 loses mass to injection, z_s gains it.
+        assert!(dy[0] < 0.0);
+        assert!(dy[3] > 0.0);
+        // w_s gains the injected segments.
+        let w_s_idx = 31 + (3 - 1);
+        assert!(dy[w_s_idx] > 0.0);
+        // All other w entries are unchanged at t = 0.
+        for i in 1..=50 {
+            if i != 3 {
+                assert_eq!(dy[31 + i - 1], 0.0, "w[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn accessor_bounds_are_enforced() {
+        let sys = IndirectCollectionOde::new(small_params(2));
+        let y = sys.empty_state();
+        assert_eq!(sys.z(&y, 0), 1.0);
+        assert_eq!(sys.w(&y, 1), 0.0);
+        assert_eq!(sys.m(&y, 50, 2), 0.0);
+        let r = std::panic::catch_unwind(|| sys.z(&y, 31));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| sys.w(&y, 0));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| sys.m(&y, 1, 3));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! The coded block — the unit that travels through the network.
+
+use core::fmt;
+
+use gossamer_gf256::Gf256;
+
+use crate::{CodingError, SegmentId, SegmentParams};
+
+/// A coded block: a linear combination of the original blocks of one
+/// segment, together with the combination coefficients.
+///
+/// The coefficient vector always has length `s` and maps **original**
+/// blocks to this payload (`payload = Σ coefficients[i] · original[i]`),
+/// regardless of how many recoding hops the block has taken — recoding
+/// composes linearly, so relays simply combine headers the same way they
+/// combine payloads.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CodedBlock {
+    segment: SegmentId,
+    coefficients: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+impl CodedBlock {
+    /// Assembles a coded block from its parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coefficient vector is empty, longer than
+    /// 255, or the payload is empty.
+    pub fn new(
+        segment: SegmentId,
+        coefficients: Vec<u8>,
+        payload: Vec<u8>,
+    ) -> Result<Self, CodingError> {
+        if coefficients.is_empty() || coefficients.len() > 255 {
+            return Err(CodingError::InvalidSegmentSize {
+                requested: coefficients.len(),
+            });
+        }
+        if payload.is_empty() {
+            return Err(CodingError::EmptyBlock);
+        }
+        Ok(CodedBlock {
+            segment,
+            coefficients,
+            payload,
+        })
+    }
+
+    /// The segment this block belongs to.
+    pub fn segment(&self) -> SegmentId {
+        self.segment
+    }
+
+    /// The coefficients mapping original blocks to this payload.
+    pub fn coefficients(&self) -> &[u8] {
+        &self.coefficients
+    }
+
+    /// The coded payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The segment size `s` implied by the coefficient width.
+    pub fn segment_size(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Checks this block against deployment parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error describing the first mismatch (coefficient width
+    /// or payload length).
+    pub fn validate(&self, params: &SegmentParams) -> Result<(), CodingError> {
+        if self.coefficients.len() != params.segment_size() {
+            return Err(CodingError::WrongCoefficientCount {
+                expected: params.segment_size(),
+                got: self.coefficients.len(),
+            });
+        }
+        if self.payload.len() != params.block_len() {
+            return Err(CodingError::WrongBlockLength {
+                expected: params.block_len(),
+                got: self.payload.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if the block is a pure source block: a unit
+    /// coefficient vector selecting exactly one original block.
+    pub fn is_systematic(&self) -> bool {
+        let mut ones = 0;
+        for &c in &self.coefficients {
+            match c {
+                0 => {}
+                1 => ones += 1,
+                _ => return false,
+            }
+        }
+        ones == 1
+    }
+
+    /// Returns `true` if every coefficient is zero (a degenerate block
+    /// carrying no information).
+    pub fn is_zero(&self) -> bool {
+        self.coefficients.iter().all(|&c| c == 0)
+    }
+
+    /// Consumes the block and returns `(segment, coefficients, payload)`.
+    pub fn into_parts(self) -> (SegmentId, Vec<u8>, Vec<u8>) {
+        (self.segment, self.coefficients, self.payload)
+    }
+
+    /// The coefficient for original block `i` as a field element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= segment_size()`.
+    pub fn coefficient(&self, i: usize) -> Gf256 {
+        Gf256::new(self.coefficients[i])
+    }
+}
+
+impl fmt::Debug for CodedBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CodedBlock {{ segment: {}, s: {}, payload: {} bytes }}",
+            self.segment,
+            self.coefficients.len(),
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CodedBlock {
+        CodedBlock::new(SegmentId::new(1), vec![0, 1, 0], vec![9; 8]).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let b = sample();
+        assert_eq!(b.segment(), SegmentId::new(1));
+        assert_eq!(b.coefficients(), &[0, 1, 0]);
+        assert_eq!(b.payload(), &[9; 8]);
+        assert_eq!(b.segment_size(), 3);
+        assert_eq!(b.coefficient(1), Gf256::ONE);
+    }
+
+    #[test]
+    fn systematic_detection() {
+        assert!(sample().is_systematic());
+        let mixed = CodedBlock::new(SegmentId::new(1), vec![2, 1, 0], vec![9; 8]).unwrap();
+        assert!(!mixed.is_systematic());
+        let two_ones = CodedBlock::new(SegmentId::new(1), vec![1, 1, 0], vec![9; 8]).unwrap();
+        assert!(!two_ones.is_systematic());
+    }
+
+    #[test]
+    fn zero_detection() {
+        let z = CodedBlock::new(SegmentId::new(1), vec![0, 0], vec![0; 4]).unwrap();
+        assert!(z.is_zero());
+        assert!(!sample().is_zero());
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(CodedBlock::new(SegmentId::new(1), vec![], vec![1]).is_err());
+        assert!(CodedBlock::new(SegmentId::new(1), vec![1], vec![]).is_err());
+        assert!(CodedBlock::new(SegmentId::new(1), vec![1; 256], vec![1]).is_err());
+    }
+
+    #[test]
+    fn validate_against_params() {
+        let params = SegmentParams::new(3, 8).unwrap();
+        assert!(sample().validate(&params).is_ok());
+        let wrong_s = SegmentParams::new(4, 8).unwrap();
+        assert!(matches!(
+            sample().validate(&wrong_s),
+            Err(CodingError::WrongCoefficientCount {
+                expected: 4,
+                got: 3
+            })
+        ));
+        let wrong_len = SegmentParams::new(3, 9).unwrap();
+        assert!(matches!(
+            sample().validate(&wrong_len),
+            Err(CodingError::WrongBlockLength {
+                expected: 9,
+                got: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn into_parts_round_trip() {
+        let (seg, coeffs, payload) = sample().into_parts();
+        let rebuilt = CodedBlock::new(seg, coeffs, payload).unwrap();
+        assert_eq!(rebuilt, sample());
+    }
+}

@@ -1,0 +1,342 @@
+//! The collector-side multi-segment decoder.
+
+use std::collections::HashMap;
+
+use crate::{CodedBlock, CodingError, InsertOutcome, SegmentBuffer, SegmentId, SegmentParams};
+
+/// A fully decoded segment: the original blocks, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedSegment {
+    id: SegmentId,
+    blocks: Vec<Vec<u8>>,
+}
+
+impl DecodedSegment {
+    /// The segment identifier.
+    pub fn id(&self) -> SegmentId {
+        self.id
+    }
+
+    /// The decoded original blocks in injection order.
+    pub fn blocks(&self) -> &[Vec<u8>] {
+        &self.blocks
+    }
+
+    /// Consumes the segment, returning its blocks.
+    pub fn into_blocks(self) -> Vec<Vec<u8>> {
+        self.blocks
+    }
+}
+
+/// Crate-internal constructor used by
+/// [`DecodedSegment::from_blocks`](crate::DecodedSegment::from_blocks).
+pub(crate) fn decoded_segment_from_parts(id: SegmentId, blocks: Vec<Vec<u8>>) -> DecodedSegment {
+    DecodedSegment { id, blocks }
+}
+
+/// Counters describing a decoder's life so far.
+///
+/// `redundant` counts blocks that didn't raise any segment's rank —
+/// the "wasted pulls" whose rate Theorem 2 ties to the segment size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct DecoderStats {
+    /// Blocks that increased some segment's rank.
+    pub innovative: usize,
+    /// Blocks that were already in the span of received blocks, or
+    /// belonged to an already-decoded segment.
+    pub redundant: usize,
+    /// Segments fully decoded.
+    pub segments_decoded: usize,
+}
+
+impl DecoderStats {
+    /// Total blocks received.
+    pub fn received(&self) -> usize {
+        self.innovative + self.redundant
+    }
+
+    /// Fraction of received blocks that were innovative (`1.0` when
+    /// nothing has been received).
+    pub fn efficiency(&self) -> f64 {
+        let total = self.received();
+        if total == 0 {
+            1.0
+        } else {
+            self.innovative as f64 / total as f64
+        }
+    }
+}
+
+/// Accumulates coded blocks across many segments and emits each segment's
+/// original blocks the moment it becomes decodable.
+///
+/// This is the heart of a logging server in the indirect scheme: blocks
+/// arrive from random peers in arbitrary order, interleaved across
+/// segments; the decoder performs progressive Gaussian elimination per
+/// segment and reports completion exactly once per segment.
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct Decoder {
+    params: SegmentParams,
+    in_progress: HashMap<SegmentId, SegmentBuffer>,
+    decoded: HashMap<SegmentId, DecodedSegment>,
+    abandoned: std::collections::HashSet<SegmentId>,
+    stats: DecoderStats,
+}
+
+impl Decoder {
+    /// Creates a decoder for a deployment's parameters.
+    pub fn new(params: SegmentParams) -> Self {
+        Decoder {
+            params,
+            in_progress: HashMap::new(),
+            decoded: HashMap::new(),
+            abandoned: std::collections::HashSet::new(),
+            stats: DecoderStats::default(),
+        }
+    }
+
+    /// The coding parameters.
+    pub fn params(&self) -> SegmentParams {
+        self.params
+    }
+
+    /// Feeds one coded block. Returns `Some(segment)` exactly when this
+    /// block completes a segment.
+    ///
+    /// Blocks for already-decoded segments are counted as redundant and
+    /// ignored (the paper's servers likewise keep pulling blindly; the
+    /// redundancy shows up as lost throughput, not as an error).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the block's shape does not match the
+    /// deployment parameters.
+    pub fn receive(&mut self, block: CodedBlock) -> Result<Option<DecodedSegment>, CodingError> {
+        block.validate(&self.params)?;
+        let id = block.segment();
+        if self.decoded.contains_key(&id) || self.abandoned.contains(&id) {
+            self.stats.redundant += 1;
+            return Ok(None);
+        }
+        let buffer = self
+            .in_progress
+            .entry(id)
+            .or_insert_with(|| SegmentBuffer::new(id, self.params));
+        match buffer.insert(block)? {
+            InsertOutcome::Redundant => {
+                self.stats.redundant += 1;
+                Ok(None)
+            }
+            InsertOutcome::Innovative { .. } => {
+                self.stats.innovative += 1;
+                if buffer.is_full() {
+                    let buffer = self
+                        .in_progress
+                        .remove(&id)
+                        .expect("buffer exists by construction");
+                    let blocks = buffer
+                        .into_decoded()
+                        .unwrap_or_else(|_| unreachable!("buffer was full"));
+                    let segment = DecodedSegment { id, blocks };
+                    self.decoded.insert(id, segment.clone());
+                    self.stats.segments_decoded += 1;
+                    Ok(Some(segment))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// The rank so far for `id`: `s` if decoded, the partial rank if in
+    /// progress, zero if unseen.
+    pub fn rank_of(&self, id: SegmentId) -> usize {
+        if self.decoded.contains_key(&id) {
+            self.params.segment_size()
+        } else {
+            self.in_progress.get(&id).map_or(0, SegmentBuffer::rank)
+        }
+    }
+
+    /// Returns `true` if the segment has been fully decoded.
+    pub fn is_decoded(&self, id: SegmentId) -> bool {
+        self.decoded.contains_key(&id)
+    }
+
+    /// Looks up a decoded segment.
+    pub fn decoded_segment(&self, id: SegmentId) -> Option<&DecodedSegment> {
+        self.decoded.get(&id)
+    }
+
+    /// Iterates over all decoded segments (in arbitrary order).
+    pub fn iter_decoded(&self) -> impl Iterator<Item = &DecodedSegment> {
+        self.decoded.values()
+    }
+
+    /// Number of segments currently partially received.
+    pub fn segments_in_progress(&self) -> usize {
+        self.in_progress.len()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> DecoderStats {
+        self.stats
+    }
+
+    /// Marks a segment as handled elsewhere (e.g. decoded by a sibling
+    /// collector): partial state is dropped and future blocks of it are
+    /// counted as redundant without any elimination work. Returns `true`
+    /// if the segment was not already decoded or abandoned here.
+    pub fn abandon(&mut self, id: SegmentId) -> bool {
+        if self.decoded.contains_key(&id) || !self.abandoned.insert(id) {
+            return false;
+        }
+        self.in_progress.remove(&id);
+        true
+    }
+
+    /// Returns `true` if [`Decoder::abandon`] was called for this
+    /// segment.
+    pub fn is_abandoned(&self, id: SegmentId) -> bool {
+        self.abandoned.contains(&id)
+    }
+
+    /// Drops partial state for segments whose blocks can no longer arrive
+    /// (e.g. expired network-wide), returning how many were discarded.
+    pub fn prune<F: FnMut(SegmentId) -> bool>(&mut self, mut expired: F) -> usize {
+        let before = self.in_progress.len();
+        self.in_progress.retain(|&id, _| !expired(id));
+        before - self.in_progress.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceSegment;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> SegmentParams {
+        SegmentParams::new(4, 8).unwrap()
+    }
+
+    fn source(id: u64) -> SourceSegment {
+        let blocks: Vec<Vec<u8>> = (0..4).map(|i| vec![(id as u8) * 16 + i as u8; 8]).collect();
+        SourceSegment::new(SegmentId::new(id), params(), blocks).unwrap()
+    }
+
+    #[test]
+    fn decodes_interleaved_segments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sources: Vec<SourceSegment> = (1..=3).map(source).collect();
+        let mut decoder = Decoder::new(params());
+        let mut done = 0;
+        // Round-robin across segments to interleave arrivals.
+        'outer: for round in 0..100 {
+            for src in &sources {
+                if decoder.is_decoded(src.id()) {
+                    continue;
+                }
+                if let Some(seg) = decoder.receive(src.emit(&mut rng)).unwrap() {
+                    assert_eq!(seg.blocks(), src.blocks());
+                    done += 1;
+                    if done == 3 {
+                        break 'outer;
+                    }
+                }
+            }
+            assert!(round < 99, "all segments must decode");
+        }
+        assert_eq!(decoder.stats().segments_decoded, 3);
+        assert_eq!(decoder.segments_in_progress(), 0);
+        assert_eq!(decoder.iter_decoded().count(), 3);
+    }
+
+    #[test]
+    fn redundant_after_decode_is_counted() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let src = source(1);
+        let mut decoder = Decoder::new(params());
+        while !decoder.is_decoded(src.id()) {
+            decoder.receive(src.emit(&mut rng)).unwrap();
+        }
+        let innovative_before = decoder.stats().innovative;
+        decoder.receive(src.emit(&mut rng)).unwrap();
+        assert_eq!(decoder.stats().innovative, innovative_before);
+        assert_eq!(decoder.rank_of(src.id()), 4);
+        assert!(decoder.stats().redundant >= 1);
+        assert!(decoder.stats().efficiency() < 1.0);
+    }
+
+    #[test]
+    fn rank_of_unseen_segment_is_zero() {
+        let decoder = Decoder::new(params());
+        assert_eq!(decoder.rank_of(SegmentId::new(42)), 0);
+        assert!(!decoder.is_decoded(SegmentId::new(42)));
+        assert!(decoder.decoded_segment(SegmentId::new(42)).is_none());
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let mut decoder = Decoder::new(params());
+        let bad = CodedBlock::new(SegmentId::new(1), vec![1, 0], vec![0; 8]).unwrap();
+        assert!(decoder.receive(bad).is_err());
+    }
+
+    #[test]
+    fn prune_discards_matching_partials() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut decoder = Decoder::new(params());
+        for id in 1..=4u64 {
+            let src = source(id);
+            decoder.receive(src.emit(&mut rng)).unwrap();
+        }
+        assert_eq!(decoder.segments_in_progress(), 4);
+        let dropped = decoder.prune(|id| id.raw() % 2 == 0);
+        assert_eq!(dropped, 2);
+        assert_eq!(decoder.segments_in_progress(), 2);
+    }
+
+    #[test]
+    fn abandoned_segments_are_skipped() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let src = source(1);
+        let mut decoder = Decoder::new(params());
+        decoder.receive(src.emit(&mut rng)).unwrap();
+        assert_eq!(decoder.segments_in_progress(), 1);
+        assert!(decoder.abandon(src.id()));
+        assert!(!decoder.abandon(src.id()), "second abandon is a no-op");
+        assert!(decoder.is_abandoned(src.id()));
+        assert_eq!(decoder.segments_in_progress(), 0);
+        // Further blocks are counted redundant and never decode.
+        for _ in 0..10 {
+            assert!(decoder.receive(src.emit(&mut rng)).unwrap().is_none());
+        }
+        assert!(!decoder.is_decoded(src.id()));
+        assert!(decoder.stats().redundant >= 10);
+    }
+
+    #[test]
+    fn abandon_after_decode_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let src = source(1);
+        let mut decoder = Decoder::new(params());
+        while !decoder.is_decoded(src.id()) {
+            decoder.receive(src.emit(&mut rng)).unwrap();
+        }
+        assert!(!decoder.abandon(src.id()), "decoded beats abandoned");
+        assert!(decoder.decoded_segment(src.id()).is_some());
+    }
+
+    #[test]
+    fn stats_efficiency_starts_at_one() {
+        let decoder = Decoder::new(params());
+        assert_eq!(decoder.stats().efficiency(), 1.0);
+        assert_eq!(decoder.stats().received(), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Error types for the coding layer.
+
+use core::fmt;
+
+use crate::SegmentId;
+
+/// Errors arising from coding-layer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodingError {
+    /// A segment size outside `1..=255` was requested. Coefficient counts
+    /// travel on the wire as a single byte, and `s = 0` is meaningless.
+    InvalidSegmentSize {
+        /// The rejected segment size.
+        requested: usize,
+    },
+    /// A block length of zero was requested.
+    EmptyBlock,
+    /// A source segment was built with the wrong number of blocks.
+    WrongBlockCount {
+        /// Blocks expected (the segment size `s`).
+        expected: usize,
+        /// Blocks provided.
+        got: usize,
+    },
+    /// A block payload does not match the configured block length.
+    WrongBlockLength {
+        /// Bytes expected per block.
+        expected: usize,
+        /// Bytes provided.
+        got: usize,
+    },
+    /// A coded block carries a coefficient vector of the wrong width.
+    WrongCoefficientCount {
+        /// Coefficients expected (the segment size `s`).
+        expected: usize,
+        /// Coefficients provided.
+        got: usize,
+    },
+    /// A coded block was offered to a buffer tracking a different segment.
+    SegmentMismatch {
+        /// Segment the buffer tracks.
+        expected: SegmentId,
+        /// Segment the block belongs to.
+        got: SegmentId,
+    },
+}
+
+impl fmt::Display for CodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodingError::InvalidSegmentSize { requested } => {
+                write!(
+                    f,
+                    "segment size {requested} outside supported range 1..=255"
+                )
+            }
+            CodingError::EmptyBlock => write!(f, "block length must be non-zero"),
+            CodingError::WrongBlockCount { expected, got } => {
+                write!(f, "expected {expected} blocks, got {got}")
+            }
+            CodingError::WrongBlockLength { expected, got } => {
+                write!(f, "expected block length {expected}, got {got}")
+            }
+            CodingError::WrongCoefficientCount { expected, got } => {
+                write!(f, "expected {expected} coefficients, got {got}")
+            }
+            CodingError::SegmentMismatch { expected, got } => {
+                write!(
+                    f,
+                    "block belongs to segment {got}, buffer tracks {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodingError {}
+
+/// Errors arising from wire-format decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The frame is shorter than its own header claims.
+    Truncated {
+        /// Bytes needed to finish decoding.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The frame does not start with the expected magic byte.
+    BadMagic {
+        /// The byte found where the magic was expected.
+        found: u8,
+    },
+    /// The frame advertises an unsupported format version.
+    UnsupportedVersion {
+        /// The advertised version.
+        version: u8,
+    },
+    /// The integrity checksum does not match the frame contents.
+    ChecksumMismatch {
+        /// Checksum stored in the frame.
+        stored: u32,
+        /// Checksum computed over the frame contents.
+        computed: u32,
+    },
+    /// The header fields are internally inconsistent (e.g. `s = 0`).
+    MalformedHeader,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated frame: need {needed} bytes, have {available}")
+            }
+            WireError::BadMagic { found } => {
+                write!(f, "bad magic byte 0x{found:02x}")
+            }
+            WireError::UnsupportedVersion { version } => {
+                write!(f, "unsupported wire version {version}")
+            }
+            WireError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored 0x{stored:08x}, computed 0x{computed:08x}"
+                )
+            }
+            WireError::MalformedHeader => write!(f, "malformed frame header"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CodingError::WrongBlockCount {
+            expected: 4,
+            got: 3,
+        };
+        assert_eq!(e.to_string(), "expected 4 blocks, got 3");
+        let e = WireError::BadMagic { found: 0xAB };
+        assert_eq!(e.to_string(), "bad magic byte 0xab");
+    }
+
+    #[test]
+    fn errors_are_send_sync_and_error() {
+        fn assert_good<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_good::<CodingError>();
+        assert_good::<WireError>();
+    }
+}

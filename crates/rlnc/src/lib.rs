@@ -1,0 +1,86 @@
+//! Segment-based random linear network coding (RLNC).
+//!
+//! This crate implements the coding layer of Niu & Li's indirect data
+//! collection mechanism (ICDCS 2008, Sec. 2): original statistics blocks
+//! produced at a peer are grouped into *segments* of `s` blocks, and a
+//! random linear code over GF(2⁸) is applied within each segment:
+//!
+//! * a **source** holding the `s` original blocks of a segment emits coded
+//!   blocks that are random linear combinations of all of them
+//!   ([`SourceSegment`]),
+//! * a **relay** holding `l ≤ s` coded blocks of a segment *recodes*: it
+//!   draws fresh random coefficients and emits one new coded block
+//!   spanning exactly its buffered subspace ([`SegmentBuffer::recode`]),
+//! * a **collector** accumulates coded blocks per segment and decodes a
+//!   segment as soon as it has gathered `s` linearly independent blocks
+//!   ([`Decoder`]); decoding is progressive Gaussian elimination, so the
+//!   work is spread over arrivals and the final decode is O(1).
+//!
+//! The coding coefficients that map *original* blocks to a coded payload
+//! travel in the block header ([`CodedBlock::coefficients`]), exactly as
+//! the paper prescribes, and the wire format ([`wire`]) serialises them
+//! alongside the payload with an integrity checksum.
+//!
+//! Above the raw block layer, [`Segmenter`] and [`Reassembler`] convert
+//! between application-level *log records* (arbitrary byte strings) and
+//! fixed-size blocks, so a deployment can feed real measurement data
+//! through the code without caring about block boundaries.
+//!
+//! # Example: source → relay → collector
+//!
+//! ```
+//! use gossamer_rlnc::{Decoder, SegmentBuffer, SegmentId, SegmentParams, SourceSegment};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = SegmentParams::new(4, 16)?; // s = 4 blocks of 16 bytes
+//! let mut rng = StdRng::seed_from_u64(1);
+//!
+//! let blocks: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 16]).collect();
+//! let source = SourceSegment::new(SegmentId::new(7), params, blocks.clone())?;
+//!
+//! // The relay buffers coded blocks and recodes onward.
+//! let mut relay = SegmentBuffer::new(SegmentId::new(7), params);
+//! while relay.rank() < 4 {
+//!     relay.insert(source.emit(&mut rng))?;
+//! }
+//!
+//! // The collector pulls recoded blocks until the segment decodes.
+//! let mut decoder = Decoder::new(params);
+//! let decoded = loop {
+//!     let block = relay.recode(&mut rng).unwrap();
+//!     if let Some(segment) = decoder.receive(block)? {
+//!         break segment;
+//!     }
+//! };
+//! assert_eq!(decoded.blocks(), &blocks[..]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod coded;
+mod decoder;
+mod error;
+mod ids;
+mod params;
+mod rs;
+mod source;
+mod stream;
+mod subspace;
+pub mod wire;
+
+pub use buffer::{InsertOutcome, SegmentBuffer};
+pub use coded::CodedBlock;
+pub use decoder::{DecodedSegment, Decoder, DecoderStats};
+pub use error::{CodingError, WireError};
+pub use ids::SegmentId;
+pub use params::SegmentParams;
+pub use rs::{ReedSolomon, RsError};
+pub use source::SourceSegment;
+pub use stream::{segment_records, Reassembler, RecordTooLarge, Segmenter};
+pub use subspace::{random_combination, random_combination_sparse, Subspace};

@@ -1,0 +1,173 @@
+//! Coding parameters shared by every component of a deployment.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::CodingError;
+
+/// The two parameters that define a segment code: the segment size `s`
+/// (blocks per segment, the paper's coding granularity) and the block
+/// length in bytes.
+///
+/// `s = 1` degenerates to the *non-coding* case studied throughout the
+/// paper as the baseline; larger `s` trades decoding complexity
+/// (O(s) per input block) for collection efficiency (Theorem 2).
+///
+/// # Examples
+///
+/// ```
+/// use gossamer_rlnc::SegmentParams;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = SegmentParams::new(32, 1024)?;
+/// assert_eq!(params.segment_size(), 32);
+/// assert_eq!(params.segment_bytes(), 32 * 1024);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(try_from = "RawSegmentParams", into = "RawSegmentParams")]
+pub struct SegmentParams {
+    segment_size: usize,
+    block_len: usize,
+}
+
+/// Unvalidated mirror used for (de)serialization so that deserialized
+/// parameters go through [`SegmentParams::new`]'s checks.
+#[derive(Serialize, Deserialize)]
+struct RawSegmentParams {
+    segment_size: usize,
+    block_len: usize,
+}
+
+impl TryFrom<RawSegmentParams> for SegmentParams {
+    type Error = CodingError;
+    fn try_from(raw: RawSegmentParams) -> Result<Self, CodingError> {
+        SegmentParams::new(raw.segment_size, raw.block_len)
+    }
+}
+
+impl From<SegmentParams> for RawSegmentParams {
+    fn from(p: SegmentParams) -> Self {
+        RawSegmentParams {
+            segment_size: p.segment_size,
+            block_len: p.block_len,
+        }
+    }
+}
+
+impl SegmentParams {
+    /// Creates validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::InvalidSegmentSize`] unless
+    /// `1 <= segment_size <= 255` (the coefficient count travels as one
+    /// byte on the wire), and [`CodingError::EmptyBlock`] for a zero
+    /// block length.
+    pub fn new(segment_size: usize, block_len: usize) -> Result<Self, CodingError> {
+        if segment_size == 0 || segment_size > 255 {
+            return Err(CodingError::InvalidSegmentSize {
+                requested: segment_size,
+            });
+        }
+        if block_len == 0 {
+            return Err(CodingError::EmptyBlock);
+        }
+        Ok(SegmentParams {
+            segment_size,
+            block_len,
+        })
+    }
+
+    /// Blocks per segment (`s`).
+    pub const fn segment_size(&self) -> usize {
+        self.segment_size
+    }
+
+    /// Bytes per block.
+    pub const fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Total payload bytes carried by one segment.
+    pub const fn segment_bytes(&self) -> usize {
+        self.segment_size * self.block_len
+    }
+
+    /// Returns `true` for the degenerate non-coding configuration
+    /// (`s = 1`).
+    pub const fn is_non_coding(&self) -> bool {
+        self.segment_size == 1
+    }
+}
+
+impl fmt::Debug for SegmentParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SegmentParams {{ s: {}, block_len: {} }}",
+            self.segment_size, self.block_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_range() {
+        assert!(SegmentParams::new(1, 1).is_ok());
+        assert!(SegmentParams::new(255, 4096).is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_and_oversized_segment() {
+        assert_eq!(
+            SegmentParams::new(0, 16),
+            Err(CodingError::InvalidSegmentSize { requested: 0 })
+        );
+        assert_eq!(
+            SegmentParams::new(256, 16),
+            Err(CodingError::InvalidSegmentSize { requested: 256 })
+        );
+    }
+
+    #[test]
+    fn rejects_empty_block() {
+        assert_eq!(SegmentParams::new(4, 0), Err(CodingError::EmptyBlock));
+    }
+
+    #[test]
+    fn serde_round_trips_through_validation() {
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<SegmentParams>();
+        // The try_from hook runs the constructor's validation, so a
+        // hand-crafted invalid payload cannot materialise.
+        let bad = RawSegmentParams {
+            segment_size: 0,
+            block_len: 4,
+        };
+        assert!(SegmentParams::try_from(bad).is_err());
+        let good = RawSegmentParams {
+            segment_size: 4,
+            block_len: 16,
+        };
+        assert_eq!(
+            SegmentParams::try_from(good).unwrap(),
+            SegmentParams::new(4, 16).unwrap()
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let p = SegmentParams::new(8, 64).unwrap();
+        assert_eq!(p.segment_size(), 8);
+        assert_eq!(p.block_len(), 64);
+        assert_eq!(p.segment_bytes(), 512);
+        assert!(!p.is_non_coding());
+        assert!(SegmentParams::new(1, 64).unwrap().is_non_coding());
+    }
+}

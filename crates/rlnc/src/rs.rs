@@ -1,0 +1,381 @@
+//! Systematic Reed–Solomon erasure coding over GF(2⁸).
+//!
+//! The paper's related work contrasts RLNC-based buffering with
+//! *decentralized erasure codes* for distributed storage (Dimakis et
+//! al., refs [3], [4]). This module provides that baseline: a fixed-rate
+//! `(n, k)` systematic code built from a Cauchy matrix — any `k` of the
+//! `n` shares reconstruct the original blocks.
+//!
+//! The contrast with RLNC that motivates the paper's choice: an RS share
+//! is fixed at encode time, so a relay holding some shares can only
+//! *forward* them — two relays holding the same share contribute one
+//! share's worth of information. RLNC relays *recode*, so every
+//! transmission is a fresh combination; see
+//! [`SegmentBuffer::recode`](crate::SegmentBuffer::recode). The
+//! `rs_shares_do_not_recode` test below pins that difference down.
+//!
+//! # Examples
+//!
+//! ```
+//! use gossamer_rlnc::ReedSolomon;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rs = ReedSolomon::new(4, 7)?; // tolerate any 3 losses
+//! let blocks: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 16]).collect();
+//! let shares = rs.encode(&blocks)?;
+//! assert_eq!(shares.len(), 7);
+//!
+//! // Lose shares 0, 2 and 5; reconstruct from the rest.
+//! let kept: Vec<(usize, &[u8])> = [1usize, 3, 4, 6]
+//!     .iter()
+//!     .map(|&i| (i, shares[i].as_slice()))
+//!     .collect();
+//! let recovered = rs.reconstruct(&kept)?;
+//! assert_eq!(recovered, blocks);
+//! # Ok(())
+//! # }
+//! ```
+
+use core::fmt;
+
+use gossamer_gf256::{slice, Gf256, Matrix};
+
+/// Errors from Reed–Solomon coding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RsError {
+    /// Parameters outside `1 ≤ k ≤ n ≤ 255`.
+    BadParameters {
+        /// Data shares.
+        k: usize,
+        /// Total shares.
+        n: usize,
+    },
+    /// Wrong number of input blocks (must be exactly `k`).
+    WrongBlockCount {
+        /// Expected block count (`k`).
+        expected: usize,
+        /// Provided block count.
+        got: usize,
+    },
+    /// Input blocks have differing lengths.
+    RaggedBlocks,
+    /// Fewer than `k` distinct shares were provided.
+    NotEnoughShares {
+        /// Shares needed (`k`).
+        needed: usize,
+        /// Distinct shares provided.
+        got: usize,
+    },
+    /// A share index is out of range or repeated.
+    BadShareIndex {
+        /// The offending index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::BadParameters { k, n } => {
+                write!(f, "invalid reed-solomon parameters k={k} n={n}")
+            }
+            RsError::WrongBlockCount { expected, got } => {
+                write!(f, "expected {expected} blocks, got {got}")
+            }
+            RsError::RaggedBlocks => write!(f, "blocks must have equal lengths"),
+            RsError::NotEnoughShares { needed, got } => {
+                write!(f, "need {needed} distinct shares, got {got}")
+            }
+            RsError::BadShareIndex { index } => {
+                write!(f, "share index {index} out of range or repeated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// A systematic `(n, k)` Reed–Solomon code: shares `0..k` are the data
+/// blocks verbatim, shares `k..n` are Cauchy-matrix parity.
+///
+/// Any `k` distinct shares reconstruct the data (the Cauchy construction
+/// guarantees every `k × k` submatrix of the generator is invertible).
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    k: usize,
+    n: usize,
+    /// Parity rows only ((n−k) × k); data rows are the implicit identity.
+    parity: Matrix,
+}
+
+impl ReedSolomon {
+    /// Builds the code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::BadParameters`] unless `1 ≤ k ≤ n ≤ 255`.
+    pub fn new(k: usize, n: usize) -> Result<Self, RsError> {
+        if k == 0 || k > n || n > 255 {
+            return Err(RsError::BadParameters { k, n });
+        }
+        // Cauchy matrix C[i][j] = 1 / (x_i + y_j) with x_i = k+i,
+        // y_j = j: the two index sets are disjoint, so x_i + y_j ≠ 0 in
+        // characteristic 2 and every entry is well defined.
+        let rows = n - k;
+        let mut parity = Matrix::zero(rows, k);
+        for i in 0..rows {
+            for j in 0..k {
+                let x = Gf256::new((k + i) as u8);
+                let y = Gf256::new(j as u8);
+                let denominator = x + y;
+                parity.set(i, j, denominator.inv().expect("x_i + y_j is non-zero"));
+            }
+        }
+        Ok(ReedSolomon { k, n, parity })
+    }
+
+    /// Data shares `k`.
+    pub fn data_shares(&self) -> usize {
+        self.k
+    }
+
+    /// Total shares `n`.
+    pub fn total_shares(&self) -> usize {
+        self.n
+    }
+
+    /// Losses tolerated (`n − k`).
+    pub fn parity_shares(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Encodes `k` equal-length blocks into `n` shares (the first `k`
+    /// are the blocks themselves).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a wrong block count or ragged lengths.
+    pub fn encode(&self, blocks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
+        if blocks.len() != self.k {
+            return Err(RsError::WrongBlockCount {
+                expected: self.k,
+                got: blocks.len(),
+            });
+        }
+        let len = blocks.first().map_or(0, Vec::len);
+        if blocks.iter().any(|b| b.len() != len) {
+            return Err(RsError::RaggedBlocks);
+        }
+        let mut shares: Vec<Vec<u8>> = blocks.to_vec();
+        for i in 0..(self.n - self.k) {
+            let mut parity = vec![0u8; len];
+            for (j, block) in blocks.iter().enumerate() {
+                slice::axpy(&mut parity, self.parity.get(i, j), block);
+            }
+            shares.push(parity);
+        }
+        Ok(shares)
+    }
+
+    /// The generator row for share `index` (identity for data shares).
+    fn generator_row(&self, index: usize) -> Vec<u8> {
+        let mut row = vec![0u8; self.k];
+        if index < self.k {
+            row[index] = 1;
+        } else {
+            row.copy_from_slice(self.parity.row(index - self.k));
+        }
+        row
+    }
+
+    /// Reconstructs the original `k` blocks from any `k` distinct shares
+    /// given as `(share_index, bytes)` pairs. Extra shares are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for too few distinct shares, out-of-range or
+    /// repeated indices, or ragged share lengths.
+    pub fn reconstruct(&self, shares: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>, RsError> {
+        let mut seen = vec![false; self.n];
+        let mut chosen: Vec<(usize, &[u8])> = Vec::with_capacity(self.k);
+        for &(index, bytes) in shares {
+            if index >= self.n || seen[index] {
+                return Err(RsError::BadShareIndex { index });
+            }
+            seen[index] = true;
+            if chosen.len() < self.k {
+                chosen.push((index, bytes));
+            }
+        }
+        if chosen.len() < self.k {
+            return Err(RsError::NotEnoughShares {
+                needed: self.k,
+                got: chosen.len(),
+            });
+        }
+        let len = chosen[0].1.len();
+        if chosen.iter().any(|(_, b)| b.len() != len) {
+            return Err(RsError::RaggedBlocks);
+        }
+        // Solve G_sub · X = S for the data matrix X.
+        let mut g = Matrix::zero(self.k, self.k);
+        let mut s = Matrix::zero(self.k, len);
+        for (row, &(index, bytes)) in chosen.iter().enumerate() {
+            g.row_mut(row).copy_from_slice(&self.generator_row(index));
+            s.row_mut(row).copy_from_slice(bytes);
+        }
+        let solved = g
+            .solve(&s)
+            .expect("every k x k Cauchy-extended submatrix is invertible");
+        Ok((0..self.k).map(|r| solved.row(r).to_vec()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_blocks(rng: &mut StdRng, k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|_| (0..len).map(|_| rng.random()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn systematic_prefix_is_the_data() {
+        let rs = ReedSolomon::new(3, 6).unwrap();
+        let blocks = vec![vec![1u8; 8], vec![2u8; 8], vec![3u8; 8]];
+        let shares = rs.encode(&blocks).unwrap();
+        assert_eq!(&shares[..3], &blocks[..]);
+        assert_eq!(rs.data_shares(), 3);
+        assert_eq!(rs.total_shares(), 6);
+        assert_eq!(rs.parity_shares(), 3);
+    }
+
+    #[test]
+    fn every_k_subset_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rs = ReedSolomon::new(4, 8).unwrap();
+        let blocks = random_blocks(&mut rng, 4, 32);
+        let shares = rs.encode(&blocks).unwrap();
+        // All C(8,4) = 70 subsets.
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                for c in (b + 1)..8 {
+                    for d in (c + 1)..8 {
+                        let kept: Vec<(usize, &[u8])> = [a, b, c, d]
+                            .iter()
+                            .map(|&i| (i, shares[i].as_slice()))
+                            .collect();
+                        let got = rs.reconstruct(&kept).unwrap();
+                        assert_eq!(got, blocks, "subset {:?}", [a, b, c, d]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extra_shares_are_ignored() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rs = ReedSolomon::new(2, 5).unwrap();
+        let blocks = random_blocks(&mut rng, 2, 16);
+        let shares = rs.encode(&blocks).unwrap();
+        let all: Vec<(usize, &[u8])> = shares
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.as_slice()))
+            .collect();
+        assert_eq!(rs.reconstruct(&all).unwrap(), blocks);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(ReedSolomon::new(0, 4).is_err());
+        assert!(ReedSolomon::new(5, 4).is_err());
+        assert!(ReedSolomon::new(4, 256).is_err());
+        assert!(ReedSolomon::new(1, 1).is_ok());
+        assert!(ReedSolomon::new(200, 255).is_ok());
+    }
+
+    #[test]
+    fn input_validation() {
+        let rs = ReedSolomon::new(3, 5).unwrap();
+        assert!(matches!(
+            rs.encode(&[vec![1], vec![2]]),
+            Err(RsError::WrongBlockCount {
+                expected: 3,
+                got: 2
+            })
+        ));
+        assert!(matches!(
+            rs.encode(&[vec![1], vec![2], vec![3, 4]]),
+            Err(RsError::RaggedBlocks)
+        ));
+        let blocks = vec![vec![1u8; 4], vec![2u8; 4], vec![3u8; 4]];
+        let shares = rs.encode(&blocks).unwrap();
+        assert!(matches!(
+            rs.reconstruct(&[(0, shares[0].as_slice()), (1, shares[1].as_slice())]),
+            Err(RsError::NotEnoughShares { needed: 3, got: 2 })
+        ));
+        assert!(matches!(
+            rs.reconstruct(&[
+                (0, shares[0].as_slice()),
+                (0, shares[0].as_slice()),
+                (1, shares[1].as_slice())
+            ]),
+            Err(RsError::BadShareIndex { index: 0 })
+        ));
+        assert!(matches!(
+            rs.reconstruct(&[
+                (9, shares[0].as_slice()),
+                (1, shares[1].as_slice()),
+                (2, shares[2].as_slice())
+            ]),
+            Err(RsError::BadShareIndex { index: 9 })
+        ));
+    }
+
+    /// The structural difference that motivates RLNC over fixed-rate
+    /// erasure codes in this protocol: combining RS shares at a relay
+    /// does not produce another RS share, so relays can only forward —
+    /// duplicated shares add no information. RLNC recoding keeps every
+    /// transmission useful.
+    #[test]
+    fn rs_shares_do_not_recode() {
+        use crate::{SegmentBuffer, SegmentId, SegmentParams, SourceSegment};
+        let mut rng = StdRng::seed_from_u64(3);
+
+        // RS: a receiver holding share 1 twice has exactly one share's
+        // information — a second copy is pure redundancy.
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let blocks = random_blocks(&mut rng, 2, 8);
+        let shares = rs.encode(&blocks).unwrap();
+        let dup = [(1usize, shares[1].as_slice()), (1, shares[1].as_slice())];
+        assert!(rs.reconstruct(&dup).is_err(), "duplicate share rejected");
+
+        // RLNC: two *independent recodings* from the same rank-2 relay
+        // are (whp) jointly decodable — the relay manufactures fresh
+        // information-bearing combinations on demand.
+        let params = SegmentParams::new(2, 8).unwrap();
+        let src = SourceSegment::new(SegmentId::new(1), params, blocks.clone()).unwrap();
+        let mut relay = SegmentBuffer::new(SegmentId::new(1), params);
+        while !relay.is_full() {
+            relay.insert(src.emit(&mut rng)).unwrap();
+        }
+        let mut sink = SegmentBuffer::new(SegmentId::new(1), params);
+        let mut attempts = 0;
+        while !sink.is_full() {
+            sink.insert(relay.recode(&mut rng).unwrap()).unwrap();
+            attempts += 1;
+            assert!(attempts < 20);
+        }
+        assert_eq!(
+            sink.decoded().unwrap(),
+            blocks.iter().map(Vec::as_slice).collect::<Vec<_>>()
+        );
+    }
+}

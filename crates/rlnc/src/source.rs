@@ -1,0 +1,259 @@
+//! The source side of the code: a peer's own original segment.
+
+use gossamer_gf256::{slice, Gf256};
+use rand::{Rng, RngExt};
+
+use crate::{CodedBlock, CodingError, SegmentId, SegmentParams};
+
+/// A segment of `s` original blocks held by the peer that generated them.
+///
+/// The source can emit arbitrarily many coded blocks, each a fresh random
+/// linear combination of all `s` originals (so every emission is
+/// innovative to any receiver below full rank with probability
+/// `≥ 1 − s/256`). Systematic emission is also supported for the
+/// non-coding baseline and for latency-free first copies.
+#[derive(Debug, Clone)]
+pub struct SourceSegment {
+    id: SegmentId,
+    params: SegmentParams,
+    blocks: Vec<Vec<u8>>,
+}
+
+impl SourceSegment {
+    /// Wraps `s` original blocks as a source segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the block count differs from
+    /// `params.segment_size()` or any block length differs from
+    /// `params.block_len()`.
+    pub fn new(
+        id: SegmentId,
+        params: SegmentParams,
+        blocks: Vec<Vec<u8>>,
+    ) -> Result<Self, CodingError> {
+        if blocks.len() != params.segment_size() {
+            return Err(CodingError::WrongBlockCount {
+                expected: params.segment_size(),
+                got: blocks.len(),
+            });
+        }
+        for b in &blocks {
+            if b.len() != params.block_len() {
+                return Err(CodingError::WrongBlockLength {
+                    expected: params.block_len(),
+                    got: b.len(),
+                });
+            }
+        }
+        Ok(SourceSegment { id, params, blocks })
+    }
+
+    /// The segment identifier.
+    pub fn id(&self) -> SegmentId {
+        self.id
+    }
+
+    /// The coding parameters.
+    pub fn params(&self) -> SegmentParams {
+        self.params
+    }
+
+    /// The original blocks.
+    pub fn blocks(&self) -> &[Vec<u8>] {
+        &self.blocks
+    }
+
+    /// Emits one coded block with fresh random coefficients.
+    ///
+    /// Coefficients are drawn uniformly from the whole field; the paper's
+    /// analysis assumes exactly this (a random linear combination of all
+    /// `s` originals).
+    pub fn emit<R: Rng + ?Sized>(&self, rng: &mut R) -> CodedBlock {
+        let s = self.params.segment_size();
+        let mut coeffs = vec![0u8; s];
+        // Reject the all-zero vector, which carries no information.
+        loop {
+            rng.fill(&mut coeffs[..]);
+            if coeffs.iter().any(|&c| c != 0) {
+                break;
+            }
+        }
+        let mut payload = vec![0u8; self.params.block_len()];
+        for (i, block) in self.blocks.iter().enumerate() {
+            slice::axpy(&mut payload, Gf256::new(coeffs[i]), block);
+        }
+        CodedBlock::new(self.id, coeffs, payload).expect("source emission is structurally valid")
+    }
+
+    /// Emits one coded block combining only `density` randomly chosen
+    /// original blocks (sparse source coding).
+    ///
+    /// Encoding cost drops from `s` to `density` `axpy` passes; the
+    /// price is a higher chance that two sparse blocks overlap in a
+    /// smaller subspace. `density ≥ s` degenerates to [`SourceSegment::emit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density == 0`.
+    pub fn emit_sparse<R: Rng + ?Sized>(&self, density: usize, rng: &mut R) -> CodedBlock {
+        assert!(density > 0, "density must be at least 1");
+        let s = self.params.segment_size();
+        if density >= s {
+            return self.emit(rng);
+        }
+        // Floyd's algorithm for a uniform subset of original blocks.
+        let mut chosen = std::collections::BTreeSet::new();
+        for j in (s - density)..s {
+            let t = rng.random_range(0..=j);
+            if !chosen.insert(t) {
+                chosen.insert(j);
+            }
+        }
+        let mut coeffs = vec![0u8; s];
+        let mut payload = vec![0u8; self.params.block_len()];
+        for &i in &chosen {
+            let c = Gf256::random_nonzero(rng);
+            coeffs[i] = c.value();
+            slice::axpy(&mut payload, c, &self.blocks[i]);
+        }
+        CodedBlock::new(self.id, coeffs, payload).expect("sparse emission is structurally valid")
+    }
+
+    /// Emits the `i`-th original block as a systematic coded block (unit
+    /// coefficient vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= segment_size`.
+    pub fn emit_systematic(&self, i: usize) -> CodedBlock {
+        let s = self.params.segment_size();
+        assert!(i < s, "systematic index out of range");
+        let mut coeffs = vec![0u8; s];
+        coeffs[i] = 1;
+        CodedBlock::new(self.id, coeffs, self.blocks[i].clone())
+            .expect("systematic emission is structurally valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> SegmentParams {
+        SegmentParams::new(4, 16).unwrap()
+    }
+
+    fn blocks() -> Vec<Vec<u8>> {
+        (0..4).map(|i| vec![(i * 17) as u8; 16]).collect()
+    }
+
+    #[test]
+    fn construction_validates_shape() {
+        let p = params();
+        assert!(SourceSegment::new(SegmentId::new(1), p, blocks()).is_ok());
+        assert!(matches!(
+            SourceSegment::new(SegmentId::new(1), p, blocks()[..3].to_vec()),
+            Err(CodingError::WrongBlockCount {
+                expected: 4,
+                got: 3
+            })
+        ));
+        let mut bad = blocks();
+        bad[2] = vec![0; 15];
+        assert!(matches!(
+            SourceSegment::new(SegmentId::new(1), p, bad),
+            Err(CodingError::WrongBlockLength {
+                expected: 16,
+                got: 15
+            })
+        ));
+    }
+
+    #[test]
+    fn emission_matches_manual_combination() {
+        let src = SourceSegment::new(SegmentId::new(5), params(), blocks()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let block = src.emit(&mut rng);
+            assert_eq!(block.segment(), SegmentId::new(5));
+            assert!(!block.is_zero());
+            let mut expected = vec![0u8; 16];
+            for (i, orig) in blocks().iter().enumerate() {
+                slice::axpy(&mut expected, block.coefficient(i), orig);
+            }
+            assert_eq!(block.payload(), &expected[..]);
+        }
+    }
+
+    #[test]
+    fn sparse_emission_touches_at_most_density_blocks() {
+        let src = SourceSegment::new(SegmentId::new(5), params(), blocks()).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let block = src.emit_sparse(2, &mut rng);
+            let nonzero = block.coefficients().iter().filter(|&&c| c != 0).count();
+            assert!((1..=2).contains(&nonzero), "nonzero coeffs: {nonzero}");
+            // Payload still matches the declared combination.
+            let mut expected = vec![0u8; 16];
+            for (i, orig) in blocks().iter().enumerate() {
+                slice::axpy(&mut expected, block.coefficient(i), orig);
+            }
+            assert_eq!(block.payload(), &expected[..]);
+        }
+    }
+
+    #[test]
+    fn sparse_emissions_decode_with_modest_overhead() {
+        let src = SourceSegment::new(SegmentId::new(5), params(), blocks()).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut buf = crate::SegmentBuffer::new(SegmentId::new(5), params());
+        let mut emissions = 0;
+        while !buf.is_full() {
+            buf.insert(src.emit_sparse(2, &mut rng)).unwrap();
+            emissions += 1;
+            assert!(emissions < 60, "sparse source must still fill rank");
+        }
+        assert_eq!(buf.decoded().unwrap().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be at least 1")]
+    fn sparse_zero_density_panics() {
+        let src = SourceSegment::new(SegmentId::new(5), params(), blocks()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = src.emit_sparse(0, &mut rng);
+    }
+
+    #[test]
+    fn systematic_emission_is_identity() {
+        let src = SourceSegment::new(SegmentId::new(5), params(), blocks()).unwrap();
+        for i in 0..4 {
+            let block = src.emit_systematic(i);
+            assert!(block.is_systematic());
+            assert_eq!(block.payload(), &blocks()[i][..]);
+            assert_eq!(block.coefficient(i), Gf256::ONE);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "systematic index out of range")]
+    fn systematic_out_of_range_panics() {
+        let src = SourceSegment::new(SegmentId::new(5), params(), blocks()).unwrap();
+        let _ = src.emit_systematic(4);
+    }
+
+    #[test]
+    fn non_coding_segment_size_one() {
+        let p = SegmentParams::new(1, 8).unwrap();
+        let src = SourceSegment::new(SegmentId::new(9), p, vec![vec![7u8; 8]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = src.emit(&mut rng);
+        // With s = 1 every emission is a non-zero scalar multiple of the
+        // single original block.
+        assert_eq!(b.segment_size(), 1);
+        assert!(!b.is_zero());
+    }
+}

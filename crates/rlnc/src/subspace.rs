@@ -1,0 +1,290 @@
+//! Coefficient-space rank tracking for the exact coding model.
+
+use gossamer_gf256::{slice, Gf256};
+use rand::{Rng, RngExt};
+
+/// An incrementally maintained subspace of GF(2⁸)ˢ, stored in reduced
+/// row-echelon form.
+///
+/// This is the payload-free core of RLNC bookkeeping: the simulator uses
+/// it to track exactly which linear combinations a peer (or the servers)
+/// could reproduce for one segment, without simulating payload bytes.
+///
+/// # Examples
+///
+/// ```
+/// use gossamer_rlnc::Subspace;
+///
+/// let mut sub = Subspace::new(3);
+/// assert!(sub.insert(&[1, 0, 0]));
+/// assert!(sub.insert(&[0, 2, 0]));
+/// assert!(!sub.insert(&[5, 7, 0])); // spanned by the first two
+/// assert_eq!(sub.rank(), 2);
+/// assert!(!sub.is_full());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Subspace {
+    dim: usize,
+    /// Rows sorted by pivot, reduced.
+    rows: Vec<Vec<u8>>,
+    pivots: Vec<usize>,
+}
+
+impl Subspace {
+    /// Creates the zero subspace of GF(2⁸)^`dim`.
+    pub fn new(dim: usize) -> Self {
+        Subspace {
+            dim,
+            rows: Vec::new(),
+            pivots: Vec::new(),
+        }
+    }
+
+    /// The ambient dimension `s`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The current rank.
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the subspace is all of GF(2⁸)ˢ.
+    pub fn is_full(&self) -> bool {
+        self.rows.len() == self.dim
+    }
+
+    /// Inserts a vector; returns `true` if it was innovative (increased
+    /// the rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len() != dim`.
+    pub fn insert(&mut self, vector: &[u8]) -> bool {
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        let mut v = vector.to_vec();
+        self.reduce(&mut v);
+        let Some(pivot) = v.iter().position(|&x| x != 0) else {
+            return false;
+        };
+        let inv = Gf256::new(v[pivot]).inv().expect("pivot non-zero");
+        slice::scale_assign(&mut v, inv);
+        // Back-eliminate existing rows to keep the form reduced.
+        for row in &mut self.rows {
+            let f = Gf256::new(row[pivot]);
+            if !f.is_zero() {
+                slice::axpy(row, f, &v);
+            }
+        }
+        let at = self.pivots.partition_point(|&p| p < pivot);
+        self.rows.insert(at, v);
+        self.pivots.insert(at, pivot);
+        true
+    }
+
+    /// Returns `true` if `vector` lies outside the current span (i.e.
+    /// inserting it would raise the rank), without mutating.
+    pub fn would_increase_rank(&self, vector: &[u8]) -> bool {
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        let mut v = vector.to_vec();
+        self.reduce(&mut v);
+        v.iter().any(|&x| x != 0)
+    }
+
+    fn reduce(&self, v: &mut [u8]) {
+        for (row, &pivot) in self.rows.iter().zip(&self.pivots) {
+            let f = Gf256::new(v[pivot]);
+            if !f.is_zero() {
+                slice::axpy(v, f, row);
+            }
+        }
+    }
+
+    /// Rebuilds the subspace from raw (possibly dependent) vectors.
+    pub fn from_vectors<'a>(dim: usize, vectors: impl IntoIterator<Item = &'a [u8]>) -> Self {
+        let mut sub = Subspace::new(dim);
+        for v in vectors {
+            sub.insert(v);
+        }
+        sub
+    }
+}
+
+/// Draws a random non-zero linear combination of `vectors` (each scaled
+/// by a non-zero coefficient), retrying a few times if the combination
+/// degenerates to zero. Returns `None` when `vectors` is empty or only
+/// zero combinations can be produced.
+///
+/// This models what a relay peer actually transmits in the exact coding
+/// model: a recoded block spanning exactly its buffered blocks.
+pub fn random_combination<R: Rng + ?Sized>(
+    dim: usize,
+    vectors: &[Vec<u8>],
+    rng: &mut R,
+) -> Option<Vec<u8>> {
+    random_combination_sparse(dim, vectors, vectors.len(), rng)
+}
+
+/// Like [`random_combination`], but combines only up to `density`
+/// randomly chosen vectors — the sparse-coding cost/innovation knob.
+/// `density ≥ vectors.len()` is dense; `density == 0` returns `None`.
+pub fn random_combination_sparse<R: Rng + ?Sized>(
+    dim: usize,
+    vectors: &[Vec<u8>],
+    density: usize,
+    rng: &mut R,
+) -> Option<Vec<u8>> {
+    if vectors.is_empty() || density == 0 {
+        return None;
+    }
+    let n = vectors.len();
+    let d = density.min(n);
+    for _ in 0..8 {
+        let mut out = vec![0u8; dim];
+        if d == n {
+            for v in vectors {
+                let c = Gf256::new(rng.random_range(1..=255u8));
+                slice::axpy(&mut out, c, v);
+            }
+        } else {
+            // Floyd's algorithm for a uniform d-subset.
+            let mut chosen = std::collections::BTreeSet::new();
+            for j in (n - d)..n {
+                let t = rng.random_range(0..=j);
+                if !chosen.insert(t) {
+                    chosen.insert(j);
+                }
+            }
+            for &idx in &chosen {
+                let c = Gf256::new(rng.random_range(1..=255u8));
+                slice::axpy(&mut out, c, &vectors[idx]);
+            }
+        }
+        if out.iter().any(|&x| x != 0) {
+            return Some(out);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_subspace() {
+        let sub = Subspace::new(4);
+        assert_eq!(sub.rank(), 0);
+        assert_eq!(sub.dim(), 4);
+        assert!(!sub.is_full());
+        assert!(!sub.would_increase_rank(&[0, 0, 0, 0]));
+        assert!(sub.would_increase_rank(&[0, 0, 1, 0]));
+    }
+
+    #[test]
+    fn unit_vectors_fill_the_space() {
+        let mut sub = Subspace::new(3);
+        assert!(sub.insert(&[0, 0, 7]));
+        assert!(sub.insert(&[0, 3, 0]));
+        assert!(sub.insert(&[9, 0, 0]));
+        assert!(sub.is_full());
+        // Everything is now in the span.
+        assert!(!sub.insert(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn dependent_vectors_are_rejected() {
+        let mut sub = Subspace::new(4);
+        assert!(sub.insert(&[1, 2, 0, 0]));
+        // A scalar multiple (×3 in GF terms) of the first vector.
+        let mut scaled = [1u8, 2, 0, 0];
+        slice::scale_assign(&mut scaled, Gf256::new(3));
+        assert!(!sub.insert(&scaled));
+        assert_eq!(sub.rank(), 1);
+    }
+
+    #[test]
+    fn zero_vector_never_increases_rank() {
+        let mut sub = Subspace::new(5);
+        assert!(!sub.insert(&[0; 5]));
+        sub.insert(&[1, 0, 0, 0, 0]);
+        assert!(!sub.insert(&[0; 5]));
+    }
+
+    #[test]
+    fn rank_is_independent_of_insertion_order() {
+        let vecs: Vec<Vec<u8>> = vec![
+            vec![1, 2, 3, 4],
+            vec![0, 1, 1, 0],
+            vec![1, 3, 2, 4], // sum (XOR) of the first two
+            vec![5, 0, 0, 1],
+        ];
+        let forward = Subspace::from_vectors(4, vecs.iter().map(Vec::as_slice));
+        let backward = Subspace::from_vectors(4, vecs.iter().rev().map(Vec::as_slice));
+        assert_eq!(forward.rank(), backward.rank());
+        assert_eq!(forward.rank(), 3);
+    }
+
+    #[test]
+    fn random_combination_spans_only_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let vectors = vec![vec![1u8, 0, 0, 0], vec![0u8, 1, 0, 0]];
+        let holder = Subspace::from_vectors(4, vectors.iter().map(Vec::as_slice));
+        for _ in 0..100 {
+            let combo = random_combination(4, &vectors, &mut rng).unwrap();
+            assert!(
+                !holder.would_increase_rank(&combo),
+                "combination escaped the span"
+            );
+        }
+    }
+
+    #[test]
+    fn random_combination_of_nothing_is_none() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(random_combination(3, &[], &mut rng).is_none());
+    }
+
+    #[test]
+    fn random_combination_is_usually_innovative() {
+        // Fresh combinations of a full-rank holding should almost always
+        // be innovative to a lower-rank receiver.
+        let mut rng = StdRng::seed_from_u64(3);
+        let holding: Vec<Vec<u8>> = vec![vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]];
+        let mut innovative = 0;
+        for _ in 0..200 {
+            let mut receiver = Subspace::new(3);
+            receiver.insert(&[1, 1, 1]);
+            let combo = random_combination(3, &holding, &mut rng).unwrap();
+            if receiver.would_increase_rank(&combo) {
+                innovative += 1;
+            }
+        }
+        assert!(innovative > 190, "only {innovative}/200 innovative");
+    }
+
+    #[test]
+    fn sparse_combination_uses_subset() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let vectors: Vec<Vec<u8>> = vec![vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]];
+        for _ in 0..100 {
+            let combo = random_combination_sparse(3, &vectors, 1, &mut rng).unwrap();
+            let nonzero = combo.iter().filter(|&&x| x != 0).count();
+            assert_eq!(nonzero, 1, "density-1 combos touch exactly one vector");
+        }
+        assert!(random_combination_sparse(3, &vectors, 0, &mut rng).is_none());
+        // density >= n behaves densely (usually all three non-zero).
+        let dense = random_combination_sparse(3, &vectors, 9, &mut rng).unwrap();
+        assert!(dense.iter().filter(|&&x| x != 0).count() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn insert_rejects_wrong_dimension() {
+        let mut sub = Subspace::new(3);
+        sub.insert(&[1, 2]);
+    }
+}

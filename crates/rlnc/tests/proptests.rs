@@ -1,0 +1,182 @@
+//! Property-based tests for the RLNC codec: arbitrary payloads, segment
+//! sizes, relay topologies and wire frames.
+
+use gossamer_rlnc::{
+    segment_records, wire, CodedBlock, DecodedSegment, Decoder, Reassembler, ReedSolomon,
+    SegmentBuffer, SegmentId, SegmentParams, SourceSegment,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_params() -> impl Strategy<Value = SegmentParams> {
+    (1usize..=16, 1usize..=64).prop_map(|(s, len)| SegmentParams::new(s, len).expect("valid"))
+}
+
+fn blocks_for(params: SegmentParams, seed: u64) -> Vec<Vec<u8>> {
+    use rand::RngExt;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..params.segment_size())
+        .map(|_| (0..params.block_len()).map(|_| rng.random()).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode at a source, recode through a relay, decode at a collector:
+    /// the original blocks always come back, for every (s, block_len).
+    #[test]
+    fn end_to_end_identity(params in arb_params(), seed in any::<u64>()) {
+        let blocks = blocks_for(params, seed);
+        let src = SourceSegment::new(SegmentId::new(1), params, blocks.clone())
+            .expect("valid source");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+
+        let mut relay = SegmentBuffer::new(SegmentId::new(1), params);
+        let mut guard = 0;
+        while !relay.is_full() {
+            relay.insert(src.emit(&mut rng)).expect("shape ok");
+            guard += 1;
+            prop_assert!(guard < 1000, "relay never filled");
+        }
+
+        let mut decoder = Decoder::new(params);
+        let mut decoded = None;
+        for _ in 0..1000 {
+            let b = relay.recode(&mut rng).expect("relay non-empty");
+            if let Some(seg) = decoder.receive(b).expect("shape ok") {
+                decoded = Some(seg);
+                break;
+            }
+        }
+        let decoded = decoded.expect("segment must decode");
+        prop_assert_eq!(decoded.blocks(), &blocks[..]);
+    }
+
+    /// Rank never exceeds s, never decreases, and redundant insertions
+    /// leave it unchanged.
+    #[test]
+    fn rank_monotonicity(params in arb_params(), seed in any::<u64>()) {
+        let blocks = blocks_for(params, seed);
+        let src = SourceSegment::new(SegmentId::new(2), params, blocks)
+            .expect("valid source");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut buf = SegmentBuffer::new(SegmentId::new(2), params);
+        let mut prev_rank = 0;
+        for _ in 0..50 {
+            let before = buf.rank();
+            let outcome = buf.insert(src.emit(&mut rng)).expect("shape ok");
+            let after = buf.rank();
+            prop_assert!(after >= before);
+            prop_assert!(after <= params.segment_size());
+            if !outcome.is_innovative() {
+                prop_assert_eq!(after, before);
+            }
+            prev_rank = after;
+        }
+        prop_assert!(prev_rank <= params.segment_size());
+    }
+
+    /// A buffer of partial rank r can never push a receiver past rank r.
+    #[test]
+    fn recode_confined_to_subspace(
+        params in (2usize..=12, 1usize..=32)
+            .prop_map(|(s, len)| SegmentParams::new(s, len).expect("valid")),
+        seed in any::<u64>(),
+        target_rank in 1usize..=4,
+    ) {
+        let target_rank = target_rank.min(params.segment_size() - 1);
+        let blocks = blocks_for(params, seed);
+        let src = SourceSegment::new(SegmentId::new(3), params, blocks)
+            .expect("valid source");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut relay = SegmentBuffer::new(SegmentId::new(3), params);
+        while relay.rank() < target_rank {
+            relay.insert(src.emit(&mut rng)).expect("shape ok");
+        }
+        let mut sink = SegmentBuffer::new(SegmentId::new(3), params);
+        for _ in 0..60 {
+            sink.insert(relay.recode(&mut rng).expect("non-empty")).expect("shape ok");
+        }
+        prop_assert!(sink.rank() <= target_rank);
+    }
+
+    /// Wire frames round-trip for arbitrary shapes.
+    #[test]
+    fn wire_round_trip(
+        raw_id in any::<u64>(),
+        coeffs in proptest::collection::vec(any::<u8>(), 1..=255),
+        payload in proptest::collection::vec(any::<u8>(), 1..=512),
+    ) {
+        let block = CodedBlock::new(SegmentId::new(raw_id), coeffs, payload)
+            .expect("valid shape");
+        let frame = wire::encode(&block);
+        prop_assert_eq!(wire::peek_frame_len(&frame), Some(frame.len()));
+        let back = wire::decode(&frame).expect("round trip");
+        prop_assert_eq!(back, block);
+    }
+
+    /// Any single-byte corruption of a frame is detected.
+    #[test]
+    fn wire_detects_single_byte_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 1..=64),
+        flip_pos_frac in 0.0f64..1.0,
+        flip_bits in 1u8..=255,
+    ) {
+        let block = CodedBlock::new(SegmentId::new(9), vec![1, 2, 3], payload)
+            .expect("valid shape");
+        let mut frame = wire::encode(&block).to_vec();
+        let pos = ((frame.len() as f64 - 1.0) * flip_pos_frac) as usize;
+        frame[pos] ^= flip_bits;
+        prop_assert!(wire::decode(&frame).is_err(), "corruption at {} missed", pos);
+    }
+
+    /// Segmenter → Reassembler round-trips arbitrary record batches.
+    #[test]
+    fn records_round_trip(
+        records in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..100),
+            0..20,
+        ),
+    ) {
+        let params = SegmentParams::new(4, 32).expect("valid");
+        let segments = segment_records(5, params, &records).expect("records fit");
+        let mut re = Reassembler::new();
+        for seg in &segments {
+            re.feed(&DecodedSegment::from_blocks(seg.id(), seg.blocks().to_vec()));
+        }
+        prop_assert_eq!(re.take_records(), records);
+        prop_assert_eq!(re.malformed_segments(), 0);
+    }
+
+    /// Any k-subset of Reed–Solomon shares reconstructs, for arbitrary
+    /// (k, n) and payloads.
+    #[test]
+    fn reed_solomon_reconstructs_from_any_subset(
+        k in 1usize..8,
+        extra in 1usize..6,
+        len in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let n = k + extra;
+        let rs = ReedSolomon::new(k, n).expect("valid parameters");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let blocks: Vec<Vec<u8>> = (0..k)
+            .map(|_| (0..len).map(|_| rng.random()).collect())
+            .collect();
+        let shares = rs.encode(&blocks).expect("encode");
+        // Pick a random k-subset of share indices.
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in (1..indices.len()).rev() {
+            let j = rng.random_range(0..=i);
+            indices.swap(i, j);
+        }
+        let kept: Vec<(usize, &[u8])> = indices[..k]
+            .iter()
+            .map(|&i| (i, shares[i].as_slice()))
+            .collect();
+        prop_assert_eq!(rs.reconstruct(&kept).expect("reconstruct"), blocks);
+    }
+}

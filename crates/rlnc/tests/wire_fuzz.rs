@@ -1,0 +1,64 @@
+//! Fuzz-style robustness tests: the wire decoder must never panic and
+//! never mis-accept, whatever bytes arrive from the network.
+
+use gossamer_rlnc::{wire, CodedBlock, SegmentId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte strings: decode returns an error or a valid block,
+    /// never panics.
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = wire::decode(&bytes);
+        let _ = wire::peek_frame_len(&bytes);
+    }
+
+    /// Garbage that happens to start with the right magic and version
+    /// still cannot crash the decoder, and only passes if the CRC holds
+    /// (probability ≈ 2⁻³² per case — treat any acceptance as real).
+    #[test]
+    fn decode_never_panics_on_plausible_headers(
+        tail in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut frame = vec![wire::MAGIC, wire::VERSION];
+        frame.extend_from_slice(&tail);
+        if let Ok(block) = wire::decode(&frame) {
+            // If it decoded, it must be internally consistent.
+            prop_assert!(!block.coefficients().is_empty());
+            prop_assert!(!block.payload().is_empty());
+        }
+    }
+
+    /// Truncating a valid frame at every possible position is always a
+    /// clean error.
+    #[test]
+    fn every_truncation_is_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        s in 1usize..10,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let block = CodedBlock::new(SegmentId::new(7), vec![1u8; s], payload)
+            .expect("valid block");
+        let frame = wire::encode(&block);
+        let cut = ((frame.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(wire::decode(&frame[..cut]).is_err());
+    }
+
+    /// Appending trailing garbage to a valid frame is harmless for
+    /// `peek_frame_len`-based splitting: the frame length is unchanged.
+    #[test]
+    fn trailing_garbage_does_not_confuse_framing(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let block = CodedBlock::new(SegmentId::new(7), vec![3, 1], payload)
+            .expect("valid block");
+        let frame = wire::encode(&block);
+        let mut stream = frame.to_vec();
+        stream.extend_from_slice(&garbage);
+        prop_assert_eq!(wire::peek_frame_len(&stream), Some(frame.len()));
+        prop_assert_eq!(wire::decode(&stream[..frame.len()]).unwrap(), block);
+    }
+}

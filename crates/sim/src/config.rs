@@ -1,0 +1,671 @@
+//! Simulation configuration.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Which collection scheme the simulated network runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Scheme {
+    /// The paper's contribution: gossip + coding + blind server pulls
+    /// (Fig. 1(b)).
+    #[default]
+    Indirect,
+    /// The traditional baseline: servers pull original blocks directly
+    /// from the peers that generated them; no gossip, no coding
+    /// (Fig. 1(a)).
+    DirectPull,
+}
+
+/// How coding is simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CodingModel {
+    /// The paper's analytical model: any block of a segment transferred
+    /// to a party holding fewer than `s` blocks is assumed innovative.
+    /// Fast; matches the ODE characterisation.
+    #[default]
+    Idealized,
+    /// Real GF(2⁸) coefficient vectors travel with every block; ranks
+    /// are tracked exactly through recoding, expiry and churn. Slower;
+    /// quantifies the ≈`1/256` dependent-combination probability and
+    /// subspace bottlenecks that the analysis neglects.
+    Exact,
+}
+
+/// Who can gossip with whom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Topology {
+    /// Every peer is everyone's neighbour (the mean-field assumption of
+    /// the ODE model).
+    #[default]
+    FullMesh,
+    /// Each peer gossips only with `degree` static random neighbours.
+    /// A replacement peer inherits its predecessor's graph position.
+    RandomRegular {
+        /// Number of neighbours per peer.
+        degree: usize,
+    },
+}
+
+/// Flash-crowd arrival configuration: the network starts with
+/// `initial_peers` active peers and the rest join as a Poisson process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalConfig {
+    /// Peers active at `t = 0` (the remainder of `peers` joins later).
+    pub initial_peers: usize,
+    /// Aggregate arrival rate (joins per unit time) until the population
+    /// is full.
+    pub rate: f64,
+}
+
+/// Peer churn configuration (the replacement model of Leonard et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Mean peer lifetime (exponentially distributed). When a peer
+    /// departs, its buffer is lost and a fresh peer takes its place.
+    pub mean_lifetime: f64,
+}
+
+/// Validation errors for [`SimConfig`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A parameter that must be strictly positive was not.
+    NonPositive {
+        /// Parameter name.
+        name: &'static str,
+    },
+    /// A parameter that must be non-negative was not (or was not finite).
+    Negative {
+        /// Parameter name.
+        name: &'static str,
+    },
+    /// Segment size outside `1..=255`.
+    BadSegmentSize {
+        /// The rejected value.
+        requested: usize,
+    },
+    /// Fewer than two peers.
+    TooFewPeers,
+    /// Buffer cap smaller than one segment.
+    BufferTooSmall {
+        /// The requested cap.
+        buffer_cap: usize,
+        /// Segment size it must hold.
+        segment_size: usize,
+    },
+    /// Topology degree out of range for the peer count.
+    BadTopologyDegree {
+        /// Requested neighbour count.
+        degree: usize,
+        /// Number of peers.
+        peers: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositive { name } => {
+                write!(f, "{name} must be positive and finite")
+            }
+            ConfigError::Negative { name } => {
+                write!(f, "{name} must be non-negative and finite")
+            }
+            ConfigError::BadSegmentSize { requested } => {
+                write!(f, "segment size {requested} outside 1..=255")
+            }
+            ConfigError::TooFewPeers => write!(f, "at least two peers required"),
+            ConfigError::BufferTooSmall {
+                buffer_cap,
+                segment_size,
+            } => write!(
+                f,
+                "buffer cap {buffer_cap} cannot hold one segment of {segment_size} blocks"
+            ),
+            ConfigError::BadTopologyDegree { degree, peers } => {
+                write!(f, "topology degree {degree} invalid for {peers} peers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Full description of one simulation run.
+///
+/// Construct through [`SimConfig::builder`]; defaults follow the paper's
+/// Fig. 3 setting scaled to a laptop-size network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    pub(crate) peers: usize,
+    pub(crate) lambda: f64,
+    pub(crate) mu: f64,
+    pub(crate) gamma: f64,
+    pub(crate) segment_size: usize,
+    pub(crate) servers: usize,
+    pub(crate) server_capacity: f64,
+    pub(crate) buffer_cap: usize,
+    pub(crate) scheme: Scheme,
+    pub(crate) coding: CodingModel,
+    pub(crate) topology: Topology,
+    pub(crate) churn: Option<ChurnConfig>,
+    pub(crate) oracle_servers: bool,
+    pub(crate) gossip_density: Option<usize>,
+    pub(crate) arrivals: Option<ArrivalConfig>,
+    pub(crate) generation_until: Option<f64>,
+    pub(crate) warmup: f64,
+    pub(crate) measure: f64,
+    pub(crate) sample_interval: f64,
+    pub(crate) seed: u64,
+}
+
+impl SimConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// Number of peers `N`.
+    pub fn peers(&self) -> usize {
+        self.peers
+    }
+
+    /// Per-peer block generation rate λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Per-peer gossip rate μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Per-block deletion rate γ (`0` disables expiry).
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Segment size `s`.
+    pub fn segment_size(&self) -> usize {
+        self.segment_size
+    }
+
+    /// Number of logging servers `Nₛ`.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Per-server pull rate `cₛ`.
+    pub fn server_capacity(&self) -> f64 {
+        self.server_capacity
+    }
+
+    /// Normalized server capacity `c = cₛ·Nₛ/N`.
+    pub fn normalized_capacity(&self) -> f64 {
+        self.server_capacity * self.servers as f64 / self.peers as f64
+    }
+
+    /// Per-peer buffer cap `B` in blocks.
+    pub fn buffer_cap(&self) -> usize {
+        self.buffer_cap
+    }
+
+    /// Collection scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Coding model.
+    pub fn coding(&self) -> CodingModel {
+        self.coding
+    }
+
+    /// Gossip topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Churn configuration, if any.
+    pub fn churn(&self) -> Option<ChurnConfig> {
+        self.churn
+    }
+
+    /// Absolute simulation time after which peers stop generating new
+    /// data (`None` = generation never stops). Used for burst-then-drain
+    /// scenarios such as a flash crowd followed by delayed collection.
+    pub fn generation_until(&self) -> Option<f64> {
+        self.generation_until
+    }
+
+    /// Flash-crowd arrival configuration, if any.
+    pub fn arrivals(&self) -> Option<ArrivalConfig> {
+        self.arrivals
+    }
+
+    /// Sparse-recoding density for the exact coding model (`None` =
+    /// dense, the paper's assumption).
+    pub fn gossip_density(&self) -> Option<usize> {
+        self.gossip_density
+    }
+
+    /// Whether servers are *oracles* that never pull segments they have
+    /// already fully collected (an upper bound ablating the paper's
+    /// blind coupon-collector pulls, which make no buffer comparison).
+    pub fn oracle_servers(&self) -> bool {
+        self.oracle_servers
+    }
+
+    /// Warm-up time excluded from measurement.
+    pub fn warmup(&self) -> f64 {
+        self.warmup
+    }
+
+    /// Measurement window length.
+    pub fn measure(&self) -> f64 {
+        self.measure
+    }
+
+    /// Interval between state samples.
+    pub fn sample_interval(&self) -> f64 {
+        self.sample_interval
+    }
+
+    /// RNG seed; identical configs with identical seeds reproduce runs
+    /// bit-for-bit.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    peers: usize,
+    lambda: f64,
+    mu: f64,
+    gamma: f64,
+    segment_size: usize,
+    servers: usize,
+    server_capacity: Option<f64>,
+    normalized_capacity: Option<f64>,
+    buffer_cap: Option<usize>,
+    scheme: Scheme,
+    coding: CodingModel,
+    topology: Topology,
+    churn: Option<ChurnConfig>,
+    oracle_servers: bool,
+    gossip_density: Option<usize>,
+    arrivals: Option<ArrivalConfig>,
+    generation_until: Option<f64>,
+    warmup: f64,
+    measure: f64,
+    sample_interval: f64,
+    seed: u64,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder {
+            peers: 200,
+            lambda: 20.0,
+            mu: 10.0,
+            gamma: 1.0,
+            segment_size: 1,
+            servers: 4,
+            server_capacity: None,
+            normalized_capacity: None,
+            buffer_cap: None,
+            scheme: Scheme::Indirect,
+            coding: CodingModel::Idealized,
+            topology: Topology::FullMesh,
+            churn: None,
+            oracle_servers: false,
+            gossip_density: None,
+            arrivals: None,
+            generation_until: None,
+            warmup: 10.0,
+            measure: 20.0,
+            sample_interval: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Sets the number of peers `N`.
+    pub fn peers(mut self, n: usize) -> Self {
+        self.peers = n;
+        self
+    }
+
+    /// Sets the per-peer block generation rate λ.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the per-peer gossip rate μ.
+    pub fn mu(mut self, mu: f64) -> Self {
+        self.mu = mu;
+        self
+    }
+
+    /// Sets the per-block deletion rate γ (`0` disables expiry).
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Sets the segment size `s` (`1` = non-coding).
+    pub fn segment_size(mut self, s: usize) -> Self {
+        self.segment_size = s;
+        self
+    }
+
+    /// Sets the number of servers (default 4).
+    pub fn servers(mut self, n: usize) -> Self {
+        self.servers = n;
+        self
+    }
+
+    /// Sets the per-server pull rate `cₛ` directly.
+    pub fn server_capacity(mut self, cs: f64) -> Self {
+        self.server_capacity = Some(cs);
+        self
+    }
+
+    /// Sets the *normalized* capacity `c = cₛ·Nₛ/N`; the per-server rate
+    /// is derived. This is how the paper parameterises every figure.
+    pub fn normalized_server_capacity(mut self, c: f64) -> Self {
+        self.normalized_capacity = Some(c);
+        self
+    }
+
+    /// Sets the per-peer buffer cap `B` (default: 4·(μ+λ)/γ, "large").
+    pub fn buffer_cap(mut self, b: usize) -> Self {
+        self.buffer_cap = Some(b);
+        self
+    }
+
+    /// Selects the collection scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Selects the coding model.
+    pub fn coding(mut self, coding: CodingModel) -> Self {
+        self.coding = coding;
+        self
+    }
+
+    /// Selects the gossip topology.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Enables churn with the given mean lifetime.
+    pub fn churn(mut self, mean_lifetime: f64) -> Self {
+        self.churn = Some(ChurnConfig { mean_lifetime });
+        self
+    }
+
+    /// Stops data generation at the given absolute simulation time; the
+    /// rest of the run only drains what the network has buffered.
+    pub fn generation_until(mut self, t: f64) -> Self {
+        self.generation_until = Some(t);
+        self
+    }
+
+    /// Makes servers oracles that skip already-complete segments when
+    /// choosing what to pull (ablation; the paper's servers are blind).
+    pub fn oracle_servers(mut self, oracle: bool) -> Self {
+        self.oracle_servers = oracle;
+        self
+    }
+
+    /// Restricts exact-model recoding to combine at most `density`
+    /// buffered blocks per emission (sparse coding). Ignored by the
+    /// idealized model, which has no coefficients.
+    pub fn gossip_density(mut self, density: usize) -> Self {
+        self.gossip_density = Some(density);
+        self
+    }
+
+    /// Starts the run with only `initial` active peers; the rest of the
+    /// configured population joins as a Poisson process of the given
+    /// aggregate rate (a flash crowd of arrivals).
+    pub fn arrivals(mut self, initial: usize, rate: f64) -> Self {
+        self.arrivals = Some(ArrivalConfig {
+            initial_peers: initial,
+            rate,
+        });
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warmup(mut self, t: f64) -> Self {
+        self.warmup = t;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measure(mut self, t: f64) -> Self {
+        self.measure = t;
+        self
+    }
+
+    /// Sets the sampling interval for time-series metrics.
+    pub fn sample_interval(mut self, dt: f64) -> Self {
+        self.sample_interval = dt;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first invalid parameter.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        if self.peers < 2 {
+            return Err(ConfigError::TooFewPeers);
+        }
+        for (name, v) in [
+            ("lambda", self.lambda),
+            ("warmup+measure", self.warmup + self.measure),
+            ("sample_interval", self.sample_interval),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ConfigError::NonPositive { name });
+            }
+        }
+        if !(self.measure.is_finite() && self.measure > 0.0) {
+            return Err(ConfigError::NonPositive { name: "measure" });
+        }
+        for (name, v) in [
+            ("mu", self.mu),
+            ("gamma", self.gamma),
+            ("warmup", self.warmup),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(ConfigError::Negative { name });
+            }
+        }
+        if self.segment_size == 0 || self.segment_size > 255 {
+            return Err(ConfigError::BadSegmentSize {
+                requested: self.segment_size,
+            });
+        }
+        if self.servers == 0 {
+            return Err(ConfigError::NonPositive { name: "servers" });
+        }
+        let server_capacity = match (self.server_capacity, self.normalized_capacity) {
+            (Some(cs), _) => cs,
+            (None, Some(c)) => c * self.peers as f64 / self.servers as f64,
+            (None, None) => 6.0 * self.peers as f64 / self.servers as f64,
+        };
+        if !(server_capacity.is_finite() && server_capacity > 0.0) {
+            return Err(ConfigError::NonPositive {
+                name: "server_capacity",
+            });
+        }
+        if let Some(churn) = self.churn {
+            if !(churn.mean_lifetime.is_finite() && churn.mean_lifetime > 0.0) {
+                return Err(ConfigError::NonPositive {
+                    name: "churn.mean_lifetime",
+                });
+            }
+        }
+        if let Some(t) = self.generation_until {
+            if !(t.is_finite() && t > 0.0) {
+                return Err(ConfigError::NonPositive {
+                    name: "generation_until",
+                });
+            }
+        }
+        if let Some(d) = self.gossip_density {
+            if d == 0 {
+                return Err(ConfigError::NonPositive {
+                    name: "gossip_density",
+                });
+            }
+        }
+        if let Some(a) = self.arrivals {
+            if a.initial_peers == 0 || a.initial_peers > self.peers {
+                return Err(ConfigError::NonPositive {
+                    name: "arrivals.initial_peers",
+                });
+            }
+            if !(a.rate.is_finite() && a.rate > 0.0) {
+                return Err(ConfigError::NonPositive {
+                    name: "arrivals.rate",
+                });
+            }
+        }
+        let buffer_cap = self.buffer_cap.unwrap_or_else(|| {
+            if self.gamma > 0.0 {
+                ((4.0 * (self.mu + self.lambda) / self.gamma).ceil() as usize)
+                    .max(self.segment_size * 4)
+            } else {
+                // Without expiry there is no steady state; still provide
+                // a generous default proportional to the run length.
+                ((self.lambda + self.mu) * (self.warmup + self.measure) * 2.0).ceil() as usize
+            }
+        });
+        if buffer_cap < self.segment_size {
+            return Err(ConfigError::BufferTooSmall {
+                buffer_cap,
+                segment_size: self.segment_size,
+            });
+        }
+        if let Topology::RandomRegular { degree } = self.topology {
+            if degree == 0 || degree >= self.peers {
+                return Err(ConfigError::BadTopologyDegree {
+                    degree,
+                    peers: self.peers,
+                });
+            }
+        }
+        Ok(SimConfig {
+            peers: self.peers,
+            lambda: self.lambda,
+            mu: self.mu,
+            gamma: self.gamma,
+            segment_size: self.segment_size,
+            servers: self.servers,
+            server_capacity,
+            buffer_cap,
+            scheme: self.scheme,
+            coding: self.coding,
+            topology: self.topology,
+            churn: self.churn,
+            oracle_servers: self.oracle_servers,
+            gossip_density: self.gossip_density,
+            arrivals: self.arrivals,
+            generation_until: self.generation_until,
+            warmup: self.warmup,
+            measure: self.measure,
+            sample_interval: self.sample_interval,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        let c = SimConfig::builder().build().unwrap();
+        assert_eq!(c.peers(), 200);
+        assert_eq!(c.scheme(), Scheme::Indirect);
+        assert_eq!(c.coding(), CodingModel::Idealized);
+        assert!((c.normalized_capacity() - 6.0).abs() < 1e-12);
+        assert!(c.buffer_cap() >= 120);
+    }
+
+    #[test]
+    fn normalized_capacity_round_trips() {
+        let c = SimConfig::builder()
+            .peers(100)
+            .servers(5)
+            .normalized_server_capacity(2.0)
+            .build()
+            .unwrap();
+        assert!((c.server_capacity() - 40.0).abs() < 1e-12);
+        assert!((c.normalized_capacity() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(SimConfig::builder().peers(1).build().is_err());
+        assert!(SimConfig::builder().lambda(0.0).build().is_err());
+        assert!(SimConfig::builder().mu(-1.0).build().is_err());
+        assert!(SimConfig::builder().gamma(f64::NAN).build().is_err());
+        assert!(SimConfig::builder().segment_size(0).build().is_err());
+        assert!(SimConfig::builder().segment_size(256).build().is_err());
+        assert!(SimConfig::builder().servers(0).build().is_err());
+        assert!(SimConfig::builder().measure(0.0).build().is_err());
+        assert!(SimConfig::builder().churn(0.0).build().is_err());
+        assert!(SimConfig::builder()
+            .segment_size(8)
+            .buffer_cap(4)
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .peers(10)
+            .topology(Topology::RandomRegular { degree: 10 })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn gamma_zero_is_allowed() {
+        let c = SimConfig::builder().gamma(0.0).build().unwrap();
+        assert_eq!(c.gamma(), 0.0);
+        assert!(c.buffer_cap() > 0);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = SimConfig::builder().peers(0).build().unwrap_err();
+        assert_eq!(err.to_string(), "at least two peers required");
+        let err = SimConfig::builder().segment_size(300).build().unwrap_err();
+        assert!(err.to_string().contains("outside 1..=255"));
+    }
+
+    #[test]
+    fn config_is_serde() {
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<SimConfig>();
+    }
+}

@@ -1,0 +1,341 @@
+//! Measurement machinery and the final report.
+
+use serde::Serialize;
+
+/// Session-throughput statistics over the measurement window.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ThroughputStats {
+    /// Original blocks reconstructed at the servers during the window.
+    pub delivered_blocks: u64,
+    /// Segments fully decoded during the window.
+    pub delivered_segments: u64,
+    /// Blocks whose segments were injected during the window.
+    pub injected_blocks: u64,
+    /// Segment injections suppressed because the origin's buffer was
+    /// full.
+    pub blocked_injections: u64,
+    /// Server pulls that advanced some segment's collection state.
+    pub useful_pulls: u64,
+    /// Server pulls wasted on already-complete segments (or, in the
+    /// exact model, on non-innovative blocks).
+    pub redundant_pulls: u64,
+    /// Server pulls that found every peer's buffer empty.
+    pub idle_pulls: u64,
+    /// Session throughput in the paper's sense — the rate at which
+    /// servers obtain *needed* blocks (useful pulls) — normalized by the
+    /// aggregate demand `N·λ·T`. This is the Fig. 3/4 y-axis and the
+    /// quantity Theorem 2 predicts (`c·η/λ`).
+    pub normalized: f64,
+    /// A stricter throughput: only blocks of segments that fully decoded
+    /// within the window, normalized the same way. Lower than
+    /// `normalized` because partially collected segments that expire
+    /// deliver nothing.
+    pub decoded_normalized: f64,
+    /// Fraction of pulls that were useful.
+    pub efficiency: f64,
+    /// Fraction of blocks injected during the window whose segments were
+    /// fully decoded during the window. The natural success metric for
+    /// burst-then-drain runs (set `warmup = 0` so all injections count).
+    pub delivered_fraction: f64,
+}
+
+/// Block-delay statistics (paper's Fig. 5 metric: segment delivery delay
+/// divided by segment size).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct DelayStats {
+    /// Number of delivered segments the average is over.
+    pub samples: u64,
+    /// Mean block delay.
+    pub mean: f64,
+    /// Median block delay.
+    pub p50: f64,
+    /// 95th-percentile block delay.
+    pub p95: f64,
+    /// Maximum observed block delay.
+    pub max: f64,
+}
+
+/// Storage statistics, time-averaged over samples in the window.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct StorageStats {
+    /// Mean blocks per peer (the bipartite edge density `e`).
+    pub mean_blocks_per_peer: f64,
+    /// Peak blocks per peer across samples.
+    pub peak_blocks_per_peer: f64,
+    /// Mean fraction of peers with empty buffers (`z₀`).
+    pub mean_empty_fraction: f64,
+    /// Mean count of live segments per peer (`Σ wᵢ`).
+    pub mean_segments_per_peer: f64,
+    /// Mean original blocks per peer buffered in decodable segments not
+    /// yet reconstructed by the servers — the paper's Fig. 6 metric.
+    pub mean_saved_blocks_per_peer: f64,
+}
+
+/// Time-averaged peer-degree histogram (comparable to the ODE's `z̃ᵢ`).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct DegreeHistogram {
+    /// `fractions[i]` ≈ long-run fraction of peers with `i` blocks.
+    pub fractions: Vec<f64>,
+}
+
+impl DegreeHistogram {
+    /// The mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.fractions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| i as f64 * f)
+            .sum()
+    }
+}
+
+/// One sampled instant of network state (recorded from `t = 0`,
+/// including warm-up, so transients are visible).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct SamplePoint {
+    /// Simulation time.
+    pub t: f64,
+    /// Average blocks per peer at this instant.
+    pub blocks_per_peer: f64,
+    /// Fraction of peers with empty buffers.
+    pub empty_fraction: f64,
+    /// Live segments per peer.
+    pub segments_per_peer: f64,
+    /// Fully collected, still-alive segments per peer.
+    pub collected_segments_per_peer: f64,
+    /// Blocks injected since the start of the run (not window-gated).
+    pub cumulative_injected_blocks: u64,
+    /// Blocks of fully decoded segments since the start of the run.
+    pub cumulative_delivered_blocks: u64,
+    /// Useful pulls since the start of the run.
+    pub cumulative_useful_pulls: u64,
+}
+
+/// Everything a simulation run reports.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SimReport {
+    /// Throughput counters.
+    pub throughput: ThroughputStats,
+    /// Delay statistics.
+    pub delay: DelayStats,
+    /// Storage statistics.
+    pub storage: StorageStats,
+    /// Peer-degree histogram.
+    pub degree_histogram: DegreeHistogram,
+    /// Segments that expired from the network before the servers could
+    /// decode them (within the whole run).
+    pub lost_segments: u64,
+    /// Segments still alive and undecoded when the run ended.
+    pub residual_segments: u64,
+    /// Peer departures processed (churn).
+    pub departures: u64,
+    /// State samples over the whole run (including warm-up), for
+    /// transient analysis against the ODE model.
+    pub series: Vec<SamplePoint>,
+    /// Total events processed.
+    pub events: u64,
+    /// Wall-clock-free simulated end time.
+    pub end_time: f64,
+}
+
+/// Internal accumulator the simulation writes into.
+#[derive(Debug, Default)]
+pub(crate) struct Accumulator {
+    pub(crate) delivered_blocks: u64,
+    pub(crate) delivered_segments: u64,
+    pub(crate) injected_blocks: u64,
+    pub(crate) blocked_injections: u64,
+    pub(crate) useful_pulls: u64,
+    pub(crate) redundant_pulls: u64,
+    pub(crate) idle_pulls: u64,
+    pub(crate) delay_sum: f64,
+    pub(crate) delay_max: f64,
+    pub(crate) delay_samples: u64,
+    pub(crate) delays: Vec<f64>,
+    pub(crate) lost_segments: u64,
+    pub(crate) departures: u64,
+    pub(crate) events: u64,
+    // Sampling sums.
+    pub(crate) samples: u64,
+    pub(crate) sum_blocks_per_peer: f64,
+    pub(crate) peak_blocks_per_peer: f64,
+    pub(crate) sum_empty_fraction: f64,
+    pub(crate) sum_segments_per_peer: f64,
+    pub(crate) sum_saved_blocks_per_peer: f64,
+    pub(crate) degree_counts: Vec<f64>,
+    pub(crate) series: Vec<SamplePoint>,
+    // Whole-run counters (not gated by the measurement window), used by
+    // the time series.
+    pub(crate) total_injected_blocks: u64,
+    pub(crate) total_delivered_blocks: u64,
+    pub(crate) total_useful_pulls: u64,
+}
+
+impl Accumulator {
+    pub(crate) fn record_delivery(&mut self, segment_size: usize, delay: f64) {
+        self.delivered_segments += 1;
+        self.delivered_blocks += segment_size as u64;
+        let block_delay = delay / segment_size as f64;
+        self.delay_sum += block_delay;
+        self.delay_max = self.delay_max.max(block_delay);
+        self.delay_samples += 1;
+        self.delays.push(block_delay);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_sample(
+        &mut self,
+        blocks_per_peer: f64,
+        empty_fraction: f64,
+        segments_per_peer: f64,
+        saved_blocks_per_peer: f64,
+        degree_histogram: &[u64],
+        peers: usize,
+    ) {
+        self.samples += 1;
+        self.sum_blocks_per_peer += blocks_per_peer;
+        self.peak_blocks_per_peer = self.peak_blocks_per_peer.max(blocks_per_peer);
+        self.sum_empty_fraction += empty_fraction;
+        self.sum_segments_per_peer += segments_per_peer;
+        self.sum_saved_blocks_per_peer += saved_blocks_per_peer;
+        if self.degree_counts.len() < degree_histogram.len() {
+            self.degree_counts.resize(degree_histogram.len(), 0.0);
+        }
+        for (i, &count) in degree_histogram.iter().enumerate() {
+            self.degree_counts[i] += count as f64 / peers as f64;
+        }
+    }
+
+    pub(crate) fn finish(
+        self,
+        peers: usize,
+        lambda: f64,
+        measure: f64,
+        residual_segments: u64,
+        end_time: f64,
+    ) -> SimReport {
+        let demand = peers as f64 * lambda * measure;
+        let pulls = self.useful_pulls + self.redundant_pulls;
+        let samples = self.samples.max(1) as f64;
+        SimReport {
+            throughput: ThroughputStats {
+                delivered_blocks: self.delivered_blocks,
+                delivered_segments: self.delivered_segments,
+                injected_blocks: self.injected_blocks,
+                blocked_injections: self.blocked_injections,
+                useful_pulls: self.useful_pulls,
+                redundant_pulls: self.redundant_pulls,
+                idle_pulls: self.idle_pulls,
+                normalized: self.useful_pulls as f64 / demand,
+                decoded_normalized: self.delivered_blocks as f64 / demand,
+                delivered_fraction: if self.injected_blocks == 0 {
+                    0.0
+                } else {
+                    self.delivered_blocks as f64 / self.injected_blocks as f64
+                },
+                efficiency: if pulls == 0 {
+                    1.0
+                } else {
+                    self.useful_pulls as f64 / pulls as f64
+                },
+            },
+            delay: {
+                let mut sorted = self.delays;
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN delays"));
+                // Nearest-rank percentile: index ⌈q·n⌉ − 1.
+                let pct = |q: f64| {
+                    if sorted.is_empty() {
+                        0.0
+                    } else {
+                        let rank = (q * sorted.len() as f64).ceil() as usize;
+                        sorted[rank.clamp(1, sorted.len()) - 1]
+                    }
+                };
+                DelayStats {
+                    samples: self.delay_samples,
+                    mean: if self.delay_samples == 0 {
+                        0.0
+                    } else {
+                        self.delay_sum / self.delay_samples as f64
+                    },
+                    p50: pct(0.5),
+                    p95: pct(0.95),
+                    max: self.delay_max,
+                }
+            },
+            storage: StorageStats {
+                mean_blocks_per_peer: self.sum_blocks_per_peer / samples,
+                peak_blocks_per_peer: self.peak_blocks_per_peer,
+                mean_empty_fraction: self.sum_empty_fraction / samples,
+                mean_segments_per_peer: self.sum_segments_per_peer / samples,
+                mean_saved_blocks_per_peer: self.sum_saved_blocks_per_peer / samples,
+            },
+            degree_histogram: DegreeHistogram {
+                fractions: self.degree_counts.iter().map(|c| c / samples).collect(),
+            },
+            lost_segments: self.lost_segments,
+            residual_segments,
+            departures: self.departures,
+            series: self.series,
+            events: self.events,
+            end_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_recording_accumulates_block_delay() {
+        let mut acc = Accumulator::default();
+        acc.record_delivery(4, 2.0); // block delay 0.5
+        acc.record_delivery(4, 6.0); // block delay 1.5
+        assert_eq!(acc.delivered_blocks, 8);
+        assert_eq!(acc.delivered_segments, 2);
+        let report = acc.finish(10, 1.0, 1.0, 0, 1.0);
+        assert!((report.delay.mean - 1.0).abs() < 1e-12);
+        assert!((report.delay.max - 1.5).abs() < 1e-12);
+        assert!((report.delay.p50 - 0.5).abs() < 1e-12);
+        assert!((report.delay.p95 - 1.5).abs() < 1e-12);
+        assert_eq!(report.delay.samples, 2);
+    }
+
+    #[test]
+    fn normalized_throughput_uses_demand() {
+        let acc = Accumulator {
+            delivered_blocks: 50,
+            useful_pulls: 80,
+            ..Default::default()
+        };
+        let report = acc.finish(10, 5.0, 2.0, 0, 2.0);
+        // demand = 10 * 5 * 2 = 100
+        assert!((report.throughput.normalized - 0.8).abs() < 1e-12);
+        assert!((report.throughput.decoded_normalized - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_defaults_to_one_without_pulls() {
+        let acc = Accumulator::default();
+        let report = acc.finish(10, 1.0, 1.0, 0, 0.0);
+        assert_eq!(report.throughput.efficiency, 1.0);
+        assert_eq!(report.delay.mean, 0.0);
+    }
+
+    #[test]
+    fn samples_average_correctly() {
+        let mut acc = Accumulator::default();
+        acc.record_sample(2.0, 0.5, 1.0, 0.5, &[5, 5], 10);
+        acc.record_sample(4.0, 0.3, 2.0, 1.5, &[2, 8], 10);
+        let report = acc.finish(10, 1.0, 1.0, 0, 1.0);
+        assert!((report.storage.mean_blocks_per_peer - 3.0).abs() < 1e-12);
+        assert!((report.storage.peak_blocks_per_peer - 4.0).abs() < 1e-12);
+        assert!((report.storage.mean_empty_fraction - 0.4).abs() < 1e-12);
+        assert!((report.storage.mean_saved_blocks_per_peer - 1.0).abs() < 1e-12);
+        assert!((report.degree_histogram.fractions[0] - 0.35).abs() < 1e-12);
+        assert!((report.degree_histogram.fractions[1] - 0.65).abs() < 1e-12);
+        let mean = report.degree_histogram.mean();
+        assert!((mean - 0.65).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! The event queue: a time-ordered priority queue with deterministic
+//! tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::state::BlockId;
+
+/// Everything that can happen in the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Event {
+    /// A peer's next segment injection fires.
+    Inject { peer: usize },
+    /// A peer's next gossip transmission fires.
+    Gossip { peer: usize },
+    /// A server's next pull fires.
+    ServerPull { server: usize },
+    /// A block's TTL expires. Ignored if the block no longer exists.
+    DeleteBlock { block: BlockId },
+    /// A peer's lifetime expires (churn).
+    Depart { peer: usize },
+    /// The next flash-crowd arrival: one inactive peer joins.
+    Arrival,
+    /// Periodic metrics sampling.
+    Sample,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: the BinaryHeap is a max-heap, we want earliest
+        // first. Ties break on insertion sequence for determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are never NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+    now: f64,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub(crate) fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or lies in the past.
+    pub(crate) fn schedule_at(&mut self, time: f64, event: Event) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(time >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Schedules `event` after a delay from the current time.
+    pub(crate) fn schedule_in(&mut self, delay: f64, event: Event) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to it.
+    pub(crate) fn pop(&mut self) -> Option<(f64, Event)> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Number of pending events.
+    #[allow(dead_code)] // exercised via unit tests
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(3.0, Event::Sample);
+        q.schedule_at(1.0, Event::Inject { peer: 0 });
+        q.schedule_at(2.0, Event::Gossip { peer: 1 });
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(1.0, Event::Inject { peer: 10 });
+        q.schedule_at(1.0, Event::Inject { peer: 20 });
+        q.schedule_at(1.0, Event::Inject { peer: 30 });
+        let peers: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::Inject { peer } => peer,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(peers, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.schedule_in(2.5, Event::Sample);
+        q.pop();
+        assert_eq!(q.now(), 2.5);
+        q.schedule_in(1.0, Event::Sample);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5.0, Event::Sample);
+        q.pop();
+        q.schedule_at(1.0, Event::Sample);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(f64::NAN, Event::Sample);
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.schedule_at(1.0, Event::Sample);
+        q.schedule_at(2.0, Event::Sample);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

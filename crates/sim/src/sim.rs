@@ -1,0 +1,921 @@
+//! The simulation engine: event handlers for the full protocol.
+
+use std::collections::BTreeMap;
+
+use gossamer_rlnc::SegmentId;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::config::{CodingModel, ConfigError, Scheme, SimConfig};
+use crate::metrics::{Accumulator, SimReport};
+use crate::queue::{Event, EventQueue};
+use crate::state::{
+    BlockData, BlockId, BlockKind, BlockRegistry, CollectState, Holding, NonEmptyIndex, Peer,
+    SegmentState,
+};
+use crate::topology::Neighbours;
+use gossamer_rlnc::{random_combination_sparse, Subspace};
+
+/// Number of rejection-sampling attempts before falling back to a full
+/// eligibility scan when picking a gossip target.
+const TARGET_SAMPLE_TRIES: usize = 16;
+
+/// One configured simulation run.
+///
+/// Create with [`Simulation::new`], execute with [`Simulation::run`].
+/// Runs are deterministic: identical configurations (including the seed)
+/// produce identical reports.
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    rng: StdRng,
+    queue: EventQueue,
+    peers: Vec<Peer>,
+    segments: BTreeMap<SegmentId, SegmentState>,
+    registry: BlockRegistry,
+    non_empty: NonEmptyIndex,
+    neighbours: Neighbours,
+    acc: Accumulator,
+}
+
+impl Simulation {
+    /// Builds the initial network and event schedule.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for a validated [`SimConfig`]; the `Result`
+    /// reserves room for resource-limit checks.
+    pub fn new(config: SimConfig) -> Result<Self, ConfigError> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let neighbours = Neighbours::build(config.topology, config.peers, &mut rng);
+        let mut sim = Simulation {
+            peers: (0..config.peers).map(|_| Peer::default()).collect(),
+            segments: BTreeMap::new(),
+            registry: BlockRegistry::new(),
+            non_empty: NonEmptyIndex::new(config.peers),
+            queue: EventQueue::new(),
+            acc: Accumulator::default(),
+            neighbours,
+            rng,
+            config,
+        };
+        sim.schedule_initial();
+        Ok(sim)
+    }
+
+    /// The configuration this run was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    fn schedule_initial(&mut self) {
+        let initially_active = self
+            .config
+            .arrivals
+            .map_or(self.config.peers, |a| a.initial_peers);
+        for p in 0..initially_active {
+            self.activate_peer(p);
+        }
+        if let Some(arrivals) = self.config.arrivals {
+            if initially_active < self.config.peers {
+                let dt = exp_sample(&mut self.rng, arrivals.rate);
+                self.queue.schedule_in(dt, Event::Arrival);
+            }
+        }
+        for srv in 0..self.config.servers {
+            let dt = exp_sample(&mut self.rng, self.config.server_capacity);
+            self.queue
+                .schedule_in(dt, Event::ServerPull { server: srv });
+        }
+        self.queue
+            .schedule_in(self.config.sample_interval, Event::Sample);
+    }
+
+    /// Marks a peer active and starts its injection, gossip and churn
+    /// clocks.
+    fn activate_peer(&mut self, p: usize) {
+        let c = &self.config;
+        self.peers[p].active = true;
+        let inject_rate = c.lambda / c.segment_size as f64;
+        let dt = exp_sample(&mut self.rng, inject_rate);
+        self.queue.schedule_in(dt, Event::Inject { peer: p });
+        if c.scheme == Scheme::Indirect && c.mu > 0.0 {
+            let dt = exp_sample(&mut self.rng, c.mu);
+            self.queue.schedule_in(dt, Event::Gossip { peer: p });
+        }
+        if let Some(churn) = c.churn {
+            let dt = exp_sample(&mut self.rng, 1.0 / churn.mean_lifetime);
+            self.queue.schedule_in(dt, Event::Depart { peer: p });
+        }
+    }
+
+    fn handle_arrival(&mut self) {
+        let Some(arrivals) = self.config.arrivals else {
+            return;
+        };
+        let Some(next) = self.peers.iter().position(|p| !p.active) else {
+            return; // population full; arrival stream ends
+        };
+        self.activate_peer(next);
+        if self.peers.iter().any(|p| !p.active) {
+            let dt = exp_sample(&mut self.rng, arrivals.rate);
+            self.queue.schedule_in(dt, Event::Arrival);
+        }
+    }
+
+    /// Runs to completion and produces the report.
+    pub fn run(mut self) -> SimReport {
+        let end = self.config.warmup + self.config.measure;
+        while let Some((time, event)) = self.queue.pop() {
+            if time > end {
+                break;
+            }
+            self.acc.events += 1;
+            match event {
+                Event::Inject { peer } => self.handle_inject(peer),
+                Event::Gossip { peer } => self.handle_gossip(peer),
+                Event::ServerPull { server } => self.handle_server_pull(server),
+                Event::DeleteBlock { block } => self.handle_delete(block),
+                Event::Depart { peer } => self.handle_depart(peer),
+                Event::Arrival => self.handle_arrival(),
+                Event::Sample => self.handle_sample(end),
+            }
+        }
+        let residual = self
+            .segments
+            .values()
+            .filter(|s| s.decoded_at.is_none())
+            .count() as u64;
+        self.acc.finish(
+            self.config.peers,
+            self.config.lambda,
+            self.config.measure,
+            residual,
+            end,
+        )
+    }
+
+    fn in_window(&self) -> bool {
+        self.queue.now() >= self.config.warmup
+    }
+
+    // ---- injection -----------------------------------------------------
+
+    fn handle_inject(&mut self, p: usize) {
+        // After the generation window closes, peers stop producing data
+        // (and the injection clock winds down).
+        if let Some(until) = self.config.generation_until {
+            if self.queue.now() > until {
+                return;
+            }
+        }
+        let s = self.config.segment_size;
+        let rate = self.config.lambda / s as f64;
+        let dt = exp_sample(&mut self.rng, rate);
+        self.queue.schedule_in(dt, Event::Inject { peer: p });
+
+        if self.peers[p].degree + s > self.config.buffer_cap {
+            if self.in_window() {
+                self.acc.blocked_injections += 1;
+            }
+            return;
+        }
+
+        let sequence = self.peers[p].next_sequence;
+        self.peers[p].next_sequence += 1;
+        let id = SegmentId::compose(p as u32, sequence);
+        let collect = match (self.config.scheme, self.config.coding) {
+            (Scheme::DirectPull, _) => CollectState::Coupon(vec![false; s]),
+            (Scheme::Indirect, CodingModel::Idealized) => CollectState::Counter(0),
+            (Scheme::Indirect, CodingModel::Exact) => CollectState::Subspace(Subspace::new(s)),
+        };
+        self.segments.insert(
+            id,
+            SegmentState {
+                injected_at: self.queue.now(),
+                degree: s,
+                collect,
+                decoded_at: None,
+            },
+        );
+
+        let mut holding = Holding::default();
+        if self.config.scheme == Scheme::Indirect && self.config.coding == CodingModel::Exact {
+            holding.subspace = Some(Subspace::new(s));
+        }
+        for i in 0..s {
+            let kind = match (self.config.scheme, self.config.coding) {
+                (Scheme::DirectPull, _) => BlockKind::Original(i as u8),
+                (Scheme::Indirect, CodingModel::Idealized) => BlockKind::Anonymous,
+                (Scheme::Indirect, CodingModel::Exact) => {
+                    let mut unit = vec![0u8; s];
+                    unit[i] = 1;
+                    if let Some(sub) = &mut holding.subspace {
+                        sub.insert(&unit);
+                    }
+                    BlockKind::Coded(unit)
+                }
+            };
+            let block = self.registry.insert(BlockData {
+                peer: p as u32,
+                segment: id,
+                kind,
+            });
+            holding.blocks.push(block);
+            self.schedule_ttl(block);
+        }
+        self.peers[p].holdings.insert(id, holding);
+        self.peers[p].degree += s;
+        self.non_empty.insert(p as u32);
+        self.acc.total_injected_blocks += s as u64;
+        if self.in_window() {
+            self.acc.injected_blocks += s as u64;
+        }
+    }
+
+    fn schedule_ttl(&mut self, block: BlockId) {
+        if self.config.gamma > 0.0 {
+            let dt = exp_sample(&mut self.rng, self.config.gamma);
+            self.queue.schedule_in(dt, Event::DeleteBlock { block });
+        }
+    }
+
+    // ---- gossip ----------------------------------------------------------
+
+    fn handle_gossip(&mut self, p: usize) {
+        let dt = exp_sample(&mut self.rng, self.config.mu);
+        self.queue.schedule_in(dt, Event::Gossip { peer: p });
+
+        if self.peers[p].degree == 0 {
+            return;
+        }
+        // Segment r chosen u.a.r. among segments the peer holds.
+        let n_held = self.peers[p].holdings.len();
+        let k = self.rng.random_range(0..n_held);
+        let segment = *self.peers[p]
+            .holdings
+            .keys()
+            .nth(k)
+            .expect("k < holdings.len()");
+
+        let Some(target) = self.pick_gossip_target(p, segment) else {
+            return;
+        };
+
+        // Build the transferred block.
+        let kind = match self.config.coding {
+            CodingModel::Idealized => BlockKind::Anonymous,
+            CodingModel::Exact => {
+                let s = self.config.segment_size;
+                let vectors = self.holding_vectors(p, segment);
+                let density = self.config.gossip_density.unwrap_or(vectors.len());
+                match random_combination_sparse(s, &vectors, density, &mut self.rng) {
+                    Some(coeffs) => BlockKind::Coded(coeffs),
+                    None => return, // degenerate holding; skip this slot
+                }
+            }
+        };
+
+        let block = self.registry.insert(BlockData {
+            peer: target as u32,
+            segment,
+            kind: kind.clone(),
+        });
+        let s = self.config.segment_size;
+        let needs_subspace = self.config.coding == CodingModel::Exact;
+        let holding = self.peers[target]
+            .holdings
+            .entry(segment)
+            .or_insert_with(|| Holding {
+                subspace: needs_subspace.then(|| Subspace::new(s)),
+                ..Default::default()
+            });
+        holding.blocks.push(block);
+        if let (Some(sub), BlockKind::Coded(coeffs)) = (&mut holding.subspace, &kind) {
+            sub.insert(coeffs);
+        }
+        self.peers[target].degree += 1;
+        self.non_empty.insert(target as u32);
+        self.segments
+            .get_mut(&segment)
+            .expect("held segment exists")
+            .degree += 1;
+        self.schedule_ttl(block);
+    }
+
+    /// Collects the raw coefficient vectors a peer holds for a segment
+    /// (exact model only).
+    fn holding_vectors(&self, p: usize, segment: SegmentId) -> Vec<Vec<u8>> {
+        let holding = &self.peers[p].holdings[&segment];
+        holding
+            .blocks
+            .iter()
+            .filter_map(|&id| match &self.registry.get(id)?.kind {
+                BlockKind::Coded(coeffs) => Some(coeffs.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Chooses a target u.a.r. among neighbours that still need the
+    /// segment and have buffer room: rejection sampling with a full-scan
+    /// fallback to keep the choice exactly uniform over eligible peers.
+    fn pick_gossip_target(&mut self, p: usize, segment: SegmentId) -> Option<usize> {
+        let degree = self.neighbours.degree(p as u32);
+        if degree == 0 {
+            return None;
+        }
+        for _ in 0..TARGET_SAMPLE_TRIES {
+            let k = self.rng.random_range(0..degree);
+            let q = self.neighbours.neighbour(p as u32, k) as usize;
+            if self.is_eligible_target(q, segment) {
+                return Some(q);
+            }
+        }
+        // Exact fallback: enumerate all eligible neighbours.
+        let eligible: Vec<usize> = (0..degree)
+            .map(|k| self.neighbours.neighbour(p as u32, k) as usize)
+            .filter(|&q| self.is_eligible_target(q, segment))
+            .collect();
+        if eligible.is_empty() {
+            None
+        } else {
+            Some(eligible[self.rng.random_range(0..eligible.len())])
+        }
+    }
+
+    fn is_eligible_target(&self, q: usize, segment: SegmentId) -> bool {
+        let peer = &self.peers[q];
+        if !peer.active || peer.degree >= self.config.buffer_cap {
+            return false;
+        }
+        match peer.holdings.get(&segment) {
+            None => true,
+            Some(h) => h.rank(self.config.segment_size) < self.config.segment_size,
+        }
+    }
+
+    // ---- server pulls ---------------------------------------------------
+
+    fn handle_server_pull(&mut self, server: usize) {
+        let dt = exp_sample(&mut self.rng, self.config.server_capacity);
+        self.queue.schedule_in(dt, Event::ServerPull { server });
+
+        if self.non_empty.len() == 0 {
+            if self.in_window() {
+                self.acc.idle_pulls += 1;
+            }
+            return;
+        }
+        let p = self
+            .non_empty
+            .get(self.rng.random_range(0..self.non_empty.len())) as usize;
+        let n_held = self.peers[p].holdings.len();
+        debug_assert!(n_held > 0, "non-empty index out of sync");
+        let segment = if self.config.oracle_servers {
+            // Oracle ablation: only consider segments the servers still
+            // need; skip the pull slot if this peer has none.
+            let s = self.config.segment_size;
+            let needed: Vec<SegmentId> = self.peers[p]
+                .holdings
+                .keys()
+                .filter(|id| {
+                    self.segments
+                        .get(id)
+                        .is_some_and(|seg| seg.collect.progress() < s)
+                })
+                .copied()
+                .collect();
+            if needed.is_empty() {
+                if self.in_window() {
+                    self.acc.idle_pulls += 1;
+                }
+                return;
+            }
+            needed[self.rng.random_range(0..needed.len())]
+        } else {
+            let k = self.rng.random_range(0..n_held);
+            *self.peers[p]
+                .holdings
+                .keys()
+                .nth(k)
+                .expect("k < holdings.len()")
+        };
+
+        let s = self.config.segment_size;
+        let in_window = self.in_window();
+        let now = self.queue.now();
+
+        // Decide whether the pull advances the segment's collection.
+        enum Outcome {
+            Useful { complete: bool },
+            Redundant,
+        }
+        let outcome = {
+            let seg = self
+                .segments
+                .get_mut(&segment)
+                .expect("held segment exists");
+            match &mut seg.collect {
+                CollectState::Counter(n) => {
+                    if *n < s {
+                        *n += 1;
+                        Outcome::Useful { complete: *n == s }
+                    } else {
+                        Outcome::Redundant
+                    }
+                }
+                CollectState::Subspace(_) => {
+                    let vectors = {
+                        let holding = &self.peers[p].holdings[&segment];
+                        holding
+                            .blocks
+                            .iter()
+                            .filter_map(|&id| match &self.registry.get(id)?.kind {
+                                BlockKind::Coded(c) => Some(c.clone()),
+                                _ => None,
+                            })
+                            .collect::<Vec<_>>()
+                    };
+                    let seg = self
+                        .segments
+                        .get_mut(&segment)
+                        .expect("held segment exists");
+                    let CollectState::Subspace(sub) = &mut seg.collect else {
+                        unreachable!()
+                    };
+                    let density = self.config.gossip_density.unwrap_or(vectors.len());
+                    match random_combination_sparse(s, &vectors, density.max(1), &mut self.rng) {
+                        Some(coeffs) if sub.insert(&coeffs) => Outcome::Useful {
+                            complete: sub.is_full(),
+                        },
+                        _ => Outcome::Redundant,
+                    }
+                }
+                CollectState::Coupon(seen) => {
+                    // The peer transmits one of its stored original
+                    // blocks, chosen uniformly.
+                    let holding = &self.peers[p].holdings[&segment];
+                    let pick = holding.blocks[self.rng.random_range(0..holding.blocks.len())];
+                    let index = match &self.registry.get(pick).expect("live block").kind {
+                        BlockKind::Original(i) => *i as usize,
+                        _ => unreachable!("direct pull stores original blocks"),
+                    };
+                    if seen[index] {
+                        Outcome::Redundant
+                    } else {
+                        seen[index] = true;
+                        let complete = seen.iter().all(|&b| b);
+                        Outcome::Useful { complete }
+                    }
+                }
+            }
+        };
+
+        match outcome {
+            Outcome::Useful { complete } => {
+                self.acc.total_useful_pulls += 1;
+                if in_window {
+                    self.acc.useful_pulls += 1;
+                }
+                if complete {
+                    let seg = self
+                        .segments
+                        .get_mut(&segment)
+                        .expect("held segment exists");
+                    seg.decoded_at = Some(now);
+                    self.acc.total_delivered_blocks += s as u64;
+                    if in_window {
+                        let delay = now - seg.injected_at;
+                        self.acc.record_delivery(s, delay);
+                    }
+                }
+            }
+            Outcome::Redundant => {
+                if in_window {
+                    self.acc.redundant_pulls += 1;
+                }
+            }
+        }
+    }
+
+    // ---- deletion & churn -------------------------------------------------
+
+    fn handle_delete(&mut self, block: BlockId) {
+        let Some(data) = self.registry.remove(block) else {
+            return; // stale TTL event
+        };
+        self.detach_block(block, &data);
+    }
+
+    /// Updates holdings/segment/peer structures after a block left the
+    /// registry.
+    fn detach_block(&mut self, id: BlockId, data: &BlockData) {
+        let p = data.peer as usize;
+        let peer = &mut self.peers[p];
+        let remove_holding = {
+            let holding = peer
+                .holdings
+                .get_mut(&data.segment)
+                .expect("block registered under holding");
+            let pos = holding
+                .blocks
+                .iter()
+                .position(|&b| b == id)
+                .expect("block listed in holding");
+            holding.blocks.swap_remove(pos);
+            holding.blocks.is_empty()
+        };
+        if remove_holding {
+            peer.holdings.remove(&data.segment);
+        } else if self.config.coding == CodingModel::Exact {
+            // Rank may drop: rebuild the span from the remaining vectors.
+            let vectors = self.holding_vectors(p, data.segment);
+            let s = self.config.segment_size;
+            let holding = self.peers[p]
+                .holdings
+                .get_mut(&data.segment)
+                .expect("holding kept");
+            holding.subspace = Some(Subspace::from_vectors(s, vectors.iter().map(Vec::as_slice)));
+        }
+        self.peers[p].degree -= 1;
+        if self.peers[p].degree == 0 {
+            self.non_empty.remove(p as u32);
+        }
+
+        let extinct = {
+            let seg = self
+                .segments
+                .get_mut(&data.segment)
+                .expect("segment exists while blocks do");
+            seg.degree -= 1;
+            seg.degree == 0
+        };
+        if extinct {
+            let seg = self.segments.remove(&data.segment).expect("segment exists");
+            if seg.decoded_at.is_none() {
+                self.acc.lost_segments += 1;
+            }
+        }
+    }
+
+    fn handle_depart(&mut self, p: usize) {
+        let churn = self.config.churn.expect("depart only scheduled with churn");
+        let dt = exp_sample(&mut self.rng, 1.0 / churn.mean_lifetime);
+        self.queue.schedule_in(dt, Event::Depart { peer: p });
+        self.acc.departures += 1;
+
+        // Drain every block the departing peer buffered. The replacement
+        // peer keeps the slot (and its injection sequence, so segment ids
+        // stay unique) but starts with an empty buffer.
+        let holdings = std::mem::take(&mut self.peers[p].holdings);
+        for (_, holding) in holdings {
+            for id in holding.blocks {
+                let data = self
+                    .registry
+                    .remove(id)
+                    .expect("holding lists only live blocks");
+                // Inline a simplified detach: the holding entry itself is
+                // already detached from the peer.
+                self.peers[p].degree -= 1;
+                let extinct = {
+                    let seg = self
+                        .segments
+                        .get_mut(&data.segment)
+                        .expect("segment exists while blocks do");
+                    seg.degree -= 1;
+                    seg.degree == 0
+                };
+                if extinct {
+                    let seg = self.segments.remove(&data.segment).expect("segment exists");
+                    if seg.decoded_at.is_none() {
+                        self.acc.lost_segments += 1;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(self.peers[p].degree, 0, "departure drains the buffer");
+        self.non_empty.remove(p as u32);
+    }
+
+    // ---- sampling ---------------------------------------------------------
+
+    fn handle_sample(&mut self, end: f64) {
+        if self.queue.now() < end {
+            self.queue
+                .schedule_in(self.config.sample_interval, Event::Sample);
+        }
+        let n = self.config.peers as f64;
+        let s = self.config.segment_size;
+        let collected_alive = self
+            .segments
+            .values()
+            .filter(|seg| seg.decoded_at.is_some())
+            .count();
+        self.acc.series.push(crate::metrics::SamplePoint {
+            t: self.queue.now(),
+            blocks_per_peer: self.registry.live() as f64 / n,
+            empty_fraction: (self.config.peers - self.non_empty.len()) as f64 / n,
+            segments_per_peer: self.segments.len() as f64 / n,
+            collected_segments_per_peer: collected_alive as f64 / n,
+            cumulative_injected_blocks: self.acc.total_injected_blocks,
+            cumulative_delivered_blocks: self.acc.total_delivered_blocks,
+            cumulative_useful_pulls: self.acc.total_useful_pulls,
+        });
+        if !self.in_window() {
+            return;
+        }
+        let blocks_per_peer = self.registry.live() as f64 / n;
+        let empty_fraction = (self.config.peers - self.non_empty.len()) as f64 / n;
+        let segments_per_peer = self.segments.len() as f64 / n;
+        let saved: usize = self
+            .segments
+            .values()
+            .filter(|seg| seg.degree >= s && seg.decoded_at.is_none())
+            .count();
+        let saved_blocks_per_peer = (saved * s) as f64 / n;
+
+        let mut histogram = vec![0u64; self.config.buffer_cap + 1];
+        for peer in &self.peers {
+            histogram[peer.degree.min(self.config.buffer_cap)] += 1;
+        }
+        self.acc.record_sample(
+            blocks_per_peer,
+            empty_fraction,
+            segments_per_peer,
+            saved_blocks_per_peer,
+            &histogram,
+            self.config.peers,
+        );
+    }
+}
+
+/// Samples an exponential holding time with the given rate.
+fn exp_sample<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Topology;
+
+    fn base_config() -> crate::config::SimConfigBuilder {
+        SimConfig::builder()
+            .peers(50)
+            .lambda(4.0)
+            .mu(2.0)
+            .gamma(1.0)
+            .segment_size(2)
+            .servers(2)
+            .normalized_server_capacity(1.0)
+            .warmup(4.0)
+            .measure(8.0)
+            .seed(7)
+    }
+
+    #[test]
+    fn runs_and_delivers() {
+        let report = Simulation::new(base_config().build().unwrap())
+            .unwrap()
+            .run();
+        assert!(report.events > 1000);
+        assert!(report.throughput.delivered_blocks > 0);
+        assert!(report.throughput.normalized > 0.0);
+        assert!(report.throughput.normalized <= 1.0);
+        assert!(report.storage.mean_blocks_per_peer > 0.0);
+        assert!(report.delay.samples > 0);
+        assert!(report.delay.mean >= 0.0);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_reports() {
+        let run = || {
+            Simulation::new(base_config().build().unwrap())
+                .unwrap()
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.throughput.delivered_blocks, b.throughput.delivered_blocks);
+        assert_eq!(a.throughput.useful_pulls, b.throughput.useful_pulls);
+        assert_eq!(a.lost_segments, b.lost_segments);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Simulation::new(base_config().seed(1).build().unwrap())
+            .unwrap()
+            .run();
+        let b = Simulation::new(base_config().seed(2).build().unwrap())
+            .unwrap()
+            .run();
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn exact_model_runs_and_stays_close_to_idealized() {
+        let ideal = Simulation::new(base_config().build().unwrap())
+            .unwrap()
+            .run();
+        let exact = Simulation::new(base_config().coding(CodingModel::Exact).build().unwrap())
+            .unwrap()
+            .run();
+        assert!(exact.throughput.delivered_blocks > 0);
+        // The exact model can only lose throughput relative to the
+        // idealized assumption: real subspaces collapse when the source's
+        // blocks expire before the segment has spread (the resilience
+        // effect the paper's analysis deliberately idealises away). The
+        // gap is therefore real and parameter-dependent; assert only its
+        // direction and that collection still works.
+        let ratio = exact.throughput.normalized / ideal.throughput.normalized.max(1e-9);
+        assert!(
+            (0.2..=1.1).contains(&ratio),
+            "exact/ideal throughput ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn sparse_gossip_density_runs_and_costs_little() {
+        let dense = Simulation::new(base_config().coding(CodingModel::Exact).build().unwrap())
+            .unwrap()
+            .run();
+        let sparse = Simulation::new(
+            base_config()
+                .coding(CodingModel::Exact)
+                .gossip_density(1)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+        .run();
+        assert!(sparse.throughput.delivered_blocks > 0);
+        // Density-1 relays forward single stored rows; throughput can
+        // only drop relative to dense recoding (within noise).
+        assert!(
+            sparse.throughput.normalized <= dense.throughput.normalized + 0.02,
+            "sparse {} vs dense {}",
+            sparse.throughput.normalized,
+            dense.throughput.normalized
+        );
+        assert!(SimConfig::builder().gossip_density(0).build().is_err());
+    }
+
+    #[test]
+    fn direct_pull_baseline_runs() {
+        let report = Simulation::new(base_config().scheme(Scheme::DirectPull).build().unwrap())
+            .unwrap()
+            .run();
+        assert!(report.throughput.delivered_blocks > 0);
+    }
+
+    #[test]
+    fn churn_causes_losses() {
+        let calm = Simulation::new(base_config().build().unwrap())
+            .unwrap()
+            .run();
+        let churny = Simulation::new(base_config().churn(0.5).build().unwrap())
+            .unwrap()
+            .run();
+        assert!(churny.departures > 0);
+        assert!(
+            churny.throughput.normalized <= calm.throughput.normalized + 0.05,
+            "churn should not increase throughput"
+        );
+    }
+
+    #[test]
+    fn restricted_topology_still_collects() {
+        let report = Simulation::new(
+            base_config()
+                .topology(Topology::RandomRegular { degree: 4 })
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+        .run();
+        assert!(report.throughput.delivered_blocks > 0);
+    }
+
+    #[test]
+    fn buffer_cap_is_respected() {
+        let config = base_config().buffer_cap(6).build().unwrap();
+        let report = Simulation::new(config).unwrap().run();
+        // Histogram has no mass beyond the cap... the histogram is
+        // indexed to buffer_cap inclusive, so just check the mean.
+        assert!(report.storage.mean_blocks_per_peer <= 6.0 + 1e-9);
+        assert!(report.throughput.blocked_injections > 0);
+    }
+
+    #[test]
+    fn generation_until_stops_injections() {
+        let with_stop = Simulation::new(
+            base_config()
+                .warmup(0.0)
+                .measure(12.0)
+                .generation_until(3.0)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+        .run();
+        let without = Simulation::new(base_config().warmup(0.0).measure(12.0).build().unwrap())
+            .unwrap()
+            .run();
+        assert!(
+            with_stop.throughput.injected_blocks < without.throughput.injected_blocks / 2,
+            "generation must stop: {} vs {}",
+            with_stop.throughput.injected_blocks,
+            without.throughput.injected_blocks
+        );
+        // After the burst the series' cumulative-injected stays flat.
+        let last = with_stop.series.last().unwrap();
+        let at_burst_end = with_stop.series.iter().find(|p| p.t >= 3.5).unwrap();
+        assert_eq!(
+            last.cumulative_injected_blocks,
+            at_burst_end.cumulative_injected_blocks
+        );
+        assert!((0.0..=1.0).contains(&with_stop.throughput.delivered_fraction));
+    }
+
+    #[test]
+    fn arrivals_ramp_up_the_population() {
+        let report = Simulation::new(
+            base_config()
+                .peers(60)
+                .warmup(0.0)
+                .measure(15.0)
+                .arrivals(10, 20.0) // 50 joins at 20/s: full by ~2.5
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+        .run();
+        // Early samples show a mostly-empty network (only 10 of 60
+        // peers active and injecting), later samples a full one.
+        let first = report.series.first().unwrap();
+        let last = report.series.last().unwrap();
+        assert!(
+            first.empty_fraction > 0.5,
+            "early network mostly inactive: {}",
+            first.empty_fraction
+        );
+        assert!(last.empty_fraction < 0.2);
+        assert!(report.throughput.delivered_blocks > 0);
+    }
+
+    #[test]
+    fn arrivals_validation() {
+        assert!(base_config().arrivals(0, 5.0).build().is_err());
+        assert!(base_config().peers(10).arrivals(20, 5.0).build().is_err());
+        assert!(base_config().arrivals(5, 0.0).build().is_err());
+    }
+
+    #[test]
+    fn oracle_servers_waste_fewer_pulls() {
+        let blind = Simulation::new(base_config().build().unwrap())
+            .unwrap()
+            .run();
+        let oracle = Simulation::new(base_config().oracle_servers(true).build().unwrap())
+            .unwrap()
+            .run();
+        assert!(
+            oracle.throughput.efficiency >= blind.throughput.efficiency,
+            "oracle {:.3} must not be less efficient than blind {:.3}",
+            oracle.throughput.efficiency,
+            blind.throughput.efficiency
+        );
+        assert!(
+            oracle.throughput.redundant_pulls < blind.throughput.redundant_pulls,
+            "oracle should avoid redundant pulls"
+        );
+    }
+
+    #[test]
+    fn no_expiry_accumulates_storage() {
+        let with_ttl = Simulation::new(base_config().build().unwrap())
+            .unwrap()
+            .run();
+        let without = Simulation::new(
+            base_config()
+                .gamma(0.0)
+                .buffer_cap(100_000)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+        .run();
+        assert!(without.storage.mean_blocks_per_peer > with_ttl.storage.mean_blocks_per_peer);
+        assert_eq!(without.lost_segments, 0, "nothing expires without TTL");
+    }
+
+    #[test]
+    fn exp_sample_has_correct_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exp_sample(&mut rng, 4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+}

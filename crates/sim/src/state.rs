@@ -1,0 +1,312 @@
+//! Mutable network state: peers, segments, and the block registry.
+
+use std::collections::BTreeMap;
+
+use gossamer_rlnc::SegmentId;
+
+use gossamer_rlnc::Subspace;
+
+/// Generation-tagged handle to a live block.
+///
+/// TTL-expiry events carry a `BlockId`; if the block was already removed
+/// (gossip-target churned away, peer departed) the stored generation
+/// differs and the event is a no-op instead of deleting an unrelated
+/// block that reused the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct BlockId {
+    pub(crate) slot: u32,
+    pub(crate) generation: u32,
+}
+
+/// What a block physically is, per coding model / scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum BlockKind {
+    /// Idealized model: identity-free coded block.
+    Anonymous,
+    /// Direct-pull baseline: the `i`-th original block of its segment.
+    Original(u8),
+    /// Exact model: a coded block with its coefficient vector.
+    Coded(Vec<u8>),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct BlockData {
+    pub(crate) peer: u32,
+    pub(crate) segment: SegmentId,
+    pub(crate) kind: BlockKind,
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    generation: u32,
+    data: Option<BlockData>,
+}
+
+/// Slab of live blocks with generation-checked removal.
+#[derive(Debug, Default)]
+pub(crate) struct BlockRegistry {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl BlockRegistry {
+    pub(crate) fn new() -> Self {
+        BlockRegistry::default()
+    }
+
+    pub(crate) fn insert(&mut self, data: BlockData) -> BlockId {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let entry = &mut self.slots[slot as usize];
+            entry.data = Some(data);
+            BlockId {
+                slot,
+                generation: entry.generation,
+            }
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot {
+                generation: 0,
+                data: Some(data),
+            });
+            BlockId {
+                slot,
+                generation: 0,
+            }
+        }
+    }
+
+    /// Removes a block if the id is still current; returns its data.
+    pub(crate) fn remove(&mut self, id: BlockId) -> Option<BlockData> {
+        let entry = self.slots.get_mut(id.slot as usize)?;
+        if entry.generation != id.generation {
+            return None;
+        }
+        let data = entry.data.take()?;
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free.push(id.slot);
+        self.live -= 1;
+        Some(data)
+    }
+
+    pub(crate) fn get(&self, id: BlockId) -> Option<&BlockData> {
+        let entry = self.slots.get(id.slot as usize)?;
+        if entry.generation != id.generation {
+            return None;
+        }
+        entry.data.as_ref()
+    }
+
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+}
+
+/// One peer's holding of one segment.
+#[derive(Debug, Default)]
+pub(crate) struct Holding {
+    pub(crate) blocks: Vec<BlockId>,
+    /// Exact model only: span of the held coefficient vectors.
+    pub(crate) subspace: Option<Subspace>,
+}
+
+impl Holding {
+    /// The holding's rank under the given segment size: exact if a
+    /// subspace is tracked, otherwise the idealized `min(count, s)`.
+    pub(crate) fn rank(&self, segment_size: usize) -> usize {
+        match &self.subspace {
+            Some(sub) => sub.rank(),
+            None => self.blocks.len().min(segment_size),
+        }
+    }
+}
+
+/// A peer's mutable state.
+#[derive(Debug, Default)]
+pub(crate) struct Peer {
+    /// Holdings keyed by segment; `BTreeMap` for deterministic iteration
+    /// under a seeded RNG.
+    pub(crate) holdings: BTreeMap<SegmentId, Holding>,
+    /// Total blocks buffered (the peer's degree in the bipartite graph).
+    pub(crate) degree: usize,
+    /// Next injection sequence number for segments originated here.
+    pub(crate) next_sequence: u32,
+    /// Whether the peer has joined the session (flash-crowd arrivals
+    /// start peers inactive).
+    pub(crate) active: bool,
+}
+
+/// How far the servers have come in collecting one segment.
+#[derive(Debug)]
+pub(crate) enum CollectState {
+    /// Idealized: number of (assumed-innovative) blocks collected.
+    Counter(usize),
+    /// Exact: the span of collected coefficient vectors.
+    Subspace(Subspace),
+    /// Direct-pull: which original block indices have been collected.
+    Coupon(Vec<bool>),
+}
+
+impl CollectState {
+    pub(crate) fn progress(&self) -> usize {
+        match self {
+            CollectState::Counter(n) => *n,
+            CollectState::Subspace(sub) => sub.rank(),
+            CollectState::Coupon(seen) => seen.iter().filter(|&&b| b).count(),
+        }
+    }
+}
+
+/// Global per-segment state.
+#[derive(Debug)]
+pub(crate) struct SegmentState {
+    pub(crate) injected_at: f64,
+    /// Live blocks network-wide (the segment's degree in the bipartite
+    /// graph).
+    pub(crate) degree: usize,
+    pub(crate) collect: CollectState,
+    pub(crate) decoded_at: Option<f64>,
+}
+
+/// O(1) index of peers with non-empty buffers, for uniform sampling.
+#[derive(Debug, Default)]
+pub(crate) struct NonEmptyIndex {
+    list: Vec<u32>,
+    position: Vec<Option<u32>>,
+}
+
+impl NonEmptyIndex {
+    pub(crate) fn new(peers: usize) -> Self {
+        NonEmptyIndex {
+            list: Vec::with_capacity(peers),
+            position: vec![None; peers],
+        }
+    }
+
+    pub(crate) fn insert(&mut self, peer: u32) {
+        if self.position[peer as usize].is_none() {
+            self.position[peer as usize] = Some(self.list.len() as u32);
+            self.list.push(peer);
+        }
+    }
+
+    pub(crate) fn remove(&mut self, peer: u32) {
+        if let Some(pos) = self.position[peer as usize].take() {
+            let last = self.list.pop().expect("index non-empty");
+            if last != peer {
+                self.list[pos as usize] = last;
+                self.position[last as usize] = Some(pos);
+            }
+        }
+    }
+
+    #[allow(dead_code)] // exercised via unit tests
+    pub(crate) fn contains(&self, peer: u32) -> bool {
+        self.position[peer as usize].is_some()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    pub(crate) fn get(&self, index: usize) -> u32 {
+        self.list[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(peer: u32) -> BlockData {
+        BlockData {
+            peer,
+            segment: SegmentId::new(1),
+            kind: BlockKind::Anonymous,
+        }
+    }
+
+    #[test]
+    fn registry_insert_get_remove() {
+        let mut reg = BlockRegistry::new();
+        let id = reg.insert(data(7));
+        assert_eq!(reg.live(), 1);
+        assert_eq!(reg.get(id).unwrap().peer, 7);
+        let removed = reg.remove(id).unwrap();
+        assert_eq!(removed.peer, 7);
+        assert_eq!(reg.live(), 0);
+        assert!(reg.get(id).is_none());
+        assert!(reg.remove(id).is_none(), "double remove is a no-op");
+    }
+
+    #[test]
+    fn stale_ids_do_not_touch_reused_slots() {
+        let mut reg = BlockRegistry::new();
+        let old = reg.insert(data(1));
+        reg.remove(old);
+        let new = reg.insert(data(2));
+        assert_eq!(new.slot, old.slot, "slot is reused");
+        assert_ne!(new.generation, old.generation);
+        assert!(reg.remove(old).is_none(), "stale id must not remove");
+        assert_eq!(reg.get(new).unwrap().peer, 2);
+    }
+
+    #[test]
+    fn holding_rank_idealized_caps_at_s() {
+        let mut h = Holding::default();
+        for _ in 0..5 {
+            h.blocks.push(BlockId {
+                slot: 0,
+                generation: 0,
+            });
+        }
+        assert_eq!(h.rank(3), 3);
+        assert_eq!(h.rank(8), 5);
+    }
+
+    #[test]
+    fn holding_rank_exact_uses_subspace() {
+        let mut h = Holding {
+            subspace: Some(Subspace::new(4)),
+            ..Default::default()
+        };
+        h.subspace.as_mut().unwrap().insert(&[1, 0, 0, 0]);
+        // Even with many raw blocks, rank comes from the subspace.
+        for _ in 0..6 {
+            h.blocks.push(BlockId {
+                slot: 0,
+                generation: 0,
+            });
+        }
+        assert_eq!(h.rank(4), 1);
+    }
+
+    #[test]
+    fn collect_state_progress() {
+        assert_eq!(CollectState::Counter(3).progress(), 3);
+        let mut sub = Subspace::new(4);
+        sub.insert(&[1, 0, 0, 0]);
+        assert_eq!(CollectState::Subspace(sub).progress(), 1);
+        assert_eq!(CollectState::Coupon(vec![true, false, true]).progress(), 2);
+    }
+
+    #[test]
+    fn non_empty_index_operations() {
+        let mut idx = NonEmptyIndex::new(5);
+        assert_eq!(idx.len(), 0);
+        idx.insert(3);
+        idx.insert(1);
+        idx.insert(3); // duplicate insert is a no-op
+        assert_eq!(idx.len(), 2);
+        assert!(idx.contains(3));
+        assert!(!idx.contains(0));
+        idx.remove(3);
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.contains(3));
+        assert_eq!(idx.get(0), 1);
+        idx.remove(3); // double remove is a no-op
+        idx.remove(1);
+        assert_eq!(idx.len(), 0);
+    }
+}

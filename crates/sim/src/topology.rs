@@ -1,0 +1,142 @@
+//! Gossip topologies.
+
+use rand::{Rng, RngExt};
+
+use crate::config::Topology;
+
+/// Resolved neighbour structure for one run.
+#[derive(Debug)]
+pub(crate) enum Neighbours {
+    /// Everyone is adjacent to everyone (mean-field).
+    FullMesh { peers: usize },
+    /// Static adjacency lists.
+    Lists(Vec<Vec<u32>>),
+}
+
+impl Neighbours {
+    /// Builds the neighbour structure for a topology.
+    pub(crate) fn build<R: Rng + ?Sized>(topology: Topology, peers: usize, rng: &mut R) -> Self {
+        match topology {
+            Topology::FullMesh => Neighbours::FullMesh { peers },
+            Topology::RandomRegular { degree } => {
+                Neighbours::Lists(random_near_regular(peers, degree, rng))
+            }
+        }
+    }
+
+    /// Number of neighbours of `peer`.
+    pub(crate) fn degree(&self, peer: u32) -> usize {
+        match self {
+            Neighbours::FullMesh { peers } => peers - 1,
+            Neighbours::Lists(lists) => lists[peer as usize].len(),
+        }
+    }
+
+    /// The `k`-th neighbour of `peer` (for uniform sampling).
+    ///
+    /// For the full mesh this enumerates all other peers without
+    /// materialising the list.
+    pub(crate) fn neighbour(&self, peer: u32, k: usize) -> u32 {
+        match self {
+            Neighbours::FullMesh { .. } => {
+                // Skip over `peer` itself.
+                if (k as u32) < peer {
+                    k as u32
+                } else {
+                    k as u32 + 1
+                }
+            }
+            Neighbours::Lists(lists) => lists[peer as usize][k],
+        }
+    }
+}
+
+/// Builds a near-`degree`-regular undirected random graph by the pairing
+/// heuristic: repeatedly connect the two least-connected distinct,
+/// non-adjacent peers chosen at random. Guarantees connectivity is *not*
+/// attempted — the paper's gossip tolerates disconnected stragglers, and
+/// for `degree ≥ 3` the graph is whp connected anyway.
+fn random_near_regular<R: Rng + ?Sized>(peers: usize, degree: usize, rng: &mut R) -> Vec<Vec<u32>> {
+    let mut lists: Vec<Vec<u32>> = vec![Vec::with_capacity(degree); peers];
+    // Half-edge pairing with retries; falls back to leaving a few peers
+    // one short, which is harmless.
+    for _round in 0..degree {
+        let mut order: Vec<u32> = (0..peers as u32).collect();
+        // Fisher–Yates shuffle.
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut i = 0;
+        while i + 1 < order.len() {
+            let (a, b) = (order[i], order[i + 1]);
+            i += 2;
+            if a == b
+                || lists[a as usize].len() >= degree
+                || lists[b as usize].len() >= degree
+                || lists[a as usize].contains(&b)
+            {
+                continue;
+            }
+            lists[a as usize].push(b);
+            lists[b as usize].push(a);
+        }
+    }
+    lists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_mesh_enumerates_everyone_but_self() {
+        let n = Neighbours::FullMesh { peers: 5 };
+        assert_eq!(n.degree(2), 4);
+        let neighbours: Vec<u32> = (0..4).map(|k| n.neighbour(2, k)).collect();
+        assert_eq!(neighbours, vec![0, 1, 3, 4]);
+        assert_eq!(n.neighbour(0, 0), 1);
+        assert_eq!(n.neighbour(4, 3), 3);
+    }
+
+    #[test]
+    fn random_regular_respects_degree_bound_and_symmetry() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = Neighbours::build(Topology::RandomRegular { degree: 4 }, 50, &mut rng);
+        let Neighbours::Lists(lists) = &n else {
+            panic!("expected lists")
+        };
+        for (i, l) in lists.iter().enumerate() {
+            assert!(l.len() <= 4, "peer {i} exceeds degree");
+            for &j in l {
+                assert_ne!(j as usize, i, "self-loop at {i}");
+                assert!(
+                    lists[j as usize].contains(&(i as u32)),
+                    "edge {i}-{j} not symmetric"
+                );
+            }
+            // No duplicate edges.
+            let mut sorted = l.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), l.len(), "duplicate edge at {i}");
+        }
+        // Most peers reach the full degree.
+        let full = lists.iter().filter(|l| l.len() == 4).count();
+        assert!(full >= 40, "only {full}/50 at full degree");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let build = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            match Neighbours::build(Topology::RandomRegular { degree: 3 }, 20, &mut rng) {
+                Neighbours::Lists(l) => l,
+                _ => unreachable!(),
+            }
+        };
+        assert_eq!(build(9), build(9));
+    }
+}

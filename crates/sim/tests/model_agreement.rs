@@ -1,0 +1,216 @@
+//! Cross-validation: the discrete-event simulator against the paper's
+//! ODE model (Sec. 3) and closed-form theorems (Sec. 4).
+//!
+//! The ODE characterisation is exact only as `N → ∞`; at the moderate
+//! `N` used here the simulator should agree within a few percent, which
+//! is precisely the claim Fig. 3 makes by overlaying simulation points
+//! on analytical curves.
+
+use gossamer_ode::{solve_steady_state, theorems, ModelParams, SteadyOptions};
+use gossamer_sim::{SimConfig, Simulation};
+
+const LAMBDA: f64 = 8.0;
+const MU: f64 = 4.0;
+const GAMMA: f64 = 1.0;
+
+fn simulate(s: usize, c: f64, seed: u64) -> gossamer_sim::SimReport {
+    let config = SimConfig::builder()
+        .peers(300)
+        .lambda(LAMBDA)
+        .mu(MU)
+        .gamma(GAMMA)
+        .segment_size(s)
+        .servers(3)
+        .normalized_server_capacity(c)
+        .warmup(12.0)
+        .measure(25.0)
+        .seed(seed)
+        .build()
+        .expect("valid config");
+    Simulation::new(config).expect("valid simulation").run()
+}
+
+fn solve(s: usize, c: f64) -> gossamer_ode::SteadyState {
+    let params = ModelParams::builder()
+        .lambda(LAMBDA)
+        .mu(MU)
+        .gamma(GAMMA)
+        .segment_size(s)
+        .server_capacity(c)
+        .build()
+        .expect("valid params");
+    solve_steady_state(params, SteadyOptions::default())
+}
+
+#[test]
+fn storage_matches_theorem1() {
+    let t1 = theorems::storage_overhead(LAMBDA, MU, GAMMA);
+    for s in [1, 4] {
+        let report = simulate(s, 2.0, 11 + s as u64);
+        let measured = report.storage.mean_blocks_per_peer;
+        let rel = (measured - t1.rho).abs() / t1.rho;
+        assert!(
+            rel < 0.06,
+            "s={s}: measured {measured:.3} vs rho {:.3} (rel {rel:.3})",
+            t1.rho
+        );
+        // Theorem 1 also predicts the empty-buffer fraction z0 = e^-rho;
+        // at rho = 12 that is ~6e-6, i.e. essentially no empty peers.
+        assert!(report.storage.mean_empty_fraction < 0.01);
+    }
+}
+
+#[test]
+fn degree_distribution_matches_poisson_form() {
+    // Theorem 1's proof: z̃_i = z̃0 ρ^i / i! — a Poisson(ρ) profile.
+    let t1 = theorems::storage_overhead(LAMBDA, MU, GAMMA);
+    let report = simulate(1, 2.0, 5);
+    let hist = &report.degree_histogram.fractions;
+    // Compare the distribution mean and a few central probabilities.
+    let mean = report.degree_histogram.mean();
+    assert!(
+        (mean - t1.rho).abs() / t1.rho < 0.06,
+        "mean {mean} vs rho {}",
+        t1.rho
+    );
+    let mut fact = 1.0_f64;
+    for (i, &got) in hist.iter().enumerate().take(20) {
+        if i > 0 {
+            fact *= i as f64;
+        }
+        let predicted = t1.z0 * t1.rho.powi(i as i32) / fact;
+        assert!(
+            (got - predicted).abs() < 0.04,
+            "z[{i}]: sim {got:.4} vs poisson {predicted:.4}"
+        );
+    }
+}
+
+#[test]
+fn throughput_matches_theorem2_closed_form_s1() {
+    let c = 2.0;
+    let closed = theorems::throughput_s1_closed_form(LAMBDA, MU, GAMMA, c);
+    let report = simulate(1, c, 21);
+    let measured = report.throughput.normalized;
+    assert!(
+        (measured - closed).abs() < 0.05,
+        "sim {measured:.4} vs closed form {closed:.4}"
+    );
+}
+
+#[test]
+fn throughput_matches_ode_for_coded_segments() {
+    let c = 2.0;
+    for s in [2, 8] {
+        let ode = theorems::session_throughput(&solve(s, c)).normalized;
+        let sim = simulate(s, c, 31 + s as u64).throughput.normalized;
+        assert!(
+            (sim - ode).abs() < 0.06,
+            "s={s}: sim {sim:.4} vs ode {ode:.4}"
+        );
+    }
+}
+
+#[test]
+fn fig3_shape_throughput_rises_with_s_toward_capacity() {
+    let c = 2.0;
+    let capacity = c / LAMBDA;
+    let series: Vec<f64> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .map(|s| simulate(s, c, 41 + s as u64).throughput.normalized)
+        .collect();
+    // Monotone (within simulation noise) and saturating below capacity.
+    for pair in series.windows(2) {
+        assert!(
+            pair[1] >= pair[0] - 0.02,
+            "throughput not rising: {series:?}"
+        );
+    }
+    assert!(series[4] <= capacity + 0.02);
+    assert!(
+        series[4] > 0.9 * capacity,
+        "s=16 should approach capacity {capacity}: {series:?}"
+    );
+    assert!(
+        series[0] < 0.95 * capacity,
+        "s=1 should sit visibly below capacity: {series:?}"
+    );
+}
+
+#[test]
+fn fig6_shape_saved_data_positive_and_decreasing_in_s() {
+    let c = 2.0;
+    let series: Vec<f64> = [1usize, 4, 16]
+        .into_iter()
+        .map(|s| {
+            simulate(s, c, 51 + s as u64)
+                .storage
+                .mean_saved_blocks_per_peer
+        })
+        .collect();
+    for v in &series {
+        assert!(*v > 0.0, "saved data must be positive: {series:?}");
+    }
+    assert!(
+        series[2] < series[0],
+        "saved data should shrink with s: {series:?}"
+    );
+}
+
+#[test]
+fn churn_extension_matches_simulation() {
+    // The mean-field churn extension (ModelParams::churn_rate): peers
+    // reset at rate 1/L, segment edges die at gamma + 1/L.
+    let lifetime = 2.0;
+    for (s, tol) in [(1usize, 0.02), (4, 0.05)] {
+        let params = ModelParams::builder()
+            .lambda(LAMBDA)
+            .mu(MU)
+            .gamma(GAMMA)
+            .segment_size(s)
+            .server_capacity(2.0)
+            .churn_rate(1.0 / lifetime)
+            .build()
+            .expect("valid params");
+        let st = solve_steady_state(params, SteadyOptions::default());
+        let ode = gossamer_ode::theorems::session_throughput(&st).normalized;
+
+        let config = SimConfig::builder()
+            .peers(300)
+            .lambda(LAMBDA)
+            .mu(MU)
+            .gamma(GAMMA)
+            .segment_size(s)
+            .servers(3)
+            .normalized_server_capacity(2.0)
+            .churn(lifetime)
+            .warmup(12.0)
+            .measure(25.0)
+            .seed(77)
+            .build()
+            .expect("valid config");
+        let sim = Simulation::new(config).expect("builds").run();
+
+        // Storage is predicted tightly at any s.
+        let e_rel = (st.edge_density() - sim.storage.mean_blocks_per_peer).abs()
+            / sim.storage.mean_blocks_per_peer;
+        assert!(e_rel < 0.02, "s={s}: storage rel err {e_rel}");
+
+        // Throughput: exact at s = 1; an upper bound within `tol` for
+        // s > 1, where correlated block removal (a departing origin
+        // takes s co-located blocks) breaks the independent-edge
+        // approximation.
+        let diff = ode - sim.throughput.normalized;
+        assert!(
+            diff.abs() < tol || (s > 1 && (0.0..tol).contains(&diff)),
+            "s={s}: ode {ode:.4} vs sim {:.4}",
+            sim.throughput.normalized
+        );
+        if s > 1 {
+            assert!(
+                ode >= sim.throughput.normalized - 0.01,
+                "mean-field churn should be optimistic at s={s}"
+            );
+        }
+    }
+}

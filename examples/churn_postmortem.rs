@@ -1,0 +1,72 @@
+//! Post-mortem diagnostics: recovering the last words of departed peers.
+//!
+//! Run with: `cargo run --example churn_postmortem`
+//!
+//! The paper's sharpest observation: "peers tend to leave soon after the
+//! quality degrades, such statistics from departed peers may be the most
+//! useful to diagnose system outages". Here, peers log degrading QoS
+//! measurements and then abruptly quit. Because their diagnostics were
+//! gossiped as coded blocks first, the collector can still reconstruct
+//! them after the peers are gone.
+
+use gossamer::core::{Addr, CollectorConfig, MemoryNetwork, NodeConfig};
+use gossamer::rlnc::SegmentParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = SegmentParams::new(4, 96)?;
+    let node_config = NodeConfig::builder(params)
+        .gossip_rate(12.0)
+        .expiry_rate(0.02)
+        .buffer_cap(512)
+        .build()?;
+    let collector_config = CollectorConfig::builder(params).pull_rate(50.0).build()?;
+
+    let mut net = MemoryNetwork::new(5);
+    let peers: Vec<Addr> = (0..16).map(|_| net.add_peer(node_config.clone())).collect();
+    let collector = net.add_collector(collector_config);
+
+    // Eight victims log a degradation trail, then leave 1.5 s later —
+    // before the (slow) collector is likely to have probed them.
+    let victims = &peers[..8];
+    for (i, &peer) in victims.iter().enumerate() {
+        for step in 0..3 {
+            let record = format!(
+                "victim={i} t-{} buffer_draining bitrate={}kbps",
+                3 - step,
+                700 - 200 * step
+            );
+            net.record(peer, record.as_bytes())?;
+        }
+        net.flush(peer);
+    }
+    net.run_for(1.5, 0.01);
+    for &peer in victims {
+        net.remove_peer(peer);
+    }
+    println!(
+        "8 peers departed at t={:.1}s; collecting their diagnostics...",
+        net.now()
+    );
+
+    // Delayed collection from the surviving swarm.
+    net.run_for(20.0, 0.01);
+
+    let records = net.collector_mut(collector).take_records();
+    let victim_records: Vec<_> = records
+        .iter()
+        .filter(|r| r.starts_with(b"victim="))
+        .collect();
+    println!(
+        "recovered {} of 24 post-mortem records from departed peers",
+        victim_records.len()
+    );
+    for r in victim_records.iter().take(6) {
+        println!("  {}", String::from_utf8_lossy(r));
+    }
+    assert!(
+        victim_records.len() >= 18,
+        "most departed peers' diagnostics should be recoverable, got {}",
+        victim_records.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Real-socket demo: the full protocol over TCP on loopback.
+//!
+//! Run with: `cargo run --example tcp_cluster`
+//!
+//! Boots ten peer daemons and one collector daemon, each with its own
+//! listener, connection pool and timer threads, and collects telemetry
+//! over actual TCP connections (length-prefixed frames, CRC-protected
+//! coded blocks).
+
+use std::time::{Duration, Instant};
+
+use gossamer::core::{CollectorConfig, NodeConfig};
+use gossamer::net::LocalCluster;
+use gossamer::rlnc::SegmentParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = SegmentParams::new(4, 64)?;
+    let node_config = NodeConfig::builder(params)
+        .gossip_rate(40.0)
+        .expiry_rate(0.02)
+        .buffer_cap(512)
+        .build()?;
+    let collector_config = CollectorConfig::builder(params).pull_rate(150.0).build()?;
+
+    let cluster = LocalCluster::start(10, node_config, 1, collector_config, 99)?;
+    println!("cluster up: 10 peers + 1 collector on loopback");
+
+    for i in 0..cluster.peer_count() {
+        cluster
+            .peer(i)
+            .record(format!("peer {i}: jitter=4ms uplink=1.2Mbps").as_bytes())?;
+        cluster.peer(i).flush()?;
+    }
+
+    let start = Instant::now();
+    while cluster.collector(0).segments_decoded() < 10 && start.elapsed() < Duration::from_secs(20)
+    {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    let records = cluster.collector(0).take_records()?;
+    let stats = cluster.collector(0).stats();
+    println!(
+        "decoded {} segments, recovered {} records in {:.1}s",
+        stats.segments_decoded,
+        records.len(),
+        start.elapsed().as_secs_f64()
+    );
+    for r in records.iter().take(4) {
+        println!("  {}", String::from_utf8_lossy(r));
+    }
+    println!(
+        "pulls sent={} blocks={} redundant={}",
+        stats.pulls_sent, stats.blocks_received, stats.redundant_blocks
+    );
+    cluster.shutdown();
+    assert_eq!(stats.segments_decoded, 10);
+    Ok(())
+}

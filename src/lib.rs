@@ -1,0 +1,26 @@
+//! # Gossamer
+//!
+//! Indirect large-scale P2P data collection with random linear network
+//! coding — a reproduction of Niu & Li, *Circumventing Server Bottlenecks:
+//! Indirect Large-Scale P2P Data Collection*, ICDCS 2008.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`gf256`] — arithmetic over the Galois field GF(2⁸),
+//! * [`rlnc`] — segment-based random linear network coding,
+//! * [`core`] — the transport-agnostic collection protocol,
+//! * [`net`] — a TCP deployment of the protocol,
+//! * [`sim`] — the discrete-event simulator used for the paper's evaluation,
+//! * [`ode`] — the paper's differential-equation model and theorems.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end collection session over
+//! the in-memory transport.
+
+pub use gossamer_core as core;
+pub use gossamer_gf256 as gf256;
+pub use gossamer_net as net;
+pub use gossamer_ode as ode;
+pub use gossamer_rlnc as rlnc;
+pub use gossamer_sim as sim;

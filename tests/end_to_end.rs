@@ -1,0 +1,152 @@
+//! Workspace-level integration tests: the whole stack, crossing crate
+//! boundaries the way a downstream user would.
+
+use gossamer::core::{Addr, CollectorConfig, MemoryNetwork, NodeConfig};
+use gossamer::rlnc::SegmentParams;
+
+fn params() -> SegmentParams {
+    SegmentParams::new(4, 64).unwrap()
+}
+
+fn node_config() -> NodeConfig {
+    NodeConfig::builder(params())
+        .gossip_rate(10.0)
+        .expiry_rate(0.02)
+        .buffer_cap(512)
+        .build()
+        .unwrap()
+}
+
+fn collector_config() -> CollectorConfig {
+    CollectorConfig::builder(params())
+        .pull_rate(80.0)
+        .build()
+        .unwrap()
+}
+
+/// The full protocol pipeline: records → segmenter → RLNC → gossip →
+/// pull → decode → reassembly, across 25 peers.
+#[test]
+fn full_pipeline_recovers_all_records() {
+    let mut net = MemoryNetwork::new(1);
+    let peers: Vec<Addr> = (0..25).map(|_| net.add_peer(node_config())).collect();
+    let collector = net.add_collector(collector_config());
+
+    let mut expected = Vec::new();
+    for (i, &p) in peers.iter().enumerate() {
+        for j in 0..3 {
+            let record = format!("peer {i} sample {j}: delay={}ms", 10 * j + i);
+            net.record(p, record.as_bytes()).unwrap();
+            expected.push(record.into_bytes());
+        }
+        net.flush(p);
+    }
+    net.run_for(25.0, 0.02);
+
+    let mut got = net.collector_mut(collector).take_records();
+    got.sort();
+    expected.sort();
+    assert_eq!(got, expected);
+}
+
+/// Loss, churn and buffer pressure at once: the protocol must degrade
+/// gracefully, never panic, and still recover a useful fraction.
+#[test]
+fn survives_combined_failure_injection() {
+    let mut net = MemoryNetwork::new(2);
+    let peers: Vec<Addr> = (0..20).map(|_| net.add_peer(node_config())).collect();
+    let collector = net.add_collector(collector_config());
+    net.set_loss_rate(0.2);
+
+    for (i, &p) in peers.iter().enumerate() {
+        net.record(p, format!("under fire {i}").as_bytes()).unwrap();
+        net.flush(p);
+    }
+    net.run_for(3.0, 0.02);
+    // A third of the population departs mid-collection.
+    for &p in &peers[..7] {
+        net.remove_peer(p);
+    }
+    net.run_for(12.0, 0.02);
+
+    let records = net.collector_mut(collector).take_records();
+    assert!(
+        records.len() >= 15,
+        "expected most records to survive 20% loss + 35% churn, got {}",
+        records.len()
+    );
+    assert!(net.messages_dropped() > 0);
+}
+
+/// The ODE model, the simulator and the protocol library must tell one
+/// consistent story about storage: Theorem 1's ρ bound holds everywhere.
+#[test]
+fn storage_overhead_is_consistent_across_stack() {
+    let (lambda, mu, gamma) = (4.0, 2.0, 0.5);
+    let t1 = gossamer::ode::theorems::storage_overhead(lambda, mu, gamma);
+    assert!(t1.overhead < mu / gamma);
+
+    let config = gossamer::sim::SimConfig::builder()
+        .peers(200)
+        .lambda(lambda)
+        .mu(mu)
+        .gamma(gamma)
+        .segment_size(2)
+        .normalized_server_capacity(1.0)
+        .warmup(15.0)
+        .measure(25.0)
+        .seed(3)
+        .build()
+        .unwrap();
+    let report = gossamer::sim::Simulation::new(config).unwrap().run();
+    let rel = (report.storage.mean_blocks_per_peer - t1.rho).abs() / t1.rho;
+    assert!(
+        rel < 0.08,
+        "sim storage {} vs theorem rho {} (rel {rel})",
+        report.storage.mean_blocks_per_peer,
+        t1.rho
+    );
+}
+
+/// Facade re-exports stay wired: every subsystem is reachable through
+/// the `gossamer` crate.
+#[test]
+fn facade_exposes_all_subsystems() {
+    let _field = gossamer::gf256::Gf256::GENERATOR;
+    let _params = gossamer::rlnc::SegmentParams::new(2, 8).unwrap();
+    let _cfg = gossamer::core::NodeConfig::builder(_params)
+        .build()
+        .unwrap();
+    let _sim = gossamer::sim::SimConfig::builder().build().unwrap();
+    let _ode = gossamer::ode::ModelParams::builder().build().unwrap();
+    // net: just reference the type to keep the re-export honest.
+    fn _takes_cluster(_c: gossamer::net::LocalCluster) {}
+}
+
+/// A session that outlives its TTL: records fed early expire before
+/// collection starts, demonstrating the timeliness/persistence knob.
+#[test]
+fn expired_data_is_gone_slow_collector_misses_it() {
+    let fast_expiry = NodeConfig::builder(params())
+        .gossip_rate(10.0)
+        .expiry_rate(2.0) // blocks live ~0.5 s
+        .buffer_cap(512)
+        .build()
+        .unwrap();
+    let mut net = MemoryNetwork::new(4);
+    let peers: Vec<Addr> = (0..10).map(|_| net.add_peer(fast_expiry.clone())).collect();
+    // No collector yet: nothing pulls while the data decays.
+    for (i, &p) in peers.iter().enumerate() {
+        net.record(p, format!("ephemeral {i}").as_bytes()).unwrap();
+        net.flush(p);
+    }
+    net.run_for(8.0, 0.02); // ~16 TTLs pass
+    let collector = net.add_collector(collector_config());
+    net.run_for(8.0, 0.02);
+    let records = net.collector_mut(collector).take_records();
+    assert!(
+        records.len() <= 2,
+        "data should have expired before the collector arrived, got {}",
+        records.len()
+    );
+}
