@@ -145,10 +145,7 @@ impl PeerBuffer {
         rng: &mut R,
         exclude: &std::collections::BTreeSet<SegmentId>,
     ) -> Option<SegmentId> {
-        let excluded_blocks: usize = exclude
-            .iter()
-            .map(|id| self.rank_of(*id))
-            .sum();
+        let excluded_blocks: usize = exclude.iter().map(|id| self.rank_of(*id)).sum();
         let eligible = self.blocks - excluded_blocks.min(self.blocks);
         if eligible == 0 {
             return None;

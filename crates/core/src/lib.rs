@@ -81,3 +81,4 @@ pub use error::ProtocolError;
 pub use memory::MemoryNetwork;
 pub use message::{Addr, Message, Outbound};
 pub use peer::{PeerNode, PeerStats};
+pub use telemetry::{LinkHealth, TransportHealth};

@@ -95,6 +95,20 @@ impl PeerNode {
         &self.neighbours
     }
 
+    /// Sequence number the next injected segment will carry.
+    pub fn next_sequence(&self) -> u32 {
+        self.segmenter.next_sequence()
+    }
+
+    /// Fast-forwards the segment sequence counter to at least
+    /// `sequence` (never rewinds). A peer restarted under its old
+    /// address must resume past every sequence number its previous
+    /// incarnation used, or its fresh segments collide with ids the
+    /// collectors may already have decoded — whose blocks they discard.
+    pub fn resume_sequence_at(&mut self, sequence: u32) {
+        self.segmenter.skip_to_sequence(sequence);
+    }
+
     /// Counters, including buffer state.
     pub fn stats(&self) -> PeerStats {
         PeerStats {
@@ -139,8 +153,7 @@ impl PeerNode {
         // here) can always be lifted by upcoming gossip slots,
         // regardless of how coarsely the caller ticks.
         if self.next_gossip_at.is_none() {
-            self.next_gossip_at =
-                Some(now + exp_sample(&mut self.rng, self.config.gossip_rate));
+            self.next_gossip_at = Some(now + exp_sample(&mut self.rng, self.config.gossip_rate));
         }
         let s = self.config.params.segment_size();
         if self.buffer.free_slots() < s {
@@ -179,8 +192,7 @@ impl PeerNode {
         // Initialise the gossip clock lazily so peers created late join
         // the schedule relative to their own start.
         if self.next_gossip_at.is_none() {
-            self.next_gossip_at =
-                Some(now + exp_sample(&mut self.rng, self.config.gossip_rate));
+            self.next_gossip_at = Some(now + exp_sample(&mut self.rng, self.config.gossip_rate));
         }
         loop {
             let gossip_at = self.next_gossip_at.expect("initialised above");
@@ -196,9 +208,8 @@ impl PeerNode {
                     if let Some(msg) = self.try_gossip() {
                         out.push(msg);
                     }
-                    self.next_gossip_at = Some(
-                        gossip_at + exp_sample(&mut self.rng, self.config.gossip_rate),
-                    );
+                    self.next_gossip_at =
+                        Some(gossip_at + exp_sample(&mut self.rng, self.config.gossip_rate));
                 }
                 _ => break,
             }
@@ -318,8 +329,7 @@ impl PeerNode {
         // which `tick` interleaves in time order.)
         let shielded: std::collections::BTreeSet<SegmentId> =
             self.priming.keys().copied().collect();
-        if let Some(segment) = self.buffer.expire_one_excluding(&mut self.rng, &shielded)
-        {
+        if let Some(segment) = self.buffer.expire_one_excluding(&mut self.rng, &shielded) {
             if self.buffer.rank_of(segment) == 0 {
                 self.view.remove(&segment);
             }

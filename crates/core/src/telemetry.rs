@@ -233,6 +233,92 @@ impl TelemetryRecord {
     }
 }
 
+/// Health of one peer link as observed by a transport (dial failures,
+/// retry totals, quarantine state). Produced by the TCP daemons'
+/// health registry; transport-agnostic so any deployment can report it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkHealth {
+    /// The remote peer's protocol address.
+    pub peer: u32,
+    /// Current run of consecutive failures (0 = healthy).
+    pub consecutive_failures: u32,
+    /// Total dial/write failures observed on this link.
+    pub failures: u64,
+    /// Total successful dials and inbound activations.
+    pub successes: u64,
+    /// Dial attempts made while a failure streak was open.
+    pub retries: u64,
+    /// Whether the link is currently quarantined (traffic suppressed,
+    /// decaying re-probe only).
+    pub quarantined: bool,
+}
+
+/// Aggregate transport-health counters plus per-link detail, as exposed
+/// by a daemon's transport layer. Convertible to a [`TelemetryRecord`]
+/// so a deployment can feed its own health back through the collection
+/// protocol it implements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TransportHealth {
+    /// Frames successfully written.
+    pub frames_out: u64,
+    /// Frames received and decoded.
+    pub frames_in: u64,
+    /// Socket-level errors (failed dials, failed writes, codec errors).
+    pub io_errors: u64,
+    /// Dial attempts started.
+    pub dials_attempted: u64,
+    /// Dial attempts that failed.
+    pub dials_failed: u64,
+    /// Dial attempts made while a failure streak was open (retry total).
+    pub retries: u64,
+    /// Outbound messages suppressed because the target was quarantined.
+    pub sends_suppressed: u64,
+    /// Outbound messages dropped, delayed or duplicated by an installed
+    /// fault injector.
+    pub faults_injected: u64,
+    /// Largest observed gap between consecutive protocol ticks, in
+    /// microseconds. Bounded by design: ticks never wait on a dial.
+    pub max_tick_gap_us: u64,
+    /// Per-peer link health, sorted by peer address.
+    pub links: Vec<LinkHealth>,
+}
+
+impl TransportHealth {
+    /// Number of currently quarantined links.
+    pub fn quarantined_links(&self) -> usize {
+        self.links.iter().filter(|l| l.quarantined).count()
+    }
+
+    /// Renders the health snapshot as a [`TelemetryRecord`], so
+    /// transport health can ride the same collection path as
+    /// application metrics.
+    pub fn to_record(&self, origin: u32, timestamp_ms: u64) -> TelemetryRecord {
+        let mut record = TelemetryRecord::new(origin, timestamp_ms);
+        let int = |v: u64| MetricValue::Integer(v.min(i64::MAX as u64) as i64);
+        record.push("frames_out", int(self.frames_out));
+        record.push("frames_in", int(self.frames_in));
+        record.push("io_errors", int(self.io_errors));
+        record.push("dials_attempted", int(self.dials_attempted));
+        record.push("dials_failed", int(self.dials_failed));
+        record.push("retries", int(self.retries));
+        record.push("sends_suppressed", int(self.sends_suppressed));
+        record.push("faults_injected", int(self.faults_injected));
+        record.push("max_tick_gap_us", int(self.max_tick_gap_us));
+        record.push("links", int(self.links.len() as u64));
+        record.push("quarantined_links", int(self.quarantined_links() as u64));
+        for link in &self.links {
+            record.push(format!("link_{}_failures", link.peer), int(link.failures));
+            if link.quarantined {
+                record.push(
+                    format!("link_{}_quarantined", link.peer),
+                    MetricValue::Integer(1),
+                );
+            }
+        }
+        record
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +404,55 @@ mod tests {
         assert_eq!(records.len(), 1);
         let back = TelemetryRecord::decode(&records[0]).unwrap();
         assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn transport_health_renders_as_telemetry() {
+        let health = TransportHealth {
+            frames_out: 100,
+            frames_in: 90,
+            io_errors: 4,
+            dials_attempted: 12,
+            dials_failed: 4,
+            retries: 3,
+            sends_suppressed: 7,
+            faults_injected: 2,
+            max_tick_gap_us: 5_000,
+            links: vec![
+                LinkHealth {
+                    peer: 1,
+                    consecutive_failures: 0,
+                    failures: 0,
+                    successes: 5,
+                    retries: 0,
+                    quarantined: false,
+                },
+                LinkHealth {
+                    peer: 2,
+                    consecutive_failures: 4,
+                    failures: 4,
+                    successes: 1,
+                    retries: 3,
+                    quarantined: true,
+                },
+            ],
+        };
+        assert_eq!(health.quarantined_links(), 1);
+        let record = health.to_record(9, 1_234);
+        assert_eq!(record.origin(), 9);
+        assert_eq!(record.get("io_errors"), Some(&MetricValue::Integer(4)));
+        assert_eq!(
+            record.get("quarantined_links"),
+            Some(&MetricValue::Integer(1))
+        );
+        assert_eq!(
+            record.get("link_2_quarantined"),
+            Some(&MetricValue::Integer(1))
+        );
+        assert_eq!(record.get("link_1_quarantined"), None);
+        // The snapshot survives the wire format.
+        let back = TelemetryRecord::decode(&record.encode()).unwrap();
+        assert_eq!(back, record);
     }
 
     #[test]

@@ -1,17 +1,42 @@
 //! Loopback cluster harness.
 
+use std::net::SocketAddr;
+
 use gossamer_core::{Addr, CollectorConfig, NodeConfig};
 
 use crate::daemon::{CollectorHandle, DaemonError, PeerHandle};
+use crate::fault::FaultPlan;
+
+/// Everything needed to respawn a crashed peer in place.
+struct PeerSpec {
+    addr: Addr,
+    socket: SocketAddr,
+    config: NodeConfig,
+    seed: u64,
+    /// Segment sequence the next incarnation must resume from, captured
+    /// at kill time: a replacement reusing the address must not re-mint
+    /// segment ids its predecessor already used (collectors discard
+    /// blocks of already-decoded ids).
+    resume_sequence: u32,
+}
 
 /// A complete deployment on loopback: `n` peer daemons in a full gossip
 /// mesh plus `m` collector daemons probing all of them.
 ///
 /// Peers get addresses `0..n`, collectors `n..n+m`. Everything is wired
 /// (address books, neighbour sets, probe lists) before `start` returns.
+///
+/// Peers live in fixed slots: [`LocalCluster::kill_peer`] empties a slot
+/// without renumbering the others, and [`LocalCluster::restart_peer`]
+/// boots a fresh daemon (empty buffer — the churn-with-replacement
+/// model) on the same address and socket, so the survivors' address
+/// books stay valid across the outage.
 pub struct LocalCluster {
-    peers: Vec<PeerHandle>,
+    peers: Vec<Option<PeerHandle>>,
+    peer_specs: Vec<PeerSpec>,
     collectors: Vec<CollectorHandle>,
+    peer_addrs: Vec<Addr>,
+    plan: Option<FaultPlan>,
 }
 
 impl LocalCluster {
@@ -27,13 +52,46 @@ impl LocalCluster {
         collector_config: CollectorConfig,
         seed: u64,
     ) -> Result<Self, DaemonError> {
+        Self::start_with_faults(
+            n_peers,
+            node_config,
+            n_collectors,
+            collector_config,
+            seed,
+            None,
+        )
+    }
+
+    /// Like [`LocalCluster::start`], but installs the given fault plan's
+    /// message-level faults on every daemon's transport. The plan's
+    /// crash schedule is data for the test to execute (via
+    /// [`LocalCluster::kill_peer`] / [`LocalCluster::restart_peer`]);
+    /// the cluster does not run its own clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any daemon fails to bind its listener.
+    pub fn start_with_faults(
+        n_peers: usize,
+        node_config: NodeConfig,
+        n_collectors: usize,
+        collector_config: CollectorConfig,
+        seed: u64,
+        plan: Option<FaultPlan>,
+    ) -> Result<Self, DaemonError> {
         let mut peers = Vec::with_capacity(n_peers);
+        let mut peer_specs = Vec::with_capacity(n_peers);
         for i in 0..n_peers {
-            peers.push(PeerHandle::spawn(
-                Addr(i as u32),
-                node_config.clone(),
-                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            )?);
+            let peer_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let handle = PeerHandle::spawn(Addr(i as u32), node_config.clone(), peer_seed)?;
+            peer_specs.push(PeerSpec {
+                addr: handle.addr(),
+                socket: handle.socket(),
+                config: node_config.clone(),
+                seed: peer_seed,
+                resume_sequence: 0,
+            });
+            peers.push(Some(handle));
         }
         let mut collectors = Vec::with_capacity(n_collectors);
         for j in 0..n_collectors {
@@ -45,11 +103,11 @@ impl LocalCluster {
         }
 
         // Wire address books: everyone knows everyone.
-        let peer_addrs: Vec<Addr> = peers.iter().map(PeerHandle::addr).collect();
-        for a in &peers {
-            for b in &peers {
-                if a.addr() != b.addr() {
-                    a.register(b.addr(), b.socket());
+        let peer_addrs: Vec<Addr> = peer_specs.iter().map(|s| s.addr).collect();
+        for a in peers.iter().flatten() {
+            for spec in &peer_specs {
+                if a.addr() != spec.addr {
+                    a.register(spec.addr, spec.socket);
                 }
             }
             for c in &collectors {
@@ -59,8 +117,8 @@ impl LocalCluster {
         }
         let collector_addrs: Vec<Addr> = collectors.iter().map(CollectorHandle::addr).collect();
         for c in &collectors {
-            for p in &peers {
-                c.register(p.addr(), p.socket());
+            for spec in &peer_specs {
+                c.register(spec.addr, spec.socket);
             }
             for other in &collectors {
                 if other.addr() != c.addr() {
@@ -70,21 +128,42 @@ impl LocalCluster {
             c.set_peers(peer_addrs.clone());
             c.set_siblings(collector_addrs.clone());
         }
-        Ok(LocalCluster { peers, collectors })
+
+        let cluster = LocalCluster {
+            peers,
+            peer_specs,
+            collectors,
+            peer_addrs,
+            plan,
+        };
+        if let Some(plan) = cluster.plan.as_ref().filter(|p| p.has_message_faults()) {
+            for p in cluster.peers.iter().flatten() {
+                p.set_fault_plan(plan);
+            }
+            for c in &cluster.collectors {
+                c.set_fault_plan(plan);
+            }
+        }
+        Ok(cluster)
     }
 
-    /// Number of peers.
+    /// Number of peer slots (live or crashed).
     pub fn peer_count(&self) -> usize {
         self.peers.len()
+    }
+
+    /// Number of peers currently running.
+    pub fn live_peer_count(&self) -> usize {
+        self.peers.iter().flatten().count()
     }
 
     /// Access the `i`-th peer.
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range.
+    /// Panics if `i` is out of range or the peer is crashed.
     pub fn peer(&self, i: usize) -> &PeerHandle {
-        &self.peers[i]
+        self.peers[i].as_ref().expect("peer slot is crashed")
     }
 
     /// Access the `j`-th collector.
@@ -96,27 +175,80 @@ impl LocalCluster {
         &self.collectors[j]
     }
 
-    /// Iterate over all peers.
+    /// Iterate over all live peers.
     pub fn peers(&self) -> impl Iterator<Item = &PeerHandle> {
-        self.peers.iter()
+        self.peers.iter().flatten()
     }
 
     /// Kills one peer abruptly (simulated churn): its daemon stops and
     /// its buffered data is gone. Remaining peers keep its address in
-    /// their books; sends to it simply fail, which the loss-tolerant
-    /// protocol absorbs.
+    /// their books; sends to it fail, back off, and eventually
+    /// quarantine the address, which the loss-tolerant protocol absorbs.
+    /// The slot stays and can be refilled with
+    /// [`LocalCluster::restart_peer`].
     pub fn kill_peer(&mut self, i: usize) -> Option<()> {
-        if i >= self.peers.len() {
-            return None;
-        }
-        let handle = self.peers.remove(i);
+        let handle = self.peers.get_mut(i)?.take()?;
+        // Remember how far the victim's segment ids got, so a future
+        // restart resumes past them instead of colliding.
+        self.peer_specs[i].resume_sequence = handle.next_sequence();
         handle.shutdown();
         Some(())
     }
 
+    /// Restarts a crashed peer in its old slot: same address, same
+    /// socket, fresh state (the paper's churn-with-replacement model —
+    /// whatever it buffered before the crash is lost). The newcomer is
+    /// re-wired into the mesh and survivors re-admit it as their health
+    /// layer notices the address answering again. Its segment sequence
+    /// resumes past its predecessor's, so new data cannot hide behind
+    /// segment ids the collectors already decoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the old socket cannot be re-bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slot `i` is still occupied.
+    pub fn restart_peer(&mut self, i: usize) -> Result<(), DaemonError> {
+        assert!(
+            self.peers.get(i).is_some_and(Option::is_none),
+            "slot {i} is not crashed"
+        );
+        let spec = &self.peer_specs[i];
+        // The OS may briefly hold the port in TIME_WAIT after the crash;
+        // retry the bind for a moment instead of failing the restart.
+        let mut attempts = 0;
+        let handle = loop {
+            match PeerHandle::spawn_on(spec.addr, spec.socket, spec.config.clone(), spec.seed) {
+                Ok(h) => break h,
+                Err(_) if attempts < 20 => {
+                    attempts += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        for spec in &self.peer_specs {
+            if spec.addr != handle.addr() {
+                handle.register(spec.addr, spec.socket);
+            }
+        }
+        for c in &self.collectors {
+            handle.register(c.addr(), c.socket());
+        }
+        handle.resume_sequence_at(self.peer_specs[i].resume_sequence);
+        handle.set_neighbours(self.peer_addrs.clone());
+        if let Some(plan) = self.plan.as_ref().filter(|p| p.has_message_faults()) {
+            handle.set_fault_plan(plan);
+        }
+        self.peers[i] = Some(handle);
+        Ok(())
+    }
+
     /// Shuts down every daemon.
     pub fn shutdown(self) {
-        for p in self.peers {
+        for p in self.peers.into_iter().flatten() {
             p.shutdown();
         }
         for c in self.collectors {

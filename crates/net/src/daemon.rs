@@ -1,25 +1,66 @@
 //! Threaded daemons wrapping the core state machines.
+//!
+//! Fault-tolerant transport layout:
+//!
+//! * The **ticker** drives the node's Poisson clocks and only ever
+//!   writes to already-established connections — it never dials, so a
+//!   dead or slow endpoint cannot stall the gossip schedule (the
+//!   largest observed tick gap is tracked and exposed via
+//!   [`TransportHealth::max_tick_gap_us`]).
+//! * A background **connector** owns all dialing: dial requests are
+//!   queued over a bounded channel, attempted with a short timeout, and
+//!   retried on a capped exponential backoff with per-peer jitter (see
+//!   [`crate::health`]). Messages to unconnected peers are dropped —
+//!   the protocol is loss-tolerant by design.
+//! * A [`HealthRegistry`] tracks per-peer outcomes. Peers that keep
+//!   failing are quarantined: traffic to them is suppressed, the node's
+//!   gossip/pull target set is pruned to skew toward live neighbours,
+//!   and a decaying re-probe (a bare dial) discovers recovery.
+//! * Every reader thread — accept-side and dial-side — is registered in
+//!   one registry, reaped as it finishes, and joined on shutdown; a
+//!   reader that exits tears down exactly the pooled write half backing
+//!   its connection (generation-checked), so stale entries cannot leak.
+//! * An optional [`FaultInjector`] sits in front of the socket and can
+//!   drop, delay, duplicate or partition outbound traffic for chaos
+//!   tests (see [`crate::fault`]).
 
-use std::collections::HashMap;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gossamer_core::{
     Addr, Collector, CollectorConfig, CollectorStats, Message, NodeConfig, Outbound, PeerNode,
-    PeerStats, ProtocolError,
+    PeerStats, ProtocolError, TransportHealth,
 };
 use parking_lot::Mutex;
 
 use crate::codec::{read_frame, write_frame, CodecError};
+use crate::fault::{FaultAction, FaultInjector, FaultPlan};
+use crate::health::{HealthConfig, HealthRegistry};
 
 /// Poll interval of the timer thread driving node ticks.
 const TICK_INTERVAL: Duration = Duration::from_millis(2);
 /// Read timeout used so reader threads notice shutdown.
 const READ_TIMEOUT: Duration = Duration::from_millis(200);
+/// Write timeout bounding how long a send can stall on a full socket.
+const WRITE_TIMEOUT: Duration = Duration::from_millis(200);
+/// Connect timeout for background dials.
+const DIAL_TIMEOUT: Duration = Duration::from_millis(250);
+/// Poll interval of the connector and delay-line threads.
+const WORKER_POLL: Duration = Duration::from_millis(50);
+/// Ticks between health maintenance passes (re-probe scheduling and
+/// live-target pruning); ≈ 200 ms at the 2 ms tick interval.
+const MAINTENANCE_TICKS: u32 = 100;
+/// Messages parked per not-yet-connected peer while its dial is in
+/// flight; beyond this the oldest are dropped (the protocol absorbs
+/// loss, the cap bounds memory).
+const PENDING_CAP: usize = 32;
 
 /// Errors surfaced by daemon operations.
 #[derive(Debug)]
@@ -61,6 +102,10 @@ impl From<ProtocolError> for DaemonError {
 trait ProtocolNode: Send + 'static {
     fn tick(&mut self, now: f64) -> Vec<Outbound>;
     fn handle(&mut self, from: Addr, message: Message, now: f64) -> Vec<Outbound>;
+    /// Replaces the node's primary target set (gossip neighbours for a
+    /// peer, probe list for a collector) — used to skew traffic toward
+    /// live peers when links are quarantined.
+    fn apply_targets(&mut self, targets: Vec<Addr>);
 }
 
 impl ProtocolNode for PeerNode {
@@ -69,6 +114,9 @@ impl ProtocolNode for PeerNode {
     }
     fn handle(&mut self, from: Addr, message: Message, now: f64) -> Vec<Outbound> {
         PeerNode::handle(self, from, message, now)
+    }
+    fn apply_targets(&mut self, targets: Vec<Addr>) {
+        self.set_neighbours(targets);
     }
 }
 
@@ -79,6 +127,24 @@ impl ProtocolNode for Collector {
     fn handle(&mut self, from: Addr, message: Message, now: f64) -> Vec<Outbound> {
         Collector::handle(self, from, message, now)
     }
+    fn apply_targets(&mut self, targets: Vec<Addr>) {
+        self.set_peers(targets);
+    }
+}
+
+/// A pooled write half, tagged with a connection generation so the
+/// reader that backs it can remove exactly this entry when it exits
+/// (and never a replacement established in the meantime).
+struct PooledConn {
+    stream: Arc<Mutex<TcpStream>>,
+    id: u64,
+}
+
+/// A message held back by the fault injector's delay lane.
+struct DelayedSend {
+    due: Instant,
+    to: Addr,
+    message: Message,
 }
 
 struct Shared<T> {
@@ -88,11 +154,34 @@ struct Shared<T> {
     /// Where to dial each known address.
     book: Mutex<HashMap<Addr, SocketAddr>>,
     /// Open outbound connections.
-    pool: Mutex<HashMap<Addr, Arc<Mutex<TcpStream>>>>,
+    pool: Mutex<HashMap<Addr, PooledConn>>,
+    /// Messages awaiting a connection, flushed when the dial lands.
+    pending: Mutex<HashMap<Addr, VecDeque<Message>>>,
+    /// Per-peer failure tracking, backoff and quarantine state.
+    health: Mutex<HealthRegistry>,
+    /// Optional chaos layer in front of the sockets.
+    fault: Mutex<Option<FaultInjector>>,
+    /// The target set last handed to the node by the application, before
+    /// any quarantine pruning.
+    full_targets: Mutex<Vec<Addr>>,
+    /// Quarantine set in force when targets were last applied (sorted).
+    applied_quarantine: Mutex<Vec<Addr>>,
+    /// Dial requests for the background connector.
+    dial_tx: mpsc::SyncSender<Addr>,
+    /// Messages parked by the fault injector's delay lane.
+    delay_tx: mpsc::SyncSender<DelayedSend>,
+    /// Every live reader thread, accept-side and dial-side alike.
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    conn_seq: AtomicU64,
     shutdown: AtomicBool,
     io_errors: AtomicU64,
     frames_in: AtomicU64,
     frames_out: AtomicU64,
+    dials_attempted: AtomicU64,
+    dials_failed: AtomicU64,
+    sends_suppressed: AtomicU64,
+    faults_injected: AtomicU64,
+    max_tick_gap_us: AtomicU64,
 }
 
 impl<T: ProtocolNode> Shared<T> {
@@ -106,41 +195,244 @@ impl<T: ProtocolNode> Shared<T> {
         }
     }
 
-    /// Best-effort send; failures drop the pooled connection and are
-    /// counted. The protocol is loss-tolerant by design, so a dropped
-    /// message is not an error condition.
+    /// Outbound entry point: consults the fault injector, then hands the
+    /// message to [`Shared::transmit`]. Never dials and never blocks
+    /// beyond one bounded socket write.
     fn send(self: &Arc<Self>, to: Addr, message: &Message) {
-        let Some(stream) = self.connection_to(to) else {
-            self.io_errors.fetch_add(1, Ordering::Relaxed);
+        let action = match &*self.fault.lock() {
+            Some(injector) => injector.on_send(self.addr, to),
+            None => FaultAction::Deliver,
+        };
+        match action {
+            FaultAction::Deliver => self.transmit(to, message),
+            FaultAction::Drop => {
+                self.faults_injected.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Duplicate => {
+                self.faults_injected.fetch_add(1, Ordering::Relaxed);
+                self.transmit(to, message);
+                self.transmit(to, message);
+            }
+            FaultAction::Delay(delay) => {
+                self.faults_injected.fetch_add(1, Ordering::Relaxed);
+                // A full delay lane drops the message; the protocol
+                // absorbs loss by design.
+                let _ = self.delay_tx.try_send(DelayedSend {
+                    due: Instant::now() + delay,
+                    to,
+                    message: message.clone(),
+                });
+            }
+        }
+    }
+
+    /// Best-effort send over an established connection; failures drop
+    /// the pooled connection, feed the health registry and are counted.
+    /// Unconnected targets get a dial request instead of an inline dial.
+    fn transmit(self: &Arc<Self>, to: Addr, message: &Message) {
+        if self.health.lock().is_quarantined(to) {
+            self.sends_suppressed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let pooled = self.pool.lock().get(&to).map(|c| (c.stream.clone(), c.id));
+        let Some((stream, id)) = pooled else {
+            // Park the message until the background dial lands; the cap
+            // sheds the oldest first once a peer stops answering.
+            {
+                let mut pending = self.pending.lock();
+                let queue = pending.entry(to).or_default();
+                while queue.len() >= PENDING_CAP {
+                    queue.pop_front();
+                }
+                queue.push_back(message.clone());
+            }
+            self.request_dial(to);
             return;
         };
         let mut guard = stream.lock();
         if write_frame(&mut *guard, self.addr, message).is_err() {
             drop(guard);
-            self.pool.lock().remove(&to);
+            self.drop_conn(to, id);
             self.io_errors.fetch_add(1, Ordering::Relaxed);
+            self.health.lock().on_failure(to, self.now());
+            self.request_dial(to);
         } else {
             self.frames_out.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    fn connection_to(self: &Arc<Self>, to: Addr) -> Option<Arc<Mutex<TcpStream>>> {
-        if let Some(existing) = self.pool.lock().get(&to) {
-            return Some(existing.clone());
+    /// Queues a background dial if the address is dialable and not
+    /// backing off. Cheap enough for the per-message path.
+    fn request_dial(&self, to: Addr) {
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
         }
-        let target = *self.book.lock().get(&to)?;
-        let stream = TcpStream::connect_timeout(&target, Duration::from_secs(1)).ok()?;
-        stream.set_nodelay(true).ok();
-        // Connections are bidirectional: the remote replies over this
-        // same stream, so a dialed connection needs a reader too.
-        if let Ok(read_half) = stream.try_clone() {
-            read_half.set_read_timeout(Some(READ_TIMEOUT)).ok();
-            let shared = self.clone();
-            std::thread::spawn(move || reader_loop(read_half, shared));
+        if !self.book.lock().contains_key(&to) {
+            // No route at all (e.g. a collector known only through a
+            // now-dead learned return path): counted, nothing to retry.
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+            return;
         }
-        let stream = Arc::new(Mutex::new(stream));
-        self.pool.lock().insert(to, stream.clone());
-        Some(stream)
+        if self.health.lock().dial_allowed(to, self.now()) {
+            // A full queue just means the connector is busy; the next
+            // send will re-request.
+            let _ = self.dial_tx.try_send(to);
+        }
+    }
+
+    /// One dial attempt, run on the connector thread only.
+    fn try_dial(self: &Arc<Self>, to: Addr) {
+        if self.shutdown.load(Ordering::Acquire) || self.pool.lock().contains_key(&to) {
+            return;
+        }
+        let now = self.now();
+        {
+            let mut health = self.health.lock();
+            if !health.dial_allowed(to, now) {
+                return;
+            }
+            health.record_attempt(to);
+        }
+        let Some(target) = self.book.lock().get(&to).copied() else {
+            return;
+        };
+        self.dials_attempted.fetch_add(1, Ordering::Relaxed);
+        let dialed = TcpStream::connect_timeout(&target, DIAL_TIMEOUT).and_then(|stream| {
+            configure_stream(&stream);
+            let write_half = stream.try_clone()?;
+            Ok((stream, write_half))
+        });
+        match dialed {
+            Ok((stream, write_half)) => {
+                let id = self.conn_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                let inserted = {
+                    let mut pool = self.pool.lock();
+                    match pool.entry(to) {
+                        // An accept-side return path won the race; drop
+                        // our duplicate socket.
+                        Entry::Occupied(_) => false,
+                        Entry::Vacant(slot) => {
+                            slot.insert(PooledConn {
+                                stream: Arc::new(Mutex::new(write_half)),
+                                id,
+                            });
+                            true
+                        }
+                    }
+                };
+                if inserted {
+                    self.health.lock().on_success(to);
+                    // Connections are bidirectional: the remote replies
+                    // over this same stream, so a dialed connection
+                    // needs a reader too.
+                    self.spawn_reader(stream, Some((to, id)));
+                    self.flush_pending(to);
+                }
+            }
+            Err(_) => {
+                self.dials_failed.fetch_add(1, Ordering::Relaxed);
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+                let quarantined = {
+                    let mut health = self.health.lock();
+                    health.on_failure(to, now);
+                    health.is_quarantined(to)
+                };
+                if quarantined {
+                    // Nothing parked for a quarantined peer will ever
+                    // flush; shed it now.
+                    self.pending.lock().remove(&to);
+                }
+            }
+        }
+    }
+
+    /// Sends everything parked for `to` now that a connection exists.
+    /// The queue is detached first, so messages that fail mid-flush
+    /// re-park into a fresh queue instead of looping.
+    fn flush_pending(self: &Arc<Self>, to: Addr) {
+        let Some(queue) = self.pending.lock().remove(&to) else {
+            return;
+        };
+        for message in queue {
+            self.transmit(to, &message);
+        }
+    }
+
+    /// Removes the pooled connection for `addr` only if it is still
+    /// generation `id` (a replacement connection is left alone).
+    fn drop_conn(&self, addr: Addr, id: u64) {
+        let mut pool = self.pool.lock();
+        if pool.get(&addr).is_some_and(|c| c.id == id) {
+            pool.remove(&addr);
+        }
+    }
+
+    /// Registers a reader thread in the shared registry.
+    fn spawn_reader(self: &Arc<Self>, stream: TcpStream, pool_ref: Option<(Addr, u64)>) {
+        let shared = self.clone();
+        let handle = std::thread::spawn(move || reader_loop(stream, shared, pool_ref));
+        self.readers.lock().push(handle);
+    }
+
+    /// Joins every reader thread that has already finished, so the
+    /// registry stays bounded by the number of *live* connections.
+    fn reap_readers(&self) {
+        let mut readers = self.readers.lock();
+        let mut i = 0;
+        while i < readers.len() {
+            if readers[i].is_finished() {
+                let handle = readers.swap_remove(i);
+                let _ = handle.join();
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Replaces the node's application-level target set and clears any
+    /// quarantine pruning (it is re-derived on the next maintenance
+    /// pass).
+    fn set_targets(self: &Arc<Self>, targets: Vec<Addr>) {
+        *self.full_targets.lock() = targets.clone();
+        self.applied_quarantine.lock().clear();
+        self.node.lock().apply_targets(targets);
+    }
+
+    /// Periodic health pass on the ticker thread: queue due re-probes
+    /// for quarantined peers and re-skew the node's targets toward live
+    /// ones whenever the quarantine set changes.
+    fn maintenance(self: &Arc<Self>) {
+        let now = self.now();
+        let (due, mut quarantined) = {
+            let health = self.health.lock();
+            (health.due_reprobes(now), health.quarantined())
+        };
+        for addr in due {
+            if self.book.lock().contains_key(&addr) {
+                let _ = self.dial_tx.try_send(addr);
+            }
+        }
+        quarantined.sort_unstable();
+        {
+            let mut applied = self.applied_quarantine.lock();
+            if *applied == quarantined {
+                return;
+            }
+            applied.clone_from(&quarantined);
+        }
+        let full = self.full_targets.lock().clone();
+        if full.is_empty() {
+            return;
+        }
+        let live: Vec<Addr> = full
+            .iter()
+            .copied()
+            .filter(|a| !quarantined.contains(a))
+            .collect();
+        // With everything quarantined there is nothing to skew toward;
+        // keep the full set so sends resume the moment a probe succeeds.
+        let targets = if live.is_empty() { full } else { live };
+        self.node.lock().apply_targets(targets);
     }
 
     fn handle_incoming(self: &Arc<Self>, from: Addr, message: Message) {
@@ -150,6 +442,28 @@ impl<T: ProtocolNode> Shared<T> {
         let replies = self.node.lock().handle(from, message, now);
         self.dispatch(replies);
     }
+
+    fn transport_health(&self) -> TransportHealth {
+        let health = self.health.lock();
+        TransportHealth {
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            dials_attempted: self.dials_attempted.load(Ordering::Relaxed),
+            dials_failed: self.dials_failed.load(Ordering::Relaxed),
+            retries: health.total_retries(),
+            sends_suppressed: self.sends_suppressed.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            max_tick_gap_us: self.max_tick_gap_us.load(Ordering::Relaxed),
+            links: health.snapshot(),
+        }
+    }
+}
+
+fn configure_stream(stream: &TcpStream) {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+    stream.set_write_timeout(Some(WRITE_TIMEOUT)).ok();
 }
 
 fn spawn_acceptor<T: ProtocolNode>(
@@ -157,47 +471,65 @@ fn spawn_acceptor<T: ProtocolNode>(
     shared: Arc<Shared<T>>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
-        let mut readers = Vec::new();
         for conn in listener.incoming() {
             if shared.shutdown.load(Ordering::Acquire) {
                 break;
             }
             let Ok(stream) = conn else { continue };
-            stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
-            let shared = shared.clone();
-            readers.push(std::thread::spawn(move || reader_loop(stream, shared)));
-        }
-        for r in readers {
-            let _ = r.join();
+            configure_stream(&stream);
+            shared.spawn_reader(stream, None);
+            shared.reap_readers();
         }
     })
 }
 
-fn reader_loop<T: ProtocolNode>(mut stream: TcpStream, shared: Arc<Shared<T>>) {
-    // The return path is learned from the first frame: replies to `from`
-    // reuse this connection, so responding does not require an
-    // address-book entry for the requester (collectors need not be
-    // dialable by peers).
-    let mut learned_return_path = false;
+/// Runs one connection's read side. `pool_ref` identifies the pooled
+/// write half this reader backs: dial-side readers know it up front,
+/// accept-side readers learn it when they register a return path. On
+/// exit the matching pool entry (and only that generation) is removed,
+/// so a dead connection cannot linger in the pool.
+fn reader_loop<T: ProtocolNode>(
+    mut stream: TcpStream,
+    shared: Arc<Shared<T>>,
+    mut pool_ref: Option<(Addr, u64)>,
+) {
+    let mut first_frame = true;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
-            return;
+            break;
         }
         match read_frame(&mut stream) {
             Ok(Some((from, message))) => {
-                if !learned_return_path {
-                    learned_return_path = true;
-                    if let Ok(write_half) = stream.try_clone() {
-                        shared
-                            .pool
-                            .lock()
-                            .entry(from)
-                            .or_insert_with(|| Arc::new(Mutex::new(write_half)));
+                if first_frame {
+                    first_frame = false;
+                    // Inbound traffic proves the peer is alive: reset
+                    // its failure streak (and lift any quarantine).
+                    shared.health.lock().on_success(from);
+                    // The return path is learned from the first frame:
+                    // replies to `from` reuse this connection, so
+                    // responding does not require an address-book entry
+                    // for the requester (collectors need not be dialable
+                    // by peers).
+                    if pool_ref.is_none() {
+                        if let Ok(write_half) = stream.try_clone() {
+                            let mut pool = shared.pool.lock();
+                            if let Entry::Vacant(slot) = pool.entry(from) {
+                                let id = shared.conn_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                                slot.insert(PooledConn {
+                                    stream: Arc::new(Mutex::new(write_half)),
+                                    id,
+                                });
+                                pool_ref = Some((from, id));
+                            }
+                        }
+                    }
+                    if pool_ref.is_some() {
+                        shared.flush_pending(from);
                     }
                 }
                 shared.handle_incoming(from, message);
             }
-            Ok(None) => return, // clean EOF
+            Ok(None) => break, // clean EOF
             Err(CodecError::Io(e))
                 if matches!(
                     e.kind(),
@@ -208,19 +540,90 @@ fn reader_loop<T: ProtocolNode>(mut stream: TcpStream, shared: Arc<Shared<T>>) {
             }
             Err(_) => {
                 shared.io_errors.fetch_add(1, Ordering::Relaxed);
-                return;
+                break;
             }
         }
+    }
+    if let Some((addr, id)) = pool_ref {
+        shared.drop_conn(addr, id);
     }
 }
 
 fn spawn_ticker<T: ProtocolNode>(shared: Arc<Shared<T>>) -> JoinHandle<()> {
     std::thread::spawn(move || {
+        let mut last_tick: Option<Instant> = None;
+        let mut ticks: u32 = 0;
         while !shared.shutdown.load(Ordering::Acquire) {
+            let tick_start = Instant::now();
+            if let Some(prev) = last_tick {
+                let gap = tick_start
+                    .duration_since(prev)
+                    .as_micros()
+                    .min(u128::from(u64::MAX));
+                shared
+                    .max_tick_gap_us
+                    .fetch_max(gap as u64, Ordering::Relaxed);
+            }
+            last_tick = Some(tick_start);
             let now = shared.now();
             let outbound = shared.node.lock().tick(now);
             shared.dispatch(outbound);
+            ticks = ticks.wrapping_add(1);
+            if ticks.is_multiple_of(MAINTENANCE_TICKS) {
+                shared.maintenance();
+            }
             std::thread::sleep(TICK_INTERVAL);
+        }
+    })
+}
+
+fn spawn_connector<T: ProtocolNode>(
+    shared: Arc<Shared<T>>,
+    dial_rx: mpsc::Receiver<Addr>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !shared.shutdown.load(Ordering::Acquire) {
+            match dial_rx.recv_timeout(WORKER_POLL) {
+                Ok(addr) => {
+                    shared.try_dial(addr);
+                    shared.reap_readers();
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    })
+}
+
+fn spawn_delay_line<T: ProtocolNode>(
+    shared: Arc<Shared<T>>,
+    delay_rx: mpsc::Receiver<DelayedSend>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut parked: Vec<DelayedSend> = Vec::new();
+        while !shared.shutdown.load(Ordering::Acquire) {
+            let wait = parked
+                .iter()
+                .map(|d| d.due.saturating_duration_since(Instant::now()))
+                .min()
+                .unwrap_or(WORKER_POLL)
+                .min(WORKER_POLL)
+                .max(Duration::from_millis(1));
+            match delay_rx.recv_timeout(wait) {
+                Ok(delayed) => parked.push(delayed),
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+            let now = Instant::now();
+            let mut i = 0;
+            while i < parked.len() {
+                if parked[i].due <= now {
+                    let delayed = parked.swap_remove(i);
+                    shared.transmit(delayed.to, &delayed.message);
+                } else {
+                    i += 1;
+                }
+            }
         }
     })
 }
@@ -240,20 +643,38 @@ impl<T: ProtocolNode> Daemon<T> {
     fn spawn_on(addr: Addr, node: T, listen: SocketAddr) -> io::Result<Self> {
         let listener = TcpListener::bind(listen)?;
         let socket = listener.local_addr()?;
+        let (dial_tx, dial_rx) = mpsc::sync_channel(256);
+        let (delay_tx, delay_rx) = mpsc::sync_channel(1024);
         let shared = Arc::new(Shared {
             addr,
             node: Mutex::new(node),
             start: Instant::now(),
             book: Mutex::new(HashMap::new()),
             pool: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            health: Mutex::new(HealthRegistry::new(HealthConfig::default())),
+            fault: Mutex::new(None),
+            full_targets: Mutex::new(Vec::new()),
+            applied_quarantine: Mutex::new(Vec::new()),
+            dial_tx,
+            delay_tx,
+            readers: Mutex::new(Vec::new()),
+            conn_seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             io_errors: AtomicU64::new(0),
             frames_in: AtomicU64::new(0),
             frames_out: AtomicU64::new(0),
+            dials_attempted: AtomicU64::new(0),
+            dials_failed: AtomicU64::new(0),
+            sends_suppressed: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            max_tick_gap_us: AtomicU64::new(0),
         });
         let threads = vec![
             spawn_acceptor(listener, shared.clone()),
             spawn_ticker(shared.clone()),
+            spawn_connector(shared.clone(), dial_rx),
+            spawn_delay_line(shared.clone(), delay_rx),
         ];
         Ok(Daemon {
             shared,
@@ -267,6 +688,10 @@ impl<T: ProtocolNode> Daemon<T> {
         self.shared.book.lock().insert(addr, socket);
     }
 
+    fn set_fault_plan(&self, plan: &FaultPlan) {
+        *self.shared.fault.lock() = Some(plan.injector_for(self.shared.addr));
+    }
+
     fn shutdown(&mut self) {
         if self.closed {
             return;
@@ -277,6 +702,13 @@ impl<T: ProtocolNode> Daemon<T> {
         let _ = TcpStream::connect_timeout(&self.socket, Duration::from_millis(500));
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        // Drain every reader: each notices the flag within one read
+        // timeout. New readers cannot appear — the acceptor and
+        // connector are already joined.
+        let readers = std::mem::take(&mut *self.shared.readers.lock());
+        for r in readers {
+            let _ = r.join();
         }
         self.shared.pool.lock().clear();
     }
@@ -340,9 +772,16 @@ impl PeerHandle {
         self.daemon.register(addr, socket);
     }
 
-    /// Sets the gossip neighbour set.
+    /// Sets the gossip neighbour set. While some of these neighbours are
+    /// quarantined by the health layer, gossip is skewed toward the
+    /// live remainder; the full set is restored as quarantines lift.
     pub fn set_neighbours(&self, neighbours: Vec<Addr>) {
-        self.daemon.shared.node.lock().set_neighbours(neighbours);
+        self.daemon.shared.set_targets(neighbours);
+    }
+
+    /// Installs a fault-injection plan on this daemon's transport.
+    pub fn set_fault_plan(&self, plan: &FaultPlan) {
+        self.daemon.set_fault_plan(plan);
     }
 
     /// Ingests one log record.
@@ -376,6 +815,20 @@ impl PeerHandle {
         self.daemon.shared.node.lock().stats()
     }
 
+    /// Sequence number the next injected segment will carry.
+    pub fn next_sequence(&self) -> u32 {
+        self.daemon.shared.node.lock().next_sequence()
+    }
+
+    /// Fast-forwards the segment sequence counter (never rewinds). A
+    /// daemon replacing a crashed one on the same address must resume
+    /// past its predecessor's sequence numbers, or its segments collide
+    /// with ids collectors already decoded (see
+    /// [`gossamer_core::PeerNode::resume_sequence_at`]).
+    pub fn resume_sequence_at(&self, sequence: u32) {
+        self.daemon.shared.node.lock().resume_sequence_at(sequence);
+    }
+
     /// Frames sent/received and socket errors so far.
     pub fn transport_counters(&self) -> (u64, u64, u64) {
         let s = &self.daemon.shared;
@@ -384,6 +837,12 @@ impl PeerHandle {
             s.frames_in.load(Ordering::Relaxed),
             s.io_errors.load(Ordering::Relaxed),
         )
+    }
+
+    /// Full transport-health snapshot: aggregate counters, retry/backoff
+    /// totals, per-peer link state and the largest observed tick gap.
+    pub fn transport_health(&self) -> TransportHealth {
+        self.daemon.shared.transport_health()
     }
 
     /// Stops all threads and closes connections.
@@ -443,14 +902,21 @@ impl CollectorHandle {
         self.daemon.register(addr, socket);
     }
 
-    /// Sets the population of peers to probe.
+    /// Sets the population of peers to probe. While some of them are
+    /// quarantined by the health layer, pulls are skewed toward the
+    /// live remainder; the full set is restored as quarantines lift.
     pub fn set_peers(&self, peers: Vec<Addr>) {
-        self.daemon.shared.node.lock().set_peers(peers);
+        self.daemon.shared.set_targets(peers);
     }
 
     /// Sets the sibling collectors that receive decoded announcements.
     pub fn set_siblings(&self, siblings: Vec<Addr>) {
         self.daemon.shared.node.lock().set_siblings(siblings);
+    }
+
+    /// Installs a fault-injection plan on this daemon's transport.
+    pub fn set_fault_plan(&self, plan: &FaultPlan) {
+        self.daemon.set_fault_plan(plan);
     }
 
     /// Takes all log records recovered so far.
@@ -470,6 +936,22 @@ impl CollectorHandle {
     /// Snapshot of the collector's counters.
     pub fn stats(&self) -> CollectorStats {
         self.daemon.shared.node.lock().stats()
+    }
+
+    /// Frames sent/received and socket errors so far.
+    pub fn transport_counters(&self) -> (u64, u64, u64) {
+        let s = &self.daemon.shared;
+        (
+            s.frames_out.load(Ordering::Relaxed),
+            s.frames_in.load(Ordering::Relaxed),
+            s.io_errors.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Full transport-health snapshot: aggregate counters, retry/backoff
+    /// totals, per-peer link state and the largest observed tick gap.
+    pub fn transport_health(&self) -> TransportHealth {
+        self.daemon.shared.transport_health()
     }
 
     /// Stops all threads and closes connections.

@@ -1,0 +1,333 @@
+//! Seeded, deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] describes, from a single seed, every misbehaviour a
+//! test wants the transport to exhibit: probabilistic message drops,
+//! duplication, fixed extra delay, hard partitions between address
+//! pairs, and a schedule of whole-daemon crashes (with optional
+//! restarts). The plan itself is pure data — `Clone`, comparable,
+//! buildable in one expression — so the same plan can parameterise a
+//! TCP cluster test *and* the discrete-event simulator (which consumes
+//! the drop rate via `SimConfig::message_loss`).
+//!
+//! Each daemon materialises the plan into a [`FaultInjector`] with
+//! [`FaultPlan::injector_for`]. The injector owns a splitmix64 stream
+//! seeded from `(plan seed, local address)`, so per-daemon decision
+//! streams are reproducible and independent; in the simulator, where
+//! event order is deterministic, runs are bit-for-bit reproducible.
+//! Over threads the *stream* is deterministic while the message
+//! interleaving is not — the statistical fault load still is.
+
+use std::time::Duration;
+
+use gossamer_core::Addr;
+use parking_lot::Mutex;
+
+/// One scheduled daemon crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashEvent {
+    /// Seconds after the schedule starts at which the daemon dies.
+    pub at: f64,
+    /// Index of the peer to crash (harness-level index, not `Addr`).
+    pub peer: usize,
+    /// If set, seconds after the crash at which the peer restarts with
+    /// an empty buffer (the paper's churn-with-replacement model).
+    pub restart_after: Option<f64>,
+}
+
+/// A complete, seeded description of the faults to inject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop: f64,
+    duplicate: f64,
+    delay_probability: f64,
+    delay: Duration,
+    partitions: Vec<(Addr, Addr)>,
+    crashes: Vec<CrashEvent>,
+}
+
+impl FaultPlan {
+    /// Starts an empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop: 0.0,
+            duplicate: 0.0,
+            delay_probability: 0.0,
+            delay: Duration::ZERO,
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Drops each outbound message independently with probability `p`.
+    #[must_use]
+    pub fn drop_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop rate must be in [0, 1]");
+        self.drop = p;
+        self
+    }
+
+    /// Duplicates each delivered message with probability `p`.
+    #[must_use]
+    pub fn duplicate_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "duplicate rate must be in [0, 1]");
+        self.duplicate = p;
+        self
+    }
+
+    /// Delays each delivered message by `delay` with probability `p`.
+    #[must_use]
+    pub fn delay(mut self, p: f64, delay: Duration) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "delay probability must be in [0, 1]"
+        );
+        self.delay_probability = p;
+        self.delay = delay;
+        self
+    }
+
+    /// Blocks all traffic between `a` and `b`, in both directions.
+    #[must_use]
+    pub fn partition(mut self, a: Addr, b: Addr) -> Self {
+        self.partitions.push((a, b));
+        self
+    }
+
+    /// Schedules peer `peer` to crash `at` seconds in, permanently.
+    #[must_use]
+    pub fn crash(mut self, at: f64, peer: usize) -> Self {
+        self.crashes.push(CrashEvent {
+            at,
+            peer,
+            restart_after: None,
+        });
+        self
+    }
+
+    /// Schedules peer `peer` to crash `at` seconds in and come back
+    /// (buffer lost) `restart_after` seconds later.
+    #[must_use]
+    pub fn crash_and_restart(mut self, at: f64, peer: usize, restart_after: f64) -> Self {
+        self.crashes.push(CrashEvent {
+            at,
+            peer,
+            restart_after: Some(restart_after),
+        });
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured message-drop probability (also the value to feed a
+    /// simulator's message-loss knob for a matching software-level run).
+    pub fn message_drop_rate(&self) -> f64 {
+        self.drop
+    }
+
+    /// The configured duplication probability.
+    pub fn message_duplicate_rate(&self) -> f64 {
+        self.duplicate
+    }
+
+    /// The crash schedule, sorted by crash time.
+    pub fn crashes(&self) -> Vec<CrashEvent> {
+        let mut out = self.crashes.clone();
+        out.sort_by(|a, b| a.at.total_cmp(&b.at));
+        out
+    }
+
+    /// Whether the plan injects any per-message faults (as opposed to
+    /// only crashes).
+    pub fn has_message_faults(&self) -> bool {
+        self.drop > 0.0
+            || self.duplicate > 0.0
+            || self.delay_probability > 0.0
+            || !self.partitions.is_empty()
+    }
+
+    /// Materialises the per-daemon injector for the daemon at `local`.
+    pub fn injector_for(&self, local: Addr) -> FaultInjector {
+        FaultInjector {
+            plan: self.clone(),
+            state: Mutex::new(splitmix64(
+                self.seed ^ (u64::from(local.0).wrapping_mul(0xA076_1D64_78BD_642F)),
+            )),
+        }
+    }
+}
+
+/// What the injector decided for one outbound message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Send normally.
+    Deliver,
+    /// Silently discard.
+    Drop,
+    /// Send twice.
+    Duplicate,
+    /// Send after the given extra delay.
+    Delay(Duration),
+}
+
+/// A daemon-local realisation of a [`FaultPlan`]: consulted once per
+/// outbound message, it draws from its seeded stream and answers with a
+/// [`FaultAction`].
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: Mutex<u64>,
+}
+
+impl FaultInjector {
+    /// Decides the fate of one message from `from` to `to`.
+    pub fn on_send(&self, from: Addr, to: Addr) -> FaultAction {
+        if self
+            .plan
+            .partitions
+            .iter()
+            .any(|&(a, b)| (a == from && b == to) || (a == to && b == from))
+        {
+            return FaultAction::Drop;
+        }
+        let has_random_faults =
+            self.plan.drop > 0.0 || self.plan.duplicate > 0.0 || self.plan.delay_probability > 0.0;
+        if !has_random_faults {
+            return FaultAction::Deliver;
+        }
+        let u = self.next_unit();
+        // One draw decides among the mutually exclusive outcomes; the
+        // interval layout keeps each marginal probability exact.
+        if u < self.plan.drop {
+            FaultAction::Drop
+        } else if u < self.plan.drop + self.plan.duplicate {
+            FaultAction::Duplicate
+        } else if u < self.plan.drop + self.plan.duplicate + self.plan.delay_probability {
+            FaultAction::Delay(self.plan.delay)
+        } else {
+            FaultAction::Deliver
+        }
+    }
+
+    /// The plan this injector realises.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn next_unit(&self) -> f64 {
+        let mut state = self.state.lock();
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let z = splitmix64(*state);
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_always_delivers() {
+        let injector = FaultPlan::new(1).injector_for(Addr(0));
+        for i in 0..100 {
+            assert_eq!(injector.on_send(Addr(0), Addr(i)), FaultAction::Deliver);
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_respected_statistically() {
+        let injector = FaultPlan::new(42).drop_rate(0.2).injector_for(Addr(1));
+        let n = 20_000;
+        let dropped = (0..n)
+            .filter(|_| injector.on_send(Addr(1), Addr(2)) == FaultAction::Drop)
+            .count();
+        let fraction = dropped as f64 / f64::from(n);
+        assert!(
+            (fraction - 0.2).abs() < 0.02,
+            "observed drop fraction {fraction}"
+        );
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_only_for_the_pair() {
+        let injector = FaultPlan::new(7)
+            .partition(Addr(1), Addr(2))
+            .injector_for(Addr(1));
+        assert_eq!(injector.on_send(Addr(1), Addr(2)), FaultAction::Drop);
+        assert_eq!(injector.on_send(Addr(2), Addr(1)), FaultAction::Drop);
+        assert_eq!(injector.on_send(Addr(1), Addr(3)), FaultAction::Deliver);
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_daemon_and_differ_across_daemons() {
+        let plan = FaultPlan::new(99).drop_rate(0.5);
+        let draw = |injector: &FaultInjector| -> Vec<FaultAction> {
+            (0..64)
+                .map(|_| injector.on_send(Addr(0), Addr(1)))
+                .collect()
+        };
+        let a1 = draw(&plan.injector_for(Addr(5)));
+        let a2 = draw(&plan.injector_for(Addr(5)));
+        let b = draw(&plan.injector_for(Addr(6)));
+        assert_eq!(a1, a2, "same seed and address: same stream");
+        assert_ne!(a1, b, "different daemons: independent streams");
+    }
+
+    #[test]
+    fn mixed_faults_partition_the_unit_interval() {
+        let injector = FaultPlan::new(3)
+            .drop_rate(0.25)
+            .duplicate_rate(0.25)
+            .delay(0.25, Duration::from_millis(10))
+            .injector_for(Addr(0));
+        let n = 40_000;
+        let mut counts = [0u32; 4];
+        for _ in 0..n {
+            match injector.on_send(Addr(0), Addr(1)) {
+                FaultAction::Drop => counts[0] += 1,
+                FaultAction::Duplicate => counts[1] += 1,
+                FaultAction::Delay(d) => {
+                    assert_eq!(d, Duration::from_millis(10));
+                    counts[2] += 1;
+                }
+                FaultAction::Deliver => counts[3] += 1,
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let fraction = f64::from(c) / f64::from(n);
+            assert!(
+                (fraction - 0.25).abs() < 0.02,
+                "outcome {i} fraction {fraction}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_schedule_sorts_by_time() {
+        let plan = FaultPlan::new(0)
+            .crash(5.0, 2)
+            .crash_and_restart(1.0, 0, 2.0);
+        let crashes = plan.crashes();
+        assert_eq!(crashes.len(), 2);
+        assert_eq!(crashes[0].peer, 0);
+        assert_eq!(crashes[0].restart_after, Some(2.0));
+        assert_eq!(crashes[1].peer, 2);
+        assert_eq!(crashes[1].restart_after, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop rate must be in [0, 1]")]
+    fn rejects_out_of_range_rates() {
+        let _ = FaultPlan::new(0).drop_rate(1.5);
+    }
+}

@@ -1,0 +1,304 @@
+//! Per-peer transport health: failure tracking, capped exponential
+//! backoff with deterministic jitter, and quarantine with decaying
+//! re-probe.
+//!
+//! The daemon consults a [`HealthRegistry`] before every dial and feeds
+//! it every dial/write outcome. The registry answers two questions:
+//!
+//! * *May I dial this peer right now?* — gated by a capped exponential
+//!   backoff schedule, so a dead endpoint is probed at `base`, `2·base`,
+//!   `4·base`, … seconds, never faster, capped at `max`.
+//! * *Should I still address this peer at all?* — after
+//!   `quarantine_after` consecutive failures the peer is *quarantined*:
+//!   outgoing protocol traffic to it is suppressed and gossip/pull
+//!   target sets skew toward live neighbours. Quarantined peers are
+//!   still re-probed (a bare dial, no protocol traffic) on the decayed
+//!   schedule; one successful dial or any inbound frame lifts the
+//!   quarantine immediately.
+//!
+//! All times are `f64` seconds on the daemon's monotonic clock, matching
+//! the sans-IO core's convention, which keeps the schedule unit-testable
+//! without wall-clock sleeps.
+
+use std::collections::HashMap;
+
+use gossamer_core::telemetry::LinkHealth;
+use gossamer_core::Addr;
+
+/// Tuning knobs for [`HealthRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Delay before the first retry after a failure, in seconds.
+    pub base_backoff: f64,
+    /// Cap on the backoff delay, in seconds.
+    pub max_backoff: f64,
+    /// Consecutive failures after which a peer is quarantined.
+    pub quarantine_after: u32,
+    /// Jitter fraction: each scheduled delay is scaled by a
+    /// deterministic factor in `[1 - jitter, 1 + jitter]` so a cohort of
+    /// daemons that lost the same peer does not re-dial it in lockstep.
+    pub jitter: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            base_backoff: 0.05,
+            max_backoff: 2.0,
+            quarantine_after: 3,
+            jitter: 0.25,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// The un-jittered backoff delay after `failures` consecutive
+    /// failures: `base · 2^(failures-1)`, capped at `max_backoff`.
+    pub fn backoff(&self, failures: u32) -> f64 {
+        if failures == 0 {
+            return 0.0;
+        }
+        let doubled = self.base_backoff * 2f64.powi((failures - 1).min(30) as i32);
+        doubled.min(self.max_backoff)
+    }
+}
+
+/// Mutable per-peer record inside the registry.
+#[derive(Debug, Clone, Copy, Default)]
+struct PeerHealth {
+    consecutive_failures: u32,
+    failures: u64,
+    successes: u64,
+    retries: u64,
+    /// Earliest time the next dial attempt is allowed, if backing off.
+    next_attempt_at: f64,
+}
+
+/// Tracks the transport health of every peer a daemon talks to.
+#[derive(Debug)]
+pub struct HealthRegistry {
+    config: HealthConfig,
+    peers: HashMap<Addr, PeerHealth>,
+}
+
+impl HealthRegistry {
+    /// Creates an empty registry.
+    pub fn new(config: HealthConfig) -> Self {
+        HealthRegistry {
+            config,
+            peers: HashMap::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    /// Records a successful dial (or any inbound frame): the failure
+    /// streak resets and any quarantine lifts.
+    pub fn on_success(&mut self, peer: Addr) {
+        let entry = self.peers.entry(peer).or_default();
+        entry.successes += 1;
+        entry.consecutive_failures = 0;
+        entry.next_attempt_at = 0.0;
+    }
+
+    /// Records a failed dial or a write error observed at `now`,
+    /// scheduling the next allowed attempt on the backoff curve.
+    pub fn on_failure(&mut self, peer: Addr, now: f64) {
+        let config = self.config;
+        let entry = self.peers.entry(peer).or_default();
+        entry.failures += 1;
+        entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
+        let delay = config.backoff(entry.consecutive_failures)
+            * jitter_factor(config.jitter, peer, entry.consecutive_failures);
+        entry.next_attempt_at = now + delay;
+    }
+
+    /// Records that a dial attempt is being made; attempts made while a
+    /// failure streak is open count as retries.
+    pub fn record_attempt(&mut self, peer: Addr) {
+        if let Some(entry) = self.peers.get_mut(&peer) {
+            if entry.consecutive_failures > 0 {
+                entry.retries += 1;
+            }
+        }
+    }
+
+    /// Whether a dial to `peer` is allowed at `now` (unknown peers and
+    /// healthy peers: always; failing peers: once their backoff expires).
+    pub fn dial_allowed(&self, peer: Addr, now: f64) -> bool {
+        match self.peers.get(&peer) {
+            None => true,
+            Some(entry) => entry.consecutive_failures == 0 || now >= entry.next_attempt_at,
+        }
+    }
+
+    /// Whether `peer` has hit the quarantine threshold.
+    pub fn is_quarantined(&self, peer: Addr) -> bool {
+        self.peers
+            .get(&peer)
+            .is_some_and(|e| e.consecutive_failures >= self.config.quarantine_after)
+    }
+
+    /// All currently quarantined peers.
+    pub fn quarantined(&self) -> Vec<Addr> {
+        let threshold = self.config.quarantine_after;
+        self.peers
+            .iter()
+            .filter(|(_, e)| e.consecutive_failures >= threshold)
+            .map(|(&a, _)| a)
+            .collect()
+    }
+
+    /// Quarantined peers whose re-probe is due at `now`. Each failed
+    /// probe pushes the next one further out (up to `max_backoff`), so
+    /// the probe rate decays toward a slow steady heartbeat.
+    pub fn due_reprobes(&self, now: f64) -> Vec<Addr> {
+        let threshold = self.config.quarantine_after;
+        self.peers
+            .iter()
+            .filter(|(_, e)| e.consecutive_failures >= threshold && now >= e.next_attempt_at)
+            .map(|(&a, _)| a)
+            .collect()
+    }
+
+    /// Total retry attempts across all peers.
+    pub fn total_retries(&self) -> u64 {
+        self.peers.values().map(|e| e.retries).sum()
+    }
+
+    /// Per-peer health snapshot for telemetry.
+    pub fn snapshot(&self) -> Vec<LinkHealth> {
+        let threshold = self.config.quarantine_after;
+        let mut links: Vec<LinkHealth> = self
+            .peers
+            .iter()
+            .map(|(&addr, e)| LinkHealth {
+                peer: addr.0,
+                consecutive_failures: e.consecutive_failures,
+                failures: e.failures,
+                successes: e.successes,
+                retries: e.retries,
+                quarantined: e.consecutive_failures >= threshold,
+            })
+            .collect();
+        links.sort_by_key(|l| l.peer);
+        links
+    }
+}
+
+/// Deterministic jitter factor in `[1 - jitter, 1 + jitter]`, derived
+/// from the peer address and the failure streak so every daemon computes
+/// a different but reproducible schedule (the net crate carries no RNG
+/// dependency).
+fn jitter_factor(jitter: f64, peer: Addr, failures: u32) -> f64 {
+    let mut z = (u64::from(peer.0) << 32 | u64::from(failures)).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    1.0 - jitter + 2.0 * jitter * unit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> HealthConfig {
+        HealthConfig {
+            base_backoff: 0.1,
+            max_backoff: 1.0,
+            quarantine_after: 3,
+            jitter: 0.0, // exact schedule for the tests
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let c = config();
+        assert_eq!(c.backoff(0), 0.0);
+        assert!((c.backoff(1) - 0.1).abs() < 1e-12);
+        assert!((c.backoff(2) - 0.2).abs() < 1e-12);
+        assert!((c.backoff(3) - 0.4).abs() < 1e-12);
+        assert!((c.backoff(4) - 0.8).abs() < 1e-12);
+        assert!((c.backoff(5) - 1.0).abs() < 1e-12, "capped");
+        assert!((c.backoff(60) - 1.0).abs() < 1e-12, "no overflow");
+    }
+
+    #[test]
+    fn failures_gate_dials_on_the_backoff_curve() {
+        let mut reg = HealthRegistry::new(config());
+        let peer = Addr(7);
+        assert!(reg.dial_allowed(peer, 0.0), "unknown peers dial freely");
+
+        reg.on_failure(peer, 0.0);
+        assert!(!reg.dial_allowed(peer, 0.05));
+        assert!(reg.dial_allowed(peer, 0.11), "first backoff is base");
+
+        reg.record_attempt(peer);
+        reg.on_failure(peer, 0.11);
+        assert!(!reg.dial_allowed(peer, 0.25));
+        assert!(reg.dial_allowed(peer, 0.32), "second backoff doubles");
+        assert_eq!(reg.total_retries(), 1);
+    }
+
+    #[test]
+    fn quarantine_kicks_in_and_reprobe_decays() {
+        let mut reg = HealthRegistry::new(config());
+        let peer = Addr(3);
+        reg.on_failure(peer, 0.0);
+        reg.on_failure(peer, 0.1);
+        assert!(!reg.is_quarantined(peer));
+        reg.on_failure(peer, 0.2);
+        assert!(reg.is_quarantined(peer), "third failure quarantines");
+        assert_eq!(reg.quarantined(), vec![peer]);
+
+        // Re-probe is due only after the (now longer) backoff expires.
+        assert!(reg.due_reprobes(0.3).is_empty());
+        assert_eq!(reg.due_reprobes(0.7), vec![peer]);
+
+        // Failed probes keep pushing the next one out, capped.
+        reg.on_failure(peer, 0.7);
+        assert!(reg.due_reprobes(1.0).is_empty());
+        assert_eq!(reg.due_reprobes(1.6), vec![peer]);
+        reg.on_failure(peer, 1.6);
+        assert_eq!(reg.due_reprobes(2.7), vec![peer], "cap holds at 1s");
+    }
+
+    #[test]
+    fn success_lifts_quarantine_and_resets_the_streak() {
+        let mut reg = HealthRegistry::new(config());
+        let peer = Addr(9);
+        for i in 0..5 {
+            reg.on_failure(peer, f64::from(i));
+        }
+        assert!(reg.is_quarantined(peer));
+        reg.on_success(peer);
+        assert!(!reg.is_quarantined(peer));
+        assert!(reg.dial_allowed(peer, 5.0));
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].peer, 9);
+        assert_eq!(snap[0].failures, 5);
+        assert_eq!(snap[0].successes, 1);
+        assert_eq!(snap[0].consecutive_failures, 0);
+        assert!(!snap[0].quarantined);
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_is_deterministic() {
+        for peer in 0..50u32 {
+            for failures in 1..8u32 {
+                let f = jitter_factor(0.25, Addr(peer), failures);
+                assert!((0.75..=1.25).contains(&f), "factor {f} out of band");
+                assert_eq!(f, jitter_factor(0.25, Addr(peer), failures));
+            }
+        }
+        // Different peers get different schedules.
+        let a = jitter_factor(0.25, Addr(1), 1);
+        let b = jitter_factor(0.25, Addr(2), 1);
+        assert_ne!(a, b);
+    }
+}

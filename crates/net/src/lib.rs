@@ -10,7 +10,12 @@
 //!   accept connections, route messages by [`Addr`](gossamer_core::Addr)
 //!   through a connection pool, and drive the node's Poisson timers,
 //! * [`LocalCluster`] — a harness that boots a whole deployment on
-//!   loopback for integration tests and demos.
+//!   loopback for integration tests and demos,
+//! * [`health`] — per-peer failure tracking, capped exponential backoff
+//!   with jitter, and quarantine with decaying re-probe,
+//! * [`fault`] — a seeded, deterministic fault-injection plan (drops,
+//!   duplicates, delays, partitions, crash schedules) shared by the TCP
+//!   cluster and the discrete-event simulator.
 //!
 //! The paper's deployment target is a commercial P2P streaming network;
 //! this crate substitutes a loopback cluster, which exercises the same
@@ -46,7 +51,11 @@
 mod cluster;
 pub mod codec;
 mod daemon;
+pub mod fault;
+pub mod health;
 pub mod util;
 
 pub use cluster::LocalCluster;
 pub use daemon::{CollectorHandle, DaemonError, PeerHandle};
+pub use fault::{CrashEvent, FaultAction, FaultInjector, FaultPlan};
+pub use health::{HealthConfig, HealthRegistry};

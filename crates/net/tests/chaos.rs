@@ -1,0 +1,232 @@
+//! Chaos test: the full TCP deployment under a seeded fault plan —
+//! message drops, duplicates, delays, a partition and two peer crashes
+//! (one with restart) — must still collect every surviving peer's data,
+//! without the fault load ever stalling the protocol clocks.
+
+use std::time::{Duration, Instant};
+
+use gossamer_core::{Addr, CollectorConfig, NodeConfig};
+use gossamer_net::{FaultPlan, LocalCluster};
+use gossamer_rlnc::SegmentParams;
+
+const N_PEERS: usize = 8;
+/// Crashes permanently mid-run.
+const DEAD_PEER: usize = 3;
+/// Crashes mid-run and comes back empty.
+const FLAKY_PEER: usize = 4;
+/// The ticker must never stall this long, faults or not.
+const MAX_TICK_GAP: Duration = Duration::from_millis(500);
+
+fn params() -> SegmentParams {
+    SegmentParams::new(4, 64).unwrap()
+}
+
+fn node_config() -> NodeConfig {
+    NodeConfig::builder(params())
+        .gossip_rate(40.0)
+        .expiry_rate(0.02)
+        .buffer_cap(512)
+        .build()
+        .unwrap()
+}
+
+fn collector_config() -> CollectorConfig {
+    CollectorConfig::builder(params())
+        .pull_rate(150.0)
+        .build()
+        .unwrap()
+}
+
+fn record_for(i: usize) -> Vec<u8> {
+    format!("peer {i}: bitrate=812kbps viewers=17").into_bytes()
+}
+
+/// Polls until `check` succeeds or the deadline passes.
+fn wait_until(limit: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + limit;
+    while Instant::now() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+/// Runs a cluster to full (or survivor-complete) collection and returns
+/// the pull count at the moment the goal was reached.
+fn run_to_collection(
+    cluster: &mut LocalCluster,
+    plan: Option<&FaultPlan>,
+    need: &[usize],
+    limit: Duration,
+) -> Option<u64> {
+    for i in 0..cluster.peer_count() {
+        cluster.peer(i).record(&record_for(i)).expect("record fits");
+        cluster.peer(i).flush().expect("flush");
+    }
+
+    // Execute the plan's crash schedule (scaled to wall time by the
+    // test): let gossip replicate first, then crash.
+    if let Some(plan) = plan {
+        let crashes = plan.crashes();
+        assert_eq!(crashes.len(), 2, "test plan schedules two crashes");
+        std::thread::sleep(Duration::from_millis(1200));
+        for crash in &crashes {
+            cluster.kill_peer(crash.peer).expect("victim exists");
+        }
+        std::thread::sleep(Duration::from_millis(500));
+        for crash in &crashes {
+            if crash.restart_after.is_some() {
+                cluster.restart_peer(crash.peer).expect("slot rebinds");
+            }
+        }
+    }
+
+    let mut pulls = None;
+    let goal: Vec<Vec<u8>> = need.iter().map(|&i| record_for(i)).collect();
+    let mut recovered: Vec<Vec<u8>> = Vec::new();
+    let ok = wait_until(limit, || {
+        recovered.extend(cluster.collector(0).take_records().expect("records"));
+        if goal.iter().all(|r| recovered.contains(r)) {
+            pulls = Some(cluster.collector(0).stats().pulls_sent);
+            true
+        } else {
+            false
+        }
+    });
+    assert!(
+        ok,
+        "collector recovered only {} of {} required records",
+        goal.iter().filter(|r| recovered.contains(*r)).count(),
+        goal.len()
+    );
+    pulls
+}
+
+#[test]
+fn cluster_survives_seeded_fault_plan() {
+    let plan = FaultPlan::new(0xC0FFEE)
+        .drop_rate(0.15)
+        .duplicate_rate(0.05)
+        .delay(0.05, Duration::from_millis(20))
+        .partition(Addr(1), Addr(2))
+        .crash(1.2, DEAD_PEER)
+        .crash_and_restart(1.2, FLAKY_PEER, 0.5);
+
+    // Fault-free baseline: all eight records, pull count at completion.
+    let all: Vec<usize> = (0..N_PEERS).collect();
+    let mut baseline = LocalCluster::start(N_PEERS, node_config(), 1, collector_config(), 7)
+        .expect("baseline cluster boots");
+    let baseline_pulls = run_to_collection(&mut baseline, None, &all, Duration::from_secs(20))
+        .expect("baseline completes");
+    baseline.shutdown();
+
+    // Chaos run: same workload under the fault plan. The two crash
+    // victims may lose their data (one dies for good, one restarts
+    // empty); every peer that never crashed must still be collected.
+    let survivors: Vec<usize> = (0..N_PEERS)
+        .filter(|&i| i != DEAD_PEER && i != FLAKY_PEER)
+        .collect();
+    let mut chaos = LocalCluster::start_with_faults(
+        N_PEERS,
+        node_config(),
+        1,
+        collector_config(),
+        7,
+        Some(plan.clone()),
+    )
+    .expect("chaos cluster boots");
+    let chaos_pulls =
+        run_to_collection(&mut chaos, Some(&plan), &survivors, Duration::from_secs(30))
+            .expect("chaos run completes");
+
+    // Graceful degradation, not collapse: the fault plan (drops, dups,
+    // delays, a partition, two crashes) may cost extra pulls, but within
+    // a small constant factor of the fault-free baseline. The additive
+    // slack absorbs the crash schedule's fixed ~1.7 s of wall time.
+    assert!(
+        chaos_pulls <= 2 * baseline_pulls + 500,
+        "chaos run needed {chaos_pulls} pulls vs baseline {baseline_pulls}"
+    );
+
+    // The fault layer and health layer actually engaged.
+    let collector_health = chaos.collector(0).transport_health();
+    assert!(
+        collector_health.faults_injected > 0,
+        "collector transport never injected a fault"
+    );
+    assert!(
+        collector_health.dials_failed > 0 && collector_health.retries > 0,
+        "crashed peers never exercised dial retry: {collector_health:?}"
+    );
+    assert!(
+        collector_health
+            .links
+            .iter()
+            .any(|l| l.peer == DEAD_PEER as u32 && l.quarantined),
+        "permanently dead peer never quarantined at the collector"
+    );
+    let total_faults: u64 = chaos
+        .peers()
+        .map(|p| p.transport_health().faults_injected)
+        .sum();
+    assert!(total_faults > 0, "peer transports never injected a fault");
+
+    // The ticker must never have stalled on dead endpoints — dialing is
+    // off the tick path, so even 250 ms dial timeouts to crashed peers
+    // cannot produce gaps anywhere near the bound.
+    let bound = u64::try_from(MAX_TICK_GAP.as_micros()).unwrap();
+    for p in chaos.peers() {
+        let gap = p.transport_health().max_tick_gap_us;
+        assert!(
+            gap < bound,
+            "peer {} tick stalled {gap} µs under faults",
+            p.addr().0
+        );
+    }
+    let gap = collector_health.max_tick_gap_us;
+    assert!(gap < bound, "collector tick stalled {gap} µs under faults");
+
+    chaos.shutdown();
+}
+
+#[test]
+fn restarted_peer_rejoins_and_is_collected() {
+    let mut cluster =
+        LocalCluster::start(4, node_config(), 1, collector_config(), 21).expect("cluster boots");
+
+    // The victim publishes (and the collector decodes) a segment BEFORE
+    // the crash. The restarted incarnation must resume its sequence
+    // past it — if it re-minted segment id (2, 0), the collector would
+    // discard every block of the new data as redundant.
+    cluster.peer(2).record(b"first life").expect("record fits");
+    cluster.peer(2).flush().expect("flush");
+    let mut recovered: Vec<Vec<u8>> = Vec::new();
+    let ok = wait_until(Duration::from_secs(15), || {
+        recovered.extend(cluster.collector(0).take_records().expect("records"));
+        recovered.contains(&b"first life".to_vec())
+    });
+    assert!(ok, "pre-crash record never collected");
+
+    cluster.kill_peer(2).expect("victim exists");
+    assert_eq!(cluster.live_peer_count(), 3);
+    std::thread::sleep(Duration::from_millis(400));
+    cluster.restart_peer(2).expect("slot rebinds");
+    assert_eq!(cluster.live_peer_count(), 4);
+
+    // Data recorded on the replacement after the restart must reach the
+    // collector: the survivors' health layers re-admit the address.
+    cluster
+        .peer(2)
+        .record(b"reincarnated and reporting")
+        .expect("record fits");
+    cluster.peer(2).flush().expect("flush");
+    let mut recovered: Vec<Vec<u8>> = Vec::new();
+    let ok = wait_until(Duration::from_secs(15), || {
+        recovered.extend(cluster.collector(0).take_records().expect("records"));
+        recovered.contains(&b"reincarnated and reporting".to_vec())
+    });
+    assert!(ok, "restarted peer's data never collected");
+    cluster.shutdown();
+}

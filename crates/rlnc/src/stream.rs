@@ -109,6 +109,17 @@ impl Segmenter {
         self.next_sequence
     }
 
+    /// Fast-forwards the sequence counter to at least `sequence`.
+    ///
+    /// Segment ids compose the origin address with this counter, so a
+    /// peer reincarnating under its old address MUST NOT re-mint
+    /// sequence numbers it already used: collectors discard blocks of
+    /// already-decoded segment ids, which would shadow the new data
+    /// forever. Never rewinds.
+    pub fn skip_to_sequence(&mut self, sequence: u32) {
+        self.next_sequence = self.next_sequence.max(sequence);
+    }
+
     /// Appends one record, returning any segments completed by it
     /// (zero or one with the no-split policy).
     ///

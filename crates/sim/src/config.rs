@@ -94,6 +94,11 @@ pub enum ConfigError {
         /// Segment size it must hold.
         segment_size: usize,
     },
+    /// A probability parameter outside `[0, 1)`.
+    BadProbability {
+        /// Parameter name.
+        name: &'static str,
+    },
     /// Topology degree out of range for the peer count.
     BadTopologyDegree {
         /// Requested neighbour count.
@@ -123,6 +128,9 @@ impl fmt::Display for ConfigError {
                 f,
                 "buffer cap {buffer_cap} cannot hold one segment of {segment_size} blocks"
             ),
+            ConfigError::BadProbability { name } => {
+                write!(f, "{name} must be a probability in [0, 1)")
+            }
             ConfigError::BadTopologyDegree { degree, peers } => {
                 write!(f, "topology degree {degree} invalid for {peers} peers")
             }
@@ -150,6 +158,7 @@ pub struct SimConfig {
     pub(crate) coding: CodingModel,
     pub(crate) topology: Topology,
     pub(crate) churn: Option<ChurnConfig>,
+    pub(crate) message_loss: f64,
     pub(crate) oracle_servers: bool,
     pub(crate) gossip_density: Option<usize>,
     pub(crate) arrivals: Option<ArrivalConfig>,
@@ -231,6 +240,14 @@ impl SimConfig {
         self.churn
     }
 
+    /// Probability that any single message (gossip transfer or server
+    /// pull) is lost in flight. Mirrors the drop rate of the TCP
+    /// transport's fault injector, so software-level chaos runs can be
+    /// replayed against the simulator.
+    pub fn message_loss(&self) -> f64 {
+        self.message_loss
+    }
+
     /// Absolute simulation time after which peers stop generating new
     /// data (`None` = generation never stops). Used for burst-then-drain
     /// scenarios such as a flash crowd followed by delayed collection.
@@ -294,6 +311,7 @@ pub struct SimConfigBuilder {
     coding: CodingModel,
     topology: Topology,
     churn: Option<ChurnConfig>,
+    message_loss: f64,
     oracle_servers: bool,
     gossip_density: Option<usize>,
     arrivals: Option<ArrivalConfig>,
@@ -320,6 +338,7 @@ impl Default for SimConfigBuilder {
             coding: CodingModel::Idealized,
             topology: Topology::FullMesh,
             churn: None,
+            message_loss: 0.0,
             oracle_servers: false,
             gossip_density: None,
             arrivals: None,
@@ -409,6 +428,14 @@ impl SimConfigBuilder {
     /// Enables churn with the given mean lifetime.
     pub fn churn(mut self, mean_lifetime: f64) -> Self {
         self.churn = Some(ChurnConfig { mean_lifetime });
+        self
+    }
+
+    /// Loses each message (gossip transfer or server pull) independently
+    /// with probability `p` — the simulator's half of the fault-injection
+    /// harness shared with the TCP transport.
+    pub fn message_loss(mut self, p: f64) -> Self {
+        self.message_loss = p;
         self
     }
 
@@ -524,6 +551,11 @@ impl SimConfigBuilder {
                 });
             }
         }
+        if !(self.message_loss.is_finite() && (0.0..1.0).contains(&self.message_loss)) {
+            return Err(ConfigError::BadProbability {
+                name: "message_loss",
+            });
+        }
         if let Some(t) = self.generation_until {
             if !(t.is_finite() && t > 0.0) {
                 return Err(ConfigError::NonPositive {
@@ -587,6 +619,7 @@ impl SimConfigBuilder {
             coding: self.coding,
             topology: self.topology,
             churn: self.churn,
+            message_loss: self.message_loss,
             oracle_servers: self.oracle_servers,
             gossip_density: self.gossip_density,
             arrivals: self.arrivals,
@@ -636,6 +669,9 @@ mod tests {
         assert!(SimConfig::builder().servers(0).build().is_err());
         assert!(SimConfig::builder().measure(0.0).build().is_err());
         assert!(SimConfig::builder().churn(0.0).build().is_err());
+        assert!(SimConfig::builder().message_loss(-0.1).build().is_err());
+        assert!(SimConfig::builder().message_loss(1.0).build().is_err());
+        assert!(SimConfig::builder().message_loss(f64::NAN).build().is_err());
         assert!(SimConfig::builder()
             .segment_size(8)
             .buffer_cap(4)
@@ -646,6 +682,13 @@ mod tests {
             .topology(Topology::RandomRegular { degree: 10 })
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn message_loss_round_trips() {
+        let c = SimConfig::builder().message_loss(0.15).build().unwrap();
+        assert!((c.message_loss() - 0.15).abs() < 1e-12);
+        assert_eq!(SimConfig::builder().build().unwrap().message_loss(), 0.0);
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub struct ThroughputStats {
     pub redundant_pulls: u64,
     /// Server pulls that found every peer's buffer empty.
     pub idle_pulls: u64,
+    /// Messages (gossip transfers and server pulls) lost to the
+    /// fault-injection knob `message_loss`, over the whole run.
+    pub dropped_messages: u64,
     /// Session throughput in the paper's sense — the rate at which
     /// servers obtain *needed* blocks (useful pulls) — normalized by the
     /// aggregate demand `N·λ·T`. This is the Fig. 3/4 y-axis and the
@@ -148,6 +151,7 @@ pub(crate) struct Accumulator {
     pub(crate) useful_pulls: u64,
     pub(crate) redundant_pulls: u64,
     pub(crate) idle_pulls: u64,
+    pub(crate) dropped_messages: u64,
     pub(crate) delay_sum: f64,
     pub(crate) delay_max: f64,
     pub(crate) delay_samples: u64,
@@ -226,6 +230,7 @@ impl Accumulator {
                 useful_pulls: self.useful_pulls,
                 redundant_pulls: self.redundant_pulls,
                 idle_pulls: self.idle_pulls,
+                dropped_messages: self.dropped_messages,
                 normalized: self.useful_pulls as f64 / demand,
                 decoded_normalized: self.delivered_blocks as f64 / demand,
                 delivered_fraction: if self.injected_blocks == 0 {

@@ -159,6 +159,11 @@ impl Simulation {
         self.queue.now() >= self.config.warmup
     }
 
+    /// Draws the fault-injection coin for one in-flight message.
+    fn message_lost(&mut self) -> bool {
+        self.config.message_loss > 0.0 && self.rng.random::<f64>() < self.config.message_loss
+    }
+
     // ---- injection -----------------------------------------------------
 
     fn handle_inject(&mut self, p: usize) {
@@ -262,6 +267,12 @@ impl Simulation {
             return;
         };
 
+        // The transfer leaves `p` but is lost in flight.
+        if self.message_lost() {
+            self.acc.dropped_messages += 1;
+            return;
+        }
+
         // Build the transferred block.
         let kind = match self.config.coding {
             CodingModel::Idealized => BlockKind::Anonymous,
@@ -360,6 +371,12 @@ impl Simulation {
     fn handle_server_pull(&mut self, server: usize) {
         let dt = exp_sample(&mut self.rng, self.config.server_capacity);
         self.queue.schedule_in(dt, Event::ServerPull { server });
+
+        // A lost pull still consumes the server's capacity slot.
+        if self.message_lost() {
+            self.acc.dropped_messages += 1;
+            return;
+        }
 
         if self.non_empty.len() == 0 {
             if self.in_window() {
@@ -761,6 +778,42 @@ mod tests {
             dense.throughput.normalized
         );
         assert!(SimConfig::builder().gossip_density(0).build().is_err());
+    }
+
+    #[test]
+    fn message_loss_degrades_but_does_not_kill_collection() {
+        let clean = Simulation::new(base_config().build().unwrap())
+            .unwrap()
+            .run();
+        let lossy = Simulation::new(base_config().message_loss(0.3).build().unwrap())
+            .unwrap()
+            .run();
+        assert_eq!(clean.throughput.dropped_messages, 0);
+        assert!(lossy.throughput.dropped_messages > 0, "loss never fired");
+        assert!(
+            lossy.throughput.delivered_blocks > 0,
+            "collection must survive 30% message loss"
+        );
+        // Loss can only hurt: every dropped transfer or pull was an
+        // opportunity the clean run kept.
+        assert!(
+            lossy.throughput.normalized <= clean.throughput.normalized + 0.02,
+            "lossy {} vs clean {}",
+            lossy.throughput.normalized,
+            clean.throughput.normalized
+        );
+    }
+
+    #[test]
+    fn message_loss_is_deterministic_per_seed() {
+        let run = || {
+            Simulation::new(base_config().message_loss(0.2).build().unwrap())
+                .unwrap()
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.throughput.dropped_messages, b.throughput.dropped_messages);
+        assert_eq!(a.throughput.delivered_blocks, b.throughput.delivered_blocks);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Cross-layer fault harness: one seeded `FaultPlan` parameterises both
+//! the TCP transport (`gossamer-net`) and the discrete-event simulator,
+//! so a chaos scenario observed over real sockets can be replayed at
+//! simulation scale.
+
+use gossamer_net::FaultPlan;
+use gossamer_sim::{SimConfig, Simulation};
+
+fn config_with_loss(loss: f64, seed: u64) -> SimConfig {
+    SimConfig::builder()
+        .peers(60)
+        .lambda(4.0)
+        .mu(4.0)
+        .gamma(0.5)
+        .segment_size(2)
+        .servers(2)
+        .normalized_server_capacity(2.0)
+        .warmup(4.0)
+        .measure(10.0)
+        .message_loss(loss)
+        .seed(seed)
+        .build()
+        .expect("config is valid")
+}
+
+#[test]
+fn fault_plan_drop_rate_feeds_the_simulator() {
+    let plan = FaultPlan::new(11)
+        .drop_rate(0.25)
+        .crash_and_restart(5.0, 0, 2.0);
+
+    // The simulator consumes the plan's message-level faults through its
+    // message-loss knob; the crash schedule stays available for the TCP
+    // harness side of the same scenario.
+    assert_eq!(plan.crashes().len(), 1);
+    let faulty = Simulation::new(config_with_loss(plan.message_drop_rate(), plan.seed()))
+        .expect("simulation boots")
+        .run();
+    let clean = Simulation::new(config_with_loss(0.0, plan.seed()))
+        .expect("simulation boots")
+        .run();
+
+    assert!(
+        faulty.throughput.dropped_messages > 0,
+        "plan-driven loss never fired"
+    );
+    assert_eq!(clean.throughput.dropped_messages, 0);
+    assert!(
+        faulty.throughput.delivered_blocks > 0,
+        "collection must degrade gracefully under the plan's drop rate"
+    );
+    assert!(
+        faulty.throughput.normalized <= clean.throughput.normalized + 0.02,
+        "faulty {} vs clean {}",
+        faulty.throughput.normalized,
+        clean.throughput.normalized
+    );
+
+    // The dropped-message volume should be statistically consistent with
+    // the plan's rate: drops / (drops + survivors) ≈ p for the pulls and
+    // gossip transfers the knob gates. We only bound it loosely — the
+    // denominators (eligible transfers) shift as loss thins buffers.
+    let drops = faulty.throughput.dropped_messages as f64;
+    assert!(drops > 100.0, "too few drops ({drops}) to trust the run");
+}
