@@ -59,6 +59,9 @@ fn run_with(
         .run()
 }
 
+// One flat table of ablation runs; a row per scenario reads better
+// than helper-per-scenario indirection.
+#[allow(clippy::too_many_lines)]
 fn main() {
     let mut scale = Scale::from_args();
     // The exact coding model tracks GF(2^8) subspaces per holding; keep

@@ -3,7 +3,7 @@
 //!
 //! The paper controls coding complexity through the segment size `s`;
 //! sparse RLNC is the finer-grained knob the same authors study in
-//! their resilience-complexity work [Niu & Li, IWQoS'07]: combine only
+//! their resilience-complexity work [Niu & Li, `IWQoS`'07]: combine only
 //! `d ≤ s` blocks per emission. Cost per coded block drops from `s` to
 //! `d` axpy passes; the price is a higher chance that an emission is
 //! not innovative, i.e. *decoding overhead* (blocks transmitted beyond

@@ -9,7 +9,7 @@
 //! parameters.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use gossamer_ode::{solve_steady_state, ModelParams, SteadyOptions, SteadyState};
 use gossamer_sim::{Scheme, SimConfig, SimReport, Simulation};
@@ -29,7 +29,7 @@ pub struct Scale {
 
 impl Scale {
     /// The full-figure scale.
-    pub const FULL: Scale = Scale {
+    pub const FULL: Self = Self {
         peers: 400,
         warmup: 15.0,
         measure: 30.0,
@@ -37,7 +37,7 @@ impl Scale {
     };
 
     /// A fast smoke-test scale.
-    pub const QUICK: Scale = Scale {
+    pub const QUICK: Self = Self {
         peers: 100,
         warmup: 6.0,
         measure: 10.0,
@@ -46,11 +46,12 @@ impl Scale {
 
     /// Parses the scale from process arguments (`--quick` selects
     /// [`Scale::QUICK`]).
-    pub fn from_args() -> Scale {
+    #[must_use]
+    pub fn from_args() -> Self {
         if std::env::args().any(|a| a == "--quick") {
-            Scale::QUICK
+            Self::QUICK
         } else {
-            Scale::FULL
+            Self::FULL
         }
     }
 }
@@ -76,8 +77,9 @@ pub struct Point {
 
 impl Point {
     /// A static indirect-collection point.
-    pub fn indirect(lambda: f64, mu: f64, gamma: f64, s: usize, c: f64) -> Point {
-        Point {
+    #[must_use]
+    pub const fn indirect(lambda: f64, mu: f64, gamma: f64, s: usize, c: f64) -> Self {
+        Self {
             lambda,
             mu,
             gamma,
@@ -89,13 +91,15 @@ impl Point {
     }
 
     /// Adds churn with the given mean lifetime.
-    pub fn with_churn(mut self, mean_lifetime: f64) -> Point {
+    #[must_use]
+    pub const fn with_churn(mut self, mean_lifetime: f64) -> Self {
         self.churn = Some(mean_lifetime);
         self
     }
 
     /// Switches to the direct-pull baseline.
-    pub fn direct(mut self) -> Point {
+    #[must_use]
+    pub const fn direct(mut self) -> Self {
         self.scheme = Scheme::DirectPull;
         self
     }
@@ -103,6 +107,12 @@ impl Point {
 
 /// Runs the simulator at one experiment point, averaging
 /// `scale.repetitions` seeded runs.
+///
+/// # Panics
+///
+/// Panics if `point`/`scale` describe a configuration the simulator
+/// builder rejects (e.g. zero peers).
+#[must_use]
 pub fn simulate(point: Point, scale: Scale, base_seed: u64) -> SimReport {
     let mut reports = Vec::with_capacity(scale.repetitions);
     for rep in 0..scale.repetitions {
@@ -145,6 +155,12 @@ fn average_reports(reports: &[SimReport]) -> SimReport {
 }
 
 /// Solves the ODE model for one experiment point (static network only).
+///
+/// # Panics
+///
+/// Panics if `point` describes rates the model builder rejects
+/// (e.g. non-positive λ).
+#[must_use]
 pub fn solve(point: Point) -> SteadyState {
     let params = ModelParams::builder()
         .lambda(point.lambda)
@@ -163,6 +179,7 @@ pub fn csv_row(fields: &[String]) {
 }
 
 /// Formats a float for CSV output.
+#[must_use]
 pub fn fmt(x: f64) -> String {
     format!("{x:.5}")
 }

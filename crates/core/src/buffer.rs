@@ -43,8 +43,9 @@ pub struct PeerBuffer {
 
 impl PeerBuffer {
     /// Creates an empty buffer with the given cap.
-    pub fn new(params: SegmentParams, cap: usize) -> Self {
-        PeerBuffer {
+    #[must_use]
+    pub const fn new(params: SegmentParams, cap: usize) -> Self {
+        Self {
             params,
             cap,
             segments: BTreeMap::new(),
@@ -56,27 +57,32 @@ impl PeerBuffer {
     }
 
     /// Total blocks stored.
-    pub fn blocks(&self) -> usize {
+    #[must_use]
+    pub const fn blocks(&self) -> usize {
         self.blocks
     }
 
     /// Number of distinct segments held.
+    #[must_use]
     pub fn segments(&self) -> usize {
         self.segments.len()
     }
 
     /// Returns `true` when no blocks are stored.
-    pub fn is_empty(&self) -> bool {
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
         self.blocks == 0
     }
 
     /// Returns `true` when at capacity.
-    pub fn is_full(&self) -> bool {
+    #[must_use]
+    pub const fn is_full(&self) -> bool {
         self.blocks >= self.cap
     }
 
     /// Remaining slots.
-    pub fn free_slots(&self) -> usize {
+    #[must_use]
+    pub const fn free_slots(&self) -> usize {
         self.cap.saturating_sub(self.blocks)
     }
 
@@ -140,6 +146,11 @@ impl PeerBuffer {
     /// priming pushes have replicated them; see
     /// [`NodeConfigBuilder::source_priming`](crate::NodeConfigBuilder::source_priming)).
     /// Returns `None` if every stored block is excluded.
+    ///
+    /// # Panics
+    ///
+    /// Only if an internal invariant is violated (the selected victim
+    /// segment is always present in the store); never on valid input.
     pub fn expire_one_excluding<R: Rng + ?Sized>(
         &mut self,
         rng: &mut R,
@@ -183,6 +194,7 @@ impl PeerBuffer {
     }
 
     /// Current counters.
+    #[must_use]
     pub fn stats(&self) -> BufferStats {
         BufferStats {
             blocks: self.blocks,

@@ -31,6 +31,7 @@ pub struct CollectorConfig {
 
 impl CollectorConfig {
     /// Starts a builder; `params` must match the deployment.
+    #[must_use]
     pub fn builder(params: SegmentParams) -> CollectorConfigBuilder {
         CollectorConfigBuilder {
             params,
@@ -41,23 +42,27 @@ impl CollectorConfig {
     }
 
     /// Coding parameters.
-    pub fn params(&self) -> SegmentParams {
+    #[must_use]
+    pub const fn params(&self) -> SegmentParams {
         self.params
     }
 
     /// Pull requests per second (the server capacity `cₛ`).
-    pub fn pull_rate(&self) -> f64 {
+    #[must_use]
+    pub const fn pull_rate(&self) -> f64 {
         self.pull_rate
     }
 
     /// Peer-selection policy.
-    pub fn pull_policy(&self) -> PullPolicy {
+    #[must_use]
+    pub const fn pull_policy(&self) -> PullPolicy {
         self.pull_policy
     }
 
     /// Interval between decoded-segment announcements to sibling
     /// collectors (`None` disables coordination).
-    pub fn announce_interval(&self) -> Option<f64> {
+    #[must_use]
+    pub const fn announce_interval(&self) -> Option<f64> {
         self.announce_interval
     }
 }
@@ -73,14 +78,16 @@ pub struct CollectorConfigBuilder {
 
 impl CollectorConfigBuilder {
     /// Sets the pull rate `cₛ` (default 10/s).
-    pub fn pull_rate(mut self, rate: f64) -> Self {
+    #[must_use]
+    pub const fn pull_rate(mut self, rate: f64) -> Self {
         self.pull_rate = rate;
         self
     }
 
     /// Sets the peer-selection policy (default: the paper's uniform
     /// random choice).
-    pub fn pull_policy(mut self, policy: PullPolicy) -> Self {
+    #[must_use]
+    pub const fn pull_policy(mut self, policy: PullPolicy) -> Self {
         self.pull_policy = policy;
         self
     }
@@ -88,7 +95,8 @@ impl CollectorConfigBuilder {
     /// Enables sibling coordination: every `interval` seconds the
     /// collector announces its newly decoded segments to its siblings,
     /// which then stop spending elimination work on those segments.
-    pub fn announce_interval(mut self, interval: f64) -> Self {
+    #[must_use]
+    pub const fn announce_interval(mut self, interval: f64) -> Self {
         self.announce_interval = Some(interval);
         self
     }
@@ -165,9 +173,10 @@ pub struct Collector {
 
 impl Collector {
     /// Creates a collector.
+    #[must_use]
     pub fn new(addr: Addr, config: CollectorConfig, seed: u64) -> Self {
         let decoder = Decoder::new(config.params);
-        Collector {
+        Self {
             addr,
             config,
             rng: StdRng::seed_from_u64(seed),
@@ -184,7 +193,8 @@ impl Collector {
     }
 
     /// This collector's address.
-    pub fn addr(&self) -> Addr {
+    #[must_use]
+    pub const fn addr(&self) -> Addr {
         self.addr
     }
 
@@ -202,7 +212,8 @@ impl Collector {
     }
 
     /// Counters.
-    pub fn stats(&self) -> CollectorStats {
+    #[must_use]
+    pub const fn stats(&self) -> CollectorStats {
         self.stats
     }
 
@@ -306,17 +317,20 @@ impl Collector {
     }
 
     /// Records recovered and not yet taken.
+    #[must_use]
     pub fn records(&self) -> &[Vec<u8>] {
         self.reassembler.records()
     }
 
     /// Number of segments fully decoded so far.
-    pub fn segments_decoded(&self) -> usize {
+    #[must_use]
+    pub const fn segments_decoded(&self) -> usize {
         self.decoder.stats().segments_decoded
     }
 
     /// Collection efficiency so far (fraction of received blocks that
     /// were innovative) — the empirical `η` of Theorem 2.
+    #[must_use]
     pub fn efficiency(&self) -> f64 {
         self.decoder.stats().efficiency()
     }

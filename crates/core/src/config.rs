@@ -21,7 +21,8 @@ pub struct NodeConfig {
 impl NodeConfig {
     /// Starts a builder; `params` fixes the coding layout for the whole
     /// deployment.
-    pub fn builder(params: SegmentParams) -> NodeConfigBuilder {
+    #[must_use]
+    pub const fn builder(params: SegmentParams) -> NodeConfigBuilder {
         NodeConfigBuilder {
             params,
             gossip_rate: 1.0,
@@ -32,27 +33,32 @@ impl NodeConfig {
     }
 
     /// Coding parameters.
-    pub fn params(&self) -> SegmentParams {
+    #[must_use]
+    pub const fn params(&self) -> SegmentParams {
         self.params
     }
 
     /// Gossip transmissions per second (μ).
-    pub fn gossip_rate(&self) -> f64 {
+    #[must_use]
+    pub const fn gossip_rate(&self) -> f64 {
         self.gossip_rate
     }
 
     /// Per-block expiry rate (γ); `0` disables TTL expiry.
-    pub fn expiry_rate(&self) -> f64 {
+    #[must_use]
+    pub const fn expiry_rate(&self) -> f64 {
         self.expiry_rate
     }
 
     /// Buffer cap in blocks (B).
-    pub fn buffer_cap(&self) -> usize {
+    #[must_use]
+    pub const fn buffer_cap(&self) -> usize {
         self.buffer_cap
     }
 
     /// Source-priming factor (see [`NodeConfigBuilder::source_priming`]).
-    pub fn source_priming(&self) -> f64 {
+    #[must_use]
+    pub const fn source_priming(&self) -> f64 {
         self.source_priming
     }
 }
@@ -69,19 +75,22 @@ pub struct NodeConfigBuilder {
 
 impl NodeConfigBuilder {
     /// Sets μ, the gossip transmissions per second (default 1).
-    pub fn gossip_rate(mut self, mu: f64) -> Self {
+    #[must_use]
+    pub const fn gossip_rate(mut self, mu: f64) -> Self {
         self.gossip_rate = mu;
         self
     }
 
     /// Sets γ, the per-block expiry rate (default 0.1; `0` disables).
-    pub fn expiry_rate(mut self, gamma: f64) -> Self {
+    #[must_use]
+    pub const fn expiry_rate(mut self, gamma: f64) -> Self {
         self.expiry_rate = gamma;
         self
     }
 
     /// Sets B, the buffer cap in blocks (default `64·s`).
-    pub fn buffer_cap(mut self, cap: usize) -> Self {
+    #[must_use]
+    pub const fn buffer_cap(mut self, cap: usize) -> Self {
         self.buffer_cap = Some(cap);
         self
     }
@@ -97,7 +106,8 @@ impl NodeConfigBuilder {
     /// priming, an origin prioritizes its own segments until it has
     /// pushed `⌈factor·s⌉` coded blocks of each, then falls back to the
     /// paper's uniform rule. Set to `0` for the letter of the paper.
-    pub fn source_priming(mut self, factor: f64) -> Self {
+    #[must_use]
+    pub const fn source_priming(mut self, factor: f64) -> Self {
         self.source_priming = factor;
         self
     }
@@ -126,7 +136,9 @@ impl NodeConfigBuilder {
                 name: "source_priming",
             });
         }
-        let buffer_cap = self.buffer_cap.unwrap_or(self.params.segment_size() * 64);
+        let buffer_cap = self
+            .buffer_cap
+            .unwrap_or_else(|| self.params.segment_size() * 64);
         if buffer_cap < self.params.segment_size() {
             return Err(ProtocolError::BufferTooSmall {
                 buffer_cap,

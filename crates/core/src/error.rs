@@ -30,12 +30,12 @@ pub enum ProtocolError {
 impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ProtocolError::RecordTooLarge(e) => write!(f, "{e}"),
-            ProtocolError::BadBlock(e) => write!(f, "bad block: {e}"),
-            ProtocolError::BadRate { name } => {
+            Self::RecordTooLarge(e) => write!(f, "{e}"),
+            Self::BadBlock(e) => write!(f, "bad block: {e}"),
+            Self::BadRate { name } => {
                 write!(f, "{name} must be positive and finite")
             }
-            ProtocolError::BufferTooSmall {
+            Self::BufferTooSmall {
                 buffer_cap,
                 segment_size,
             } => write!(
@@ -49,8 +49,8 @@ impl fmt::Display for ProtocolError {
 impl std::error::Error for ProtocolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ProtocolError::RecordTooLarge(e) => Some(e),
-            ProtocolError::BadBlock(e) => Some(e),
+            Self::RecordTooLarge(e) => Some(e),
+            Self::BadBlock(e) => Some(e),
             _ => None,
         }
     }
@@ -58,13 +58,13 @@ impl std::error::Error for ProtocolError {
 
 impl From<RecordTooLarge> for ProtocolError {
     fn from(e: RecordTooLarge) -> Self {
-        ProtocolError::RecordTooLarge(e)
+        Self::RecordTooLarge(e)
     }
 }
 
 impl From<CodingError> for ProtocolError {
     fn from(e: CodingError) -> Self {
-        ProtocolError::BadBlock(e)
+        Self::BadBlock(e)
     }
 }
 

@@ -71,8 +71,9 @@ impl Ord for InFlight {
 
 impl MemoryNetwork {
     /// Creates an empty network; `seed` fixes all randomness.
+    #[must_use]
     pub fn new(seed: u64) -> Self {
-        MemoryNetwork {
+        Self {
             now: 0.0,
             rng: StdRng::seed_from_u64(seed),
             peers: BTreeMap::new(),
@@ -88,7 +89,8 @@ impl MemoryNetwork {
     }
 
     /// Current virtual time in seconds.
-    pub fn now(&self) -> f64 {
+    #[must_use]
+    pub const fn now(&self) -> f64 {
         self.now
     }
 
@@ -167,6 +169,7 @@ impl MemoryNetwork {
     }
 
     /// Addresses of all live peers.
+    #[must_use]
     pub fn peer_addrs(&self) -> Vec<Addr> {
         self.peers.keys().map(|&a| Addr(a)).collect()
     }
@@ -181,6 +184,7 @@ impl MemoryNetwork {
     }
 
     /// Shared access to a peer.
+    #[must_use]
     pub fn peer(&self, addr: Addr) -> Option<&PeerNode> {
         self.peers.get(&addr.0)
     }
@@ -195,6 +199,7 @@ impl MemoryNetwork {
     }
 
     /// Shared access to a collector.
+    #[must_use]
     pub fn collector(&self, addr: Addr) -> Option<&Collector> {
         self.collectors.get(&addr.0)
     }
@@ -229,17 +234,21 @@ impl MemoryNetwork {
     /// becomes due (including replies, transitively). With latency
     /// injection enabled, messages whose delay extends past `now` stay
     /// in flight and are delivered by a later step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive and finite.
     pub fn step(&mut self, dt: f64) {
         assert!(dt > 0.0 && dt.is_finite(), "step must be positive");
         self.now += dt;
         let now = self.now;
         let mut sends: VecDeque<(Addr, Addr, Message)> = VecDeque::new();
-        for (&id, peer) in self.peers.iter_mut() {
+        for (&id, peer) in &mut self.peers {
             for out in peer.tick(now) {
                 sends.push_back((Addr(id), out.to, out.message));
             }
         }
-        for (&id, collector) in self.collectors.iter_mut() {
+        for (&id, collector) in &mut self.collectors {
             for out in collector.tick(now) {
                 sends.push_back((Addr(id), out.to, out.message));
             }
@@ -254,7 +263,7 @@ impl MemoryNetwork {
                 let delay = match self.latency {
                     None => 0.0,
                     Some((min, max)) if min == max => min,
-                    Some((min, max)) => min + self.rng.random::<f64>() * (max - min),
+                    Some((min, max)) => self.rng.random::<f64>().mul_add(max - min, min),
                 };
                 let seq = self.flight_seq;
                 self.flight_seq += 1;
@@ -298,12 +307,14 @@ impl MemoryNetwork {
     }
 
     /// Messages delivered so far.
-    pub fn messages_delivered(&self) -> u64 {
+    #[must_use]
+    pub const fn messages_delivered(&self) -> u64 {
         self.messages_delivered
     }
 
     /// Messages dropped by loss injection (or to departed nodes).
-    pub fn messages_dropped(&self) -> u64 {
+    #[must_use]
+    pub const fn messages_dropped(&self) -> u64 {
         self.messages_dropped
     }
 }

@@ -4,7 +4,9 @@ use core::fmt;
 
 use gossamer_rlnc::{CodedBlock, SegmentId};
 
-/// Opaque node address. A transport maps addresses to real endpoints
+/// Opaque node address.
+///
+/// A transport maps addresses to real endpoints
 /// (the memory harness uses them as table indices; the TCP transport
 /// maps them to sockets). Peer addresses double as the `origin` field of
 /// the segment ids they inject.
@@ -19,7 +21,7 @@ impl fmt::Display for Addr {
 
 /// The protocol's message vocabulary. A transport's only job is to move
 /// these between addresses.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
     /// Peer → peer: a freshly recoded block, pushed by the gossip
     /// protocol.
@@ -52,19 +54,20 @@ pub enum Message {
 
 impl Message {
     /// Short tag for logging/metrics.
-    pub fn kind(&self) -> &'static str {
+    #[must_use]
+    pub const fn kind(&self) -> &'static str {
         match self {
-            Message::Gossip(_) => "gossip",
-            Message::GossipAck { .. } => "gossip-ack",
-            Message::PullRequest => "pull-request",
-            Message::PullResponse(_) => "pull-response",
-            Message::DecodedAnnounce { .. } => "decoded-announce",
+            Self::Gossip(_) => "gossip",
+            Self::GossipAck { .. } => "gossip-ack",
+            Self::PullRequest => "pull-request",
+            Self::PullResponse(_) => "pull-response",
+            Self::DecodedAnnounce { .. } => "decoded-announce",
         }
     }
 }
 
 /// A message queued for sending.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Outbound {
     /// Destination address.
     pub to: Addr,

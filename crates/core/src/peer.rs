@@ -61,10 +61,11 @@ impl PeerNode {
     /// Creates a peer. `addr` doubles as the origin id of every segment
     /// this peer injects; `seed` makes the peer's randomness (gossip
     /// timing, coding coefficients, target choice) reproducible.
+    #[must_use]
     pub fn new(addr: Addr, config: NodeConfig, seed: u64) -> Self {
         let segmenter = Segmenter::new(addr.0, config.params);
         let buffer = PeerBuffer::new(config.params, config.buffer_cap);
-        PeerNode {
+        Self {
             addr,
             config,
             rng: StdRng::seed_from_u64(seed),
@@ -80,7 +81,8 @@ impl PeerNode {
     }
 
     /// This peer's address.
-    pub fn addr(&self) -> Addr {
+    #[must_use]
+    pub const fn addr(&self) -> Addr {
         self.addr
     }
 
@@ -91,12 +93,14 @@ impl PeerNode {
     }
 
     /// Current neighbour set.
+    #[must_use]
     pub fn neighbours(&self) -> &[Addr] {
         &self.neighbours
     }
 
     /// Sequence number the next injected segment will carry.
-    pub fn next_sequence(&self) -> u32 {
+    #[must_use]
+    pub const fn next_sequence(&self) -> u32 {
         self.segmenter.next_sequence()
     }
 
@@ -110,6 +114,7 @@ impl PeerNode {
     }
 
     /// Counters, including buffer state.
+    #[must_use]
     pub fn stats(&self) -> PeerStats {
         PeerStats {
             buffer: self.buffer.stats(),
@@ -118,7 +123,8 @@ impl PeerNode {
     }
 
     /// Read-only access to the block buffer.
-    pub fn buffer(&self) -> &PeerBuffer {
+    #[must_use]
+    pub const fn buffer(&self) -> &PeerBuffer {
         &self.buffer
     }
 
@@ -134,7 +140,7 @@ impl PeerNode {
         let segments = self.segmenter.push(record)?;
         self.stats.records_ingested += 1;
         for segment in segments {
-            self.inject(segment, now);
+            self.inject(&segment, now);
         }
         Ok(())
     }
@@ -143,11 +149,11 @@ impl PeerNode {
     /// records immediately collectable.
     pub fn flush(&mut self, now: f64) {
         if let Some(segment) = self.segmenter.flush() {
-            self.inject(segment, now);
+            self.inject(&segment, now);
         }
     }
 
-    fn inject(&mut self, segment: SourceSegment, now: f64) {
+    fn inject(&mut self, segment: &SourceSegment, now: f64) {
         // Anchor the gossip clock no later than the first injection, so
         // the expiry shield for priming segments (whose clock starts
         // here) can always be lifted by upcoming gossip slots,
@@ -187,6 +193,11 @@ impl PeerNode {
     /// important because the expiry shield for still-priming segments
     /// (see below) must not outlast the gossip slots that retire the
     /// priming.
+    ///
+    /// # Panics
+    ///
+    /// Only if an internal invariant is violated (the gossip clock is
+    /// initialised before use); never on valid input.
     pub fn tick(&mut self, now: f64) -> Vec<Outbound> {
         let mut out = Vec::new();
         // Initialise the gossip clock lazily so peers created late join
@@ -350,7 +361,7 @@ impl PeerNode {
     }
 }
 
-pub(crate) fn exp_sample<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+pub fn exp_sample<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
     debug_assert!(rate > 0.0);
     let u: f64 = rng.random();
     -(1.0 - u).ln() / rate

@@ -2,7 +2,7 @@
 //!
 //! The protocol moves opaque byte records; real deployments collect
 //! *measurements*. This module provides the thin typed layer the paper's
-//! motivating application (QoS telemetry for P2P streaming) needs:
+//! motivating application (`QoS` telemetry for P2P streaming) needs:
 //! a [`TelemetryRecord`] with an origin, a timestamp and named metric
 //! values, plus a compact self-describing binary encoding that fits the
 //! record framing of the coding layer.
@@ -75,14 +75,14 @@ pub enum TelemetryError {
 impl fmt::Display for TelemetryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TelemetryError::Truncated => write!(f, "truncated telemetry record"),
-            TelemetryError::UnsupportedVersion(v) => {
+            Self::Truncated => write!(f, "truncated telemetry record"),
+            Self::UnsupportedVersion(v) => {
                 write!(f, "unsupported telemetry version {v}")
             }
-            TelemetryError::BadTag(t) => write!(f, "unknown metric tag {t}"),
-            TelemetryError::BadText => write!(f, "metric text is not valid utf-8"),
-            TelemetryError::TooLong => write!(f, "key or value too long"),
-            TelemetryError::TrailingBytes => {
+            Self::BadTag(t) => write!(f, "unknown metric tag {t}"),
+            Self::BadText => write!(f, "metric text is not valid utf-8"),
+            Self::TooLong => write!(f, "key or value too long"),
+            Self::TrailingBytes => {
                 write!(f, "trailing bytes after telemetry record")
             }
         }
@@ -101,8 +101,9 @@ pub struct TelemetryRecord {
 
 impl TelemetryRecord {
     /// Creates an empty record.
-    pub fn new(origin: u32, timestamp_ms: u64) -> Self {
-        TelemetryRecord {
+    #[must_use]
+    pub const fn new(origin: u32, timestamp_ms: u64) -> Self {
+        Self {
             origin,
             timestamp_ms,
             metrics: Vec::new(),
@@ -110,12 +111,14 @@ impl TelemetryRecord {
     }
 
     /// The peer that produced the record.
-    pub fn origin(&self) -> u32 {
+    #[must_use]
+    pub const fn origin(&self) -> u32 {
         self.origin
     }
 
     /// Producer-side timestamp, milliseconds since an application epoch.
-    pub fn timestamp_ms(&self) -> u64 {
+    #[must_use]
+    pub const fn timestamp_ms(&self) -> u64 {
         self.timestamp_ms
     }
 
@@ -127,16 +130,19 @@ impl TelemetryRecord {
     }
 
     /// Looks up the first metric with the given key.
+    #[must_use]
     pub fn get(&self, key: &str) -> Option<&MetricValue> {
         self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
     /// All metrics, in insertion order.
+    #[must_use]
     pub fn metrics(&self) -> &[(String, MetricValue)] {
         &self.metrics
     }
 
     /// Serialises to the compact binary form.
+    #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16 + self.metrics.len() * 16);
         out.put_u8(VERSION);
@@ -225,7 +231,7 @@ impl TelemetryRecord {
         if buf.has_remaining() {
             return Err(TelemetryError::TrailingBytes);
         }
-        Ok(TelemetryRecord {
+        Ok(Self {
             origin,
             timestamp_ms,
             metrics,
@@ -254,10 +260,12 @@ pub struct LinkHealth {
 }
 
 /// Aggregate transport-health counters plus per-link detail, as exposed
-/// by a daemon's transport layer. Convertible to a [`TelemetryRecord`]
+/// by a daemon's transport layer.
+///
+/// Convertible to a [`TelemetryRecord`]
 /// so a deployment can feed its own health back through the collection
 /// protocol it implements.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TransportHealth {
     /// Frames successfully written.
     pub frames_out: u64,
@@ -285,6 +293,7 @@ pub struct TransportHealth {
 
 impl TransportHealth {
     /// Number of currently quarantined links.
+    #[must_use]
     pub fn quarantined_links(&self) -> usize {
         self.links.iter().filter(|l| l.quarantined).count()
     }
@@ -292,6 +301,7 @@ impl TransportHealth {
     /// Renders the health snapshot as a [`TelemetryRecord`], so
     /// transport health can ride the same collection path as
     /// application metrics.
+    #[must_use]
     pub fn to_record(&self, origin: u32, timestamp_ms: u64) -> TelemetryRecord {
         let mut record = TelemetryRecord::new(origin, timestamp_ms);
         let int = |v: u64| MetricValue::Integer(v.min(i64::MAX as u64) as i64);

@@ -34,26 +34,29 @@ pub struct Gf256(u8);
 
 impl Gf256 {
     /// The additive identity.
-    pub const ZERO: Gf256 = Gf256(0);
+    pub const ZERO: Self = Self(0);
     /// The multiplicative identity.
-    pub const ONE: Gf256 = Gf256(1);
+    pub const ONE: Self = Self(1);
     /// The canonical generator `α = 2` of the multiplicative group.
-    pub const GENERATOR: Gf256 = Gf256(2);
+    pub const GENERATOR: Self = Self(2);
 
     /// Wraps a byte as a field element.
     #[inline]
+    #[must_use]
     pub const fn new(value: u8) -> Self {
-        Gf256(value)
+        Self(value)
     }
 
     /// Returns the canonical byte representation.
     #[inline]
+    #[must_use]
     pub const fn value(self) -> u8 {
         self.0
     }
 
     /// Returns `true` if this is the additive identity.
     #[inline]
+    #[must_use]
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
@@ -62,13 +65,15 @@ impl Gf256 {
     ///
     /// `k` is reduced modulo 255, the order of the multiplicative group.
     #[inline]
-    pub fn alpha_pow(k: usize) -> Self {
-        Gf256(EXP[k % 255])
+    #[must_use]
+    pub const fn alpha_pow(k: usize) -> Self {
+        Self(EXP[k % 255])
     }
 
     /// Returns the discrete logarithm base `α`, or `None` for zero.
     #[inline]
-    pub fn log(self) -> Option<u8> {
+    #[must_use]
+    pub const fn log(self) -> Option<u8> {
         if self.0 == 0 {
             None
         } else {
@@ -87,11 +92,12 @@ impl Gf256 {
     /// assert_eq!((x * x.inv().unwrap()), Gf256::ONE);
     /// ```
     #[inline]
-    pub fn inv(self) -> Option<Self> {
+    #[must_use]
+    pub const fn inv(self) -> Option<Self> {
         if self.0 == 0 {
             None
         } else {
-            Some(Gf256(EXP[255 - LOG[self.0 as usize] as usize]))
+            Some(Self(EXP[255 - LOG[self.0 as usize] as usize]))
         }
     }
 
@@ -99,22 +105,23 @@ impl Gf256 {
     ///
     /// `Gf256::ZERO.pow(0)` is defined as `ONE`, following the usual
     /// empty-product convention.
-    pub fn pow(self, exp: u32) -> Self {
+    #[must_use]
+    pub const fn pow(self, exp: u32) -> Self {
         if exp == 0 {
-            return Gf256::ONE;
+            return Self::ONE;
         }
         if self.0 == 0 {
-            return Gf256::ZERO;
+            return Self::ZERO;
         }
         let log = LOG[self.0 as usize] as u64;
         let e = (log * exp as u64) % 255;
-        Gf256(EXP[e as usize])
+        Self(EXP[e as usize])
     }
 
     /// Samples a uniformly random element (possibly zero).
     #[inline]
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        Gf256(rng.random())
+        Self(rng.random())
     }
 
     /// Samples a uniformly random **non-zero** element.
@@ -123,7 +130,7 @@ impl Gf256 {
     /// recoded block involves every buffered block.
     #[inline]
     pub fn random_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        Gf256(rng.random_range(1..=255u8))
+        Self(rng.random_range(1..=255u8))
     }
 }
 
@@ -166,7 +173,7 @@ impl fmt::Octal for Gf256 {
 impl From<u8> for Gf256 {
     #[inline]
     fn from(value: u8) -> Self {
-        Gf256(value)
+        Self(value)
     }
 }
 
@@ -185,7 +192,7 @@ impl Distribution<Gf256> for StandardUniform {
 }
 
 #[inline]
-pub(crate) fn mul_bytes(a: u8, b: u8) -> u8 {
+pub const fn mul_bytes(a: u8, b: u8) -> u8 {
     if a == 0 || b == 0 {
         0
     } else {
@@ -196,50 +203,50 @@ pub(crate) fn mul_bytes(a: u8, b: u8) -> u8 {
 // Addition in a characteristic-2 field IS XOR.
 #[allow(clippy::suspicious_arithmetic_impl)]
 impl Add for Gf256 {
-    type Output = Gf256;
+    type Output = Self;
     #[inline]
-    fn add(self, rhs: Gf256) -> Gf256 {
-        Gf256(self.0 ^ rhs.0)
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 ^ rhs.0)
     }
 }
 
 #[allow(clippy::suspicious_arithmetic_impl)]
 impl Sub for Gf256 {
-    type Output = Gf256;
+    type Output = Self;
     #[inline]
-    fn sub(self, rhs: Gf256) -> Gf256 {
+    fn sub(self, rhs: Self) -> Self {
         // Characteristic 2: subtraction coincides with addition.
-        Gf256(self.0 ^ rhs.0)
+        Self(self.0 ^ rhs.0)
     }
 }
 
 impl Mul for Gf256 {
-    type Output = Gf256;
+    type Output = Self;
     #[inline]
-    fn mul(self, rhs: Gf256) -> Gf256 {
-        Gf256(mul_bytes(self.0, rhs.0))
+    fn mul(self, rhs: Self) -> Self {
+        Self(mul_bytes(self.0, rhs.0))
     }
 }
 
 // Division is multiplication by the inverse.
 #[allow(clippy::suspicious_arithmetic_impl)]
 impl Div for Gf256 {
-    type Output = Gf256;
+    type Output = Self;
 
     /// # Panics
     ///
     /// Panics if `rhs` is zero. Use [`Gf256::inv`] for a fallible variant.
     #[inline]
-    fn div(self, rhs: Gf256) -> Gf256 {
+    fn div(self, rhs: Self) -> Self {
         let inv = rhs.inv().expect("division by zero in GF(2^8)");
         self * inv
     }
 }
 
 impl Neg for Gf256 {
-    type Output = Gf256;
+    type Output = Self;
     #[inline]
-    fn neg(self) -> Gf256 {
+    fn neg(self) -> Self {
         // Every element is its own additive inverse.
         self
     }
@@ -248,7 +255,7 @@ impl Neg for Gf256 {
 #[allow(clippy::suspicious_op_assign_impl)]
 impl AddAssign for Gf256 {
     #[inline]
-    fn add_assign(&mut self, rhs: Gf256) {
+    fn add_assign(&mut self, rhs: Self) {
         self.0 ^= rhs.0;
     }
 }
@@ -256,21 +263,21 @@ impl AddAssign for Gf256 {
 #[allow(clippy::suspicious_op_assign_impl)]
 impl SubAssign for Gf256 {
     #[inline]
-    fn sub_assign(&mut self, rhs: Gf256) {
+    fn sub_assign(&mut self, rhs: Self) {
         self.0 ^= rhs.0;
     }
 }
 
 impl MulAssign for Gf256 {
     #[inline]
-    fn mul_assign(&mut self, rhs: Gf256) {
+    fn mul_assign(&mut self, rhs: Self) {
         *self = *self * rhs;
     }
 }
 
 impl DivAssign for Gf256 {
     #[inline]
-    fn div_assign(&mut self, rhs: Gf256) {
+    fn div_assign(&mut self, rhs: Self) {
         *self = *self / rhs;
     }
 }
@@ -307,25 +314,25 @@ forward_ref_binop!(Mul, mul);
 forward_ref_binop!(Div, div);
 
 impl Sum for Gf256 {
-    fn sum<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
-        iter.fold(Gf256::ZERO, Add::add)
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
     }
 }
 
-impl<'a> Sum<&'a Gf256> for Gf256 {
-    fn sum<I: Iterator<Item = &'a Gf256>>(iter: I) -> Gf256 {
+impl<'a> Sum<&'a Self> for Gf256 {
+    fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
         iter.copied().sum()
     }
 }
 
 impl Product for Gf256 {
-    fn product<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
-        iter.fold(Gf256::ONE, Mul::mul)
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ONE, Mul::mul)
     }
 }
 
-impl<'a> Product<&'a Gf256> for Gf256 {
-    fn product<I: Iterator<Item = &'a Gf256>>(iter: I) -> Gf256 {
+impl<'a> Product<&'a Self> for Gf256 {
+    fn product<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
         iter.copied().product()
     }
 }

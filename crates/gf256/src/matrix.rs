@@ -22,12 +22,14 @@ pub struct SolveError {
 
 impl SolveError {
     /// The rank the elimination reached before stalling.
-    pub fn rank(&self) -> usize {
+    #[must_use]
+    pub const fn rank(&self) -> usize {
         self.rank
     }
 
     /// The rank required for the system to be solvable.
-    pub fn dim(&self) -> usize {
+    #[must_use]
+    pub const fn dim(&self) -> usize {
         self.dim
     }
 }
@@ -64,8 +66,9 @@ pub struct Matrix {
 
 impl Matrix {
     /// Creates a zero matrix of the given shape.
+    #[must_use]
     pub fn zero(rows: usize, cols: usize) -> Self {
-        Matrix {
+        Self {
             rows,
             cols,
             data: vec![0; rows * cols],
@@ -73,8 +76,9 @@ impl Matrix {
     }
 
     /// Creates the `n × n` identity matrix.
+    #[must_use]
     pub fn identity(n: usize) -> Self {
-        let mut m = Matrix::zero(n, n);
+        let mut m = Self::zero(n, n);
         for i in 0..n {
             m.set(i, i, Gf256::ONE);
         }
@@ -86,16 +90,18 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `data.len() != rows * cols`.
+    #[must_use]
     pub fn from_rows(rows: usize, cols: usize, data: Vec<u8>) -> Self {
         assert_eq!(data.len(), rows * cols, "shape mismatch");
-        Matrix { rows, cols, data }
+        Self { rows, cols, data }
     }
 
     /// Builds an `n × n` Vandermonde-style matrix from distinct evaluation
     /// points; always invertible when the points are distinct.
+    #[must_use]
     pub fn vandermonde(points: &[Gf256]) -> Self {
         let n = points.len();
-        let mut m = Matrix::zero(n, n);
+        let mut m = Self::zero(n, n);
         for (r, &x) in points.iter().enumerate() {
             for c in 0..n {
                 m.set(r, c, x.pow(c as u32));
@@ -107,16 +113,18 @@ impl Matrix {
     /// Fills a matrix with uniformly random entries.
     pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
         let data = (0..rows * cols).map(|_| rng.random()).collect();
-        Matrix { rows, cols, data }
+        Self { rows, cols, data }
     }
 
     /// Number of rows.
-    pub fn rows(&self) -> usize {
+    #[must_use]
+    pub const fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
-    pub fn cols(&self) -> usize {
+    #[must_use]
+    pub const fn cols(&self) -> usize {
         self.cols
     }
 
@@ -126,6 +134,7 @@ impl Matrix {
     ///
     /// Panics if the indices are out of bounds.
     #[inline]
+    #[must_use]
     pub fn get(&self, row: usize, col: usize) -> Gf256 {
         assert!(row < self.rows && col < self.cols, "index out of bounds");
         Gf256::new(self.data[row * self.cols + col])
@@ -143,6 +152,7 @@ impl Matrix {
     }
 
     /// Borrows a row as a byte slice.
+    #[must_use]
     pub fn row(&self, row: usize) -> &[u8] {
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
@@ -171,9 +181,10 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
-    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+    #[must_use]
+    pub fn mul(&self, rhs: &Self) -> Self {
         assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
-        let mut out = Matrix::zero(self.rows, rhs.cols);
+        let mut out = Self::zero(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = Gf256::new(self.data[i * self.cols + k]);
@@ -196,6 +207,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `vec.len() != self.cols()`.
+    #[must_use]
     pub fn mul_vec(&self, vec: &[u8]) -> Vec<u8> {
         assert_eq!(vec.len(), self.cols, "dimension mismatch");
         (0..self.rows)
@@ -213,6 +225,11 @@ impl Matrix {
     /// `pivot_cols` columns. Rows are still reduced across their full
     /// width, which is exactly what elimination on an augmented matrix
     /// `[A | B]` needs: pivots must come from `A` only.
+    ///
+    /// # Panics
+    ///
+    /// Only if an internal invariant is violated (pivot bookkeeping
+    /// stays within the matrix bounds); never on valid input.
     pub fn rref_within(&mut self, pivot_cols: usize) -> usize {
         let mut pivot_row = 0;
         for col in 0..pivot_cols.min(self.cols) {
@@ -256,6 +273,7 @@ impl Matrix {
     }
 
     /// Returns the rank without mutating the matrix.
+    #[must_use]
     pub fn rank(&self) -> usize {
         self.clone().rref()
     }
@@ -265,7 +283,7 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`SolveError`] if the matrix is singular or non-square.
-    pub fn invert(&self) -> Result<Matrix, SolveError> {
+    pub fn invert(&self) -> Result<Self, SolveError> {
         if self.rows != self.cols {
             return Err(SolveError {
                 rank: 0,
@@ -273,7 +291,7 @@ impl Matrix {
             });
         }
         let n = self.rows;
-        let mut aug = Matrix::zero(n, 2 * n);
+        let mut aug = Self::zero(n, 2 * n);
         for r in 0..n {
             aug.data[r * 2 * n..r * 2 * n + n].copy_from_slice(self.row(r));
             aug.data[r * 2 * n + n + r] = 1;
@@ -282,7 +300,7 @@ impl Matrix {
         if rank < n {
             return Err(SolveError { rank, dim: n });
         }
-        let mut out = Matrix::zero(n, n);
+        let mut out = Self::zero(n, n);
         for r in 0..n {
             out.row_mut(r)
                 .copy_from_slice(&aug.data[r * 2 * n + n..(r + 1) * 2 * n]);
@@ -304,7 +322,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `B` has a different number of rows than `A`.
-    pub fn solve(&self, rhs: &Matrix) -> Result<Matrix, SolveError> {
+    pub fn solve(&self, rhs: &Self) -> Result<Self, SolveError> {
         assert_eq!(self.rows, rhs.rows, "rhs must align with lhs rows");
         if self.rows != self.cols {
             return Err(SolveError {
@@ -314,7 +332,7 @@ impl Matrix {
         }
         let n = self.rows;
         let w = rhs.cols;
-        let mut aug = Matrix::zero(n, n + w);
+        let mut aug = Self::zero(n, n + w);
         for r in 0..n {
             aug.data[r * (n + w)..r * (n + w) + n].copy_from_slice(self.row(r));
             aug.data[r * (n + w) + n..(r + 1) * (n + w)].copy_from_slice(rhs.row(r));
@@ -323,7 +341,7 @@ impl Matrix {
         if rank < n {
             return Err(SolveError { rank, dim: n });
         }
-        let mut out = Matrix::zero(n, w);
+        let mut out = Self::zero(n, w);
         for r in 0..n {
             out.row_mut(r)
                 .copy_from_slice(&aug.data[r * (n + w) + n..(r + 1) * (n + w)]);
@@ -332,8 +350,9 @@ impl Matrix {
     }
 
     /// Returns the matrix transpose.
-    pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zero(self.cols, self.rows);
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zero(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];

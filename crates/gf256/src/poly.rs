@@ -32,39 +32,46 @@ pub struct Poly {
 impl Poly {
     /// Creates a polynomial from coefficients (constant term first),
     /// trimming trailing zeros.
+    #[must_use]
     pub fn new(mut coeffs: Vec<Gf256>) -> Self {
         while coeffs.last().is_some_and(|c| c.is_zero()) {
             coeffs.pop();
         }
-        Poly { coeffs }
+        Self { coeffs }
     }
 
     /// The zero polynomial.
-    pub fn zero() -> Self {
-        Poly { coeffs: Vec::new() }
+    #[must_use]
+    pub const fn zero() -> Self {
+        Self { coeffs: Vec::new() }
     }
 
     /// The constant polynomial `c`.
+    #[must_use]
     pub fn constant(c: Gf256) -> Self {
-        Poly::new(vec![c])
+        Self::new(vec![c])
     }
 
     /// Returns the degree, or `None` for the zero polynomial.
-    pub fn degree(&self) -> Option<usize> {
+    #[must_use]
+    pub const fn degree(&self) -> Option<usize> {
         self.coeffs.len().checked_sub(1)
     }
 
     /// Returns `true` for the zero polynomial.
-    pub fn is_zero(&self) -> bool {
+    #[must_use]
+    pub const fn is_zero(&self) -> bool {
         self.coeffs.is_empty()
     }
 
     /// Borrows the coefficients (constant term first, no trailing zeros).
+    #[must_use]
     pub fn coeffs(&self) -> &[Gf256] {
         &self.coeffs
     }
 
     /// Evaluates the polynomial at `x` by Horner's rule.
+    #[must_use]
     pub fn eval(&self, x: Gf256) -> Gf256 {
         let mut acc = Gf256::ZERO;
         for &c in self.coeffs.iter().rev() {
@@ -74,7 +81,8 @@ impl Poly {
     }
 
     /// Adds two polynomials.
-    pub fn add(&self, rhs: &Poly) -> Poly {
+    #[must_use]
+    pub fn add(&self, rhs: &Self) -> Self {
         let n = self.coeffs.len().max(rhs.coeffs.len());
         let mut out = vec![Gf256::ZERO; n];
         for (i, slot) in out.iter_mut().enumerate() {
@@ -82,13 +90,14 @@ impl Poly {
             let b = rhs.coeffs.get(i).copied().unwrap_or(Gf256::ZERO);
             *slot = a + b;
         }
-        Poly::new(out)
+        Self::new(out)
     }
 
     /// Multiplies two polynomials (schoolbook convolution).
-    pub fn mul(&self, rhs: &Poly) -> Poly {
+    #[must_use]
+    pub fn mul(&self, rhs: &Self) -> Self {
         if self.is_zero() || rhs.is_zero() {
-            return Poly::zero();
+            return Self::zero();
         }
         let mut out = vec![Gf256::ZERO; self.coeffs.len() + rhs.coeffs.len() - 1];
         for (i, &a) in self.coeffs.iter().enumerate() {
@@ -99,12 +108,13 @@ impl Poly {
                 out[i + j] += a * b;
             }
         }
-        Poly::new(out)
+        Self::new(out)
     }
 
     /// Multiplies by a scalar.
-    pub fn scale(&self, c: Gf256) -> Poly {
-        Poly::new(self.coeffs.iter().map(|&a| a * c).collect())
+    #[must_use]
+    pub fn scale(&self, c: Gf256) -> Self {
+        Self::new(self.coeffs.iter().map(|&a| a * c).collect())
     }
 
     /// Lagrange interpolation: the unique polynomial of degree `< n`
@@ -113,18 +123,19 @@ impl Poly {
     /// # Panics
     ///
     /// Panics if two `x` values coincide.
-    pub fn interpolate(points: &[(Gf256, Gf256)]) -> Poly {
-        let mut result = Poly::zero();
+    #[must_use]
+    pub fn interpolate(points: &[(Gf256, Gf256)]) -> Self {
+        let mut result = Self::zero();
         for (i, &(xi, yi)) in points.iter().enumerate() {
             // Basis polynomial l_i(x) = prod_{j != i} (x - x_j) / (x_i - x_j)
-            let mut basis = Poly::constant(Gf256::ONE);
+            let mut basis = Self::constant(Gf256::ONE);
             let mut denom = Gf256::ONE;
             for (j, &(xj, _)) in points.iter().enumerate() {
                 if i == j {
                     continue;
                 }
                 // (x - x_j) == (x + x_j) in characteristic 2.
-                basis = basis.mul(&Poly::new(vec![xj, Gf256::ONE]));
+                basis = basis.mul(&Self::new(vec![xj, Gf256::ONE]));
                 let diff = xi - xj;
                 assert!(!diff.is_zero(), "duplicate interpolation point");
                 denom *= diff;

@@ -116,6 +116,7 @@ pub fn axpy(dst: &mut [u8], c: Gf256, src: &[u8]) {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+#[must_use]
 pub fn dot(a: &[u8], b: &[u8]) -> Gf256 {
     assert_eq!(a.len(), b.len(), "dot requires equal-length slices");
     let mut acc = 0u8;

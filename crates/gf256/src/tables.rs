@@ -9,13 +9,13 @@
 //! that must never be consumed; the public API guards against it.
 
 /// The primitive polynomial x⁸ + x⁴ + x³ + x² + 1 used for reduction.
-pub(crate) const PRIMITIVE_POLY: u16 = 0x11D;
+pub const PRIMITIVE_POLY: u16 = 0x11D;
 
 /// `EXP[k] = α^k` for `k` in `0..510` (table is doubled to skip a `% 255`).
-pub(crate) const EXP: [u8; 510] = build_exp();
+pub const EXP: [u8; 510] = build_exp();
 
 /// `LOG[α^k] = k`; `LOG[0]` is unused (guarded by the caller).
-pub(crate) const LOG: [u8; 256] = build_log();
+pub const LOG: [u8; 256] = build_log();
 
 /// Full 256×256 multiplication table: `MUL[a][b] = a·b`.
 ///
@@ -23,8 +23,11 @@ pub(crate) const LOG: [u8; 256] = build_log();
 /// per call (`MUL[c]`), turning the per-byte inner loop into a single
 /// table load and XOR with no per-call setup; the row also stays hot in
 /// L1 across consecutive kernel invocations with the same coefficient.
-pub(crate) static MUL: [[u8; 256]; 256] = build_mul();
+pub static MUL: [[u8; 256]; 256] = build_mul();
 
+// 64 KiB table, but const-evaluated: it lives in rodata, never on a
+// runtime stack.
+#[allow(clippy::large_stack_arrays)]
 const fn build_mul() -> [[u8; 256]; 256] {
     let exp = build_exp();
     let log = build_log();
@@ -75,7 +78,7 @@ mod tests {
 
     /// Bit-by-bit carry-less ("Russian peasant") multiplication, the
     /// reference implementation the tables must agree with.
-    pub(crate) fn mul_reference(mut a: u8, mut b: u8) -> u8 {
+    pub fn mul_reference(mut a: u8, mut b: u8) -> u8 {
         let mut acc: u8 = 0;
         while b != 0 {
             if b & 1 != 0 {

@@ -35,6 +35,9 @@ const ORDER: usize = 65535;
 static EXP16: [u16; 2 * ORDER] = build_exp16();
 static LOG16: [u16; 65536] = build_log16();
 
+// 256 KiB tables, but const-evaluated: they live in rodata, never on a
+// runtime stack.
+#[allow(clippy::large_stack_arrays, clippy::large_stack_frames)]
 const fn build_exp16() -> [u16; 2 * ORDER] {
     let mut table = [0u16; 2 * ORDER];
     let mut value: u32 = 1;
@@ -51,6 +54,8 @@ const fn build_exp16() -> [u16; 2 * ORDER] {
     table
 }
 
+// Const-evaluated, as `build_exp16` above.
+#[allow(clippy::large_stack_arrays, clippy::large_stack_frames)]
 const fn build_log16() -> [u16; 65536] {
     let exp = build_exp16();
     let mut table = [0u16; 65536];
@@ -68,63 +73,68 @@ pub struct Gf65536(u16);
 
 impl Gf65536 {
     /// The additive identity.
-    pub const ZERO: Gf65536 = Gf65536(0);
+    pub const ZERO: Self = Self(0);
     /// The multiplicative identity.
-    pub const ONE: Gf65536 = Gf65536(1);
+    pub const ONE: Self = Self(1);
     /// The canonical generator `α = 2`.
-    pub const GENERATOR: Gf65536 = Gf65536(2);
+    pub const GENERATOR: Self = Self(2);
 
     /// Wraps a raw value.
     #[inline]
+    #[must_use]
     pub const fn new(value: u16) -> Self {
-        Gf65536(value)
+        Self(value)
     }
 
     /// The canonical representation.
     #[inline]
+    #[must_use]
     pub const fn value(self) -> u16 {
         self.0
     }
 
     /// Returns `true` for the additive identity.
     #[inline]
+    #[must_use]
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
 
     /// The multiplicative inverse, or `None` for zero.
     #[inline]
+    #[must_use]
     pub fn inv(self) -> Option<Self> {
         if self.0 == 0 {
             None
         } else {
-            Some(Gf65536(EXP16[ORDER - LOG16[self.0 as usize] as usize]))
+            Some(Self(EXP16[ORDER - LOG16[self.0 as usize] as usize]))
         }
     }
 
     /// Raises to the power `exp` (`0⁰ = 1` by convention).
+    #[must_use]
     pub fn pow(self, exp: u32) -> Self {
         if exp == 0 {
-            return Gf65536::ONE;
+            return Self::ONE;
         }
         if self.0 == 0 {
-            return Gf65536::ZERO;
+            return Self::ZERO;
         }
         let log = LOG16[self.0 as usize] as u64;
         let e = (log * exp as u64) % ORDER as u64;
-        Gf65536(EXP16[e as usize])
+        Self(EXP16[e as usize])
     }
 
     /// Uniformly random element.
     #[inline]
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        Gf65536(rng.random())
+        Self(rng.random())
     }
 
     /// Uniformly random non-zero element.
     #[inline]
     pub fn random_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        Gf65536(rng.random_range(1..=u16::MAX))
+        Self(rng.random_range(1..=u16::MAX))
     }
 }
 
@@ -152,48 +162,48 @@ impl fmt::Display for Gf65536 {
 // Addition in a characteristic-2 field IS XOR.
 #[allow(clippy::suspicious_arithmetic_impl)]
 impl Add for Gf65536 {
-    type Output = Gf65536;
+    type Output = Self;
     #[inline]
-    fn add(self, rhs: Gf65536) -> Gf65536 {
-        Gf65536(self.0 ^ rhs.0)
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 ^ rhs.0)
     }
 }
 
 #[allow(clippy::suspicious_arithmetic_impl)]
 impl Sub for Gf65536 {
-    type Output = Gf65536;
+    type Output = Self;
     #[inline]
-    fn sub(self, rhs: Gf65536) -> Gf65536 {
-        Gf65536(self.0 ^ rhs.0)
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 ^ rhs.0)
     }
 }
 
 impl Mul for Gf65536 {
-    type Output = Gf65536;
+    type Output = Self;
     #[inline]
-    fn mul(self, rhs: Gf65536) -> Gf65536 {
-        Gf65536(mul16(self.0, rhs.0))
+    fn mul(self, rhs: Self) -> Self {
+        Self(mul16(self.0, rhs.0))
     }
 }
 
 // Division is multiplication by the inverse.
 #[allow(clippy::suspicious_arithmetic_impl)]
 impl Div for Gf65536 {
-    type Output = Gf65536;
+    type Output = Self;
 
     /// # Panics
     ///
     /// Panics if `rhs` is zero; use [`Gf65536::inv`] for a fallible form.
     #[inline]
-    fn div(self, rhs: Gf65536) -> Gf65536 {
+    fn div(self, rhs: Self) -> Self {
         self * rhs.inv().expect("division by zero in GF(2^16)")
     }
 }
 
 impl Neg for Gf65536 {
-    type Output = Gf65536;
+    type Output = Self;
     #[inline]
-    fn neg(self) -> Gf65536 {
+    fn neg(self) -> Self {
         self
     }
 }
@@ -201,7 +211,7 @@ impl Neg for Gf65536 {
 #[allow(clippy::suspicious_op_assign_impl)]
 impl AddAssign for Gf65536 {
     #[inline]
-    fn add_assign(&mut self, rhs: Gf65536) {
+    fn add_assign(&mut self, rhs: Self) {
         self.0 ^= rhs.0;
     }
 }
@@ -209,21 +219,21 @@ impl AddAssign for Gf65536 {
 #[allow(clippy::suspicious_op_assign_impl)]
 impl SubAssign for Gf65536 {
     #[inline]
-    fn sub_assign(&mut self, rhs: Gf65536) {
+    fn sub_assign(&mut self, rhs: Self) {
         self.0 ^= rhs.0;
     }
 }
 
 impl MulAssign for Gf65536 {
     #[inline]
-    fn mul_assign(&mut self, rhs: Gf65536) {
+    fn mul_assign(&mut self, rhs: Self) {
         *self = *self * rhs;
     }
 }
 
 impl DivAssign for Gf65536 {
     #[inline]
-    fn div_assign(&mut self, rhs: Gf65536) {
+    fn div_assign(&mut self, rhs: Self) {
         *self = *self / rhs;
     }
 }
@@ -231,7 +241,7 @@ impl DivAssign for Gf65536 {
 impl From<u16> for Gf65536 {
     #[inline]
     fn from(v: u16) -> Self {
-        Gf65536(v)
+        Self(v)
     }
 }
 

@@ -94,6 +94,49 @@ proptest! {
         prop_assert_eq!(forward, data);
     }
 
+    /// The vectorised kernels must agree with a scalar reference built
+    /// from single-element `Gf256` operator arithmetic — the kernels'
+    /// chunked/u64 fast paths must never change the algebra.
+    #[test]
+    fn slice_kernels_match_scalar_reference(
+        c in gf(),
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+        acc in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let n = data.len().min(acc.len());
+        let (data, acc0) = (&data[..n], &acc[..n]);
+
+        let mut added = acc0.to_vec();
+        slice::add_assign(&mut added, data);
+        let scalar_add: Vec<u8> = acc0
+            .iter()
+            .zip(data)
+            .map(|(&x, &y)| (Gf256::new(x) + Gf256::new(y)).value())
+            .collect();
+        prop_assert_eq!(added, scalar_add);
+
+        let mut scaled = data.to_vec();
+        slice::scale_assign(&mut scaled, c);
+        let scalar_scale: Vec<u8> =
+            data.iter().map(|&x| (c * Gf256::new(x)).value()).collect();
+        prop_assert_eq!(scaled, scalar_scale);
+
+        let mut axpyed = acc0.to_vec();
+        slice::axpy(&mut axpyed, c, data);
+        let scalar_axpy: Vec<u8> = acc0
+            .iter()
+            .zip(data)
+            .map(|(&a, &x)| (Gf256::new(a) + c * Gf256::new(x)).value())
+            .collect();
+        prop_assert_eq!(axpyed, scalar_axpy);
+
+        let scalar_dot = acc0
+            .iter()
+            .zip(data)
+            .fold(Gf256::ZERO, |s, (&a, &x)| s + Gf256::new(a) * Gf256::new(x));
+        prop_assert_eq!(slice::dot(acc0, data), scalar_dot);
+    }
+
     #[test]
     fn dot_commutative(
         a in proptest::collection::vec(any::<u8>(), 0..64),

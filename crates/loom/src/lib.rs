@@ -1,0 +1,78 @@
+//! A brute-force concurrency model checker for gossamer's transport.
+//!
+//! [`model`] runs a closure under a cooperative scheduler that owns every
+//! context switch: the threads it spawns ([`thread::spawn`]) execute one
+//! *visible operation* — a mutex acquisition, an atomic access, a spawn,
+//! a join, a yield — at a time, and at each operation the scheduler
+//! chooses which thread runs next. The closure is re-executed once per
+//! distinct scheduling decision sequence, depth-first, until the space
+//! of interleavings is exhausted. An invariant that can be violated by
+//! *any* interleaving of visible operations therefore fails
+//! deterministically, with no sleeps, no stress loops and no luck
+//! involved.
+//!
+//! The API is a subset of the upstream `loom` crate's (the crate even
+//! links as `loom`), so checked code reads exactly like standard
+//! `std::sync` code:
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::{Arc, Mutex};
+//!
+//! loom::model(|| {
+//!     let counter = Arc::new(Mutex::new(0u32));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let counter = Arc::clone(&counter);
+//!             loom::thread::spawn(move || *counter.lock() += 1)
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join();
+//!     }
+//!     assert_eq!(*counter.lock(), 2);
+//! });
+//! ```
+//!
+//! # Scope and semantics
+//!
+//! * Memory model: **sequential consistency**. Atomic operations take an
+//!   [`Ordering`](sync::atomic::Ordering) for source compatibility but
+//!   all run `SeqCst`; weak-memory reorderings are *not* explored. For
+//!   the mutex-and-flag protocols in `gossamer-net` this is the intended
+//!   strength.
+//! * Primitives: [`sync::Mutex`] (panics on contended re-entry),
+//!   [`sync::atomic`] integers and bools, [`thread::spawn`] /
+//!   [`thread::JoinHandle::join`], [`thread::yield_now`]. Condvars and
+//!   rwlocks are not modelled; the checked transport code does not use
+//!   them.
+//! * Deadlocks: an execution in which every unfinished thread is blocked
+//!   panics with the blocked-thread table, failing the test.
+//! * Exploration is bounded by `LOOM_MAX_BRANCHES` executions (default
+//!   100 000); exceeding the bound panics rather than silently checking
+//!   a fraction of the space. Models must stay small — a handful of
+//!   threads, a handful of visible operations each.
+//!
+//! Model closures run many times: they must be deterministic (no wall
+//! clock, no OS randomness) or exploration bookkeeping breaks down —
+//! the same rule the `cargo xtask lint` determinism lint enforces for
+//! the simulator.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod rt;
+
+pub mod sync;
+pub mod thread;
+
+pub use rt::model;
+
+/// Scheduling hints, mirroring `std::hint` / upstream loom.
+pub mod hint {
+    /// Signals a spin-wait to the scheduler: a plain context-switch
+    /// point, identical to [`crate::thread::yield_now`].
+    pub fn spin_loop() {
+        crate::rt::switch();
+    }
+}

@@ -1,0 +1,429 @@
+//! The execution scheduler and interleaving explorer.
+//!
+//! One [`Execution`] represents a single run of the model closure. All
+//! model threads share it; exactly one thread is *active* at any moment,
+//! and every visible operation routes through [`switch`]-style entry
+//! points that hand control back to the scheduler. Scheduling choices
+//! (which eligible thread runs next, whenever there is more than one)
+//! form a decision path; [`model`] re-executes the closure once per path
+//! in depth-first order until every path has been explored.
+
+use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Ceiling on explored executions before the model is declared too big.
+const DEFAULT_MAX_BRANCHES: usize = 100_000;
+
+/// Why a thread is not currently eligible to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Blocked {
+    /// Eligible: runnable whenever the scheduler picks it.
+    Ready,
+    /// Waiting for the mutex with this registry index to be free.
+    OnMutex(usize),
+    /// Waiting for the thread with this id to finish.
+    OnJoin(usize),
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    blocked: Blocked,
+    finished: bool,
+}
+
+/// One scheduling decision: which of `options` eligible threads ran.
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    chosen: usize,
+    options: usize,
+}
+
+struct ExecState {
+    threads: Vec<ThreadState>,
+    /// Thread id currently allowed to run.
+    active: usize,
+    /// Owner (thread id) of each registered mutex, if held.
+    mutex_owner: Vec<Option<usize>>,
+    /// Decision choices replayed from the previous execution.
+    prefix: Vec<usize>,
+    /// Index of the next decision (into `prefix` while replaying).
+    depth: usize,
+    /// Every decision taken this execution, replayed ones included.
+    path: Vec<Decision>,
+    /// Set when the execution must die: deadlock, nondeterminism, or a
+    /// panicking model thread. Every parked thread re-panics with this.
+    abort: Option<String>,
+}
+
+/// Shared state of one model execution.
+pub struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+impl Execution {
+    fn new(prefix: Vec<usize>) -> Self {
+        Self {
+            state: Mutex::new(ExecState {
+                threads: vec![ThreadState {
+                    blocked: Blocked::Ready,
+                    finished: false,
+                }],
+                active: 0,
+                mutex_owner: Vec::new(),
+                prefix,
+                depth: 0,
+                path: Vec::new(),
+                abort: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> (Arc<Execution>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitives may only be used inside loom::model")
+    })
+}
+
+fn install(exec: &Arc<Execution>, tid: usize) {
+    CTX.with(|c| {
+        let mut slot = c.borrow_mut();
+        assert!(slot.is_none(), "loom::model may not be nested");
+        *slot = Some((Arc::clone(exec), tid));
+    });
+}
+
+fn clear() {
+    CTX.with(|c| c.borrow_mut().take());
+}
+
+/// Whether `tid` could run right now if the scheduler picked it.
+fn is_eligible(st: &ExecState, tid: usize) -> bool {
+    let t = &st.threads[tid];
+    if t.finished {
+        return false;
+    }
+    match t.blocked {
+        Blocked::Ready => true,
+        Blocked::OnMutex(m) => st.mutex_owner[m].is_none(),
+        Blocked::OnJoin(other) => st.threads[other].finished,
+    }
+}
+
+/// Picks the next active thread, recording a decision when there is a
+/// genuine choice; returns `false` on deadlock (every unfinished thread
+/// blocked). Must be called with the state lock held; notifies all
+/// parked threads so the chosen one wakes.
+fn schedule(exec: &Execution, st: &mut ExecState) -> bool {
+    let eligible: Vec<usize> = (0..st.threads.len())
+        .filter(|&t| is_eligible(st, t))
+        .collect();
+    if eligible.is_empty() {
+        if st.threads.iter().all(|t| t.finished) {
+            exec.cv.notify_all();
+            return true;
+        }
+        return false;
+    }
+    let index = if eligible.len() == 1 {
+        0
+    } else {
+        let chosen = if st.depth < st.prefix.len() {
+            st.prefix[st.depth]
+        } else {
+            0
+        };
+        assert!(
+            chosen < eligible.len(),
+            "loom: nondeterministic model — replay diverged \
+             (decision {} expects {} options, found {})",
+            st.depth,
+            chosen + 1,
+            eligible.len()
+        );
+        st.path.push(Decision {
+            chosen,
+            options: eligible.len(),
+        });
+        st.depth += 1;
+        chosen
+    };
+    st.active = eligible[index];
+    exec.cv.notify_all();
+    true
+}
+
+/// Renders the blocked-thread table of a deadlocked state.
+fn deadlock_message(st: &ExecState) -> String {
+    let table: Vec<String> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.finished)
+        .map(|(i, t)| format!("thread {i}: {:?}", t.blocked))
+        .collect();
+    format!("loom: deadlock — no eligible thread [{}]", table.join(", "))
+}
+
+/// [`schedule`], panicking on deadlock. Only for call sites that are not
+/// already unwinding (a panic inside a `Drop` would abort the process).
+fn pick_next(exec: &Execution, st: &mut ExecState) {
+    if !schedule(exec, st) {
+        let msg = deadlock_message(st);
+        st.abort = Some(msg.clone());
+        exec.cv.notify_all();
+        panic!("{msg}");
+    }
+}
+
+/// [`schedule`] for unwind-safe call sites: a deadlock is recorded as an
+/// abort (failing the execution) instead of panicking.
+fn pick_next_soft(exec: &Execution, st: &mut ExecState) {
+    if !schedule(exec, st) {
+        if st.abort.is_none() {
+            st.abort = Some(deadlock_message(st));
+        }
+        exec.cv.notify_all();
+    }
+}
+
+/// Parks the calling thread until the scheduler makes it active (or the
+/// execution aborts, in which case it panics with the abort reason).
+fn wait_for_turn<'a>(
+    exec: &'a Execution,
+    mut st: MutexGuard<'a, ExecState>,
+    tid: usize,
+) -> MutexGuard<'a, ExecState> {
+    loop {
+        if let Some(msg) = st.abort.clone() {
+            drop(st);
+            panic!("{msg}");
+        }
+        if st.active == tid {
+            return st;
+        }
+        st = exec
+            .cv
+            .wait(st)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}
+
+/// A context-switch point: lets the scheduler run any eligible thread
+/// (possibly this one again) before the caller's next operation.
+pub fn switch() {
+    let (exec, tid) = current();
+    let mut st = exec.lock();
+    st.threads[tid].blocked = Blocked::Ready;
+    pick_next(&exec, &mut st);
+    let _st = wait_for_turn(&exec, st, tid);
+}
+
+/// Registers a new mutex, returning its scheduler index.
+pub fn mutex_register() -> usize {
+    let (exec, _) = current();
+    let mut st = exec.lock();
+    st.mutex_owner.push(None);
+    st.mutex_owner.len() - 1
+}
+
+/// Acquires mutex `mid` for the calling thread, parking while it is
+/// held elsewhere. The acquisition itself is a scheduling point.
+// Guard lifetime IS the algorithm here: the state lock is handed back
+// and forth through `wait_for_turn`, not released early.
+#[allow(clippy::significant_drop_tightening)]
+pub fn mutex_acquire(mid: usize) {
+    let (exec, tid) = current();
+    let mut st = exec.lock();
+    loop {
+        st.threads[tid].blocked = if st.mutex_owner[mid].is_none() {
+            Blocked::Ready
+        } else {
+            Blocked::OnMutex(mid)
+        };
+        pick_next(&exec, &mut st);
+        st = wait_for_turn(&exec, st, tid);
+        if st.mutex_owner[mid].is_none() {
+            st.mutex_owner[mid] = Some(tid);
+            st.threads[tid].blocked = Blocked::Ready;
+            return;
+        }
+    }
+}
+
+/// Releases mutex `mid`. Threads parked on it become eligible at the
+/// next scheduling point.
+pub fn mutex_release(mid: usize) {
+    let (exec, tid) = current();
+    let mut st = exec.lock();
+    debug_assert_eq!(st.mutex_owner[mid], Some(tid), "release by non-owner");
+    st.mutex_owner[mid] = None;
+}
+
+/// Registers a new model thread (parent side of spawn).
+pub fn register_thread() -> usize {
+    let (exec, _) = current();
+    let mut st = exec.lock();
+    st.threads.push(ThreadState {
+        blocked: Blocked::Ready,
+        finished: false,
+    });
+    st.threads.len() - 1
+}
+
+/// Returns the current execution handle, for moving into a spawned
+/// thread's closure.
+pub fn current_execution() -> Arc<Execution> {
+    current().0
+}
+
+/// Installs the scheduler context in a freshly spawned OS thread and
+/// parks it until first scheduled. Returns a guard that marks the thread
+/// finished when dropped — including on panic, so a failing assertion in
+/// a model thread cannot wedge the whole exploration.
+pub fn attach(exec: &Arc<Execution>, tid: usize) -> FinishGuard {
+    install(exec, tid);
+    // Construct the guard before parking: if the execution aborts while
+    // this thread waits for its first slot, the abort-panic must still
+    // mark it finished or the exploration driver would wait forever.
+    let guard = FinishGuard { tid };
+    let st = exec.lock();
+    let _st = wait_for_turn(exec, st, tid);
+    guard
+}
+
+/// Marks its thread finished on drop and schedules a successor.
+pub struct FinishGuard {
+    tid: usize,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        let (exec, _) = current();
+        let mut st = exec.lock();
+        st.threads[self.tid].finished = true;
+        if std::thread::panicking() && st.abort.is_none() {
+            st.abort =
+                Some("loom: a model thread panicked (its message was printed above)".to_owned());
+        }
+        // This drop may run during unwind; a deadlock here must not
+        // panic (that would abort the process) — record it instead.
+        pick_next_soft(&exec, &mut st);
+        drop(st);
+        clear();
+    }
+}
+
+/// Parks the calling thread until thread `tid` has finished.
+pub fn join_block(tid: usize) {
+    let (exec, me) = current();
+    let mut st = exec.lock();
+    st.threads[me].blocked = Blocked::OnJoin(tid);
+    pick_next(&exec, &mut st);
+    st = wait_for_turn(&exec, st, me);
+    debug_assert!(st.threads[tid].finished);
+    st.threads[me].blocked = Blocked::Ready;
+}
+
+/// Given a completed execution's decision path, computes the replay
+/// prefix of the next unexplored execution (depth-first), or `None` when
+/// the space is exhausted.
+fn next_prefix(mut path: Vec<Decision>) -> Option<Vec<usize>> {
+    while let Some(last) = path.last() {
+        if last.chosen + 1 < last.options {
+            let mut prefix: Vec<usize> = path.iter().map(|d| d.chosen).collect();
+            if let Some(tail) = prefix.last_mut() {
+                *tail += 1;
+            }
+            return Some(prefix);
+        }
+        path.pop();
+    }
+    None
+}
+
+/// Runs `f` once per distinct thread interleaving, exhaustively.
+///
+/// Threads spawned with [`crate::thread::spawn`] and synchronisation
+/// through [`crate::sync`] are interleaved at every visible operation;
+/// assertion failures, deadlocks and model-thread panics fail the
+/// enclosing test deterministically.
+///
+/// # Panics
+///
+/// Propagates the first panic of any explored execution; panics if the
+/// model exceeds the exploration bound (`LOOM_MAX_BRANCHES` executions,
+/// default 100 000) or uses the primitives nondeterministically.
+// Guard lifetime IS the algorithm here: the cleanup block holds the
+// state lock across the wait-all loop by design.
+#[allow(clippy::significant_drop_tightening)]
+pub fn model<F: Fn()>(f: F) {
+    let max_branches = std::env::var("LOOM_MAX_BRANCHES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MAX_BRANCHES);
+    let mut prefix = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= max_branches,
+            "loom: exploration exceeded {max_branches} executions; shrink the model \
+             or raise LOOM_MAX_BRANCHES"
+        );
+        let exec = Arc::new(Execution::new(prefix));
+        install(&exec, 0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(&f));
+
+        // Main is done; let remaining threads (if any) run to completion
+        // so their OS threads exit and their panics are observed.
+        {
+            let mut st = exec.lock();
+            st.threads[0].finished = true;
+            if result.is_err() && st.abort.is_none() {
+                // Children must not wait forever for a main that died.
+                st.abort = Some("loom: the model's main thread panicked".to_owned());
+            }
+            // Soft: a deadlock among leftover children becomes an abort
+            // so they wake, die, and the wait-all below terminates.
+            pick_next_soft(&exec, &mut st);
+            while !st.threads.iter().all(|t| t.finished) {
+                st = exec
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        clear();
+
+        if let Err(payload) = result {
+            std::panic::resume_unwind(payload);
+        }
+        let st = exec.lock();
+        if let Some(msg) = st.abort.clone() {
+            drop(st);
+            panic!("{msg}");
+        }
+        let path = st.path.clone();
+        drop(st);
+        match next_prefix(path) {
+            Some(next) => prefix = next,
+            None => return,
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Checked drop-in replacements for `std::sync` / `parking_lot` types.
+//!
+//! Every operation on these types is a *visible operation*: the scheduler
+//! interposes before it executes, so all interleavings of such operations
+//! across model threads are explored. The data itself is carried by the
+//! corresponding `std` type — the scheduler only decides *when* each
+//! access happens, never *what* it does.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+use crate::rt;
+
+pub use std::sync::Arc;
+
+/// A mutual-exclusion lock with `parking_lot`-style (non-poisoning)
+/// `lock()`, matching the API the transport uses in production.
+///
+/// Under the model scheduler the lock never blocks an OS thread on
+/// contention; the owning model thread is simply descheduled until the
+/// lock frees up. A thread that re-locks a mutex it already holds
+/// deadlocks, which the scheduler reports by panicking.
+pub struct Mutex<T> {
+    id: usize,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new checked mutex. Must be called inside [`crate::model`].
+    pub fn new(data: T) -> Self {
+        Self {
+            id: rt::mutex_register(),
+            data: std::sync::Mutex::new(data),
+        }
+    }
+
+    /// Acquires the lock, descheduling this model thread while another
+    /// one holds it.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        rt::mutex_acquire(self.id);
+        // The scheduler has granted exclusive ownership; the underlying
+        // std lock is therefore free (or poisoned by an aborted sibling
+        // execution thread, which is equally fine to enter).
+        let inner = match self.data.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                unreachable!("scheduler granted a lock that is still held")
+            }
+        };
+        MutexGuard {
+            id: self.id,
+            inner: Some(inner),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases the lock (a visible operation) on
+/// drop.
+pub struct MutexGuard<'a, T> {
+    id: usize,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after drop")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std lock before telling the scheduler: once another
+        // model thread is eligible it must be able to enter immediately.
+        drop(self.inner.take());
+        rt::mutex_release(self.id);
+    }
+}
+
+/// Checked atomic integer and boolean types.
+///
+/// Each load, store and read-modify-write interposes a scheduling point
+/// before executing, so every interleaving of atomic accesses across
+/// model threads is explored. The `order` arguments are accepted for
+/// source compatibility but all accesses run `SeqCst` — see the crate
+/// docs for why that is the right strength for the code under test.
+pub mod atomic {
+    use crate::rt;
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! checked_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(value: $ty) -> Self {
+                    Self {
+                        inner: std::sync::atomic::$std::new(value),
+                    }
+                }
+
+                /// Loads the current value.
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    rt::switch();
+                    self.inner.load(Ordering::SeqCst)
+                }
+
+                /// Stores a new value.
+                pub fn store(&self, value: $ty, _order: Ordering) {
+                    rt::switch();
+                    self.inner.store(value, Ordering::SeqCst);
+                }
+
+                /// Replaces the value, returning the previous one.
+                pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
+                    rt::switch();
+                    self.inner.swap(value, Ordering::SeqCst)
+                }
+
+                /// Stores `new` if the current value equals `current`.
+                ///
+                /// # Errors
+                ///
+                /// Returns the actual value when it differs from
+                /// `current`, exactly like the std counterpart.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    rt::switch();
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    macro_rules! checked_atomic_int {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+            checked_atomic!($(#[$doc])* $name, $std, $ty);
+
+            impl $name {
+                /// Adds to the value, returning the previous one.
+                pub fn fetch_add(&self, value: $ty, _order: Ordering) -> $ty {
+                    rt::switch();
+                    self.inner.fetch_add(value, Ordering::SeqCst)
+                }
+
+                /// Subtracts from the value, returning the previous one.
+                pub fn fetch_sub(&self, value: $ty, _order: Ordering) -> $ty {
+                    rt::switch();
+                    self.inner.fetch_sub(value, Ordering::SeqCst)
+                }
+
+                /// Stores the maximum of the value and `value`,
+                /// returning the previous one.
+                pub fn fetch_max(&self, value: $ty, _order: Ordering) -> $ty {
+                    rt::switch();
+                    self.inner.fetch_max(value, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    checked_atomic!(
+        /// A checked `bool` with atomic access.
+        AtomicBool,
+        AtomicBool,
+        bool
+    );
+
+    impl AtomicBool {
+        /// Logical-or with the value, returning the previous one.
+        pub fn fetch_or(&self, value: bool, _order: Ordering) -> bool {
+            rt::switch();
+            self.inner.fetch_or(value, Ordering::SeqCst)
+        }
+
+        /// Logical-and with the value, returning the previous one.
+        pub fn fetch_and(&self, value: bool, _order: Ordering) -> bool {
+            rt::switch();
+            self.inner.fetch_and(value, Ordering::SeqCst)
+        }
+    }
+
+    checked_atomic_int!(
+        /// A checked `u32` with atomic access.
+        AtomicU32,
+        AtomicU32,
+        u32
+    );
+    checked_atomic_int!(
+        /// A checked `u64` with atomic access.
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    checked_atomic_int!(
+        /// A checked `usize` with atomic access.
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+}

@@ -1,0 +1,61 @@
+//! Checked thread spawn/join, mirroring `std::thread`.
+//!
+//! Spawned closures run on real OS threads, but the model scheduler
+//! gates them: a model thread only executes between two of its visible
+//! operations while every other model thread is parked, so execution is
+//! deterministic for a given decision sequence.
+
+use crate::rt;
+
+/// Handle to a spawned model thread; see [`spawn`].
+pub struct JoinHandle<T> {
+    tid: usize,
+    real: std::thread::JoinHandle<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// Descheduling, not OS blocking: other model threads keep running
+    /// until this one's target finishes. If the target panicked, the
+    /// panic is propagated here (unlike `std`, which returns an `Err`
+    /// payload — models should fail loudly, not inspect payloads).
+    ///
+    /// Not `#[must_use]`: joining purely for the synchronisation effect
+    /// (`T = ()`) is the common case in models.
+    #[allow(clippy::must_use_candidate)] // see doc note above
+    pub fn join(self) -> T {
+        rt::join_block(self.tid);
+        match self.real.join() {
+            Ok(value) => value,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// Spawns a new model thread running `f`.
+///
+/// The spawn itself is a visible operation; the child becomes eligible
+/// immediately and the scheduler decides whether parent or child (or
+/// any other eligible thread) runs next.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    rt::switch();
+    let tid = rt::register_thread();
+    let exec = rt::current_execution();
+    let real = std::thread::spawn(move || {
+        // The guard marks this thread finished even if `f` panics, so a
+        // failed assertion can never wedge the exploration.
+        let _finished = rt::attach(&exec, tid);
+        f()
+    });
+    JoinHandle { tid, real }
+}
+
+/// Yields to the scheduler: a plain context-switch point.
+pub fn yield_now() {
+    rt::switch();
+}

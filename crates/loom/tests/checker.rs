@@ -1,0 +1,185 @@
+//! Sanity tests for the model checker itself: it must explore enough
+//! interleavings to find textbook races, report deadlocks, and terminate
+//! on correct programs.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::Mutex as StdMutex;
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+
+#[test]
+fn mutex_counter_is_correct_under_every_interleaving() {
+    loom::model(|| {
+        let counter = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || *counter.lock() += 1)
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(*counter.lock(), 2);
+    });
+}
+
+#[test]
+fn exploration_visits_both_outcomes_of_a_lost_update() {
+    // The classic non-atomic increment: load, then store(load + 1).
+    // Depending on the interleaving the final value is 1 or 2; an
+    // exhaustive explorer must witness both.
+    let outcomes = StdMutex::new(HashSet::new());
+    let executions = StdAtomicUsize::new(0);
+    loom::model(|| {
+        executions.fetch_add(1, StdOrdering::Relaxed);
+        let cell = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    let v = cell.load(Ordering::SeqCst);
+                    cell.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        outcomes.lock().unwrap().insert(cell.load(Ordering::SeqCst));
+    });
+    let outcomes = outcomes.into_inner().unwrap();
+    assert_eq!(outcomes, HashSet::from([1, 2]));
+    assert!(executions.load(StdOrdering::Relaxed) >= 2);
+}
+
+#[test]
+fn racy_assertion_fails_the_model() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let cell = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    thread::spawn(move || {
+                        let v = cell.load(Ordering::SeqCst);
+                        cell.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            // Wrong: some interleaving loses an update. The checker must
+            // find that interleaving and fail.
+            assert_eq!(cell.load(Ordering::SeqCst), 2);
+        });
+    }));
+    assert!(result.is_err(), "checker missed the lost-update race");
+}
+
+#[test]
+fn abba_lock_ordering_deadlock_is_detected() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+            let t2 = thread::spawn(move || {
+                let _gb = b3.lock();
+                let _ga = a3.lock();
+            });
+            t1.join();
+            t2.join();
+        });
+    }));
+    let payload = result.expect_err("checker missed the ABBA deadlock");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+        .unwrap_or_default();
+    assert!(
+        message.contains("deadlock"),
+        "expected a deadlock report, got: {message}"
+    );
+}
+
+#[test]
+// Holding both guards to the end is the point: the test proves the
+// consistent-order discipline never deadlocks.
+#[allow(clippy::significant_drop_tightening)]
+fn consistent_lock_ordering_passes() {
+    loom::model(|| {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                thread::spawn(move || {
+                    let mut ga = a.lock();
+                    let mut gb = b.lock();
+                    *ga += 1;
+                    *gb += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(*a.lock(), 2);
+        assert_eq!(*b.lock(), 2);
+    });
+}
+
+#[test]
+fn child_panic_fails_the_model() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let flag = Arc::new(AtomicUsize::new(0));
+            let f2 = Arc::clone(&flag);
+            let t = thread::spawn(move || {
+                assert_eq!(f2.load(Ordering::SeqCst), 99, "intentional model failure");
+            });
+            t.join();
+        });
+    }));
+    assert!(result.is_err(), "child panic was swallowed");
+}
+
+#[test]
+fn compare_exchange_race_resolves_exactly_one_winner() {
+    loom::model(|| {
+        let cell = Arc::new(AtomicUsize::new(0));
+        let wins = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (1..=2)
+            .map(|id| {
+                let cell = Arc::clone(&cell);
+                let wins = Arc::clone(&wins);
+                thread::spawn(move || {
+                    if cell
+                        .compare_exchange(0, id, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        wins.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(wins.load(Ordering::SeqCst), 1);
+        let final_value = cell.load(Ordering::SeqCst);
+        assert!(final_value == 1 || final_value == 2);
+    });
+}

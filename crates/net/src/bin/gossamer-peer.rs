@@ -100,6 +100,6 @@ fn main() -> ExitCode {
     let _ = peer.flush();
     eprintln!("stdin closed; buffered data remains collectable (Ctrl-C to exit)");
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+        std::thread::sleep(std::time::Duration::from_hours(1));
     }
 }

@@ -71,6 +71,9 @@ impl LocalCluster {
     /// # Errors
     ///
     /// Returns an error if any daemon fails to bind its listener.
+    // Configs are taken by value builder-style and cloned once per peer;
+    // references would force every call site to keep a binding alive.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn start_with_faults(
         n_peers: usize,
         node_config: NodeConfig,
@@ -129,7 +132,7 @@ impl LocalCluster {
             c.set_siblings(collector_addrs.clone());
         }
 
-        let cluster = LocalCluster {
+        let cluster = Self {
             peers,
             peer_specs,
             collectors,
@@ -148,11 +151,13 @@ impl LocalCluster {
     }
 
     /// Number of peer slots (live or crashed).
-    pub fn peer_count(&self) -> usize {
+    #[must_use]
+    pub const fn peer_count(&self) -> usize {
         self.peers.len()
     }
 
     /// Number of peers currently running.
+    #[must_use]
     pub fn live_peer_count(&self) -> usize {
         self.peers.iter().flatten().count()
     }
@@ -162,6 +167,7 @@ impl LocalCluster {
     /// # Panics
     ///
     /// Panics if `i` is out of range or the peer is crashed.
+    #[must_use]
     pub fn peer(&self, i: usize) -> &PeerHandle {
         self.peers[i].as_ref().expect("peer slot is crashed")
     }
@@ -171,6 +177,7 @@ impl LocalCluster {
     /// # Panics
     ///
     /// Panics if `j` is out of range.
+    #[must_use]
     pub fn collector(&self, j: usize) -> &CollectorHandle {
         &self.collectors[j]
     }

@@ -26,7 +26,17 @@ const TYPE_DECODED_ANNOUNCE: u8 = 5;
 
 /// Hard cap on accepted frame sizes; a malicious or corrupt length
 /// prefix must not trigger a giant allocation.
-pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+///
+/// Sized to hold the largest
+/// block frame the coding layer itself accepts
+/// ([`wire::MAX_FRAME_LEN`]) plus this codec's own envelope.
+pub const MAX_FRAME: usize = wire::MAX_FRAME_LEN + 64;
+
+/// Granularity of body reads: the buffer for a frame body grows in steps
+/// of this many bytes as data actually arrives, so a length prefix that
+/// *declares* megabytes the sender never transmits cannot make the
+/// reader allocate them.
+const READ_CHUNK: usize = 64 * 1024;
 
 /// Errors from frame decoding.
 #[derive(Debug)]
@@ -42,9 +52,9 @@ pub enum CodecError {
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CodecError::Io(e) => write!(f, "io error: {e}"),
-            CodecError::Malformed(what) => write!(f, "malformed frame: {what}"),
-            CodecError::Block(e) => write!(f, "bad block payload: {e}"),
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Malformed(what) => write!(f, "malformed frame: {what}"),
+            Self::Block(e) => write!(f, "bad block payload: {e}"),
         }
     }
 }
@@ -53,17 +63,18 @@ impl std::error::Error for CodecError {}
 
 impl From<io::Error> for CodecError {
     fn from(e: io::Error) -> Self {
-        CodecError::Io(e)
+        Self::Io(e)
     }
 }
 
 impl From<gossamer_rlnc::WireError> for CodecError {
     fn from(e: gossamer_rlnc::WireError) -> Self {
-        CodecError::Block(e)
+        Self::Block(e)
     }
 }
 
 /// Serialises one message into a self-delimiting frame.
+#[must_use]
 pub fn encode_frame(from: Addr, message: &Message) -> Vec<u8> {
     let mut payload = BytesMut::new();
     let msg_type = match message {
@@ -109,6 +120,12 @@ pub fn encode_frame(from: Addr, message: &Message) -> Vec<u8> {
 }
 
 /// Decodes the body of a frame (everything after the length prefix).
+///
+/// # Errors
+///
+/// Returns [`CodecError::Malformed`] for a truncated body or unknown
+/// message type, and [`CodecError::Block`] when an embedded coded block
+/// fails wire decoding.
 pub fn decode_body(body: &[u8]) -> Result<(Addr, Message), CodecError> {
     if body.len() < 5 {
         return Err(CodecError::Malformed("body shorter than header"));
@@ -176,6 +193,10 @@ pub fn decode_body(body: &[u8]) -> Result<(Addr, Message), CodecError> {
 }
 
 /// Writes one frame to a stream.
+///
+/// # Errors
+///
+/// Propagates the underlying socket write/flush failure.
 pub fn write_frame<W: Write>(writer: &mut W, from: Addr, message: &Message) -> io::Result<()> {
     let frame = encode_frame(from, message);
     writer.write_all(&frame)?;
@@ -184,20 +205,111 @@ pub fn write_frame<W: Write>(writer: &mut W, from: Addr, message: &Message) -> i
 
 /// Reads one frame from a stream. Returns `Ok(None)` on a clean EOF at a
 /// frame boundary.
+///
+/// A read timeout (`WouldBlock`/`TimedOut`) surfaces as
+/// [`CodecError::Io`] and may leave the stream mid-frame; a caller that
+/// wants to keep the connection across idle timeouts must use
+/// [`read_frame_retrying`], which resumes the partial frame instead of
+/// desynchronising.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Io`] for socket failures (including mid-frame
+/// EOF), [`CodecError::Malformed`] for structurally invalid frames, and
+/// [`CodecError::Block`] for embedded blocks that fail wire decoding.
 pub fn read_frame<R: Read>(reader: &mut R) -> Result<Option<(Addr, Message)>, CodecError> {
+    read_frame_retrying(reader, || true)
+}
+
+/// Reads one frame, retrying across read timeouts.
+///
+/// On every `WouldBlock`/`TimedOut` the `abort` callback is consulted:
+/// while it returns `false` the read resumes exactly where it stopped —
+/// a frame split across timeouts is reassembled rather than desyncing
+/// the stream — and once it returns `true` the function gives up with
+/// the timeout error.
+///
+/// This is the read path of daemon reader threads: `abort` polls the
+/// daemon's shutdown flag, so an idle or half-delivered frame never
+/// wedges shutdown, and a slow sender never corrupts framing.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Io`] for socket errors (including a timeout
+/// after `abort` fired), or a decode error if the frame is malformed.
+pub fn read_frame_retrying<R: Read, A: FnMut() -> bool>(
+    reader: &mut R,
+    mut abort: A,
+) -> Result<Option<(Addr, Message)>, CodecError> {
     let mut len_buf = [0u8; 4];
-    match reader.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e.into()),
+    match read_full(reader, &mut len_buf, true, &mut abort)? {
+        Progress::Done => {}
+        Progress::CleanEof => return Ok(None),
     }
     let len = u32::from_be_bytes(len_buf) as usize;
     if !(5..=MAX_FRAME).contains(&len) {
         return Err(CodecError::Malformed("frame length out of bounds"));
     }
-    let mut body = vec![0u8; len];
-    reader.read_exact(&mut body)?;
+    // Grow the buffer with the bytes that actually arrive instead of
+    // trusting the declared length for one big up-front allocation.
+    let mut body = Vec::with_capacity(len.min(READ_CHUNK));
+    while body.len() < len {
+        let step = (len - body.len()).min(READ_CHUNK);
+        let start = body.len();
+        body.resize(start + step, 0);
+        match read_full(reader, &mut body[start..], false, &mut abort)? {
+            Progress::Done => {}
+            // Unreachable (`at_boundary` is false mid-frame), but decode
+            // paths carry no panic sites — map it to the error a real
+            // mid-frame EOF produces.
+            Progress::CleanEof => {
+                return Err(CodecError::Io(io::ErrorKind::UnexpectedEof.into()));
+            }
+        }
+    }
     decode_body(&body).map(Some)
+}
+
+enum Progress {
+    Done,
+    CleanEof,
+}
+
+/// Fills `buf` completely, retrying timeouts until `abort` says stop.
+/// `at_boundary` marks the read as starting at a frame boundary, where
+/// EOF (or aborting before any byte arrived) is clean rather than an
+/// error.
+fn read_full<R: Read, A: FnMut() -> bool>(
+    reader: &mut R,
+    buf: &mut [u8],
+    at_boundary: bool,
+    abort: &mut A,
+) -> Result<Progress, CodecError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if at_boundary && filled == 0 {
+                    return Ok(Progress::CleanEof);
+                }
+                return Err(CodecError::Io(io::ErrorKind::UnexpectedEof.into()));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if abort() {
+                    return Err(CodecError::Io(e));
+                }
+            }
+            Err(e) => return Err(CodecError::Io(e)),
+        }
+    }
+    Ok(Progress::Done)
 }
 
 #[cfg(test)]
@@ -209,26 +321,26 @@ mod tests {
         CodedBlock::new(SegmentId::compose(3, 4), vec![1, 2, 3], vec![0xAB; 48]).unwrap()
     }
 
-    fn round_trip(msg: Message) {
-        let frame = encode_frame(Addr(9), &msg);
+    fn round_trip(msg: &Message) {
+        let frame = encode_frame(Addr(9), msg);
         let (from, decoded) = decode_body(&frame[4..]).unwrap();
         assert_eq!(from, Addr(9));
-        assert_eq!(decoded, msg);
+        assert_eq!(decoded, *msg);
     }
 
     #[test]
     fn all_message_types_round_trip() {
-        round_trip(Message::Gossip(block()));
-        round_trip(Message::GossipAck {
+        round_trip(&Message::Gossip(block()));
+        round_trip(&Message::GossipAck {
             segment: SegmentId::compose(1, 2),
             rank: 7,
             accepted: true,
         });
-        round_trip(Message::PullRequest);
-        round_trip(Message::PullResponse(None));
-        round_trip(Message::PullResponse(Some(block())));
-        round_trip(Message::DecodedAnnounce { segments: vec![] });
-        round_trip(Message::DecodedAnnounce {
+        round_trip(&Message::PullRequest);
+        round_trip(&Message::PullResponse(None));
+        round_trip(&Message::PullResponse(Some(block())));
+        round_trip(&Message::DecodedAnnounce { segments: vec![] });
+        round_trip(&Message::DecodedAnnounce {
             segments: vec![SegmentId::new(1), SegmentId::compose(9, 9)],
         });
     }

@@ -24,13 +24,10 @@
 //!   drop, delay, duplicate or partition outbound traffic for chaos
 //!   tests (see [`crate::fault`]).
 
-use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -38,11 +35,12 @@ use gossamer_core::{
     Addr, Collector, CollectorConfig, CollectorStats, Message, NodeConfig, Outbound, PeerNode,
     PeerStats, ProtocolError, TransportHealth,
 };
-use parking_lot::Mutex;
 
-use crate::codec::{read_frame, write_frame, CodecError};
+use crate::codec::{read_frame_retrying, write_frame, CodecError};
 use crate::fault::{FaultAction, FaultInjector, FaultPlan};
 use crate::health::{HealthConfig, HealthRegistry};
+use crate::pool::ConnPool;
+use crate::sync::{Arc, AtomicBool, AtomicU64, Mutex, Ordering};
 
 /// Poll interval of the timer thread driving node ticks.
 const TICK_INTERVAL: Duration = Duration::from_millis(2);
@@ -76,9 +74,9 @@ pub enum DaemonError {
 impl std::fmt::Display for DaemonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DaemonError::Io(e) => write!(f, "io error: {e}"),
-            DaemonError::Protocol(e) => write!(f, "protocol error: {e}"),
-            DaemonError::Closed => write!(f, "daemon is shut down"),
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Protocol(e) => write!(f, "protocol error: {e}"),
+            Self::Closed => write!(f, "daemon is shut down"),
         }
     }
 }
@@ -87,13 +85,13 @@ impl std::error::Error for DaemonError {}
 
 impl From<io::Error> for DaemonError {
     fn from(e: io::Error) -> Self {
-        DaemonError::Io(e)
+        Self::Io(e)
     }
 }
 
 impl From<ProtocolError> for DaemonError {
     fn from(e: ProtocolError) -> Self {
-        DaemonError::Protocol(e)
+        Self::Protocol(e)
     }
 }
 
@@ -110,10 +108,10 @@ trait ProtocolNode: Send + 'static {
 
 impl ProtocolNode for PeerNode {
     fn tick(&mut self, now: f64) -> Vec<Outbound> {
-        PeerNode::tick(self, now)
+        Self::tick(self, now)
     }
     fn handle(&mut self, from: Addr, message: Message, now: f64) -> Vec<Outbound> {
-        PeerNode::handle(self, from, message, now)
+        Self::handle(self, from, message, now)
     }
     fn apply_targets(&mut self, targets: Vec<Addr>) {
         self.set_neighbours(targets);
@@ -122,23 +120,18 @@ impl ProtocolNode for PeerNode {
 
 impl ProtocolNode for Collector {
     fn tick(&mut self, now: f64) -> Vec<Outbound> {
-        Collector::tick(self, now)
+        Self::tick(self, now)
     }
     fn handle(&mut self, from: Addr, message: Message, now: f64) -> Vec<Outbound> {
-        Collector::handle(self, from, message, now)
+        Self::handle(self, from, message, now)
     }
     fn apply_targets(&mut self, targets: Vec<Addr>) {
         self.set_peers(targets);
     }
 }
 
-/// A pooled write half, tagged with a connection generation so the
-/// reader that backs it can remove exactly this entry when it exits
-/// (and never a replacement established in the meantime).
-struct PooledConn {
-    stream: Arc<Mutex<TcpStream>>,
-    id: u64,
-}
+/// A pooled write half: the shared TCP stream behind one pool entry.
+type WriteHalf = Arc<Mutex<TcpStream>>;
 
 /// A message held back by the fault injector's delay lane.
 struct DelayedSend {
@@ -153,8 +146,8 @@ struct Shared<T> {
     start: Instant,
     /// Where to dial each known address.
     book: Mutex<HashMap<Addr, SocketAddr>>,
-    /// Open outbound connections.
-    pool: Mutex<HashMap<Addr, PooledConn>>,
+    /// Open connections, generation-tagged (see [`crate::pool`]).
+    pool: ConnPool<WriteHalf>,
     /// Messages awaiting a connection, flushed when the dial lands.
     pending: Mutex<HashMap<Addr, VecDeque<Message>>>,
     /// Per-peer failure tracking, backoff and quarantine state.
@@ -172,7 +165,6 @@ struct Shared<T> {
     delay_tx: mpsc::SyncSender<DelayedSend>,
     /// Every live reader thread, accept-side and dial-side alike.
     readers: Mutex<Vec<JoinHandle<()>>>,
-    conn_seq: AtomicU64,
     shutdown: AtomicBool,
     io_errors: AtomicU64,
     frames_in: AtomicU64,
@@ -199,10 +191,13 @@ impl<T: ProtocolNode> Shared<T> {
     /// message to [`Shared::transmit`]. Never dials and never blocks
     /// beyond one bounded socket write.
     fn send(self: &Arc<Self>, to: Addr, message: &Message) {
-        let action = match &*self.fault.lock() {
-            Some(injector) => injector.on_send(self.addr, to),
-            None => FaultAction::Deliver,
-        };
+        let action = self
+            .fault
+            .lock()
+            .as_ref()
+            .map_or(FaultAction::Deliver, |injector| {
+                injector.on_send(self.addr, to)
+            });
         match action {
             FaultAction::Deliver => self.transmit(to, message),
             FaultAction::Drop => {
@@ -229,13 +224,15 @@ impl<T: ProtocolNode> Shared<T> {
     /// Best-effort send over an established connection; failures drop
     /// the pooled connection, feed the health registry and are counted.
     /// Unconnected targets get a dial request instead of an inline dial.
+    // The pending-queue guard spans exactly the park-or-shed critical
+    // section; tightening it would split one atomic decision in two.
+    #[allow(clippy::significant_drop_tightening)]
     fn transmit(self: &Arc<Self>, to: Addr, message: &Message) {
         if self.health.lock().is_quarantined(to) {
             self.sends_suppressed.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let pooled = self.pool.lock().get(&to).map(|c| (c.stream.clone(), c.id));
-        let Some((stream, id)) = pooled else {
+        let Some((stream, id)) = self.pool.get(to) else {
             // Park the message until the background dial lands; the cap
             // sheds the oldest first once a peer stops answering.
             {
@@ -282,7 +279,7 @@ impl<T: ProtocolNode> Shared<T> {
 
     /// One dial attempt, run on the connector thread only.
     fn try_dial(self: &Arc<Self>, to: Addr) {
-        if self.shutdown.load(Ordering::Acquire) || self.pool.lock().contains_key(&to) {
+        if self.shutdown.load(Ordering::Acquire) || self.pool.contains(to) {
             return;
         }
         let now = self.now();
@@ -302,46 +299,30 @@ impl<T: ProtocolNode> Shared<T> {
             let write_half = stream.try_clone()?;
             Ok((stream, write_half))
         });
-        match dialed {
-            Ok((stream, write_half)) => {
-                let id = self.conn_seq.fetch_add(1, Ordering::Relaxed) + 1;
-                let inserted = {
-                    let mut pool = self.pool.lock();
-                    match pool.entry(to) {
-                        // An accept-side return path won the race; drop
-                        // our duplicate socket.
-                        Entry::Occupied(_) => false,
-                        Entry::Vacant(slot) => {
-                            slot.insert(PooledConn {
-                                stream: Arc::new(Mutex::new(write_half)),
-                                id,
-                            });
-                            true
-                        }
-                    }
-                };
-                if inserted {
-                    self.health.lock().on_success(to);
-                    // Connections are bidirectional: the remote replies
-                    // over this same stream, so a dialed connection
-                    // needs a reader too.
-                    self.spawn_reader(stream, Some((to, id)));
-                    self.flush_pending(to);
-                }
+        if let Ok((stream, write_half)) = dialed {
+            // A `None` means an accept-side return path won the
+            // establishment race; drop our duplicate socket.
+            let inserted = self.pool.try_insert(to, Arc::new(Mutex::new(write_half)));
+            if let Some(id) = inserted {
+                self.health.lock().on_success(to);
+                // Connections are bidirectional: the remote replies
+                // over this same stream, so a dialed connection
+                // needs a reader too.
+                self.spawn_reader(stream, Some((to, id)));
+                self.flush_pending(to);
             }
-            Err(_) => {
-                self.dials_failed.fetch_add(1, Ordering::Relaxed);
-                self.io_errors.fetch_add(1, Ordering::Relaxed);
-                let quarantined = {
-                    let mut health = self.health.lock();
-                    health.on_failure(to, now);
-                    health.is_quarantined(to)
-                };
-                if quarantined {
-                    // Nothing parked for a quarantined peer will ever
-                    // flush; shed it now.
-                    self.pending.lock().remove(&to);
-                }
+        } else {
+            self.dials_failed.fetch_add(1, Ordering::Relaxed);
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+            let quarantined = {
+                let mut health = self.health.lock();
+                health.on_failure(to, now);
+                health.is_quarantined(to)
+            };
+            if quarantined {
+                // Nothing parked for a quarantined peer will ever
+                // flush; shed it now.
+                self.pending.lock().remove(&to);
             }
         }
     }
@@ -361,10 +342,7 @@ impl<T: ProtocolNode> Shared<T> {
     /// Removes the pooled connection for `addr` only if it is still
     /// generation `id` (a replacement connection is left alone).
     fn drop_conn(&self, addr: Addr, id: u64) {
-        let mut pool = self.pool.lock();
-        if pool.get(&addr).is_some_and(|c| c.id == id) {
-            pool.remove(&addr);
-        }
+        self.pool.remove_if_current(addr, id);
     }
 
     /// Registers a reader thread in the shared registry.
@@ -376,10 +354,14 @@ impl<T: ProtocolNode> Shared<T> {
 
     /// Joins every reader thread that has already finished, so the
     /// registry stays bounded by the number of *live* connections.
+    // The registry guard must cover the whole scan: a concurrent push
+    // while reaping would invalidate the swap_remove cursor.
+    #[allow(clippy::significant_drop_tightening)]
     fn reap_readers(&self) {
         let mut readers = self.readers.lock();
         let mut i = 0;
         while i < readers.len() {
+            // xtask-ok: index (i < readers.len() by the loop guard)
             if readers[i].is_finished() {
                 let handle = readers.swap_remove(i);
                 let _ = handle.join();
@@ -393,7 +375,7 @@ impl<T: ProtocolNode> Shared<T> {
     /// quarantine pruning (it is re-derived on the next maintenance
     /// pass).
     fn set_targets(self: &Arc<Self>, targets: Vec<Addr>) {
-        *self.full_targets.lock() = targets.clone();
+        self.full_targets.lock().clone_from(&targets);
         self.applied_quarantine.lock().clear();
         self.node.lock().apply_targets(targets);
     }
@@ -488,6 +470,9 @@ fn spawn_acceptor<T: ProtocolNode>(
 /// accept-side readers learn it when they register a return path. On
 /// exit the matching pool entry (and only that generation) is removed,
 /// so a dead connection cannot linger in the pool.
+// Takes the `Arc` by value: the reader thread must own its clone so the
+// shared state's refcount tracks the thread's lifetime.
+#[allow(clippy::needless_pass_by_value)]
 fn reader_loop<T: ProtocolNode>(
     mut stream: TcpStream,
     shared: Arc<Shared<T>>,
@@ -498,7 +483,11 @@ fn reader_loop<T: ProtocolNode>(
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
-        match read_frame(&mut stream) {
+        // Timeouts inside a partially received frame resume where they
+        // stopped (instead of desynchronising the stream); the abort
+        // callback lets shutdown interrupt the wait.
+        let frame = read_frame_retrying(&mut stream, || shared.shutdown.load(Ordering::Acquire));
+        match frame {
             Ok(Some((from, message))) => {
                 if first_frame {
                     first_frame = false;
@@ -512,13 +501,10 @@ fn reader_loop<T: ProtocolNode>(
                     // by peers).
                     if pool_ref.is_none() {
                         if let Ok(write_half) = stream.try_clone() {
-                            let mut pool = shared.pool.lock();
-                            if let Entry::Vacant(slot) = pool.entry(from) {
-                                let id = shared.conn_seq.fetch_add(1, Ordering::Relaxed) + 1;
-                                slot.insert(PooledConn {
-                                    stream: Arc::new(Mutex::new(write_half)),
-                                    id,
-                                });
+                            if let Some(id) = shared
+                                .pool
+                                .try_insert(from, Arc::new(Mutex::new(write_half)))
+                            {
                                 pool_ref = Some((from, id));
                             }
                         }
@@ -536,7 +522,9 @@ fn reader_loop<T: ProtocolNode>(
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                continue;
+                // Only reachable once the shutdown flag fired: a plain
+                // idle timeout is retried inside read_frame_retrying.
+                break;
             }
             Err(_) => {
                 shared.io_errors.fetch_add(1, Ordering::Relaxed);
@@ -588,7 +576,7 @@ fn spawn_connector<T: ProtocolNode>(
                     shared.try_dial(addr);
                     shared.reap_readers();
                 }
-                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
         }
@@ -617,6 +605,7 @@ fn spawn_delay_line<T: ProtocolNode>(
             let now = Instant::now();
             let mut i = 0;
             while i < parked.len() {
+                // xtask-ok: index (i < parked.len() by the loop guard)
                 if parked[i].due <= now {
                     let delayed = parked.swap_remove(i);
                     shared.transmit(delayed.to, &delayed.message);
@@ -650,7 +639,7 @@ impl<T: ProtocolNode> Daemon<T> {
             node: Mutex::new(node),
             start: Instant::now(),
             book: Mutex::new(HashMap::new()),
-            pool: Mutex::new(HashMap::new()),
+            pool: ConnPool::new(),
             pending: Mutex::new(HashMap::new()),
             health: Mutex::new(HealthRegistry::new(HealthConfig::default())),
             fault: Mutex::new(None),
@@ -659,7 +648,6 @@ impl<T: ProtocolNode> Daemon<T> {
             dial_tx,
             delay_tx,
             readers: Mutex::new(Vec::new()),
-            conn_seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             io_errors: AtomicU64::new(0),
             frames_in: AtomicU64::new(0),
@@ -676,7 +664,7 @@ impl<T: ProtocolNode> Daemon<T> {
             spawn_connector(shared.clone(), dial_rx),
             spawn_delay_line(shared.clone(), delay_rx),
         ];
-        Ok(Daemon {
+        Ok(Self {
             shared,
             socket,
             threads,
@@ -710,7 +698,10 @@ impl<T: ProtocolNode> Daemon<T> {
         for r in readers {
             let _ = r.join();
         }
-        self.shared.pool.lock().clear();
+        // Workers and readers are all joined: nothing can insert into
+        // the pool any more, so clearing it now leaves no stale write
+        // half behind (model-checked in `tests/loom_models.rs`).
+        self.shared.pool.clear();
     }
 }
 
@@ -734,7 +725,7 @@ impl PeerHandle {
     /// Returns an error if the listener cannot bind.
     pub fn spawn(addr: Addr, config: NodeConfig, seed: u64) -> Result<Self, DaemonError> {
         let node = PeerNode::new(addr, config, seed);
-        Ok(PeerHandle {
+        Ok(Self {
             daemon: Daemon::spawn(addr, node)?,
         })
     }
@@ -752,18 +743,20 @@ impl PeerHandle {
         seed: u64,
     ) -> Result<Self, DaemonError> {
         let node = PeerNode::new(addr, config, seed);
-        Ok(PeerHandle {
+        Ok(Self {
             daemon: Daemon::spawn_on(addr, node, listen)?,
         })
     }
 
     /// The protocol address of this peer.
+    #[must_use]
     pub fn addr(&self) -> Addr {
         self.daemon.shared.addr
     }
 
     /// The TCP socket this peer listens on.
-    pub fn socket(&self) -> SocketAddr {
+    #[must_use]
+    pub const fn socket(&self) -> SocketAddr {
         self.daemon.socket
     }
 
@@ -811,11 +804,13 @@ impl PeerHandle {
     }
 
     /// Snapshot of the node's counters.
+    #[must_use]
     pub fn stats(&self) -> PeerStats {
         self.daemon.shared.node.lock().stats()
     }
 
     /// Sequence number the next injected segment will carry.
+    #[must_use]
     pub fn next_sequence(&self) -> u32 {
         self.daemon.shared.node.lock().next_sequence()
     }
@@ -830,6 +825,7 @@ impl PeerHandle {
     }
 
     /// Frames sent/received and socket errors so far.
+    #[must_use]
     pub fn transport_counters(&self) -> (u64, u64, u64) {
         let s = &self.daemon.shared;
         (
@@ -841,6 +837,7 @@ impl PeerHandle {
 
     /// Full transport-health snapshot: aggregate counters, retry/backoff
     /// totals, per-peer link state and the largest observed tick gap.
+    #[must_use]
     pub fn transport_health(&self) -> TransportHealth {
         self.daemon.shared.transport_health()
     }
@@ -864,7 +861,7 @@ impl CollectorHandle {
     /// Returns an error if the listener cannot bind.
     pub fn spawn(addr: Addr, config: CollectorConfig, seed: u64) -> Result<Self, DaemonError> {
         let node = Collector::new(addr, config, seed);
-        Ok(CollectorHandle {
+        Ok(Self {
             daemon: Daemon::spawn(addr, node)?,
         })
     }
@@ -882,18 +879,20 @@ impl CollectorHandle {
         seed: u64,
     ) -> Result<Self, DaemonError> {
         let node = Collector::new(addr, config, seed);
-        Ok(CollectorHandle {
+        Ok(Self {
             daemon: Daemon::spawn_on(addr, node, listen)?,
         })
     }
 
     /// The protocol address of this collector.
+    #[must_use]
     pub fn addr(&self) -> Addr {
         self.daemon.shared.addr
     }
 
     /// The TCP socket this collector listens on.
-    pub fn socket(&self) -> SocketAddr {
+    #[must_use]
+    pub const fn socket(&self) -> SocketAddr {
         self.daemon.socket
     }
 
@@ -929,16 +928,19 @@ impl CollectorHandle {
     }
 
     /// Number of segments decoded so far.
+    #[must_use]
     pub fn segments_decoded(&self) -> usize {
         self.daemon.shared.node.lock().segments_decoded()
     }
 
     /// Snapshot of the collector's counters.
+    #[must_use]
     pub fn stats(&self) -> CollectorStats {
         self.daemon.shared.node.lock().stats()
     }
 
     /// Frames sent/received and socket errors so far.
+    #[must_use]
     pub fn transport_counters(&self) -> (u64, u64, u64) {
         let s = &self.daemon.shared;
         (
@@ -950,6 +952,7 @@ impl CollectorHandle {
 
     /// Full transport-health snapshot: aggregate counters, retry/backoff
     /// totals, per-peer link state and the largest observed tick gap.
+    #[must_use]
     pub fn transport_health(&self) -> TransportHealth {
         self.daemon.shared.transport_health()
     }

@@ -42,7 +42,7 @@ pub struct HealthConfig {
 
 impl Default for HealthConfig {
     fn default() -> Self {
-        HealthConfig {
+        Self {
             base_backoff: 0.05,
             max_backoff: 2.0,
             quarantine_after: 3,
@@ -54,6 +54,7 @@ impl Default for HealthConfig {
 impl HealthConfig {
     /// The un-jittered backoff delay after `failures` consecutive
     /// failures: `base · 2^(failures-1)`, capped at `max_backoff`.
+    #[must_use]
     pub fn backoff(&self, failures: u32) -> f64 {
         if failures == 0 {
             return 0.0;
@@ -83,15 +84,17 @@ pub struct HealthRegistry {
 
 impl HealthRegistry {
     /// Creates an empty registry.
+    #[must_use]
     pub fn new(config: HealthConfig) -> Self {
-        HealthRegistry {
+        Self {
             config,
             peers: HashMap::new(),
         }
     }
 
     /// The configuration in force.
-    pub fn config(&self) -> &HealthConfig {
+    #[must_use]
+    pub const fn config(&self) -> &HealthConfig {
         &self.config
     }
 
@@ -128,14 +131,15 @@ impl HealthRegistry {
 
     /// Whether a dial to `peer` is allowed at `now` (unknown peers and
     /// healthy peers: always; failing peers: once their backoff expires).
+    #[must_use]
     pub fn dial_allowed(&self, peer: Addr, now: f64) -> bool {
-        match self.peers.get(&peer) {
-            None => true,
-            Some(entry) => entry.consecutive_failures == 0 || now >= entry.next_attempt_at,
-        }
+        self.peers
+            .get(&peer)
+            .is_none_or(|entry| entry.consecutive_failures == 0 || now >= entry.next_attempt_at)
     }
 
     /// Whether `peer` has hit the quarantine threshold.
+    #[must_use]
     pub fn is_quarantined(&self, peer: Addr) -> bool {
         self.peers
             .get(&peer)
@@ -143,6 +147,7 @@ impl HealthRegistry {
     }
 
     /// All currently quarantined peers.
+    #[must_use]
     pub fn quarantined(&self) -> Vec<Addr> {
         let threshold = self.config.quarantine_after;
         self.peers
@@ -155,6 +160,7 @@ impl HealthRegistry {
     /// Quarantined peers whose re-probe is due at `now`. Each failed
     /// probe pushes the next one further out (up to `max_backoff`), so
     /// the probe rate decays toward a slow steady heartbeat.
+    #[must_use]
     pub fn due_reprobes(&self, now: f64) -> Vec<Addr> {
         let threshold = self.config.quarantine_after;
         self.peers
@@ -165,11 +171,13 @@ impl HealthRegistry {
     }
 
     /// Total retry attempts across all peers.
+    #[must_use]
     pub fn total_retries(&self) -> u64 {
         self.peers.values().map(|e| e.retries).sum()
     }
 
     /// Per-peer health snapshot for telemetry.
+    #[must_use]
     pub fn snapshot(&self) -> Vec<LinkHealth> {
         let threshold = self.config.quarantine_after;
         let mut links: Vec<LinkHealth> = self
@@ -199,7 +207,7 @@ fn jitter_factor(jitter: f64, peer: Addr, failures: u32) -> f64 {
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
     let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-    1.0 - jitter + 2.0 * jitter * unit
+    (2.0 * jitter).mul_add(unit, 1.0 - jitter)
 }
 
 #[cfg(test)]

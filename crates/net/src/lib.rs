@@ -46,13 +46,15 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cluster;
 pub mod codec;
 mod daemon;
 pub mod fault;
 pub mod health;
+pub mod pool;
+pub mod sync;
 pub mod util;
 
 pub use cluster::LocalCluster;

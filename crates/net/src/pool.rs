@@ -1,0 +1,150 @@
+//! Generation-tagged connection pool.
+//!
+//! The daemon keeps one pooled write half per peer. Entries are created
+//! racily from two sides — the background connector (dial-side) and
+//! reader threads registering accept-side return paths — and are torn
+//! down racily too: a reader that exits removes the entry backing *its*
+//! connection, which by then may already have been replaced by a fresh
+//! dial. Every insertion therefore gets a unique **generation id**, and
+//! removal is conditional on it: a stale reader can only ever evict its
+//! own dead generation, never a live replacement.
+//!
+//! The pool is generic over the connection payload so the concurrency
+//! protocol itself (insert/replace/conditional-remove under one lock,
+//! generations from an atomic counter) can be model-checked with plain
+//! integer payloads — see `tests/loom_models.rs` — while the daemon
+//! instantiates it with shared TCP write halves.
+
+use std::collections::HashMap;
+
+use gossamer_core::Addr;
+
+use crate::sync::{AtomicU64, Mutex, Ordering};
+
+/// A keyed set of live connections with generation-checked removal.
+#[derive(Debug)]
+pub struct ConnPool<C> {
+    entries: Mutex<HashMap<Addr, Pooled<C>>>,
+    seq: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Pooled<C> {
+    conn: C,
+    id: u64,
+}
+
+impl<C: Clone> ConnPool<C> {
+    /// Creates an empty pool. Generation ids start at 1.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The pooled connection for `addr` and its generation, if any.
+    pub fn get(&self, addr: Addr) -> Option<(C, u64)> {
+        self.entries
+            .lock()
+            .get(&addr)
+            .map(|p| (p.conn.clone(), p.id))
+    }
+
+    /// Whether `addr` currently has a pooled connection.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.entries.lock().contains_key(&addr)
+    }
+
+    /// Inserts a connection for `addr` unless one is already pooled,
+    /// returning the new entry's generation id on success. A `None`
+    /// means the caller lost an establishment race and should drop its
+    /// duplicate connection.
+    pub fn try_insert(&self, addr: Addr, conn: C) -> Option<u64> {
+        let id = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.entries.lock();
+        match entries.entry(addr) {
+            std::collections::hash_map::Entry::Occupied(_) => None,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Pooled { conn, id });
+                Some(id)
+            }
+        }
+    }
+
+    /// Removes the entry for `addr` only while it is still generation
+    /// `id`; a replacement connection established in the meantime is
+    /// left alone. Returns whether an entry was removed.
+    pub fn remove_if_current(&self, addr: Addr, id: u64) -> bool {
+        let mut entries = self.entries.lock();
+        if entries.get(&addr).is_some_and(|p| p.id == id) {
+            entries.remove(&addr);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops every pooled connection.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// Number of pooled connections.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the pool holds no connections.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+impl<C: Clone> Default for ConnPool<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_are_unique_and_increasing() {
+        let pool = ConnPool::new();
+        let a = pool.try_insert(Addr(1), "a").unwrap();
+        let b = pool.try_insert(Addr(2), "b").unwrap();
+        assert!(b > a);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn second_insert_for_same_addr_loses() {
+        let pool = ConnPool::new();
+        assert!(pool.try_insert(Addr(1), 10).is_some());
+        assert!(pool.try_insert(Addr(1), 20).is_none());
+        assert_eq!(pool.get(Addr(1)).map(|(c, _)| c), Some(10));
+    }
+
+    #[test]
+    fn stale_generation_cannot_evict_replacement() {
+        let pool = ConnPool::new();
+        let old = pool.try_insert(Addr(1), 10).unwrap();
+        assert!(pool.remove_if_current(Addr(1), old));
+        let new = pool.try_insert(Addr(1), 20).unwrap();
+        assert!(!pool.remove_if_current(Addr(1), old), "stale id must miss");
+        assert_eq!(pool.get(Addr(1)), Some((20, new)));
+    }
+
+    #[test]
+    fn clear_empties_the_pool() {
+        let pool = ConnPool::new();
+        pool.try_insert(Addr(1), ());
+        pool.try_insert(Addr(2), ());
+        pool.clear();
+        assert!(pool.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! Switchable synchronisation primitives.
+//!
+//! In production builds these are the crate's usual primitives:
+//! `parking_lot`'s mutex and `std`'s atomics. When the crate is compiled
+//! with `RUSTFLAGS="--cfg loom"` they swap to the `loom` model checker's
+//! instrumented versions, whose every acquisition and atomic access is a
+//! scheduling point — `cargo test -p gossamer-net --test loom_models`
+//! then explores *all* interleavings of the transport's lock/flag
+//! protocols instead of the ones the OS happens to produce.
+//!
+//! Everything in the daemon that synchronises threads must come through
+//! this module (not `std::sync`/`parking_lot` directly), or the model
+//! checker is blind to it.
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(loom)]
+pub use loom::sync::{Mutex, MutexGuard};
+
+#[cfg(not(loom))]
+pub use parking_lot::{Mutex, MutexGuard};
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+// `loom::sync::Arc` is a re-export of `std::sync::Arc` (cloning a
+// reference-counted pointer is not a visible operation to the checker),
+// so both configurations share one definition.
+pub use std::sync::Arc;

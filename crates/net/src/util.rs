@@ -65,8 +65,8 @@ impl CliOptions {
     /// Returns a [`CliError`] describing the first unknown flag, missing
     /// value, unparsable number, or unreadable book file. `--id` is
     /// required.
-    pub fn parse(args: &[String]) -> Result<CliOptions, CliError> {
-        let mut opts = CliOptions {
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut opts = Self {
             id: 0,
             book: Vec::new(),
             segment_size: 4,
@@ -193,7 +193,7 @@ mod tests {
     use super::*;
 
     fn strs(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| s.to_string()).collect()
+        args.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]

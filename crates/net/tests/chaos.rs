@@ -106,7 +106,7 @@ fn run_to_collection(
 
 #[test]
 fn cluster_survives_seeded_fault_plan() {
-    let plan = FaultPlan::new(0xC0FFEE)
+    let plan = FaultPlan::new(0x00C0_FFEE)
         .drop_rate(0.15)
         .duplicate_rate(0.05)
         .delay(0.05, Duration::from_millis(20))

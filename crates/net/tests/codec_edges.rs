@@ -1,0 +1,214 @@
+//! Framing edge cases: partial reads across frame boundaries, CRC
+//! bit-flips, zero-coefficient blocks, and `peek_frame_len` on every
+//! prefix of a valid frame.
+//!
+//! These complement the in-module codec/wire unit tests: everything here
+//! drives the *public* API the daemon reader threads use, through
+//! readers that deliver bytes as awkwardly as a real socket can.
+
+use std::io::{self, Read};
+
+use gossamer_core::{Addr, Message};
+use gossamer_net::codec::{self, CodecError};
+use gossamer_rlnc::{wire, CodedBlock, Decoder, SegmentId, SegmentParams};
+
+fn block() -> CodedBlock {
+    CodedBlock::new(SegmentId::compose(2, 5), vec![7, 1, 0, 3], vec![0x5A; 96]).unwrap()
+}
+
+fn sample_messages() -> Vec<Message> {
+    vec![
+        Message::PullRequest,
+        Message::Gossip(block()),
+        Message::GossipAck {
+            segment: SegmentId::compose(2, 5),
+            rank: 3,
+            accepted: true,
+        },
+        Message::PullResponse(Some(block())),
+        Message::PullResponse(None),
+        Message::DecodedAnnounce {
+            segments: vec![SegmentId::new(1), SegmentId::compose(8, 8)],
+        },
+    ]
+}
+
+fn encoded_stream(messages: &[Message]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for m in messages {
+        codec::write_frame(&mut stream, Addr(11), m).unwrap();
+    }
+    stream
+}
+
+/// Delivers at most `chunk` bytes per `read` call, so frame boundaries
+/// never line up with read boundaries.
+struct TrickleReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for TrickleReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = (self.data.len() - self.pos).min(self.chunk).min(buf.len());
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Returns `WouldBlock` before every productive read, so every frame is
+/// interrupted by a timeout mid-byte-stream.
+struct TimeoutEveryOther {
+    inner: TrickleReader,
+    ready: bool,
+}
+
+impl Read for TimeoutEveryOther {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.ready {
+            self.ready = false;
+            self.inner.read(buf)
+        } else {
+            self.ready = true;
+            Err(io::ErrorKind::WouldBlock.into())
+        }
+    }
+}
+
+#[test]
+fn frames_reassemble_across_partial_reads() {
+    let messages = sample_messages();
+    let stream = encoded_stream(&messages);
+    // Chunk sizes chosen to straddle the 4-byte length prefix, the
+    // 9-byte envelope, and every frame boundary in the stream.
+    for chunk in [1, 2, 3, 7, 13, 64] {
+        let mut reader = TrickleReader {
+            data: stream.clone(),
+            pos: 0,
+            chunk,
+        };
+        for expected in &messages {
+            let (from, got) = codec::read_frame(&mut reader)
+                .unwrap()
+                .expect("mid-stream frame");
+            assert_eq!(from, Addr(11), "chunk {chunk}");
+            assert_eq!(&got, expected, "chunk {chunk}");
+        }
+        assert!(
+            codec::read_frame(&mut reader).unwrap().is_none(),
+            "chunk {chunk}: clean EOF at the final boundary"
+        );
+    }
+}
+
+#[test]
+fn frames_survive_timeouts_between_every_byte() {
+    let messages = sample_messages();
+    let mut reader = TimeoutEveryOther {
+        inner: TrickleReader {
+            data: encoded_stream(&messages),
+            pos: 0,
+            chunk: 1,
+        },
+        ready: false,
+    };
+    for expected in &messages {
+        let (_, got) = codec::read_frame_retrying(&mut reader, || false)
+            .unwrap()
+            .expect("frame despite timeouts");
+        assert_eq!(&got, expected);
+    }
+}
+
+#[test]
+fn aborted_timeout_surfaces_as_io_error() {
+    // The reader times out before delivering a single byte; an abort
+    // callback that fires immediately must surface the timeout.
+    let mut reader = TimeoutEveryOther {
+        inner: TrickleReader {
+            data: encoded_stream(&[Message::PullRequest]),
+            pos: 0,
+            chunk: 1,
+        },
+        ready: false,
+    };
+    match codec::read_frame_retrying(&mut reader, || true) {
+        Err(CodecError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::WouldBlock),
+        other => panic!("expected timeout Io error, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_wire_bit_flip_is_detected() {
+    let frame = wire::encode(&block()).to_vec();
+    assert!(wire::decode(&frame).is_ok());
+    for byte in 0..frame.len() {
+        for bit in 0..8 {
+            let mut corrupt = frame.clone();
+            corrupt[byte] ^= 1 << bit;
+            assert!(
+                wire::decode(&corrupt).is_err(),
+                "flip of byte {byte} bit {bit} went undetected"
+            );
+        }
+    }
+}
+
+#[test]
+fn codec_bit_flips_beyond_the_envelope_are_detected() {
+    // The codec envelope is len(4) + from(4) + type(1); the `from` field
+    // is not checksummed (a flipped address still decodes), but every
+    // flip from the type byte onward must error: the type byte only maps
+    // to other message kinds whose payload layout then fails validation,
+    // and the gossip payload is CRC-protected by the wire format.
+    let frame = codec::encode_frame(Addr(11), &Message::Gossip(block()));
+    for byte in 8..frame.len() {
+        for bit in 0..8 {
+            let mut corrupt = frame.clone();
+            corrupt[byte] ^= 1 << bit;
+            assert!(
+                codec::decode_body(&corrupt[4..]).is_err(),
+                "flip of byte {byte} bit {bit} went undetected"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_coefficient_blocks_travel_but_add_no_rank() {
+    // An all-zero coefficient vector is wire-valid (the CRC covers it
+    // like any other header) but must decode to a block the Gaussian
+    // elimination treats as pure redundancy.
+    let zero = CodedBlock::new(SegmentId::compose(1, 1), vec![0, 0, 0], vec![9, 9, 9]).unwrap();
+    assert!(zero.is_zero());
+
+    let frame = wire::encode(&zero);
+    let decoded = wire::decode(&frame).unwrap();
+    assert_eq!(decoded, zero);
+
+    let via_codec = codec::encode_frame(Addr(3), &Message::Gossip(zero.clone()));
+    let (_, msg) = codec::decode_body(&via_codec[4..]).unwrap();
+    assert_eq!(msg, Message::Gossip(zero.clone()));
+
+    let mut sink = Decoder::new(SegmentParams::new(3, 3).unwrap());
+    assert!(sink.receive(zero).unwrap().is_none());
+    assert_eq!(sink.rank_of(SegmentId::compose(1, 1)), 0);
+}
+
+#[test]
+fn peek_frame_len_on_every_prefix_of_a_valid_frame() {
+    let frame = wire::encode(&block());
+    // The fixed header is everything before the coefficients and the
+    // 4-byte CRC trailer: `frame_len(0, 0)` minus the trailer.
+    let fixed_header = wire::frame_len(0, 0) - 4;
+    for cut in 0..=frame.len() {
+        let got = wire::peek_frame_len(&frame[..cut]).unwrap();
+        if cut < fixed_header {
+            assert_eq!(got, None, "prefix {cut}: header incomplete");
+        } else {
+            assert_eq!(got, Some(frame.len()), "prefix {cut}");
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Exhaustive concurrency models of the transport's lock/flag protocols.
+//!
+//! Compiled and run only under the model checker:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test -p gossamer-net --test loom_models
+//! ```
+//!
+//! Under `--cfg loom` the crate's `sync` shim swaps `parking_lot`/`std`
+//! primitives for `loom`'s instrumented versions, so the [`ConnPool`]
+//! and [`HealthRegistry`] operations below are explored across *every*
+//! interleaving of the participating threads, not the ones the OS
+//! happens to schedule. Each test encodes one protocol invariant the
+//! daemon relies on; see `daemon.rs` for the corresponding production
+//! call sites.
+
+#![cfg(loom)]
+
+use gossamer_core::Addr;
+use gossamer_net::health::{HealthConfig, HealthRegistry};
+use gossamer_net::pool::ConnPool;
+use loom::sync::atomic::{AtomicBool, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+
+const PEER: Addr = Addr(7);
+
+fn health_config() -> HealthConfig {
+    HealthConfig {
+        base_backoff: 0.1,
+        max_backoff: 1.0,
+        quarantine_after: 2,
+        jitter: 0.0,
+    }
+}
+
+/// The reason pool entries carry generation tags: a reader thread that
+/// exits removes the entry backing *its* dead connection while the
+/// connector may already have pooled a replacement. Whatever the
+/// interleaving, the stale removal must never evict the live
+/// replacement.
+#[test]
+fn stale_reader_never_evicts_replacement_connection() {
+    loom::model(|| {
+        let pool = Arc::new(ConnPool::new());
+        let old_id = pool.try_insert(PEER, 1u32).expect("fresh pool");
+
+        // The write path saw an error on generation `old_id`: it drops
+        // the conn and (via the connector) establishes a replacement.
+        let redial = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                pool.remove_if_current(PEER, old_id);
+                pool.try_insert(PEER, 2u32)
+            })
+        };
+        // Meanwhile the reader backing the dead connection exits and
+        // performs its own generation-checked teardown.
+        let reader = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || pool.remove_if_current(PEER, old_id))
+        };
+
+        let new_id = redial.join().expect("no competing insert for PEER");
+        reader.join();
+
+        // The replacement survives every interleaving, and the old
+        // payload is never resurrected.
+        assert_eq!(pool.get(PEER), Some((2u32, new_id)));
+    });
+}
+
+/// Without the generation check the same schedule tears down the
+/// replacement: this is the bug the tag exists to prevent, and the
+/// checker must be able to find it.
+#[test]
+fn unconditional_removal_would_evict_replacement() {
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let pool = Arc::new(ConnPool::new());
+            let old_id = pool.try_insert(PEER, 1u32).expect("fresh pool");
+
+            let redial = {
+                let pool = Arc::clone(&pool);
+                thread::spawn(move || {
+                    pool.remove_if_current(PEER, old_id);
+                    pool.try_insert(PEER, 2u32)
+                })
+            };
+            // A hypothetical reader teardown with no generation check:
+            // remove whatever is pooled right now.
+            let reader = {
+                let pool = Arc::clone(&pool);
+                thread::spawn(move || {
+                    if let Some((_, current)) = pool.get(PEER) {
+                        pool.remove_if_current(PEER, current);
+                    }
+                })
+            };
+
+            let new_id = redial.join().expect("no competing insert for PEER");
+            reader.join();
+            assert_eq!(pool.get(PEER), Some((2u32, new_id)));
+        });
+    });
+    assert!(
+        result.is_err(),
+        "the checker failed to find the unconditional-removal eviction"
+    );
+}
+
+/// Establishment races two ways — the connector's dial and an
+/// accept-side return path — and exactly one side may win; the loser
+/// must see `None` and discard its duplicate socket.
+#[test]
+fn connection_establishment_race_has_one_winner() {
+    loom::model(|| {
+        let pool = Arc::new(ConnPool::new());
+        let dial = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || pool.try_insert(PEER, 1u32))
+        };
+        let accept = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || pool.try_insert(PEER, 2u32))
+        };
+        let dialed = dial.join();
+        let accepted = accept.join();
+        assert!(
+            dialed.is_some() ^ accepted.is_some(),
+            "exactly one side must pool its connection"
+        );
+        let (winner, id) = pool.get(PEER).expect("an entry must exist");
+        let expected = if dialed.is_some() {
+            (1u32, dialed)
+        } else {
+            (2u32, accepted)
+        };
+        assert_eq!(Some(id), expected.1);
+        assert_eq!(winner, expected.0);
+    });
+}
+
+/// The connector records failures while a reader records an inbound
+/// frame as a success. Whatever the order, the registry must stay
+/// coherent: the quarantine list matches the per-peer predicate, and a
+/// quarantined peer is never immediately dialable (its re-probe is
+/// scheduled on the backoff curve, not at `now`).
+#[test]
+fn quarantine_transitions_stay_coherent_under_races() {
+    loom::model(|| {
+        let health = Arc::new(Mutex::new(HealthRegistry::new(health_config())));
+
+        let connector = {
+            let health = Arc::clone(&health);
+            thread::spawn(move || {
+                for _ in 0..2 {
+                    let mut h = health.lock();
+                    h.record_attempt(PEER);
+                    h.on_failure(PEER, 0.0);
+                }
+            })
+        };
+        let reader = {
+            let health = Arc::clone(&health);
+            thread::spawn(move || health.lock().on_success(PEER))
+        };
+        connector.join();
+        reader.join();
+
+        let h = health.lock();
+        let quarantined = h.is_quarantined(PEER);
+        assert_eq!(
+            quarantined,
+            h.quarantined().contains(&PEER),
+            "list and predicate must agree"
+        );
+        if quarantined {
+            // Failures landed last: the peer is backing off, so a dial
+            // right now (still at t=0, before any backoff elapsed) must
+            // be gated.
+            assert!(!h.dial_allowed(PEER, 0.0));
+            assert!(h.due_reprobes(0.0).is_empty());
+        }
+        // Not-quarantined does NOT imply immediately dialable: the
+        // success may have landed *between* the failures, leaving a
+        // one-failure backoff open (the checker found exactly that
+        // schedule). What must hold in every interleaving is that the
+        // peer is dialable again once the maximum backoff has elapsed.
+        assert!(h.dial_allowed(PEER, h.config().max_backoff));
+    });
+}
+
+/// The daemon's shutdown ordering: raise the flag, join the workers,
+/// then clear the pool. The connector checks the flag before inserting,
+/// and because the clear happens after the join, no interleaving can
+/// leave a stale write half pooled.
+#[test]
+fn shutdown_leaves_no_pooled_connections() {
+    loom::model(|| {
+        let pool = Arc::new(ConnPool::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let connector = {
+            let (pool, shutdown) = (Arc::clone(&pool), Arc::clone(&shutdown));
+            thread::spawn(move || {
+                // Mirrors `try_dial`: bail out once the flag is up.
+                if !shutdown.load(Ordering::Acquire) {
+                    pool.try_insert(PEER, 1u32);
+                }
+            })
+        };
+
+        shutdown.store(true, Ordering::Release);
+        connector.join();
+        pool.clear();
+        assert!(pool.is_empty(), "a write half survived shutdown");
+    });
+}
+
+/// Clearing the pool *before* joining the connector is the broken
+/// ordering — an insert can land after the clear. The checker must find
+/// that interleaving; this pins the daemon's join-then-clear sequence.
+#[test]
+fn clearing_before_join_would_leak_a_connection() {
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let pool = Arc::new(ConnPool::new());
+            let shutdown = Arc::new(AtomicBool::new(false));
+
+            let connector = {
+                let (pool, shutdown) = (Arc::clone(&pool), Arc::clone(&shutdown));
+                thread::spawn(move || {
+                    if !shutdown.load(Ordering::Acquire) {
+                        pool.try_insert(PEER, 1u32);
+                    }
+                })
+            };
+
+            shutdown.store(true, Ordering::Release);
+            pool.clear(); // wrong: the connector has not been joined yet
+            connector.join();
+            assert!(pool.is_empty(), "a write half survived shutdown");
+        });
+    });
+    assert!(
+        result.is_err(),
+        "the checker failed to find the clear-before-join leak"
+    );
+}

@@ -31,7 +31,7 @@ where
         self.0
     }
     fn deriv(&self, t: f64, y: &[f64], dy: &mut [f64]) {
-        (self.1)(t, y, dy)
+        (self.1)(t, y, dy);
     }
 }
 
@@ -46,7 +46,7 @@ struct Scratch {
 
 impl Scratch {
     fn new(dim: usize) -> Self {
-        Scratch {
+        Self {
             k1: vec![0.0; dim],
             k2: vec![0.0; dim],
             k3: vec![0.0; dim],
@@ -65,19 +65,19 @@ pub fn rk4_step<S: OdeSystem>(system: &S, t: f64, y: &mut [f64], dt: f64) {
 fn rk4_step_with<S: OdeSystem>(system: &S, t: f64, y: &mut [f64], dt: f64, s: &mut Scratch) {
     system.deriv(t, y, &mut s.k1);
     for ((tmp, &yi), &k) in s.tmp.iter_mut().zip(y.iter()).zip(&s.k1) {
-        *tmp = yi + 0.5 * dt * k;
+        *tmp = (0.5 * dt).mul_add(k, yi);
     }
-    system.deriv(t + 0.5 * dt, &s.tmp, &mut s.k2);
+    system.deriv(0.5f64.mul_add(dt, t), &s.tmp, &mut s.k2);
     for ((tmp, &yi), &k) in s.tmp.iter_mut().zip(y.iter()).zip(&s.k2) {
-        *tmp = yi + 0.5 * dt * k;
+        *tmp = (0.5 * dt).mul_add(k, yi);
     }
-    system.deriv(t + 0.5 * dt, &s.tmp, &mut s.k3);
+    system.deriv(0.5f64.mul_add(dt, t), &s.tmp, &mut s.k3);
     for ((tmp, &yi), &k) in s.tmp.iter_mut().zip(y.iter()).zip(&s.k3) {
-        *tmp = yi + dt * k;
+        *tmp = dt.mul_add(k, yi);
     }
     system.deriv(t + dt, &s.tmp, &mut s.k4);
     for (i, yi) in y.iter_mut().enumerate() {
-        *yi += dt / 6.0 * (s.k1[i] + 2.0 * s.k2[i] + 2.0 * s.k3[i] + s.k4[i]);
+        *yi += dt / 6.0 * (2.0f64.mul_add(s.k3[i], 2.0f64.mul_add(s.k2[i], s.k1[i])) + s.k4[i]);
     }
 }
 
@@ -125,6 +125,9 @@ pub struct AdaptiveOutcome {
 /// # Panics
 ///
 /// Panics if `tol <= 0`, `t1 < t0`, or `y0.len() != system.dim()`.
+// Standard Runge-Kutta-Fehlberg notation (y, t, h, k, n) from the
+// numerical-analysis literature; renaming would obscure the method.
+#[allow(clippy::many_single_char_names)]
 pub fn integrate_adaptive<S: OdeSystem>(
     system: &S,
     y0: &[f64],
@@ -132,10 +135,6 @@ pub fn integrate_adaptive<S: OdeSystem>(
     t1: f64,
     tol: f64,
 ) -> AdaptiveOutcome {
-    assert!(tol > 0.0, "tolerance must be positive");
-    assert!(t1 >= t0, "integration interval must be forward");
-    assert_eq!(y0.len(), system.dim(), "state dimension mismatch");
-
     // Fehlberg coefficients.
     const A: [[f64; 5]; 5] = [
         [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
@@ -168,6 +167,10 @@ pub fn integrate_adaptive<S: OdeSystem>(
         0.0,
     ];
 
+    assert!(tol > 0.0, "tolerance must be positive");
+    assert!(t1 >= t0, "integration interval must be forward");
+    assert_eq!(y0.len(), system.dim(), "state dimension mismatch");
+
     let n = y0.len();
     let mut y = y0.to_vec();
     let mut t = t0;
@@ -190,7 +193,7 @@ pub fn integrate_adaptive<S: OdeSystem>(
             }
             let (head, tail) = k.split_at_mut(stage);
             let _ = head;
-            system.deriv(t + C[stage] * h, &tmp, &mut tail[0]);
+            system.deriv(C[stage].mul_add(h, t), &tmp, &mut tail[0]);
         }
         // Error estimate: |y5 - y4|.
         let mut err: f64 = 0.0;
@@ -331,7 +334,7 @@ mod tests {
     fn rk4_oscillator_conserves_energy() {
         let sys = oscillator();
         let y = integrate_fixed(&sys, &[1.0, 0.0], 0.0, 20.0, 0.01);
-        let energy = y[0] * y[0] + y[1] * y[1];
+        let energy = y[0].mul_add(y[0], y[1] * y[1]);
         assert!((energy - 1.0).abs() < 1e-6, "energy {energy}");
         assert!((y[0] - 20.0f64.cos()).abs() < 1e-5);
     }

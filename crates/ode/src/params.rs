@@ -34,18 +34,18 @@ pub enum ParamError {
 impl fmt::Display for ParamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParamError::NonPositiveRate { name } => {
+            Self::NonPositiveRate { name } => {
                 write!(f, "parameter {name} must be positive and finite")
             }
-            ParamError::ZeroSegmentSize => write!(f, "segment size must be at least 1"),
-            ParamError::BufferTooSmall {
+            Self::ZeroSegmentSize => write!(f, "segment size must be at least 1"),
+            Self::BufferTooSmall {
                 buffer_cap,
                 segment_size,
             } => write!(
                 f,
                 "buffer cap {buffer_cap} cannot hold one segment of {segment_size} blocks"
             ),
-            ParamError::TruncationTooSmall {
+            Self::TruncationTooSmall {
                 max_degree,
                 minimum,
             } => write!(f, "truncation degree {max_degree} below minimum {minimum}"),
@@ -101,42 +101,50 @@ pub struct ModelParams {
 impl ModelParams {
     /// Starts building parameters; see [`ModelParamsBuilder`] for
     /// defaults.
+    #[must_use]
     pub fn builder() -> ModelParamsBuilder {
         ModelParamsBuilder::default()
     }
 
     /// Per-peer block generation rate λ.
-    pub fn lambda(&self) -> f64 {
+    #[must_use]
+    pub const fn lambda(&self) -> f64 {
         self.lambda
     }
 
     /// Per-peer gossip upload rate μ.
-    pub fn mu(&self) -> f64 {
+    #[must_use]
+    pub const fn mu(&self) -> f64 {
         self.mu
     }
 
     /// Per-block deletion rate γ (TTL mean is `1/γ`).
-    pub fn gamma(&self) -> f64 {
+    #[must_use]
+    pub const fn gamma(&self) -> f64 {
         self.gamma
     }
 
     /// Segment size `s`.
-    pub fn segment_size(&self) -> usize {
+    #[must_use]
+    pub const fn segment_size(&self) -> usize {
         self.segment_size
     }
 
     /// Normalized server capacity `c = cₛ·Nₛ/N`.
-    pub fn server_capacity(&self) -> f64 {
+    #[must_use]
+    pub const fn server_capacity(&self) -> f64 {
         self.server_capacity
     }
 
     /// Per-peer buffer cap `B` (blocks).
-    pub fn buffer_cap(&self) -> usize {
+    #[must_use]
+    pub const fn buffer_cap(&self) -> usize {
         self.buffer_cap
     }
 
     /// Truncation degree for the segment-side distributions.
-    pub fn max_degree(&self) -> usize {
+    #[must_use]
+    pub const fn max_degree(&self) -> usize {
         self.max_degree
     }
 
@@ -147,13 +155,15 @@ impl ModelParams {
     /// rate `γ + δ` (each block vanishes when either its TTL fires or
     /// its host departs). The approximation treats a segment's blocks
     /// as hosted by distinct peers, which is accurate for `N ≫ ρ`.
-    pub fn churn_rate(&self) -> f64 {
+    #[must_use]
+    pub const fn churn_rate(&self) -> f64 {
         self.churn_rate
     }
 
     /// The first-order estimate of the steady-state blocks per peer,
     /// `ρ ≈ μ/γ + λ/γ`, used to pick sensible defaults for `B` and the
     /// truncation degree.
+    #[must_use]
     pub fn rho_upper_bound(&self) -> f64 {
         (self.mu + self.lambda) / self.gamma
     }
@@ -179,43 +189,50 @@ pub struct ModelParamsBuilder {
 
 impl ModelParamsBuilder {
     /// Sets the block generation rate λ.
-    pub fn lambda(mut self, lambda: f64) -> Self {
+    #[must_use]
+    pub const fn lambda(mut self, lambda: f64) -> Self {
         self.lambda = Some(lambda);
         self
     }
 
     /// Sets the gossip upload rate μ.
-    pub fn mu(mut self, mu: f64) -> Self {
+    #[must_use]
+    pub const fn mu(mut self, mu: f64) -> Self {
         self.mu = Some(mu);
         self
     }
 
     /// Sets the deletion rate γ.
-    pub fn gamma(mut self, gamma: f64) -> Self {
+    #[must_use]
+    pub const fn gamma(mut self, gamma: f64) -> Self {
         self.gamma = Some(gamma);
         self
     }
 
     /// Sets the segment size `s`.
-    pub fn segment_size(mut self, s: usize) -> Self {
+    #[must_use]
+    pub const fn segment_size(mut self, s: usize) -> Self {
         self.segment_size = Some(s);
         self
     }
 
     /// Sets the normalized server capacity `c`.
-    pub fn server_capacity(mut self, c: f64) -> Self {
+    #[must_use]
+    pub const fn server_capacity(mut self, c: f64) -> Self {
         self.server_capacity = Some(c);
         self
     }
 
     /// Sets the buffer cap `B` (blocks per peer).
-    pub fn buffer_cap(mut self, b: usize) -> Self {
+    #[must_use]
+    pub const fn buffer_cap(mut self, b: usize) -> Self {
         self.buffer_cap = Some(b);
         self
     }
 
     /// Sets the truncation degree for `wᵢ`/`mᵢʲ`.
-    pub fn max_degree(mut self, d: usize) -> Self {
+    #[must_use]
+    pub const fn max_degree(mut self, d: usize) -> Self {
         self.max_degree = Some(d);
         self
     }
@@ -223,7 +240,8 @@ impl ModelParamsBuilder {
     /// Sets the peer-departure rate `δ = 1/mean_lifetime` (default 0,
     /// the paper's static analysis; see
     /// [`ModelParams::churn_rate`]).
-    pub fn churn_rate(mut self, delta: f64) -> Self {
+    #[must_use]
+    pub const fn churn_rate(mut self, delta: f64) -> Self {
         self.churn_rate = delta;
         self
     }

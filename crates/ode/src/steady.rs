@@ -16,7 +16,7 @@ pub struct SteadyOptions {
 
 impl Default for SteadyOptions {
     fn default() -> Self {
-        SteadyOptions {
+        Self {
             dt: 0.01,
             tol: 1e-8,
             t_max: 400.0,
@@ -37,52 +37,62 @@ pub struct SteadyState {
 
 impl SteadyState {
     /// The parameters the solve was run with.
-    pub fn params(&self) -> &ModelParams {
+    #[must_use]
+    pub const fn params(&self) -> &ModelParams {
         self.system.params()
     }
 
     /// Whether the integrator declared convergence.
-    pub fn converged(&self) -> bool {
+    #[must_use]
+    pub const fn converged(&self) -> bool {
         self.converged
     }
 
     /// Final residual `‖y'‖∞`.
-    pub fn residual(&self) -> f64 {
+    #[must_use]
+    pub const fn residual(&self) -> f64 {
         self.residual
     }
 
     /// Virtual time at which the solve stopped.
-    pub fn time(&self) -> f64 {
+    #[must_use]
+    pub const fn time(&self) -> f64 {
         self.t
     }
 
     /// Steady-state `z̃ᵢ` — fraction of peers with `i` buffered blocks.
+    #[must_use]
     pub fn z(&self, i: usize) -> f64 {
         self.system.z(&self.y, i)
     }
 
     /// Steady-state `w̃ᵢ` — rescaled count of degree-`i` segments.
+    #[must_use]
     pub fn w(&self, i: usize) -> f64 {
         self.system.w(&self.y, i)
     }
 
     /// Steady-state `m̃ᵢʲ`.
+    #[must_use]
     pub fn m(&self, i: usize, j: usize) -> f64 {
         self.system.m(&self.y, i, j)
     }
 
     /// Steady-state average blocks per peer, `ẽ = Σ i·z̃ᵢ`.
+    #[must_use]
     pub fn edge_density(&self) -> f64 {
         self.system.edge_density(&self.y)
     }
 
     /// `Σᵢ w̃ᵢ` — rescaled count of live segments.
+    #[must_use]
     pub fn total_segments(&self) -> f64 {
         (1..=self.params().max_degree()).map(|i| self.w(i)).sum()
     }
 
     /// `Σᵢ w̃ᵢ` restricted to `i ≥ s` — rescaled count of *decodable*
     /// segments (enough live blocks to reconstruct).
+    #[must_use]
     pub fn decodable_segments(&self) -> f64 {
         (self.params().segment_size()..=self.params().max_degree())
             .map(|i| self.w(i))
@@ -91,12 +101,14 @@ impl SteadyState {
 
     /// `Σᵢ m̃ᵢˢ` — rescaled count of segments fully collected by servers
     /// and still alive.
+    #[must_use]
     pub fn collected_segments(&self) -> f64 {
         let s = self.params().segment_size();
         (1..=self.params().max_degree()).map(|i| self.m(i, s)).sum()
     }
 
     /// `Σᵢ m̃ᵢˢ` restricted to `i ≥ s`.
+    #[must_use]
     pub fn collected_decodable_segments(&self) -> f64 {
         let s = self.params().segment_size();
         (s..=self.params().max_degree()).map(|i| self.m(i, s)).sum()
@@ -104,6 +116,7 @@ impl SteadyState {
 
     /// `Σᵢ i·m̃ᵢˢ` — the block mass sitting in already-collected
     /// segments, the quantity Theorem 2's efficiency subtracts.
+    #[must_use]
     pub fn collected_block_mass(&self) -> f64 {
         let s = self.params().segment_size();
         (1..=self.params().max_degree())
@@ -112,12 +125,14 @@ impl SteadyState {
     }
 
     /// Raw state vector (for diagnostics).
+    #[must_use]
     pub fn raw(&self) -> &[f64] {
         &self.y
     }
 
     /// The system object, for index arithmetic on [`SteadyState::raw`].
-    pub fn system(&self) -> &IndirectCollectionOde {
+    #[must_use]
+    pub const fn system(&self) -> &IndirectCollectionOde {
         &self.system
     }
 }
@@ -148,13 +163,16 @@ pub struct Trajectory {
 }
 
 /// Integrates the model from the empty network to `t_end`, sampling
-/// every `sample_interval`. Used to validate the mean-field ODEs against
+/// every `sample_interval`.
+///
+/// Used to validate the mean-field ODEs against
 /// the simulator *during the transient*, where finite-`N` effects are
 /// strongest.
 ///
 /// # Panics
 ///
 /// Panics if `sample_interval` or `t_end` is not positive.
+#[must_use]
 pub fn solve_trajectory(
     params: ModelParams,
     dt: f64,
@@ -205,6 +223,7 @@ pub fn solve_trajectory(
 /// # Ok(())
 /// # }
 /// ```
+#[must_use]
 pub fn solve_steady_state(params: ModelParams, opts: SteadyOptions) -> SteadyState {
     let system = IndirectCollectionOde::new(params);
     let y0 = system.empty_state();

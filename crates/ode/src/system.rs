@@ -64,39 +64,41 @@ pub struct IndirectCollectionOde {
 
 impl IndirectCollectionOde {
     /// Creates the system for the given parameters.
-    pub fn new(params: ModelParams) -> Self {
-        IndirectCollectionOde { params }
+    #[must_use]
+    pub const fn new(params: ModelParams) -> Self {
+        Self { params }
     }
 
     /// The parameters this system was built from.
-    pub fn params(&self) -> &ModelParams {
+    #[must_use]
+    pub const fn params(&self) -> &ModelParams {
         &self.params
     }
 
     #[inline]
-    fn b(&self) -> usize {
+    const fn b(&self) -> usize {
         self.params.buffer_cap()
     }
 
     #[inline]
-    fn imax(&self) -> usize {
+    const fn imax(&self) -> usize {
         self.params.max_degree()
     }
 
     #[inline]
-    fn s(&self) -> usize {
+    const fn s(&self) -> usize {
         self.params.segment_size()
     }
 
     /// Offset of `w₁` in the state vector.
     #[inline]
-    fn w_base(&self) -> usize {
+    const fn w_base(&self) -> usize {
         self.b() + 1
     }
 
     /// Offset of `m₁⁰` in the state vector.
     #[inline]
-    fn m_base(&self) -> usize {
+    const fn m_base(&self) -> usize {
         self.w_base() + self.imax()
     }
 
@@ -105,6 +107,7 @@ impl IndirectCollectionOde {
     /// # Panics
     ///
     /// Panics if `i > B`.
+    #[must_use]
     pub fn z(&self, y: &[f64], i: usize) -> f64 {
         assert!(i <= self.b(), "peer degree out of range");
         y[i]
@@ -115,6 +118,7 @@ impl IndirectCollectionOde {
     /// # Panics
     ///
     /// Panics if `i` is outside `1..=max_degree`.
+    #[must_use]
     pub fn w(&self, y: &[f64], i: usize) -> f64 {
         assert!(i >= 1 && i <= self.imax(), "segment degree out of range");
         y[self.w_base() + i - 1]
@@ -125,6 +129,7 @@ impl IndirectCollectionOde {
     /// # Panics
     ///
     /// Panics if `i` is outside `1..=max_degree` or `j > s`.
+    #[must_use]
     pub fn m(&self, y: &[f64], i: usize, j: usize) -> f64 {
         assert!(i >= 1 && i <= self.imax(), "segment degree out of range");
         assert!(j <= self.s(), "collection state out of range");
@@ -132,12 +137,14 @@ impl IndirectCollectionOde {
     }
 
     /// Average blocks per peer, `e = Σᵢ i·zᵢ`.
+    #[must_use]
     pub fn edge_density(&self, y: &[f64]) -> f64 {
         (1..=self.b()).map(|i| i as f64 * y[i]).sum()
     }
 
     /// The empty-network initial condition: every peer has degree zero,
     /// no segments exist.
+    #[must_use]
     pub fn empty_state(&self) -> Vec<f64> {
         let mut y = vec![0.0; self.dim()];
         y[0] = 1.0; // z₀ = 1
@@ -146,6 +153,7 @@ impl IndirectCollectionOde {
 
     /// The floor applied to the edge density wherever it appears in a
     /// denominator (see the module docs).
+    #[must_use]
     pub fn edge_floor(&self) -> f64 {
         EDGE_FLOOR_FRACTION * self.params.lambda() / self.params.gamma()
     }
@@ -153,6 +161,7 @@ impl IndirectCollectionOde {
     /// An RK4 step size guaranteed stable for this system: the stiffest
     /// eigenvalue scales like `I·(γ + (μ + c)/e_floor)`, and explicit RK4
     /// is stable for `dt·|λ| ≲ 2.7`; a safety factor of 1 is used.
+    #[must_use]
     pub fn stable_dt(&self) -> f64 {
         let p = &self.params;
         let rate =
@@ -167,6 +176,9 @@ impl OdeSystem for IndirectCollectionOde {
         self.b() + 1 + self.imax() + self.imax() * (self.s() + 1)
     }
 
+    // Variable names (z, w, m, s, b) mirror the paper's ODE system
+    // symbol-for-symbol; the derivation is unreadable otherwise.
+    #[allow(clippy::many_single_char_names, clippy::too_many_lines)]
     fn deriv(&self, _t: f64, y: &[f64], dy: &mut [f64]) {
         let b = self.b();
         let imax = self.imax();

@@ -27,6 +27,7 @@ pub struct StorageOverhead {
 /// # Panics
 ///
 /// Panics if any rate is non-positive or non-finite.
+#[must_use]
 pub fn storage_overhead(lambda: f64, mu: f64, gamma: f64) -> StorageOverhead {
     assert!(
         lambda > 0.0 && mu > 0.0 && gamma > 0.0,
@@ -72,6 +73,7 @@ pub struct Throughput {
 /// **Theorem 2 (Session Throughput), general case.** Computes the
 /// efficiency and the normalized throughput `σ(s) = c·η/λ` from an
 /// integrated steady state (any `s ≥ 1`).
+#[must_use]
 pub fn session_throughput(state: &SteadyState) -> Throughput {
     let p = state.params();
     let e = state.edge_density();
@@ -88,7 +90,9 @@ pub fn session_throughput(state: &SteadyState) -> Throughput {
     }
 }
 
-/// **Theorem 2, closed form for `s = 1`.** Returns the normalized
+/// **Theorem 2, closed form for `s = 1`.**
+///
+/// Returns the normalized
 /// throughput `σ(1) = 1 − 1/θ₊`, where `θ₊` is the larger root of
 /// `α₂x² + α₁x + α₀ = 0` with `α₀ = −qγ`, `α₁ = qγ + γ + c/ρ`,
 /// `α₂ = −γ`, `q = 1 − λ/(ργ)` and `ρ` from Theorem 1.
@@ -96,6 +100,7 @@ pub fn session_throughput(state: &SteadyState) -> Throughput {
 /// # Panics
 ///
 /// Panics if any rate is non-positive or non-finite.
+#[must_use]
 pub fn throughput_s1_closed_form(lambda: f64, mu: f64, gamma: f64, c: f64) -> f64 {
     assert!(c > 0.0 && c.is_finite(), "capacity must be positive");
     let t1 = storage_overhead(lambda, mu, gamma);
@@ -120,6 +125,7 @@ pub fn throughput_s1_closed_form(lambda: f64, mu: f64, gamma: f64, c: f64) -> f6
 ///
 /// Returns `None` when the throughput is zero (no block is ever
 /// delivered, so the delay is undefined).
+#[must_use]
 pub fn block_delay(state: &SteadyState) -> Option<f64> {
     let p = state.params();
     let sigma = session_throughput(state).normalized;
@@ -130,10 +136,13 @@ pub fn block_delay(state: &SteadyState) -> Option<f64> {
     Some(t)
 }
 
-/// **Theorem 4 (Buffered Data Guarantee).** The number of original
+/// **Theorem 4 (Buffered Data Guarantee).**
+///
+/// The number of original
 /// blocks *per peer* buffered in the network and not yet reconstructed
 /// by the servers — data guaranteed to remain available for delayed
 /// delivery: `S/N = s · Σ_{i≥s} (w̃ᵢ − m̃ᵢˢ)`.
+#[must_use]
 pub fn data_saved_per_peer(state: &SteadyState) -> f64 {
     let s = state.params().segment_size() as f64;
     s * (state.decodable_segments() - state.collected_decodable_segments())
@@ -268,7 +277,7 @@ mod tests {
             .into_iter()
             .map(|s| block_delay(&solve(4.0, 2.0, s, 1.8)).unwrap())
             .collect();
-        let peak = delays.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let peak = delays.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(peak, delays[1], "peak should be at s=5: {delays:?}");
         assert!(delays[2] > delays[3], "decline after the peak: {delays:?}");
     }

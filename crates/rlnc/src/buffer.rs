@@ -20,8 +20,9 @@ pub enum InsertOutcome {
 
 impl InsertOutcome {
     /// Returns `true` for [`InsertOutcome::Innovative`].
-    pub fn is_innovative(&self) -> bool {
-        matches!(self, InsertOutcome::Innovative { .. })
+    #[must_use]
+    pub const fn is_innovative(&self) -> bool {
+        matches!(self, Self::Innovative { .. })
     }
 }
 
@@ -78,8 +79,9 @@ pub struct SegmentBuffer {
 
 impl SegmentBuffer {
     /// Creates an empty buffer for one segment.
+    #[must_use]
     pub fn new(id: SegmentId, params: SegmentParams) -> Self {
-        SegmentBuffer {
+        Self {
             id,
             params,
             rows: Vec::with_capacity(params.segment_size()),
@@ -87,28 +89,33 @@ impl SegmentBuffer {
     }
 
     /// The segment this buffer tracks.
-    pub fn id(&self) -> SegmentId {
+    #[must_use]
+    pub const fn id(&self) -> SegmentId {
         self.id
     }
 
     /// The coding parameters.
-    pub fn params(&self) -> SegmentParams {
+    #[must_use]
+    pub const fn params(&self) -> SegmentParams {
         self.params
     }
 
     /// Current rank: the number of linearly independent blocks buffered.
-    pub fn rank(&self) -> usize {
+    #[must_use]
+    pub const fn rank(&self) -> usize {
         self.rows.len()
     }
 
     /// Returns `true` when the buffer holds no blocks.
-    pub fn is_empty(&self) -> bool {
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
 
     /// Returns `true` when the rank equals the segment size, i.e. the
     /// segment is decodable.
-    pub fn is_full(&self) -> bool {
+    #[must_use]
+    pub const fn is_full(&self) -> bool {
         self.rows.len() == self.params.segment_size()
     }
 
@@ -119,6 +126,11 @@ impl SegmentBuffer {
     ///
     /// Returns an error if the block belongs to a different segment or
     /// does not match the configured parameters.
+    ///
+    /// # Panics
+    ///
+    /// Only if an internal invariant is violated (row reduction keeps
+    /// pivot bookkeeping in bounds); never on valid input.
     pub fn insert(&mut self, block: CodedBlock) -> Result<InsertOutcome, CodingError> {
         if block.segment() != self.id {
             return Err(CodingError::SegmentMismatch {
@@ -176,6 +188,7 @@ impl SegmentBuffer {
 
     /// Returns `true` if the given coded block would be innovative,
     /// without mutating the buffer.
+    #[must_use]
     pub fn would_be_innovative(&self, block: &CodedBlock) -> bool {
         if block.segment() != self.id || block.validate(&self.params).is_err() {
             return false;
@@ -196,6 +209,11 @@ impl SegmentBuffer {
     /// coefficients composed accordingly.
     ///
     /// Returns `None` if the buffer is empty (nothing to recode).
+    ///
+    /// # Panics
+    ///
+    /// Only if an internal invariant is violated (a recoded block is
+    /// structurally valid by construction); never on valid input.
     pub fn recode<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<CodedBlock> {
         if self.rows.is_empty() {
             return None;
@@ -224,6 +242,11 @@ impl SegmentBuffer {
     /// but the emitted block spans a smaller subspace, so receivers that
     /// already overlap it gain nothing. `density ≥ rank()` degenerates
     /// to dense recoding; `density = 0` returns `None`.
+    ///
+    /// # Panics
+    ///
+    /// Only if an internal invariant is violated (a recoded block is
+    /// structurally valid by construction); never on valid input.
     pub fn recode_sparse<R: Rng + ?Sized>(
         &self,
         density: usize,
@@ -264,6 +287,7 @@ impl SegmentBuffer {
     /// Because the rows are kept in *reduced* echelon form, full rank
     /// means the coefficient matrix is the identity and the payload rows
     /// are the originals — no extra solve is needed.
+    #[must_use]
     pub fn decoded(&self) -> Option<Vec<&[u8]>> {
         if !self.is_full() {
             return None;
@@ -274,7 +298,12 @@ impl SegmentBuffer {
 
     /// Consumes the buffer and returns owned decoded blocks, or the
     /// buffer itself if not yet decodable.
-    pub fn into_decoded(self) -> Result<Vec<Vec<u8>>, SegmentBuffer> {
+    ///
+    /// # Errors
+    ///
+    /// Returns the untouched buffer back as the error when its rank is
+    /// still below the segment size.
+    pub fn into_decoded(self) -> Result<Vec<Vec<u8>>, Self> {
         if !self.is_full() {
             return Err(self);
         }
@@ -282,6 +311,7 @@ impl SegmentBuffer {
     }
 
     /// The pivot columns currently covered (sorted ascending).
+    #[must_use]
     pub fn pivots(&self) -> Vec<usize> {
         self.rows.iter().map(|r| r.pivot).collect()
     }

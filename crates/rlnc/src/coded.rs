@@ -41,7 +41,7 @@ impl CodedBlock {
         if payload.is_empty() {
             return Err(CodingError::EmptyBlock);
         }
-        Ok(CodedBlock {
+        Ok(Self {
             segment,
             coefficients,
             payload,
@@ -49,22 +49,26 @@ impl CodedBlock {
     }
 
     /// The segment this block belongs to.
-    pub fn segment(&self) -> SegmentId {
+    #[must_use]
+    pub const fn segment(&self) -> SegmentId {
         self.segment
     }
 
     /// The coefficients mapping original blocks to this payload.
+    #[must_use]
     pub fn coefficients(&self) -> &[u8] {
         &self.coefficients
     }
 
     /// The coded payload bytes.
+    #[must_use]
     pub fn payload(&self) -> &[u8] {
         &self.payload
     }
 
     /// The segment size `s` implied by the coefficient width.
-    pub fn segment_size(&self) -> usize {
+    #[must_use]
+    pub const fn segment_size(&self) -> usize {
         self.coefficients.len()
     }
 
@@ -74,7 +78,7 @@ impl CodedBlock {
     ///
     /// Returns an error describing the first mismatch (coefficient width
     /// or payload length).
-    pub fn validate(&self, params: &SegmentParams) -> Result<(), CodingError> {
+    pub const fn validate(&self, params: &SegmentParams) -> Result<(), CodingError> {
         if self.coefficients.len() != params.segment_size() {
             return Err(CodingError::WrongCoefficientCount {
                 expected: params.segment_size(),
@@ -92,6 +96,7 @@ impl CodedBlock {
 
     /// Returns `true` if the block is a pure source block: a unit
     /// coefficient vector selecting exactly one original block.
+    #[must_use]
     pub fn is_systematic(&self) -> bool {
         let mut ones = 0;
         for &c in &self.coefficients {
@@ -106,11 +111,13 @@ impl CodedBlock {
 
     /// Returns `true` if every coefficient is zero (a degenerate block
     /// carrying no information).
+    #[must_use]
     pub fn is_zero(&self) -> bool {
         self.coefficients.iter().all(|&c| c == 0)
     }
 
     /// Consumes the block and returns `(segment, coefficients, payload)`.
+    #[must_use]
     pub fn into_parts(self) -> (SegmentId, Vec<u8>, Vec<u8>) {
         (self.segment, self.coefficients, self.payload)
     }
@@ -120,6 +127,7 @@ impl CodedBlock {
     /// # Panics
     ///
     /// Panics if `i >= segment_size()`.
+    #[must_use]
     pub fn coefficient(&self, i: usize) -> Gf256 {
         Gf256::new(self.coefficients[i])
     }

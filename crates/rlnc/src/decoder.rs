@@ -13,16 +13,19 @@ pub struct DecodedSegment {
 
 impl DecodedSegment {
     /// The segment identifier.
-    pub fn id(&self) -> SegmentId {
+    #[must_use]
+    pub const fn id(&self) -> SegmentId {
         self.id
     }
 
     /// The decoded original blocks in injection order.
+    #[must_use]
     pub fn blocks(&self) -> &[Vec<u8>] {
         &self.blocks
     }
 
     /// Consumes the segment, returning its blocks.
+    #[must_use]
     pub fn into_blocks(self) -> Vec<Vec<u8>> {
         self.blocks
     }
@@ -30,7 +33,7 @@ impl DecodedSegment {
 
 /// Crate-internal constructor used by
 /// [`DecodedSegment::from_blocks`](crate::DecodedSegment::from_blocks).
-pub(crate) fn decoded_segment_from_parts(id: SegmentId, blocks: Vec<Vec<u8>>) -> DecodedSegment {
+pub const fn decoded_segment_from_parts(id: SegmentId, blocks: Vec<Vec<u8>>) -> DecodedSegment {
     DecodedSegment { id, blocks }
 }
 
@@ -51,12 +54,14 @@ pub struct DecoderStats {
 
 impl DecoderStats {
     /// Total blocks received.
-    pub fn received(&self) -> usize {
+    #[must_use]
+    pub const fn received(&self) -> usize {
         self.innovative + self.redundant
     }
 
     /// Fraction of received blocks that were innovative (`1.0` when
     /// nothing has been received).
+    #[must_use]
     pub fn efficiency(&self) -> f64 {
         let total = self.received();
         if total == 0 {
@@ -89,8 +94,9 @@ pub struct Decoder {
 
 impl Decoder {
     /// Creates a decoder for a deployment's parameters.
+    #[must_use]
     pub fn new(params: SegmentParams) -> Self {
-        Decoder {
+        Self {
             params,
             in_progress: HashMap::new(),
             decoded: HashMap::new(),
@@ -100,7 +106,8 @@ impl Decoder {
     }
 
     /// The coding parameters.
-    pub fn params(&self) -> SegmentParams {
+    #[must_use]
+    pub const fn params(&self) -> SegmentParams {
         self.params
     }
 
@@ -115,6 +122,11 @@ impl Decoder {
     ///
     /// Returns an error if the block's shape does not match the
     /// deployment parameters.
+    ///
+    /// # Panics
+    ///
+    /// Only if an internal invariant is violated (a full buffer is
+    /// always decodable); never on valid input.
     pub fn receive(&mut self, block: CodedBlock) -> Result<Option<DecodedSegment>, CodingError> {
         block.validate(&self.params)?;
         let id = block.segment();
@@ -163,11 +175,13 @@ impl Decoder {
     }
 
     /// Returns `true` if the segment has been fully decoded.
+    #[must_use]
     pub fn is_decoded(&self, id: SegmentId) -> bool {
         self.decoded.contains_key(&id)
     }
 
     /// Looks up a decoded segment.
+    #[must_use]
     pub fn decoded_segment(&self, id: SegmentId) -> Option<&DecodedSegment> {
         self.decoded.get(&id)
     }
@@ -178,12 +192,14 @@ impl Decoder {
     }
 
     /// Number of segments currently partially received.
+    #[must_use]
     pub fn segments_in_progress(&self) -> usize {
         self.in_progress.len()
     }
 
     /// Lifetime counters.
-    pub fn stats(&self) -> DecoderStats {
+    #[must_use]
+    pub const fn stats(&self) -> DecoderStats {
         self.stats
     }
 
@@ -201,6 +217,7 @@ impl Decoder {
 
     /// Returns `true` if [`Decoder::abandon`] was called for this
     /// segment.
+    #[must_use]
     pub fn is_abandoned(&self, id: SegmentId) -> bool {
         self.abandoned.contains(&id)
     }

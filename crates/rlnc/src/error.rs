@@ -49,23 +49,23 @@ pub enum CodingError {
 impl fmt::Display for CodingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CodingError::InvalidSegmentSize { requested } => {
+            Self::InvalidSegmentSize { requested } => {
                 write!(
                     f,
                     "segment size {requested} outside supported range 1..=255"
                 )
             }
-            CodingError::EmptyBlock => write!(f, "block length must be non-zero"),
-            CodingError::WrongBlockCount { expected, got } => {
+            Self::EmptyBlock => write!(f, "block length must be non-zero"),
+            Self::WrongBlockCount { expected, got } => {
                 write!(f, "expected {expected} blocks, got {got}")
             }
-            CodingError::WrongBlockLength { expected, got } => {
+            Self::WrongBlockLength { expected, got } => {
                 write!(f, "expected block length {expected}, got {got}")
             }
-            CodingError::WrongCoefficientCount { expected, got } => {
+            Self::WrongCoefficientCount { expected, got } => {
                 write!(f, "expected {expected} coefficients, got {got}")
             }
-            CodingError::SegmentMismatch { expected, got } => {
+            Self::SegmentMismatch { expected, got } => {
                 write!(
                     f,
                     "block belongs to segment {got}, buffer tracks {expected}"
@@ -107,27 +107,41 @@ pub enum WireError {
     },
     /// The header fields are internally inconsistent (e.g. `s = 0`).
     MalformedHeader,
+    /// The header declares a frame larger than the hard size bound.
+    ///
+    /// Length fields arrive from the network and are treated as hostile:
+    /// a frame claiming more than [`crate::wire::MAX_FRAME_LEN`] bytes is
+    /// rejected before any buffer is sized from the claim.
+    FrameTooLarge {
+        /// Total frame size the header declares.
+        declared: usize,
+        /// The configured hard bound.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WireError::Truncated { needed, available } => {
+            Self::Truncated { needed, available } => {
                 write!(f, "truncated frame: need {needed} bytes, have {available}")
             }
-            WireError::BadMagic { found } => {
+            Self::BadMagic { found } => {
                 write!(f, "bad magic byte 0x{found:02x}")
             }
-            WireError::UnsupportedVersion { version } => {
+            Self::UnsupportedVersion { version } => {
                 write!(f, "unsupported wire version {version}")
             }
-            WireError::ChecksumMismatch { stored, computed } => {
+            Self::ChecksumMismatch { stored, computed } => {
                 write!(
                     f,
                     "checksum mismatch: stored 0x{stored:08x}, computed 0x{computed:08x}"
                 )
             }
-            WireError::MalformedHeader => write!(f, "malformed frame header"),
+            Self::MalformedHeader => write!(f, "malformed frame header"),
+            Self::FrameTooLarge { declared, limit } => {
+                write!(f, "frame declares {declared} bytes, limit is {limit}")
+            }
         }
     }
 }

@@ -25,27 +25,32 @@ pub struct SegmentId(u64);
 
 impl SegmentId {
     /// Wraps a raw 64-bit identifier.
+    #[must_use]
     pub const fn new(raw: u64) -> Self {
-        SegmentId(raw)
+        Self(raw)
     }
 
     /// Composes an id from an originating peer id and a per-origin
     /// sequence number.
+    #[must_use]
     pub const fn compose(origin: u32, sequence: u32) -> Self {
-        SegmentId(((origin as u64) << 32) | sequence as u64)
+        Self(((origin as u64) << 32) | sequence as u64)
     }
 
     /// The raw 64-bit value.
+    #[must_use]
     pub const fn raw(self) -> u64 {
         self.0
     }
 
     /// The originating peer id (upper 32 bits).
+    #[must_use]
     pub const fn origin(self) -> u32 {
         (self.0 >> 32) as u32
     }
 
     /// The per-origin sequence number (lower 32 bits).
+    #[must_use]
     pub const fn sequence(self) -> u32 {
         self.0 as u32
     }
@@ -65,7 +70,7 @@ impl fmt::Display for SegmentId {
 
 impl From<u64> for SegmentId {
     fn from(raw: u64) -> Self {
-        SegmentId(raw)
+        Self(raw)
     }
 }
 

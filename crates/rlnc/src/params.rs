@@ -44,13 +44,13 @@ struct RawSegmentParams {
 impl TryFrom<RawSegmentParams> for SegmentParams {
     type Error = CodingError;
     fn try_from(raw: RawSegmentParams) -> Result<Self, CodingError> {
-        SegmentParams::new(raw.segment_size, raw.block_len)
+        Self::new(raw.segment_size, raw.block_len)
     }
 }
 
 impl From<SegmentParams> for RawSegmentParams {
     fn from(p: SegmentParams) -> Self {
-        RawSegmentParams {
+        Self {
             segment_size: p.segment_size,
             block_len: p.block_len,
         }
@@ -66,7 +66,7 @@ impl SegmentParams {
     /// `1 <= segment_size <= 255` (the coefficient count travels as one
     /// byte on the wire), and [`CodingError::EmptyBlock`] for a zero
     /// block length.
-    pub fn new(segment_size: usize, block_len: usize) -> Result<Self, CodingError> {
+    pub const fn new(segment_size: usize, block_len: usize) -> Result<Self, CodingError> {
         if segment_size == 0 || segment_size > 255 {
             return Err(CodingError::InvalidSegmentSize {
                 requested: segment_size,
@@ -75,29 +75,33 @@ impl SegmentParams {
         if block_len == 0 {
             return Err(CodingError::EmptyBlock);
         }
-        Ok(SegmentParams {
+        Ok(Self {
             segment_size,
             block_len,
         })
     }
 
     /// Blocks per segment (`s`).
+    #[must_use]
     pub const fn segment_size(&self) -> usize {
         self.segment_size
     }
 
     /// Bytes per block.
+    #[must_use]
     pub const fn block_len(&self) -> usize {
         self.block_len
     }
 
     /// Total payload bytes carried by one segment.
+    #[must_use]
     pub const fn segment_bytes(&self) -> usize {
         self.segment_size * self.block_len
     }
 
     /// Returns `true` for the degenerate non-coding configuration
     /// (`s = 1`).
+    #[must_use]
     pub const fn is_non_coding(&self) -> bool {
         self.segment_size == 1
     }

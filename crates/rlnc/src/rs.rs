@@ -77,17 +77,17 @@ pub enum RsError {
 impl fmt::Display for RsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RsError::BadParameters { k, n } => {
+            Self::BadParameters { k, n } => {
                 write!(f, "invalid reed-solomon parameters k={k} n={n}")
             }
-            RsError::WrongBlockCount { expected, got } => {
+            Self::WrongBlockCount { expected, got } => {
                 write!(f, "expected {expected} blocks, got {got}")
             }
-            RsError::RaggedBlocks => write!(f, "blocks must have equal lengths"),
-            RsError::NotEnoughShares { needed, got } => {
+            Self::RaggedBlocks => write!(f, "blocks must have equal lengths"),
+            Self::NotEnoughShares { needed, got } => {
                 write!(f, "need {needed} distinct shares, got {got}")
             }
-            RsError::BadShareIndex { index } => {
+            Self::BadShareIndex { index } => {
                 write!(f, "share index {index} out of range or repeated")
             }
         }
@@ -115,6 +115,11 @@ impl ReedSolomon {
     /// # Errors
     ///
     /// Returns [`RsError::BadParameters`] unless `1 ≤ k ≤ n ≤ 255`.
+    ///
+    /// # Panics
+    ///
+    /// Only if an internal invariant is violated (a Cauchy matrix is
+    /// always invertible over GF(2⁸)); never on valid input.
     pub fn new(k: usize, n: usize) -> Result<Self, RsError> {
         if k == 0 || k > n || n > 255 {
             return Err(RsError::BadParameters { k, n });
@@ -132,21 +137,24 @@ impl ReedSolomon {
                 parity.set(i, j, denominator.inv().expect("x_i + y_j is non-zero"));
             }
         }
-        Ok(ReedSolomon { k, n, parity })
+        Ok(Self { k, n, parity })
     }
 
     /// Data shares `k`.
-    pub fn data_shares(&self) -> usize {
+    #[must_use]
+    pub const fn data_shares(&self) -> usize {
         self.k
     }
 
     /// Total shares `n`.
-    pub fn total_shares(&self) -> usize {
+    #[must_use]
+    pub const fn total_shares(&self) -> usize {
         self.n
     }
 
     /// Losses tolerated (`n − k`).
-    pub fn parity_shares(&self) -> usize {
+    #[must_use]
+    pub const fn parity_shares(&self) -> usize {
         self.n - self.k
     }
 
@@ -196,6 +204,12 @@ impl ReedSolomon {
     ///
     /// Returns an error for too few distinct shares, out-of-range or
     /// repeated indices, or ragged share lengths.
+    ///
+    /// # Panics
+    ///
+    /// Only if an internal invariant is violated (any `k` distinct
+    /// shares of a Cauchy code determine the data); never on valid
+    /// input.
     pub fn reconstruct(&self, shares: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>, RsError> {
         let mut seen = vec![false; self.n];
         let mut chosen: Vec<(usize, &[u8])> = Vec::with_capacity(self.k);

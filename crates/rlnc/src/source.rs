@@ -46,20 +46,23 @@ impl SourceSegment {
                 });
             }
         }
-        Ok(SourceSegment { id, params, blocks })
+        Ok(Self { id, params, blocks })
     }
 
     /// The segment identifier.
-    pub fn id(&self) -> SegmentId {
+    #[must_use]
+    pub const fn id(&self) -> SegmentId {
         self.id
     }
 
     /// The coding parameters.
-    pub fn params(&self) -> SegmentParams {
+    #[must_use]
+    pub const fn params(&self) -> SegmentParams {
         self.params
     }
 
     /// The original blocks.
+    #[must_use]
     pub fn blocks(&self) -> &[Vec<u8>] {
         &self.blocks
     }
@@ -69,6 +72,11 @@ impl SourceSegment {
     /// Coefficients are drawn uniformly from the whole field; the paper's
     /// analysis assumes exactly this (a random linear combination of all
     /// `s` originals).
+    ///
+    /// # Panics
+    ///
+    /// Only if an internal invariant is violated (an emitted block is
+    /// structurally valid by construction); never on valid input.
     pub fn emit<R: Rng + ?Sized>(&self, rng: &mut R) -> CodedBlock {
         let s = self.params.segment_size();
         let mut coeffs = vec![0u8; s];
@@ -126,6 +134,7 @@ impl SourceSegment {
     /// # Panics
     ///
     /// Panics if `i >= segment_size`.
+    #[must_use]
     pub fn emit_systematic(&self, i: usize) -> CodedBlock {
         let s = self.params.segment_size();
         assert!(i < s, "systematic index out of range");

@@ -85,8 +85,9 @@ pub struct Segmenter {
 impl Segmenter {
     /// Creates a segmenter for a peer (`origin` identifies the peer in
     /// the composed [`SegmentId`]s).
+    #[must_use]
     pub fn new(origin: u32, params: SegmentParams) -> Self {
-        Segmenter {
+        Self {
             origin,
             params,
             next_sequence: 0,
@@ -95,17 +96,20 @@ impl Segmenter {
     }
 
     /// The maximum record size these parameters can carry.
-    pub fn max_record_len(&self) -> usize {
+    #[must_use]
+    pub const fn max_record_len(&self) -> usize {
         self.params.segment_bytes() - FRAME_OVERHEAD
     }
 
     /// Bytes currently buffered towards the next segment.
-    pub fn pending_bytes(&self) -> usize {
+    #[must_use]
+    pub const fn pending_bytes(&self) -> usize {
         self.pending.len()
     }
 
     /// Sequence number the next emitted segment will carry.
-    pub fn next_sequence(&self) -> u32 {
+    #[must_use]
+    pub const fn next_sequence(&self) -> u32 {
         self.next_sequence
     }
 
@@ -152,6 +156,11 @@ impl Segmenter {
     }
 
     /// Pads and emits the partially filled segment, if any.
+    ///
+    /// # Panics
+    ///
+    /// Only if an internal invariant is violated (a padded segment
+    /// always has the configured shape); never on valid input.
     pub fn flush(&mut self) -> Option<SourceSegment> {
         if self.pending.is_empty() {
             return None;
@@ -176,6 +185,7 @@ impl DecodedSegment {
     /// Builds a decoded segment directly from original blocks — useful
     /// for testing reassembly without running the code, and for the
     /// baseline (non-coded) collection path.
+    #[must_use]
     pub fn from_blocks(id: SegmentId, blocks: Vec<Vec<u8>>) -> Self {
         // Round-trip through the Decoder-private constructor pattern by
         // rebuilding the struct here; the crate controls both types.
@@ -206,8 +216,9 @@ pub struct Reassembler {
 
 impl Reassembler {
     /// Creates an empty reassembler.
+    #[must_use]
     pub fn new() -> Self {
-        Reassembler::default()
+        Self::default()
     }
 
     /// Parses one decoded segment's records and appends them to the
@@ -216,6 +227,11 @@ impl Reassembler {
     /// Malformed framing (which cannot arise from a correct segmenter)
     /// stops parsing of that segment and is counted in
     /// [`Reassembler::malformed_segments`].
+    ///
+    /// # Panics
+    ///
+    /// Only if an internal invariant is violated (record framing is
+    /// length-checked before slicing); never on valid input.
     pub fn feed(&mut self, segment: &DecodedSegment) -> usize {
         self.segments_seen += 1;
         let data: Vec<u8> = segment.blocks().concat();
@@ -251,6 +267,7 @@ impl Reassembler {
     }
 
     /// Records recovered so far, in feed order.
+    #[must_use]
     pub fn records(&self) -> &[Vec<u8>] {
         &self.records
     }
@@ -262,12 +279,14 @@ impl Reassembler {
     }
 
     /// Number of segments fed in.
-    pub fn segments_seen(&self) -> usize {
+    #[must_use]
+    pub const fn segments_seen(&self) -> usize {
         self.segments_seen
     }
 
     /// Number of segments whose framing was malformed.
-    pub fn malformed_segments(&self) -> usize {
+    #[must_use]
+    pub const fn malformed_segments(&self) -> usize {
         self.malformed_segments
     }
 }

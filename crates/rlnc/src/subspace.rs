@@ -32,8 +32,9 @@ pub struct Subspace {
 
 impl Subspace {
     /// Creates the zero subspace of GF(2⁸)^`dim`.
-    pub fn new(dim: usize) -> Self {
-        Subspace {
+    #[must_use]
+    pub const fn new(dim: usize) -> Self {
+        Self {
             dim,
             rows: Vec::new(),
             pivots: Vec::new(),
@@ -41,17 +42,20 @@ impl Subspace {
     }
 
     /// The ambient dimension `s`.
-    pub fn dim(&self) -> usize {
+    #[must_use]
+    pub const fn dim(&self) -> usize {
         self.dim
     }
 
     /// The current rank.
-    pub fn rank(&self) -> usize {
+    #[must_use]
+    pub const fn rank(&self) -> usize {
         self.rows.len()
     }
 
     /// Returns `true` when the subspace is all of GF(2⁸)ˢ.
-    pub fn is_full(&self) -> bool {
+    #[must_use]
+    pub const fn is_full(&self) -> bool {
         self.rows.len() == self.dim
     }
 
@@ -85,6 +89,11 @@ impl Subspace {
 
     /// Returns `true` if `vector` lies outside the current span (i.e.
     /// inserting it would raise the rank), without mutating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len()` differs from the subspace dimension.
+    #[must_use]
     pub fn would_increase_rank(&self, vector: &[u8]) -> bool {
         assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
         let mut v = vector.to_vec();
@@ -103,7 +112,7 @@ impl Subspace {
 
     /// Rebuilds the subspace from raw (possibly dependent) vectors.
     pub fn from_vectors<'a>(dim: usize, vectors: impl IntoIterator<Item = &'a [u8]>) -> Self {
-        let mut sub = Subspace::new(dim);
+        let mut sub = Self::new(dim);
         for v in vectors {
             sub.insert(v);
         }
@@ -113,7 +122,9 @@ impl Subspace {
 
 /// Draws a random non-zero linear combination of `vectors` (each scaled
 /// by a non-zero coefficient), retrying a few times if the combination
-/// degenerates to zero. Returns `None` when `vectors` is empty or only
+/// degenerates to zero.
+///
+/// Returns `None` when `vectors` is empty or only
 /// zero combinations can be produced.
 ///
 /// This models what a relay peer actually transmits in the exact coding

@@ -26,6 +26,16 @@ pub const MAGIC: u8 = 0x67; // 'g'
 /// Current format version.
 pub const VERSION: u8 = 1;
 
+/// Hard upper bound on the total size of an accepted frame.
+///
+/// The length fields in the header are attacker-controlled on a real
+/// network: a frame declaring a multi-gigabyte payload must be rejected
+/// *before* any buffer is sized from it. 16 MiB is orders of magnitude
+/// above any block the protocol produces (`s ≤ 255` coefficients and
+/// payloads of a few KiB) while still small enough that a hostile peer
+/// cannot drive allocation.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
 const FIXED_HEADER: usize = 1 + 1 + 8 + 1 + 4;
 const TRAILER: usize = 4;
 
@@ -46,16 +56,18 @@ const fn build_crc_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        table[i] = crc; // xtask-ok: index (const-evaluated; i < 256 by the loop bound)
         i += 1;
     }
     table
 }
 
 /// Computes the CRC-32 (IEEE) of a byte slice.
+#[must_use]
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
+        // xtask-ok: index (masked to 0xFF; the table has 256 entries)
         crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
@@ -63,11 +75,13 @@ pub fn crc32(data: &[u8]) -> u32 {
 
 /// Serialised size of a block with `s` coefficients and `block_len`
 /// payload bytes.
+#[must_use]
 pub const fn frame_len(s: usize, block_len: usize) -> usize {
     FIXED_HEADER + s + block_len + TRAILER
 }
 
 /// Serialises a coded block into a self-delimiting frame.
+#[must_use]
 pub fn encode(block: &CodedBlock) -> Bytes {
     let s = block.segment_size();
     let len = frame_len(s, block.payload().len());
@@ -114,6 +128,12 @@ pub fn decode(mut frame: &[u8]) -> Result<CodedBlock, WireError> {
         return Err(WireError::MalformedHeader);
     }
     let needed = frame_len(s, block_len);
+    if needed > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge {
+            declared: needed,
+            limit: MAX_FRAME_LEN,
+        });
+    }
     if full.len() < needed {
         return Err(WireError::Truncated {
             needed,
@@ -132,16 +152,46 @@ pub fn decode(mut frame: &[u8]) -> Result<CodedBlock, WireError> {
 }
 
 /// Inspects a partial byte stream and reports how many bytes the frame at
-/// its head occupies, or `None` if more bytes are needed to tell.
+/// its head occupies, or `Ok(None)` if more bytes are needed to tell.
 ///
-/// This is what a streaming reader uses to delimit frames without copying.
-pub fn peek_frame_len(buf: &[u8]) -> Option<usize> {
-    if buf.len() < FIXED_HEADER {
-        return None;
+/// This is what a streaming reader uses to delimit frames without
+/// copying. The header is validated as far as the available bytes allow
+/// (magic, version, non-zero dimensions, the [`MAX_FRAME_LEN`] bound), so
+/// a reader never sizes a buffer from a length a hostile peer declared.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the visible prefix already proves the frame
+/// invalid: bad magic, unsupported version, a zero dimension, or a
+/// declared size beyond [`MAX_FRAME_LEN`].
+pub fn peek_frame_len(buf: &[u8]) -> Result<Option<usize>, WireError> {
+    if let Some(&magic) = buf.first() {
+        if magic != MAGIC {
+            return Err(WireError::BadMagic { found: magic });
+        }
     }
-    let s = buf[10] as usize;
-    let block_len = u32::from_be_bytes([buf[11], buf[12], buf[13], buf[14]]) as usize;
-    Some(frame_len(s, block_len))
+    if let Some(&version) = buf.get(1) {
+        if version != VERSION {
+            return Err(WireError::UnsupportedVersion { version });
+        }
+    }
+    let Some((header, _)) = buf.split_first_chunk::<FIXED_HEADER>() else {
+        return Ok(None);
+    };
+    let [_, _, _, _, _, _, _, _, _, _, s, b0, b1, b2, b3] = *header;
+    let s = s as usize;
+    let block_len = u32::from_be_bytes([b0, b1, b2, b3]) as usize;
+    if s == 0 || block_len == 0 {
+        return Err(WireError::MalformedHeader);
+    }
+    let needed = frame_len(s, block_len);
+    if needed > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge {
+            declared: needed,
+            limit: MAX_FRAME_LEN,
+        });
+    }
+    Ok(Some(needed))
 }
 
 #[cfg(test)]
@@ -229,10 +279,52 @@ mod tests {
     #[test]
     fn peek_frame_len_matches_encoding() {
         let frame = encode(&sample());
-        assert_eq!(peek_frame_len(&frame), Some(frame.len()));
-        assert_eq!(peek_frame_len(&frame[..FIXED_HEADER - 1]), None);
+        assert_eq!(peek_frame_len(&frame), Ok(Some(frame.len())));
+        assert_eq!(peek_frame_len(&frame[..FIXED_HEADER - 1]), Ok(None));
         // A prefix that includes the header is enough.
-        assert_eq!(peek_frame_len(&frame[..FIXED_HEADER]), Some(frame.len()));
+        assert_eq!(
+            peek_frame_len(&frame[..FIXED_HEADER]),
+            Ok(Some(frame.len()))
+        );
+    }
+
+    #[test]
+    fn peek_rejects_invalid_prefixes_early() {
+        // Wrong magic is detectable from the very first byte.
+        assert_eq!(
+            peek_frame_len(&[0x00]),
+            Err(WireError::BadMagic { found: 0 })
+        );
+        // Wrong version from the second.
+        assert_eq!(
+            peek_frame_len(&[MAGIC, 9]),
+            Err(WireError::UnsupportedVersion { version: 9 })
+        );
+        // A zero dimension is malformed, not "wait for more bytes".
+        let mut frame = encode(&sample()).to_vec();
+        frame[10] = 0;
+        assert_eq!(
+            peek_frame_len(&frame[..FIXED_HEADER]),
+            Err(WireError::MalformedHeader)
+        );
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_without_allocation() {
+        // Hand-craft a header declaring a ~4 GiB payload.
+        let mut frame = vec![MAGIC, VERSION];
+        frame.extend_from_slice(&7u64.to_be_bytes()); // segment id
+        frame.push(4); // s
+        frame.extend_from_slice(&u32::MAX.to_be_bytes()); // block_len
+        assert!(matches!(
+            peek_frame_len(&frame),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+        frame.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(
+            decode(&frame),
+            Err(WireError::FrameTooLarge { .. })
+        ));
     }
 
     #[test]
@@ -241,7 +333,7 @@ mod tests {
         let b = CodedBlock::new(SegmentId::new(7), vec![9, 9], vec![1, 2, 3]).unwrap();
         let mut stream = encode(&a).to_vec();
         stream.extend_from_slice(&encode(&b));
-        let first_len = peek_frame_len(&stream).unwrap();
+        let first_len = peek_frame_len(&stream).unwrap().unwrap();
         assert_eq!(decode(&stream[..first_len]).unwrap(), a);
         assert_eq!(decode(&stream[first_len..]).unwrap(), b);
     }

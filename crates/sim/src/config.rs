@@ -111,27 +111,27 @@ pub enum ConfigError {
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ConfigError::NonPositive { name } => {
+            Self::NonPositive { name } => {
                 write!(f, "{name} must be positive and finite")
             }
-            ConfigError::Negative { name } => {
+            Self::Negative { name } => {
                 write!(f, "{name} must be non-negative and finite")
             }
-            ConfigError::BadSegmentSize { requested } => {
+            Self::BadSegmentSize { requested } => {
                 write!(f, "segment size {requested} outside 1..=255")
             }
-            ConfigError::TooFewPeers => write!(f, "at least two peers required"),
-            ConfigError::BufferTooSmall {
+            Self::TooFewPeers => write!(f, "at least two peers required"),
+            Self::BufferTooSmall {
                 buffer_cap,
                 segment_size,
             } => write!(
                 f,
                 "buffer cap {buffer_cap} cannot hold one segment of {segment_size} blocks"
             ),
-            ConfigError::BadProbability { name } => {
+            Self::BadProbability { name } => {
                 write!(f, "{name} must be a probability in [0, 1)")
             }
-            ConfigError::BadTopologyDegree { degree, peers } => {
+            Self::BadTopologyDegree { degree, peers } => {
                 write!(f, "topology degree {degree} invalid for {peers} peers")
             }
         }
@@ -171,72 +171,86 @@ pub struct SimConfig {
 
 impl SimConfig {
     /// Starts building a configuration.
+    #[must_use]
     pub fn builder() -> SimConfigBuilder {
         SimConfigBuilder::default()
     }
 
     /// Number of peers `N`.
-    pub fn peers(&self) -> usize {
+    #[must_use]
+    pub const fn peers(&self) -> usize {
         self.peers
     }
 
     /// Per-peer block generation rate λ.
-    pub fn lambda(&self) -> f64 {
+    #[must_use]
+    pub const fn lambda(&self) -> f64 {
         self.lambda
     }
 
     /// Per-peer gossip rate μ.
-    pub fn mu(&self) -> f64 {
+    #[must_use]
+    pub const fn mu(&self) -> f64 {
         self.mu
     }
 
     /// Per-block deletion rate γ (`0` disables expiry).
-    pub fn gamma(&self) -> f64 {
+    #[must_use]
+    pub const fn gamma(&self) -> f64 {
         self.gamma
     }
 
     /// Segment size `s`.
-    pub fn segment_size(&self) -> usize {
+    #[must_use]
+    pub const fn segment_size(&self) -> usize {
         self.segment_size
     }
 
     /// Number of logging servers `Nₛ`.
-    pub fn servers(&self) -> usize {
+    #[must_use]
+    pub const fn servers(&self) -> usize {
         self.servers
     }
 
     /// Per-server pull rate `cₛ`.
-    pub fn server_capacity(&self) -> f64 {
+    #[must_use]
+    pub const fn server_capacity(&self) -> f64 {
         self.server_capacity
     }
 
     /// Normalized server capacity `c = cₛ·Nₛ/N`.
+    #[must_use]
     pub fn normalized_capacity(&self) -> f64 {
         self.server_capacity * self.servers as f64 / self.peers as f64
     }
 
     /// Per-peer buffer cap `B` in blocks.
-    pub fn buffer_cap(&self) -> usize {
+    #[must_use]
+    pub const fn buffer_cap(&self) -> usize {
         self.buffer_cap
     }
 
     /// Collection scheme.
-    pub fn scheme(&self) -> Scheme {
+    #[must_use]
+    pub const fn scheme(&self) -> Scheme {
         self.scheme
     }
 
     /// Coding model.
-    pub fn coding(&self) -> CodingModel {
+    #[must_use]
+    pub const fn coding(&self) -> CodingModel {
         self.coding
     }
 
     /// Gossip topology.
-    pub fn topology(&self) -> Topology {
+    #[must_use]
+    pub const fn topology(&self) -> Topology {
         self.topology
     }
 
     /// Churn configuration, if any.
-    pub fn churn(&self) -> Option<ChurnConfig> {
+    #[must_use]
+    pub const fn churn(&self) -> Option<ChurnConfig> {
         self.churn
     }
 
@@ -244,53 +258,62 @@ impl SimConfig {
     /// pull) is lost in flight. Mirrors the drop rate of the TCP
     /// transport's fault injector, so software-level chaos runs can be
     /// replayed against the simulator.
-    pub fn message_loss(&self) -> f64 {
+    #[must_use]
+    pub const fn message_loss(&self) -> f64 {
         self.message_loss
     }
 
     /// Absolute simulation time after which peers stop generating new
     /// data (`None` = generation never stops). Used for burst-then-drain
     /// scenarios such as a flash crowd followed by delayed collection.
-    pub fn generation_until(&self) -> Option<f64> {
+    #[must_use]
+    pub const fn generation_until(&self) -> Option<f64> {
         self.generation_until
     }
 
     /// Flash-crowd arrival configuration, if any.
-    pub fn arrivals(&self) -> Option<ArrivalConfig> {
+    #[must_use]
+    pub const fn arrivals(&self) -> Option<ArrivalConfig> {
         self.arrivals
     }
 
     /// Sparse-recoding density for the exact coding model (`None` =
     /// dense, the paper's assumption).
-    pub fn gossip_density(&self) -> Option<usize> {
+    #[must_use]
+    pub const fn gossip_density(&self) -> Option<usize> {
         self.gossip_density
     }
 
     /// Whether servers are *oracles* that never pull segments they have
     /// already fully collected (an upper bound ablating the paper's
     /// blind coupon-collector pulls, which make no buffer comparison).
-    pub fn oracle_servers(&self) -> bool {
+    #[must_use]
+    pub const fn oracle_servers(&self) -> bool {
         self.oracle_servers
     }
 
     /// Warm-up time excluded from measurement.
-    pub fn warmup(&self) -> f64 {
+    #[must_use]
+    pub const fn warmup(&self) -> f64 {
         self.warmup
     }
 
     /// Measurement window length.
-    pub fn measure(&self) -> f64 {
+    #[must_use]
+    pub const fn measure(&self) -> f64 {
         self.measure
     }
 
     /// Interval between state samples.
-    pub fn sample_interval(&self) -> f64 {
+    #[must_use]
+    pub const fn sample_interval(&self) -> f64 {
         self.sample_interval
     }
 
     /// RNG seed; identical configs with identical seeds reproduce runs
     /// bit-for-bit.
-    pub fn seed(&self) -> u64 {
+    #[must_use]
+    pub const fn seed(&self) -> u64 {
         self.seed
     }
 }
@@ -324,7 +347,7 @@ pub struct SimConfigBuilder {
 
 impl Default for SimConfigBuilder {
     fn default() -> Self {
-        SimConfigBuilder {
+        Self {
             peers: 200,
             lambda: 20.0,
             mu: 10.0,
@@ -353,80 +376,93 @@ impl Default for SimConfigBuilder {
 
 impl SimConfigBuilder {
     /// Sets the number of peers `N`.
-    pub fn peers(mut self, n: usize) -> Self {
+    #[must_use]
+    pub const fn peers(mut self, n: usize) -> Self {
         self.peers = n;
         self
     }
 
     /// Sets the per-peer block generation rate λ.
-    pub fn lambda(mut self, lambda: f64) -> Self {
+    #[must_use]
+    pub const fn lambda(mut self, lambda: f64) -> Self {
         self.lambda = lambda;
         self
     }
 
     /// Sets the per-peer gossip rate μ.
-    pub fn mu(mut self, mu: f64) -> Self {
+    #[must_use]
+    pub const fn mu(mut self, mu: f64) -> Self {
         self.mu = mu;
         self
     }
 
     /// Sets the per-block deletion rate γ (`0` disables expiry).
-    pub fn gamma(mut self, gamma: f64) -> Self {
+    #[must_use]
+    pub const fn gamma(mut self, gamma: f64) -> Self {
         self.gamma = gamma;
         self
     }
 
     /// Sets the segment size `s` (`1` = non-coding).
-    pub fn segment_size(mut self, s: usize) -> Self {
+    #[must_use]
+    pub const fn segment_size(mut self, s: usize) -> Self {
         self.segment_size = s;
         self
     }
 
     /// Sets the number of servers (default 4).
-    pub fn servers(mut self, n: usize) -> Self {
+    #[must_use]
+    pub const fn servers(mut self, n: usize) -> Self {
         self.servers = n;
         self
     }
 
     /// Sets the per-server pull rate `cₛ` directly.
-    pub fn server_capacity(mut self, cs: f64) -> Self {
+    #[must_use]
+    pub const fn server_capacity(mut self, cs: f64) -> Self {
         self.server_capacity = Some(cs);
         self
     }
 
     /// Sets the *normalized* capacity `c = cₛ·Nₛ/N`; the per-server rate
     /// is derived. This is how the paper parameterises every figure.
-    pub fn normalized_server_capacity(mut self, c: f64) -> Self {
+    #[must_use]
+    pub const fn normalized_server_capacity(mut self, c: f64) -> Self {
         self.normalized_capacity = Some(c);
         self
     }
 
     /// Sets the per-peer buffer cap `B` (default: 4·(μ+λ)/γ, "large").
-    pub fn buffer_cap(mut self, b: usize) -> Self {
+    #[must_use]
+    pub const fn buffer_cap(mut self, b: usize) -> Self {
         self.buffer_cap = Some(b);
         self
     }
 
     /// Selects the collection scheme.
-    pub fn scheme(mut self, scheme: Scheme) -> Self {
+    #[must_use]
+    pub const fn scheme(mut self, scheme: Scheme) -> Self {
         self.scheme = scheme;
         self
     }
 
     /// Selects the coding model.
-    pub fn coding(mut self, coding: CodingModel) -> Self {
+    #[must_use]
+    pub const fn coding(mut self, coding: CodingModel) -> Self {
         self.coding = coding;
         self
     }
 
     /// Selects the gossip topology.
-    pub fn topology(mut self, topology: Topology) -> Self {
+    #[must_use]
+    pub const fn topology(mut self, topology: Topology) -> Self {
         self.topology = topology;
         self
     }
 
     /// Enables churn with the given mean lifetime.
-    pub fn churn(mut self, mean_lifetime: f64) -> Self {
+    #[must_use]
+    pub const fn churn(mut self, mean_lifetime: f64) -> Self {
         self.churn = Some(ChurnConfig { mean_lifetime });
         self
     }
@@ -434,21 +470,24 @@ impl SimConfigBuilder {
     /// Loses each message (gossip transfer or server pull) independently
     /// with probability `p` — the simulator's half of the fault-injection
     /// harness shared with the TCP transport.
-    pub fn message_loss(mut self, p: f64) -> Self {
+    #[must_use]
+    pub const fn message_loss(mut self, p: f64) -> Self {
         self.message_loss = p;
         self
     }
 
     /// Stops data generation at the given absolute simulation time; the
     /// rest of the run only drains what the network has buffered.
-    pub fn generation_until(mut self, t: f64) -> Self {
+    #[must_use]
+    pub const fn generation_until(mut self, t: f64) -> Self {
         self.generation_until = Some(t);
         self
     }
 
     /// Makes servers oracles that skip already-complete segments when
     /// choosing what to pull (ablation; the paper's servers are blind).
-    pub fn oracle_servers(mut self, oracle: bool) -> Self {
+    #[must_use]
+    pub const fn oracle_servers(mut self, oracle: bool) -> Self {
         self.oracle_servers = oracle;
         self
     }
@@ -456,7 +495,8 @@ impl SimConfigBuilder {
     /// Restricts exact-model recoding to combine at most `density`
     /// buffered blocks per emission (sparse coding). Ignored by the
     /// idealized model, which has no coefficients.
-    pub fn gossip_density(mut self, density: usize) -> Self {
+    #[must_use]
+    pub const fn gossip_density(mut self, density: usize) -> Self {
         self.gossip_density = Some(density);
         self
     }
@@ -464,7 +504,8 @@ impl SimConfigBuilder {
     /// Starts the run with only `initial` active peers; the rest of the
     /// configured population joins as a Poisson process of the given
     /// aggregate rate (a flash crowd of arrivals).
-    pub fn arrivals(mut self, initial: usize, rate: f64) -> Self {
+    #[must_use]
+    pub const fn arrivals(mut self, initial: usize, rate: f64) -> Self {
         self.arrivals = Some(ArrivalConfig {
             initial_peers: initial,
             rate,
@@ -473,25 +514,29 @@ impl SimConfigBuilder {
     }
 
     /// Sets the warm-up duration.
-    pub fn warmup(mut self, t: f64) -> Self {
+    #[must_use]
+    pub const fn warmup(mut self, t: f64) -> Self {
         self.warmup = t;
         self
     }
 
     /// Sets the measurement window.
-    pub fn measure(mut self, t: f64) -> Self {
+    #[must_use]
+    pub const fn measure(mut self, t: f64) -> Self {
         self.measure = t;
         self
     }
 
     /// Sets the sampling interval for time-series metrics.
-    pub fn sample_interval(mut self, dt: f64) -> Self {
+    #[must_use]
+    pub const fn sample_interval(mut self, dt: f64) -> Self {
         self.sample_interval = dt;
         self
     }
 
     /// Sets the RNG seed.
-    pub fn seed(mut self, seed: u64) -> Self {
+    #[must_use]
+    pub const fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
@@ -501,6 +546,9 @@ impl SimConfigBuilder {
     /// # Errors
     ///
     /// Returns a [`ConfigError`] describing the first invalid parameter.
+    // One linear validation pass over every parameter; splitting it
+    // would scatter the checks away from the error enum they feed.
+    #[allow(clippy::too_many_lines)]
     pub fn build(self) -> Result<SimConfig, ConfigError> {
         if self.peers < 2 {
             return Err(ConfigError::TooFewPeers);

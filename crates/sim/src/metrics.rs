@@ -83,6 +83,7 @@ pub struct DegreeHistogram {
 
 impl DegreeHistogram {
     /// The mean of the distribution.
+    #[must_use]
     pub fn mean(&self) -> f64 {
         self.fractions
             .iter()
@@ -143,7 +144,7 @@ pub struct SimReport {
 
 /// Internal accumulator the simulation writes into.
 #[derive(Debug, Default)]
-pub(crate) struct Accumulator {
+pub struct Accumulator {
     pub(crate) delivered_blocks: u64,
     pub(crate) delivered_segments: u64,
     pub(crate) injected_blocks: u64,

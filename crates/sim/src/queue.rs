@@ -7,8 +7,8 @@ use std::collections::BinaryHeap;
 use crate::state::BlockId;
 
 /// Everything that can happen in the simulated network.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) enum Event {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
     /// A peer's next segment injection fires.
     Inject { peer: usize },
     /// A peer's next gossip transmission fires.
@@ -60,7 +60,7 @@ impl Ord for Scheduled {
 
 /// A deterministic discrete-event queue.
 #[derive(Debug, Default)]
-pub(crate) struct EventQueue {
+pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
     seq: u64,
     now: f64,
@@ -68,11 +68,11 @@ pub(crate) struct EventQueue {
 
 impl EventQueue {
     pub(crate) fn new() -> Self {
-        EventQueue::default()
+        Self::default()
     }
 
     /// Current simulation time (time of the last popped event).
-    pub(crate) fn now(&self) -> f64 {
+    pub(crate) const fn now(&self) -> f64 {
         self.now
     }
 

@@ -48,7 +48,7 @@ impl Simulation {
     pub fn new(config: SimConfig) -> Result<Self, ConfigError> {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let neighbours = Neighbours::build(config.topology, config.peers, &mut rng);
-        let mut sim = Simulation {
+        let mut sim = Self {
             peers: (0..config.peers).map(|_| Peer::default()).collect(),
             segments: BTreeMap::new(),
             registry: BlockRegistry::new(),
@@ -64,7 +64,8 @@ impl Simulation {
     }
 
     /// The configuration this run was built from.
-    pub fn config(&self) -> &SimConfig {
+    #[must_use]
+    pub const fn config(&self) -> &SimConfig {
         &self.config
     }
 
@@ -124,6 +125,7 @@ impl Simulation {
     }
 
     /// Runs to completion and produces the report.
+    #[must_use]
     pub fn run(mut self) -> SimReport {
         let end = self.config.warmup + self.config.measure;
         while let Some((time, event)) = self.queue.pop() {
@@ -360,15 +362,24 @@ impl Simulation {
         if !peer.active || peer.degree >= self.config.buffer_cap {
             return false;
         }
-        match peer.holdings.get(&segment) {
-            None => true,
-            Some(h) => h.rank(self.config.segment_size) < self.config.segment_size,
-        }
+        peer.holdings
+            .get(&segment)
+            .is_none_or(|h| h.rank(self.config.segment_size) < self.config.segment_size)
     }
 
     // ---- server pulls ---------------------------------------------------
 
+    // One pull's full lifecycle (loss, idle, oracle ablation, rank
+    // accounting) is a single narrative; splitting it would hide the
+    // capacity-slot bookkeeping that every early return shares.
+    #[allow(clippy::too_many_lines)]
     fn handle_server_pull(&mut self, server: usize) {
+        // Whether the pull advances the segment's collection.
+        enum Outcome {
+            Useful { complete: bool },
+            Redundant,
+        }
+
         let dt = exp_sample(&mut self.rng, self.config.server_capacity);
         self.queue.schedule_in(dt, Event::ServerPull { server });
 
@@ -423,11 +434,6 @@ impl Simulation {
         let in_window = self.in_window();
         let now = self.queue.now();
 
-        // Decide whether the pull advances the segment's collection.
-        enum Outcome {
-            Useful { complete: bool },
-            Redundant,
-        }
         let outcome = {
             let seg = self
                 .segments

@@ -13,14 +13,14 @@ use gossamer_rlnc::Subspace;
 /// differs and the event is a no-op instead of deleting an unrelated
 /// block that reused the slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) struct BlockId {
+pub struct BlockId {
     pub(crate) slot: u32,
     pub(crate) generation: u32,
 }
 
 /// What a block physically is, per coding model / scheme.
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) enum BlockKind {
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockKind {
     /// Idealized model: identity-free coded block.
     Anonymous,
     /// Direct-pull baseline: the `i`-th original block of its segment.
@@ -30,7 +30,7 @@ pub(crate) enum BlockKind {
 }
 
 #[derive(Debug, Clone)]
-pub(crate) struct BlockData {
+pub struct BlockData {
     pub(crate) peer: u32,
     pub(crate) segment: SegmentId,
     pub(crate) kind: BlockKind,
@@ -44,7 +44,7 @@ struct Slot {
 
 /// Slab of live blocks with generation-checked removal.
 #[derive(Debug, Default)]
-pub(crate) struct BlockRegistry {
+pub struct BlockRegistry {
     slots: Vec<Slot>,
     free: Vec<u32>,
     live: usize,
@@ -52,7 +52,7 @@ pub(crate) struct BlockRegistry {
 
 impl BlockRegistry {
     pub(crate) fn new() -> Self {
-        BlockRegistry::default()
+        Self::default()
     }
 
     pub(crate) fn insert(&mut self, data: BlockData) -> BlockId {
@@ -98,14 +98,14 @@ impl BlockRegistry {
         entry.data.as_ref()
     }
 
-    pub(crate) fn live(&self) -> usize {
+    pub(crate) const fn live(&self) -> usize {
         self.live
     }
 }
 
 /// One peer's holding of one segment.
 #[derive(Debug, Default)]
-pub(crate) struct Holding {
+pub struct Holding {
     pub(crate) blocks: Vec<BlockId>,
     /// Exact model only: span of the held coefficient vectors.
     pub(crate) subspace: Option<Subspace>,
@@ -115,16 +115,15 @@ impl Holding {
     /// The holding's rank under the given segment size: exact if a
     /// subspace is tracked, otherwise the idealized `min(count, s)`.
     pub(crate) fn rank(&self, segment_size: usize) -> usize {
-        match &self.subspace {
-            Some(sub) => sub.rank(),
-            None => self.blocks.len().min(segment_size),
-        }
+        self.subspace
+            .as_ref()
+            .map_or_else(|| self.blocks.len().min(segment_size), Subspace::rank)
     }
 }
 
 /// A peer's mutable state.
 #[derive(Debug, Default)]
-pub(crate) struct Peer {
+pub struct Peer {
     /// Holdings keyed by segment; `BTreeMap` for deterministic iteration
     /// under a seeded RNG.
     pub(crate) holdings: BTreeMap<SegmentId, Holding>,
@@ -139,7 +138,7 @@ pub(crate) struct Peer {
 
 /// How far the servers have come in collecting one segment.
 #[derive(Debug)]
-pub(crate) enum CollectState {
+pub enum CollectState {
     /// Idealized: number of (assumed-innovative) blocks collected.
     Counter(usize),
     /// Exact: the span of collected coefficient vectors.
@@ -151,16 +150,16 @@ pub(crate) enum CollectState {
 impl CollectState {
     pub(crate) fn progress(&self) -> usize {
         match self {
-            CollectState::Counter(n) => *n,
-            CollectState::Subspace(sub) => sub.rank(),
-            CollectState::Coupon(seen) => seen.iter().filter(|&&b| b).count(),
+            Self::Counter(n) => *n,
+            Self::Subspace(sub) => sub.rank(),
+            Self::Coupon(seen) => seen.iter().filter(|&&b| b).count(),
         }
     }
 }
 
 /// Global per-segment state.
 #[derive(Debug)]
-pub(crate) struct SegmentState {
+pub struct SegmentState {
     pub(crate) injected_at: f64,
     /// Live blocks network-wide (the segment's degree in the bipartite
     /// graph).
@@ -171,14 +170,14 @@ pub(crate) struct SegmentState {
 
 /// O(1) index of peers with non-empty buffers, for uniform sampling.
 #[derive(Debug, Default)]
-pub(crate) struct NonEmptyIndex {
+pub struct NonEmptyIndex {
     list: Vec<u32>,
     position: Vec<Option<u32>>,
 }
 
 impl NonEmptyIndex {
     pub(crate) fn new(peers: usize) -> Self {
-        NonEmptyIndex {
+        Self {
             list: Vec::with_capacity(peers),
             position: vec![None; peers],
         }
@@ -206,7 +205,7 @@ impl NonEmptyIndex {
         self.position[peer as usize].is_some()
     }
 
-    pub(crate) fn len(&self) -> usize {
+    pub(crate) const fn len(&self) -> usize {
         self.list.len()
     }
 

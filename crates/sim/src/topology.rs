@@ -6,7 +6,7 @@ use crate::config::Topology;
 
 /// Resolved neighbour structure for one run.
 #[derive(Debug)]
-pub(crate) enum Neighbours {
+pub enum Neighbours {
     /// Everyone is adjacent to everyone (mean-field).
     FullMesh { peers: usize },
     /// Static adjacency lists.
@@ -17,9 +17,9 @@ impl Neighbours {
     /// Builds the neighbour structure for a topology.
     pub(crate) fn build<R: Rng + ?Sized>(topology: Topology, peers: usize, rng: &mut R) -> Self {
         match topology {
-            Topology::FullMesh => Neighbours::FullMesh { peers },
+            Topology::FullMesh => Self::FullMesh { peers },
             Topology::RandomRegular { degree } => {
-                Neighbours::Lists(random_near_regular(peers, degree, rng))
+                Self::Lists(random_near_regular(peers, degree, rng))
             }
         }
     }
@@ -27,8 +27,8 @@ impl Neighbours {
     /// Number of neighbours of `peer`.
     pub(crate) fn degree(&self, peer: u32) -> usize {
         match self {
-            Neighbours::FullMesh { peers } => peers - 1,
-            Neighbours::Lists(lists) => lists[peer as usize].len(),
+            Self::FullMesh { peers } => peers - 1,
+            Self::Lists(lists) => lists[peer as usize].len(),
         }
     }
 
@@ -38,7 +38,7 @@ impl Neighbours {
     /// materialising the list.
     pub(crate) fn neighbour(&self, peer: u32, k: usize) -> u32 {
         match self {
-            Neighbours::FullMesh { .. } => {
+            Self::FullMesh { .. } => {
                 // Skip over `peer` itself.
                 if (k as u32) < peer {
                     k as u32
@@ -46,7 +46,7 @@ impl Neighbours {
                     k as u32 + 1
                 }
             }
-            Neighbours::Lists(lists) => lists[peer as usize][k],
+            Self::Lists(lists) => lists[peer as usize][k],
         }
     }
 }
@@ -134,7 +134,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             match Neighbours::build(Topology::RandomRegular { degree: 3 }, 20, &mut rng) {
                 Neighbours::Lists(l) => l,
-                _ => unreachable!(),
+                Neighbours::FullMesh { .. } => unreachable!(),
             }
         };
         assert_eq!(build(9), build(9));

@@ -1,0 +1,674 @@
+//! The repository's static-analysis pass.
+//!
+//! Three rule families, all matched on *scrubbed* source (comments and
+//! string literals blanked out, so prose never trips a rule):
+//!
+//! 1. **Determinism** — `crates/sim` and `crates/ode` implement the
+//!    paper's reproducible models; wall clocks (`SystemTime::now`,
+//!    `Instant::now`), OS randomness (`thread_rng`) and hash-order
+//!    iteration (`HashMap`/`HashSet`; use `BTreeMap`/`BTreeSet`) are
+//!    banned there outright.
+//! 2. **Panic-free decode paths** — `rlnc::wire`, `net::codec` and the
+//!    daemon read loop parse attacker-controlled bytes; `unwrap`,
+//!    `expect`, the panicking macros and single-element indexing are
+//!    banned in their non-`#[cfg(test)]` code. Range slicing (`buf[a..b]`)
+//!    is allowed: the idiom is *check length, then slice*.
+//! 3. **Crate hygiene** — every library crate must carry
+//!    `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`.
+//!
+//! A line may be exempted with a justification comment on it or the line
+//! above: `// xtask-ok: index (<why it cannot panic>)` or
+//! `// xtask-ok: nondet (<why it is deterministic>)`. The waiver is
+//! deliberately loud — it shows up in review diffs.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories whose sources must be deterministic.
+const DETERMINISM_DIRS: &[&str] = &["crates/sim/src", "crates/ode/src"];
+
+/// Tokens banned by the determinism rule, with the reason reported.
+const NONDET_TOKENS: &[(&str, &str)] = &[
+    (
+        "SystemTime::now",
+        "wall-clock time is nondeterministic; thread simulated f64 time instead",
+    ),
+    (
+        "Instant::now",
+        "monotonic wall time is nondeterministic; thread simulated f64 time instead",
+    ),
+    (
+        "thread_rng",
+        "OS-seeded randomness is nondeterministic; use a seeded StdRng",
+    ),
+    (
+        "from_entropy",
+        "OS-seeded randomness is nondeterministic; use a seeded StdRng",
+    ),
+    (
+        "HashMap",
+        "iteration order is randomized per process; use BTreeMap",
+    ),
+    (
+        "HashSet",
+        "iteration order is randomized per process; use BTreeSet",
+    ),
+];
+
+/// Files whose non-test code parses attacker-controlled bytes and must
+/// be panic-free.
+const PANIC_FREE_FILES: &[&str] = &[
+    "crates/rlnc/src/wire.rs",
+    "crates/net/src/codec.rs",
+    "crates/net/src/daemon.rs",
+];
+
+/// Panicking constructs banned in decode paths. Matched at word
+/// boundaries, so `debug_assert!` (compiled out of release builds) does
+/// not trip the `assert!` rule.
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap(",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+    "assert!(",
+    "assert_eq!(",
+    "assert_ne!(",
+];
+
+/// Crate-level attributes every library must carry.
+const REQUIRED_ATTRS: &[&str] = &["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"];
+
+/// One rule violation at a source location.
+#[derive(Debug)]
+pub struct Violation {
+    /// Path relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number (0 for file-level violations).
+    pub line: usize,
+    /// Rule family that fired.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Runs every lint over the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the tree; individual missing files
+/// (e.g. a rule target that does not exist) are violations, not errors.
+pub fn run(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    determinism_lint(root, &mut violations)?;
+    panic_path_lint(root, &mut violations)?;
+    crate_attribute_lint(root, &mut violations)?;
+    Ok(violations)
+}
+
+/// A source file split into raw lines (for waiver comments) and scrubbed
+/// lines (comments/strings blanked, for token matching).
+struct Scrubbed {
+    raw: Vec<String>,
+    clean: Vec<String>,
+}
+
+impl Scrubbed {
+    fn load(path: &Path) -> io::Result<Self> {
+        let source = fs::read_to_string(path)?;
+        let clean = scrub(&source);
+        let raw = source.lines().map(str::to_owned).collect();
+        Ok(Self { raw, clean })
+    }
+
+    /// Whether line `i` (0-based) carries the given waiver on itself or
+    /// the line directly above.
+    fn waived(&self, i: usize, waiver: &str) -> bool {
+        let here = self.raw.get(i).is_some_and(|l| l.contains(waiver));
+        let above = i > 0 && self.raw.get(i - 1).is_some_and(|l| l.contains(waiver));
+        here || above
+    }
+}
+
+/// Blanks comments, string literals and char literals, preserving line
+/// structure so line numbers survive. Lifetimes (`'a`) are distinguished
+/// from char literals heuristically: a quote opens a char literal only
+/// if it closes within a few characters or starts an escape.
+#[allow(clippy::too_many_lines)] // one state machine; splitting it would obscure the transitions
+fn scrub(source: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+    let mut state = State::Code;
+    let mut out = String::with_capacity(source.len());
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string: r"..." or r#"..."#.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        state = State::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    out.push(c);
+                }
+                '\'' => {
+                    // Char literal vs lifetime.
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(_) => chars.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        let mut j = i + 1;
+                        if chars.get(j) == Some(&'\\') {
+                            j += 1; // skip the escaped char
+                        }
+                        j += 1; // the (possibly escaped) payload char
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1; // longer escapes like \u{..}
+                        }
+                        for &ch in &chars[i..=j.min(chars.len() - 1)] {
+                            out.push(if ch == '\n' { '\n' } else { ' ' });
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    out.push(c);
+                }
+                _ => out.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+            }
+            State::Str => match c {
+                '\\' => {
+                    // Preserve line structure across `\`-continuations.
+                    out.push(' ');
+                    out.push(if next == Some('\n') { '\n' } else { ' ' });
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Code;
+                    out.push('"');
+                }
+                _ => out.push(if c == '\n' { '\n' } else { ' ' }),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let closed = (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'));
+                    if closed {
+                        state = State::Code;
+                        for _ in 0..=hashes as usize {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+            }
+        }
+        i += 1;
+    }
+    out.lines().map(str::to_owned).collect()
+}
+
+/// Whether `token` occurs in `line` at a word boundary (not preceded by
+/// an identifier character or `.`, so `debug_assert!` does not match
+/// `assert!`). Returns the byte offset of the first such occurrence.
+fn find_token(line: &str, token: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(token) {
+        let at = from + pos;
+        let boundary = line[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|p| !(p.is_alphanumeric() || p == '_'));
+        // `.unwrap(`-style tokens carry their own leading dot; for them
+        // any predecessor is fine.
+        if boundary || token.starts_with('.') {
+            return Some(at);
+        }
+        from = at + token.len();
+    }
+    None
+}
+
+/// Marks, per line, whether it belongs to a `#[cfg(test)]` module (those
+/// are exempt from the panic-path rule: tests *should* assert).
+fn test_mod_lines(clean: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; clean.len()];
+    let mut i = 0;
+    while i < clean.len() {
+        if clean[i].trim_start().starts_with("#[cfg(test)]") {
+            // Find the opening brace of the item that follows, then skip
+            // to its matching close, marking everything in between.
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            while j < clean.len() {
+                in_test[j] = true;
+                for c in clean[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// Finds single-element index expressions (`ident[expr]` with no `..`
+/// inside) in a scrubbed line. Range slicing is the sanctioned idiom and
+/// is ignored; so are attributes, macro brackets and array literals,
+/// none of which have an identifier directly before `[`.
+fn find_single_index(line: &str) -> Option<usize> {
+    let chars: Vec<char> = line.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let indexes_value =
+            i > 0 && (chars[i - 1].is_alphanumeric() || matches!(chars[i - 1], '_' | ')' | ']'));
+        if !indexes_value {
+            continue;
+        }
+        // Find the matching close bracket.
+        let mut depth = 1;
+        let mut j = i + 1;
+        while j < chars.len() && depth > 0 {
+            match chars[j] {
+                '[' => depth += 1,
+                ']' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let inner: String = chars[i + 1..j.saturating_sub(1)].iter().collect();
+        if !inner.trim().is_empty() && !inner.contains("..") {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn determinism_lint(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
+    for dir in DETERMINISM_DIRS {
+        let abs = root.join(dir);
+        if !abs.is_dir() {
+            continue;
+        }
+        for file in rust_files(&abs)? {
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            let src = Scrubbed::load(&file)?;
+            for (i, line) in src.clean.iter().enumerate() {
+                for (token, why) in NONDET_TOKENS {
+                    if find_token(line, token).is_some() && !src.waived(i, "xtask-ok: nondet") {
+                        out.push(Violation {
+                            file: rel.clone(),
+                            line: i + 1,
+                            rule: "determinism",
+                            message: format!("`{token}`: {why}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn panic_path_lint(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
+    for rel in PANIC_FREE_FILES {
+        let abs = root.join(rel);
+        if !abs.is_file() {
+            continue;
+        }
+        let src = Scrubbed::load(&abs)?;
+        let in_test = test_mod_lines(&src.clean);
+        for (i, line) in src.clean.iter().enumerate() {
+            if in_test[i] {
+                continue;
+            }
+            for token in PANIC_TOKENS {
+                if find_token(line, token).is_some() && !src.waived(i, "xtask-ok: panic") {
+                    out.push(Violation {
+                        file: PathBuf::from(rel),
+                        line: i + 1,
+                        rule: "panic-path",
+                        message: format!(
+                            "`{token}` in a decode path; return a typed error instead",
+                        ),
+                    });
+                }
+            }
+            if find_single_index(line).is_some() && !src.waived(i, "xtask-ok: index") {
+                out.push(Violation {
+                    file: PathBuf::from(rel),
+                    line: i + 1,
+                    rule: "panic-path",
+                    message: "single-element indexing can panic on adversarial input; \
+                              use `get`, destructuring, or checked slicing"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn crate_attribute_lint(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
+    let mut lib_files = vec![root.join("src/lib.rs")];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in fs::read_dir(&crates)? {
+            let lib = entry?.path().join("src/lib.rs");
+            if lib.is_file() {
+                lib_files.push(lib);
+            }
+        }
+    }
+    lib_files.sort();
+    for lib in lib_files {
+        if !lib.is_file() {
+            continue;
+        }
+        let rel = lib.strip_prefix(root).unwrap_or(&lib).to_path_buf();
+        let source = fs::read_to_string(&lib)?;
+        for attr in REQUIRED_ATTRS {
+            if !source.contains(attr) {
+                out.push(Violation {
+                    file: rel.clone(),
+                    line: 0,
+                    rule: "crate-attrs",
+                    message: format!("missing `{attr}` at crate level"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// A scratch workspace on disk, deleted on drop.
+    struct Tree {
+        root: PathBuf,
+    }
+
+    impl Tree {
+        fn new() -> Self {
+            static SEQ: AtomicU32 = AtomicU32::new(0);
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            let root =
+                std::env::temp_dir().join(format!("xtask-lint-test-{}-{n}", std::process::id()));
+            fs::create_dir_all(&root).unwrap();
+            Self { root }
+        }
+
+        fn write(&self, rel: &str, content: &str) -> &Self {
+            let path = self.root.join(rel);
+            fs::create_dir_all(path.parent().unwrap()).unwrap();
+            fs::write(path, content).unwrap();
+            self
+        }
+    }
+
+    impl Drop for Tree {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.root);
+        }
+    }
+
+    const CLEAN_LIB: &str = "//! Docs.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n";
+
+    fn violations(tree: &Tree) -> Vec<Violation> {
+        run(&tree.root).unwrap()
+    }
+
+    #[test]
+    fn clean_tree_passes() {
+        let tree = Tree::new();
+        tree.write("src/lib.rs", CLEAN_LIB)
+            .write("crates/sim/src/lib.rs", CLEAN_LIB)
+            .write("crates/rlnc/src/wire.rs", "pub fn decode(b: &[u8]) {}\n");
+        assert!(violations(&tree).is_empty());
+    }
+
+    #[test]
+    fn injected_system_time_in_sim_is_flagged() {
+        let tree = Tree::new();
+        tree.write("src/lib.rs", CLEAN_LIB).write(
+            "crates/sim/src/lib.rs",
+            &format!(
+                "{CLEAN_LIB}fn t() -> std::time::SystemTime {{ std::time::SystemTime::now() }}\n"
+            ),
+        );
+        let found = violations(&tree);
+        assert!(
+            found
+                .iter()
+                .any(|v| v.rule == "determinism" && v.message.contains("SystemTime::now")),
+            "missed the wall-clock call: {found:?}"
+        );
+    }
+
+    #[test]
+    fn hashmap_iteration_risk_in_ode_is_flagged() {
+        let tree = Tree::new();
+        tree.write("src/lib.rs", CLEAN_LIB).write(
+            "crates/ode/src/state.rs",
+            "use std::collections::HashMap;\n",
+        );
+        let found = violations(&tree);
+        assert!(found
+            .iter()
+            .any(|v| v.rule == "determinism" && v.message.contains("BTreeMap")));
+    }
+
+    #[test]
+    fn unwrap_in_decode_path_is_flagged_but_not_in_tests() {
+        let tree = Tree::new();
+        tree.write("src/lib.rs", CLEAN_LIB).write(
+            "crates/rlnc/src/wire.rs",
+            "pub fn decode(b: &[u8]) -> u8 { b.first().copied().unwrap() }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn ok() { assert_eq!(super::decode(&[1]).checked_add(0).unwrap(), 1); }\n\
+             }\n",
+        );
+        let found = violations(&tree);
+        let panics: Vec<_> = found.iter().filter(|v| v.rule == "panic-path").collect();
+        assert_eq!(panics.len(), 1, "exactly the non-test unwrap: {found:?}");
+        assert_eq!(panics[0].line, 1);
+    }
+
+    #[test]
+    fn single_index_is_flagged_but_range_slicing_is_not() {
+        let tree = Tree::new();
+        tree.write("src/lib.rs", CLEAN_LIB).write(
+            "crates/net/src/codec.rs",
+            "pub fn f(b: &[u8]) -> u8 { b[0] }\n\
+             pub fn g(b: &[u8]) -> &[u8] { &b[1..3] }\n",
+        );
+        let found = violations(&tree);
+        let panics: Vec<_> = found.iter().filter(|v| v.rule == "panic-path").collect();
+        assert_eq!(panics.len(), 1, "{found:?}");
+        assert_eq!(panics[0].line, 1);
+    }
+
+    #[test]
+    fn waiver_comment_suppresses_with_justification() {
+        let tree = Tree::new();
+        tree.write("src/lib.rs", CLEAN_LIB).write(
+            "crates/net/src/codec.rs",
+            "// xtask-ok: index (masked to table length)\n\
+             pub fn f(b: &[u8; 256], i: u8) -> u8 { b[(i & 0xFF) as usize] }\n",
+        );
+        assert!(violations(&tree).is_empty());
+    }
+
+    #[test]
+    fn tokens_in_comments_and_strings_do_not_fire() {
+        let tree = Tree::new();
+        tree.write("src/lib.rs", CLEAN_LIB).write(
+            "crates/sim/src/lib.rs",
+            &format!(
+                "{CLEAN_LIB}\
+                 // Never call SystemTime::now() here.\n\
+                 /// Docs mention thread_rng too.\n\
+                 pub fn banner() -> &'static str {{ \"no HashMap iteration\" }}\n"
+            ),
+        );
+        assert!(violations(&tree).is_empty());
+    }
+
+    #[test]
+    fn missing_crate_attributes_are_flagged() {
+        let tree = Tree::new();
+        tree.write("src/lib.rs", "//! Docs.\n#![forbid(unsafe_code)]\n");
+        let found = violations(&tree);
+        assert!(
+            found
+                .iter()
+                .any(|v| v.rule == "crate-attrs" && v.message.contains("missing_docs")),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn debug_assert_is_allowed_in_decode_paths() {
+        let tree = Tree::new();
+        tree.write("src/lib.rs", CLEAN_LIB).write(
+            "crates/net/src/daemon.rs",
+            "pub fn f(n: usize) { debug_assert!(n < 10); debug_assert_eq!(n, n); }\n",
+        );
+        assert!(violations(&tree).is_empty());
+    }
+
+    #[test]
+    fn the_real_workspace_is_clean() {
+        // The driver's own acceptance test: the repository it lives in
+        // must pass its lints. CARGO_MANIFEST_DIR = crates/xtask.
+        let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        root.pop();
+        root.pop();
+        let found = run(&root).unwrap();
+        assert!(
+            found.is_empty(),
+            "workspace has lint violations: {found:#?}"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Workspace automation tasks, invoked as `cargo xtask <task>`.
+//!
+//! Tasks:
+//!
+//! * `lint` — the repository's own static-analysis pass; see [`lint`].
+//!   Exits non-zero if any violation is found, so CI can gate on it.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod lint;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask lint [--root <workspace-root>]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = match (args.next().as_deref(), args.next()) {
+                (Some("--root"), Some(path)) => PathBuf::from(path),
+                (None, _) => {
+                    // crates/xtask/ -> workspace root.
+                    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+                    dir.pop();
+                    dir.pop();
+                    dir
+                }
+                _ => return usage(),
+            };
+            match lint::run(&root) {
+                Ok(violations) if violations.is_empty() => {
+                    println!("xtask lint: clean");
+                    ExitCode::SUCCESS
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        eprintln!("{v}");
+                    }
+                    eprintln!("xtask lint: {} violation(s)", violations.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: cannot scan workspace: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -4,7 +4,7 @@
 //!
 //! The paper's sharpest observation: "peers tend to leave soon after the
 //! quality degrades, such statistics from departed peers may be the most
-//! useful to diagnose system outages". Here, peers log degrading QoS
+//! useful to diagnose system outages". Here, peers log degrading `QoS`
 //! measurements and then abruptly quit. Because their diagnostics were
 //! gossiped as coded blocks first, the collector can still reconstruct
 //! them after the peers are gone.

@@ -3,11 +3,11 @@
 //!
 //! Run with: `cargo run --example streaming_telemetry`
 //!
-//! A P2P live-streaming session wants per-peer QoS telemetry (bitrate,
+//! A P2P live-streaming session wants per-peer `QoS` telemetry (bitrate,
 //! buffer level, packet loss) every few hundred milliseconds — far more
 //! than a logging server could ingest directly at peak. Peers feed their
 //! telemetry into gossamer; two collectors provisioned for *average*
-//! load recover the records, and we aggregate a QoS summary from them.
+//! load recover the records, and we aggregate a `QoS` summary from them.
 
 use gossamer::core::telemetry::{MetricValue, TelemetryRecord};
 use gossamer::core::{Addr, CollectorConfig, MemoryNetwork, NodeConfig};

@@ -1,0 +1,31 @@
+//! Fuzzes the stream codec: `read_frame` over an arbitrary byte stream
+//! must never panic or over-allocate, and every message it yields must
+//! survive an encode → decode round trip.
+
+#![no_main]
+
+use std::io::Cursor;
+
+use libfuzzer_sys::fuzz_target;
+
+use gossamer_net::codec;
+
+fuzz_target!(|data: &[u8]| {
+    let mut reader = Cursor::new(data);
+    // Drain the stream: each iteration consumes one frame, ends at clean
+    // EOF (Ok(None)), or stops at the first malformed frame.
+    loop {
+        match codec::read_frame(&mut reader) {
+            Ok(Some((from, message))) => {
+                let bytes = codec::encode_frame(from, &message);
+                let mut replay = Cursor::new(&bytes[..]);
+                let (from2, message2) = codec::read_frame(&mut replay)
+                    .expect("re-encoded frame must parse")
+                    .expect("re-encoded frame must not be EOF");
+                assert_eq!(from2, from);
+                assert_eq!(message2, message);
+            }
+            Ok(None) | Err(_) => break,
+        }
+    }
+});

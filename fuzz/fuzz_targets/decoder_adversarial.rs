@@ -1,0 +1,37 @@
+//! Fuzzes the progressive Gaussian-elimination decoder with adversarial
+//! coefficient rows: dependent rows, duplicate rows, all-zero rows and
+//! arbitrary payloads must never panic, and rank must stay monotone and
+//! bounded by the segment size.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+use gossamer_rlnc::{CodedBlock, Decoder, SegmentId, SegmentParams};
+
+fuzz_target!(|data: &[u8]| {
+    let [a, b, rest @ ..] = data else { return };
+    let s = 1 + (*a as usize % 8);
+    let block_len = 1 + (*b as usize % 16);
+    let Ok(params) = SegmentParams::new(s, block_len) else {
+        return;
+    };
+    let mut decoder = Decoder::new(params);
+    let segment = SegmentId::new(1);
+    let mut previous_rank = 0;
+    for chunk in rest.chunks_exact(s + block_len) {
+        let (coeffs, payload) = chunk.split_at(s);
+        let Ok(block) = CodedBlock::new(segment, coeffs.to_vec(), payload.to_vec()) else {
+            continue;
+        };
+        let _ = decoder.receive(block);
+        let rank = decoder.rank_of(segment);
+        assert!(rank >= previous_rank, "rank must be monotone nondecreasing");
+        assert!(rank <= s, "rank cannot exceed the segment size");
+        previous_rank = rank;
+        if let Some(done) = decoder.decoded_segment(segment) {
+            assert_eq!(done.blocks().len(), s);
+            assert!(done.blocks().iter().all(|blk| blk.len() == block_len));
+        }
+    }
+});

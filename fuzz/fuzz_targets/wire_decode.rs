@@ -1,0 +1,31 @@
+//! Fuzzes the coded-block wire format: `decode` must never panic on any
+//! byte string, and whatever it accepts must re-encode to the same bytes.
+//! `peek_frame_len` must agree with `decode` about frame boundaries.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+use gossamer_rlnc::wire;
+
+fuzz_target!(|data: &[u8]| {
+    // Never panics; errors are the expected outcome for random bytes.
+    let peeked = wire::peek_frame_len(data);
+    match wire::decode(data) {
+        Ok(block) => {
+            // Round-trip identity: the accepted prefix re-encodes byte
+            // for byte, and peek saw exactly that boundary.
+            let reencoded = wire::encode(&block);
+            assert_eq!(&data[..reencoded.len()], &reencoded[..]);
+            assert_eq!(peeked, Ok(Some(reencoded.len())));
+        }
+        Err(_) => {
+            // peek may be more permissive than decode (it cannot see the
+            // CRC), but it must never report a frame longer than the
+            // protocol cap.
+            if let Ok(Some(len)) = peeked {
+                assert!(len <= wire::MAX_FRAME_LEN);
+            }
+        }
+    }
+});

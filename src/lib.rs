@@ -18,6 +18,9 @@
 //! See `examples/quickstart.rs` for an end-to-end collection session over
 //! the in-memory transport.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use gossamer_core as core;
 pub use gossamer_gf256 as gf256;
 pub use gossamer_net as net;

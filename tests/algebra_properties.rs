@@ -1,0 +1,189 @@
+//! Deterministic property-based tests for the coding algebra.
+//!
+//! The proptest suites in `crates/*/tests` need the real `proptest`
+//! crate, which offline builds stub out (`--features proptests` enables
+//! them where it exists). This suite checks the same four property
+//! families — GF(2⁸) field axioms, slice-kernel vs scalar equivalence,
+//! encode → recode → decode round-trip identity, and rank monotonicity —
+//! with a self-contained `SplitMix64` case generator, so they run under
+//! plain `cargo test -q` everywhere. Every case derives from a fixed
+//! seed: a failure reproduces exactly.
+
+use gossamer::gf256::{slice, Gf256};
+use gossamer::rlnc::{CodedBlock, Decoder, SegmentBuffer, SegmentId, SegmentParams, SourceSegment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `SplitMix64`: the canonical 64-bit mixer; tiny and deterministic.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    const fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    const fn byte(&mut self) -> u8 {
+        self.next() as u8
+    }
+
+    /// Uniform-ish value in `lo..=hi`.
+    const fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo + 1)
+    }
+
+    fn bytes(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.byte()).collect()
+    }
+}
+
+#[test]
+fn field_axioms_hold() {
+    // Commutativity of both operations: exhaustive over all 2^16 pairs.
+    for a in 0..=255u8 {
+        for b in 0..=255u8 {
+            let (a, b) = (Gf256::new(a), Gf256::new(b));
+            assert_eq!(a + b, b + a);
+            assert_eq!(a * b, b * a);
+        }
+    }
+    // Identities and inverses: exhaustive over all elements.
+    for a in 0..=255u8 {
+        let a = Gf256::new(a);
+        assert_eq!(a + Gf256::ZERO, a);
+        assert_eq!(a * Gf256::ONE, a);
+        assert_eq!(a + a, Gf256::ZERO, "characteristic 2: -a == a");
+        if a.is_zero() {
+            assert!(a.inv().is_none());
+        } else {
+            assert_eq!(a * a.inv().unwrap(), Gf256::ONE);
+        }
+    }
+    // Associativity and distributivity: sampled triples.
+    let mut rng = SplitMix64(0x5EED_0001);
+    for _ in 0..100_000 {
+        let a = Gf256::new(rng.byte());
+        let b = Gf256::new(rng.byte());
+        let c = Gf256::new(rng.byte());
+        assert_eq!((a + b) + c, a + (b + c));
+        assert_eq!((a * b) * c, a * (b * c));
+        assert_eq!(a * (b + c), a * b + a * c);
+    }
+}
+
+#[test]
+fn slice_kernels_match_scalar_reference() {
+    let mut rng = SplitMix64(0x5EED_0002);
+    for _ in 0..500 {
+        // Lengths straddling the kernels' 8-byte chunk boundary.
+        let n = rng.range(0, 65);
+        let c = Gf256::new(rng.byte());
+        let data = rng.bytes(n);
+        let acc = rng.bytes(n);
+
+        let mut added = acc.clone();
+        slice::add_assign(&mut added, &data);
+        let scalar_add: Vec<u8> = acc
+            .iter()
+            .zip(&data)
+            .map(|(&x, &y)| (Gf256::new(x) + Gf256::new(y)).value())
+            .collect();
+        assert_eq!(added, scalar_add);
+
+        let mut scaled = data.clone();
+        slice::scale_assign(&mut scaled, c);
+        let scalar_scale: Vec<u8> = data.iter().map(|&x| (c * Gf256::new(x)).value()).collect();
+        assert_eq!(scaled, scalar_scale);
+
+        let mut axpyed = acc.clone();
+        slice::axpy(&mut axpyed, c, &data);
+        let scalar_axpy: Vec<u8> = acc
+            .iter()
+            .zip(&data)
+            .map(|(&a, &x)| (Gf256::new(a) + c * Gf256::new(x)).value())
+            .collect();
+        assert_eq!(axpyed, scalar_axpy);
+
+        let scalar_dot = acc
+            .iter()
+            .zip(&data)
+            .fold(Gf256::ZERO, |s, (&a, &x)| s + Gf256::new(a) * Gf256::new(x));
+        assert_eq!(slice::dot(&acc, &data), scalar_dot);
+    }
+}
+
+#[test]
+fn encode_recode_decode_is_the_identity() {
+    let mut rng = SplitMix64(0x5EED_0003);
+    for case in 0..50 {
+        let s = rng.range(1, 16);
+        let block_len = rng.range(1, 64);
+        let params = SegmentParams::new(s, block_len).unwrap();
+        let id = SegmentId::new(case);
+        let blocks: Vec<Vec<u8>> = (0..s).map(|_| rng.bytes(block_len)).collect();
+        let source = SourceSegment::new(id, params, blocks.clone()).unwrap();
+
+        // Source → relay: emit random coded blocks until the relay holds
+        // the full subspace (each emission is innovative w.h.p., so the
+        // bound is generous).
+        let mut emit_rng = StdRng::seed_from_u64(rng.next());
+        let mut relay = SegmentBuffer::new(id, params);
+        for _ in 0..100 * s {
+            if relay.is_full() {
+                break;
+            }
+            relay.insert(source.emit(&mut emit_rng)).unwrap();
+        }
+        assert!(relay.is_full(), "relay never reached full rank (s={s})");
+
+        // Relay → collector: the collector sees only *recoded* blocks,
+        // never the source's. This is the paper's core mechanism.
+        let mut collector = Decoder::new(params);
+        let mut completed = None;
+        for _ in 0..100 * s {
+            let recoded = relay.recode(&mut emit_rng).expect("relay is non-empty");
+            if let Some(segment) = collector.receive(recoded).unwrap() {
+                completed = Some(segment);
+                break;
+            }
+        }
+        let completed = completed.expect("collector never completed the segment");
+        assert_eq!(completed.id(), id);
+        assert_eq!(completed.blocks(), &blocks[..], "round trip must be exact");
+    }
+}
+
+#[test]
+fn decoder_rank_is_monotone_and_bounded_under_adversarial_rows() {
+    let mut rng = SplitMix64(0x5EED_0004);
+    for case in 0..50 {
+        let s = rng.range(1, 8);
+        let block_len = rng.range(1, 16);
+        let params = SegmentParams::new(s, block_len).unwrap();
+        let id = SegmentId::new(case);
+        let mut decoder = Decoder::new(params);
+        let mut previous_rank = 0;
+        for step in 0..6 * s {
+            // Adversarial mix: zero rows, duplicate-prone sparse rows and
+            // dense random rows, with payloads unrelated to any source.
+            let coeffs: Vec<u8> = match step % 3 {
+                0 => vec![0; s],
+                1 => {
+                    let mut row = vec![0; s];
+                    row[rng.range(0, s - 1)] = rng.byte();
+                    row
+                }
+                _ => rng.bytes(s),
+            };
+            let block = CodedBlock::new(id, coeffs, rng.bytes(block_len)).unwrap();
+            let _ = decoder.receive(block);
+            let rank = decoder.rank_of(id);
+            assert!(rank >= previous_rank, "rank must be monotone");
+            assert!(rank <= s, "rank cannot exceed the segment size");
+            previous_rank = rank;
+        }
+    }
+}

@@ -116,15 +116,20 @@ fn storage_overhead_is_consistent_across_stack() {
 /// the `gossamer` crate.
 #[test]
 fn facade_exposes_all_subsystems() {
-    let _field = gossamer::gf256::Gf256::GENERATOR;
-    let _params = gossamer::rlnc::SegmentParams::new(2, 8).unwrap();
-    let _cfg = gossamer::core::NodeConfig::builder(_params)
-        .build()
-        .unwrap();
-    let _sim = gossamer::sim::SimConfig::builder().build().unwrap();
-    let _ode = gossamer::ode::ModelParams::builder().build().unwrap();
     // net: just reference the type to keep the re-export honest.
-    fn _takes_cluster(_c: gossamer::net::LocalCluster) {}
+    fn takes_cluster(_c: &gossamer::net::LocalCluster) {
+        unreachable!("type-level reference only");
+    }
+    let _ = takes_cluster;
+    let field = gossamer::gf256::Gf256::GENERATOR;
+    assert!(!field.is_zero());
+    let params = gossamer::rlnc::SegmentParams::new(2, 8).unwrap();
+    let cfg = gossamer::core::NodeConfig::builder(params).build().unwrap();
+    let _ = cfg;
+    let sim = gossamer::sim::SimConfig::builder().build().unwrap();
+    let _ = sim;
+    let ode = gossamer::ode::ModelParams::builder().build().unwrap();
+    let _ = ode;
 }
 
 /// A session that outlives its TTL: records fed early expire before

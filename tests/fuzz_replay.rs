@@ -1,0 +1,303 @@
+//! Deterministic replay of the fuzz corpus on stable Rust.
+//!
+//! The coverage-guided targets in `fuzz/` need nightly + libfuzzer; this
+//! test replays their checked-in seed corpus — and a deterministic fan of
+//! xorshift-derived mutants of every entry — through the *same* harness
+//! invariants, so `cargo test` exercises the parsers against adversarial
+//! bytes on every run. The mutation schedule is a fixed function of the
+//! corpus bytes, so failures reproduce exactly.
+
+use std::fs;
+use std::io::Cursor;
+use std::path::PathBuf;
+
+use gossamer::core::{Addr, Message};
+use gossamer::net::codec;
+use gossamer::rlnc::{wire, CodedBlock, Decoder, SegmentId, SegmentParams};
+
+/// Mutants generated per corpus entry.
+const MUTANTS_PER_ENTRY: usize = 256;
+
+// ---------------------------------------------------------------------
+// Harnesses — these mirror fuzz/fuzz_targets/*.rs. Keep them in sync.
+// ---------------------------------------------------------------------
+
+/// `fuzz/fuzz_targets/wire_decode.rs`.
+fn wire_decode_harness(data: &[u8]) {
+    let peeked = wire::peek_frame_len(data);
+    match wire::decode(data) {
+        Ok(block) => {
+            let reencoded = wire::encode(&block);
+            assert_eq!(&data[..reencoded.len()], &reencoded[..]);
+            assert_eq!(peeked, Ok(Some(reencoded.len())));
+        }
+        Err(_) => {
+            if let Ok(Some(len)) = peeked {
+                assert!(len <= wire::MAX_FRAME_LEN);
+            }
+        }
+    }
+}
+
+/// `fuzz/fuzz_targets/codec_read_frame.rs`.
+fn codec_read_frame_harness(data: &[u8]) {
+    let mut reader = Cursor::new(data);
+    // Drain the stream; stops at clean EOF (Ok(None)) or the first
+    // malformed frame (Err).
+    while let Ok(Some((from, message))) = codec::read_frame(&mut reader) {
+        let bytes = codec::encode_frame(from, &message);
+        let mut replay = Cursor::new(&bytes[..]);
+        let (from2, message2) = codec::read_frame(&mut replay)
+            .expect("re-encoded frame must parse")
+            .expect("re-encoded frame must not be EOF");
+        assert_eq!(from2, from);
+        assert_eq!(message2, message);
+    }
+}
+
+/// `fuzz/fuzz_targets/decoder_adversarial.rs`.
+fn decoder_adversarial_harness(data: &[u8]) {
+    let [a, b, rest @ ..] = data else { return };
+    let s = 1 + (*a as usize % 8);
+    let block_len = 1 + (*b as usize % 16);
+    let Ok(params) = SegmentParams::new(s, block_len) else {
+        return;
+    };
+    let mut decoder = Decoder::new(params);
+    let segment = SegmentId::new(1);
+    let mut previous_rank = 0;
+    for chunk in rest.chunks_exact(s + block_len) {
+        let (coeffs, payload) = chunk.split_at(s);
+        let Ok(block) = CodedBlock::new(segment, coeffs.to_vec(), payload.to_vec()) else {
+            continue;
+        };
+        let _ = decoder.receive(block);
+        let rank = decoder.rank_of(segment);
+        assert!(rank >= previous_rank, "rank must be monotone nondecreasing");
+        assert!(rank <= s, "rank cannot exceed the segment size");
+        previous_rank = rank;
+        if let Some(done) = decoder.decoded_segment(segment) {
+            assert_eq!(done.blocks().len(), s);
+            assert!(done.blocks().iter().all(|blk| blk.len() == block_len));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replay driver
+// ---------------------------------------------------------------------
+
+/// Xorshift64: tiny, deterministic, good enough to spray bit flips.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    const fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+fn corpus_dir(target: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fuzz/corpus")
+        .join(target)
+}
+
+/// Loads every corpus entry for `target`, sorted by file name so the
+/// replay order is stable.
+fn corpus(target: &str) -> Vec<(String, Vec<u8>)> {
+    let dir = corpus_dir(target);
+    let mut entries: Vec<(String, Vec<u8>)> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("fuzz corpus missing at {}: {e}", dir.display()))
+        .map(|entry| {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            (name, fs::read(&path).unwrap())
+        })
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "corpus for {target} is empty");
+    entries
+}
+
+/// Replays each corpus entry verbatim, then `MUTANTS_PER_ENTRY`
+/// deterministic mutants of it: bit flips, truncations and extensions,
+/// scheduled by a xorshift stream seeded from the entry itself.
+fn replay(target: &str, harness: fn(&[u8])) {
+    for (name, bytes) in corpus(target) {
+        harness(&bytes);
+        let seed = bytes.iter().fold(0xDEAD_BEEF_CAFE_F00Du64, |acc, &b| {
+            acc.rotate_left(8) ^ u64::from(b)
+        }) | 1; // xorshift state must be non-zero
+        let mut rng = XorShift64(seed);
+        for _ in 0..MUTANTS_PER_ENTRY {
+            let mut mutant = bytes.clone();
+            match rng.next() % 3 {
+                0 if !mutant.is_empty() => {
+                    let pos = (rng.next() as usize) % mutant.len();
+                    let bit = rng.next() % 8;
+                    mutant[pos] ^= 1 << bit;
+                }
+                1 if !mutant.is_empty() => {
+                    let len = (rng.next() as usize) % mutant.len();
+                    mutant.truncate(len);
+                }
+                _ => {
+                    mutant.push(rng.next() as u8);
+                }
+            }
+            harness(&mutant);
+        }
+        // Every prefix must parse or fail cleanly too — the stream reader
+        // sees exactly these partial views.
+        for cut in 0..bytes.len().min(64) {
+            harness(&bytes[..cut]);
+        }
+        let _ = name;
+    }
+}
+
+#[test]
+fn wire_decode_corpus_replays_clean() {
+    replay("wire_decode", wire_decode_harness);
+}
+
+#[test]
+fn codec_read_frame_corpus_replays_clean() {
+    replay("codec_read_frame", codec_read_frame_harness);
+}
+
+#[test]
+fn decoder_adversarial_corpus_replays_clean() {
+    replay("decoder_adversarial", decoder_adversarial_harness);
+}
+
+// ---------------------------------------------------------------------
+// Corpus generation (run explicitly after a wire-format change):
+//   cargo test --test fuzz_replay -- --ignored regenerate_corpus
+// ---------------------------------------------------------------------
+
+fn sample_block() -> CodedBlock {
+    CodedBlock::new(SegmentId::compose(3, 9), vec![1, 2, 3, 4], vec![0xAA; 64]).unwrap()
+}
+
+#[test]
+#[ignore = "writes the checked-in seed corpus; run after format changes"]
+// One flat list of corpus entries; the length IS the inventory.
+#[allow(clippy::too_many_lines)]
+fn regenerate_corpus() {
+    let write = |target: &str, name: &str, bytes: &[u8]| {
+        let dir = corpus_dir(target);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(name), bytes).unwrap();
+    };
+
+    // --- wire_decode ---
+    let valid = wire::encode(&sample_block());
+    write("wire_decode", "valid.bin", &valid);
+    let mut mutated = valid.to_vec();
+    mutated[0] = 0x00;
+    write("wire_decode", "bad_magic.bin", &mutated);
+    let mut mutated = valid.to_vec();
+    mutated[1] = 99;
+    write("wire_decode", "bad_version.bin", &mutated);
+    let mut mutated = valid.to_vec();
+    mutated[10] = 0; // s = 0
+    write("wire_decode", "zero_dims.bin", &mutated);
+    let mut huge = vec![wire::MAGIC, wire::VERSION];
+    huge.extend_from_slice(&7u64.to_be_bytes());
+    huge.push(4);
+    huge.extend_from_slice(&u32::MAX.to_be_bytes());
+    huge.extend_from_slice(&[0u8; 32]);
+    write("wire_decode", "huge_len.bin", &huge);
+    write("wire_decode", "truncated.bin", &valid[..valid.len() / 2]);
+    let mut flipped = valid.to_vec();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0xFF; // CRC trailer corruption
+    write("wire_decode", "crc_flip.bin", &flipped);
+    let mut stream = valid.to_vec();
+    stream.extend_from_slice(&valid);
+    stream.extend_from_slice(b"trailing garbage");
+    write("wire_decode", "two_frames.bin", &stream);
+
+    // --- codec_read_frame ---
+    let addr = Addr(42);
+    write(
+        "codec_read_frame",
+        "gossip.bin",
+        &codec::encode_frame(addr, &Message::Gossip(sample_block())),
+    );
+    write(
+        "codec_read_frame",
+        "ack.bin",
+        &codec::encode_frame(
+            addr,
+            &Message::GossipAck {
+                segment: SegmentId::compose(3, 9),
+                rank: 2,
+                accepted: true,
+            },
+        ),
+    );
+    write(
+        "codec_read_frame",
+        "pull_request.bin",
+        &codec::encode_frame(addr, &Message::PullRequest),
+    );
+    write(
+        "codec_read_frame",
+        "pull_response_none.bin",
+        &codec::encode_frame(addr, &Message::PullResponse(None)),
+    );
+    write(
+        "codec_read_frame",
+        "announce.bin",
+        &codec::encode_frame(
+            addr,
+            &Message::DecodedAnnounce {
+                segments: vec![SegmentId::new(1), SegmentId::new(2)],
+            },
+        ),
+    );
+    let gossip = codec::encode_frame(addr, &Message::Gossip(sample_block()));
+    write(
+        "codec_read_frame",
+        "truncated.bin",
+        &gossip[..gossip.len() / 2],
+    );
+    let mut oversized = (codec::MAX_FRAME as u32 + 1).to_be_bytes().to_vec();
+    oversized.extend_from_slice(&[0u8; 16]);
+    write("codec_read_frame", "oversized_len.bin", &oversized);
+    let mut bad_type = gossip;
+    bad_type[8] = 0xEE; // type byte after len (4) + from (4)
+    write("codec_read_frame", "bad_type.bin", &bad_type);
+
+    // --- decoder_adversarial ---
+    // s = 4, block_len = 8; systematic rows decode the segment fully.
+    let mut identity = vec![3, 7]; // 1 + 3%8 = 4, 1 + 7%16 = 8
+    for i in 0..4usize {
+        let mut row = vec![0u8; 4];
+        row[i] = 1;
+        identity.extend_from_slice(&row);
+        identity.extend_from_slice(&[i as u8 + 1; 8]);
+    }
+    write("decoder_adversarial", "identity.bin", &identity);
+    // Duplicate and linearly dependent rows.
+    let mut dependent = vec![3, 7];
+    for _ in 0..3 {
+        dependent.extend_from_slice(&[1, 2, 3, 4]);
+        dependent.extend_from_slice(&[0x55; 8]);
+    }
+    write("decoder_adversarial", "dependent_rows.bin", &dependent);
+    // All-zero coefficient rows: vacuous, never innovative.
+    let mut zeros = vec![3, 7];
+    for _ in 0..4 {
+        zeros.extend_from_slice(&[0, 0, 0, 0]);
+        zeros.extend_from_slice(&[0xFF; 8]);
+    }
+    write("decoder_adversarial", "zero_rows.bin", &zeros);
+}
