@@ -1,0 +1,174 @@
+//! Store benchmark — append, checkpoint and recovery throughput of the
+//! collector's write-ahead log.
+//!
+//! Unlike the figure binaries this one measures the durability layer,
+//! not the protocol: how fast decoded segments stream to disk, how
+//! expensive periodic decoder checkpoints are, and how long a restarted
+//! collector takes to replay a 10 000-record log back into a snapshot.
+//!
+//! Results go to stdout and to `BENCH_store.json` in the current
+//! directory (hand-rolled JSON; the schema is flat numbers only). Pass
+//! `--quick` to scale the record counts down for a smoke pass.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use gossamer_rlnc::{wire, SegmentId, SegmentParams, SourceSegment};
+use gossamer_store::{Wal, WalOptions, WalPersistence, WalRecord};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Segment shape used for every synthetic record: 4 blocks of 64 bytes,
+/// the deployment default.
+const SEGMENT_SIZE: usize = 4;
+const BLOCK_LEN: usize = 64;
+
+struct Workload {
+    /// Decoded-segment records appended (the 10k-record replay target).
+    appends: usize,
+    /// Checkpoint records written, each a full in-flight snapshot.
+    checkpoints: usize,
+    /// Coded frames per checkpoint (in-flight decoder rows).
+    frames_per_checkpoint: usize,
+}
+
+impl Workload {
+    const FULL: Self = Self {
+        appends: 10_000,
+        checkpoints: 1_000,
+        frames_per_checkpoint: 16,
+    };
+    const QUICK: Self = Self {
+        appends: 1_000,
+        checkpoints: 100,
+        frames_per_checkpoint: 16,
+    };
+}
+
+fn decoded_record(i: usize) -> WalRecord {
+    let blocks = (0..SEGMENT_SIZE)
+        .map(|b| {
+            let mut block = vec![0u8; BLOCK_LEN];
+            block[0] = (i & 0xFF) as u8;
+            block[1] = (i >> 8) as u8;
+            block[2] = b as u8;
+            block
+        })
+        .collect();
+    WalRecord::Decoded {
+        id: SegmentId::compose((i / 64) as u32, (i % 64) as u32),
+        blocks,
+    }
+}
+
+/// Wire-encoded coded blocks standing in for in-flight decoder rows.
+fn checkpoint_frames(params: SegmentParams, count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let segment = {
+        let blocks: Vec<Vec<u8>> = (0..SEGMENT_SIZE)
+            .map(|b| vec![b as u8; BLOCK_LEN])
+            .collect();
+        SourceSegment::new(SegmentId::compose(0xFFFF, 0), params, blocks)
+            .expect("bench segment shape is valid")
+    };
+    (0..count)
+        .map(|_| wire::encode(&segment.emit(&mut rng)).to_vec())
+        .collect()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("gossamer-bench-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    dir
+}
+
+fn wal_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .expect("bench dir readable")
+        .filter_map(Result::ok)
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum()
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let workload = if std::env::args().any(|a| a == "--quick") {
+        Workload::QUICK
+    } else {
+        Workload::FULL
+    };
+    let params = SegmentParams::new(SEGMENT_SIZE, BLOCK_LEN).expect("bench params valid");
+    // Compaction off: these benches measure raw append/replay cost, and
+    // a mid-run rewrite would fold the (separately meaningful)
+    // compaction cost into whichever phase happened to trigger it.
+    let options = WalOptions {
+        sync_every: 64,
+        compact_min_bytes: u64::MAX,
+    };
+
+    // ---- append throughput: decoded-segment records --------------------
+    let append_dir = fresh_dir("append");
+    let (mut wal, replayed) = Wal::open(&append_dir, options).expect("open append wal");
+    assert!(replayed.is_empty(), "fresh dir must start empty");
+    let records: Vec<WalRecord> = (0..workload.appends).map(decoded_record).collect();
+    let started = Instant::now();
+    for record in &records {
+        wal.append(record).expect("append");
+    }
+    wal.flush().expect("flush");
+    let append_secs = started.elapsed().as_secs_f64();
+    let append_bytes = wal_bytes(&append_dir);
+
+    // ---- checkpoint throughput: full in-flight snapshots ---------------
+    let ckpt_dir = fresh_dir("checkpoint");
+    let (mut ckpt_wal, _) = Wal::open(&ckpt_dir, options).expect("open checkpoint wal");
+    let frames = checkpoint_frames(params, workload.frames_per_checkpoint, 0x5EED);
+    let started = Instant::now();
+    for _ in 0..workload.checkpoints {
+        ckpt_wal
+            .append(&WalRecord::Checkpoint {
+                frames: frames.clone(),
+            })
+            .expect("append checkpoint");
+    }
+    ckpt_wal.flush().expect("flush");
+    let checkpoint_secs = started.elapsed().as_secs_f64();
+
+    // ---- recovery: replay the append log into a snapshot ---------------
+    drop(wal);
+    let started = Instant::now();
+    let (persistence, snapshot) =
+        WalPersistence::open(&append_dir, options).expect("recovery replay");
+    let recovery_secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        snapshot.decoded.len(),
+        workload.appends,
+        "replay must recover every decoded segment"
+    );
+    assert_eq!(persistence.bad_frames(), 0, "clean log replays cleanly");
+
+    let _ = std::fs::remove_dir_all(&append_dir);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+    let append_per_sec = workload.appends as f64 / append_secs;
+    let append_mb_per_sec = append_bytes as f64 / 1e6 / append_secs;
+    let checkpoints_per_sec = workload.checkpoints as f64 / checkpoint_secs;
+    let replay_per_sec = workload.appends as f64 / recovery_secs;
+    let json = format!(
+        "{{\n  \"appends\": {},\n  \"append_records_per_sec\": {:.1},\n  \"append_mb_per_sec\": {:.2},\n  \"checkpoints\": {},\n  \"frames_per_checkpoint\": {},\n  \"checkpoints_per_sec\": {:.1},\n  \"recovery_replayed_records\": {},\n  \"recovery_ms\": {:.3},\n  \"recovery_records_per_sec\": {:.1}\n}}",
+        workload.appends,
+        append_per_sec,
+        append_mb_per_sec,
+        workload.checkpoints,
+        workload.frames_per_checkpoint,
+        checkpoints_per_sec,
+        workload.appends,
+        recovery_secs * 1e3,
+        replay_per_sec,
+    );
+    println!("{json}");
+    std::fs::write("BENCH_store.json", format!("{json}\n")).expect("write BENCH_store.json");
+}

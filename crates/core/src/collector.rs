@@ -1,11 +1,13 @@
 //! The logging-server (collector) state machine.
 
-use gossamer_rlnc::{Decoder, Reassembler, SegmentParams};
+use gossamer_rlnc::{Decoder, Reassembler, SegmentId, SegmentParams};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::message::{Addr, Message, Outbound};
 use crate::peer::exp_sample;
+use crate::persist::{CollectorSnapshot, Persistence, ShardRange};
+use crate::telemetry::CollectionProgress;
 use crate::ProtocolError;
 
 /// How a collector chooses which peer to probe next.
@@ -27,6 +29,8 @@ pub struct CollectorConfig {
     pub(crate) pull_rate: f64,
     pub(crate) pull_policy: PullPolicy,
     pub(crate) announce_interval: Option<f64>,
+    pub(crate) checkpoint_interval: Option<f64>,
+    pub(crate) shard: Option<ShardRange>,
 }
 
 impl CollectorConfig {
@@ -38,6 +42,8 @@ impl CollectorConfig {
             pull_rate: 10.0,
             pull_policy: PullPolicy::default(),
             announce_interval: None,
+            checkpoint_interval: None,
+            shard: None,
         }
     }
 
@@ -65,6 +71,29 @@ impl CollectorConfig {
     pub const fn announce_interval(&self) -> Option<f64> {
         self.announce_interval
     }
+
+    /// Interval between durable checkpoints of the in-flight decoder
+    /// matrices (`None` means decoded segments are still persisted as
+    /// they complete, but partial elimination progress is not).
+    #[must_use]
+    pub const fn checkpoint_interval(&self) -> Option<f64> {
+        self.checkpoint_interval
+    }
+
+    /// The segment-id shard this collector owns (`None` = everything).
+    #[must_use]
+    pub const fn shard(&self) -> Option<ShardRange> {
+        self.shard
+    }
+
+    /// A copy of this config restricted to `shard` — used when one base
+    /// config is fanned out across a sharded collector group.
+    #[must_use]
+    pub fn sharded(&self, shard: ShardRange) -> Self {
+        let mut config = self.clone();
+        config.shard = Some(shard);
+        config
+    }
 }
 
 /// Builder for [`CollectorConfig`].
@@ -74,6 +103,8 @@ pub struct CollectorConfigBuilder {
     pull_rate: f64,
     pull_policy: PullPolicy,
     announce_interval: Option<f64>,
+    checkpoint_interval: Option<f64>,
+    shard: Option<ShardRange>,
 }
 
 impl CollectorConfigBuilder {
@@ -101,12 +132,29 @@ impl CollectorConfigBuilder {
         self
     }
 
+    /// Enables periodic durable checkpoints of the in-flight decoder
+    /// matrices, every `interval` seconds (requires a persistence
+    /// backend to have any effect).
+    #[must_use]
+    pub const fn checkpoint_interval(mut self, interval: f64) -> Self {
+        self.checkpoint_interval = Some(interval);
+        self
+    }
+
+    /// Restricts this collector to one shard of the segment-id space;
+    /// blocks outside the range are dropped on arrival.
+    #[must_use]
+    pub const fn shard_range(mut self, shard: ShardRange) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
     /// Validates and builds.
     ///
     /// # Errors
     ///
     /// Returns [`ProtocolError::BadRate`] for a non-positive or
-    /// non-finite pull rate.
+    /// non-finite pull rate, announce interval or checkpoint interval.
     pub fn build(self) -> Result<CollectorConfig, ProtocolError> {
         if !(self.pull_rate.is_finite() && self.pull_rate > 0.0) {
             return Err(ProtocolError::BadRate { name: "pull_rate" });
@@ -118,11 +166,20 @@ impl CollectorConfigBuilder {
                 });
             }
         }
+        if let Some(i) = self.checkpoint_interval {
+            if !(i.is_finite() && i > 0.0) {
+                return Err(ProtocolError::BadRate {
+                    name: "checkpoint_interval",
+                });
+            }
+        }
         Ok(CollectorConfig {
             params: self.params,
             pull_rate: self.pull_rate,
             pull_policy: self.pull_policy,
             announce_interval: self.announce_interval,
+            checkpoint_interval: self.checkpoint_interval,
+            shard: self.shard,
         })
     }
 }
@@ -149,6 +206,14 @@ pub struct CollectorStats {
     pub records_recovered: u64,
     /// Malformed blocks discarded.
     pub malformed_blocks: u64,
+    /// Blocks dropped because their segment id falls outside this
+    /// collector's shard.
+    pub out_of_shard_blocks: u64,
+    /// Persistence operations that failed (collection continues; the
+    /// durability window widens until the store recovers).
+    pub persist_errors: u64,
+    /// Durable checkpoints of in-flight decoder state written.
+    pub checkpoints_written: u64,
 }
 
 /// A logging server: pulls coded blocks from random peers at its
@@ -165,10 +230,17 @@ pub struct Collector {
     reassembler: Reassembler,
     next_pull_at: Option<f64>,
     next_announce_at: Option<f64>,
+    next_checkpoint_at: Option<f64>,
     /// Segments decoded locally but not yet announced to siblings.
-    unannounced: Vec<gossamer_rlnc::SegmentId>,
+    unannounced: Vec<SegmentId>,
     rotation: usize,
     stats: CollectorStats,
+    persistence: Option<Box<dyn Persistence>>,
+    /// Innovative blocks absorbed since the last checkpoint; a
+    /// checkpoint with nothing new to say is skipped.
+    innovative_since_checkpoint: u64,
+    /// Cumulative records handed to the application (across restarts).
+    records_taken_total: u64,
 }
 
 impl Collector {
@@ -186,10 +258,90 @@ impl Collector {
             reassembler: Reassembler::new(),
             next_pull_at: None,
             next_announce_at: None,
+            next_checkpoint_at: None,
             unannounced: Vec::new(),
             rotation: 0,
             stats: CollectorStats::default(),
+            persistence: None,
+            innovative_since_checkpoint: 0,
+            records_taken_total: 0,
         }
+    }
+
+    /// Creates a collector that reports its state transitions to a
+    /// persistence backend (write-ahead log or in-memory recorder).
+    #[must_use]
+    pub fn with_persistence(
+        addr: Addr,
+        config: CollectorConfig,
+        seed: u64,
+        persistence: Box<dyn Persistence>,
+    ) -> Self {
+        let mut c = Self::new(addr, config, seed);
+        c.persistence = Some(persistence);
+        c
+    }
+
+    /// Rebuilds a collector from a recovered snapshot (the restart
+    /// path): decoded segments rejoin the dedup index so their blocks
+    /// are skipped, the in-flight rows are re-eliminated into the same
+    /// partial matrices, abandoned segments stay abandoned, and records
+    /// already delivered before the crash are not delivered again.
+    ///
+    /// All recovered segments are queued for re-announcement, so
+    /// siblings that missed the previous incarnation's announcements
+    /// converge on the recovered dedup set (see PROTOCOL.md §6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::SnapshotMismatch`] when the snapshot's
+    /// block shapes do not match `config.params()` — the store belongs
+    /// to a different deployment.
+    pub fn restore(
+        addr: Addr,
+        config: CollectorConfig,
+        seed: u64,
+        snapshot: CollectorSnapshot,
+        persistence: Option<Box<dyn Persistence>>,
+    ) -> Result<Self, ProtocolError> {
+        let mut c = Self::new(addr, config, seed);
+        c.persistence = persistence;
+        let mut records_fed = 0u64;
+        for segment in snapshot.decoded {
+            let id = segment.id();
+            if c.decoder
+                .restore_decoded(segment.clone())
+                .map_err(ProtocolError::SnapshotMismatch)?
+            {
+                records_fed += c.reassembler.feed(&segment) as u64;
+                c.unannounced.push(id);
+            }
+        }
+        for id in snapshot.abandoned {
+            if c.decoder.abandon(id) {
+                c.stats.abandoned_segments += 1;
+            }
+        }
+        for block in snapshot.in_flight {
+            match c.decoder.receive(block) {
+                Ok(Some(segment)) => {
+                    // A checkpoint can complete a segment only if the
+                    // snapshot was produced by a newer-format writer;
+                    // treat it like a live decode.
+                    c.unannounced.push(segment.id());
+                    records_fed += c.reassembler.feed(&segment) as u64;
+                    c.persist(|p| p.segment_decoded(&segment));
+                }
+                Ok(None) => {}
+                Err(e) => return Err(ProtocolError::SnapshotMismatch(e)),
+            }
+        }
+        c.stats.segments_decoded = c.decoder.stats().segments_decoded as u64;
+        c.stats.records_recovered = records_fed;
+        c.records_taken_total = snapshot.records_taken;
+        c.reassembler
+            .discard_first(usize::try_from(snapshot.records_taken).unwrap_or(usize::MAX));
+        Ok(c)
     }
 
     /// This collector's address.
@@ -222,6 +374,7 @@ impl Collector {
     pub fn tick(&mut self, now: f64) -> Vec<Outbound> {
         let mut out = Vec::new();
         self.tick_announce(now, &mut out);
+        self.tick_checkpoint(now);
         if self.peers.is_empty() {
             return out;
         }
@@ -271,18 +424,61 @@ impl Collector {
         }
     }
 
+    /// Writes a periodic checkpoint of the in-flight decoder matrices to
+    /// the persistence backend. Skipped while nothing innovative has
+    /// arrived since the last one (the previous checkpoint still holds).
+    fn tick_checkpoint(&mut self, now: f64) {
+        let Some(interval) = self.config.checkpoint_interval else {
+            return;
+        };
+        if self.persistence.is_none() {
+            return;
+        }
+        let next = self.next_checkpoint_at.get_or_insert(now + interval);
+        if *next > now {
+            return;
+        }
+        *next = now + interval;
+        if self.innovative_since_checkpoint == 0 {
+            return;
+        }
+        self.innovative_since_checkpoint = 0;
+        let in_flight = self.decoder.export_in_progress();
+        self.stats.checkpoints_written += 1;
+        self.persist(|p| p.checkpoint(&in_flight));
+    }
+
+    /// Runs one persistence hook, folding failures into
+    /// [`CollectorStats::persist_errors`] — durability degrades, the
+    /// protocol keeps going.
+    fn persist(&mut self, op: impl FnOnce(&mut dyn Persistence) -> std::io::Result<()>) {
+        if let Some(p) = self.persistence.as_mut() {
+            if op(p.as_mut()).is_err() {
+                self.stats.persist_errors += 1;
+            }
+        }
+    }
+
     /// Processes one incoming message (pull responses and sibling
     /// announcements; everything else is ignored).
     pub fn handle(&mut self, _from: Addr, message: Message, _now: f64) -> Vec<Outbound> {
         match message {
             Message::PullResponse(Some(block)) => {
                 self.stats.blocks_received += 1;
+                if let Some(shard) = self.config.shard {
+                    if !shard.contains(block.segment()) {
+                        self.stats.out_of_shard_blocks += 1;
+                        return Vec::new();
+                    }
+                }
+                let innovative_before = self.decoder.stats().innovative;
                 match self.decoder.receive(block) {
                     Ok(Some(segment)) => {
                         self.stats.segments_decoded += 1;
                         self.unannounced.push(segment.id());
                         let records = self.reassembler.feed(&segment);
                         self.stats.records_recovered += records as u64;
+                        self.persist(|p| p.segment_decoded(&segment));
                     }
                     Ok(None) => {}
                     Err(_) => {
@@ -293,6 +489,8 @@ impl Collector {
                 // innovative/redundant split.
                 self.stats.innovative_blocks = self.decoder.stats().innovative as u64;
                 self.stats.redundant_blocks = self.decoder.stats().redundant as u64;
+                self.innovative_since_checkpoint +=
+                    (self.decoder.stats().innovative - innovative_before) as u64;
                 Vec::new()
             }
             Message::PullResponse(None) => {
@@ -300,10 +498,13 @@ impl Collector {
                 Vec::new()
             }
             Message::DecodedAnnounce { segments } => {
-                for id in segments {
-                    if self.decoder.abandon(id) {
-                        self.stats.abandoned_segments += 1;
-                    }
+                let newly: Vec<SegmentId> = segments
+                    .into_iter()
+                    .filter(|&id| self.decoder.abandon(id))
+                    .collect();
+                if !newly.is_empty() {
+                    self.stats.abandoned_segments += newly.len() as u64;
+                    self.persist(|p| p.segments_abandoned(&newly));
                 }
                 Vec::new()
             }
@@ -312,8 +513,17 @@ impl Collector {
     }
 
     /// Takes ownership of all log records recovered so far.
+    ///
+    /// With persistence attached, the cumulative take count is logged so
+    /// a restarted collector never re-delivers these records.
     pub fn take_records(&mut self) -> Vec<Vec<u8>> {
-        self.reassembler.take_records()
+        let records = self.reassembler.take_records();
+        if !records.is_empty() {
+            self.records_taken_total += records.len() as u64;
+            let total = self.records_taken_total;
+            self.persist(|p| p.records_taken(total));
+        }
+        records
     }
 
     /// Records recovered and not yet taken.
@@ -333,6 +543,60 @@ impl Collector {
     #[must_use]
     pub fn efficiency(&self) -> f64 {
         self.decoder.stats().efficiency()
+    }
+
+    /// The rank so far for `id`: `s` if decoded, the partial rank if in
+    /// progress, zero if unseen.
+    #[must_use]
+    pub fn rank_of(&self, id: SegmentId) -> usize {
+        self.decoder.rank_of(id)
+    }
+
+    /// Returns `true` if the segment has been fully decoded (or restored
+    /// from a previous incarnation).
+    #[must_use]
+    pub fn is_decoded(&self, id: SegmentId) -> bool {
+        self.decoder.is_decoded(id)
+    }
+
+    /// Whether a persistence backend is attached.
+    #[must_use]
+    pub const fn has_persistence(&self) -> bool {
+        self.persistence.is_some()
+    }
+
+    /// Forces all buffered persistence state to stable storage. Call on
+    /// clean shutdown so the recovery replay starts from the freshest
+    /// possible state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's I/O error (also counted in
+    /// [`CollectorStats::persist_errors`]).
+    pub fn flush_persistence(&mut self) -> std::io::Result<()> {
+        let Some(p) = self.persistence.as_mut() else {
+            return Ok(());
+        };
+        let result = p.flush();
+        if result.is_err() {
+            self.stats.persist_errors += 1;
+        }
+        result
+    }
+
+    /// Collection-progress counters for telemetry.
+    #[must_use]
+    pub fn progress(&self) -> CollectionProgress {
+        CollectionProgress {
+            segments_decoded: self.stats.segments_decoded,
+            segments_in_progress: self.decoder.segments_in_progress() as u64,
+            in_progress_rank: self.decoder.in_progress_rank_sum() as u64,
+            pulls_issued: self.stats.pulls_sent,
+            pulls_answered: self.stats.blocks_received + self.stats.empty_responses,
+            blocks_received: self.stats.blocks_received,
+            records_recovered: self.stats.records_recovered,
+            efficiency_permille: (self.efficiency() * 1000.0) as u64,
+        }
     }
 }
 

@@ -25,6 +25,15 @@ pub enum ProtocolError {
         /// Segment size it must hold.
         segment_size: usize,
     },
+    /// A shard range `[start, end)` contains no segment ids.
+    EmptyShard {
+        /// Inclusive lower bound (raw segment id).
+        start: u64,
+        /// Exclusive upper bound (raw segment id).
+        end: u64,
+    },
+    /// A persisted snapshot does not match this deployment's parameters.
+    SnapshotMismatch(CodingError),
 }
 
 impl fmt::Display for ProtocolError {
@@ -42,6 +51,12 @@ impl fmt::Display for ProtocolError {
                 f,
                 "buffer cap {buffer_cap} cannot hold one segment of {segment_size} blocks"
             ),
+            Self::EmptyShard { start, end } => {
+                write!(f, "shard range [{start}, {end}) contains no segment ids")
+            }
+            Self::SnapshotMismatch(e) => {
+                write!(f, "snapshot does not match deployment parameters: {e}")
+            }
         }
     }
 }
@@ -50,7 +65,7 @@ impl std::error::Error for ProtocolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::RecordTooLarge(e) => Some(e),
-            Self::BadBlock(e) => Some(e),
+            Self::BadBlock(e) | Self::SnapshotMismatch(e) => Some(e),
             _ => None,
         }
     }

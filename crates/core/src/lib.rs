@@ -70,6 +70,7 @@ mod error;
 mod memory;
 mod message;
 mod peer;
+pub mod persist;
 pub mod telemetry;
 
 pub use buffer::{BufferStats, PeerBuffer};
@@ -81,4 +82,5 @@ pub use error::ProtocolError;
 pub use memory::MemoryNetwork;
 pub use message::{Addr, Message, Outbound};
 pub use peer::{PeerNode, PeerStats};
-pub use telemetry::{LinkHealth, TransportHealth};
+pub use persist::{CollectorSnapshot, MemoryPersistence, Persistence, ShardRange};
+pub use telemetry::{CollectionProgress, LinkHealth, TransportHealth};

@@ -122,6 +122,24 @@ impl PeerNode {
         }
     }
 
+    /// Collection-progress counters for telemetry: a serving peer
+    /// reports the fields it observes (pulls served, gossip received,
+    /// segments buffered) and zeroes the decode-side ones.
+    #[must_use]
+    pub fn progress(&self) -> crate::telemetry::CollectionProgress {
+        let buffer = self.buffer.stats();
+        crate::telemetry::CollectionProgress {
+            segments_decoded: 0,
+            segments_in_progress: buffer.segments as u64,
+            in_progress_rank: buffer.blocks as u64,
+            pulls_issued: 0,
+            pulls_answered: self.stats.pulls_served,
+            blocks_received: self.stats.gossip_received,
+            records_recovered: 0,
+            efficiency_permille: 1000,
+        }
+    }
+
     /// Read-only access to the block buffer.
     #[must_use]
     pub const fn buffer(&self) -> &PeerBuffer {

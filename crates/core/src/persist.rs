@@ -1,0 +1,279 @@
+//! Collector persistence: the hooks a durable store implements and the
+//! snapshot a restarted collector rebuilds from.
+//!
+//! The collector is the only node worth persisting — peers hold soft
+//! state that regenerates from their own logs, but a collector crash
+//! would otherwise discard every decoded segment and all in-flight
+//! Gaussian-elimination progress, forcing a full re-collection the
+//! paper's bandwidth provisioning assumes never happens. The
+//! [`Persistence`] trait captures exactly the collector events a
+//! write-ahead log needs to observe; `gossamer-store` provides the
+//! WAL-backed implementation, while [`MemoryPersistence`] here is the
+//! in-memory reference used by tests and as ground truth for recovery
+//! equivalence checks.
+//!
+//! All hooks are infallible from the protocol's point of view: the
+//! collector counts persistence errors in
+//! [`CollectorStats::persist_errors`](crate::CollectorStats::persist_errors)
+//! and keeps collecting, because losing durability is strictly better
+//! than halting collection.
+
+use std::collections::BTreeSet;
+use std::io;
+
+use gossamer_rlnc::{CodedBlock, DecodedSegment, SegmentId};
+
+/// Observer for the collector state transitions that must survive a
+/// crash.
+///
+/// Implementations are driven synchronously from the collector state
+/// machine; they should buffer internally (e.g. fsync batching) rather
+/// than block on every call.
+pub trait Persistence: Send + std::fmt::Debug {
+    /// A segment was fully decoded. Called at most once per segment id
+    /// per incarnation.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the backing store.
+    fn segment_decoded(&mut self, segment: &DecodedSegment) -> io::Result<()>;
+
+    /// Segments were abandoned because a sibling collector announced
+    /// them; a restarted collector must keep skipping their blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the backing store.
+    fn segments_abandoned(&mut self, ids: &[SegmentId]) -> io::Result<()>;
+
+    /// The application took recovered records; `total` is the
+    /// *cumulative* count taken over the collector's whole lifetime
+    /// (monotone, so replaying the marker twice is idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the backing store.
+    fn records_taken(&mut self, total: u64) -> io::Result<()>;
+
+    /// A periodic checkpoint of the in-flight decoder matrices:
+    /// `in_flight` holds every buffered row as a coded block (see
+    /// [`Decoder::export_in_progress`](gossamer_rlnc::Decoder::export_in_progress)).
+    /// Each checkpoint supersedes all earlier ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the backing store.
+    fn checkpoint(&mut self, in_flight: &[CodedBlock]) -> io::Result<()>;
+
+    /// Forces all buffered state to stable storage (shutdown path).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the backing store.
+    fn flush(&mut self) -> io::Result<()>;
+}
+
+/// Everything needed to rebuild a collector after a restart.
+///
+/// Produced by replaying a store's log; consumed by
+/// [`Collector::restore`](crate::Collector::restore).
+#[derive(Debug, Clone, Default)]
+pub struct CollectorSnapshot {
+    /// Fully decoded segments, in original decode order (order matters:
+    /// the reassembler re-derives records in this order, so the
+    /// `records_taken` prefix lines up).
+    pub decoded: Vec<DecodedSegment>,
+    /// In-flight decoder rows from the latest complete checkpoint.
+    pub in_flight: Vec<CodedBlock>,
+    /// Segments abandoned to sibling collectors.
+    pub abandoned: Vec<SegmentId>,
+    /// Cumulative records already delivered to the application.
+    pub records_taken: u64,
+}
+
+impl CollectorSnapshot {
+    /// `true` when the snapshot carries no state (fresh start).
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.decoded.is_empty()
+            && self.in_flight.is_empty()
+            && self.abandoned.is_empty()
+            && self.records_taken == 0
+    }
+}
+
+/// In-memory [`Persistence`]: keeps every event in plain collections.
+///
+/// Useful in tests as ground truth (what *should* a WAL replay produce?)
+/// and as a cheap stand-in when durability is not required but the
+/// snapshot-producing code path should still run.
+#[derive(Debug, Default)]
+pub struct MemoryPersistence {
+    decoded: Vec<DecodedSegment>,
+    decoded_ids: BTreeSet<SegmentId>,
+    abandoned: BTreeSet<SegmentId>,
+    records_taken: u64,
+    last_checkpoint: Vec<CodedBlock>,
+    checkpoints: u64,
+    flushes: u64,
+}
+
+impl MemoryPersistence {
+    /// Creates an empty in-memory store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything recorded so far — what a crash-free WAL
+    /// replay would reconstruct.
+    #[must_use]
+    pub fn snapshot(&self) -> CollectorSnapshot {
+        CollectorSnapshot {
+            decoded: self.decoded.clone(),
+            in_flight: self.last_checkpoint.clone(),
+            abandoned: self.abandoned.iter().copied().collect(),
+            records_taken: self.records_taken,
+        }
+    }
+
+    /// Number of checkpoints recorded.
+    #[must_use]
+    pub const fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// Number of explicit flushes requested.
+    #[must_use]
+    pub const fn flushes(&self) -> u64 {
+        self.flushes
+    }
+}
+
+impl Persistence for MemoryPersistence {
+    fn segment_decoded(&mut self, segment: &DecodedSegment) -> io::Result<()> {
+        if self.decoded_ids.insert(segment.id()) {
+            self.decoded.push(segment.clone());
+        }
+        Ok(())
+    }
+
+    fn segments_abandoned(&mut self, ids: &[SegmentId]) -> io::Result<()> {
+        self.abandoned.extend(ids.iter().copied());
+        Ok(())
+    }
+
+    fn records_taken(&mut self, total: u64) -> io::Result<()> {
+        self.records_taken = self.records_taken.max(total);
+        Ok(())
+    }
+
+    fn checkpoint(&mut self, in_flight: &[CodedBlock]) -> io::Result<()> {
+        self.last_checkpoint = in_flight.to_vec();
+        self.checkpoints += 1;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flushes += 1;
+        Ok(())
+    }
+}
+
+/// A half-open range `[start, end)` of raw segment ids owned by one
+/// collector in a sharded deployment.
+///
+/// Sharding partitions the id space by *origin* (the high 32 bits of a
+/// segment id), so a shard boundary never splits one peer's segments
+/// across collectors. Blocks outside a collector's shard are dropped on
+/// arrival and counted in
+/// [`CollectorStats::out_of_shard_blocks`](crate::CollectorStats::out_of_shard_blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    start: u64,
+    end: u64,
+}
+
+impl ShardRange {
+    /// Creates a range; `start` must be strictly below `end`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::EmptyShard`](crate::ProtocolError::EmptyShard)
+    /// when the range contains no ids.
+    pub const fn new(start: u64, end: u64) -> Result<Self, crate::ProtocolError> {
+        if start >= end {
+            return Err(crate::ProtocolError::EmptyShard { start, end });
+        }
+        Ok(Self { start, end })
+    }
+
+    /// The full id space (sharding disabled in all but name).
+    #[must_use]
+    pub const fn all() -> Self {
+        Self {
+            start: 0,
+            end: u64::MAX,
+        }
+    }
+
+    /// Inclusive lower bound (raw segment id).
+    #[must_use]
+    pub const fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Exclusive upper bound (raw segment id).
+    #[must_use]
+    pub const fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Whether `id` falls inside this shard.
+    #[must_use]
+    pub const fn contains(&self, id: SegmentId) -> bool {
+        self.start <= id.raw() && id.raw() < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_persistence_dedups_and_accumulates() {
+        let mut p = MemoryPersistence::new();
+        let seg = DecodedSegment::from_blocks(SegmentId::new(7), vec![vec![1u8; 4]; 2]);
+        p.segment_decoded(&seg).unwrap();
+        p.segment_decoded(&seg).unwrap();
+        p.segments_abandoned(&[SegmentId::new(9), SegmentId::new(9)])
+            .unwrap();
+        p.records_taken(3).unwrap();
+        p.records_taken(2).unwrap(); // stale total must not regress
+        p.checkpoint(&[]).unwrap();
+        p.flush().unwrap();
+
+        let snap = p.snapshot();
+        assert_eq!(snap.decoded.len(), 1);
+        assert_eq!(snap.abandoned, vec![SegmentId::new(9)]);
+        assert_eq!(snap.records_taken, 3);
+        assert!(!snap.is_empty());
+        assert_eq!(p.checkpoints(), 1);
+        assert_eq!(p.flushes(), 1);
+        assert!(CollectorSnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn shard_range_bounds() {
+        assert!(ShardRange::new(5, 5).is_err());
+        assert!(ShardRange::new(9, 2).is_err());
+        let r = ShardRange::new(10, 20).unwrap();
+        assert!(r.contains(SegmentId::new(10)));
+        assert!(r.contains(SegmentId::new(19)));
+        assert!(!r.contains(SegmentId::new(20)));
+        assert!(!r.contains(SegmentId::new(9)));
+        assert!(ShardRange::all().contains(SegmentId::new(u64::MAX - 1)));
+        assert_eq!(r.start(), 10);
+        assert_eq!(r.end(), 20);
+    }
+}

@@ -329,6 +329,56 @@ impl TransportHealth {
     }
 }
 
+/// Collection-progress counters for one node, as exposed by a daemon
+/// handle alongside [`TransportHealth`].
+///
+/// For a collector every field is meaningful; a serving peer reports the
+/// fields it observes (pulls answered, blocks received via gossip) and
+/// zeroes the decode-side ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CollectionProgress {
+    /// Segments fully decoded (including segments restored from a
+    /// durable store after a restart).
+    pub segments_decoded: u64,
+    /// Segments with partial rank still being eliminated.
+    pub segments_in_progress: u64,
+    /// Sum of partial ranks across in-progress segments — innovative
+    /// blocks held that have not yet completed a segment.
+    pub in_progress_rank: u64,
+    /// Pull requests issued (collector side).
+    pub pulls_issued: u64,
+    /// Pull requests answered: responses received on a collector,
+    /// responses served on a peer.
+    pub pulls_answered: u64,
+    /// Coded blocks received (pull responses on a collector, gossip on
+    /// a peer).
+    pub blocks_received: u64,
+    /// Log records recovered from decoded segments.
+    pub records_recovered: u64,
+    /// Collection efficiency in permille: `1000 ·` innovative/received
+    /// (the empirical `η` of Theorem 2, kept integral for telemetry).
+    pub efficiency_permille: u64,
+}
+
+impl CollectionProgress {
+    /// Renders the progress counters as a [`TelemetryRecord`], mirroring
+    /// [`TransportHealth::to_record`].
+    #[must_use]
+    pub fn to_record(&self, origin: u32, timestamp_ms: u64) -> TelemetryRecord {
+        let mut record = TelemetryRecord::new(origin, timestamp_ms);
+        let int = |v: u64| MetricValue::Integer(v.min(i64::MAX as u64) as i64);
+        record.push("segments_decoded", int(self.segments_decoded));
+        record.push("segments_in_progress", int(self.segments_in_progress));
+        record.push("in_progress_rank", int(self.in_progress_rank));
+        record.push("pulls_issued", int(self.pulls_issued));
+        record.push("pulls_answered", int(self.pulls_answered));
+        record.push("blocks_received", int(self.blocks_received));
+        record.push("records_recovered", int(self.records_recovered));
+        record.push("efficiency_permille", int(self.efficiency_permille));
+        record
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,6 +511,36 @@ mod tests {
         );
         assert_eq!(record.get("link_1_quarantined"), None);
         // The snapshot survives the wire format.
+        let back = TelemetryRecord::decode(&record.encode()).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn collection_progress_renders_as_telemetry() {
+        let progress = CollectionProgress {
+            segments_decoded: 12,
+            segments_in_progress: 3,
+            in_progress_rank: 7,
+            pulls_issued: 400,
+            pulls_answered: 390,
+            blocks_received: 350,
+            records_recovered: 48,
+            efficiency_permille: 857,
+        };
+        let record = progress.to_record(5, 99);
+        assert_eq!(record.origin(), 5);
+        assert_eq!(
+            record.get("segments_decoded"),
+            Some(&MetricValue::Integer(12))
+        );
+        assert_eq!(
+            record.get("in_progress_rank"),
+            Some(&MetricValue::Integer(7))
+        );
+        assert_eq!(
+            record.get("efficiency_permille"),
+            Some(&MetricValue::Integer(857))
+        );
         let back = TelemetryRecord::decode(&record.encode()).unwrap();
         assert_eq!(back, record);
     }

@@ -1,11 +1,18 @@
 //! Loopback cluster harness.
 
 use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
 
-use gossamer_core::{Addr, CollectorConfig, NodeConfig};
+use gossamer_core::{Addr, Collector, CollectorConfig, NodeConfig};
+use gossamer_store::{ShardManifest, WalOptions, WalPersistence, MANIFEST_FILE};
 
 use crate::daemon::{CollectorHandle, DaemonError, PeerHandle};
 use crate::fault::FaultPlan;
+
+/// Bind-retry budget shared by the restart paths: the OS may briefly
+/// hold a crashed daemon's port in `TIME_WAIT`.
+const BIND_RETRIES: u32 = 20;
+const BIND_RETRY_DELAY: std::time::Duration = std::time::Duration::from_millis(50);
 
 /// Everything needed to respawn a crashed peer in place.
 struct PeerSpec {
@@ -20,21 +27,56 @@ struct PeerSpec {
     resume_sequence: u32,
 }
 
+/// Everything needed to respawn a crashed collector in place.
+struct CollectorSpec {
+    addr: Addr,
+    socket: SocketAddr,
+    config: CollectorConfig,
+    seed: u64,
+    /// WAL directory; `Some` makes the collector durable: a restart
+    /// recovers its decoded set instead of starting empty.
+    data_dir: Option<PathBuf>,
+}
+
+impl CollectorSpec {
+    /// Builds the collector node for a (re)start: durable specs open
+    /// their WAL and restore the recovered snapshot; ephemeral specs
+    /// start fresh.
+    fn build_node(&self) -> Result<Collector, DaemonError> {
+        let Some(dir) = &self.data_dir else {
+            return Ok(Collector::new(self.addr, self.config.clone(), self.seed));
+        };
+        let (persistence, snapshot) = WalPersistence::open(dir, WalOptions::default())
+            .map_err(|e| DaemonError::Io(e.into()))?;
+        Collector::restore(
+            self.addr,
+            self.config.clone(),
+            self.seed,
+            snapshot,
+            Some(Box::new(persistence)),
+        )
+        .map_err(DaemonError::from)
+    }
+}
+
 /// A complete deployment on loopback: `n` peer daemons in a full gossip
 /// mesh plus `m` collector daemons probing all of them.
 ///
 /// Peers get addresses `0..n`, collectors `n..n+m`. Everything is wired
 /// (address books, neighbour sets, probe lists) before `start` returns.
 ///
-/// Peers live in fixed slots: [`LocalCluster::kill_peer`] empties a slot
-/// without renumbering the others, and [`LocalCluster::restart_peer`]
-/// boots a fresh daemon (empty buffer — the churn-with-replacement
-/// model) on the same address and socket, so the survivors' address
-/// books stay valid across the outage.
+/// Peers and collectors live in fixed slots: [`LocalCluster::kill_peer`]
+/// / [`LocalCluster::kill_collector`] empty a slot without renumbering
+/// the others, and the matching `restart_*` boots a fresh daemon on the
+/// same address and socket, so the survivors' address books stay valid
+/// across the outage. A restarted peer is empty (the paper's
+/// churn-with-replacement model); a restarted *durable* collector
+/// recovers its decoded state from its write-ahead log.
 pub struct LocalCluster {
     peers: Vec<Option<PeerHandle>>,
     peer_specs: Vec<PeerSpec>,
-    collectors: Vec<CollectorHandle>,
+    collectors: Vec<Option<CollectorHandle>>,
+    collector_specs: Vec<CollectorSpec>,
     peer_addrs: Vec<Addr>,
     plan: Option<FaultPlan>,
 }
@@ -64,16 +106,13 @@ impl LocalCluster {
 
     /// Like [`LocalCluster::start`], but installs the given fault plan's
     /// message-level faults on every daemon's transport. The plan's
-    /// crash schedule is data for the test to execute (via
-    /// [`LocalCluster::kill_peer`] / [`LocalCluster::restart_peer`]);
-    /// the cluster does not run its own clock.
+    /// crash schedule is data for the test to execute (via the
+    /// `kill_*` / `restart_*` methods); the cluster does not run its own
+    /// clock.
     ///
     /// # Errors
     ///
     /// Returns an error if any daemon fails to bind its listener.
-    // Configs are taken by value builder-style and cloned once per peer;
-    // references would force every call site to keep a binding alive.
-    #[allow(clippy::needless_pass_by_value)]
     pub fn start_with_faults(
         n_peers: usize,
         node_config: NodeConfig,
@@ -81,6 +120,122 @@ impl LocalCluster {
         collector_config: CollectorConfig,
         seed: u64,
         plan: Option<FaultPlan>,
+    ) -> Result<Self, DaemonError> {
+        Self::start_inner(
+            n_peers,
+            node_config,
+            n_collectors,
+            collector_config,
+            seed,
+            plan,
+            None,
+        )
+    }
+
+    /// Like [`LocalCluster::start_with_faults`], but every collector is
+    /// durable: collector `j` write-ahead-logs its state under
+    /// `data_root/collector-<addr>`, and [`LocalCluster::restart_collector`]
+    /// recovers it from there.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any daemon fails to bind or a WAL directory
+    /// cannot be created or replayed.
+    pub fn start_durable(
+        n_peers: usize,
+        node_config: NodeConfig,
+        n_collectors: usize,
+        collector_config: CollectorConfig,
+        seed: u64,
+        plan: Option<FaultPlan>,
+        data_root: &Path,
+    ) -> Result<Self, DaemonError> {
+        Self::start_inner(
+            n_peers,
+            node_config,
+            n_collectors,
+            collector_config,
+            seed,
+            plan,
+            Some(data_root),
+        )
+    }
+
+    /// Boots a durable, *sharded* deployment: the peer origin space is
+    /// partitioned evenly across the collectors (the shard map is
+    /// persisted as `data_root/manifest.txt`), and each collector
+    /// decodes only its own segment-id range. Sibling announcements are
+    /// disabled — shards are disjoint, so there is nothing to
+    /// coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if there are more collectors than peers, a
+    /// daemon fails to bind, or the data root is not writable.
+    // Configs are taken by value builder-style, matching the other
+    // constructors; each shard clones what it needs.
+    #[allow(clippy::needless_pass_by_value)]
+    pub fn start_sharded(
+        n_peers: usize,
+        node_config: NodeConfig,
+        n_collectors: usize,
+        collector_config: CollectorConfig,
+        seed: u64,
+        data_root: &Path,
+    ) -> Result<Self, DaemonError> {
+        let names: Vec<String> = (0..n_collectors)
+            .map(|j| format!("collector-{}", n_peers + j))
+            .collect();
+        let manifest = ShardManifest::partition(&names, n_peers as u32)
+            .map_err(|e| DaemonError::Io(e.into()))?;
+        std::fs::create_dir_all(data_root)?;
+        manifest
+            .save(&data_root.join(MANIFEST_FILE))
+            .map_err(|e| DaemonError::Io(e.into()))?;
+
+        let mut cluster = Self::start_inner(
+            n_peers,
+            node_config,
+            0,
+            collector_config.clone(),
+            seed,
+            None,
+            None,
+        )?;
+        for (j, name) in names.iter().enumerate() {
+            let addr = Addr((n_peers + j) as u32);
+            let range = manifest
+                .range_of(name)
+                .ok_or_else(|| DaemonError::Io(std::io::Error::other("missing shard")))?;
+            let spec = CollectorSpec {
+                addr,
+                socket: SocketAddr::from(([127, 0, 0, 1], 0)),
+                config: collector_config.sharded(range),
+                seed: seed ^ 0x00C0_FFEE ^ (j as u64) << 32,
+                data_dir: Some(data_root.join(name)),
+            };
+            let handle = CollectorHandle::spawn_node(spec.build_node()?)?;
+            cluster.collector_specs.push(CollectorSpec {
+                socket: handle.socket(),
+                ..spec
+            });
+            cluster.collectors.push(Some(handle));
+        }
+        cluster.wire_collectors();
+        Ok(cluster)
+    }
+
+    // Configs are taken by value builder-style and cloned once per node;
+    // references would force every call site to keep a binding alive.
+    #[allow(clippy::needless_pass_by_value)]
+    fn start_inner(
+        n_peers: usize,
+        node_config: NodeConfig,
+        n_collectors: usize,
+        collector_config: CollectorConfig,
+        seed: u64,
+        plan: Option<FaultPlan>,
+        data_root: Option<&Path>,
     ) -> Result<Self, DaemonError> {
         let mut peers = Vec::with_capacity(n_peers);
         let mut peer_specs = Vec::with_capacity(n_peers);
@@ -97,57 +252,72 @@ impl LocalCluster {
             peers.push(Some(handle));
         }
         let mut collectors = Vec::with_capacity(n_collectors);
+        let mut collector_specs = Vec::with_capacity(n_collectors);
         for j in 0..n_collectors {
-            collectors.push(CollectorHandle::spawn(
-                Addr((n_peers + j) as u32),
-                collector_config.clone(),
-                seed ^ 0x00C0_FFEE ^ (j as u64) << 32,
-            )?);
+            let addr = Addr((n_peers + j) as u32);
+            let spec = CollectorSpec {
+                addr,
+                socket: SocketAddr::from(([127, 0, 0, 1], 0)),
+                config: collector_config.clone(),
+                seed: seed ^ 0x00C0_FFEE ^ (j as u64) << 32,
+                data_dir: data_root.map(|root| root.join(format!("collector-{}", addr.0))),
+            };
+            let handle = CollectorHandle::spawn_node(spec.build_node()?)?;
+            collector_specs.push(CollectorSpec {
+                socket: handle.socket(),
+                ..spec
+            });
+            collectors.push(Some(handle));
         }
 
-        // Wire address books: everyone knows everyone.
         let peer_addrs: Vec<Addr> = peer_specs.iter().map(|s| s.addr).collect();
-        for a in peers.iter().flatten() {
-            for spec in &peer_specs {
-                if a.addr() != spec.addr {
-                    a.register(spec.addr, spec.socket);
-                }
-            }
-            for c in &collectors {
-                a.register(c.addr(), c.socket());
-            }
-            a.set_neighbours(peer_addrs.clone());
-        }
-        let collector_addrs: Vec<Addr> = collectors.iter().map(CollectorHandle::addr).collect();
-        for c in &collectors {
-            for spec in &peer_specs {
-                c.register(spec.addr, spec.socket);
-            }
-            for other in &collectors {
-                if other.addr() != c.addr() {
-                    c.register(other.addr(), other.socket());
-                }
-            }
-            c.set_peers(peer_addrs.clone());
-            c.set_siblings(collector_addrs.clone());
-        }
-
         let cluster = Self {
             peers,
             peer_specs,
             collectors,
+            collector_specs,
             peer_addrs,
             plan,
         };
-        if let Some(plan) = cluster.plan.as_ref().filter(|p| p.has_message_faults()) {
-            for p in cluster.peers.iter().flatten() {
+        cluster.wire_collectors();
+        Ok(cluster)
+    }
+
+    /// (Re)wires every live daemon's address book, neighbour set, probe
+    /// list, sibling list and fault plan. Idempotent.
+    fn wire_collectors(&self) {
+        for a in self.peers.iter().flatten() {
+            for spec in &self.peer_specs {
+                if a.addr() != spec.addr {
+                    a.register(spec.addr, spec.socket);
+                }
+            }
+            for spec in &self.collector_specs {
+                a.register(spec.addr, spec.socket);
+            }
+            a.set_neighbours(self.peer_addrs.clone());
+        }
+        let collector_addrs: Vec<Addr> = self.collector_specs.iter().map(|s| s.addr).collect();
+        for c in self.collectors.iter().flatten() {
+            for spec in &self.peer_specs {
+                c.register(spec.addr, spec.socket);
+            }
+            for spec in &self.collector_specs {
+                if spec.addr != c.addr() {
+                    c.register(spec.addr, spec.socket);
+                }
+            }
+            c.set_peers(self.peer_addrs.clone());
+            c.set_siblings(collector_addrs.clone());
+        }
+        if let Some(plan) = self.plan.as_ref().filter(|p| p.has_message_faults()) {
+            for p in self.peers.iter().flatten() {
                 p.set_fault_plan(plan);
             }
-            for c in &cluster.collectors {
+            for c in self.collectors.iter().flatten() {
                 c.set_fault_plan(plan);
             }
         }
-        Ok(cluster)
     }
 
     /// Number of peer slots (live or crashed).
@@ -160,6 +330,12 @@ impl LocalCluster {
     #[must_use]
     pub fn live_peer_count(&self) -> usize {
         self.peers.iter().flatten().count()
+    }
+
+    /// Number of collector slots (live or crashed).
+    #[must_use]
+    pub const fn collector_count(&self) -> usize {
+        self.collectors.len()
     }
 
     /// Access the `i`-th peer.
@@ -176,15 +352,22 @@ impl LocalCluster {
     ///
     /// # Panics
     ///
-    /// Panics if `j` is out of range.
+    /// Panics if `j` is out of range or the collector is crashed.
     #[must_use]
     pub fn collector(&self, j: usize) -> &CollectorHandle {
-        &self.collectors[j]
+        self.collectors[j]
+            .as_ref()
+            .expect("collector slot is crashed")
     }
 
     /// Iterate over all live peers.
     pub fn peers(&self) -> impl Iterator<Item = &PeerHandle> {
         self.peers.iter().flatten()
+    }
+
+    /// Iterate over all live collectors.
+    pub fn collectors(&self) -> impl Iterator<Item = &CollectorHandle> {
+        self.collectors.iter().flatten()
     }
 
     /// Kills one peer abruptly (simulated churn): its daemon stops and
@@ -229,27 +412,66 @@ impl LocalCluster {
         let handle = loop {
             match PeerHandle::spawn_on(spec.addr, spec.socket, spec.config.clone(), spec.seed) {
                 Ok(h) => break h,
-                Err(_) if attempts < 20 => {
+                Err(_) if attempts < BIND_RETRIES => {
                     attempts += 1;
-                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    std::thread::sleep(BIND_RETRY_DELAY);
                 }
                 Err(e) => return Err(e),
             }
         };
-        for spec in &self.peer_specs {
-            if spec.addr != handle.addr() {
-                handle.register(spec.addr, spec.socket);
-            }
-        }
-        for c in &self.collectors {
-            handle.register(c.addr(), c.socket());
-        }
         handle.resume_sequence_at(self.peer_specs[i].resume_sequence);
-        handle.set_neighbours(self.peer_addrs.clone());
-        if let Some(plan) = self.plan.as_ref().filter(|p| p.has_message_faults()) {
-            handle.set_fault_plan(plan);
-        }
         self.peers[i] = Some(handle);
+        self.wire_collectors();
+        Ok(())
+    }
+
+    /// Kills one collector abruptly. The daemon's shutdown path flushes
+    /// any attached WAL, but the crash semantics are still honest: a
+    /// durable collector recovers from whatever its log held, which the
+    /// recovery suite exercises down to arbitrary torn-record cuts.
+    pub fn kill_collector(&mut self, j: usize) -> Option<()> {
+        let handle = self.collectors.get_mut(j)?.take()?;
+        handle.shutdown();
+        Some(())
+    }
+
+    /// Restarts a crashed collector in its old slot: same address, same
+    /// socket. A durable collector (from [`LocalCluster::start_durable`]
+    /// or [`LocalCluster::start_sharded`]) replays its write-ahead log
+    /// first, so it resumes with its decoded segments, dedup index,
+    /// partial matrices and delivery cursor intact, and re-announces the
+    /// recovered set to its siblings. An ephemeral collector restarts
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the old socket cannot be re-bound or the WAL
+    /// replay fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slot `j` is still occupied.
+    pub fn restart_collector(&mut self, j: usize) -> Result<(), DaemonError> {
+        assert!(
+            self.collectors.get(j).is_some_and(Option::is_none),
+            "collector slot {j} is not crashed"
+        );
+        let spec = &self.collector_specs[j];
+        let mut attempts = 0;
+        let handle = loop {
+            // Rebuild the node each attempt: a failed bind consumed it.
+            let node = spec.build_node()?;
+            match CollectorHandle::spawn_node_on(node, spec.socket) {
+                Ok(h) => break h,
+                Err(_) if attempts < BIND_RETRIES => {
+                    attempts += 1;
+                    std::thread::sleep(BIND_RETRY_DELAY);
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        self.collectors[j] = Some(handle);
+        self.wire_collectors();
         Ok(())
     }
 
@@ -258,7 +480,7 @@ impl LocalCluster {
         for p in self.peers.into_iter().flatten() {
             p.shutdown();
         }
-        for c in self.collectors {
+        for c in self.collectors.into_iter().flatten() {
             c.shutdown();
         }
     }

@@ -32,8 +32,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gossamer_core::{
-    Addr, Collector, CollectorConfig, CollectorStats, Message, NodeConfig, Outbound, PeerNode,
-    PeerStats, ProtocolError, TransportHealth,
+    Addr, CollectionProgress, Collector, CollectorConfig, CollectorStats, Message, NodeConfig,
+    Outbound, PeerNode, PeerStats, ProtocolError, TransportHealth,
 };
 
 use crate::codec::{read_frame_retrying, write_frame, CodecError};
@@ -842,6 +842,13 @@ impl PeerHandle {
         self.daemon.shared.transport_health()
     }
 
+    /// Collection-progress counters (the peer's view: buffered segments,
+    /// pulls served, gossip received).
+    #[must_use]
+    pub fn progress(&self) -> CollectionProgress {
+        self.daemon.shared.node.lock().progress()
+    }
+
     /// Stops all threads and closes connections.
     pub fn shutdown(mut self) {
         self.daemon.shutdown();
@@ -879,6 +886,34 @@ impl CollectorHandle {
         seed: u64,
     ) -> Result<Self, DaemonError> {
         let node = Collector::new(addr, config, seed);
+        Ok(Self {
+            daemon: Daemon::spawn_on(addr, node, listen)?,
+        })
+    }
+
+    /// Boots a daemon around a pre-built [`Collector`] — the entry point
+    /// for durable collectors, which are constructed via
+    /// [`Collector::with_persistence`] or [`Collector::restore`] before
+    /// being handed to the transport.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind.
+    pub fn spawn_node(node: Collector) -> Result<Self, DaemonError> {
+        let addr = node.addr();
+        Ok(Self {
+            daemon: Daemon::spawn(addr, node)?,
+        })
+    }
+
+    /// Like [`CollectorHandle::spawn_node`], but binds a specific socket
+    /// address instead of an ephemeral loopback port.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind.
+    pub fn spawn_node_on(node: Collector, listen: SocketAddr) -> Result<Self, DaemonError> {
+        let addr = node.addr();
         Ok(Self {
             daemon: Daemon::spawn_on(addr, node, listen)?,
         })
@@ -957,8 +992,34 @@ impl CollectorHandle {
         self.daemon.shared.transport_health()
     }
 
-    /// Stops all threads and closes connections.
+    /// Collection-progress counters: segments decoded and in flight,
+    /// partial ranks, pulls issued/answered, records recovered.
+    #[must_use]
+    pub fn progress(&self) -> CollectionProgress {
+        self.daemon.shared.node.lock().progress()
+    }
+
+    /// Forces the collector's persistence backend (if any) to stable
+    /// storage. Call before a clean exit so recovery replays the
+    /// freshest state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's I/O error.
+    pub fn flush_store(&self) -> Result<(), DaemonError> {
+        self.daemon
+            .shared
+            .node
+            .lock()
+            .flush_persistence()
+            .map_err(DaemonError::from)
+    }
+
+    /// Stops all threads, closes connections, and flushes any attached
+    /// persistence backend so the on-disk state reflects everything this
+    /// incarnation decoded.
     pub fn shutdown(mut self) {
+        let _ = self.daemon.shared.node.lock().flush_persistence();
         self.daemon.shutdown();
     }
 }

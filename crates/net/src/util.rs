@@ -2,7 +2,7 @@
 
 use std::fmt;
 use std::net::SocketAddr;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// One address-book line: `id host:port [collector]`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +39,16 @@ pub struct CliOptions {
     /// Explicit listen address (`--listen host:port`, default ephemeral
     /// loopback).
     pub listen: Option<SocketAddr>,
+    /// Durable state directory (`--data-dir <dir>`, collector only).
+    /// When set, the collector write-ahead-logs its state there and a
+    /// restart resumes from it instead of re-collecting.
+    pub data_dir: Option<PathBuf>,
+    /// Seconds between durable checkpoints of in-flight decoder state
+    /// (`--checkpoint-interval`, default 5 when `--data-dir` is set).
+    pub checkpoint_interval: Option<f64>,
+    /// Exit cleanly after this many seconds (`--run-for`, mainly for
+    /// scripted runs and tests; default: run until SIGINT/SIGTERM).
+    pub run_for: Option<f64>,
 }
 
 /// Errors from option or book parsing.
@@ -77,6 +87,9 @@ impl CliOptions {
             pull_rate: 60.0,
             seed: 0,
             listen: None,
+            data_dir: None,
+            checkpoint_interval: None,
+            run_for: None,
         };
         let mut saw_id = false;
         let mut it = args.iter();
@@ -118,6 +131,18 @@ impl CliOptions {
                 }
                 "--listen" => {
                     opts.listen = Some(parse_num(&value("--listen")?, "--listen")?);
+                }
+                "--data-dir" => {
+                    opts.data_dir = Some(PathBuf::from(value("--data-dir")?));
+                }
+                "--checkpoint-interval" => {
+                    opts.checkpoint_interval = Some(parse_num(
+                        &value("--checkpoint-interval")?,
+                        "--checkpoint-interval",
+                    )?);
+                }
+                "--run-for" => {
+                    opts.run_for = Some(parse_num(&value("--run-for")?, "--run-for")?);
                 }
                 other => return Err(err(format!("unknown flag {other}"))),
             }
@@ -225,6 +250,26 @@ mod tests {
         assert_eq!(opts.buffer_cap, 1024);
         assert_eq!(opts.pull_rate, 99.0);
         assert_eq!(opts.seed, 3);
+        assert_eq!(opts.data_dir, None);
+        assert_eq!(opts.run_for, None);
+    }
+
+    #[test]
+    fn parses_durability_flags() {
+        let opts = CliOptions::parse(&strs(&[
+            "--id",
+            "100",
+            "--data-dir",
+            "/var/lib/gossamer",
+            "--checkpoint-interval",
+            "2.5",
+            "--run-for",
+            "30",
+        ]))
+        .unwrap();
+        assert_eq!(opts.data_dir, Some(PathBuf::from("/var/lib/gossamer")));
+        assert_eq!(opts.checkpoint_interval, Some(2.5));
+        assert_eq!(opts.run_for, Some(30.0));
     }
 
     #[test]

@@ -192,6 +192,91 @@ fn cluster_survives_seeded_fault_plan() {
 }
 
 #[test]
+fn durable_collector_survives_kill_restart_under_faults() {
+    // The PR 1 message-fault plan (drops, duplicates, delays) stays in
+    // force the whole run; this time it is the *collector* that dies
+    // mid-collection. Backed by its write-ahead log, the restarted
+    // incarnation must resume from its recovered decoded set — not
+    // re-deliver records, not re-count segments — and still complete
+    // the collection.
+    let plan = FaultPlan::new(0x0D15_EA5E)
+        .drop_rate(0.10)
+        .duplicate_rate(0.05)
+        .delay(0.05, Duration::from_millis(15));
+    let data_root =
+        std::env::temp_dir().join(format!("gossamer-chaos-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_root);
+
+    let mut cluster = LocalCluster::start_durable(
+        N_PEERS,
+        node_config(),
+        1,
+        collector_config(),
+        33,
+        Some(plan),
+        &data_root,
+    )
+    .expect("durable cluster boots");
+
+    for i in 0..N_PEERS {
+        cluster.peer(i).record(&record_for(i)).expect("record fits");
+        cluster.peer(i).flush().expect("flush");
+    }
+
+    // Let the collection get properly underway before the crash, and
+    // bank whatever has been delivered so far.
+    let mut before_crash: Vec<Vec<u8>> = Vec::new();
+    let progressed = wait_until(Duration::from_secs(20), || {
+        before_crash.extend(cluster.collector(0).take_records().expect("records"));
+        cluster.collector(0).segments_decoded() >= 2
+    });
+    assert!(progressed, "collection never got underway");
+    before_crash.extend(cluster.collector(0).take_records().expect("records"));
+    let decoded_before = cluster.collector(0).segments_decoded();
+
+    cluster.kill_collector(0).expect("collector slot occupied");
+    std::thread::sleep(Duration::from_millis(300));
+    cluster.restart_collector(0).expect("collector rebinds");
+
+    // Recovery must carry the decoded set across the crash.
+    assert!(
+        cluster.collector(0).segments_decoded() >= decoded_before,
+        "restart lost decoded segments: {} < {decoded_before}",
+        cluster.collector(0).segments_decoded()
+    );
+
+    // The restarted incarnation finishes the job: across both
+    // incarnations every record arrives, and none arrives twice.
+    let goal: Vec<Vec<u8>> = (0..N_PEERS).map(record_for).collect();
+    let mut after_crash: Vec<Vec<u8>> = Vec::new();
+    let ok = wait_until(Duration::from_secs(30), || {
+        after_crash.extend(cluster.collector(0).take_records().expect("records"));
+        goal.iter()
+            .all(|r| before_crash.contains(r) || after_crash.contains(r))
+    });
+    assert!(
+        ok,
+        "collection incomplete after restart: {} of {} records",
+        goal.iter()
+            .filter(|r| before_crash.contains(*r) || after_crash.contains(*r))
+            .count(),
+        goal.len()
+    );
+    let mut all: Vec<&Vec<u8>> = before_crash.iter().chain(after_crash.iter()).collect();
+    let total = all.len();
+    all.sort();
+    all.dedup();
+    assert_eq!(
+        all.len(),
+        total,
+        "a record was delivered twice across the restart"
+    );
+
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&data_root);
+}
+
+#[test]
 fn restarted_peer_rejoins_and_is_collected() {
     let mut cluster =
         LocalCluster::start(4, node_config(), 1, collector_config(), 21).expect("cluster boots");

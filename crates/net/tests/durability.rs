@@ -1,0 +1,160 @@
+//! Durable and sharded deployment tests over real TCP.
+
+use std::time::{Duration, Instant};
+
+use gossamer_core::{CollectorConfig, NodeConfig};
+use gossamer_net::LocalCluster;
+use gossamer_rlnc::SegmentParams;
+use gossamer_store::{ShardManifest, MANIFEST_FILE};
+
+fn params() -> SegmentParams {
+    SegmentParams::new(4, 64).unwrap()
+}
+
+fn node_config() -> NodeConfig {
+    NodeConfig::builder(params())
+        .gossip_rate(40.0)
+        .expiry_rate(0.02)
+        .buffer_cap(512)
+        .build()
+        .unwrap()
+}
+
+fn collector_config() -> CollectorConfig {
+    CollectorConfig::builder(params())
+        .pull_rate(150.0)
+        .checkpoint_interval(0.5)
+        .build()
+        .unwrap()
+}
+
+fn record_for(i: usize) -> Vec<u8> {
+    format!("peer {i}: cpu=31% uptime=4d").into_bytes()
+}
+
+fn wait_until(limit: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + limit;
+    while Instant::now() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+#[test]
+fn durable_collector_restarts_from_its_log_without_refetching() {
+    let data_root =
+        std::env::temp_dir().join(format!("gossamer-durability-basic-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_root);
+    let n_peers = 4;
+
+    let mut cluster = LocalCluster::start_durable(
+        n_peers,
+        node_config(),
+        1,
+        collector_config(),
+        91,
+        None,
+        &data_root,
+    )
+    .expect("cluster boots");
+
+    for i in 0..n_peers {
+        cluster.peer(i).record(&record_for(i)).expect("record fits");
+        cluster.peer(i).flush().expect("flush");
+    }
+    let goal: Vec<Vec<u8>> = (0..n_peers).map(record_for).collect();
+    let mut recovered: Vec<Vec<u8>> = Vec::new();
+    let ok = wait_until(Duration::from_secs(20), || {
+        recovered.extend(cluster.collector(0).take_records().expect("records"));
+        goal.iter().all(|r| recovered.contains(r))
+    });
+    assert!(ok, "initial collection incomplete");
+    let decoded = cluster.collector(0).segments_decoded();
+    let progress = cluster.collector(0).progress();
+    assert_eq!(progress.segments_decoded as usize, decoded);
+    assert!(progress.pulls_issued > 0 && progress.blocks_received > 0);
+
+    // Kill and restart: the full decoded state must come back from the
+    // WAL immediately, before a single new block is pulled, and nothing
+    // is re-delivered.
+    cluster.kill_collector(0).expect("slot occupied");
+    cluster.restart_collector(0).expect("rebinds");
+    assert_eq!(
+        cluster.collector(0).segments_decoded(),
+        decoded,
+        "recovery must restore the full decoded set"
+    );
+    std::thread::sleep(Duration::from_millis(600));
+    assert_eq!(
+        cluster.collector(0).take_records().expect("records"),
+        Vec::<Vec<u8>>::new(),
+        "restart re-delivered already-taken records"
+    );
+
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&data_root);
+}
+
+#[test]
+fn sharded_collectors_split_the_origin_space() {
+    let data_root =
+        std::env::temp_dir().join(format!("gossamer-durability-shards-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_root);
+    let n_peers = 6;
+    let n_collectors = 2;
+
+    let mut cluster = LocalCluster::start_sharded(
+        n_peers,
+        node_config(),
+        n_collectors,
+        collector_config(),
+        17,
+        &data_root,
+    )
+    .expect("sharded cluster boots");
+
+    // The shard map is durable and covers every peer origin.
+    let manifest = ShardManifest::load(&data_root.join(MANIFEST_FILE)).expect("manifest loads");
+    assert_eq!(manifest.shards().len(), n_collectors);
+
+    for i in 0..n_peers {
+        cluster.peer(i).record(&record_for(i)).expect("record fits");
+        cluster.peer(i).flush().expect("flush");
+    }
+
+    // Between them, the two collectors recover everything — each from
+    // its own disjoint range, so no record shows up twice.
+    let goal: Vec<Vec<u8>> = (0..n_peers).map(record_for).collect();
+    let mut per_collector: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n_collectors];
+    let ok = wait_until(Duration::from_secs(30), || {
+        for (j, bucket) in per_collector.iter_mut().enumerate() {
+            bucket.extend(cluster.collector(j).take_records().expect("records"));
+        }
+        goal.iter()
+            .all(|r| per_collector.iter().any(|b| b.contains(r)))
+    });
+    assert!(ok, "sharded collection incomplete");
+    for r in &goal {
+        let owners = per_collector.iter().filter(|b| b.contains(r)).count();
+        assert_eq!(owners, 1, "record collected by {owners} shards");
+    }
+
+    // The shard filter engaged: blind pulls cross shard lines, so each
+    // collector must have dropped some out-of-range blocks.
+    let dropped: u64 = (0..n_collectors)
+        .map(|j| cluster.collector(j).stats().out_of_shard_blocks)
+        .sum();
+    assert!(dropped > 0, "shard filter never dropped a block");
+
+    // A killed shard recovers its own slice from its own WAL.
+    let decoded_before = cluster.collector(1).segments_decoded();
+    cluster.kill_collector(1).expect("slot occupied");
+    cluster.restart_collector(1).expect("rebinds");
+    assert_eq!(cluster.collector(1).segments_decoded(), decoded_before);
+
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&data_root);
+}

@@ -316,6 +316,29 @@ impl SegmentBuffer {
         self.rows.iter().map(|r| r.pivot).collect()
     }
 
+    /// Snapshots every stored row as a coded block, in pivot order.
+    ///
+    /// Stored rows are themselves valid coded blocks (linear combinations
+    /// of receptions), so replaying the returned blocks through
+    /// [`SegmentBuffer::insert`] on an empty buffer rebuilds this exact
+    /// reduced echelon form — the property the durable checkpoint path
+    /// relies on.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: stored rows carry the buffer's own segment id
+    /// and shape, so reconstructing them as [`CodedBlock`]s cannot fail.
+    #[must_use]
+    pub fn row_blocks(&self) -> Vec<CodedBlock> {
+        self.rows
+            .iter()
+            .map(|row| {
+                CodedBlock::new(self.id, row.coeffs.clone(), row.payload.clone())
+                    .expect("stored rows are structurally valid")
+            })
+            .collect()
+    }
+
     /// Removes the `index`-th stored block (in pivot order) and returns
     /// it, decreasing the rank by one.
     ///

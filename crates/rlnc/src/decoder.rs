@@ -222,6 +222,77 @@ impl Decoder {
         self.abandoned.contains(&id)
     }
 
+    /// Snapshots every in-progress row as a coded block, grouped by
+    /// segment in ascending-id order.
+    ///
+    /// This is the checkpoint export for the durable store: stored rows
+    /// are valid coded blocks, so feeding the snapshot back through
+    /// [`Decoder::receive`] on a fresh decoder rebuilds the in-flight
+    /// elimination state exactly (same ranks, same reduced rows).
+    #[must_use]
+    pub fn export_in_progress(&self) -> Vec<CodedBlock> {
+        let mut ids: Vec<SegmentId> = self.in_progress.keys().copied().collect();
+        ids.sort_unstable_by_key(|id| id.raw());
+        ids.iter()
+            .filter_map(|id| self.in_progress.get(id))
+            .flat_map(SegmentBuffer::row_blocks)
+            .collect()
+    }
+
+    /// Sum of partial ranks across all in-progress segments — the number
+    /// of innovative blocks held that have not yet completed a segment.
+    #[must_use]
+    pub fn in_progress_rank_sum(&self) -> usize {
+        self.in_progress.values().map(SegmentBuffer::rank).sum()
+    }
+
+    /// Re-registers a segment decoded in a previous incarnation (the
+    /// recovery path). The segment joins the dedup index, so future
+    /// blocks for it are counted redundant, and `segments_decoded` is
+    /// incremented; `innovative`/`redundant` are left untouched because
+    /// the blocks that produced it were counted in the previous life.
+    ///
+    /// Returns `Ok(false)` (keeping the existing copy) if the segment is
+    /// already decoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the segment's block shape does not match the
+    /// deployment parameters — the store being replayed belongs to a
+    /// different deployment.
+    pub fn restore_decoded(&mut self, segment: DecodedSegment) -> Result<bool, CodingError> {
+        if segment.blocks.len() != self.params.segment_size() {
+            return Err(CodingError::WrongBlockCount {
+                expected: self.params.segment_size(),
+                got: segment.blocks.len(),
+            });
+        }
+        if let Some(block) = segment
+            .blocks
+            .iter()
+            .find(|b| b.len() != self.params.block_len())
+        {
+            return Err(CodingError::WrongBlockLength {
+                expected: self.params.block_len(),
+                got: block.len(),
+            });
+        }
+        let id = segment.id;
+        if self.decoded.contains_key(&id) {
+            return Ok(false);
+        }
+        self.abandoned.remove(&id);
+        self.in_progress.remove(&id);
+        self.decoded.insert(id, segment);
+        self.stats.segments_decoded += 1;
+        Ok(true)
+    }
+
+    /// Iterates over all abandoned segment ids (in arbitrary order).
+    pub fn iter_abandoned(&self) -> impl Iterator<Item = SegmentId> + '_ {
+        self.abandoned.iter().copied()
+    }
+
     /// Drops partial state for segments whose blocks can no longer arrive
     /// (e.g. expired network-wide), returning how many were discarded.
     pub fn prune<F: FnMut(SegmentId) -> bool>(&mut self, mut expired: F) -> usize {

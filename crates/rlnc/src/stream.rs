@@ -278,6 +278,15 @@ impl Reassembler {
         std::mem::take(&mut self.records)
     }
 
+    /// Drops the first `n` recovered records (saturating at the current
+    /// count). Used on recovery: records already handed to the
+    /// application before a crash were replayed back in by the WAL and
+    /// must not be delivered twice.
+    pub fn discard_first(&mut self, n: usize) {
+        let n = n.min(self.records.len());
+        self.records.drain(..n);
+    }
+
     /// Number of segments fed in.
     #[must_use]
     pub const fn segments_seen(&self) -> usize {

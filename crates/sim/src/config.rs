@@ -163,6 +163,7 @@ pub struct SimConfig {
     pub(crate) gossip_density: Option<usize>,
     pub(crate) arrivals: Option<ArrivalConfig>,
     pub(crate) generation_until: Option<f64>,
+    pub(crate) collector_restart_at: Option<f64>,
     pub(crate) warmup: f64,
     pub(crate) measure: f64,
     pub(crate) sample_interval: f64,
@@ -277,6 +278,17 @@ impl SimConfig {
         self.arrivals
     }
 
+    /// Absolute simulation time at which the collector tier crashes and
+    /// restarts from its durable store (`None` = never). Decoded
+    /// segments survive the restart — they were write-ahead-logged — but
+    /// all in-flight (undecoded) collection progress is lost, mirroring
+    /// a crash that falls between two checkpoints of the WAL-backed
+    /// deployment collector.
+    #[must_use]
+    pub const fn collector_restart_at(&self) -> Option<f64> {
+        self.collector_restart_at
+    }
+
     /// Sparse-recoding density for the exact coding model (`None` =
     /// dense, the paper's assumption).
     #[must_use]
@@ -339,6 +351,7 @@ pub struct SimConfigBuilder {
     gossip_density: Option<usize>,
     arrivals: Option<ArrivalConfig>,
     generation_until: Option<f64>,
+    collector_restart_at: Option<f64>,
     warmup: f64,
     measure: f64,
     sample_interval: f64,
@@ -366,6 +379,7 @@ impl Default for SimConfigBuilder {
             gossip_density: None,
             arrivals: None,
             generation_until: None,
+            collector_restart_at: None,
             warmup: 10.0,
             measure: 20.0,
             sample_interval: 0.5,
@@ -481,6 +495,16 @@ impl SimConfigBuilder {
     #[must_use]
     pub const fn generation_until(mut self, t: f64) -> Self {
         self.generation_until = Some(t);
+        self
+    }
+
+    /// Crashes and restarts the collector tier at the given absolute
+    /// simulation time. Decoded segments are retained (durable store);
+    /// in-flight collection progress is wiped back to zero, as if the
+    /// crash fell between two decoder checkpoints.
+    #[must_use]
+    pub const fn collector_restart_at(mut self, t: f64) -> Self {
+        self.collector_restart_at = Some(t);
         self
     }
 
@@ -611,6 +635,13 @@ impl SimConfigBuilder {
                 });
             }
         }
+        if let Some(t) = self.collector_restart_at {
+            if !(t.is_finite() && t > 0.0) {
+                return Err(ConfigError::NonPositive {
+                    name: "collector_restart_at",
+                });
+            }
+        }
         if let Some(d) = self.gossip_density {
             if d == 0 {
                 return Err(ConfigError::NonPositive {
@@ -672,6 +703,7 @@ impl SimConfigBuilder {
             gossip_density: self.gossip_density,
             arrivals: self.arrivals,
             generation_until: self.generation_until,
+            collector_restart_at: self.collector_restart_at,
             warmup: self.warmup,
             measure: self.measure,
             sample_interval: self.sample_interval,
@@ -720,6 +752,14 @@ mod tests {
         assert!(SimConfig::builder().message_loss(-0.1).build().is_err());
         assert!(SimConfig::builder().message_loss(1.0).build().is_err());
         assert!(SimConfig::builder().message_loss(f64::NAN).build().is_err());
+        assert!(SimConfig::builder()
+            .collector_restart_at(0.0)
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .collector_restart_at(f64::INFINITY)
+            .build()
+            .is_err());
         assert!(SimConfig::builder()
             .segment_size(8)
             .buffer_cap(4)

@@ -133,6 +133,13 @@ pub struct SimReport {
     pub residual_segments: u64,
     /// Peer departures processed (churn).
     pub departures: u64,
+    /// Collector-tier crash/restart events processed (the
+    /// `collector_restart_at` knob).
+    pub collector_restarts: u64,
+    /// Total collection rank (useful pulls' worth of progress on
+    /// undecoded segments) wiped by collector restarts. Decoded
+    /// segments survive restarts and are not counted here.
+    pub restart_lost_rank: u64,
     /// State samples over the whole run (including warm-up), for
     /// transient analysis against the ODE model.
     pub series: Vec<SamplePoint>,
@@ -159,6 +166,8 @@ pub struct Accumulator {
     pub(crate) delays: Vec<f64>,
     pub(crate) lost_segments: u64,
     pub(crate) departures: u64,
+    pub(crate) collector_restarts: u64,
+    pub(crate) restart_lost_rank: u64,
     pub(crate) events: u64,
     // Sampling sums.
     pub(crate) samples: u64,
@@ -282,6 +291,8 @@ impl Accumulator {
             lost_segments: self.lost_segments,
             residual_segments,
             departures: self.departures,
+            collector_restarts: self.collector_restarts,
+            restart_lost_rank: self.restart_lost_rank,
             series: self.series,
             events: self.events,
             end_time,

@@ -21,6 +21,9 @@ pub enum Event {
     Depart { peer: usize },
     /// The next flash-crowd arrival: one inactive peer joins.
     Arrival,
+    /// The collector tier crashes and restarts from its durable store:
+    /// decoded segments survive, in-flight progress is lost.
+    CollectorRestart,
     /// Periodic metrics sampling.
     Sample,
 }

@@ -88,6 +88,9 @@ impl Simulation {
             self.queue
                 .schedule_in(dt, Event::ServerPull { server: srv });
         }
+        if let Some(t) = self.config.collector_restart_at {
+            self.queue.schedule_at(t, Event::CollectorRestart);
+        }
         self.queue
             .schedule_in(self.config.sample_interval, Event::Sample);
     }
@@ -140,6 +143,7 @@ impl Simulation {
                 Event::DeleteBlock { block } => self.handle_delete(block),
                 Event::Depart { peer } => self.handle_depart(peer),
                 Event::Arrival => self.handle_arrival(),
+                Event::CollectorRestart => self.handle_collector_restart(),
                 Event::Sample => self.handle_sample(end),
             }
         }
@@ -522,6 +526,32 @@ impl Simulation {
         }
     }
 
+    // ---- collector restart ------------------------------------------------
+
+    /// The collector tier crashes and comes back from its durable store.
+    /// Decoded segments were write-ahead-logged, so they survive; every
+    /// undecoded segment's collection state falls back to zero — the
+    /// worst case of a crash landing just before a decoder checkpoint.
+    /// The servers' pull clocks keep ticking (the restarted daemons
+    /// resume pulling immediately), so only progress is lost, not
+    /// capacity.
+    fn handle_collector_restart(&mut self) {
+        let s = self.config.segment_size;
+        let (scheme, coding) = (self.config.scheme, self.config.coding);
+        self.acc.collector_restarts += 1;
+        for seg in self.segments.values_mut() {
+            if seg.decoded_at.is_some() {
+                continue;
+            }
+            self.acc.restart_lost_rank += seg.collect.progress() as u64;
+            seg.collect = match (scheme, coding) {
+                (Scheme::DirectPull, _) => CollectState::Coupon(vec![false; s]),
+                (Scheme::Indirect, CodingModel::Idealized) => CollectState::Counter(0),
+                (Scheme::Indirect, CodingModel::Exact) => CollectState::Subspace(Subspace::new(s)),
+            };
+        }
+    }
+
     // ---- deletion & churn -------------------------------------------------
 
     fn handle_delete(&mut self, block: BlockId) {
@@ -819,6 +849,49 @@ mod tests {
         };
         let (a, b) = (run(), run());
         assert_eq!(a.throughput.dropped_messages, b.throughput.dropped_messages);
+        assert_eq!(a.throughput.delivered_blocks, b.throughput.delivered_blocks);
+    }
+
+    #[test]
+    fn collector_restart_loses_in_flight_progress_only() {
+        let clean = Simulation::new(base_config().build().unwrap())
+            .unwrap()
+            .run();
+        let restarted = Simulation::new(
+            base_config()
+                .collector_restart_at(6.0) // mid-run, inside warm-up+measure
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+        .run();
+        assert_eq!(clean.collector_restarts, 0);
+        assert_eq!(clean.restart_lost_rank, 0);
+        assert_eq!(restarted.collector_restarts, 1);
+        assert!(
+            restarted.restart_lost_rank > 0,
+            "a mid-run restart must wipe some in-flight progress"
+        );
+        // Decoded segments are durable: collection continues and the
+        // restart can only cost throughput, never add it.
+        assert!(restarted.throughput.delivered_blocks > 0);
+        assert!(
+            restarted.throughput.normalized <= clean.throughput.normalized + 0.02,
+            "restarted {} vs clean {}",
+            restarted.throughput.normalized,
+            clean.throughput.normalized
+        );
+    }
+
+    #[test]
+    fn collector_restart_is_deterministic_per_seed() {
+        let run = || {
+            Simulation::new(base_config().collector_restart_at(6.0).build().unwrap())
+                .unwrap()
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.restart_lost_rank, b.restart_lost_rank);
         assert_eq!(a.throughput.delivered_blocks, b.throughput.delivered_blocks);
     }
 

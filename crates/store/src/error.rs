@@ -1,0 +1,108 @@
+//! Store-level errors.
+
+use core::fmt;
+use std::io;
+
+use crate::record::RecordError;
+
+/// Errors surfaced by the durable store.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An operating-system I/O failure.
+    Io(io::Error),
+    /// A log file is corrupt *before* its tail. A torn tail is expected
+    /// after a crash and silently truncated; corruption earlier in a
+    /// synced file means the disk lied and recovery must not guess.
+    Corrupt {
+        /// The offending file.
+        file: std::path::PathBuf,
+        /// Byte offset of the first bad record.
+        offset: u64,
+        /// What the record parser rejected.
+        source: RecordError,
+    },
+    /// The shard manifest failed to parse.
+    BadManifest {
+        /// Line number (1-based) of the first bad line.
+        line: usize,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "store i/o error: {e}"),
+            Self::Corrupt {
+                file,
+                offset,
+                source,
+            } => write!(
+                f,
+                "corrupt wal record in {} at offset {offset}: {source}",
+                file.display()
+            ),
+            Self::BadManifest { line, reason } => {
+                write!(f, "bad shard manifest at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Corrupt { source, .. } => Some(source),
+            Self::BadManifest { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<StoreError> for io::Error {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(e) => e,
+            other => Self::other(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = StoreError::Corrupt {
+            file: "wal-00000001.log".into(),
+            offset: 42,
+            source: RecordError::BadCrc,
+        };
+        assert!(e.to_string().contains("offset 42"));
+        assert!(e.source().is_some());
+
+        let e = StoreError::BadManifest {
+            line: 3,
+            reason: "overlapping shards",
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.source().is_none());
+
+        let io: io::Error = StoreError::BadManifest {
+            line: 1,
+            reason: "x",
+        }
+        .into();
+        assert_eq!(io.kind(), io::ErrorKind::Other);
+    }
+}

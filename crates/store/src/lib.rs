@@ -1,0 +1,40 @@
+//! Crash-safe durable state for gossamer collectors.
+//!
+//! A collector accumulates expensive state — decoded segments, partially
+//! decoded RLNC matrices, the dedup set it announces to peers — and the
+//! paper's indirect-collection model makes losing it costly: every
+//! re-pulled block is load pushed back onto the overlay. This crate
+//! persists that state in an append-only write-ahead log so a crashed or
+//! killed collector resumes exactly where it stopped instead of
+//! re-collecting from scratch.
+//!
+//! * [`record`] — the CRC-framed WAL record codec (panic-free; fuzzed).
+//! * [`wal`] — append/fsync-batch/rotate/compact over log files, with
+//!   torn-tail truncation on replay.
+//! * [`persist`] — [`WalPersistence`], the durable implementation of
+//!   [`gossamer_core::Persistence`], and the idempotent recovery fold
+//!   that rebuilds a [`gossamer_core::CollectorSnapshot`].
+//! * [`manifest`] — the shard map for multi-collector ingest: which
+//!   collector owns which segment-id range, stored as a CRC-trailed
+//!   text file.
+//!
+//! Durability contract: every record is independently CRC-framed; a
+//! crash can only tear the final record of the newest file, which replay
+//! truncates. All record folds are idempotent, so the double-replay left
+//! by a crash during compaction (old and new generations both on disk)
+//! converges to the same state.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod error;
+pub mod manifest;
+pub mod persist;
+pub mod record;
+pub mod wal;
+
+pub use error::StoreError;
+pub use manifest::{ShardAssignment, ShardManifest, MANIFEST_FILE};
+pub use persist::WalPersistence;
+pub use record::{decode_record, encode_record, peek_record_len, RecordError, WalRecord};
+pub use wal::{Wal, WalOptions};

@@ -1,0 +1,380 @@
+//! The shard manifest: which collector owns which segment-id range.
+//!
+//! Sharded ingest splits the origin space across N collectors so each
+//! one stores and decodes a disjoint slice of the stream. The manifest
+//! is the durable record of that split, written next to the collectors'
+//! data directories so a restarted deployment reassigns the same ranges.
+//!
+//! The format is a line-oriented text file with a CRC trailer:
+//!
+//! ```text
+//! gossamer-manifest v1
+//! shard <collector-name> <start-raw-id> <end-raw-id>
+//! shard <collector-name> <start-raw-id> <end-raw-id>
+//! crc <crc32-of-preceding-lines-in-hex>
+//! ```
+//!
+//! Ranges are half-open over raw 64-bit segment ids, must be sorted,
+//! non-empty, and disjoint, and the CRC covers every byte before the
+//! `crc` line. This module is panic-free (enforced by `cargo xtask
+//! lint`): a damaged manifest surfaces as [`StoreError::BadManifest`],
+//! never a crash.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use gossamer_core::ShardRange;
+use gossamer_rlnc::{wire, SegmentId};
+
+use crate::error::StoreError;
+
+/// File name used by convention inside a shared data root.
+pub const MANIFEST_FILE: &str = "manifest.txt";
+
+const HEADER: &str = "gossamer-manifest v1";
+
+/// A named shard assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// Collector name (no whitespace; used in file names and logs).
+    pub collector: String,
+    /// The half-open raw-id range this collector owns.
+    pub range: ShardRange,
+}
+
+/// The full shard map for a sharded deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    shards: Vec<ShardAssignment>,
+}
+
+impl ShardManifest {
+    /// Builds a manifest from explicit assignments, validating that the
+    /// ranges are sorted, disjoint, and collector names are well-formed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadManifest`] on empty input, a whitespace or empty
+    /// collector name, duplicate names, or unsorted/overlapping ranges.
+    pub fn new(shards: Vec<ShardAssignment>) -> Result<Self, StoreError> {
+        if shards.is_empty() {
+            return Err(bad(0, "manifest has no shards"));
+        }
+        let mut prev_end: u64 = 0;
+        let mut first = true;
+        for (i, shard) in shards.iter().enumerate() {
+            let line = i + 2; // 1-based, after the header line
+            if shard.collector.is_empty() || shard.collector.contains(char::is_whitespace) {
+                return Err(bad(line, "collector name empty or contains whitespace"));
+            }
+            if shards
+                .iter()
+                .take(i)
+                .any(|other| other.collector == shard.collector)
+            {
+                return Err(bad(line, "duplicate collector name"));
+            }
+            if !first && shard.range.start() < prev_end {
+                return Err(bad(line, "shard ranges overlap or are unsorted"));
+            }
+            prev_end = shard.range.end();
+            first = false;
+        }
+        Ok(Self { shards })
+    }
+
+    /// Evenly partitions the origin space `[0, n_origins)` across the
+    /// named collectors. Each shard covers a contiguous run of origins
+    /// (an origin is the high 32 bits of a segment id, so a shard owns
+    /// every sequence number of its origins); the last shard's range is
+    /// widened to `u64::MAX` so no late-registered origin is orphaned.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadManifest`] if there are no collectors, more
+    /// collectors than origins, or a name fails validation.
+    pub fn partition(collectors: &[String], n_origins: u32) -> Result<Self, StoreError> {
+        let n = u32::try_from(collectors.len()).unwrap_or(u32::MAX);
+        if n == 0 {
+            return Err(bad(0, "manifest has no shards"));
+        }
+        if n_origins < n {
+            return Err(bad(0, "fewer origins than collectors"));
+        }
+        let per = n_origins / n;
+        let extra = n_origins % n; // first `extra` shards get one more origin
+        let mut shards = Vec::with_capacity(collectors.len());
+        let mut origin: u32 = 0;
+        for (i, name) in collectors.iter().enumerate() {
+            let i32u = u32::try_from(i).unwrap_or(u32::MAX);
+            let width = per + u32::from(i32u < extra);
+            let start = (origin as u64) << 32;
+            origin = origin.saturating_add(width);
+            let is_last = i + 1 == collectors.len();
+            let end = if is_last {
+                u64::MAX
+            } else {
+                (origin as u64) << 32
+            };
+            let range = ShardRange::new(start, end).map_err(|_| bad(i + 2, "empty shard range"))?;
+            shards.push(ShardAssignment {
+                collector: name.clone(),
+                range,
+            });
+        }
+        Self::new(shards)
+    }
+
+    /// The assignments, sorted by range start.
+    #[must_use]
+    pub fn shards(&self) -> &[ShardAssignment] {
+        &self.shards
+    }
+
+    /// The collector that owns `id`, if any shard covers it.
+    #[must_use]
+    pub fn shard_for(&self, id: SegmentId) -> Option<&str> {
+        self.shards
+            .iter()
+            .find(|s| s.range.contains(id))
+            .map(|s| s.collector.as_str())
+    }
+
+    /// The range assigned to `collector`, if present.
+    #[must_use]
+    pub fn range_of(&self, collector: &str) -> Option<ShardRange> {
+        self.shards
+            .iter()
+            .find(|s| s.collector == collector)
+            .map(|s| s.range)
+    }
+
+    /// Renders the manifest to its text form, CRC trailer included.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut body = String::new();
+        let _ = writeln!(body, "{HEADER}");
+        for shard in &self.shards {
+            let _ = writeln!(
+                body,
+                "shard {} {} {}",
+                shard.collector,
+                shard.range.start(),
+                shard.range.end()
+            );
+        }
+        let crc = wire::crc32(body.as_bytes());
+        let _ = writeln!(body, "crc {crc:08x}");
+        body
+    }
+
+    /// Parses a manifest from its text form, verifying the CRC trailer.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadManifest`] naming the first offending line.
+    pub fn parse(text: &str) -> Result<Self, StoreError> {
+        let mut lines = text.lines().enumerate();
+        let Some((_, header)) = lines.next() else {
+            return Err(bad(1, "empty manifest"));
+        };
+        if header != HEADER {
+            return Err(bad(1, "bad header line"));
+        }
+        let mut shards = Vec::new();
+        let mut crc_line: Option<(usize, u32)> = None;
+        for (idx, raw_line) in lines {
+            let line_no = idx + 1;
+            if crc_line.is_some() {
+                return Err(bad(line_no, "content after crc trailer"));
+            }
+            let mut fields = raw_line.split_whitespace();
+            match fields.next() {
+                Some("shard") => {
+                    let (Some(name), Some(start), Some(end), None) =
+                        (fields.next(), fields.next(), fields.next(), fields.next())
+                    else {
+                        return Err(bad(line_no, "shard line needs: name start end"));
+                    };
+                    let start: u64 = start.parse().map_err(|_| bad(line_no, "bad shard start"))?;
+                    let end: u64 = end.parse().map_err(|_| bad(line_no, "bad shard end"))?;
+                    let range = ShardRange::new(start, end)
+                        .map_err(|_| bad(line_no, "empty shard range"))?;
+                    shards.push(ShardAssignment {
+                        collector: name.to_string(),
+                        range,
+                    });
+                }
+                Some("crc") => {
+                    let (Some(hex), None) = (fields.next(), fields.next()) else {
+                        return Err(bad(line_no, "crc line needs one value"));
+                    };
+                    let value =
+                        u32::from_str_radix(hex, 16).map_err(|_| bad(line_no, "bad crc value"))?;
+                    crc_line = Some((line_no, value));
+                }
+                _ => return Err(bad(line_no, "unknown directive")),
+            }
+        }
+        let Some((crc_line_no, stated)) = crc_line else {
+            return Err(bad(text.lines().count(), "missing crc trailer"));
+        };
+        // The CRC covers every byte up to the start of its own line.
+        let body_len = text
+            .lines()
+            .take(crc_line_no.saturating_sub(1))
+            .map(|l| l.len() + 1)
+            .sum::<usize>();
+        let body = text.get(..body_len).unwrap_or(text);
+        let actual = wire::crc32(body.as_bytes());
+        if actual != stated {
+            return Err(bad(crc_line_no, "crc mismatch"));
+        }
+        Self::new(shards)
+    }
+
+    /// Writes the manifest atomically (`.tmp` + rename) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, self.render())?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and parses a manifest from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, or [`StoreError::BadManifest`] on parse/CRC
+    /// failure.
+    pub fn load(path: &Path) -> Result<Self, StoreError> {
+        let text = fs::read_to_string(path)?;
+        Self::parse(&text)
+    }
+}
+
+const fn bad(line: usize, reason: &'static str) -> StoreError {
+    StoreError::BadManifest { line, reason }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("collector-{i}")).collect()
+    }
+
+    #[test]
+    fn partition_covers_the_whole_id_space() {
+        let m = ShardManifest::partition(&names(3), 8).unwrap();
+        assert_eq!(m.shards().len(), 3);
+        assert_eq!(m.shards()[0].range.start(), 0);
+        assert_eq!(m.shards()[2].range.end(), u64::MAX);
+        // 8 origins over 3 collectors: widths 3, 3, 2.
+        assert_eq!(m.shards()[0].range.end(), 3u64 << 32);
+        assert_eq!(m.shards()[1].range.end(), 6u64 << 32);
+        // Every id lands somewhere, and origin boundaries are respected.
+        for origin in 0..8u32 {
+            let id = SegmentId::compose(origin, 12345);
+            assert!(m.shard_for(id).is_some(), "origin {origin} unowned");
+        }
+        assert_eq!(m.shard_for(SegmentId::compose(0, 7)), Some("collector-0"));
+        assert_eq!(m.shard_for(SegmentId::compose(7, 7)), Some("collector-2"));
+        // Late origins beyond n_origins fall into the widened last shard.
+        assert_eq!(m.shard_for(SegmentId::compose(999, 0)), Some("collector-2"));
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let m = ShardManifest::partition(&names(4), 16).unwrap();
+        let text = m.render();
+        let parsed = ShardManifest::parse(&text).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.range_of("collector-1"), Some(m.shards()[1].range));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("gossamer-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let m = ShardManifest::partition(&names(2), 4).unwrap();
+        m.save(&path).unwrap();
+        assert_eq!(ShardManifest::load(&path).unwrap(), m);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let m = ShardManifest::partition(&names(2), 4).unwrap();
+        let good = m.render();
+
+        // Flip one digit inside a shard line: CRC catches it.
+        let tampered = good.replacen("shard collector-0 0", "shard collector-0 1", 1);
+        assert!(matches!(
+            ShardManifest::parse(&tampered),
+            Err(StoreError::BadManifest {
+                reason: "crc mismatch",
+                ..
+            })
+        ));
+
+        // Truncate the trailer: missing crc.
+        let truncated: String =
+            good.lines()
+                .take(good.lines().count() - 1)
+                .fold(String::new(), |mut acc, l| {
+                    acc.push_str(l);
+                    acc.push('\n');
+                    acc
+                });
+        assert!(matches!(
+            ShardManifest::parse(&truncated),
+            Err(StoreError::BadManifest {
+                reason: "missing crc trailer",
+                ..
+            })
+        ));
+
+        assert!(ShardManifest::parse("not a manifest").is_err());
+        assert!(ShardManifest::parse("").is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert!(ShardManifest::new(vec![]).is_err());
+        assert!(ShardManifest::partition(&[], 4).is_err());
+        assert!(ShardManifest::partition(&names(5), 4).is_err());
+        assert!(ShardManifest::partition(&["has space".to_string()], 4).is_err());
+
+        let overlapping = vec![
+            ShardAssignment {
+                collector: "a".into(),
+                range: ShardRange::new(0, 10).unwrap(),
+            },
+            ShardAssignment {
+                collector: "b".into(),
+                range: ShardRange::new(5, 20).unwrap(),
+            },
+        ];
+        assert!(ShardManifest::new(overlapping).is_err());
+
+        let duplicate = vec![
+            ShardAssignment {
+                collector: "a".into(),
+                range: ShardRange::new(0, 10).unwrap(),
+            },
+            ShardAssignment {
+                collector: "a".into(),
+                range: ShardRange::new(10, 20).unwrap(),
+            },
+        ];
+        assert!(ShardManifest::new(duplicate).is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! The WAL-backed [`Persistence`] implementation and the recovery fold.
+//!
+//! [`WalPersistence::open`] is the single entry point: it replays the
+//! directory's log, folds the records into a
+//! [`CollectorSnapshot`] (decoded segments dedup'd by id, the *last*
+//! complete checkpoint, abandoned ids unioned, the records-taken
+//! high-water mark) and returns a handle positioned to append. Every
+//! fold operation is idempotent, so the double-replay left by a crash
+//! mid-compaction converges to the same snapshot.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+
+use gossamer_core::persist::{CollectorSnapshot, Persistence};
+use gossamer_rlnc::{wire, CodedBlock, DecodedSegment, SegmentId};
+
+use crate::error::StoreError;
+use crate::record::WalRecord;
+use crate::wal::{Wal, WalOptions};
+
+/// Folds replayed records into the state a restarted collector needs.
+/// Wire frames inside checkpoints that fail to decode are counted, not
+/// fatal: losing one in-flight row costs one redundant pull later,
+/// while refusing to recover would cost the whole log.
+#[derive(Debug, Default)]
+struct StateFold {
+    decoded: Vec<DecodedSegment>,
+    decoded_ids: BTreeSet<SegmentId>,
+    abandoned: BTreeSet<SegmentId>,
+    records_taken: u64,
+    last_checkpoint: Vec<CodedBlock>,
+    bad_frames: u64,
+}
+
+impl StateFold {
+    fn apply(&mut self, record: WalRecord) {
+        match record {
+            WalRecord::Decoded { id, blocks } => {
+                if self.decoded_ids.insert(id) {
+                    self.decoded.push(DecodedSegment::from_blocks(id, blocks));
+                }
+            }
+            WalRecord::Checkpoint { frames } => {
+                // Last complete checkpoint wins.
+                let mut rows = Vec::with_capacity(frames.len());
+                for frame in &frames {
+                    match wire::decode(frame) {
+                        Ok(block) => rows.push(block),
+                        Err(_) => self.bad_frames += 1,
+                    }
+                }
+                self.last_checkpoint = rows;
+            }
+            WalRecord::Abandoned { ids } => {
+                self.abandoned.extend(ids);
+            }
+            WalRecord::RecordsTaken { total } => {
+                self.records_taken = self.records_taken.max(total);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> CollectorSnapshot {
+        CollectorSnapshot {
+            decoded: self.decoded.clone(),
+            in_flight: self.last_checkpoint.clone(),
+            abandoned: self.abandoned.iter().copied().collect(),
+            records_taken: self.records_taken,
+        }
+    }
+
+    /// The complete live state as WAL records — what compaction writes
+    /// as the next generation.
+    fn snapshot_records(&self) -> Vec<WalRecord> {
+        let mut records = Vec::with_capacity(self.decoded.len() + 3);
+        for segment in &self.decoded {
+            records.push(WalRecord::Decoded {
+                id: segment.id(),
+                blocks: segment.blocks().to_vec(),
+            });
+        }
+        if !self.abandoned.is_empty() {
+            records.push(WalRecord::Abandoned {
+                ids: self.abandoned.iter().copied().collect(),
+            });
+        }
+        if self.records_taken > 0 {
+            records.push(WalRecord::RecordsTaken {
+                total: self.records_taken,
+            });
+        }
+        if !self.last_checkpoint.is_empty() {
+            records.push(WalRecord::Checkpoint {
+                frames: self
+                    .last_checkpoint
+                    .iter()
+                    .map(|b| wire::encode(b).to_vec())
+                    .collect(),
+            });
+        }
+        records
+    }
+}
+
+/// Write-ahead-logged collector persistence.
+///
+/// Mirrors the durable state in memory (the collector holds the decoded
+/// data anyway, so this does not change the memory asymptotics) so that
+/// compaction can rewrite the full snapshot without re-reading disk.
+#[derive(Debug)]
+pub struct WalPersistence {
+    wal: Wal,
+    state: StateFold,
+}
+
+impl WalPersistence {
+    /// Opens (or creates) the store in `dir`, replays the log, and
+    /// returns the persistence handle together with the recovered
+    /// snapshot. A fresh directory yields an empty snapshot.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`StoreError::Corrupt`] for non-tail corruption
+    /// (see [`Wal::open`]).
+    pub fn open(dir: &Path, options: WalOptions) -> Result<(Self, CollectorSnapshot), StoreError> {
+        let (wal, records) = Wal::open(dir, options)?;
+        let mut state = StateFold::default();
+        for record in records {
+            state.apply(record);
+        }
+        let snapshot = state.snapshot();
+        Ok((Self { wal, state }, snapshot))
+    }
+
+    /// Wire frames inside replayed checkpoints that failed to decode
+    /// (each costs one redundant pull after recovery, nothing more).
+    #[must_use]
+    pub const fn bad_frames(&self) -> u64 {
+        self.state.bad_frames
+    }
+
+    /// Bytes in the live log file (grows until compaction).
+    #[must_use]
+    pub const fn log_bytes(&self) -> u64 {
+        self.wal.bytes_in_file()
+    }
+
+    /// Sequence number of the live log file (bumps on compaction).
+    #[must_use]
+    pub const fn log_index(&self) -> u64 {
+        self.wal.file_index()
+    }
+
+    fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        self.wal.append(record).map_err(io::Error::from)
+    }
+}
+
+impl Persistence for WalPersistence {
+    fn segment_decoded(&mut self, segment: &DecodedSegment) -> io::Result<()> {
+        if !self.state.decoded_ids.insert(segment.id()) {
+            return Ok(());
+        }
+        self.state.decoded.push(segment.clone());
+        self.append(&WalRecord::Decoded {
+            id: segment.id(),
+            blocks: segment.blocks().to_vec(),
+        })
+    }
+
+    fn segments_abandoned(&mut self, ids: &[SegmentId]) -> io::Result<()> {
+        let fresh: Vec<SegmentId> = ids
+            .iter()
+            .copied()
+            .filter(|&id| self.state.abandoned.insert(id))
+            .collect();
+        if fresh.is_empty() {
+            return Ok(());
+        }
+        self.append(&WalRecord::Abandoned { ids: fresh })
+    }
+
+    fn records_taken(&mut self, total: u64) -> io::Result<()> {
+        if total <= self.state.records_taken {
+            return Ok(());
+        }
+        self.state.records_taken = total;
+        self.append(&WalRecord::RecordsTaken { total })
+    }
+
+    fn checkpoint(&mut self, in_flight: &[CodedBlock]) -> io::Result<()> {
+        self.state.last_checkpoint = in_flight.to_vec();
+        // Compact instead of appending once the file is heavy: the new
+        // generation carries this checkpoint and drops every superseded
+        // one in a single rewrite.
+        if self.wal.wants_compaction() {
+            let snapshot = self.state.snapshot_records();
+            return self.wal.compact(&snapshot).map_err(io::Error::from);
+        }
+        self.append(&WalRecord::Checkpoint {
+            frames: in_flight.iter().map(|b| wire::encode(b).to_vec()).collect(),
+        })
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.wal.flush().map_err(io::Error::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gossamer-persist-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn segment(i: u64) -> DecodedSegment {
+        DecodedSegment::from_blocks(
+            SegmentId::new(i),
+            vec![vec![i as u8; 4], vec![i as u8 + 1; 4]],
+        )
+    }
+
+    fn block(i: u64) -> CodedBlock {
+        CodedBlock::new(SegmentId::new(i), vec![1, 2], vec![9; 4]).unwrap()
+    }
+
+    #[test]
+    fn full_cycle_recovers_everything() {
+        let dir = tmp_dir("cycle");
+        let options = WalOptions {
+            sync_every: 1,
+            compact_min_bytes: u64::MAX,
+        };
+        let (mut p, snapshot) = WalPersistence::open(&dir, options).unwrap();
+        assert!(snapshot.is_empty());
+
+        p.segment_decoded(&segment(1)).unwrap();
+        p.segment_decoded(&segment(2)).unwrap();
+        p.segment_decoded(&segment(1)).unwrap(); // dup: no-op
+        p.segments_abandoned(&[SegmentId::new(5)]).unwrap();
+        p.checkpoint(&[block(3)]).unwrap();
+        p.checkpoint(&[block(3), block(4)]).unwrap(); // supersedes
+        p.records_taken(2).unwrap();
+        p.records_taken(1).unwrap(); // stale: no-op
+        p.flush().unwrap();
+        drop(p);
+
+        let (p, snapshot) = WalPersistence::open(&dir, options).unwrap();
+        assert_eq!(snapshot.decoded, vec![segment(1), segment(2)]);
+        assert_eq!(snapshot.in_flight, vec![block(3), block(4)]);
+        assert_eq!(snapshot.abandoned, vec![SegmentId::new(5)]);
+        assert_eq!(snapshot.records_taken, 2);
+        assert_eq!(p.bad_frames(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn heavy_log_compacts_on_checkpoint() {
+        let dir = tmp_dir("autocompact");
+        let options = WalOptions {
+            sync_every: 1,
+            compact_min_bytes: 256,
+        };
+        let (mut p, _) = WalPersistence::open(&dir, options).unwrap();
+        for i in 0..32 {
+            p.segment_decoded(&segment(i)).unwrap();
+        }
+        assert!(p.log_bytes() > 256);
+        p.checkpoint(&[block(100)]).unwrap();
+        assert_eq!(p.log_index(), 1, "checkpoint must have compacted");
+        drop(p);
+
+        let (_, snapshot) = WalPersistence::open(&dir, options).unwrap();
+        assert_eq!(snapshot.decoded.len(), 32);
+        assert_eq!(snapshot.in_flight, vec![block(100)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn matches_memory_persistence_ground_truth() {
+        use gossamer_core::MemoryPersistence;
+        let dir = tmp_dir("groundtruth");
+        let options = WalOptions {
+            sync_every: 1,
+            compact_min_bytes: u64::MAX,
+        };
+        let (mut wal_p, _) = WalPersistence::open(&dir, options).unwrap();
+        let mut mem_p = MemoryPersistence::new();
+        let both: &mut [&mut dyn Persistence] = &mut [&mut wal_p, &mut mem_p];
+        for p in both.iter_mut() {
+            p.segment_decoded(&segment(1)).unwrap();
+            p.segments_abandoned(&[SegmentId::new(2)]).unwrap();
+            p.checkpoint(&[block(7)]).unwrap();
+            p.records_taken(4).unwrap();
+            p.flush().unwrap();
+        }
+        drop(wal_p);
+        let (_, replayed) = WalPersistence::open(&dir, options).unwrap();
+        let truth = mem_p.snapshot();
+        assert_eq!(replayed.decoded, truth.decoded);
+        assert_eq!(replayed.in_flight, truth.in_flight);
+        assert_eq!(replayed.abandoned, truth.abandoned);
+        assert_eq!(replayed.records_taken, truth.records_taken);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

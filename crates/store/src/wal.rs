@@ -1,0 +1,425 @@
+//! The append-only log: numbered files, batched fsync, tail truncation
+//! on recovery, and snapshot-based compaction.
+//!
+//! A WAL directory holds `wal-<seq>.log` files. Appends go to the
+//! highest-numbered file; compaction writes a full state snapshot to the
+//! *next* number (via a temp file + rename, so a crash can only ever
+//! tear the tail) and then deletes the older files. Replay walks the
+//! files in order; a torn record at the very tail of the newest file is
+//! the expected crash signature and is truncated away, while corruption
+//! anywhere earlier is reported as [`StoreError::Corrupt`] — a synced
+//! prefix that fails its CRC means the disk lied, and recovery must not
+//! guess past it.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+use crate::record::{decode_record, encode_record, WalRecord};
+
+/// Tuning for a [`Wal`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// Records to buffer between fsyncs; `1` syncs every append (the
+    /// boundary-kill tests use this), larger values batch. The durability
+    /// window after a crash is at most this many records.
+    pub sync_every: u32,
+    /// Compact (rewrite the live state to a fresh file, dropping
+    /// superseded checkpoints) only once the current file exceeds this
+    /// many bytes.
+    pub compact_min_bytes: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        Self {
+            sync_every: 64,
+            compact_min_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// An open write-ahead log, positioned for appending.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    file: File,
+    index: u64,
+    bytes_in_file: u64,
+    unsynced: u32,
+    options: WalOptions,
+}
+
+fn file_name(index: u64) -> String {
+    format!("wal-{index:08}.log")
+}
+
+/// Parses `wal-<seq>.log` back to its sequence number.
+fn parse_index(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("wal-")?;
+    let digits = rest.strip_suffix(".log")?;
+    digits.parse().ok()
+}
+
+/// Lists the log files in `dir`, sorted by sequence number. Ignores
+/// anything else (including `.tmp` files left by an interrupted
+/// compaction).
+fn log_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut files = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(index) = name.to_str().and_then(parse_index) {
+            files.push((index, entry.path()));
+        }
+    }
+    files.sort_unstable_by_key(|(index, _)| *index);
+    Ok(files)
+}
+
+/// Scans one file's records into `out`. Returns the byte offset of the
+/// first undecodable record, if any (the caller decides whether that is
+/// a tolerable torn tail or corruption).
+fn replay_file(
+    path: &Path,
+    out: &mut Vec<WalRecord>,
+) -> Result<Option<(u64, crate::record::RecordError)>, StoreError> {
+    let bytes = fs::read(path)?;
+    let mut offset = 0usize;
+    loop {
+        match decode_record(&bytes[offset..]) {
+            Ok(Some((record, consumed))) => {
+                out.push(record);
+                offset += consumed;
+            }
+            Ok(None) => return Ok(None),
+            Err(e) => return Ok(Some((offset as u64, e))),
+        }
+    }
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log in `dir`, replays every intact
+    /// record, truncates a torn tail, and returns the log positioned for
+    /// appending together with the replayed records in write order.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`StoreError::Corrupt`] when a record fails to
+    /// parse anywhere other than the newest file's tail.
+    pub fn open(dir: &Path, options: WalOptions) -> Result<(Self, Vec<WalRecord>), StoreError> {
+        fs::create_dir_all(dir)?;
+        let files = log_files(dir)?;
+        let mut records = Vec::new();
+        let last = files.len().saturating_sub(1);
+        let mut tail_index = 0u64;
+        let mut tail_len = 0u64;
+        for (i, (index, path)) in files.iter().enumerate() {
+            let bad = replay_file(path, &mut records)?;
+            match bad {
+                None => {}
+                Some((offset, source)) if i == last => {
+                    // Torn tail from a crash mid-write: drop the garbage
+                    // so future appends start at a record boundary.
+                    let _ = source;
+                    let f = OpenOptions::new().write(true).open(path)?;
+                    f.set_len(offset)?;
+                    f.sync_all()?;
+                }
+                Some((offset, source)) => {
+                    return Err(StoreError::Corrupt {
+                        file: path.clone(),
+                        offset,
+                        source,
+                    });
+                }
+            }
+            if i == last {
+                tail_index = *index;
+                tail_len = fs::metadata(path)?.len();
+            }
+        }
+        let tail_path = dir.join(file_name(tail_index));
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&tail_path)?;
+        Ok((
+            Self {
+                dir: dir.to_path_buf(),
+                file,
+                index: tail_index,
+                bytes_in_file: tail_len,
+                unsynced: 0,
+                options,
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record, fsyncing when the batch threshold is reached.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a [`StoreError::Io`] with `InvalidInput` when
+    /// the record exceeds the format's size bound.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+        let bytes = encode_record(record).map_err(|e| {
+            StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                e.to_string(),
+            ))
+        })?;
+        self.file.write_all(&bytes)?;
+        self.bytes_in_file += bytes.len() as u64;
+        self.unsynced += 1;
+        if self.unsynced >= self.options.sync_every {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures from `fsync`.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        if self.unsynced == 0 {
+            return Ok(());
+        }
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Bytes written to the current file so far.
+    #[must_use]
+    pub const fn bytes_in_file(&self) -> u64 {
+        self.bytes_in_file
+    }
+
+    /// Sequence number of the current file.
+    #[must_use]
+    pub const fn file_index(&self) -> u64 {
+        self.index
+    }
+
+    /// Whether the current file has outgrown
+    /// [`WalOptions::compact_min_bytes`].
+    #[must_use]
+    pub const fn wants_compaction(&self) -> bool {
+        self.bytes_in_file >= self.options.compact_min_bytes
+    }
+
+    /// Compacts: writes `snapshot` (the complete live state) to the next
+    /// numbered file and deletes every older file. Crash-safe by
+    /// ordering — the snapshot is written to a temp name, fsynced,
+    /// renamed into place and the directory fsynced *before* any old
+    /// file is unlinked. A crash in between leaves both generations on
+    /// disk; replaying both is harmless because every record type folds
+    /// idempotently.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; on error the old generation is still intact.
+    pub fn compact(&mut self, snapshot: &[WalRecord]) -> Result<(), StoreError> {
+        self.flush()?;
+        let next_index = self.index + 1;
+        let final_path = self.dir.join(file_name(next_index));
+        let tmp_path = self.dir.join(format!("{}.tmp", file_name(next_index)));
+        let mut tmp = File::create(&tmp_path)?;
+        let mut written = 0u64;
+        for record in snapshot {
+            let bytes = encode_record(record).map_err(|e| {
+                StoreError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    e.to_string(),
+                ))
+            })?;
+            tmp.write_all(&bytes)?;
+            written += bytes.len() as u64;
+        }
+        tmp.sync_all()?;
+        drop(tmp);
+        fs::rename(&tmp_path, &final_path)?;
+        // Persist the rename (and the upcoming unlinks) in the directory.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        let old_index = self.index;
+        self.file = OpenOptions::new().append(true).open(&final_path)?;
+        self.index = next_index;
+        self.bytes_in_file = written;
+        self.unsynced = 0;
+        for (index, path) in log_files(&self.dir)? {
+            if index <= old_index {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossamer_rlnc::SegmentId;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gossamer-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rec(i: u64) -> WalRecord {
+        WalRecord::Decoded {
+            id: SegmentId::new(i),
+            blocks: vec![vec![i as u8; 8]],
+        }
+    }
+
+    #[test]
+    fn append_reopen_replays_in_order() {
+        let dir = tmp_dir("replay");
+        let (mut wal, initial) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert!(initial.is_empty());
+        for i in 0..10 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.flush().unwrap();
+        drop(wal);
+
+        let (_, replayed) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(replayed, (0..10).map(rec).collect::<Vec<_>>());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let dir = tmp_dir("torn");
+        let (mut wal, _) = Wal::open(&dir, WalOptions::default()).unwrap();
+        for i in 0..3 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.flush().unwrap();
+        drop(wal);
+
+        // Tear the last record.
+        let path = dir.join(file_name(0));
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let (mut wal, replayed) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(replayed, vec![rec(0), rec(1)]);
+        // The tail was truncated to a record boundary: appending works.
+        wal.append(&rec(9)).unwrap();
+        wal.flush().unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(replayed, vec![rec(0), rec(1), rec(9)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_reported_not_guessed() {
+        let dir = tmp_dir("corrupt");
+        let (mut wal, _) = Wal::open(&dir, WalOptions::default()).unwrap();
+        for i in 0..3 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.flush().unwrap();
+        wal.compact(&[rec(0), rec(1), rec(2)]).unwrap();
+        drop(wal);
+
+        // Corrupt a non-tail file: append to the compacted generation,
+        // then fabricate a newer file so the corrupted one is not the
+        // tail any more.
+        let (mut wal, _) = Wal::open(&dir, WalOptions::default()).unwrap();
+        wal.append(&rec(3)).unwrap();
+        wal.flush().unwrap();
+        drop(wal);
+        let tail = dir.join(file_name(2));
+        fs::write(&tail, encode_record(&rec(4)).unwrap()).unwrap();
+        let older = dir.join(file_name(1));
+        let mut bytes = fs::read(&older).unwrap();
+        bytes[10] ^= 0xFF;
+        fs::write(&older, &bytes).unwrap();
+
+        assert!(matches!(
+            Wal::open(&dir, WalOptions::default()),
+            Err(StoreError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_rotates_and_drops_old_files() {
+        let dir = tmp_dir("compact");
+        let (mut wal, _) = Wal::open(&dir, WalOptions::default()).unwrap();
+        for i in 0..50 {
+            wal.append(&rec(i)).unwrap();
+        }
+        let snapshot = vec![rec(100), rec(101)];
+        wal.compact(&snapshot).unwrap();
+        assert_eq!(wal.file_index(), 1);
+        // Old generation gone, snapshot is the whole story.
+        assert_eq!(log_files(&dir).unwrap().len(), 1);
+        wal.append(&rec(102)).unwrap();
+        wal.flush().unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(replayed, vec![rec(100), rec(101), rec(102)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_compaction_replays_both_generations() {
+        // Simulate a crash after the snapshot rename but before the old
+        // file was unlinked: both files present, replay sees old + new.
+        let dir = tmp_dir("interrupted");
+        let (mut wal, _) = Wal::open(&dir, WalOptions::default()).unwrap();
+        wal.append(&rec(1)).unwrap();
+        wal.flush().unwrap();
+        drop(wal);
+        let next = dir.join(file_name(1));
+        fs::write(&next, encode_record(&rec(1)).unwrap()).unwrap();
+
+        let (_, replayed) = Wal::open(&dir, WalOptions::default()).unwrap();
+        // The duplicate is visible here; the state fold above this layer
+        // dedups by segment id.
+        assert_eq!(replayed, vec![rec(1), rec(1)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_batching_counts_down() {
+        let dir = tmp_dir("batch");
+        let options = WalOptions {
+            sync_every: 4,
+            compact_min_bytes: u64::MAX,
+        };
+        let (mut wal, _) = Wal::open(&dir, options).unwrap();
+        for i in 0..10 {
+            wal.append(&rec(i)).unwrap();
+        }
+        assert!(wal.unsynced < 4);
+        assert!(!wal.wants_compaction());
+        wal.flush().unwrap();
+        assert_eq!(wal.unsynced, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tmp_files_are_ignored_on_open() {
+        let dir = tmp_dir("tmpfiles");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("wal-00000007.log.tmp"), b"garbage").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"ignore me").unwrap();
+        let (wal, replayed) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert!(replayed.is_empty());
+        assert_eq!(wal.file_index(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

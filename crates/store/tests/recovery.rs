@@ -1,0 +1,317 @@
+//! Crash-recovery property suite.
+//!
+//! One uninterrupted, WAL-backed collection run is the ground truth.
+//! Then the collector is "killed" at every WAL record boundary — and at
+//! raw byte offsets that land mid-record — by truncating a copy of the
+//! log at that point, restoring a fresh collector from the prefix, and
+//! replaying the identical block stream. Every cut must yield exactly
+//! the ground truth: the same decoded-segment set, each log record
+//! delivered exactly once across both incarnations, and no inflated
+//! decode counters.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+use gossamer_core::{Addr, Collector, CollectorConfig, Message};
+use gossamer_rlnc::{CodedBlock, SegmentId, SegmentParams, Segmenter, SourceSegment};
+use gossamer_store::record::peek_record_len;
+use gossamer_store::{WalOptions, WalPersistence};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const COLLECTOR: Addr = Addr(100);
+const PEER: Addr = Addr(1);
+
+fn params() -> SegmentParams {
+    SegmentParams::new(3, 8).unwrap()
+}
+
+fn config() -> CollectorConfig {
+    CollectorConfig::builder(params())
+        .checkpoint_interval(0.05)
+        .build()
+        .unwrap()
+}
+
+const fn options() -> WalOptions {
+    WalOptions {
+        sync_every: 1,
+        compact_min_bytes: u64::MAX, // keep one file so cuts are simple prefixes
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gossamer-recovery-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic scenario: unique records segmented into source
+/// segments, and a fixed interleaved coded-block stream with redundancy.
+fn scenario(seed: u64) -> (Vec<SourceSegment>, Vec<CodedBlock>, Vec<Vec<u8>>) {
+    let mut segmenter = Segmenter::new(7, params());
+    let mut records = Vec::new();
+    let mut segments = Vec::new();
+    for i in 0..24u64 {
+        let record = format!("record-{seed}-{i:02}").into_bytes();
+        records.push(record.clone());
+        segments.extend(segmenter.push(&record).unwrap());
+    }
+    segments.extend(segmenter.flush());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut blocks = Vec::new();
+    for _ in 0..params().segment_size() + 2 {
+        for segment in &segments {
+            blocks.push(segment.emit(&mut rng));
+        }
+    }
+    (segments, blocks, records)
+}
+
+/// Feeds the block stream, ticking (so checkpoints fire) and taking
+/// records periodically (so `RecordsTaken` entries land mid-log). Returns
+/// the records delivered to the application during this incarnation.
+fn drive(collector: &mut Collector, blocks: &[CodedBlock]) -> Vec<Vec<u8>> {
+    let mut delivered = Vec::new();
+    let mut now = 0.0;
+    for (i, block) in blocks.iter().enumerate() {
+        now += 0.01;
+        collector.tick(now);
+        collector.handle(PEER, Message::PullResponse(Some(block.clone())), now);
+        if i % 7 == 6 {
+            delivered.extend(collector.take_records());
+        }
+    }
+    delivered.extend(collector.take_records());
+    collector.flush_persistence().unwrap();
+    delivered
+}
+
+fn decoded_set(collector: &Collector, segments: &[SourceSegment]) -> BTreeSet<SegmentId> {
+    segments
+        .iter()
+        .map(SourceSegment::id)
+        .filter(|&id| collector.is_decoded(id))
+        .collect()
+}
+
+struct GroundTruth {
+    segments: Vec<SourceSegment>,
+    blocks: Vec<CodedBlock>,
+    decoded: BTreeSet<SegmentId>,
+    delivered: Vec<Vec<u8>>,
+    wal_bytes: Vec<u8>,
+}
+
+fn ground_truth(seed: u64) -> GroundTruth {
+    let (segments, blocks, records) = scenario(seed);
+    let dir = tmp_dir(&format!("truth-{seed}"));
+    let (persistence, snapshot) = WalPersistence::open(&dir, options()).unwrap();
+    assert!(snapshot.is_empty());
+    let mut collector =
+        Collector::with_persistence(COLLECTOR, config(), seed, Box::new(persistence));
+    let delivered = drive(&mut collector, &blocks);
+
+    let decoded = decoded_set(&collector, &segments);
+    assert_eq!(decoded.len(), segments.len(), "baseline must fully decode");
+    let unique: BTreeSet<&Vec<u8>> = delivered.iter().collect();
+    assert_eq!(unique.len(), delivered.len(), "records are unique");
+    assert_eq!(
+        unique,
+        records.iter().collect(),
+        "baseline must deliver every record once"
+    );
+    assert!(
+        collector.stats().checkpoints_written > 0,
+        "scenario must exercise checkpoints"
+    );
+
+    let wal_bytes = fs::read(dir.join("wal-00000000.log")).unwrap();
+    fs::remove_dir_all(&dir).unwrap();
+    GroundTruth {
+        segments,
+        blocks,
+        decoded,
+        delivered,
+        wal_bytes,
+    }
+}
+
+/// Byte offsets of every record boundary in a well-formed WAL image.
+fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut boundaries = vec![0];
+    let mut offset = 0;
+    while let Some(len) = peek_record_len(&bytes[offset..]).unwrap() {
+        offset += len;
+        boundaries.push(offset);
+    }
+    assert_eq!(offset, bytes.len(), "wal image must parse to the end");
+    boundaries
+}
+
+/// Kills the collector at `cut` bytes into the WAL: truncates a copy of
+/// the log there, restores from it, replays the full block stream, and
+/// checks the merged outcome against the ground truth.
+fn check_cut(truth: &GroundTruth, cut: usize, tag: &str) {
+    let dir = tmp_dir(tag);
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(dir.join("wal-00000000.log"), &truth.wal_bytes[..cut]).unwrap();
+
+    let (persistence, snapshot) =
+        WalPersistence::open(&dir, options()).unwrap_or_else(|e| panic!("cut {cut}: open: {e}"));
+    let taken_before_crash = usize::try_from(snapshot.records_taken).unwrap();
+    let mut collector = Collector::restore(
+        COLLECTOR,
+        config(),
+        0x00C0_FFEE, // a restarted collector never resumes its old rng
+        snapshot,
+        Some(Box::new(persistence)),
+    )
+    .unwrap_or_else(|e| panic!("cut {cut}: restore: {e}"));
+
+    let after = drive(&mut collector, &truth.blocks);
+
+    assert_eq!(
+        decoded_set(&collector, &truth.segments),
+        truth.decoded,
+        "cut {cut}: decoded set diverged"
+    );
+    assert_eq!(
+        collector.segments_decoded(),
+        truth.decoded.len(),
+        "cut {cut}: restored segments must not be double-counted"
+    );
+    // Exactly-once delivery across the two incarnations: what the first
+    // incarnation durably took, plus what the restart delivered, is the
+    // full record set with no duplicates.
+    let mut merged: Vec<&Vec<u8>> = truth.delivered[..taken_before_crash]
+        .iter()
+        .chain(after.iter())
+        .collect();
+    merged.sort();
+    merged.dedup();
+    assert_eq!(
+        merged.len(),
+        taken_before_crash + after.len(),
+        "cut {cut}: a record was delivered twice"
+    );
+    let mut expected: Vec<&Vec<u8>> = truth.delivered.iter().collect();
+    expected.sort();
+    assert_eq!(merged, expected, "cut {cut}: records lost across restart");
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn kill_at_every_record_boundary_recovers_exactly() {
+    let truth = ground_truth(11);
+    let boundaries = record_boundaries(&truth.wal_bytes);
+    assert!(
+        boundaries.len() > 10,
+        "scenario too small: {} wal records",
+        boundaries.len() - 1
+    );
+    for &cut in &boundaries {
+        check_cut(&truth, cut, "boundary");
+    }
+}
+
+#[test]
+fn kill_mid_record_truncates_the_torn_tail_and_recovers() {
+    let truth = ground_truth(12);
+    let boundaries = record_boundaries(&truth.wal_bytes);
+    // Cut inside the frame header, inside the body, and one byte short
+    // of completion — every kind of torn tail.
+    for window in boundaries.windows(2) {
+        let (start, end) = (window[0], window[1]);
+        for cut in [start + 1, start + 5, usize::midpoint(start, end), end - 1] {
+            if cut > start && cut < end {
+                check_cut(&truth, cut, "midrecord");
+            }
+        }
+    }
+}
+
+#[test]
+fn kill_at_arbitrary_byte_offsets_recovers() {
+    let truth = ground_truth(13);
+    // A coarse sweep of raw offsets, catching alignments the structured
+    // cuts above might miss.
+    let mut cut = 0;
+    while cut < truth.wal_bytes.len() {
+        check_cut(&truth, cut, "raw");
+        cut += 37;
+    }
+}
+
+#[test]
+fn double_restart_is_stable() {
+    // Crash, recover, crash again immediately (before any new block),
+    // recover again: state must be identical both times.
+    let truth = ground_truth(14);
+    let boundaries = record_boundaries(&truth.wal_bytes);
+    let cut = boundaries[boundaries.len() / 2];
+
+    let dir = tmp_dir("double");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(dir.join("wal-00000000.log"), &truth.wal_bytes[..cut]).unwrap();
+
+    let (_, first) = WalPersistence::open(&dir, options()).unwrap();
+    let (_, second) = WalPersistence::open(&dir, options()).unwrap();
+    assert_eq!(first.decoded, second.decoded);
+    assert_eq!(first.in_flight, second.in_flight);
+    assert_eq!(first.abandoned, second.abandoned);
+    assert_eq!(first.records_taken, second.records_taken);
+
+    // And the second incarnation still completes collection.
+    check_cut(&truth, cut, "double-replay");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_skips_already_decoded_segments() {
+    // After a full run, a restart that replays the stream must classify
+    // every block of recovered segments as redundant — the dedup index
+    // survived the crash.
+    let truth = ground_truth(15);
+    let dir = tmp_dir("dedup");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(dir.join("wal-00000000.log"), &truth.wal_bytes).unwrap();
+
+    let (persistence, snapshot) = WalPersistence::open(&dir, options()).unwrap();
+    let mut collector = Collector::restore(
+        COLLECTOR,
+        config(),
+        5,
+        snapshot,
+        Some(Box::new(persistence)),
+    )
+    .unwrap();
+    let after = drive(&mut collector, &truth.blocks);
+
+    assert_eq!(collector.stats().innovative_blocks, 0);
+    assert_eq!(
+        collector.stats().redundant_blocks,
+        truth.blocks.len() as u64
+    );
+    // Everything was already delivered before the crash.
+    assert_eq!(after, Vec::<Vec<u8>>::new());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn wal_parses_cleanly_as_a_record_stream() {
+    // The on-disk image is pure framed records — the contract the fuzz
+    // target (`store_record_decode`) and this suite both lean on.
+    let truth = ground_truth(16);
+    let boundaries = record_boundaries(&truth.wal_bytes);
+    for window in boundaries.windows(2) {
+        let framed = &truth.wal_bytes[window[0]..window[1]];
+        let (_, used) = gossamer_store::record::decode_record(framed)
+            .unwrap()
+            .unwrap();
+        assert_eq!(used, framed.len());
+    }
+}

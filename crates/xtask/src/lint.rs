@@ -63,6 +63,8 @@ const PANIC_FREE_FILES: &[&str] = &[
     "crates/rlnc/src/wire.rs",
     "crates/net/src/codec.rs",
     "crates/net/src/daemon.rs",
+    "crates/store/src/record.rs",
+    "crates/store/src/manifest.rs",
 ];
 
 /// Panicking constructs banned in decode paths. Matched at word

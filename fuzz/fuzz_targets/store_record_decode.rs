@@ -1,0 +1,37 @@
+//! Fuzzes the WAL record framing: `decode_record` must never panic on
+//! any byte string (it parses whatever a crashed disk left behind), and
+//! whatever it accepts must re-encode to the same bytes. It must also
+//! agree with `peek_record_len` about record boundaries, since recovery
+//! uses the peek to walk the log.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+use gossamer_store::{decode_record, encode_record, peek_record_len};
+
+fuzz_target!(|data: &[u8]| {
+    // Walk the buffer as recovery would: record by record, stopping at
+    // the first malformation (a torn tail in a real log).
+    let mut rest = data;
+    loop {
+        let peeked = peek_record_len(rest);
+        match decode_record(rest) {
+            Ok(Some((record, len))) => {
+                assert!(len <= rest.len());
+                assert_eq!(peeked, Ok(Some(len)));
+                // Round-trip identity: the accepted frame re-encodes
+                // byte for byte.
+                let reencoded = encode_record(&record).expect("decoded record re-encodes");
+                assert_eq!(&rest[..len], &reencoded[..]);
+                rest = &rest[len..];
+            }
+            Ok(None) => {
+                // Clean end of log: only an empty buffer qualifies.
+                assert!(rest.is_empty());
+                break;
+            }
+            Err(_) => break, // torn or corrupt tail: recovery truncates here
+        }
+    }
+});

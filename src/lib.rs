@@ -9,6 +9,7 @@
 //! * [`gf256`] — arithmetic over the Galois field GF(2⁸),
 //! * [`rlnc`] — segment-based random linear network coding,
 //! * [`core`] — the transport-agnostic collection protocol,
+//! * [`store`] — the collector's crash-safe write-ahead log,
 //! * [`net`] — a TCP deployment of the protocol,
 //! * [`sim`] — the discrete-event simulator used for the paper's evaluation,
 //! * [`ode`] — the paper's differential-equation model and theorems.
@@ -27,3 +28,4 @@ pub use gossamer_net as net;
 pub use gossamer_ode as ode;
 pub use gossamer_rlnc as rlnc;
 pub use gossamer_sim as sim;
+pub use gossamer_store as store;

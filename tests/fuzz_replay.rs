@@ -14,6 +14,7 @@ use std::path::PathBuf;
 use gossamer::core::{Addr, Message};
 use gossamer::net::codec;
 use gossamer::rlnc::{wire, CodedBlock, Decoder, SegmentId, SegmentParams};
+use gossamer::store::{decode_record, encode_record, peek_record_len, WalRecord};
 
 /// Mutants generated per corpus entry.
 const MUTANTS_PER_ENTRY: usize = 256;
@@ -79,6 +80,30 @@ fn decoder_adversarial_harness(data: &[u8]) {
         if let Some(done) = decoder.decoded_segment(segment) {
             assert_eq!(done.blocks().len(), s);
             assert!(done.blocks().iter().all(|blk| blk.len() == block_len));
+        }
+    }
+}
+
+/// `fuzz/fuzz_targets/store_record_decode.rs`.
+fn store_record_decode_harness(data: &[u8]) {
+    // Walk the buffer as recovery would: record by record, stopping at
+    // the first malformation (a torn tail in a real log).
+    let mut rest = data;
+    loop {
+        let peeked = peek_record_len(rest);
+        match decode_record(rest) {
+            Ok(Some((record, len))) => {
+                assert!(len <= rest.len());
+                assert_eq!(peeked, Ok(Some(len)));
+                let reencoded = encode_record(&record).expect("decoded record re-encodes");
+                assert_eq!(&rest[..len], &reencoded[..]);
+                rest = &rest[len..];
+            }
+            Ok(None) => {
+                assert!(rest.is_empty());
+                break;
+            }
+            Err(_) => break,
         }
     }
 }
@@ -174,6 +199,11 @@ fn codec_read_frame_corpus_replays_clean() {
 #[test]
 fn decoder_adversarial_corpus_replays_clean() {
     replay("decoder_adversarial", decoder_adversarial_harness);
+}
+
+#[test]
+fn store_record_decode_corpus_replays_clean() {
+    replay("store_record_decode", store_record_decode_harness);
 }
 
 // ---------------------------------------------------------------------
@@ -300,4 +330,43 @@ fn regenerate_corpus() {
         zeros.extend_from_slice(&[0xFF; 8]);
     }
     write("decoder_adversarial", "zero_rows.bin", &zeros);
+
+    // --- store_record_decode ---
+    let decoded = encode_record(&WalRecord::Decoded {
+        id: SegmentId::compose(3, 9),
+        blocks: vec![vec![0xAB; 64]; 4],
+    })
+    .unwrap();
+    write("store_record_decode", "decoded.bin", &decoded);
+    let checkpoint = encode_record(&WalRecord::Checkpoint {
+        frames: vec![wire::encode(&sample_block()).to_vec(); 3],
+    })
+    .unwrap();
+    write("store_record_decode", "checkpoint.bin", &checkpoint);
+    let abandoned = encode_record(&WalRecord::Abandoned {
+        ids: vec![SegmentId::new(7), SegmentId::compose(1, 2)],
+    })
+    .unwrap();
+    write("store_record_decode", "abandoned.bin", &abandoned);
+    let taken = encode_record(&WalRecord::RecordsTaken { total: 12_345 }).unwrap();
+    write("store_record_decode", "records_taken.bin", &taken);
+    // A realistic log stream: several records back to back, then a torn
+    // tail (recovery's everyday input).
+    let mut stream = decoded.clone();
+    stream.extend_from_slice(&abandoned);
+    stream.extend_from_slice(&taken);
+    stream.extend_from_slice(&checkpoint);
+    stream.extend_from_slice(&decoded[..decoded.len() / 3]);
+    write("store_record_decode", "log_stream.bin", &stream);
+    let mut crc_flip = decoded.clone();
+    let last = crc_flip.len() - 1;
+    crc_flip[last] ^= 0xFF;
+    write("store_record_decode", "crc_flip.bin", &crc_flip);
+    let mut bad_kind = decoded.clone();
+    bad_kind[2] = 0x7F;
+    write("store_record_decode", "bad_kind.bin", &bad_kind);
+    let mut huge = vec![0x77, 0x01, 1];
+    huge.extend_from_slice(&u32::MAX.to_be_bytes());
+    huge.extend_from_slice(&[0u8; 16]);
+    write("store_record_decode", "huge_len.bin", &huge);
 }
