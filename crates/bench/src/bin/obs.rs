@@ -1,0 +1,158 @@
+//! Observability benchmark — overhead of the metrics registry and the
+//! event ring on the paths the daemons actually hit.
+//!
+//! The instrumentation promise of `gossamer-obs` is that a counter
+//! increment is cheap enough for the transport's per-frame path and a
+//! histogram record for the WAL's per-append path. This bench measures
+//! those hot paths (uncontended and contended), plus the cold paths a
+//! scrape pays: snapshotting the full metric catalogue and rendering it
+//! as Prometheus text and JSON.
+//!
+//! Results go to stdout and to `BENCH_obs.json` in the current
+//! directory (hand-rolled JSON; the schema is flat numbers only). Pass
+//! `--quick` to scale the iteration counts down for a smoke pass.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gossamer_obs::{names, EventLog, Observability, Registry, Severity};
+
+struct Workload {
+    /// Uncontended counter increments.
+    counter_ops: u64,
+    /// Threads hammering one shared counter.
+    threads: u64,
+    /// Increments per contending thread.
+    contended_ops_per_thread: u64,
+    /// Histogram records (synthetic latencies, every bucket exercised).
+    histogram_ops: u64,
+    /// Events pushed through the ring (capacity far below this, so the
+    /// steady-state path — overwrite — dominates).
+    event_ops: u64,
+    /// Snapshot + render passes over the full catalogue.
+    render_ops: u64,
+}
+
+impl Workload {
+    const FULL: Self = Self {
+        counter_ops: 50_000_000,
+        threads: 4,
+        contended_ops_per_thread: 5_000_000,
+        histogram_ops: 20_000_000,
+        event_ops: 500_000,
+        render_ops: 20_000,
+    };
+    const QUICK: Self = Self {
+        counter_ops: 500_000,
+        threads: 4,
+        contended_ops_per_thread: 50_000,
+        histogram_ops: 200_000,
+        event_ops: 5_000,
+        render_ops: 200,
+    };
+}
+
+/// Registers the entire workspace catalogue with the kinds the layers
+/// actually use, so the render bench measures a realistic scrape.
+fn register_catalogue(registry: &Registry) {
+    for &name in names::ALL {
+        match name {
+            names::WAL_APPEND_LATENCY_US
+            | names::WAL_FSYNC_LATENCY_US
+            | names::WAL_COMPACTION_LATENCY_US => {
+                registry.histogram(name, "bench").record(17);
+            }
+            n if n.ends_with("_total") => registry.counter(name, "bench").add(12_345),
+            _ => registry.gauge(name, "bench").set(678),
+        }
+    }
+}
+
+fn ns_per_op(elapsed: std::time::Duration, ops: u64) -> f64 {
+    elapsed.as_secs_f64() * 1e9 / ops as f64
+}
+
+fn main() {
+    let workload = if std::env::args().any(|a| a == "--quick") {
+        Workload::QUICK
+    } else {
+        Workload::FULL
+    };
+
+    // ---- hot path: uncontended counter increments ----------------------
+    let registry = Registry::new();
+    let counter = registry.counter(names::TRANSPORT_FRAMES_OUT, "bench");
+    let started = Instant::now();
+    for _ in 0..workload.counter_ops {
+        counter.inc();
+    }
+    let counter_ns = ns_per_op(started.elapsed(), workload.counter_ops);
+    assert_eq!(counter.get(), workload.counter_ops);
+
+    // ---- hot path: one counter shared by several threads ---------------
+    let contended_total = workload.threads * workload.contended_ops_per_thread;
+    let shared = Arc::new(Observability::new());
+    let shared_counter = shared
+        .registry()
+        .counter(names::TRANSPORT_FRAMES_IN, "bench");
+    let started = Instant::now();
+    let handles: Vec<_> = (0..workload.threads)
+        .map(|_| {
+            let counter = shared_counter.clone();
+            let ops = workload.contended_ops_per_thread;
+            std::thread::spawn(move || {
+                for _ in 0..ops {
+                    counter.inc();
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("bench thread");
+    }
+    let contended_ns = ns_per_op(started.elapsed(), contended_total);
+    assert_eq!(shared_counter.get(), contended_total);
+
+    // ---- hot path: histogram records across all buckets ----------------
+    let histogram = registry.histogram(names::WAL_APPEND_LATENCY_US, "bench");
+    let started = Instant::now();
+    for i in 0..workload.histogram_ops {
+        // Values sweep the whole log2 bucket range so no branch wins
+        // unrealistically.
+        histogram.record(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32);
+    }
+    let histogram_ns = ns_per_op(started.elapsed(), workload.histogram_ops);
+    assert_eq!(histogram.snapshot().count(), workload.histogram_ops);
+
+    // ---- hot path: event ring at steady state (overwriting) ------------
+    let events = EventLog::with_capacity(256);
+    let started = Instant::now();
+    for i in 0..workload.event_ops {
+        events.record(Severity::Info, "bench", i, String::from("synthetic event"));
+    }
+    let event_ns = ns_per_op(started.elapsed(), workload.event_ops);
+
+    // ---- cold path: snapshot + render the full catalogue ---------------
+    let scrape = Registry::new();
+    register_catalogue(&scrape);
+    let started = Instant::now();
+    let mut text_bytes = 0usize;
+    for _ in 0..workload.render_ops {
+        text_bytes = scrape.snapshot().prometheus_text().len();
+    }
+    let prometheus_us = started.elapsed().as_secs_f64() * 1e6 / workload.render_ops as f64;
+    let started = Instant::now();
+    let mut json_bytes = 0usize;
+    for _ in 0..workload.render_ops {
+        json_bytes = scrape.snapshot().json().len();
+    }
+    let json_us = started.elapsed().as_secs_f64() * 1e6 / workload.render_ops as f64;
+
+    let json = format!(
+        "{{\n  \"counter_inc_ns\": {counter_ns:.2},\n  \"counter_contended_threads\": {},\n  \"counter_contended_inc_ns\": {contended_ns:.2},\n  \"histogram_record_ns\": {histogram_ns:.2},\n  \"event_record_ns\": {event_ns:.2},\n  \"catalogue_metrics\": {},\n  \"prometheus_render_us\": {prometheus_us:.2},\n  \"prometheus_text_bytes\": {text_bytes},\n  \"json_render_us\": {json_us:.2},\n  \"json_bytes\": {json_bytes}\n}}",
+        workload.threads,
+        names::ALL.len(),
+    );
+    println!("{json}");
+    std::fs::write("BENCH_obs.json", format!("{json}\n")).expect("write BENCH_obs.json");
+}

@@ -1,6 +1,7 @@
 //! The logging-server (collector) state machine.
 
-use gossamer_rlnc::{Decoder, Reassembler, SegmentId, SegmentParams};
+use gossamer_obs::{names, Counter, Gauge, Registry};
+use gossamer_rlnc::{Decoder, DecoderMetrics, Reassembler, SegmentId, SegmentParams};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -216,6 +217,56 @@ pub struct CollectorStats {
     pub checkpoints_written: u64,
 }
 
+/// The collector's handles into an observability registry, created by
+/// [`Collector::attach_observability`]. Each update is one relaxed
+/// atomic; the handles mirror [`CollectorStats`] fields so the registry
+/// and the stats can never disagree on what they count.
+#[derive(Debug)]
+struct CollectorMetrics {
+    pulls_issued: Counter,
+    pulls_answered: Counter,
+    blocks_received: Counter,
+    records_recovered: Counter,
+    efficiency_permille: Gauge,
+    checkpoints: Counter,
+    persist_errors: Counter,
+}
+
+impl CollectorMetrics {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            pulls_issued: registry.counter(
+                names::COLLECTOR_PULLS_ISSUED,
+                "pull requests issued to peers",
+            ),
+            pulls_answered: registry.counter(
+                names::COLLECTOR_PULLS_ANSWERED,
+                "pull responses received from peers",
+            ),
+            blocks_received: registry.counter(
+                names::COLLECTOR_BLOCKS_RECEIVED,
+                "coded blocks delivered inside pull responses",
+            ),
+            records_recovered: registry.counter(
+                names::COLLECTOR_RECORDS_RECOVERED,
+                "source records recovered from decoded segments",
+            ),
+            efficiency_permille: registry.gauge(
+                names::COLLECTOR_EFFICIENCY_PERMILLE,
+                "innovative blocks per thousand received",
+            ),
+            checkpoints: registry.counter(
+                names::COLLECTOR_CHECKPOINTS,
+                "decoder checkpoints written to the durability layer",
+            ),
+            persist_errors: registry.counter(
+                names::COLLECTOR_PERSIST_ERRORS,
+                "persistence operations that returned an error",
+            ),
+        }
+    }
+}
+
 /// A logging server: pulls coded blocks from random peers at its
 /// provisioned capacity, decodes segments progressively, and reassembles
 /// log records.
@@ -241,6 +292,7 @@ pub struct Collector {
     innovative_since_checkpoint: u64,
     /// Cumulative records handed to the application (across restarts).
     records_taken_total: u64,
+    metrics: Option<CollectorMetrics>,
 }
 
 impl Collector {
@@ -265,7 +317,33 @@ impl Collector {
             persistence: None,
             innovative_since_checkpoint: 0,
             records_taken_total: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches this collector (and its decoder) to an observability
+    /// registry: from here on every pull, reception, checkpoint and
+    /// persistence failure is published as it happens, under the metric
+    /// names catalogued in `docs/OBSERVABILITY.md`. Counters already
+    /// accumulated — a restored collector carries its recovered life —
+    /// are folded in at attach time so the registry never starts from
+    /// zero on a non-zero collector.
+    pub fn attach_observability(&mut self, registry: &Registry) {
+        self.decoder
+            .attach_metrics(DecoderMetrics::register(registry));
+        let metrics = CollectorMetrics::register(registry);
+        metrics.pulls_issued.add(self.stats.pulls_sent);
+        metrics
+            .pulls_answered
+            .add(self.stats.blocks_received + self.stats.empty_responses);
+        metrics.blocks_received.add(self.stats.blocks_received);
+        metrics.records_recovered.add(self.stats.records_recovered);
+        metrics.checkpoints.add(self.stats.checkpoints_written);
+        metrics.persist_errors.add(self.stats.persist_errors);
+        metrics
+            .efficiency_permille
+            .set((self.efficiency() * 1000.0) as u64);
+        self.metrics = Some(metrics);
     }
 
     /// Creates a collector that reports its state transitions to a
@@ -391,6 +469,9 @@ impl Collector {
                 }
             };
             self.stats.pulls_sent += 1;
+            if let Some(metrics) = &self.metrics {
+                metrics.pulls_issued.inc();
+            }
             out.push(Outbound {
                 to,
                 message: Message::PullRequest,
@@ -445,6 +526,9 @@ impl Collector {
         self.innovative_since_checkpoint = 0;
         let in_flight = self.decoder.export_in_progress();
         self.stats.checkpoints_written += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.checkpoints.inc();
+        }
         self.persist(|p| p.checkpoint(&in_flight));
     }
 
@@ -455,6 +539,9 @@ impl Collector {
         if let Some(p) = self.persistence.as_mut() {
             if op(p.as_mut()).is_err() {
                 self.stats.persist_errors += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.persist_errors.inc();
+                }
             }
         }
     }
@@ -465,6 +552,10 @@ impl Collector {
         match message {
             Message::PullResponse(Some(block)) => {
                 self.stats.blocks_received += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.pulls_answered.inc();
+                    metrics.blocks_received.inc();
+                }
                 if let Some(shard) = self.config.shard {
                     if !shard.contains(block.segment()) {
                         self.stats.out_of_shard_blocks += 1;
@@ -478,6 +569,9 @@ impl Collector {
                         self.unannounced.push(segment.id());
                         let records = self.reassembler.feed(&segment);
                         self.stats.records_recovered += records as u64;
+                        if let Some(metrics) = &self.metrics {
+                            metrics.records_recovered.add(records as u64);
+                        }
                         self.persist(|p| p.segment_decoded(&segment));
                     }
                     Ok(None) => {}
@@ -491,10 +585,18 @@ impl Collector {
                 self.stats.redundant_blocks = self.decoder.stats().redundant as u64;
                 self.innovative_since_checkpoint +=
                     (self.decoder.stats().innovative - innovative_before) as u64;
+                if let Some(metrics) = &self.metrics {
+                    metrics
+                        .efficiency_permille
+                        .set((self.decoder.stats().efficiency() * 1000.0) as u64);
+                }
                 Vec::new()
             }
             Message::PullResponse(None) => {
                 self.stats.empty_responses += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.pulls_answered.inc();
+                }
                 Vec::new()
             }
             Message::DecodedAnnounce { segments } => {
@@ -580,6 +682,9 @@ impl Collector {
         let result = p.flush();
         if result.is_err() {
             self.stats.persist_errors += 1;
+            if let Some(metrics) = &self.metrics {
+                metrics.persist_errors.inc();
+            }
         }
         result
     }
@@ -718,6 +823,64 @@ mod tests {
         let mut c = collector();
         c.handle(Addr(1), Message::PullResponse(None), 0.0);
         assert_eq!(c.stats().empty_responses, 1);
+    }
+
+    #[test]
+    fn attached_registry_mirrors_collection_progress() {
+        use gossamer_obs::names;
+        let registry = Registry::new();
+        let node_cfg = NodeConfig::builder(params())
+            .gossip_rate(1.0)
+            .expiry_rate(0.0)
+            .build()
+            .unwrap();
+        let mut peer = PeerNode::new(Addr(1), node_cfg, 4);
+        peer.record(&[9u8; 27], 0.0).unwrap();
+
+        let mut c = collector();
+        c.attach_observability(&registry);
+        c.set_peers(vec![Addr(1)]);
+        let mut now = 0.0;
+        while c.segments_decoded() == 0 && now < 10.0 {
+            now += 0.05;
+            for pull in c.tick(now) {
+                for resp in peer.handle(c.addr(), pull.message, now) {
+                    c.handle(Addr(1), resp.message, now);
+                }
+            }
+        }
+        assert_eq!(c.segments_decoded(), 1);
+
+        let snap = registry.snapshot();
+        let progress = c.progress();
+        assert_eq!(
+            snap.scalar(names::COLLECTOR_PULLS_ISSUED),
+            Some(progress.pulls_issued)
+        );
+        assert_eq!(
+            snap.scalar(names::COLLECTOR_PULLS_ANSWERED),
+            Some(progress.pulls_answered)
+        );
+        assert_eq!(
+            snap.scalar(names::COLLECTOR_BLOCKS_RECEIVED),
+            Some(progress.blocks_received)
+        );
+        assert_eq!(
+            snap.scalar(names::COLLECTOR_RECORDS_RECOVERED),
+            Some(progress.records_recovered)
+        );
+        assert_eq!(
+            snap.scalar(names::COLLECTOR_EFFICIENCY_PERMILLE),
+            Some(progress.efficiency_permille)
+        );
+        assert_eq!(
+            snap.scalar(names::DECODER_SEGMENTS_DECODED),
+            Some(progress.segments_decoded)
+        );
+        assert_eq!(
+            snap.scalar(names::DECODER_IN_PROGRESS_RANK),
+            Some(progress.in_progress_rank)
+        );
     }
 
     #[test]

@@ -11,19 +11,26 @@
 //! `Ctrl-C` (or SIGTERM, or `--run-for <secs>` elapsing) exits cleanly:
 //! the store is flushed and a final decode/transport summary is printed.
 //!
+//! With `--metrics-addr` the collector serves its observability
+//! snapshot over HTTP: `/metrics` (Prometheus text), `/metrics.json`
+//! and `/events` cover decode progress, transport health and WAL
+//! latency from one shared registry.
+//!
 //! ```text
 //! gossamer-collector --id 100 --book swarm.txt [--pull-rate 60]
 //!                    [--segment-size 4] [--block-len 64] [--seed 7]
 //!                    [--data-dir state/] [--checkpoint-interval 5]
-//!                    [--run-for 30]
+//!                    [--run-for 30] [--metrics-addr 127.0.0.1:9400]
 //! ```
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gossamer_core::{Addr, Collector, CollectorConfig};
 use gossamer_net::{util, CollectorHandle};
+use gossamer_obs::{names, Observability, Severity};
 use gossamer_rlnc::SegmentParams;
 use gossamer_store::{WalOptions, WalPersistence};
 
@@ -87,26 +94,35 @@ fn main() -> ExitCode {
         }
     };
 
+    // One observability hub for every layer of this process: the WAL,
+    // the decoder (attached at spawn), the transport, and the optional
+    // `--metrics-addr` endpoint all share it.
+    let obs = Arc::new(Observability::new());
+    let restarts = obs.registry().counter(
+        names::COLLECTOR_RESTARTS,
+        "process starts that resumed state from a write-ahead log",
+    );
+
     // Durable mode: replay the write-ahead log (if any) and resume from
     // the recovered snapshot.
     let node = if let Some(dir) = &parsed.data_dir {
-        let (persistence, snapshot) = match WalPersistence::open(dir, WalOptions::default()) {
+        let (mut persistence, snapshot) = match WalPersistence::open(dir, WalOptions::default()) {
             Ok(opened) => opened,
             Err(e) => {
                 eprintln!("error: cannot open data dir {}: {e}", dir.display());
                 return ExitCode::FAILURE;
             }
         };
-        if !snapshot.is_empty() {
-            println!(
-                "recovered {} decoded segments, {} in-flight blocks, {} records already delivered from {}",
-                snapshot.decoded.len(),
-                snapshot.in_flight.len(),
-                snapshot.records_taken,
-                dir.display()
-            );
-        }
-        match Collector::restore(
+        persistence.attach_observability(obs.registry());
+        // Captured before `restore` consumes the snapshot, but printed
+        // only after it succeeds: a snapshot the configuration rejects
+        // recovered nothing, and the banner must not claim otherwise.
+        let recovered = (!snapshot.is_empty()).then_some((
+            snapshot.decoded.len(),
+            snapshot.in_flight.len(),
+            snapshot.records_taken,
+        ));
+        let node = match Collector::restore(
             Addr(parsed.id),
             config,
             parsed.seed,
@@ -118,15 +134,29 @@ fn main() -> ExitCode {
                 eprintln!("error: store does not match this configuration: {e}");
                 return ExitCode::FAILURE;
             }
+        };
+        if let Some((decoded, in_flight, records_taken)) = recovered {
+            println!(
+                "recovered {} decoded segments, {} in-flight blocks, {} records already delivered from {}",
+                decoded,
+                in_flight,
+                records_taken,
+                dir.display()
+            );
+            restarts.inc();
+            obs.events().record(
+                Severity::Info,
+                "collector.recovery",
+                0,
+                format!("resumed {decoded} decoded segments from {}", dir.display()),
+            );
         }
+        node
     } else {
         Collector::new(Addr(parsed.id), config, parsed.seed)
     };
 
-    let collector = match match parsed.listen {
-        Some(listen) => CollectorHandle::spawn_node_on(node, listen),
-        None => CollectorHandle::spawn_node(node),
-    } {
+    let collector = match CollectorHandle::spawn_node_with(node, parsed.listen, Arc::clone(&obs)) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: failed to start daemon: {e}");
@@ -138,6 +168,20 @@ fn main() -> ExitCode {
         parsed.id,
         collector.socket()
     );
+    // Kept alive for the whole run; dropping it stops the endpoint.
+    let _metrics_server = match parsed.metrics_addr {
+        Some(addr) => match collector.serve_metrics(addr) {
+            Ok(server) => {
+                println!("metrics endpoint on http://{}/metrics", server.addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind metrics endpoint: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     let mut peers = Vec::new();
     for entry in &parsed.book {

@@ -7,8 +7,11 @@
 //! ```text
 //! gossamer-peer --id 3 --book swarm.txt [--segment-size 4] [--block-len 64]
 //!               [--gossip-rate 8] [--expiry-rate 0.05] [--buffer-cap 512]
-//!               [--seed 42]
+//!               [--seed 42] [--metrics-addr 127.0.0.1:9401]
 //! ```
+//!
+//! With `--metrics-addr` the peer serves its transport metrics and
+//! event ring over HTTP (`/metrics`, `/metrics.json`, `/events`).
 //!
 //! The address book is one `id host:port` pair per line; `id` values
 //! other than this peer's are registered as neighbours (peers) or
@@ -73,6 +76,20 @@ fn main() -> ExitCode {
         parsed.id,
         peer.socket()
     );
+    // Kept alive for the whole run; dropping it stops the endpoint.
+    let _metrics_server = match parsed.metrics_addr {
+        Some(addr) => match peer.serve_metrics(addr) {
+            Ok(server) => {
+                println!("metrics endpoint on http://{}/metrics", server.addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind metrics endpoint: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     let mut neighbours = Vec::new();
     for entry in &parsed.book {

@@ -1,0 +1,413 @@
+//! Live terminal view of a gossamer metrics endpoint.
+//!
+//! Polls a daemon's `--metrics-addr` endpoint and renders the registry
+//! as a table: one row per metric, with per-second rates for counters
+//! and latency quantiles for histograms. The operator's analogue of
+//! `top` for a running collection.
+//!
+//! ```text
+//! gossamer-top --target 127.0.0.1:9400 [--interval-ms 1000]
+//!              [--iterations N] [--no-clear]
+//! ```
+//!
+//! `--iterations` bounds the number of polls (default: run until
+//! interrupted); `--no-clear` appends frames instead of redrawing in
+//! place, which suits logs and scripted runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str =
+    "usage: gossamer-top --target host:port [--interval-ms 1000] [--iterations N] [--no-clear]";
+
+/// Socket timeout per scrape; one slow poll must not wedge the display.
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(2);
+
+#[derive(Debug)]
+struct TopOptions {
+    target: SocketAddr,
+    interval: Duration,
+    iterations: Option<u64>,
+    clear: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<TopOptions, String> {
+    let mut target = None;
+    let mut interval_ms = 1000u64;
+    let mut iterations = None;
+    let mut clear = true;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--target" => {
+                let raw = value("--target")?;
+                target = Some(
+                    raw.parse()
+                        .map_err(|_| format!("cannot parse --target value {raw:?}"))?,
+                );
+            }
+            "--interval-ms" => {
+                let raw = value("--interval-ms")?;
+                interval_ms = raw
+                    .parse()
+                    .map_err(|_| format!("cannot parse --interval-ms value {raw:?}"))?;
+            }
+            "--iterations" => {
+                let raw = value("--iterations")?;
+                iterations = Some(
+                    raw.parse()
+                        .map_err(|_| format!("cannot parse --iterations value {raw:?}"))?,
+                );
+            }
+            "--no-clear" => clear = false,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(TopOptions {
+        target: target.ok_or("--target is required")?,
+        interval: Duration::from_millis(interval_ms.max(1)),
+        iterations,
+        clear,
+    })
+}
+
+/// One parsed metric from the Prometheus text exposition.
+#[derive(Debug, Clone, PartialEq)]
+enum Sample {
+    /// A counter or gauge (the TYPE line tells which).
+    Scalar { kind: String, value: u64 },
+    /// A histogram folded back from its `_bucket`/`_sum`/`_count`
+    /// series. Buckets carry *cumulative* counts, `u64::MAX` standing
+    /// in for the `+Inf` bound.
+    Histogram {
+        count: u64,
+        sum: u64,
+        buckets: Vec<(u64, u64)>,
+    },
+}
+
+/// Parses the subset of the Prometheus text format (0.0.4) that
+/// `gossamer-obs` emits: `# TYPE` lines, bare `name value` samples, and
+/// `_bucket{le="..."}` / `_sum` / `_count` histogram series.
+fn parse_prometheus(text: &str) -> BTreeMap<String, Sample> {
+    let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+    let mut out: BTreeMap<String, Sample> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            if let (Some(name), Some(kind)) = (parts.next(), parts.next()) {
+                kinds.insert(name.to_owned(), kind.to_owned());
+                if kind == "histogram" {
+                    out.insert(
+                        name.to_owned(),
+                        Sample::Histogram {
+                            count: 0,
+                            sum: 0,
+                            buckets: Vec::new(),
+                        },
+                    );
+                }
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((series, raw_value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = raw_value.parse::<u64>() else {
+            continue;
+        };
+        let (name, le) = match series.split_once('{') {
+            Some((prefix, labels)) => {
+                let Some(base) = prefix.strip_suffix("_bucket") else {
+                    continue;
+                };
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|rest| rest.strip_suffix("\"}"))
+                    .map(|bound| {
+                        if bound == "+Inf" {
+                            u64::MAX
+                        } else {
+                            bound.parse().unwrap_or(u64::MAX)
+                        }
+                    });
+                (base.to_owned(), le)
+            }
+            None => (series.to_owned(), None),
+        };
+        if let Some(base) = name.strip_suffix("_sum") {
+            if let Some(Sample::Histogram { sum, .. }) = out.get_mut(base) {
+                *sum = value;
+                continue;
+            }
+        }
+        if let Some(base) = name.strip_suffix("_count") {
+            if let Some(Sample::Histogram { count, .. }) = out.get_mut(base) {
+                *count = value;
+                continue;
+            }
+        }
+        if let Some(bound) = le {
+            if let Some(Sample::Histogram { buckets, .. }) = out.get_mut(&name) {
+                buckets.push((bound, value));
+            }
+            continue;
+        }
+        let kind = kinds.get(&name).cloned().unwrap_or_else(|| "gauge".into());
+        out.insert(name, Sample::Scalar { kind, value });
+    }
+    out
+}
+
+/// Smallest bucket bound covering quantile `q` of a cumulative series.
+fn quantile_bound(buckets: &[(u64, u64)], count: u64, q: f64) -> Option<u64> {
+    if count == 0 {
+        return None;
+    }
+    let threshold = (q * count as f64).ceil().max(1.0) as u64;
+    buckets
+        .iter()
+        .find(|&&(_, cumulative)| cumulative >= threshold)
+        .map(|&(bound, _)| bound)
+}
+
+fn format_bound(bound: u64) -> String {
+    if bound == u64::MAX {
+        "inf".to_owned()
+    } else {
+        bound.to_string()
+    }
+}
+
+/// Renders one frame: a header plus a table of every metric, with
+/// per-second deltas computed against the previous poll.
+fn render(
+    target: SocketAddr,
+    current: &BTreeMap<String, Sample>,
+    previous: Option<&BTreeMap<String, Sample>>,
+    elapsed: Duration,
+) -> String {
+    let mut out = String::new();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    // Writing to a `String` is infallible, so the `write!` results are
+    // discarded.
+    let _ = writeln!(out, "gossamer-top — {target} — {} metrics", current.len());
+    let _ = writeln!(
+        out,
+        "{:<44} {:>14} {:>12}  detail",
+        "metric", "value", "rate/s"
+    );
+    for (name, sample) in current {
+        match sample {
+            Sample::Scalar { kind, value } => {
+                let rate = match previous.and_then(|p| p.get(name)) {
+                    Some(Sample::Scalar { value: prev, .. }) if kind == "counter" => {
+                        let delta = value.saturating_sub(*prev);
+                        format!("{:.1}", delta as f64 / secs)
+                    }
+                    _ => "-".to_owned(),
+                };
+                let _ = writeln!(out, "{name:<44} {value:>14} {rate:>12}  {kind}");
+            }
+            Sample::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                let rate = match previous.and_then(|p| p.get(name)) {
+                    Some(Sample::Histogram { count: prev, .. }) => {
+                        let delta = count.saturating_sub(*prev);
+                        format!("{:.1}", delta as f64 / secs)
+                    }
+                    _ => "-".to_owned(),
+                };
+                let detail = match (
+                    quantile_bound(buckets, *count, 0.5),
+                    quantile_bound(buckets, *count, 0.99),
+                ) {
+                    (Some(p50), Some(p99)) => format!(
+                        "histogram sum={sum} p50<={} p99<={}",
+                        format_bound(p50),
+                        format_bound(p99)
+                    ),
+                    _ => format!("histogram sum={sum}"),
+                };
+                let _ = writeln!(out, "{name:<44} {count:>14} {rate:>12}  {detail}");
+            }
+        }
+    }
+    out
+}
+
+/// One HTTP GET of `/metrics`, returning the response body.
+fn scrape(target: SocketAddr) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&target, SCRAPE_TIMEOUT)?;
+    stream.set_read_timeout(Some(SCRAPE_TIMEOUT))?;
+    stream.set_write_timeout(Some(SCRAPE_TIMEOUT))?;
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: gossamer\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let body = response.split_once("\r\n\r\n").map_or("", |(_, body)| body);
+    Ok(body.to_owned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut previous: Option<BTreeMap<String, Sample>> = None;
+    let mut last_poll = Instant::now();
+    let mut polls = 0u64;
+    loop {
+        let body = match scrape(options.target) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: cannot scrape {}: {e}", options.target);
+                return ExitCode::FAILURE;
+            }
+        };
+        let current = parse_prometheus(&body);
+        let elapsed = last_poll.elapsed();
+        last_poll = Instant::now();
+        if options.clear {
+            // ANSI clear-and-home keeps the frame in place like top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        print!(
+            "{}",
+            render(options.target, &current, previous.as_ref(), elapsed)
+        );
+        std::io::stdout().flush().ok();
+        previous = Some(current);
+
+        polls += 1;
+        if options.iterations.is_some_and(|n| polls >= n) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(options.interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# HELP gossamer_decoder_blocks_innovative_total coded blocks that advanced a rank
+# TYPE gossamer_decoder_blocks_innovative_total counter
+gossamer_decoder_blocks_innovative_total 40
+# HELP gossamer_decoder_in_progress_rank summed rank
+# TYPE gossamer_decoder_in_progress_rank gauge
+gossamer_decoder_in_progress_rank 7
+# HELP gossamer_wal_fsync_latency_us microseconds per fsync batch
+# TYPE gossamer_wal_fsync_latency_us histogram
+gossamer_wal_fsync_latency_us_bucket{le=\"127\"} 2
+gossamer_wal_fsync_latency_us_bucket{le=\"255\"} 9
+gossamer_wal_fsync_latency_us_bucket{le=\"+Inf\"} 10
+gossamer_wal_fsync_latency_us_sum 2048
+gossamer_wal_fsync_latency_us_count 10
+";
+
+    #[test]
+    fn parses_scalars_and_histograms() {
+        let parsed = parse_prometheus(SAMPLE);
+        assert_eq!(
+            parsed.get("gossamer_decoder_blocks_innovative_total"),
+            Some(&Sample::Scalar {
+                kind: "counter".into(),
+                value: 40
+            })
+        );
+        assert_eq!(
+            parsed.get("gossamer_decoder_in_progress_rank"),
+            Some(&Sample::Scalar {
+                kind: "gauge".into(),
+                value: 7
+            })
+        );
+        assert_eq!(
+            parsed.get("gossamer_wal_fsync_latency_us"),
+            Some(&Sample::Histogram {
+                count: 10,
+                sum: 2048,
+                buckets: vec![(127, 2), (255, 9), (u64::MAX, 10)],
+            })
+        );
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let buckets = vec![(127, 2), (255, 9), (u64::MAX, 10)];
+        assert_eq!(quantile_bound(&buckets, 10, 0.5), Some(255));
+        assert_eq!(quantile_bound(&buckets, 10, 0.1), Some(127));
+        assert_eq!(quantile_bound(&buckets, 10, 0.999), Some(u64::MAX));
+        assert_eq!(quantile_bound(&buckets, 0, 0.5), None);
+    }
+
+    #[test]
+    fn render_reports_rates_against_previous_poll() {
+        let prev = parse_prometheus(SAMPLE);
+        let bumped = SAMPLE.replace(
+            "gossamer_decoder_blocks_innovative_total 40",
+            "gossamer_decoder_blocks_innovative_total 90",
+        );
+        let current = parse_prometheus(&bumped);
+        let frame = render(
+            "127.0.0.1:9400".parse().unwrap(),
+            &current,
+            Some(&prev),
+            Duration::from_secs(2),
+        );
+        assert!(frame.contains("gossamer_decoder_blocks_innovative_total"));
+        assert!(frame.contains("25.0"), "50 new blocks over 2 s:\n{frame}");
+        assert!(frame.contains("p50<=255"), "{frame}");
+        assert!(frame.contains("p99<=inf"), "{frame}");
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        let strs = |a: &[&str]| a.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert!(parse_args(&strs(&["--target"])).is_err());
+        assert!(parse_args(&strs(&["--bogus"])).is_err());
+        assert!(parse_args(&strs(&[])).is_err());
+        let opts = parse_args(&strs(&[
+            "--target",
+            "127.0.0.1:9400",
+            "--interval-ms",
+            "250",
+            "--iterations",
+            "3",
+            "--no-clear",
+        ]))
+        .unwrap();
+        assert_eq!(opts.interval, Duration::from_millis(250));
+        assert_eq!(opts.iterations, Some(3));
+        assert!(!opts.clear);
+    }
+}

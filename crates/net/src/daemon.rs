@@ -36,11 +36,13 @@ use gossamer_core::{
     Outbound, PeerNode, PeerStats, ProtocolError, TransportHealth,
 };
 
+use gossamer_obs::{names, Counter, Gauge, MetricsServer, Observability, Registry, Severity};
+
 use crate::codec::{read_frame_retrying, write_frame, CodecError};
 use crate::fault::{FaultAction, FaultInjector, FaultPlan};
 use crate::health::{HealthConfig, HealthRegistry};
 use crate::pool::ConnPool;
-use crate::sync::{Arc, AtomicBool, AtomicU64, Mutex, Ordering};
+use crate::sync::{Arc, AtomicBool, Mutex, Ordering};
 
 /// Poll interval of the timer thread driving node ticks.
 const TICK_INTERVAL: Duration = Duration::from_millis(2);
@@ -140,10 +142,75 @@ struct DelayedSend {
     message: Message,
 }
 
+/// The transport's handles into the daemon's observability registry.
+/// Every handle is a relaxed atomic; updating them costs what the old
+/// raw `AtomicU64` fields cost, but the values are now visible to the
+/// `/metrics` endpoint and carry catalogued names (see
+/// [`gossamer_obs::names`]).
+struct TransportMetrics {
+    frames_out: Counter,
+    frames_in: Counter,
+    io_errors: Counter,
+    dials_attempted: Counter,
+    dials_failed: Counter,
+    sends_suppressed: Counter,
+    faults_injected: Counter,
+    max_tick_gap_us: Gauge,
+    links: Gauge,
+    links_quarantined: Gauge,
+}
+
+impl TransportMetrics {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            frames_out: registry.counter(
+                names::TRANSPORT_FRAMES_OUT,
+                "frames written to peer sockets",
+            ),
+            frames_in: registry.counter(
+                names::TRANSPORT_FRAMES_IN,
+                "frames received from peer sockets",
+            ),
+            io_errors: registry.counter(
+                names::TRANSPORT_IO_ERRORS,
+                "socket-level failures: writes, reads, dials and missing routes",
+            ),
+            dials_attempted: registry
+                .counter(names::TRANSPORT_DIALS_ATTEMPTED, "background dial attempts"),
+            dials_failed: registry.counter(
+                names::TRANSPORT_DIALS_FAILED,
+                "background dial attempts that failed",
+            ),
+            sends_suppressed: registry.counter(
+                names::TRANSPORT_SENDS_SUPPRESSED,
+                "sends dropped because the target peer is quarantined",
+            ),
+            faults_injected: registry.counter(
+                names::TRANSPORT_FAULTS_INJECTED,
+                "chaos actions taken by the fault injector",
+            ),
+            max_tick_gap_us: registry.gauge(
+                names::TRANSPORT_MAX_TICK_GAP_US,
+                "largest gap observed between ticker wakeups, in microseconds",
+            ),
+            links: registry.gauge(names::TRANSPORT_LINKS, "peers with tracked link health"),
+            links_quarantined: registry.gauge(
+                names::TRANSPORT_LINKS_QUARANTINED,
+                "peers currently quarantined by the health layer",
+            ),
+        }
+    }
+}
+
 struct Shared<T> {
     addr: Addr,
     node: Mutex<T>,
     start: Instant,
+    /// Observability hub this daemon publishes into (shared with the
+    /// metrics endpoint and, for collectors, the decoder).
+    obs: Arc<Observability>,
+    /// Transport registry handles (see [`TransportMetrics`]).
+    metrics: TransportMetrics,
     /// Where to dial each known address.
     book: Mutex<HashMap<Addr, SocketAddr>>,
     /// Open connections, generation-tagged (see [`crate::pool`]).
@@ -166,19 +233,17 @@ struct Shared<T> {
     /// Every live reader thread, accept-side and dial-side alike.
     readers: Mutex<Vec<JoinHandle<()>>>,
     shutdown: AtomicBool,
-    io_errors: AtomicU64,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
-    dials_attempted: AtomicU64,
-    dials_failed: AtomicU64,
-    sends_suppressed: AtomicU64,
-    faults_injected: AtomicU64,
-    max_tick_gap_us: AtomicU64,
 }
 
 impl<T: ProtocolNode> Shared<T> {
     fn now(&self) -> f64 {
         self.start.elapsed().as_secs_f64()
+    }
+
+    /// Microseconds since daemon boot — the epoch of this daemon's
+    /// event timestamps.
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
     }
 
     fn dispatch(self: &Arc<Self>, outbound: Vec<Outbound>) {
@@ -201,15 +266,15 @@ impl<T: ProtocolNode> Shared<T> {
         match action {
             FaultAction::Deliver => self.transmit(to, message),
             FaultAction::Drop => {
-                self.faults_injected.fetch_add(1, Ordering::Relaxed);
+                self.metrics.faults_injected.inc();
             }
             FaultAction::Duplicate => {
-                self.faults_injected.fetch_add(1, Ordering::Relaxed);
+                self.metrics.faults_injected.inc();
                 self.transmit(to, message);
                 self.transmit(to, message);
             }
             FaultAction::Delay(delay) => {
-                self.faults_injected.fetch_add(1, Ordering::Relaxed);
+                self.metrics.faults_injected.inc();
                 // A full delay lane drops the message; the protocol
                 // absorbs loss by design.
                 let _ = self.delay_tx.try_send(DelayedSend {
@@ -229,7 +294,7 @@ impl<T: ProtocolNode> Shared<T> {
     #[allow(clippy::significant_drop_tightening)]
     fn transmit(self: &Arc<Self>, to: Addr, message: &Message) {
         if self.health.lock().is_quarantined(to) {
-            self.sends_suppressed.fetch_add(1, Ordering::Relaxed);
+            self.metrics.sends_suppressed.inc();
             return;
         }
         let Some((stream, id)) = self.pool.get(to) else {
@@ -250,11 +315,11 @@ impl<T: ProtocolNode> Shared<T> {
         if write_frame(&mut *guard, self.addr, message).is_err() {
             drop(guard);
             self.drop_conn(to, id);
-            self.io_errors.fetch_add(1, Ordering::Relaxed);
+            self.metrics.io_errors.inc();
             self.health.lock().on_failure(to, self.now());
             self.request_dial(to);
         } else {
-            self.frames_out.fetch_add(1, Ordering::Relaxed);
+            self.metrics.frames_out.inc();
         }
     }
 
@@ -267,7 +332,7 @@ impl<T: ProtocolNode> Shared<T> {
         if !self.book.lock().contains_key(&to) {
             // No route at all (e.g. a collector known only through a
             // now-dead learned return path): counted, nothing to retry.
-            self.io_errors.fetch_add(1, Ordering::Relaxed);
+            self.metrics.io_errors.inc();
             return;
         }
         if self.health.lock().dial_allowed(to, self.now()) {
@@ -293,7 +358,7 @@ impl<T: ProtocolNode> Shared<T> {
         let Some(target) = self.book.lock().get(&to).copied() else {
             return;
         };
-        self.dials_attempted.fetch_add(1, Ordering::Relaxed);
+        self.metrics.dials_attempted.inc();
         let dialed = TcpStream::connect_timeout(&target, DIAL_TIMEOUT).and_then(|stream| {
             configure_stream(&stream);
             let write_half = stream.try_clone()?;
@@ -312,8 +377,8 @@ impl<T: ProtocolNode> Shared<T> {
                 self.flush_pending(to);
             }
         } else {
-            self.dials_failed.fetch_add(1, Ordering::Relaxed);
-            self.io_errors.fetch_add(1, Ordering::Relaxed);
+            self.metrics.dials_failed.inc();
+            self.metrics.io_errors.inc();
             let quarantined = {
                 let mut health = self.health.lock();
                 health.on_failure(to, now);
@@ -385,9 +450,13 @@ impl<T: ProtocolNode> Shared<T> {
     /// ones whenever the quarantine set changes.
     fn maintenance(self: &Arc<Self>) {
         let now = self.now();
-        let (due, mut quarantined) = {
+        let (due, mut quarantined, tracked) = {
             let health = self.health.lock();
-            (health.due_reprobes(now), health.quarantined())
+            (
+                health.due_reprobes(now),
+                health.quarantined(),
+                health.snapshot().len(),
+            )
         };
         for addr in due {
             if self.book.lock().contains_key(&addr) {
@@ -395,6 +464,8 @@ impl<T: ProtocolNode> Shared<T> {
             }
         }
         quarantined.sort_unstable();
+        self.metrics.links.set(tracked as u64);
+        self.metrics.links_quarantined.set(quarantined.len() as u64);
         {
             let mut applied = self.applied_quarantine.lock();
             if *applied == quarantined {
@@ -402,6 +473,16 @@ impl<T: ProtocolNode> Shared<T> {
             }
             applied.clone_from(&quarantined);
         }
+        self.obs.events().record(
+            Severity::Warn,
+            "transport.quarantine",
+            self.now_us(),
+            format!(
+                "quarantine set changed: {} of {} tracked peer(s) quarantined",
+                quarantined.len(),
+                tracked
+            ),
+        );
         let full = self.full_targets.lock().clone();
         if full.is_empty() {
             return;
@@ -418,25 +499,28 @@ impl<T: ProtocolNode> Shared<T> {
     }
 
     fn handle_incoming(self: &Arc<Self>, from: Addr, message: Message) {
-        self.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.metrics.frames_in.inc();
         let now = self.now();
         // Release the node lock before touching the network.
         let replies = self.node.lock().handle(from, message, now);
         self.dispatch(replies);
     }
 
+    /// Snapshot view assembled from the same registry handles the
+    /// `/metrics` endpoint serves, plus the health registry's per-link
+    /// detail.
     fn transport_health(&self) -> TransportHealth {
         let health = self.health.lock();
         TransportHealth {
-            frames_out: self.frames_out.load(Ordering::Relaxed),
-            frames_in: self.frames_in.load(Ordering::Relaxed),
-            io_errors: self.io_errors.load(Ordering::Relaxed),
-            dials_attempted: self.dials_attempted.load(Ordering::Relaxed),
-            dials_failed: self.dials_failed.load(Ordering::Relaxed),
+            frames_out: self.metrics.frames_out.get(),
+            frames_in: self.metrics.frames_in.get(),
+            io_errors: self.metrics.io_errors.get(),
+            dials_attempted: self.metrics.dials_attempted.get(),
+            dials_failed: self.metrics.dials_failed.get(),
             retries: health.total_retries(),
-            sends_suppressed: self.sends_suppressed.load(Ordering::Relaxed),
-            faults_injected: self.faults_injected.load(Ordering::Relaxed),
-            max_tick_gap_us: self.max_tick_gap_us.load(Ordering::Relaxed),
+            sends_suppressed: self.metrics.sends_suppressed.get(),
+            faults_injected: self.metrics.faults_injected.get(),
+            max_tick_gap_us: self.metrics.max_tick_gap_us.get(),
             links: health.snapshot(),
         }
     }
@@ -527,7 +611,7 @@ fn reader_loop<T: ProtocolNode>(
                 break;
             }
             Err(_) => {
-                shared.io_errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.io_errors.inc();
                 break;
             }
         }
@@ -548,9 +632,7 @@ fn spawn_ticker<T: ProtocolNode>(shared: Arc<Shared<T>>) -> JoinHandle<()> {
                     .duration_since(prev)
                     .as_micros()
                     .min(u128::from(u64::MAX));
-                shared
-                    .max_tick_gap_us
-                    .fetch_max(gap as u64, Ordering::Relaxed);
+                shared.metrics.max_tick_gap_us.record_max(gap as u64);
             }
             last_tick = Some(tick_start);
             let now = shared.now();
@@ -558,13 +640,24 @@ fn spawn_ticker<T: ProtocolNode>(shared: Arc<Shared<T>>) -> JoinHandle<()> {
             shared.dispatch(outbound);
             ticks = ticks.wrapping_add(1);
             if ticks.is_multiple_of(MAINTENANCE_TICKS) {
+                // A debug span per pass: invisible at the default Info
+                // floor, a per-pass latency trace when an operator
+                // lowers it.
+                let span = shared.obs.events().span(
+                    Severity::Debug,
+                    "transport.maintenance",
+                    shared.now_us(),
+                );
                 shared.maintenance();
+                span.finish(shared.now_us(), "health maintenance pass");
             }
             std::thread::sleep(TICK_INTERVAL);
         }
     })
 }
 
+/// Spawns the connector worker: drains dial requests, establishes the
+/// outbound links, and opportunistically reaps finished reader threads.
 fn spawn_connector<T: ProtocolNode>(
     shared: Arc<Shared<T>>,
     dial_rx: mpsc::Receiver<Addr>,
@@ -583,6 +676,8 @@ fn spawn_connector<T: ProtocolNode>(
     })
 }
 
+/// Spawns the delay-line worker: parks messages the fault plan asked to
+/// delay and releases each one onto the wire once its due time passes.
 fn spawn_delay_line<T: ProtocolNode>(
     shared: Arc<Shared<T>>,
     delay_rx: mpsc::Receiver<DelayedSend>,
@@ -625,19 +720,33 @@ struct Daemon<T: ProtocolNode> {
 }
 
 impl<T: ProtocolNode> Daemon<T> {
-    fn spawn(addr: Addr, node: T) -> io::Result<Self> {
-        Self::spawn_on(addr, node, SocketAddr::from(([127, 0, 0, 1], 0)))
+    fn spawn(addr: Addr, node: T, obs: Arc<Observability>) -> io::Result<Self> {
+        Self::spawn_on(addr, node, SocketAddr::from(([127, 0, 0, 1], 0)), obs)
     }
 
-    fn spawn_on(addr: Addr, node: T, listen: SocketAddr) -> io::Result<Self> {
+    fn spawn_on(
+        addr: Addr,
+        node: T,
+        listen: SocketAddr,
+        obs: Arc<Observability>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(listen)?;
         let socket = listener.local_addr()?;
         let (dial_tx, dial_rx) = mpsc::sync_channel(256);
         let (delay_tx, delay_rx) = mpsc::sync_channel(1024);
+        let metrics = TransportMetrics::register(obs.registry());
+        obs.events().record(
+            Severity::Info,
+            "daemon",
+            0,
+            format!("node {} listening on {socket}", addr.0),
+        );
         let shared = Arc::new(Shared {
             addr,
             node: Mutex::new(node),
             start: Instant::now(),
+            obs,
+            metrics,
             book: Mutex::new(HashMap::new()),
             pool: ConnPool::new(),
             pending: Mutex::new(HashMap::new()),
@@ -649,14 +758,6 @@ impl<T: ProtocolNode> Daemon<T> {
             delay_tx,
             readers: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
-            io_errors: AtomicU64::new(0),
-            frames_in: AtomicU64::new(0),
-            frames_out: AtomicU64::new(0),
-            dials_attempted: AtomicU64::new(0),
-            dials_failed: AtomicU64::new(0),
-            sends_suppressed: AtomicU64::new(0),
-            faults_injected: AtomicU64::new(0),
-            max_tick_gap_us: AtomicU64::new(0),
         });
         let threads = vec![
             spawn_acceptor(listener, shared.clone()),
@@ -724,10 +825,7 @@ impl PeerHandle {
     ///
     /// Returns an error if the listener cannot bind.
     pub fn spawn(addr: Addr, config: NodeConfig, seed: u64) -> Result<Self, DaemonError> {
-        let node = PeerNode::new(addr, config, seed);
-        Ok(Self {
-            daemon: Daemon::spawn(addr, node)?,
-        })
+        Self::spawn_with(addr, None, config, seed, Arc::new(Observability::new()))
     }
 
     /// Like [`PeerHandle::spawn`], but binds a specific socket address
@@ -742,10 +840,53 @@ impl PeerHandle {
         config: NodeConfig,
         seed: u64,
     ) -> Result<Self, DaemonError> {
+        Self::spawn_with(
+            addr,
+            Some(listen),
+            config,
+            seed,
+            Arc::new(Observability::new()),
+        )
+    }
+
+    /// Boots a peer publishing into a caller-supplied observability hub
+    /// (`listen = None` picks an ephemeral loopback port). Use this when
+    /// the process serves a metrics endpoint or aggregates several
+    /// instrumented layers into one registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind.
+    pub fn spawn_with(
+        addr: Addr,
+        listen: Option<SocketAddr>,
+        config: NodeConfig,
+        seed: u64,
+        obs: Arc<Observability>,
+    ) -> Result<Self, DaemonError> {
         let node = PeerNode::new(addr, config, seed);
-        Ok(Self {
-            daemon: Daemon::spawn_on(addr, node, listen)?,
-        })
+        let daemon = match listen {
+            Some(listen) => Daemon::spawn_on(addr, node, listen, obs)?,
+            None => Daemon::spawn(addr, node, obs)?,
+        };
+        Ok(Self { daemon })
+    }
+
+    /// The observability hub this daemon publishes into.
+    #[must_use]
+    pub fn observability(&self) -> &Arc<Observability> {
+        &self.daemon.shared.obs
+    }
+
+    /// Serves this daemon's metrics and events over HTTP (port 0 picks
+    /// a free port); see [`MetricsServer`] for the routes. The server
+    /// runs until the returned handle is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the endpoint cannot bind.
+    pub fn serve_metrics(&self, addr: SocketAddr) -> Result<MetricsServer, DaemonError> {
+        MetricsServer::bind(addr, Arc::clone(&self.daemon.shared.obs)).map_err(DaemonError::from)
     }
 
     /// The protocol address of this peer.
@@ -829,9 +970,9 @@ impl PeerHandle {
     pub fn transport_counters(&self) -> (u64, u64, u64) {
         let s = &self.daemon.shared;
         (
-            s.frames_out.load(Ordering::Relaxed),
-            s.frames_in.load(Ordering::Relaxed),
-            s.io_errors.load(Ordering::Relaxed),
+            s.metrics.frames_out.get(),
+            s.metrics.frames_in.get(),
+            s.metrics.io_errors.get(),
         )
     }
 
@@ -868,9 +1009,7 @@ impl CollectorHandle {
     /// Returns an error if the listener cannot bind.
     pub fn spawn(addr: Addr, config: CollectorConfig, seed: u64) -> Result<Self, DaemonError> {
         let node = Collector::new(addr, config, seed);
-        Ok(Self {
-            daemon: Daemon::spawn(addr, node)?,
-        })
+        Self::spawn_node_with(node, None, Arc::new(Observability::new()))
     }
 
     /// Like [`CollectorHandle::spawn`], but binds a specific socket
@@ -886,9 +1025,7 @@ impl CollectorHandle {
         seed: u64,
     ) -> Result<Self, DaemonError> {
         let node = Collector::new(addr, config, seed);
-        Ok(Self {
-            daemon: Daemon::spawn_on(addr, node, listen)?,
-        })
+        Self::spawn_node_with(node, Some(listen), Arc::new(Observability::new()))
     }
 
     /// Boots a daemon around a pre-built [`Collector`] — the entry point
@@ -900,10 +1037,7 @@ impl CollectorHandle {
     ///
     /// Returns an error if the listener cannot bind.
     pub fn spawn_node(node: Collector) -> Result<Self, DaemonError> {
-        let addr = node.addr();
-        Ok(Self {
-            daemon: Daemon::spawn(addr, node)?,
-        })
+        Self::spawn_node_with(node, None, Arc::new(Observability::new()))
     }
 
     /// Like [`CollectorHandle::spawn_node`], but binds a specific socket
@@ -913,10 +1047,49 @@ impl CollectorHandle {
     ///
     /// Returns an error if the listener cannot bind.
     pub fn spawn_node_on(node: Collector, listen: SocketAddr) -> Result<Self, DaemonError> {
+        Self::spawn_node_with(node, Some(listen), Arc::new(Observability::new()))
+    }
+
+    /// Boots a daemon around a pre-built [`Collector`], publishing into
+    /// a caller-supplied observability hub (`listen = None` picks an
+    /// ephemeral loopback port). The collector's decoder is attached to
+    /// the hub's registry before any transport thread starts, so the
+    /// first scrape already sees the decode-progress metrics — including
+    /// state recovered from a write-ahead log. Every other spawn variant
+    /// delegates here with a fresh hub.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind.
+    pub fn spawn_node_with(
+        mut node: Collector,
+        listen: Option<SocketAddr>,
+        obs: Arc<Observability>,
+    ) -> Result<Self, DaemonError> {
+        node.attach_observability(obs.registry());
         let addr = node.addr();
-        Ok(Self {
-            daemon: Daemon::spawn_on(addr, node, listen)?,
-        })
+        let daemon = match listen {
+            Some(listen) => Daemon::spawn_on(addr, node, listen, obs)?,
+            None => Daemon::spawn(addr, node, obs)?,
+        };
+        Ok(Self { daemon })
+    }
+
+    /// The observability hub this daemon publishes into.
+    #[must_use]
+    pub fn observability(&self) -> &Arc<Observability> {
+        &self.daemon.shared.obs
+    }
+
+    /// Serves this daemon's metrics and events over HTTP (port 0 picks
+    /// a free port); see [`MetricsServer`] for the routes. The server
+    /// runs until the returned handle is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the endpoint cannot bind.
+    pub fn serve_metrics(&self, addr: SocketAddr) -> Result<MetricsServer, DaemonError> {
+        MetricsServer::bind(addr, Arc::clone(&self.daemon.shared.obs)).map_err(DaemonError::from)
     }
 
     /// The protocol address of this collector.
@@ -979,9 +1152,9 @@ impl CollectorHandle {
     pub fn transport_counters(&self) -> (u64, u64, u64) {
         let s = &self.daemon.shared;
         (
-            s.frames_out.load(Ordering::Relaxed),
-            s.frames_in.load(Ordering::Relaxed),
-            s.io_errors.load(Ordering::Relaxed),
+            s.metrics.frames_out.get(),
+            s.metrics.frames_in.get(),
+            s.metrics.io_errors.get(),
         )
     }
 

@@ -49,6 +49,11 @@ pub struct CliOptions {
     /// Exit cleanly after this many seconds (`--run-for`, mainly for
     /// scripted runs and tests; default: run until SIGINT/SIGTERM).
     pub run_for: Option<f64>,
+    /// Observability endpoint address (`--metrics-addr host:port`).
+    /// When set, the daemon serves `/metrics` (Prometheus text),
+    /// `/metrics.json` and `/events` there; port 0 picks a free port
+    /// (the bound address is printed on startup).
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 /// Errors from option or book parsing.
@@ -90,6 +95,7 @@ impl CliOptions {
             data_dir: None,
             checkpoint_interval: None,
             run_for: None,
+            metrics_addr: None,
         };
         let mut saw_id = false;
         let mut it = args.iter();
@@ -143,6 +149,10 @@ impl CliOptions {
                 }
                 "--run-for" => {
                     opts.run_for = Some(parse_num(&value("--run-for")?, "--run-for")?);
+                }
+                "--metrics-addr" => {
+                    opts.metrics_addr =
+                        Some(parse_num(&value("--metrics-addr")?, "--metrics-addr")?);
                 }
                 other => return Err(err(format!("unknown flag {other}"))),
             }
@@ -270,6 +280,14 @@ mod tests {
         assert_eq!(opts.data_dir, Some(PathBuf::from("/var/lib/gossamer")));
         assert_eq!(opts.checkpoint_interval, Some(2.5));
         assert_eq!(opts.run_for, Some(30.0));
+    }
+
+    #[test]
+    fn parses_metrics_addr() {
+        let opts =
+            CliOptions::parse(&strs(&["--id", "1", "--metrics-addr", "127.0.0.1:9400"])).unwrap();
+        assert_eq!(opts.metrics_addr, Some("127.0.0.1:9400".parse().unwrap()));
+        assert!(CliOptions::parse(&strs(&["--id", "1", "--metrics-addr", "nonsense"])).is_err());
     }
 
     #[test]

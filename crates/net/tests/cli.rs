@@ -1,8 +1,9 @@
 //! End-to-end test of the standalone daemons: real processes, real
-//! sockets, records in via stdin, records out via stdout.
+//! sockets, records in via stdin, records out via stdout — plus the
+//! `--metrics-addr` observability endpoint and the recovery banner.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
@@ -23,6 +24,32 @@ impl Drop for KillOnDrop {
     fn drop(&mut self) {
         let _ = self.0.kill();
         let _ = self.0.wait();
+    }
+}
+
+/// Raw HTTP GET against a daemon's metrics endpoint, retried until the
+/// endpoint answers or the deadline passes (daemon startup is async).
+fn http_get(addr: SocketAddr, path: &str, deadline: Instant) -> String {
+    loop {
+        let attempt =
+            TcpStream::connect_timeout(&addr, Duration::from_millis(250)).and_then(|mut stream| {
+                stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+                write!(
+                    stream,
+                    "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+                )?;
+                let mut response = String::new();
+                stream.read_to_string(&mut response)?;
+                Ok(response)
+            });
+        match attempt {
+            Ok(response) if response.starts_with("HTTP/1.1 200") => return response,
+            _ if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Ok(response) => panic!("metrics endpoint at {addr} answered: {response}"),
+            Err(e) => panic!("metrics endpoint at {addr} unreachable: {e}"),
+        }
     }
 }
 
@@ -125,5 +152,216 @@ fn daemons_collect_records_end_to_end() {
         3,
         "collector daemon recovered only {seen:?} of 3 records"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The tentpole acceptance path: a durable collector with
+/// `--metrics-addr` serves one registry covering every layer — decoder
+/// rank, transport health, WAL latency — as Prometheus text and JSON,
+/// and `gossamer-top` can render it.
+#[test]
+#[allow(clippy::too_many_lines)] // one scripted session, end to end
+fn metrics_endpoint_exposes_decoder_transport_and_wal_layers() {
+    let ports = free_ports(4);
+    let dir = std::env::temp_dir().join(format!("gossamer-cli-metrics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let book_path = dir.join("swarm.txt");
+    let book = format!(
+        "0 127.0.0.1:{}\n1 127.0.0.1:{}\n100 127.0.0.1:{} collector\n",
+        ports[0], ports[1], ports[2]
+    );
+    std::fs::write(&book_path, book).expect("write book");
+
+    let peer_bin = env!("CARGO_BIN_EXE_gossamer-peer");
+    let collector_bin = env!("CARGO_BIN_EXE_gossamer-collector");
+    let top_bin = env!("CARGO_BIN_EXE_gossamer-top");
+    let metrics_addr: SocketAddr = format!("127.0.0.1:{}", ports[3]).parse().expect("addr");
+
+    let mut peers = Vec::new();
+    for id in 0..2u32 {
+        let child = Command::new(peer_bin)
+            .args([
+                "--id",
+                &id.to_string(),
+                "--book",
+                book_path.to_str().expect("utf8 path"),
+                "--listen",
+                &format!("127.0.0.1:{}", ports[id as usize]),
+                "--gossip-rate",
+                "40",
+                "--expiry-rate",
+                "0.01",
+                "--seed",
+                &(id + 1).to_string(),
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn peer");
+        peers.push(KillOnDrop(child));
+    }
+    let _collector = KillOnDrop(
+        Command::new(collector_bin)
+            .args([
+                "--id",
+                "100",
+                "--book",
+                book_path.to_str().expect("utf8 path"),
+                "--listen",
+                &format!("127.0.0.1:{}", ports[2]),
+                "--pull-rate",
+                "120",
+                "--seed",
+                "9",
+                "--data-dir",
+                dir.join("state").to_str().expect("utf8 path"),
+                "--checkpoint-interval",
+                "0.5",
+                "--metrics-addr",
+                &metrics_addr.to_string(),
+            ])
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn collector"),
+    );
+
+    // The full catalogue is registered at spawn, before any traffic.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let text = http_get(metrics_addr, "/metrics", deadline);
+    for name in [
+        "gossamer_decoder_blocks_innovative_total",
+        "gossamer_decoder_in_progress_rank",
+        "gossamer_collector_pulls_issued_total",
+        "gossamer_transport_frames_out_total",
+        "gossamer_transport_max_tick_gap_us",
+        "gossamer_wal_appends_total",
+        "gossamer_wal_fsync_latency_us",
+    ] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+    assert!(text.contains("# TYPE gossamer_wal_fsync_latency_us histogram"));
+
+    // Feed records and wait until collection progress shows up in the
+    // scrape — the endpoint observes the run, not just the layout.
+    for (id, peer) in peers.iter_mut().enumerate() {
+        let mut stdin = peer.0.stdin.take().expect("piped stdin");
+        writeln!(stdin, "metric record {id}").expect("write record");
+        drop(stdin); // EOF flushes the partial segment
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let recovered = loop {
+        let text = http_get(metrics_addr, "/metrics", deadline);
+        let recovered = text
+            .lines()
+            .find_map(|l| l.strip_prefix("gossamer_collector_records_recovered_total "))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        if recovered >= 2 || Instant::now() >= deadline {
+            break recovered;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    };
+    assert!(recovered >= 2, "only {recovered} records visible in scrape");
+
+    // The same names, as JSON.
+    let json = http_get(metrics_addr, "/metrics.json", deadline);
+    assert!(json.contains("\"name\":\"gossamer_transport_frames_out_total\""));
+    assert!(json.contains("\"name\":\"gossamer_wal_append_latency_us\""));
+    assert!(json.contains("\"kind\":\"histogram\""));
+
+    // And the event ring answers too (daemon spawn logs an Info event).
+    let events = http_get(metrics_addr, "/events", deadline);
+    assert!(events.contains("\"events\":["), "{events}");
+
+    // gossamer-top renders one frame from the same endpoint.
+    let top = Command::new(top_bin)
+        .args([
+            "--target",
+            &metrics_addr.to_string(),
+            "--iterations",
+            "2",
+            "--interval-ms",
+            "100",
+            "--no-clear",
+        ])
+        .output()
+        .expect("run gossamer-top");
+    assert!(top.status.success(), "gossamer-top failed: {top:?}");
+    let frame = String::from_utf8_lossy(&top.stdout);
+    assert!(
+        frame.contains("gossamer_decoder_blocks_innovative_total"),
+        "{frame}"
+    );
+    assert!(frame.contains("histogram"), "{frame}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The recovery banner must print only after `Collector::restore`
+/// succeeds: a store the configuration rejects recovered nothing.
+#[test]
+fn recovery_banner_follows_successful_restore() {
+    use gossamer_core::persist::Persistence;
+    use gossamer_rlnc::{DecodedSegment, SegmentId};
+    use gossamer_store::{WalOptions, WalPersistence};
+
+    let dir = std::env::temp_dir().join(format!("gossamer-cli-banner-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let state = dir.join("state");
+
+    // Seed a WAL with one decoded segment shaped for s=4, block_len=64.
+    let (mut persistence, _) = WalPersistence::open(&state, WalOptions::default()).expect("open");
+    let segment = DecodedSegment::from_blocks(SegmentId::new(1), vec![vec![7u8; 64]; 4]);
+    persistence.segment_decoded(&segment).expect("append");
+    Persistence::flush(&mut persistence).expect("flush");
+    drop(persistence);
+
+    let collector_bin = env!("CARGO_BIN_EXE_gossamer-collector");
+    let base = |segment_size: &str| {
+        let mut cmd = Command::new(collector_bin);
+        cmd.args([
+            "--id",
+            "100",
+            "--segment-size",
+            segment_size,
+            "--block-len",
+            "64",
+            "--data-dir",
+            state.to_str().expect("utf8 path"),
+            "--run-for",
+            "0.2",
+        ])
+        .stdin(Stdio::null());
+        cmd
+    };
+
+    // Mismatched parameters: restore fails, and stdout must not claim a
+    // recovery that never happened.
+    let mismatch = base("8").output().expect("run mismatched collector");
+    assert!(
+        !mismatch.status.success(),
+        "mismatched store must be fatal: {mismatch:?}"
+    );
+    let stdout = String::from_utf8_lossy(&mismatch.stdout);
+    assert!(
+        !stdout.contains("recovered"),
+        "banner printed before restore succeeded:\n{stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&mismatch.stderr);
+    assert!(stderr.contains("store does not match"), "{stderr}");
+
+    // Matching parameters: the banner appears, after a successful restore.
+    let ok = base("4").output().expect("run matching collector");
+    assert!(ok.status.success(), "matching restart failed: {ok:?}");
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(
+        stdout.contains("recovered 1 decoded segments"),
+        "missing recovery banner:\n{stdout}"
+    );
+
     let _ = std::fs::remove_dir_all(&dir);
 }

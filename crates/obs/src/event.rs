@@ -1,0 +1,281 @@
+//! Ring-buffered structured event tracing.
+//!
+//! An [`EventLog`] is a bounded ring of [`Event`]s — timestamped,
+//! severity-tagged, scoped messages — plus a severity floor checked
+//! with a single relaxed atomic load *before* the ring's mutex is
+//! touched, so filtered-out events (per-tick debug spans on hot
+//! daemons) cost one load and nothing else.
+//!
+//! Timestamps are caller-supplied microsecond offsets from an epoch the
+//! caller owns (daemon boot, simulation start). The log itself never
+//! reads a wall clock, which is what lets the deterministic simulator
+//! share this code with the live daemons.
+//!
+//! [`Span`] provides the scope idiom: open a span at the start of a
+//! gossip round, a server pull batch, a WAL fsync batch or a decoder
+//! rank advance, and finish it with the end timestamp to record one
+//! duration-carrying event.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::sync::{AtomicU64, Mutex, Ordering};
+
+/// Event severity, ordered from chattiest to most urgent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// High-volume diagnostics (per-tick spans); filtered out by default.
+    Debug = 0,
+    /// Normal operational milestones.
+    Info = 1,
+    /// Degraded but self-healing conditions (quarantines, retries).
+    Warn = 2,
+    /// Failures that cost data or required intervention.
+    Error = 3,
+}
+
+impl Severity {
+    const fn from_u64(v: u64) -> Self {
+        match v {
+            0 => Self::Debug,
+            1 => Self::Info,
+            2 => Self::Warn,
+            _ => Self::Error,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Debug => "debug",
+            Self::Info => "info",
+            Self::Warn => "warn",
+            Self::Error => "error",
+        })
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotonic sequence number, assigned at record time; gaps reveal
+    /// ring overwrites between two drains.
+    pub seq: u64,
+    /// Caller-supplied microseconds since the caller's epoch.
+    pub at_us: u64,
+    /// Severity the event was recorded at.
+    pub severity: Severity,
+    /// Static scope label (which subsystem / which loop).
+    pub scope: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+struct Ring {
+    buf: VecDeque<Event>,
+    next_seq: u64,
+    overwritten: u64,
+}
+
+/// Bounded, severity-filtered event ring; see the module docs.
+pub struct EventLog {
+    ring: Mutex<Ring>,
+    min_severity: AtomicU64,
+    capacity: usize,
+}
+
+impl EventLog {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// A log retaining at most `capacity` events, admitting
+    /// [`Severity::Info`] and above.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "event ring capacity must be positive");
+        Self {
+            ring: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(capacity),
+                next_seq: 0,
+                overwritten: 0,
+            }),
+            min_severity: AtomicU64::new(Severity::Info as u64),
+            capacity,
+        }
+    }
+
+    /// Lowers or raises the severity floor; events below it are
+    /// discarded before the ring lock is taken.
+    pub fn set_min_severity(&self, severity: Severity) {
+        self.min_severity.store(severity as u64, Ordering::Relaxed);
+    }
+
+    /// The current severity floor.
+    #[must_use]
+    pub fn min_severity(&self) -> Severity {
+        Severity::from_u64(self.min_severity.load(Ordering::Relaxed))
+    }
+
+    /// Records one event; a no-op when `severity` is below the floor.
+    pub fn record(&self, severity: Severity, scope: &'static str, at_us: u64, message: String) {
+        if (severity as u64) < self.min_severity.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut ring = self.ring.lock();
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+            ring.overwritten += 1;
+        }
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        ring.buf.push_back(Event {
+            seq,
+            at_us,
+            severity,
+            scope,
+            message,
+        });
+    }
+
+    /// Opens a span scope starting at `start_us`; finishing it records
+    /// one event carrying the scope's duration.
+    pub const fn span(&self, severity: Severity, scope: &'static str, start_us: u64) -> Span<'_> {
+        Span {
+            log: self,
+            severity,
+            scope,
+            start_us,
+        }
+    }
+
+    /// Copies out the retained events (oldest first) together with the
+    /// number of events lost to ring overwrites since creation.
+    #[must_use]
+    pub fn snapshot(&self) -> (Vec<Event>, u64) {
+        let ring = self.ring.lock();
+        (ring.buf.iter().cloned().collect(), ring.overwritten)
+    }
+
+    /// Renders the retained events as a JSON document:
+    /// `{"overwritten": n, "events": [{"seq", "at_us", "severity",
+    /// "scope", "message"}]}`.
+    #[must_use]
+    pub fn json(&self) -> String {
+        use std::fmt::Write as _;
+        let (events, overwritten) = self.snapshot();
+        let mut out = format!("{{\"overwritten\":{overwritten},\"events\":[");
+        for (i, event) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"at_us\":{},\"severity\":\"{}\",\"scope\":\"{}\",\"message\":\"{}\"}}",
+                event.seq,
+                event.at_us,
+                event.severity,
+                crate::registry::escape_json(event.scope),
+                crate::registry::escape_json(&event.message),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventLog")
+            .field("capacity", &self.capacity)
+            .field("min_severity", &self.min_severity())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An open scope created by [`EventLog::span`]. Dropping a span without
+/// finishing it records nothing — spans are for measured scopes, and an
+/// unmeasured scope has nothing truthful to report.
+#[must_use = "finish the span with its end timestamp to record it"]
+pub struct Span<'a> {
+    log: &'a EventLog,
+    severity: Severity,
+    scope: &'static str,
+    start_us: u64,
+}
+
+impl Span<'_> {
+    /// Closes the scope at `end_us`, recording `message` with the
+    /// elapsed duration appended.
+    pub fn finish(self, end_us: u64, message: &str) {
+        let elapsed = end_us.saturating_sub(self.start_us);
+        self.log.record(
+            self.severity,
+            self.scope,
+            end_us,
+            format!("{message} ({elapsed} us)"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_floor_filters_before_the_ring() {
+        let log = EventLog::with_capacity(8);
+        log.record(Severity::Debug, "test", 1, "dropped".into());
+        log.record(Severity::Warn, "test", 2, "kept".into());
+        let (events, overwritten) = log.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].message, "kept");
+        assert_eq!(overwritten, 0);
+
+        log.set_min_severity(Severity::Debug);
+        log.record(Severity::Debug, "test", 3, "now kept".into());
+        assert_eq!(log.snapshot().0.len(), 2);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_losses() {
+        let log = EventLog::with_capacity(2);
+        for i in 0..5u64 {
+            log.record(Severity::Info, "test", i, format!("e{i}"));
+        }
+        let (events, overwritten) = log.snapshot();
+        assert_eq!(overwritten, 3);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 3, "oldest retained is the 4th recorded");
+        assert_eq!(events[1].seq, 4);
+    }
+
+    #[test]
+    fn spans_record_duration() {
+        let log = EventLog::with_capacity(8);
+        let span = log.span(Severity::Info, "wal.fsync", 100);
+        span.finish(350, "batched 7 appends");
+        let (events, _) = log.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].scope, "wal.fsync");
+        assert_eq!(events[0].at_us, 350);
+        assert!(
+            events[0].message.contains("(250 us)"),
+            "{}",
+            events[0].message
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_reports_overwrites() {
+        let log = EventLog::with_capacity(1);
+        log.record(Severity::Error, "test", 9, "say \"hi\"\n".into());
+        let json = log.json();
+        assert!(json.contains("\"severity\":\"error\""));
+        assert!(json.contains("say \\\"hi\\\"\\n"));
+        assert!(json.starts_with("{\"overwritten\":0,"));
+    }
+}

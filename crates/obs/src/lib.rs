@@ -1,0 +1,82 @@
+//! Unified observability for the gossamer workspace.
+//!
+//! Every layer of the stack — the RLNC decoder, the collection
+//! protocol, the TCP transport, the durable store, the deterministic
+//! simulator — reports into the two primitives this crate provides:
+//!
+//! * a [`Registry`] of lock-light metrics ([`Counter`], [`Gauge`],
+//!   [`Histogram`]) whose hot paths are single relaxed atomic
+//!   operations, snapshot-renderable as Prometheus text or JSON;
+//! * an [`EventLog`] of ring-buffered, severity-filtered structured
+//!   events with span-style scopes for measured regions (gossip
+//!   rounds, server pulls, WAL fsync batches, decoder rank advances).
+//!
+//! Both are bundled in an [`Observability`] hub, which is what daemons
+//! share across threads and what [`MetricsServer`] exposes over HTTP
+//! for `curl`, Prometheus scrapers and the `gossamer-top` inspector.
+//!
+//! Two properties are deliberate and load-bearing:
+//!
+//! 1. **No wall-clock reads.** Timestamps are caller-supplied, so the
+//!    deterministic simulator can run the exact same instrumentation
+//!    as a live deployment and produce bit-identical reports.
+//! 2. **One name catalogue.** Every metric name is a constant in
+//!    [`names`], documented in `docs/OBSERVABILITY.md` (enforced by
+//!    `cargo xtask lint`), and used identically by the simulator, the
+//!    daemons and the bench bins — so a figure derived from a
+//!    simulation and a dashboard scraped from production are reading
+//!    the same series.
+//!
+//! The crate is zero-dependency by default (the only graph edge is the
+//! in-repo `loom` shim used when model checking) and carries no
+//! `unsafe`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod event;
+pub mod names;
+pub mod registry;
+pub mod server;
+pub mod sync;
+
+pub use event::{Event, EventLog, Severity, Span};
+pub use registry::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot,
+    MetricValue, Registry, Snapshot, HISTOGRAM_BUCKETS,
+};
+pub use server::MetricsServer;
+
+/// A registry and an event log bundled for sharing: the unit a daemon
+/// hands to its worker threads and a [`MetricsServer`] exposes.
+#[derive(Debug, Default)]
+pub struct Observability {
+    registry: Registry,
+    events: EventLog,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl Observability {
+    /// A fresh hub: empty registry, default-capacity event ring.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The metric registry.
+    #[must_use]
+    pub const fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The event log.
+    #[must_use]
+    pub const fn events(&self) -> &EventLog {
+        &self.events
+    }
+}

@@ -1,0 +1,157 @@
+//! The workspace-wide metric name catalogue.
+//!
+//! Every metric any gossamer layer registers is named by a constant in
+//! this module, and nowhere else: the simulator, the TCP daemons, the
+//! durable store and the bench bins all register through these
+//! constants, which is what makes a simulated run and a live deployment
+//! comparable line-for-line. `cargo xtask lint` enforces that each name
+//! below is documented in `docs/OBSERVABILITY.md`, so adding a constant
+//! here without a catalogue row fails CI.
+//!
+//! Naming follows the Prometheus conventions: `gossamer_<layer>_<what>`
+//! with a `_total` suffix for monotonic counters and an explicit unit
+//! suffix (`_us`, `_permille`) where one applies.
+
+// ---- decoder (crates/rlnc) --------------------------------------------
+
+/// Counter: coded blocks that raised the rank of some segment's decode
+/// matrix (the paper's "innovative" receptions).
+pub const DECODER_BLOCKS_INNOVATIVE: &str = "gossamer_decoder_blocks_innovative_total";
+/// Counter: coded blocks discarded as linearly dependent on rows already
+/// held (redundant receptions; the waste term in pull efficiency).
+pub const DECODER_BLOCKS_REDUNDANT: &str = "gossamer_decoder_blocks_redundant_total";
+/// Counter: segments fully decoded (rank reached the segment size).
+pub const DECODER_SEGMENTS_DECODED: &str = "gossamer_decoder_segments_decoded_total";
+/// Gauge: segments currently mid-decode (rank > 0 but not complete).
+pub const DECODER_SEGMENTS_IN_PROGRESS: &str = "gossamer_decoder_segments_in_progress";
+/// Gauge: summed rank over all in-progress segments — the live
+/// coupon-collector progress curve.
+pub const DECODER_IN_PROGRESS_RANK: &str = "gossamer_decoder_in_progress_rank";
+
+// ---- collector protocol (crates/core) ---------------------------------
+
+/// Counter: pull requests the collector has issued to peers.
+pub const COLLECTOR_PULLS_ISSUED: &str = "gossamer_collector_pulls_issued_total";
+/// Counter: pull responses received back from peers.
+pub const COLLECTOR_PULLS_ANSWERED: &str = "gossamer_collector_pulls_answered_total";
+/// Counter: coded blocks delivered inside pull responses.
+pub const COLLECTOR_BLOCKS_RECEIVED: &str = "gossamer_collector_blocks_received_total";
+/// Counter: source records recovered from fully decoded segments.
+pub const COLLECTOR_RECORDS_RECOVERED: &str = "gossamer_collector_records_recovered_total";
+/// Gauge: innovative blocks per thousand received (decode efficiency).
+pub const COLLECTOR_EFFICIENCY_PERMILLE: &str = "gossamer_collector_efficiency_permille";
+/// Counter: decoder checkpoints written to the durability layer.
+pub const COLLECTOR_CHECKPOINTS: &str = "gossamer_collector_checkpoints_total";
+/// Counter: persistence operations that returned an error (the collector
+/// keeps running; the data is re-derivable from the swarm).
+pub const COLLECTOR_PERSIST_ERRORS: &str = "gossamer_collector_persist_errors_total";
+/// Counter: collector starts that resumed from prior state.
+///
+/// In a live collector this counts WAL recoveries (a fresh process
+/// cannot see restarts it did not survive, so it counts resumed
+/// incarnations); in a simulation scenario it counts crash/restart
+/// events.
+pub const COLLECTOR_RESTARTS: &str = "gossamer_collector_restarts_total";
+
+// ---- transport (crates/net) -------------------------------------------
+
+/// Counter: frames written to peer connections.
+pub const TRANSPORT_FRAMES_OUT: &str = "gossamer_transport_frames_out_total";
+/// Counter: frames read from peer connections.
+pub const TRANSPORT_FRAMES_IN: &str = "gossamer_transport_frames_in_total";
+/// Counter: socket-level I/O errors observed on reads, writes or dials.
+pub const TRANSPORT_IO_ERRORS: &str = "gossamer_transport_io_errors_total";
+/// Counter: outbound connection attempts.
+pub const TRANSPORT_DIALS_ATTEMPTED: &str = "gossamer_transport_dials_attempted_total";
+/// Counter: outbound connection attempts that failed.
+pub const TRANSPORT_DIALS_FAILED: &str = "gossamer_transport_dials_failed_total";
+/// Counter: sends dropped because the peer's link was quarantined or
+/// backing off.
+pub const TRANSPORT_SENDS_SUPPRESSED: &str = "gossamer_transport_sends_suppressed_total";
+/// Counter: faults the injection harness deliberately applied (also the
+/// simulator's count of messages lost to the configured loss rate).
+pub const TRANSPORT_FAULTS_INJECTED: &str = "gossamer_transport_faults_injected_total";
+/// Gauge: peer links the health registry currently tracks.
+pub const TRANSPORT_LINKS: &str = "gossamer_transport_links";
+/// Gauge: tracked links currently quarantined by consecutive failures.
+pub const TRANSPORT_LINKS_QUARANTINED: &str = "gossamer_transport_links_quarantined";
+/// Gauge: worst observed gap between ticker wakeups, in microseconds
+/// (scheduler stall detector).
+pub const TRANSPORT_MAX_TICK_GAP_US: &str = "gossamer_transport_max_tick_gap_us";
+
+// ---- durable store (crates/store) -------------------------------------
+
+/// Counter: records appended to the write-ahead log.
+pub const WAL_APPENDS: &str = "gossamer_wal_appends_total";
+/// Counter: bytes appended to the write-ahead log (framing included).
+pub const WAL_APPEND_BYTES: &str = "gossamer_wal_append_bytes_total";
+/// Counter: explicit `fsync` batches issued against the log file.
+pub const WAL_FSYNCS: &str = "gossamer_wal_fsyncs_total";
+/// Counter: log compactions (snapshot rewrite + atomic rename).
+pub const WAL_COMPACTIONS: &str = "gossamer_wal_compactions_total";
+/// Histogram: latency of a single record append, in microseconds.
+pub const WAL_APPEND_LATENCY_US: &str = "gossamer_wal_append_latency_us";
+/// Histogram: latency of an fsync batch, in microseconds.
+pub const WAL_FSYNC_LATENCY_US: &str = "gossamer_wal_fsync_latency_us";
+/// Histogram: latency of a full log compaction, in microseconds.
+pub const WAL_COMPACTION_LATENCY_US: &str = "gossamer_wal_compaction_latency_us";
+
+/// Every name in the catalogue, in rendering order.
+///
+/// Registration code does not use this slice (each layer registers only
+/// its own names); it exists so tests and the bench snapshot can assert
+/// catalogue-wide properties without hand-maintaining a second list.
+pub const ALL: &[&str] = &[
+    DECODER_BLOCKS_INNOVATIVE,
+    DECODER_BLOCKS_REDUNDANT,
+    DECODER_SEGMENTS_DECODED,
+    DECODER_SEGMENTS_IN_PROGRESS,
+    DECODER_IN_PROGRESS_RANK,
+    COLLECTOR_PULLS_ISSUED,
+    COLLECTOR_PULLS_ANSWERED,
+    COLLECTOR_BLOCKS_RECEIVED,
+    COLLECTOR_RECORDS_RECOVERED,
+    COLLECTOR_EFFICIENCY_PERMILLE,
+    COLLECTOR_CHECKPOINTS,
+    COLLECTOR_PERSIST_ERRORS,
+    COLLECTOR_RESTARTS,
+    TRANSPORT_FRAMES_OUT,
+    TRANSPORT_FRAMES_IN,
+    TRANSPORT_IO_ERRORS,
+    TRANSPORT_DIALS_ATTEMPTED,
+    TRANSPORT_DIALS_FAILED,
+    TRANSPORT_SENDS_SUPPRESSED,
+    TRANSPORT_FAULTS_INJECTED,
+    TRANSPORT_LINKS,
+    TRANSPORT_LINKS_QUARANTINED,
+    TRANSPORT_MAX_TICK_GAP_US,
+    WAL_APPENDS,
+    WAL_APPEND_BYTES,
+    WAL_FSYNCS,
+    WAL_COMPACTIONS,
+    WAL_APPEND_LATENCY_US,
+    WAL_FSYNC_LATENCY_US,
+    WAL_COMPACTION_LATENCY_US,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn names_are_unique_and_well_formed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(*name), "duplicate metric name {name}");
+            assert!(
+                name.starts_with("gossamer_"),
+                "{name} must carry the gossamer_ namespace"
+            );
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{name} must be snake_case ASCII"
+            );
+        }
+    }
+}

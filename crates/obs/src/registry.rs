@@ -1,0 +1,613 @@
+//! The lock-light metrics registry.
+//!
+//! A [`Registry`] is a named map from metric name to one of three
+//! instrument kinds — [`Counter`], [`Gauge`], [`Histogram`] — all of
+//! which are cheap `Arc`-backed handles around plain atomics. The
+//! registry's interior mutex is touched only at registration and
+//! snapshot time; the hot paths (`inc`, `set`, `record`) are a single
+//! relaxed atomic RMW with no locking, no allocation and no wall-clock
+//! reads, so they are safe to call from the decoder's per-block receive
+//! path and from the simulator's deterministic event loop alike.
+//!
+//! A [`Snapshot`] is a point-in-time copy of every registered value and
+//! knows how to render itself as Prometheus text exposition format or
+//! as a JSON document (hand-rolled; the workspace deliberately carries
+//! no JSON dependency).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::sync::{Arc, AtomicU64, Mutex, Ordering};
+
+/// Number of fixed log-scale buckets every [`Histogram`] carries.
+///
+/// Bucket `0` holds the value `0`; bucket `i > 0` holds values whose
+/// bit width is `i`, i.e. the range `[2^(i-1), 2^i - 1]`; the last
+/// bucket additionally absorbs everything wider. 32 buckets cover
+/// `[0, 2^31)` — comfortably past any microsecond latency the WAL or
+/// the transport will ever record in one operation.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Upper (inclusive) bound of histogram bucket `index`, or `None` for
+/// the final catch-all bucket (rendered as `+Inf`).
+#[must_use]
+pub const fn bucket_upper_bound(index: usize) -> Option<u64> {
+    if index + 1 >= HISTOGRAM_BUCKETS {
+        None
+    } else {
+        Some((1u64 << index) - 1)
+    }
+}
+
+/// Index of the bucket a recorded value falls into.
+#[must_use]
+pub const fn bucket_index(value: u64) -> usize {
+    let width = (u64::BITS - value.leading_zeros()) as usize;
+    if width >= HISTOGRAM_BUCKETS {
+        HISTOGRAM_BUCKETS - 1
+    } else {
+        width
+    }
+}
+
+/// A monotonically increasing count. Cloning shares the underlying
+/// cell; increments from any clone are visible to all.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    fn new() -> Self {
+        Self {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (queue depths, ranks, link counts).
+/// Stored as a `u64`; the quantities gossamer tracks are all
+/// non-negative by construction.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Self {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, value: u64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `candidate` if it is larger than what is
+    /// stored (high-water-mark gauges like the worst tick gap).
+    pub fn record_max(&self, candidate: u64) {
+        self.cell.fetch_max(candidate, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+/// A fixed log-scale latency/size distribution; see
+/// [`HISTOGRAM_BUCKETS`] for the bucket layout. Recording is two
+/// relaxed atomic adds — no locking, no floating point.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    cells: Arc<HistogramCells>,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            cells: Arc::new(HistogramCells {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.cells.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.cells.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the distribution.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .cells
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.cells.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The instrument kinds a registry entry can hold.
+#[derive(Clone, Debug)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Handle {
+    const fn kind(&self) -> &'static str {
+        match self {
+            Self::Counter(_) => "counter",
+            Self::Gauge(_) => "gauge",
+            Self::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    help: &'static str,
+    handle: Handle,
+}
+
+/// A named collection of instruments.
+///
+/// Registration is idempotent: asking twice for the same name and kind
+/// returns handles over the same cell, so independent subsystems can
+/// each register the metrics they touch without coordinating. Names are
+/// `&'static str` on purpose — every gossamer metric name is a constant
+/// in [`crate::names`], which is what the xtask catalogue check lints.
+#[derive(Debug)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<&'static str, Entry>>,
+}
+
+// Manual impl: the model checker's mutex (swapped in under `--cfg
+// loom`) does not implement `Default`, so a derive would not compile
+// there.
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    // Not `const`: the model checker's mutex constructor is not const,
+    // and this signature must compile identically under `--cfg loom`.
+    #[allow(clippy::missing_const_for_fn)]
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            entries: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers (or retrieves) the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind —
+    /// that is a metric-name collision, which the catalogue exists to
+    /// prevent, so it is a programming error rather than a runtime
+    /// condition.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
+        match self.register(name, help, || Handle::Counter(Counter::new())) {
+            Handle::Counter(c) => c,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        match self.register(name, help, || Handle::Gauge(Gauge::new())) {
+            Handle::Gauge(g) => g,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) the histogram `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
+        match self.register(name, help, || Handle::Histogram(Histogram::new())) {
+            Handle::Histogram(h) => h,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let mut entries = self.entries.lock();
+        entries
+            .entry(name)
+            .or_insert_with(|| Entry {
+                help,
+                handle: make(),
+            })
+            .handle
+            .clone()
+    }
+
+    /// Point-in-time copy of every registered metric, sorted by name.
+    ///
+    /// Concurrent increments during the walk are fine: each value is a
+    /// single relaxed load, so a snapshot observes, for every metric
+    /// independently, some value that was current at some instant
+    /// between the start and end of the call.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.entries.lock();
+        let metrics = entries
+            .iter()
+            .map(|(name, entry)| MetricSnapshot {
+                name,
+                help: entry.help,
+                value: match &entry.handle {
+                    Handle::Counter(c) => MetricValue::Counter(c.get()),
+                    Handle::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Handle::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        drop(entries);
+        Snapshot { metrics }
+    }
+}
+
+/// A captured value of one metric.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Instantaneous level.
+    Gauge(u64),
+    /// Bucketed distribution.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// The Prometheus `# TYPE` keyword for this value.
+    #[must_use]
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            Self::Counter(_) => "counter",
+            Self::Gauge(_) => "gauge",
+            Self::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Captured distribution of one histogram; `buckets[i]` is the
+/// *non-cumulative* count of observations that fell into bucket `i`
+/// (see [`bucket_upper_bound`] for the bounds).
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts, `HISTOGRAM_BUCKETS` long.
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`): the
+    /// inclusive upper bound of the first bucket at which the
+    /// cumulative count reaches `q * count`. Returns `None` when the
+    /// histogram is empty or the quantile lands in the open-ended last
+    /// bucket.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let threshold = (q * count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= threshold {
+                return bucket_upper_bound(i);
+            }
+        }
+        None
+    }
+
+    /// Index of the highest bucket with at least one observation, or
+    /// `None` for an empty histogram.
+    fn highest_occupied(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&b| b != 0)
+    }
+}
+
+/// A point-in-time copy of a whole registry; see [`Registry::snapshot`].
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// One entry per registered metric, sorted by name.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+/// One metric inside a [`Snapshot`].
+#[derive(Clone, Debug)]
+pub struct MetricSnapshot {
+    /// Registered name (a [`crate::names`] constant).
+    pub name: &'static str,
+    /// Registered help text.
+    pub help: &'static str,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` preamble per metric,
+    /// cumulative `_bucket{le="..."}` series plus `_sum` / `_count`
+    /// for histograms.
+    #[must_use]
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for metric in &self.metrics {
+            let _ = writeln!(out, "# HELP {} {}", metric.name, metric.help);
+            let _ = writeln!(out, "# TYPE {} {}", metric.name, metric.value.kind());
+            match &metric.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{} {v}", metric.name);
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    let rendered = h.highest_occupied().map_or(0, |hi| hi + 1);
+                    for (i, bucket) in h.buckets.iter().enumerate().take(rendered) {
+                        cumulative += bucket;
+                        if let Some(le) = bucket_upper_bound(i) {
+                            let _ =
+                                writeln!(out, "{}_bucket{{le=\"{le}\"}} {cumulative}", metric.name);
+                        }
+                    }
+                    let count = h.count();
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {count}", metric.name);
+                    let _ = writeln!(out, "{}_sum {}", metric.name, h.sum);
+                    let _ = writeln!(out, "{}_count {count}", metric.name);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON document:
+    /// `{"metrics": [{"name", "kind", "help", ...value fields}]}`.
+    /// Scalars carry `"value"`; histograms carry `"count"`, `"sum"` and
+    /// a cumulative `"buckets"` array whose final entry has
+    /// `"le": null` (the `+Inf` bucket).
+    #[must_use]
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, metric) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"help\":\"{}\"",
+                metric.name,
+                metric.value.kind(),
+                escape_json(metric.help)
+            );
+            match &metric.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let _ = write!(out, ",\"value\":{v}}}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        ",\"count\":{},\"sum\":{},\"buckets\":[",
+                        h.count(),
+                        h.sum
+                    );
+                    let mut cumulative = 0u64;
+                    let rendered = h.highest_occupied().map_or(0, |hi| hi + 1);
+                    for (j, bucket) in h.buckets.iter().enumerate().take(rendered) {
+                        cumulative += bucket;
+                        if let Some(le) = bucket_upper_bound(j) {
+                            let _ = write!(out, "{{\"le\":{le},\"count\":{cumulative}}},");
+                        }
+                    }
+                    let _ = write!(out, "{{\"le\":null,\"count\":{}}}]}}", h.count());
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Flattens the snapshot to `(name, value)` pairs: counters and
+    /// gauges verbatim, histograms as `<name>_count` and `<name>_sum`.
+    /// This is the form the simulator embeds in `SimReport` so a
+    /// simulated run serialises the same metric names a live
+    /// deployment exposes.
+    #[must_use]
+    pub fn scalars(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::with_capacity(self.metrics.len());
+        for metric in &self.metrics {
+            match &metric.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    out.push((metric.name.to_owned(), *v));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push((format!("{}_count", metric.name), h.count()));
+                    out.push((format!("{}_sum", metric.name), h.sum));
+                }
+            }
+        }
+        out
+    }
+
+    /// Looks up the scalar value of `name` (counter or gauge).
+    #[must_use]
+    pub fn scalar(&self, name: &str) -> Option<u64> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .and_then(|m| match &m.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => Some(*v),
+                MetricValue::Histogram(_) => None,
+            })
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), Some(0));
+        assert_eq!(bucket_upper_bound(1), Some(1));
+        assert_eq!(bucket_upper_bound(2), Some(3));
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), None);
+        // Every representable value lands in the bucket whose bound
+        // brackets it.
+        for v in [0u64, 1, 2, 3, 5, 100, 1_000_000, 1 << 40] {
+            let i = bucket_index(v);
+            if let Some(le) = bucket_upper_bound(i) {
+                assert!(v <= le, "{v} must be <= bucket bound {le}");
+            }
+            if i > 0 {
+                if let Some(below) = bucket_upper_bound(i - 1) {
+                    assert!(v > below, "{v} must exceed previous bound {below}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_kind_checked() {
+        let registry = Registry::new();
+        let a = registry.counter("gossamer_test_total", "a test counter");
+        let b = registry.counter("gossamer_test_total", "a test counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "clones must share the cell");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            registry.gauge("gossamer_test_total", "kind clash")
+        }));
+        assert!(result.is_err(), "kind collision must panic");
+    }
+
+    #[test]
+    fn snapshot_renders_prometheus_and_json() {
+        let registry = Registry::new();
+        registry.counter("gossamer_c_total", "counter").add(7);
+        registry.gauge("gossamer_g", "gauge").set(3);
+        let h = registry.histogram("gossamer_h_us", "histogram");
+        h.record(0);
+        h.record(5);
+        h.record(5);
+
+        let snap = registry.snapshot();
+        let text = snap.prometheus_text();
+        assert!(text.contains("# TYPE gossamer_c_total counter"));
+        assert!(text.contains("gossamer_c_total 7"));
+        assert!(text.contains("gossamer_g 3"));
+        assert!(text.contains("gossamer_h_us_bucket{le=\"0\"} 1"));
+        assert!(text.contains("gossamer_h_us_bucket{le=\"7\"} 3"));
+        assert!(text.contains("gossamer_h_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("gossamer_h_us_sum 10"));
+        assert!(text.contains("gossamer_h_us_count 3"));
+
+        let json = snap.json();
+        assert!(json.contains("\"name\":\"gossamer_c_total\",\"kind\":\"counter\""));
+        assert!(json.contains("\"value\":7"));
+        assert!(json.contains("\"count\":3,\"sum\":10"));
+        assert!(json.contains("{\"le\":null,\"count\":3}"));
+
+        let scalars = snap.scalars();
+        assert!(scalars.contains(&("gossamer_c_total".to_owned(), 7)));
+        assert!(scalars.contains(&("gossamer_h_us_count".to_owned(), 3)));
+        assert_eq!(snap.scalar("gossamer_g"), Some(3));
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 100);
+        let p50 = snap.quantile_upper_bound(0.5).expect("non-empty");
+        let p99 = snap.quantile_upper_bound(0.99).expect("non-empty");
+        assert!(p50 >= 50, "p50 bound {p50} must cover the median");
+        assert!(p99 >= 99, "p99 bound {p99} must cover the tail");
+        assert!(p50 <= p99);
+    }
+}

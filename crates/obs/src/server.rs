@@ -1,0 +1,237 @@
+//! The metrics endpoint: a minimal, dependency-free HTTP/1.1 server.
+//!
+//! [`MetricsServer`] serves point-in-time views of an
+//! [`Observability`] hub:
+//!
+//! | path            | content                                      |
+//! |-----------------|----------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition format            |
+//! | `/metrics.json` | the same registry snapshot as JSON           |
+//! | `/events`       | the retained event ring as JSON              |
+//! | `/`             | a plain-text index of the above              |
+//!
+//! The server is one accept-loop thread, one short-lived handler per
+//! connection, `Connection: close` semantics throughout — an
+//! operational scrape surface, not a web framework. It holds no state
+//! beyond the shared hub, so a scrape can never perturb the protocol
+//! threads it observes (snapshots are relaxed atomic reads).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use crate::sync::{Arc, AtomicBool, Ordering};
+use crate::Observability;
+
+/// Cap on the request head we are willing to buffer; scrape requests
+/// are a single short GET line plus a handful of headers.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Per-connection socket timeout; a stalled scraper must not pin the
+/// handler.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running metrics endpoint; see the module docs for the routes.
+/// Dropping the server stops the accept loop and joins its thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (port 0 picks a free port; see [`Self::addr`]) and
+    /// starts serving `obs` in a background thread.
+    ///
+    /// # Errors
+    /// Propagates the bind or thread-spawn failure.
+    pub fn bind(addr: SocketAddr, obs: Arc<Observability>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("gossamer-metrics".into())
+                .spawn(move || accept_loop(&listener, &obs, &stop))?
+        };
+        Ok(Self {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address actually bound (resolves a port-0 request).
+    #[must_use]
+    pub const fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread. Also runs on
+    /// drop; the explicit form exists for call sites that want the
+    /// shutdown ordered relative to other teardown.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; poke it awake with a
+        // throwaway connection so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, obs: &Arc<Observability>, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Handler errors mean the scraper went away mid-response; the
+        // next scrape starts fresh, so there is nothing to do with it.
+        let _ = handle(stream, obs);
+    }
+}
+
+fn handle(mut stream: TcpStream, obs: &Observability) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let Some(path) = read_request_path(&mut stream)? else {
+        return respond(
+            &mut stream,
+            400,
+            "text/plain; charset=utf-8",
+            "bad request\n",
+        );
+    };
+    match path.as_str() {
+        "/metrics" => {
+            let body = obs.registry().snapshot().prometheus_text();
+            respond(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/metrics.json" => {
+            let body = obs.registry().snapshot().json();
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/events" => respond(&mut stream, 200, "application/json", &obs.events().json()),
+        "/" => respond(
+            &mut stream,
+            200,
+            "text/plain; charset=utf-8",
+            "gossamer metrics endpoint\n/metrics\n/metrics.json\n/events\n",
+        ),
+        _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+/// Reads the request head and returns the GET target, or `None` for a
+/// request we refuse to interpret (non-GET, oversized, malformed).
+fn read_request_path(stream: &mut TcpStream) -> io::Result<Option<String>> {
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > MAX_REQUEST_BYTES {
+            return Ok(None);
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(Some(path.to_owned())),
+        _ => Ok(None),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        _ => "Not Found",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    #[test]
+    fn serves_prometheus_json_events_and_404() {
+        let obs = Arc::new(Observability::new());
+        obs.registry()
+            .counter("gossamer_srv_test_total", "server test")
+            .add(5);
+        obs.events()
+            .record(Severity::Info, "test", 1, "hello endpoint".into());
+        let server =
+            MetricsServer::bind("127.0.0.1:0".parse().expect("loopback"), Arc::clone(&obs))
+                .expect("bind metrics server");
+        let addr = server.addr();
+
+        let text = get(addr, "/metrics");
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.contains("# TYPE gossamer_srv_test_total counter"));
+        assert!(text.contains("gossamer_srv_test_total 5"));
+
+        let json = get(addr, "/metrics.json");
+        assert!(json.contains("application/json"));
+        assert!(json.contains("\"name\":\"gossamer_srv_test_total\",\"kind\":\"counter\",\"help\":\"server test\",\"value\":5"));
+
+        let events = get(addr, "/events");
+        assert!(events.contains("hello endpoint"));
+
+        let index = get(addr, "/");
+        assert!(index.contains("/metrics.json"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        server.shutdown();
+    }
+}

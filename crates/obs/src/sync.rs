@@ -1,0 +1,59 @@
+//! Switchable synchronisation primitives for the observability layer.
+//!
+//! In production builds these are `std`'s atomics plus a thin
+//! poison-recovering wrapper over `std::sync::Mutex` (the crate is
+//! zero-dependency by default, so `parking_lot` is deliberately not
+//! used here). When compiled with `RUSTFLAGS="--cfg loom"` they swap to
+//! the in-repo `loom` model checker's instrumented versions, so
+//! `cargo test -p gossamer-obs --test loom_snapshot` explores *every*
+//! interleaving of the registry's increment/snapshot protocol.
+//!
+//! Everything in the registry and the event ring that synchronises
+//! threads must come through this module, or the model checker is blind
+//! to it.
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(loom)]
+pub use loom::sync::{Mutex, MutexGuard};
+
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+#[cfg(not(loom))]
+mod plain {
+    /// A `std::sync::Mutex` with the `parking_lot`-style infallible
+    /// `lock()` the rest of the workspace uses.
+    ///
+    /// A poisoned lock is recovered rather than propagated: every
+    /// critical section in this crate only mutates plain counters and
+    /// ring buffers, which remain structurally valid even if a holder
+    /// panicked mid-update.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    /// Guard type returned by [`Mutex::lock`].
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        /// Wraps `value` in a new mutex.
+        pub const fn new(value: T) -> Self {
+            Self(std::sync::Mutex::new(value))
+        }
+
+        /// Acquires the lock, recovering from poisoning.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
+}
+
+#[cfg(not(loom))]
+pub use plain::{Mutex, MutexGuard};
+
+// `loom::sync::Arc` is a re-export of `std::sync::Arc` (cloning a
+// reference-counted pointer is not a visible operation to the checker),
+// so both configurations share one definition.
+pub use std::sync::Arc;

@@ -1,0 +1,92 @@
+//! Concurrency smoke tests for the metrics registry.
+//!
+//! These run real OS threads (contrast `loom_snapshot.rs`, which
+//! explores every interleaving of a tiny model): many writers hammer
+//! shared instruments and the final snapshot must account for every
+//! update, while snapshots taken *during* the run must only ever move
+//! forward.
+
+use std::sync::Arc;
+use std::thread;
+
+use gossamer_obs::{Registry, HISTOGRAM_BUCKETS};
+
+const THREADS: u64 = 8;
+const OPS_PER_THREAD: u64 = 100_000;
+
+#[test]
+fn counter_increments_from_many_threads_all_land() {
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                // Register from inside the thread: registration is
+                // idempotent, so every thread gets the same cell.
+                let counter = registry.counter("gossamer_test_hits_total", "test");
+                for _ in 0..OPS_PER_THREAD {
+                    counter.inc();
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("writer thread");
+    }
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.scalar("gossamer_test_hits_total"),
+        Some(THREADS * OPS_PER_THREAD)
+    );
+}
+
+#[test]
+fn histogram_accounts_for_every_record_under_contention() {
+    let registry = Arc::new(Registry::new());
+    let histogram = registry.histogram("gossamer_test_latency_us", "test");
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let histogram = histogram.clone();
+            thread::spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    // A deterministic spread over many buckets.
+                    histogram.record((t * OPS_PER_THREAD + i) % 1024);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("writer thread");
+    }
+    let snap = histogram.snapshot();
+    assert_eq!(snap.count(), THREADS * OPS_PER_THREAD);
+    let expected_sum: u64 = (0..THREADS)
+        .flat_map(|t| (0..OPS_PER_THREAD).map(move |i| (t * OPS_PER_THREAD + i) % 1024))
+        .sum();
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(snap.buckets.len(), HISTOGRAM_BUCKETS);
+}
+
+#[test]
+fn snapshots_taken_during_the_run_are_monotonic() {
+    let registry = Arc::new(Registry::new());
+    let counter = registry.counter("gossamer_test_progress_total", "test");
+    let writer = {
+        let counter = counter.clone();
+        thread::spawn(move || {
+            for _ in 0..OPS_PER_THREAD {
+                counter.inc();
+            }
+        })
+    };
+    // A counter handle only ever adds, so any two reads — even racing
+    // with the writer — must be ordered.
+    let mut last = 0;
+    while last < OPS_PER_THREAD {
+        let now = counter.get();
+        assert!(now >= last, "counter went backwards: {last} -> {now}");
+        last = now;
+    }
+    writer.join().expect("writer thread");
+    assert_eq!(counter.get(), OPS_PER_THREAD);
+}

@@ -1,0 +1,90 @@
+//! Exhaustive concurrency models of the registry's snapshot protocol.
+//!
+//! Compiled and run only under the model checker:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test -p gossamer-obs --test loom_snapshot
+//! ```
+//!
+//! Under `--cfg loom` the crate's `sync` shim swaps `std` primitives for
+//! the in-repo checker's instrumented versions, so every interleaving of
+//! the increment/snapshot pair is explored — not the ones the OS happens
+//! to schedule. The registry's contract is *no lost updates and no torn
+//! reads*, not cross-instrument consistency: a snapshot racing a
+//! histogram record may see the bucket without the sum (they are two
+//! relaxed adds), and the models below pin down exactly that boundary.
+
+#![cfg(loom)]
+
+use gossamer_obs::Registry;
+use loom::sync::Arc;
+use loom::thread;
+
+/// Concurrent registration of the same name must converge on one cell:
+/// whatever the interleaving, both increments land on it.
+#[test]
+fn concurrent_registration_shares_one_cell() {
+    loom::model(|| {
+        let registry = Arc::new(Registry::new());
+        let writer = {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                registry.counter("gossamer_test_total", "test").inc();
+            })
+        };
+        registry.counter("gossamer_test_total", "test").inc();
+        writer.join();
+        assert_eq!(
+            registry.snapshot().scalar("gossamer_test_total"),
+            Some(2),
+            "an increment was lost to a racing registration"
+        );
+    });
+}
+
+/// A snapshot racing a counter increment sees either the old or the new
+/// value — never a torn one — and the final snapshot sees everything.
+#[test]
+fn snapshot_racing_increment_is_never_torn() {
+    loom::model(|| {
+        let registry = Arc::new(Registry::new());
+        let counter = registry.counter("gossamer_test_total", "test");
+        let writer = {
+            let counter = counter.clone();
+            thread::spawn(move || {
+                counter.inc();
+                counter.inc();
+            })
+        };
+        let observed = registry
+            .snapshot()
+            .scalar("gossamer_test_total")
+            .expect("registered before the race");
+        assert!(observed <= 2, "impossible mid-race value {observed}");
+        writer.join();
+        assert_eq!(registry.snapshot().scalar("gossamer_test_total"), Some(2));
+    });
+}
+
+/// A histogram record is two relaxed adds (bucket, then sum); a racing
+/// snapshot may observe any prefix of that sequence, but never more than
+/// was written, and the post-join snapshot must account for the record
+/// exactly.
+#[test]
+fn histogram_snapshot_sees_a_prefix_of_the_record() {
+    loom::model(|| {
+        let registry = Arc::new(Registry::new());
+        let histogram = registry.histogram("gossamer_test_us", "test");
+        let writer = {
+            let histogram = histogram.clone();
+            thread::spawn(move || histogram.record(3))
+        };
+        let snap = histogram.snapshot();
+        assert!(snap.count() <= 1, "count overshot: {}", snap.count());
+        assert!(snap.sum <= 3, "sum overshot: {}", snap.sum);
+        writer.join();
+        let done = histogram.snapshot();
+        assert_eq!(done.count(), 1);
+        assert_eq!(done.sum, 3);
+    });
+}

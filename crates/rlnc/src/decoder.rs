@@ -2,7 +2,9 @@
 
 use std::collections::HashMap;
 
-use crate::{CodedBlock, CodingError, InsertOutcome, SegmentBuffer, SegmentId, SegmentParams};
+use crate::{
+    CodedBlock, CodingError, DecoderMetrics, InsertOutcome, SegmentBuffer, SegmentId, SegmentParams,
+};
 
 /// A fully decoded segment: the original blocks, in order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +92,7 @@ pub struct Decoder {
     decoded: HashMap<SegmentId, DecodedSegment>,
     abandoned: std::collections::HashSet<SegmentId>,
     stats: DecoderStats,
+    metrics: Option<DecoderMetrics>,
 }
 
 impl Decoder {
@@ -102,6 +105,35 @@ impl Decoder {
             decoded: HashMap::new(),
             abandoned: std::collections::HashSet::new(),
             stats: DecoderStats::default(),
+            metrics: None,
+        }
+    }
+
+    /// Attaches registry handles; from here on every reception outcome
+    /// and rank change is published as it happens. Existing state is
+    /// folded in immediately so a decoder instrumented after recovery
+    /// starts from its true counters, not from zero.
+    pub fn attach_metrics(&mut self, metrics: DecoderMetrics) {
+        metrics.innovative.add(self.stats.innovative as u64);
+        metrics.redundant.add(self.stats.redundant as u64);
+        metrics
+            .segments_decoded
+            .add(self.stats.segments_decoded as u64);
+        self.metrics = Some(metrics);
+        self.publish_rank_gauges();
+    }
+
+    /// Pushes the current in-progress shape into the attached gauges
+    /// (no-op without metrics). Cost is linear in the number of
+    /// in-progress segments, which the pull discipline keeps small.
+    fn publish_rank_gauges(&self) {
+        if let Some(metrics) = &self.metrics {
+            metrics
+                .segments_in_progress
+                .set(self.in_progress.len() as u64);
+            metrics
+                .in_progress_rank
+                .set(self.in_progress_rank_sum() as u64);
         }
     }
 
@@ -132,6 +164,9 @@ impl Decoder {
         let id = block.segment();
         if self.decoded.contains_key(&id) || self.abandoned.contains(&id) {
             self.stats.redundant += 1;
+            if let Some(metrics) = &self.metrics {
+                metrics.redundant.inc();
+            }
             return Ok(None);
         }
         let buffer = self
@@ -141,11 +176,17 @@ impl Decoder {
         match buffer.insert(block)? {
             InsertOutcome::Redundant => {
                 self.stats.redundant += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.redundant.inc();
+                }
                 Ok(None)
             }
             InsertOutcome::Innovative { .. } => {
                 self.stats.innovative += 1;
-                if buffer.is_full() {
+                if let Some(metrics) = &self.metrics {
+                    metrics.innovative.inc();
+                }
+                let result = if buffer.is_full() {
                     let buffer = self
                         .in_progress
                         .remove(&id)
@@ -156,10 +197,15 @@ impl Decoder {
                     let segment = DecodedSegment { id, blocks };
                     self.decoded.insert(id, segment.clone());
                     self.stats.segments_decoded += 1;
+                    if let Some(metrics) = &self.metrics {
+                        metrics.segments_decoded.inc();
+                    }
                     Ok(Some(segment))
                 } else {
                     Ok(None)
-                }
+                };
+                self.publish_rank_gauges();
+                result
             }
         }
     }
@@ -212,6 +258,7 @@ impl Decoder {
             return false;
         }
         self.in_progress.remove(&id);
+        self.publish_rank_gauges();
         true
     }
 
@@ -285,6 +332,10 @@ impl Decoder {
         self.in_progress.remove(&id);
         self.decoded.insert(id, segment);
         self.stats.segments_decoded += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.segments_decoded.inc();
+        }
+        self.publish_rank_gauges();
         Ok(true)
     }
 
@@ -298,6 +349,7 @@ impl Decoder {
     pub fn prune<F: FnMut(SegmentId) -> bool>(&mut self, mut expired: F) -> usize {
         let before = self.in_progress.len();
         self.in_progress.retain(|&id, _| !expired(id));
+        self.publish_rank_gauges();
         before - self.in_progress.len()
     }
 }
@@ -419,6 +471,62 @@ mod tests {
         }
         assert!(!decoder.abandon(src.id()), "decoded beats abandoned");
         assert!(decoder.decoded_segment(src.id()).is_some());
+    }
+
+    #[test]
+    fn attached_metrics_track_rank_evolution() {
+        use gossamer_obs::names;
+        let registry = gossamer_obs::Registry::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut decoder = Decoder::new(params());
+        decoder.attach_metrics(crate::DecoderMetrics::register(&registry));
+
+        let src = source(1);
+        decoder.receive(src.emit(&mut rng)).unwrap();
+        let mid = registry.snapshot();
+        assert_eq!(mid.scalar(names::DECODER_SEGMENTS_IN_PROGRESS), Some(1));
+        assert_eq!(mid.scalar(names::DECODER_IN_PROGRESS_RANK), Some(1));
+
+        while !decoder.is_decoded(src.id()) {
+            decoder.receive(src.emit(&mut rng)).unwrap();
+        }
+        decoder.receive(src.emit(&mut rng)).unwrap();
+
+        let done = registry.snapshot();
+        assert_eq!(done.scalar(names::DECODER_SEGMENTS_DECODED), Some(1));
+        assert_eq!(
+            done.scalar(names::DECODER_BLOCKS_INNOVATIVE),
+            Some(decoder.stats().innovative as u64),
+            "registry must mirror the lifetime stats"
+        );
+        assert_eq!(
+            done.scalar(names::DECODER_BLOCKS_REDUNDANT),
+            Some(decoder.stats().redundant as u64)
+        );
+        assert_eq!(done.scalar(names::DECODER_SEGMENTS_IN_PROGRESS), Some(0));
+        assert_eq!(done.scalar(names::DECODER_IN_PROGRESS_RANK), Some(0));
+    }
+
+    #[test]
+    fn attach_after_recovery_folds_existing_state_in() {
+        use gossamer_obs::names;
+        let mut rng = StdRng::seed_from_u64(12);
+        let src = source(1);
+        let mut first = Decoder::new(params());
+        while !first.is_decoded(src.id()) {
+            first.receive(src.emit(&mut rng)).unwrap();
+        }
+        let mut restored = Decoder::new(params());
+        restored
+            .restore_decoded(first.decoded_segment(src.id()).unwrap().clone())
+            .unwrap();
+        let registry = gossamer_obs::Registry::new();
+        restored.attach_metrics(crate::DecoderMetrics::register(&registry));
+        assert_eq!(
+            registry.snapshot().scalar(names::DECODER_SEGMENTS_DECODED),
+            Some(1),
+            "recovered segments must be visible at attach time"
+        );
     }
 
     #[test]

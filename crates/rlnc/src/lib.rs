@@ -67,6 +67,7 @@ mod coded;
 mod decoder;
 mod error;
 mod ids;
+mod metrics;
 mod params;
 mod rs;
 mod source;
@@ -79,6 +80,7 @@ pub use coded::CodedBlock;
 pub use decoder::{DecodedSegment, Decoder, DecoderStats};
 pub use error::{CodingError, WireError};
 pub use ids::SegmentId;
+pub use metrics::DecoderMetrics;
 pub use params::SegmentParams;
 pub use rs::{ReedSolomon, RsError};
 pub use source::SourceSegment;

@@ -1,0 +1,50 @@
+//! Decoder instrumentation: registry handles updated on the receive path.
+
+use gossamer_obs::{names, Counter, Gauge, Registry};
+
+/// The decoder's handles into an observability registry.
+///
+/// Attached to a [`Decoder`](crate::Decoder) via
+/// [`Decoder::attach_metrics`](crate::Decoder::attach_metrics), these
+/// publish the rank-evolution view of decoding: every innovative /
+/// redundant block reception increments a counter, and the two gauges
+/// track how many segments are mid-decode and their summed rank — the
+/// live coupon-collector progress curve the paper's Section 4 analyses.
+///
+/// Every update is a relaxed atomic operation; attaching metrics adds
+/// no locking or allocation to the per-block hot path.
+#[derive(Debug, Clone)]
+pub struct DecoderMetrics {
+    pub(crate) innovative: Counter,
+    pub(crate) redundant: Counter,
+    pub(crate) segments_decoded: Counter,
+    pub(crate) segments_in_progress: Gauge,
+    pub(crate) in_progress_rank: Gauge,
+}
+
+impl DecoderMetrics {
+    /// Registers (or retrieves) the decoder's metrics in `registry`.
+    #[must_use]
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            innovative: registry.counter(
+                names::DECODER_BLOCKS_INNOVATIVE,
+                "coded blocks that raised some segment's decode rank",
+            ),
+            redundant: registry.counter(
+                names::DECODER_BLOCKS_REDUNDANT,
+                "coded blocks discarded as linearly dependent or already decoded",
+            ),
+            segments_decoded: registry
+                .counter(names::DECODER_SEGMENTS_DECODED, "segments fully decoded"),
+            segments_in_progress: registry.gauge(
+                names::DECODER_SEGMENTS_IN_PROGRESS,
+                "segments currently mid-decode",
+            ),
+            in_progress_rank: registry.gauge(
+                names::DECODER_IN_PROGRESS_RANK,
+                "summed rank over all in-progress segments",
+            ),
+        }
+    }
+}

@@ -36,12 +36,18 @@ pub const VERSION: u8 = 1;
 /// cannot drive allocation.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
+/// Bytes before the coefficient vector: magic, version, segment id,
+/// segment size, block length.
 const FIXED_HEADER: usize = 1 + 1 + 8 + 1 + 4;
+/// Bytes after the payload: the CRC-32 of everything before it.
 const TRAILER: usize = 4;
 
 /// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
 const CRC_TABLE: [u32; 256] = build_crc_table();
 
+/// Builds [`CRC_TABLE`] with the standard reflected-polynomial
+/// bit-at-a-time recurrence (const-evaluable, so it costs nothing at
+/// runtime).
 const fn build_crc_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;

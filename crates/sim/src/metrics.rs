@@ -1,5 +1,6 @@
 //! Measurement machinery and the final report.
 
+use gossamer_obs::{names, Registry};
 use serde::Serialize;
 
 /// Session-throughput statistics over the measurement window.
@@ -140,6 +141,12 @@ pub struct SimReport {
     /// undecoded segments) wiped by collector restarts. Decoded
     /// segments survive restarts and are not counted here.
     pub restart_lost_rank: u64,
+    /// Final measurement-window counters under the workspace-wide names
+    /// of [`gossamer_obs::names`] — the same identifiers a live
+    /// deployment's `--metrics-addr` endpoint serves, so a simulated run
+    /// and a measured one compare line-for-line (`cargo xtask lint`
+    /// keeps the catalogue honest). Sorted by name.
+    pub metrics: Vec<(String, u64)>,
     /// State samples over the whole run (including warm-up), for
     /// transient analysis against the ODE model.
     pub series: Vec<SamplePoint>,
@@ -220,6 +227,89 @@ impl Accumulator {
         }
     }
 
+    /// Drains the window counters into a fresh [`Registry`] under the
+    /// workspace-wide metric names and returns the flattened scalars.
+    ///
+    /// The simulator accumulates plainly (no atomics on the event loop)
+    /// and registers the final values once at the end of the run; what
+    /// matters for comparability with a live deployment is the names,
+    /// which this is the simulator's only source of.
+    fn drain_metrics(&self, residual_segments: u64) -> Vec<(String, u64)> {
+        let registry = Registry::new();
+        let answered = self.useful_pulls + self.redundant_pulls;
+        registry
+            .counter(
+                names::DECODER_BLOCKS_INNOVATIVE,
+                "pulled blocks that advanced some segment's collection state",
+            )
+            .add(self.useful_pulls);
+        registry
+            .counter(
+                names::DECODER_BLOCKS_REDUNDANT,
+                "pulled blocks wasted on complete segments or dependent rows",
+            )
+            .add(self.redundant_pulls);
+        registry
+            .counter(
+                names::DECODER_SEGMENTS_DECODED,
+                "segments fully decoded at the servers in the window",
+            )
+            .add(self.delivered_segments);
+        registry
+            .gauge(
+                names::DECODER_SEGMENTS_IN_PROGRESS,
+                "segments alive and undecoded when the run ended",
+            )
+            .set(residual_segments);
+        registry
+            .counter(
+                names::COLLECTOR_PULLS_ISSUED,
+                "server pulls issued in the window (useful, redundant or idle)",
+            )
+            .add(answered + self.idle_pulls);
+        registry
+            .counter(
+                names::COLLECTOR_PULLS_ANSWERED,
+                "server pulls that found a non-empty peer",
+            )
+            .add(answered);
+        registry
+            .counter(
+                names::COLLECTOR_BLOCKS_RECEIVED,
+                "coded blocks delivered by answered pulls",
+            )
+            .add(answered);
+        registry
+            .counter(
+                names::COLLECTOR_RECORDS_RECOVERED,
+                "original blocks reconstructed from decoded segments",
+            )
+            .add(self.delivered_blocks);
+        registry
+            .gauge(
+                names::COLLECTOR_EFFICIENCY_PERMILLE,
+                "useful pulls per thousand answered pulls",
+            )
+            .set(
+                (self.useful_pulls * 1000)
+                    .checked_div(answered)
+                    .unwrap_or(1000),
+            );
+        registry
+            .counter(
+                names::COLLECTOR_RESTARTS,
+                "collector crash/restart events the scenario injected",
+            )
+            .add(self.collector_restarts);
+        registry
+            .counter(
+                names::TRANSPORT_FAULTS_INJECTED,
+                "messages lost to the configured loss rate",
+            )
+            .add(self.dropped_messages);
+        registry.snapshot().scalars()
+    }
+
     pub(crate) fn finish(
         self,
         peers: usize,
@@ -228,6 +318,7 @@ impl Accumulator {
         residual_segments: u64,
         end_time: f64,
     ) -> SimReport {
+        let metrics = self.drain_metrics(residual_segments);
         let demand = peers as f64 * lambda * measure;
         let pulls = self.useful_pulls + self.redundant_pulls;
         let samples = self.samples.max(1) as f64;
@@ -293,6 +384,7 @@ impl Accumulator {
             departures: self.departures,
             collector_restarts: self.collector_restarts,
             restart_lost_rank: self.restart_lost_rank,
+            metrics,
             series: self.series,
             events: self.events,
             end_time,
@@ -338,6 +430,47 @@ mod tests {
         let report = acc.finish(10, 1.0, 1.0, 0, 0.0);
         assert_eq!(report.throughput.efficiency, 1.0);
         assert_eq!(report.delay.mean, 0.0);
+    }
+
+    #[test]
+    fn report_metrics_use_the_live_catalogue_names() {
+        let acc = Accumulator {
+            useful_pulls: 7,
+            redundant_pulls: 3,
+            idle_pulls: 2,
+            delivered_segments: 1,
+            delivered_blocks: 4,
+            dropped_messages: 5,
+            collector_restarts: 1,
+            ..Default::default()
+        };
+        let report = acc.finish(10, 1.0, 1.0, 6, 1.0);
+        let get = |name: &str| {
+            report
+                .metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .1
+        };
+        // Every exported name must come from the workspace catalogue —
+        // that identity is what makes SimReport comparable to a live
+        // deployment's scrape.
+        for (name, _) in &report.metrics {
+            assert!(
+                names::ALL.contains(&name.as_str()),
+                "{name} is not in gossamer_obs::names"
+            );
+        }
+        assert_eq!(get(names::DECODER_BLOCKS_INNOVATIVE), 7);
+        assert_eq!(get(names::DECODER_BLOCKS_REDUNDANT), 3);
+        assert_eq!(get(names::COLLECTOR_PULLS_ISSUED), 12);
+        assert_eq!(get(names::COLLECTOR_PULLS_ANSWERED), 10);
+        assert_eq!(get(names::COLLECTOR_RECORDS_RECOVERED), 4);
+        assert_eq!(get(names::COLLECTOR_EFFICIENCY_PERMILLE), 700);
+        assert_eq!(get(names::DECODER_SEGMENTS_IN_PROGRESS), 6);
+        assert_eq!(get(names::TRANSPORT_FAULTS_INJECTED), 5);
+        assert_eq!(get(names::COLLECTOR_RESTARTS), 1);
     }
 
     #[test]

@@ -29,12 +29,14 @@
 
 pub mod error;
 pub mod manifest;
+mod metrics;
 pub mod persist;
 pub mod record;
 pub mod wal;
 
 pub use error::StoreError;
 pub use manifest::{ShardAssignment, ShardManifest, MANIFEST_FILE};
+pub use metrics::WalMetrics;
 pub use persist::WalPersistence;
 pub use record::{decode_record, encode_record, peek_record_len, RecordError, WalRecord};
 pub use wal::{Wal, WalOptions};

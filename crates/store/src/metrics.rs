@@ -1,0 +1,66 @@
+//! WAL instrumentation: registry handles updated on the append path.
+
+use std::time::Instant;
+
+use gossamer_obs::{names, Counter, Histogram, Registry};
+
+/// Microseconds elapsed since `start`, saturating at `u64::MAX`.
+pub fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The write-ahead log's handles into an observability registry.
+///
+/// Attached to a [`Wal`](crate::Wal) via
+/// [`Wal::attach_metrics`](crate::Wal::attach_metrics) (or one layer up,
+/// via
+/// [`WalPersistence::attach_observability`](crate::WalPersistence::attach_observability)),
+/// these publish the durability cost of collection: append and fsync
+/// counts, bytes logged, compaction cycles, and a latency histogram per
+/// operation kind. Timing uses the wall clock here in the store layer —
+/// the registry itself never reads a clock, so simulated deployments
+/// stay deterministic.
+#[derive(Debug, Clone)]
+pub struct WalMetrics {
+    pub(crate) appends: Counter,
+    pub(crate) append_bytes: Counter,
+    pub(crate) fsyncs: Counter,
+    pub(crate) compactions: Counter,
+    pub(crate) append_latency_us: Histogram,
+    pub(crate) fsync_latency_us: Histogram,
+    pub(crate) compaction_latency_us: Histogram,
+}
+
+impl WalMetrics {
+    /// Registers (or retrieves) the WAL's metrics in `registry`.
+    #[must_use]
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            appends: registry.counter(
+                names::WAL_APPENDS,
+                "records appended to the write-ahead log",
+            ),
+            append_bytes: registry.counter(
+                names::WAL_APPEND_BYTES,
+                "bytes of encoded records appended to the write-ahead log",
+            ),
+            fsyncs: registry.counter(names::WAL_FSYNCS, "fsync batches forced to stable storage"),
+            compactions: registry.counter(
+                names::WAL_COMPACTIONS,
+                "log compactions (snapshot rewrites dropping superseded records)",
+            ),
+            append_latency_us: registry.histogram(
+                names::WAL_APPEND_LATENCY_US,
+                "microseconds spent encoding and writing one WAL record",
+            ),
+            fsync_latency_us: registry.histogram(
+                names::WAL_FSYNC_LATENCY_US,
+                "microseconds spent in one fsync batch",
+            ),
+            compaction_latency_us: registry.histogram(
+                names::WAL_COMPACTION_LATENCY_US,
+                "microseconds spent in one compaction cycle",
+            ),
+        }
+    }
+}

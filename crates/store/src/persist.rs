@@ -133,6 +133,15 @@ impl WalPersistence {
         Ok((Self { wal, state }, snapshot))
     }
 
+    /// Registers the WAL's metrics in `registry` and attaches the
+    /// handles, so every subsequent append, fsync batch and compaction
+    /// shows up in the shared observability snapshot (see
+    /// [`WalMetrics`](crate::WalMetrics) for the published names).
+    pub fn attach_observability(&mut self, registry: &gossamer_obs::Registry) {
+        self.wal
+            .attach_metrics(crate::metrics::WalMetrics::register(registry));
+    }
+
     /// Wire frames inside replayed checkpoints that failed to decode
     /// (each costs one redundant pull after recovery, nothing more).
     #[must_use]
@@ -281,6 +290,50 @@ mod tests {
         let (_, snapshot) = WalPersistence::open(&dir, options).unwrap();
         assert_eq!(snapshot.decoded.len(), 32);
         assert_eq!(snapshot.in_flight, vec![block(100)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn attached_registry_tracks_wal_activity() {
+        use gossamer_obs::{names, Registry};
+        let dir = tmp_dir("metrics");
+        let options = WalOptions {
+            sync_every: 8,
+            compact_min_bytes: 256,
+        };
+        let registry = Registry::new();
+        let (mut p, _) = WalPersistence::open(&dir, options).unwrap();
+        p.attach_observability(&registry);
+        for i in 0..32 {
+            p.segment_decoded(&segment(i)).unwrap();
+        }
+        p.flush().unwrap();
+        assert!(p.log_bytes() > 256);
+        p.checkpoint(&[block(100)]).unwrap(); // heavy log: compacts
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.scalar(names::WAL_APPENDS), Some(32));
+        assert!(snap.scalar(names::WAL_APPEND_BYTES).unwrap() > 256);
+        assert!(snap.scalar(names::WAL_FSYNCS).unwrap() >= 1);
+        assert_eq!(snap.scalar(names::WAL_COMPACTIONS), Some(1));
+        // Histograms flatten to `<name>_count` / `<name>_sum` scalars:
+        // one latency sample per append, one per compaction.
+        let scalars = snap.scalars();
+        let lookup = |name: String| {
+            scalars
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(
+            lookup(format!("{}_count", names::WAL_APPEND_LATENCY_US)),
+            32
+        );
+        assert_eq!(
+            lookup(format!("{}_count", names::WAL_COMPACTION_LATENCY_US)),
+            1
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

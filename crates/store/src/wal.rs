@@ -14,8 +14,10 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use crate::error::StoreError;
+use crate::metrics::{elapsed_us, WalMetrics};
 use crate::record::{decode_record, encode_record, WalRecord};
 
 /// Tuning for a [`Wal`].
@@ -49,6 +51,7 @@ pub struct Wal {
     bytes_in_file: u64,
     unsynced: u32,
     options: WalOptions,
+    metrics: Option<WalMetrics>,
 }
 
 fn file_name(index: u64) -> String {
@@ -153,9 +156,16 @@ impl Wal {
                 bytes_in_file: tail_len,
                 unsynced: 0,
                 options,
+                metrics: None,
             },
             records,
         ))
+    }
+
+    /// Attaches registry handles; subsequent appends, fsyncs and
+    /// compactions update them (see [`WalMetrics`]).
+    pub fn attach_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Appends one record, fsyncing when the batch threshold is reached.
@@ -165,6 +175,7 @@ impl Wal {
     /// I/O failures, or a [`StoreError::Io`] with `InvalidInput` when
     /// the record exceeds the format's size bound.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+        let started = Instant::now();
         let bytes = encode_record(record).map_err(|e| {
             StoreError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
@@ -173,6 +184,11 @@ impl Wal {
         })?;
         self.file.write_all(&bytes)?;
         self.bytes_in_file += bytes.len() as u64;
+        if let Some(m) = &self.metrics {
+            m.appends.inc();
+            m.append_bytes.add(bytes.len() as u64);
+            m.append_latency_us.record(elapsed_us(started));
+        }
         self.unsynced += 1;
         if self.unsynced >= self.options.sync_every {
             self.flush()?;
@@ -189,8 +205,13 @@ impl Wal {
         if self.unsynced == 0 {
             return Ok(());
         }
+        let started = Instant::now();
         self.file.sync_data()?;
         self.unsynced = 0;
+        if let Some(m) = &self.metrics {
+            m.fsyncs.inc();
+            m.fsync_latency_us.record(elapsed_us(started));
+        }
         Ok(())
     }
 
@@ -225,6 +246,7 @@ impl Wal {
     ///
     /// I/O failures; on error the old generation is still intact.
     pub fn compact(&mut self, snapshot: &[WalRecord]) -> Result<(), StoreError> {
+        let started = Instant::now();
         self.flush()?;
         let next_index = self.index + 1;
         let final_path = self.dir.join(file_name(next_index));
@@ -257,6 +279,10 @@ impl Wal {
             if index <= old_index {
                 fs::remove_file(path)?;
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.compactions.inc();
+            m.compaction_latency_us.record(elapsed_us(started));
         }
         Ok(())
     }

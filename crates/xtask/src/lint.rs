@@ -1,6 +1,6 @@
 //! The repository's static-analysis pass.
 //!
-//! Three rule families, all matched on *scrubbed* source (comments and
+//! Five rule families, all matched on *scrubbed* source (comments and
 //! string literals blanked out, so prose never trips a rule):
 //!
 //! 1. **Determinism** — `crates/sim` and `crates/ode` implement the
@@ -15,11 +15,21 @@
 //!    is allowed: the idiom is *check length, then slice*.
 //! 3. **Crate hygiene** — every library crate must carry
 //!    `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`.
+//! 4. **Print ban** — library code must not write to stdout/stderr
+//!    (`println!`, `eprintln!`, `print!`, `eprint!`, `dbg!`): daemons own
+//!    those streams, and diagnostics belong in the `gossamer-obs` event
+//!    log or a metric. Binaries (`src/bin/`, `src/main.rs`), tests and
+//!    the `xtask` CLI itself are exempt.
+//! 5. **Metric catalogue** — every metric name constant declared in
+//!    `crates/obs/src/names.rs` must appear in `docs/OBSERVABILITY.md`,
+//!    so the operator-facing catalogue cannot silently drift from the
+//!    code.
 //!
 //! A line may be exempted with a justification comment on it or the line
-//! above: `// xtask-ok: index (<why it cannot panic>)` or
-//! `// xtask-ok: nondet (<why it is deterministic>)`. The waiver is
-//! deliberately loud — it shows up in review diffs.
+//! above: `// xtask-ok: index (<why it cannot panic>)`,
+//! `// xtask-ok: nondet (<why it is deterministic>)` or
+//! `// xtask-ok: print (<why stdout is this code's interface>)`. The
+//! waiver is deliberately loud — it shows up in review diffs.
 
 use std::fmt;
 use std::fs;
@@ -85,6 +95,15 @@ const PANIC_TOKENS: &[&str] = &[
 /// Crate-level attributes every library must carry.
 const REQUIRED_ATTRS: &[&str] = &["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"];
 
+/// Stdout/stderr macros banned in library code by the print-ban rule.
+const PRINT_TOKENS: &[&str] = &["println!(", "eprintln!(", "print!(", "eprint!(", "dbg!("];
+
+/// Where the metric name constants live, relative to the workspace root.
+const METRIC_NAMES_FILE: &str = "crates/obs/src/names.rs";
+
+/// The operator-facing catalogue every metric name must appear in.
+const METRIC_CATALOGUE: &str = "docs/OBSERVABILITY.md";
+
 /// One rule violation at a source location.
 #[derive(Debug)]
 pub struct Violation {
@@ -122,6 +141,8 @@ pub fn run(root: &Path) -> io::Result<Vec<Violation>> {
     determinism_lint(root, &mut violations)?;
     panic_path_lint(root, &mut violations)?;
     crate_attribute_lint(root, &mut violations)?;
+    print_lint(root, &mut violations)?;
+    metric_docs_lint(root, &mut violations)?;
     Ok(violations)
 }
 
@@ -499,6 +520,85 @@ fn crate_attribute_lint(root: &Path, out: &mut Vec<Violation>) -> io::Result<()>
     Ok(())
 }
 
+fn print_lint(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
+    let crates = root.join("crates");
+    if !crates.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(&crates)? {
+        let dir = entry?.path();
+        // The xtask CLI's whole job is printing lint reports.
+        if !dir.is_dir() || dir.file_name().is_some_and(|n| n == "xtask") {
+            continue;
+        }
+        let src_dir = dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        for file in rust_files(&src_dir)? {
+            // Binaries own stdout; the rule covers library code only.
+            let is_bin = file
+                .strip_prefix(&src_dir)
+                .is_ok_and(|r| r.starts_with("bin"))
+                || file.file_name().is_some_and(|n| n == "main.rs");
+            if is_bin {
+                continue;
+            }
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            let src = Scrubbed::load(&file)?;
+            let in_test = test_mod_lines(&src.clean);
+            for (i, line) in src.clean.iter().enumerate() {
+                if in_test[i] {
+                    continue;
+                }
+                for token in PRINT_TOKENS {
+                    if find_token(line, token).is_some() && !src.waived(i, "xtask-ok: print") {
+                        out.push(Violation {
+                            file: rel.clone(),
+                            line: i + 1,
+                            rule: "print-ban",
+                            message: format!(
+                                "`{token}..)` in library code; record a gossamer-obs \
+                                 event or metric instead",
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn metric_docs_lint(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
+    let names = root.join(METRIC_NAMES_FILE);
+    if !names.is_file() {
+        return Ok(());
+    }
+    let source = fs::read_to_string(&names)?;
+    let docs = fs::read_to_string(root.join(METRIC_CATALOGUE)).unwrap_or_default();
+    for (i, line) in source.lines().enumerate() {
+        // Every `"gossamer_..."` string literal in the names file is a
+        // metric name (the catalogue module holds nothing else).
+        let mut rest = line;
+        while let Some(pos) = rest.find("\"gossamer_") {
+            let literal = &rest[pos + 1..];
+            let Some(end) = literal.find('"') else { break };
+            let name = &literal[..end];
+            if !docs.contains(name) {
+                out.push(Violation {
+                    file: PathBuf::from(METRIC_NAMES_FILE),
+                    line: i + 1,
+                    rule: "metric-docs",
+                    message: format!("metric `{name}` is not documented in {METRIC_CATALOGUE}"),
+                });
+            }
+            rest = &literal[end + 1..];
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -658,6 +758,64 @@ mod tests {
             "pub fn f(n: usize) { debug_assert!(n < 10); debug_assert_eq!(n, n); }\n",
         );
         assert!(violations(&tree).is_empty());
+    }
+
+    #[test]
+    fn library_print_is_flagged_but_bins_and_tests_are_not() {
+        let tree = Tree::new();
+        tree.write("src/lib.rs", CLEAN_LIB).write(
+            "crates/sim/src/report.rs",
+            "pub fn show(x: u64) { println!(\"{x}\"); }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn ok() { println!(\"test output is fine\"); }\n\
+             }\n",
+        );
+        tree.write(
+            "crates/sim/src/bin/report.rs",
+            "fn main() { println!(\"bins own stdout\"); }\n",
+        );
+        tree.write(
+            "crates/sim/src/main.rs",
+            "fn main() { eprintln!(\"so do crate roots\"); }\n",
+        );
+        let found = violations(&tree);
+        let prints: Vec<_> = found.iter().filter(|v| v.rule == "print-ban").collect();
+        assert_eq!(prints.len(), 1, "{found:?}");
+        assert_eq!(prints[0].line, 1);
+        assert!(prints[0].file.ends_with("crates/sim/src/report.rs"));
+    }
+
+    #[test]
+    fn print_waiver_suppresses_with_justification() {
+        let tree = Tree::new();
+        tree.write("src/lib.rs", CLEAN_LIB).write(
+            "crates/bench/src/lib.rs",
+            "// xtask-ok: print (CSV rows are this helper's interface)\n\
+             pub fn row(s: &str) { println!(\"{s}\"); }\n",
+        );
+        assert!(violations(&tree).iter().all(|v| v.rule != "print-ban"));
+    }
+
+    #[test]
+    fn undocumented_metric_name_is_flagged() {
+        let tree = Tree::new();
+        tree.write("src/lib.rs", CLEAN_LIB)
+            .write(
+                "crates/obs/src/names.rs",
+                "pub const A: &str = \"gossamer_documented_total\";\n\
+                 pub const B: &str = \"gossamer_forgotten_total\";\n",
+            )
+            .write(
+                "docs/OBSERVABILITY.md",
+                "| `gossamer_documented_total` | counter | documented |\n",
+            );
+        let found = violations(&tree);
+        let docs: Vec<_> = found.iter().filter(|v| v.rule == "metric-docs").collect();
+        assert_eq!(docs.len(), 1, "{found:?}");
+        assert_eq!(docs[0].line, 2);
+        assert!(docs[0].message.contains("gossamer_forgotten_total"));
     }
 
     #[test]
