@@ -1,0 +1,160 @@
+//! Live collection-delay CDF from a durable loopback cluster.
+//!
+//! Boots a real TCP [`LocalCluster`] (durable collectors, WAL-backed),
+//! injects one record per peer per round, waits for the collector to
+//! decode everything, and then reads the collector's segment lifecycle
+//! tracer — the same `obs::trace` module the simulator feeds — to dump
+//! the per-segment delivery-delay distribution as
+//! `results/delay_cdf.csv` (`delay_us,cdf,hops` rows, sorted by delay).
+//!
+//! Stdout gets the per-stage decomposition (gossip residence, pull
+//! wait, decode wall, end-to-end delivery) as p50/p99 upper bounds read
+//! from the `gossamer_trace_*` histograms, plus a `BENCH_delay_cdf.json`
+//! summary next to the CSV for the bench-trend tooling. The CSV overlays
+//! directly on the simulator's fig5 delay output — same units, same
+//! lifecycle definitions — which is the point: one tracing module, two
+//! execution engines.
+//!
+//! Usage: `delay_cdf [--quick] [peers] [rounds]` (defaults 6 peers,
+//! 2 rounds; `--quick` drops to 3 peers, 1 round).
+
+use std::time::{Duration, Instant};
+
+use gossamer_core::{CollectorConfig, NodeConfig};
+use gossamer_net::LocalCluster;
+use gossamer_obs::{names, HistogramSnapshot, MetricValue, Snapshot};
+use gossamer_rlnc::SegmentParams;
+
+/// How long to wait for full collection before giving up.
+const COLLECT_DEADLINE: Duration = Duration::from_secs(60);
+
+fn histogram_of<'a>(snapshot: &'a Snapshot, name: &str) -> Option<&'a HistogramSnapshot> {
+    snapshot
+        .metrics
+        .iter()
+        .find(|m| m.name == name)
+        .and_then(|m| match &m.value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        })
+}
+
+fn quantiles(snapshot: &Snapshot, name: &str) -> (String, String, u64) {
+    let fmt = |q: Option<u64>| q.map_or_else(|| "open".to_owned(), |v| v.to_string());
+    histogram_of(snapshot, name).map_or_else(
+        || ("none".to_owned(), "none".to_owned(), 0),
+        |h| {
+            (
+                fmt(h.quantile_upper_bound(0.5)),
+                fmt(h.quantile_upper_bound(0.99)),
+                h.count(),
+            )
+        },
+    )
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    let peers: usize = args
+        .first()
+        .map_or(if quick { 3 } else { 6 }, |a| a.parse().expect("peers"));
+    let rounds: u32 = args
+        .get(1)
+        .map_or(if quick { 1 } else { 2 }, |a| a.parse().expect("rounds"));
+
+    let params = SegmentParams::new(4, 64).expect("segment params");
+    let node_config = NodeConfig::builder(params)
+        .gossip_rate(40.0)
+        .expiry_rate(0.02)
+        .buffer_cap(512)
+        .build()
+        .expect("node config");
+    let collector_config = CollectorConfig::builder(params)
+        .pull_rate(150.0)
+        .build()
+        .expect("collector config");
+
+    let data_root =
+        std::env::temp_dir().join(format!("gossamer-delay-cdf-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_root);
+    let cluster = LocalCluster::start_durable(
+        peers,
+        node_config,
+        1,
+        collector_config,
+        42,
+        None,
+        &data_root,
+    )
+    .expect("cluster boots");
+
+    let expected = peers as u64 * u64::from(rounds);
+    let started = Instant::now();
+    for round in 0..rounds {
+        for i in 0..peers {
+            cluster
+                .peer(i)
+                .record(format!("round {round} peer {i}: payload").as_bytes())
+                .expect("record fits");
+            cluster.peer(i).flush().expect("flush");
+        }
+    }
+    while (cluster.collector(0).segments_decoded() as u64) < expected {
+        assert!(
+            started.elapsed() < COLLECT_DEADLINE,
+            "collected only {} of {expected} segments before the deadline",
+            cluster.collector(0).segments_decoded()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let obs = cluster.collector(0).observability().clone();
+    let trace = obs.tracer().snapshot();
+    let registry = obs.registry().snapshot();
+
+    // ---- CSV: per-segment delivery-delay CDF ---------------------------
+    let mut rows: Vec<(u64, u16)> = trace
+        .timelines
+        .iter()
+        .filter_map(|t| t.delivery_delay_us().map(|d| (d, t.max_hops)))
+        .collect();
+    rows.sort_unstable();
+    assert!(!rows.is_empty(), "tracer observed no deliveries");
+    let mut csv = String::from("delay_us,cdf,hops\n");
+    for (i, (delay, hops)) in rows.iter().enumerate() {
+        let cdf = (i + 1) as f64 / rows.len() as f64;
+        csv.push_str(&format!("{delay},{cdf:.6},{hops}\n"));
+    }
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/delay_cdf.csv", csv).expect("write results/delay_cdf.csv");
+
+    // ---- stdout + JSON: stage decomposition ----------------------------
+    let stages = [
+        ("gossip_residence_us", names::TRACE_GOSSIP_RESIDENCE_US),
+        ("pull_wait_us", names::TRACE_PULL_WAIT_US),
+        ("decode_wall_us", names::TRACE_DECODE_WALL_US),
+        ("delivery_delay_us", names::TRACE_DELIVERY_DELAY_US),
+        ("block_hops", names::TRACE_BLOCK_HOPS),
+    ];
+    println!("delay decomposition over {} segments ({peers} peers x {rounds} rounds, {wall_s:.2}s wall):", rows.len());
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"segments\": {},\n", rows.len()));
+    json.push_str(&format!("  \"wall_s\": {wall_s:.3},\n"));
+    for (i, (label, name)) in stages.iter().enumerate() {
+        let (p50, p99, count) = quantiles(&registry, name);
+        println!("  {label:<20} p50<={p50:<10} p99<={p99:<10} n={count}");
+        json.push_str(&format!(
+            "  \"{label}_p50\": \"{p50}\", \"{label}_p99\": \"{p99}\", \"{label}_n\": {count}{}\n",
+            if i + 1 == stages.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_delay_cdf.json", json).expect("write BENCH_delay_cdf.json");
+    println!("wrote results/delay_cdf.csv ({} rows) and BENCH_delay_cdf.json", rows.len());
+
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&data_root);
+}

@@ -1,6 +1,6 @@
 //! The logging-server (collector) state machine.
 
-use gossamer_obs::{names, Counter, Gauge, Registry};
+use gossamer_obs::{names, Counter, Gauge, Registry, Tracer};
 use gossamer_rlnc::{Decoder, DecoderMetrics, Reassembler, SegmentId, SegmentParams};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -293,6 +293,13 @@ pub struct Collector {
     /// Cumulative records handed to the application (across restarts).
     records_taken_total: u64,
     metrics: Option<CollectorMetrics>,
+    /// Segment lifecycle tracer fed per received block; see
+    /// [`Collector::attach_tracer`].
+    tracer: Option<Tracer>,
+    /// Epoch offset (µs) added to the caller-relative clock when
+    /// stamping trace milestones; must match the epoch peers stamp
+    /// block provenance with.
+    trace_epoch_us: u64,
 }
 
 impl Collector {
@@ -318,7 +325,22 @@ impl Collector {
             innovative_since_checkpoint: 0,
             records_taken_total: 0,
             metrics: None,
+            tracer: None,
+            trace_epoch_us: 0,
         }
+    }
+
+    /// Attaches a segment lifecycle [`Tracer`]: from here on every
+    /// received block feeds the per-segment timeline (first seen, first
+    /// innovative, rank milestones, decoded, delivered) using the
+    /// provenance the block carries. `epoch_us` is added to the
+    /// caller-relative `now` when stamping milestones; pass the same
+    /// epoch the peers stamp block provenance with (Unix-epoch boot
+    /// time in a live deployment, zero in a simulation) or the delay
+    /// decomposition is meaningless.
+    pub fn attach_tracer(&mut self, tracer: Tracer, epoch_us: u64) {
+        self.tracer = Some(tracer);
+        self.trace_epoch_us = epoch_us;
     }
 
     /// Attaches this collector (and its decoder) to an observability
@@ -548,7 +570,7 @@ impl Collector {
 
     /// Processes one incoming message (pull responses and sibling
     /// announcements; everything else is ignored).
-    pub fn handle(&mut self, _from: Addr, message: Message, _now: f64) -> Vec<Outbound> {
+    pub fn handle(&mut self, _from: Addr, message: Message, now: f64) -> Vec<Outbound> {
         match message {
             Message::PullResponse(Some(block)) => {
                 self.stats.blocks_received += 1;
@@ -562,9 +584,17 @@ impl Collector {
                         return Vec::new();
                     }
                 }
+                // Capture provenance before the decoder consumes the
+                // block; milestones are stamped after it tells us what
+                // the block achieved.
+                let traced_segment = block.segment();
+                let block_origin_us = block.origin_us();
+                let block_hops = block.hops();
                 let innovative_before = self.decoder.stats().innovative;
+                let mut decoded_now = false;
                 match self.decoder.receive(block) {
                     Ok(Some(segment)) => {
+                        decoded_now = true;
                         self.stats.segments_decoded += 1;
                         self.unannounced.push(segment.id());
                         let records = self.reassembler.feed(&segment);
@@ -577,6 +607,26 @@ impl Collector {
                     Ok(None) => {}
                     Err(_) => {
                         self.stats.malformed_blocks += 1;
+                    }
+                }
+                if let Some(tracer) = &self.tracer {
+                    let at_us = self
+                        .trace_epoch_us
+                        .saturating_add((now.max(0.0) * 1_000_000.0) as u64);
+                    let innovative = self.decoder.stats().innovative > innovative_before;
+                    tracer.block_seen(
+                        traced_segment.raw(),
+                        block_origin_us,
+                        block_hops,
+                        at_us,
+                        innovative,
+                        self.decoder.rank_of(traced_segment) as u64,
+                    );
+                    if decoded_now {
+                        tracer.decoded(traced_segment.raw(), at_us);
+                        // Records feed the reassembler in the same
+                        // step, so delivery coincides with decode.
+                        tracer.delivered(traced_segment.raw(), at_us);
                     }
                 }
                 // The decoder's counters are authoritative for the
@@ -880,6 +930,52 @@ mod tests {
         assert_eq!(
             snap.scalar(names::DECODER_IN_PROGRESS_RANK),
             Some(progress.in_progress_rank)
+        );
+    }
+
+    #[test]
+    fn attached_tracer_reconstructs_segment_timelines() {
+        use gossamer_obs::Tracer;
+        let node_cfg = NodeConfig::builder(params())
+            .gossip_rate(1.0)
+            .expiry_rate(0.0)
+            .build()
+            .unwrap();
+        let mut peer = PeerNode::new(Addr(1), node_cfg, 4);
+        peer.record(&[9u8; 27], 0.5).unwrap();
+
+        let mut c = collector();
+        let tracer = Tracer::default();
+        c.attach_tracer(tracer.clone(), 0);
+        c.set_peers(vec![Addr(1)]);
+        let mut now = 0.5;
+        while c.segments_decoded() == 0 && now < 10.0 {
+            now += 0.05;
+            for pull in c.tick(now) {
+                for resp in peer.handle(c.addr(), pull.message, now) {
+                    c.handle(Addr(1), resp.message, now);
+                }
+            }
+        }
+        assert_eq!(c.segments_decoded(), 1);
+
+        let snap = tracer.snapshot();
+        assert_eq!(snap.timelines.len(), 1);
+        let t = &snap.timelines[0];
+        assert_eq!(t.origin_us, 500_000, "origin stamped at injection time");
+        let seen = t.first_seen_us.expect("blocks were seen");
+        let innovative = t.first_innovative_us.expect("rank grew");
+        let decoded = t.decoded_us.expect("segment decoded");
+        let delivered = t.delivered_us.expect("segment delivered");
+        assert!(seen > t.origin_us);
+        assert!(innovative >= seen);
+        assert!(decoded >= innovative);
+        assert!(delivered >= decoded);
+        assert!(t.max_hops >= 1, "pulled blocks are recoded at least once");
+        assert_eq!(
+            t.rank_milestones.last().map(|&(rank, _)| rank),
+            Some(2),
+            "final milestone is full rank"
         );
     }
 

@@ -54,6 +54,12 @@ pub struct PeerNode {
     priming: BTreeMap<SegmentId, u32>,
     next_gossip_at: Option<f64>,
     next_expiry_at: Option<f64>,
+    /// Epoch offset, in microseconds, added to the caller-relative
+    /// `now` when stamping block provenance. Daemons set this to the
+    /// process's Unix-epoch boot time so origin timestamps from
+    /// different hosts share one clock; the default of zero keeps
+    /// timestamps on the caller's own epoch (simulation time).
+    trace_epoch_us: u64,
     stats: PeerStats,
 }
 
@@ -76,8 +82,18 @@ impl PeerNode {
             priming: BTreeMap::new(),
             next_gossip_at: None,
             next_expiry_at: None,
+            trace_epoch_us: 0,
             stats: PeerStats::default(),
         }
+    }
+
+    /// Sets the epoch offset (microseconds) added to the
+    /// caller-relative clock when stamping the origin timestamp onto
+    /// injected blocks. Daemons pass their Unix-epoch boot time so
+    /// provenance from different processes is comparable; leave at the
+    /// default zero to stamp on the caller's own epoch.
+    pub const fn set_trace_epoch_us(&mut self, epoch_us: u64) {
+        self.trace_epoch_us = epoch_us;
     }
 
     /// This peer's address.
@@ -185,10 +201,17 @@ impl PeerNode {
             self.stats.blocked_injections += 1;
             return;
         }
+        // Stamp provenance at the injection point: the origin timestamp
+        // rides every systematic block (hop count zero) and recoding
+        // relays carry it forward, so the collector can decompose the
+        // paper's collection delay per segment.
+        let origin_us = self
+            .trace_epoch_us
+            .saturating_add((now.max(0.0) * 1_000_000.0) as u64);
         for i in 0..s {
             let stored = self
                 .buffer
-                .offer(segment.emit_systematic(i))
+                .offer(segment.emit_systematic(i).with_provenance(origin_us, 0))
                 .expect("systematic blocks match deployment parameters");
             debug_assert!(
                 stored,
@@ -705,6 +728,23 @@ mod tests {
         // After priming retires, expiry drains the blocks as usual.
         p.tick(t + 5.0);
         assert_eq!(p.buffer().blocks(), 0, "shield must not outlive priming");
+    }
+
+    #[test]
+    fn injected_blocks_carry_stamped_provenance_through_recode() {
+        let mut p = peer(1);
+        p.set_trace_epoch_us(1_000_000);
+        p.record(&[3u8; 27], 2.0).unwrap();
+        let replies = p.handle(Addr(50), Message::PullRequest, 2.5);
+        let Message::PullResponse(Some(ref block)) = replies[0].message else {
+            panic!("expected a block");
+        };
+        assert_eq!(
+            block.origin_us(),
+            3_000_000,
+            "origin = epoch + injection time in us"
+        );
+        assert_eq!(block.hops(), 1, "a pulled block has been recoded once");
     }
 
     #[test]

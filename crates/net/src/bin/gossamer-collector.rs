@@ -37,6 +37,34 @@ use gossamer_store::{WalOptions, WalPersistence};
 /// Set by the signal handler; the main loop polls it.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
+/// Final-summary line per lifecycle stage: p50/p99 upper bounds from the
+/// segment-tracer histograms. Silent when nothing was delivered (brief
+/// runs, empty swarms) — a banner of `none` would only add noise.
+fn print_delay_decomposition(obs: &Observability) {
+    use gossamer_obs::MetricValue;
+    let snapshot = obs.registry().snapshot();
+    let stages = [
+        ("gossip residence", names::TRACE_GOSSIP_RESIDENCE_US, "us"),
+        ("pull wait", names::TRACE_PULL_WAIT_US, "us"),
+        ("decode wall", names::TRACE_DECODE_WALL_US, "us"),
+        ("delivery delay", names::TRACE_DELIVERY_DELAY_US, "us"),
+        ("block hops", names::TRACE_BLOCK_HOPS, "hops"),
+    ];
+    for (label, name, unit) in stages {
+        let histogram = snapshot.metrics.iter().find(|m| m.name == name);
+        let Some(MetricValue::Histogram(h)) = histogram.map(|m| &m.value) else {
+            continue;
+        };
+        if let (Some(p50), Some(p99)) = (h.quantile_upper_bound(0.5), h.quantile_upper_bound(0.99))
+        {
+            println!(
+                "final: {label} p50 <= {p50} {unit}, p99 <= {p99} {unit} over {} samples",
+                h.count()
+            );
+        }
+    }
+}
+
 extern "C" fn on_signal(_sig: i32) {
     // Only async-signal-safe work here: flip the flag, nothing else.
     SHUTDOWN.store(true, Ordering::SeqCst);
@@ -249,6 +277,7 @@ fn main() -> ExitCode {
         "final: transport {} frames out, {} in, {} io errors",
         health.frames_out, health.frames_in, health.io_errors,
     );
+    print_delay_decomposition(&obs);
     collector.shutdown();
     ExitCode::SUCCESS
 }

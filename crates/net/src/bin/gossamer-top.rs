@@ -195,6 +195,40 @@ fn format_bound(bound: u64) -> String {
     }
 }
 
+/// The segment-lifecycle banner: delay decomposition p50/p99 per stage
+/// plus the provenance hop count, folded from the `gossamer_trace_*`
+/// histograms. Empty until the target has traced a delivery.
+fn render_lifecycle(current: &BTreeMap<String, Sample>) -> String {
+    const STAGES: [(&str, &str); 5] = [
+        ("residence", "gossamer_trace_gossip_residence_us"),
+        ("pull-wait", "gossamer_trace_pull_wait_us"),
+        ("decode", "gossamer_trace_decode_wall_us"),
+        ("e2e", "gossamer_trace_delivery_delay_us"),
+        ("hops", "gossamer_trace_block_hops"),
+    ];
+    let mut cells = Vec::new();
+    for (label, name) in STAGES {
+        let Some(Sample::Histogram { count, buckets, .. }) = current.get(name) else {
+            continue;
+        };
+        if let (Some(p50), Some(p99)) = (
+            quantile_bound(buckets, *count, 0.5),
+            quantile_bound(buckets, *count, 0.99),
+        ) {
+            cells.push(format!(
+                "{label} p50<={} p99<={}",
+                format_bound(p50),
+                format_bound(p99)
+            ));
+        }
+    }
+    if cells.is_empty() {
+        String::new()
+    } else {
+        format!("segment lifecycle (us): {}\n", cells.join(" | "))
+    }
+}
+
 /// Renders one frame: a header plus a table of every metric, with
 /// per-second deltas computed against the previous poll.
 fn render(
@@ -208,6 +242,7 @@ fn render(
     // Writing to a `String` is infallible, so the `write!` results are
     // discarded.
     let _ = writeln!(out, "gossamer-top — {target} — {} metrics", current.len());
+    out.push_str(&render_lifecycle(current));
     let _ = writeln!(
         out,
         "{:<44} {:>14} {:>12}  detail",
@@ -388,6 +423,32 @@ gossamer_wal_fsync_latency_us_count 10
         assert!(frame.contains("25.0"), "50 new blocks over 2 s:\n{frame}");
         assert!(frame.contains("p50<=255"), "{frame}");
         assert!(frame.contains("p99<=inf"), "{frame}");
+    }
+
+    #[test]
+    fn lifecycle_banner_folds_trace_histograms() {
+        let with_trace = format!(
+            "{SAMPLE}\
+# TYPE gossamer_trace_delivery_delay_us histogram
+gossamer_trace_delivery_delay_us_bucket{{le=\"65535\"}} 1
+gossamer_trace_delivery_delay_us_bucket{{le=\"131071\"}} 4
+gossamer_trace_delivery_delay_us_bucket{{le=\"+Inf\"}} 4
+gossamer_trace_delivery_delay_us_sum 300000
+gossamer_trace_delivery_delay_us_count 4
+# TYPE gossamer_trace_block_hops histogram
+gossamer_trace_block_hops_bucket{{le=\"1\"}} 5
+gossamer_trace_block_hops_bucket{{le=\"3\"}} 8
+gossamer_trace_block_hops_bucket{{le=\"+Inf\"}} 8
+gossamer_trace_block_hops_sum 13
+gossamer_trace_block_hops_count 8
+"
+        );
+        let banner = render_lifecycle(&parse_prometheus(&with_trace));
+        assert!(banner.starts_with("segment lifecycle"), "{banner}");
+        assert!(banner.contains("e2e p50<=131071 p99<=131071"), "{banner}");
+        assert!(banner.contains("hops p50<=1 p99<=3"), "{banner}");
+        // No trace histograms at all → no banner line.
+        assert_eq!(render_lifecycle(&parse_prometheus(SAMPLE)), "");
     }
 
     #[test]

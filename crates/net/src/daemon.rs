@@ -40,9 +40,20 @@ use gossamer_obs::{names, Counter, Gauge, MetricsServer, Observability, Registry
 
 use crate::codec::{read_frame_retrying, write_frame, CodecError};
 use crate::fault::{FaultAction, FaultInjector, FaultPlan};
-use crate::health::{HealthConfig, HealthRegistry};
+use crate::health::{HealthConfig, HealthMetrics, HealthRegistry};
 use crate::pool::ConnPool;
 use crate::sync::{Arc, AtomicBool, Mutex, Ordering};
+
+/// Microseconds since the UNIX epoch, captured once per daemon at boot
+/// and handed to the node as its trace epoch: the node's monotonic `now`
+/// (seconds since boot) added to this epoch gives block provenance
+/// timestamps that are comparable across every daemon in a deployment.
+/// A pre-1970 clock degrades to epoch 0 (relative timelines only).
+fn unix_epoch_us() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+}
 
 /// Poll interval of the timer thread driving node ticks.
 const TICK_INTERVAL: Duration = Duration::from_millis(2);
@@ -158,6 +169,7 @@ struct TransportMetrics {
     max_tick_gap_us: Gauge,
     links: Gauge,
     links_quarantined: Gauge,
+    targets_pruned: Gauge,
 }
 
 impl TransportMetrics {
@@ -197,6 +209,10 @@ impl TransportMetrics {
             links_quarantined: registry.gauge(
                 names::TRANSPORT_LINKS_QUARANTINED,
                 "peers currently quarantined by the health layer",
+            ),
+            targets_pruned: registry.gauge(
+                names::TRANSPORT_TARGETS_PRUNED,
+                "application targets currently pruned by quarantine skew",
             ),
         }
     }
@@ -485,6 +501,7 @@ impl<T: ProtocolNode> Shared<T> {
         );
         let full = self.full_targets.lock().clone();
         if full.is_empty() {
+            self.metrics.targets_pruned.set(0);
             return;
         }
         let live: Vec<Addr> = full
@@ -494,6 +511,12 @@ impl<T: ProtocolNode> Shared<T> {
             .collect();
         // With everything quarantined there is nothing to skew toward;
         // keep the full set so sends resume the moment a probe succeeds.
+        let pruned = if live.is_empty() {
+            0
+        } else {
+            full.len() - live.len()
+        };
+        self.metrics.targets_pruned.set(pruned as u64);
         let targets = if live.is_empty() { full } else { live };
         self.node.lock().apply_targets(targets);
     }
@@ -735,6 +758,12 @@ impl<T: ProtocolNode> Daemon<T> {
         let (dial_tx, dial_rx) = mpsc::sync_channel(256);
         let (delay_tx, delay_rx) = mpsc::sync_channel(1024);
         let metrics = TransportMetrics::register(obs.registry());
+        let pool = ConnPool::with_gauge(obs.registry().gauge(
+            names::TRANSPORT_POOLED_CONNECTIONS,
+            "write halves currently pooled, dial-side and accept-side",
+        ));
+        let mut health = HealthRegistry::new(HealthConfig::default());
+        health.attach_metrics(HealthMetrics::register(obs.registry()));
         obs.events().record(
             Severity::Info,
             "daemon",
@@ -748,9 +777,9 @@ impl<T: ProtocolNode> Daemon<T> {
             obs,
             metrics,
             book: Mutex::new(HashMap::new()),
-            pool: ConnPool::new(),
+            pool,
             pending: Mutex::new(HashMap::new()),
-            health: Mutex::new(HealthRegistry::new(HealthConfig::default())),
+            health: Mutex::new(health),
             fault: Mutex::new(None),
             full_targets: Mutex::new(Vec::new()),
             applied_quarantine: Mutex::new(Vec::new()),
@@ -864,7 +893,8 @@ impl PeerHandle {
         seed: u64,
         obs: Arc<Observability>,
     ) -> Result<Self, DaemonError> {
-        let node = PeerNode::new(addr, config, seed);
+        let mut node = PeerNode::new(addr, config, seed);
+        node.set_trace_epoch_us(unix_epoch_us());
         let daemon = match listen {
             Some(listen) => Daemon::spawn_on(addr, node, listen, obs)?,
             None => Daemon::spawn(addr, node, obs)?,
@@ -1055,7 +1085,9 @@ impl CollectorHandle {
     /// ephemeral loopback port). The collector's decoder is attached to
     /// the hub's registry before any transport thread starts, so the
     /// first scrape already sees the decode-progress metrics — including
-    /// state recovered from a write-ahead log. Every other spawn variant
+    /// state recovered from a write-ahead log. The hub's segment tracer
+    /// is attached too, so `/trace` and the `gossamer_trace_*` delay
+    /// histograms reflect live collection. Every other spawn variant
     /// delegates here with a fresh hub.
     ///
     /// # Errors
@@ -1067,6 +1099,7 @@ impl CollectorHandle {
         obs: Arc<Observability>,
     ) -> Result<Self, DaemonError> {
         node.attach_observability(obs.registry());
+        node.attach_tracer(obs.tracer().clone(), unix_epoch_us());
         let addr = node.addr();
         let daemon = match listen {
             Some(listen) => Daemon::spawn_on(addr, node, listen, obs)?,

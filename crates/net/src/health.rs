@@ -24,6 +24,7 @@ use std::collections::HashMap;
 
 use gossamer_core::telemetry::LinkHealth;
 use gossamer_core::Addr;
+use gossamer_obs::{names, Counter, Registry};
 
 /// Tuning knobs for [`HealthRegistry`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +65,46 @@ impl HealthConfig {
     }
 }
 
+/// Live counters for health-state transitions, published on `/metrics`
+/// under the catalogue names so operators can watch retry storms and
+/// quarantine churn without scraping per-peer telemetry.
+#[derive(Debug, Clone)]
+pub struct HealthMetrics {
+    /// Dial attempts made while a failure streak was open.
+    pub dial_retries: Counter,
+    /// Successes that closed an open failure streak (backoff reset).
+    pub backoff_resets: Counter,
+    /// Peers crossing the consecutive-failure threshold into quarantine.
+    pub quarantines_entered: Counter,
+    /// Quarantines lifted by a successful dial or inbound frame.
+    pub quarantines_lifted: Counter,
+}
+
+impl HealthMetrics {
+    /// Creates the counters in `registry` under the catalogue names.
+    #[must_use]
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            dial_retries: registry.counter(
+                names::TRANSPORT_DIAL_RETRIES,
+                "dial attempts made while a failure streak was open",
+            ),
+            backoff_resets: registry.counter(
+                names::TRANSPORT_BACKOFF_RESETS,
+                "successes that closed an open failure streak",
+            ),
+            quarantines_entered: registry.counter(
+                names::TRANSPORT_QUARANTINES_ENTERED,
+                "peers crossing the failure threshold into quarantine",
+            ),
+            quarantines_lifted: registry.counter(
+                names::TRANSPORT_QUARANTINES_LIFTED,
+                "quarantines lifted by a success or inbound frame",
+            ),
+        }
+    }
+}
+
 /// Mutable per-peer record inside the registry.
 #[derive(Debug, Clone, Copy, Default)]
 struct PeerHealth {
@@ -80,6 +121,7 @@ struct PeerHealth {
 pub struct HealthRegistry {
     config: HealthConfig,
     peers: HashMap<Addr, PeerHealth>,
+    metrics: Option<HealthMetrics>,
 }
 
 impl HealthRegistry {
@@ -89,7 +131,14 @@ impl HealthRegistry {
         Self {
             config,
             peers: HashMap::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches live transition counters; subsequent state changes are
+    /// mirrored into them. Telemetry only — scheduling is unaffected.
+    pub fn attach_metrics(&mut self, metrics: HealthMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// The configuration in force.
@@ -101,10 +150,20 @@ impl HealthRegistry {
     /// Records a successful dial (or any inbound frame): the failure
     /// streak resets and any quarantine lifts.
     pub fn on_success(&mut self, peer: Addr) {
+        let threshold = self.config.quarantine_after;
         let entry = self.peers.entry(peer).or_default();
         entry.successes += 1;
+        let streak = entry.consecutive_failures;
         entry.consecutive_failures = 0;
         entry.next_attempt_at = 0.0;
+        if let Some(metrics) = &self.metrics {
+            if streak >= threshold {
+                metrics.quarantines_lifted.inc();
+            }
+            if streak > 0 {
+                metrics.backoff_resets.inc();
+            }
+        }
     }
 
     /// Records a failed dial or a write error observed at `now`,
@@ -113,10 +172,16 @@ impl HealthRegistry {
         let config = self.config;
         let entry = self.peers.entry(peer).or_default();
         entry.failures += 1;
+        let was_quarantined = entry.consecutive_failures >= config.quarantine_after;
         entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
         let delay = config.backoff(entry.consecutive_failures)
             * jitter_factor(config.jitter, peer, entry.consecutive_failures);
         entry.next_attempt_at = now + delay;
+        if !was_quarantined && entry.consecutive_failures >= config.quarantine_after {
+            if let Some(metrics) = &self.metrics {
+                metrics.quarantines_entered.inc();
+            }
+        }
     }
 
     /// Records that a dial attempt is being made; attempts made while a
@@ -125,6 +190,9 @@ impl HealthRegistry {
         if let Some(entry) = self.peers.get_mut(&peer) {
             if entry.consecutive_failures > 0 {
                 entry.retries += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.dial_retries.inc();
+                }
             }
         }
     }
@@ -293,6 +361,38 @@ mod tests {
         assert_eq!(snap[0].successes, 1);
         assert_eq!(snap[0].consecutive_failures, 0);
         assert!(!snap[0].quarantined);
+    }
+
+    #[test]
+    fn attached_metrics_count_every_health_transition() {
+        let registry = Registry::new();
+        let metrics = HealthMetrics::register(&registry);
+        let mut reg = HealthRegistry::new(config());
+        reg.attach_metrics(metrics.clone());
+        let peer = Addr(4);
+
+        // Attempts with no open streak are first tries, not retries.
+        reg.record_attempt(peer);
+        assert_eq!(metrics.dial_retries.get(), 0);
+
+        // Three failures cross the quarantine threshold exactly once.
+        reg.on_failure(peer, 0.0);
+        reg.record_attempt(peer);
+        reg.on_failure(peer, 0.1);
+        reg.on_failure(peer, 0.2);
+        reg.on_failure(peer, 0.3);
+        assert_eq!(metrics.dial_retries.get(), 1);
+        assert_eq!(metrics.quarantines_entered.get(), 1, "crossing counts once");
+
+        // Success lifts the quarantine and closes the streak.
+        reg.on_success(peer);
+        assert_eq!(metrics.quarantines_lifted.get(), 1);
+        assert_eq!(metrics.backoff_resets.get(), 1);
+
+        // A success with no streak open resets nothing.
+        reg.on_success(peer);
+        assert_eq!(metrics.backoff_resets.get(), 1);
+        assert_eq!(metrics.quarantines_lifted.get(), 1);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 
 use gossamer_core::Addr;
+use gossamer_obs::Gauge;
 
 use crate::sync::{AtomicU64, Mutex, Ordering};
 
@@ -26,6 +27,9 @@ use crate::sync::{AtomicU64, Mutex, Ordering};
 pub struct ConnPool<C> {
     entries: Mutex<HashMap<Addr, Pooled<C>>>,
     seq: AtomicU64,
+    /// Mirrors the entry count for `/metrics`; fixed at construction so
+    /// the loom models (which pass no gauge) pay no extra state.
+    occupancy: Option<Gauge>,
 }
 
 #[derive(Debug)]
@@ -41,6 +45,25 @@ impl<C: Clone> ConnPool<C> {
         Self {
             entries: Mutex::new(HashMap::new()),
             seq: AtomicU64::new(0),
+            occupancy: None,
+        }
+    }
+
+    /// Creates an empty pool whose entry count is mirrored into
+    /// `gauge` after every insert, removal and clear.
+    #[must_use]
+    pub fn with_gauge(gauge: Gauge) -> Self {
+        gauge.set(0);
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            seq: AtomicU64::new(0),
+            occupancy: Some(gauge),
+        }
+    }
+
+    fn mirror_len(&self, len: usize) {
+        if let Some(gauge) = &self.occupancy {
+            gauge.set(len as u64);
         }
     }
 
@@ -68,6 +91,7 @@ impl<C: Clone> ConnPool<C> {
             std::collections::hash_map::Entry::Occupied(_) => None,
             std::collections::hash_map::Entry::Vacant(slot) => {
                 slot.insert(Pooled { conn, id });
+                self.mirror_len(entries.len());
                 Some(id)
             }
         }
@@ -80,6 +104,7 @@ impl<C: Clone> ConnPool<C> {
         let mut entries = self.entries.lock();
         if entries.get(&addr).is_some_and(|p| p.id == id) {
             entries.remove(&addr);
+            self.mirror_len(entries.len());
             true
         } else {
             false
@@ -89,6 +114,7 @@ impl<C: Clone> ConnPool<C> {
     /// Drops every pooled connection.
     pub fn clear(&self) {
         self.entries.lock().clear();
+        self.mirror_len(0);
     }
 
     /// Number of pooled connections.
@@ -146,5 +172,24 @@ mod tests {
         pool.try_insert(Addr(2), ());
         pool.clear();
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn attached_gauge_mirrors_occupancy() {
+        let registry = gossamer_obs::Registry::new();
+        let gauge = registry.gauge("gossamer_pool_test", "pool test");
+        let pool = ConnPool::with_gauge(gauge.clone());
+        assert_eq!(gauge.get(), 0);
+        let id = pool.try_insert(Addr(1), ()).unwrap();
+        pool.try_insert(Addr(2), ());
+        assert_eq!(gauge.get(), 2);
+        pool.try_insert(Addr(1), ()); // lost race: no change
+        assert_eq!(gauge.get(), 2);
+        assert!(pool.remove_if_current(Addr(1), id));
+        assert_eq!(gauge.get(), 1);
+        assert!(!pool.remove_if_current(Addr(1), id), "stale id: no change");
+        assert_eq!(gauge.get(), 1);
+        pool.clear();
+        assert_eq!(gauge.get(), 0);
     }
 }

@@ -97,6 +97,113 @@ fn departed_peers_data_survives_over_tcp() {
     cluster.shutdown();
 }
 
+/// One HTTP GET against a daemon's metrics endpoint; returns the body.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect endpoint");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("http head");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    body.to_owned()
+}
+
+/// Structural validity for the Chrome trace payload: balanced braces
+/// and brackets outside string literals, nothing after the closer.
+fn assert_balanced_json(json: &str) {
+    let (mut depth, mut in_string, mut escaped) = (0i64, false, false);
+    let mut closed_at = None;
+    for (i, c) in json.char_indices() {
+        if in_string {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced closer at byte {i}");
+                if depth == 0 {
+                    closed_at = Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced trace JSON");
+    assert_eq!(closed_at, Some(json.len() - 1), "trailing garbage");
+}
+
+#[test]
+fn durable_cluster_serves_segment_timelines_on_trace() {
+    let data_root =
+        std::env::temp_dir().join(format!("gossamer-cluster-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_root);
+    let cluster = LocalCluster::start_durable(
+        4,
+        node_config(40.0),
+        1,
+        collector_config(150.0),
+        7,
+        None,
+        &data_root,
+    )
+    .expect("cluster boots");
+    for i in 0..cluster.peer_count() {
+        cluster
+            .peer(i)
+            .record(format!("trace me {i}").as_bytes())
+            .expect("record fits");
+        cluster.peer(i).flush().expect("flush");
+    }
+    let ok = wait_until(Duration::from_secs(15), || {
+        cluster.collector(0).segments_decoded() >= 4
+    });
+    assert!(
+        ok,
+        "collector decoded only {} of 4 segments",
+        cluster.collector(0).segments_decoded()
+    );
+
+    let server = cluster
+        .collector(0)
+        .serve_metrics("127.0.0.1:0".parse().unwrap())
+        .expect("metrics endpoint binds");
+
+    // The trace payload is Chrome trace-event JSON: one object with a
+    // traceEvents array holding metadata, complete and instant events.
+    let trace = http_get(server.addr(), "/trace");
+    assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+    assert!(trace.ends_with("]}"), "{trace}");
+    assert_balanced_json(&trace);
+    assert!(trace.contains("\"ph\":\"M\""), "missing thread metadata");
+    assert!(trace.contains("\"ph\":\"i\""), "missing instant events");
+    assert!(trace.contains("\"decoded\""), "missing decode milestone");
+
+    // The same lifecycle feeds the delay-decomposition histograms on
+    // /metrics, under the shared catalogue names.
+    let metrics = http_get(server.addr(), "/metrics");
+    let delivered: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("gossamer_trace_delivery_delay_us_count "))
+        .expect("delivery histogram rendered")
+        .trim()
+        .parse()
+        .expect("count parses");
+    assert!(delivered >= 4, "only {delivered} deliveries traced");
+
+    server.shutdown();
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&data_root);
+}
+
 #[test]
 fn shutdown_is_clean_and_idempotent() {
     let cluster = LocalCluster::start(3, node_config(10.0), 1, collector_config(20.0), 3)

@@ -199,16 +199,69 @@ fn zero_coefficient_blocks_travel_but_add_no_rank() {
 
 #[test]
 fn peek_frame_len_on_every_prefix_of_a_valid_frame() {
-    let frame = wire::encode(&block());
-    // The fixed header is everything before the coefficients and the
-    // 4-byte CRC trailer: `frame_len(0, 0)` minus the trailer.
-    let fixed_header = wire::frame_len(0, 0) - 4;
-    for cut in 0..=frame.len() {
-        let got = wire::peek_frame_len(&frame[..cut]).unwrap();
-        if cut < fixed_header {
-            assert_eq!(got, None, "prefix {cut}: header incomplete");
-        } else {
-            assert_eq!(got, Some(frame.len()), "prefix {cut}");
+    // The peek needs only the dimension fields, which sit at the same
+    // offsets in both wire versions — the legacy header length, minus
+    // the 4-byte CRC trailer, is the answer boundary even for v2
+    // frames (the provenance extension rides behind the dimensions).
+    let fixed_header = wire::legacy_frame_len(0, 0) - 4;
+    for frame in [wire::encode(&block()), wire::encode_legacy(&block())] {
+        for cut in 0..=frame.len() {
+            let got = wire::peek_frame_len(&frame[..cut]).unwrap();
+            if cut < fixed_header {
+                assert_eq!(got, None, "prefix {cut}: header incomplete");
+            } else {
+                assert_eq!(got, Some(frame.len()), "prefix {cut}");
+            }
         }
     }
+}
+
+/// Wraps a legacy (v1) wire frame in the codec envelope by hand, the
+/// byte stream an old daemon would put on the socket.
+fn legacy_codec_frame(from: Addr, msg_type: u8, prefix: &[u8], block: &CodedBlock) -> Vec<u8> {
+    let wire_bytes = wire::encode_legacy(block);
+    let payload_len = prefix.len() + wire_bytes.len();
+    let mut out = Vec::with_capacity(9 + payload_len);
+    out.extend_from_slice(&((payload_len + 5) as u32).to_be_bytes());
+    out.extend_from_slice(&from.0.to_be_bytes());
+    out.push(msg_type);
+    out.extend_from_slice(prefix);
+    out.extend_from_slice(&wire_bytes);
+    out
+}
+
+#[test]
+fn legacy_frames_from_old_daemons_still_decode() {
+    // A v1 gossip frame decodes to the same block with unstamped
+    // provenance (origin 0, zero hops): old and new daemons interop.
+    let gossip = legacy_codec_frame(Addr(11), 1, &[], &block());
+    let (from, msg) = codec::decode_body(&gossip[4..]).unwrap();
+    assert_eq!(from, Addr(11));
+    let Message::Gossip(decoded) = msg else {
+        panic!("expected gossip, got {msg:?}");
+    };
+    assert_eq!(decoded, block());
+    assert_eq!(decoded.origin_us(), 0, "legacy blocks are unstamped");
+    assert_eq!(decoded.hops(), 0);
+
+    // Same through the pull-response path (payload leads with a
+    // presence byte before the embedded wire frame).
+    let pull = legacy_codec_frame(Addr(12), 4, &[1], &block());
+    let (_, msg) = codec::decode_body(&pull[4..]).unwrap();
+    assert_eq!(msg, Message::PullResponse(Some(block())));
+
+    // And a mixed stream — v2 frame, v1 frame, v2 frame — reassembles
+    // through the reader the daemon uses.
+    let mut stream = encoded_stream(&[Message::Gossip(block())]);
+    stream.extend_from_slice(&gossip);
+    stream.extend_from_slice(&encoded_stream(&[Message::PullResponse(Some(block()))]));
+    let mut reader = TrickleReader {
+        data: stream,
+        pos: 0,
+        chunk: 3,
+    };
+    for _ in 0..3 {
+        assert!(codec::read_frame(&mut reader).unwrap().is_some());
+    }
+    assert!(codec::read_frame(&mut reader).unwrap().is_none());
 }

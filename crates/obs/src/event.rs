@@ -19,6 +19,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use crate::registry::Counter;
 use crate::sync::{AtomicU64, Mutex, Ordering};
 
 /// Event severity, ordered from chattiest to most urgent.
@@ -76,6 +77,9 @@ struct Ring {
     buf: VecDeque<Event>,
     next_seq: u64,
     overwritten: u64,
+    /// Mirror of `overwritten` into the metric registry, so drops are
+    /// visible on `/metrics` without draining the ring.
+    dropped: Option<Counter>,
 }
 
 /// Bounded, severity-filtered event ring; see the module docs.
@@ -102,6 +106,7 @@ impl EventLog {
                 buf: VecDeque::with_capacity(capacity),
                 next_seq: 0,
                 overwritten: 0,
+                dropped: None,
             }),
             min_severity: AtomicU64::new(Severity::Info as u64),
             capacity,
@@ -120,6 +125,16 @@ impl EventLog {
         Severity::from_u64(self.min_severity.load(Ordering::Relaxed))
     }
 
+    /// Mirrors the ring's overwrite count into `counter` (the
+    /// [`crate::names::OBS_EVENTS_DROPPED`] catalogue metric): events
+    /// already lost are folded in immediately, and every future
+    /// overwrite increments the counter as it happens.
+    pub fn attach_dropped_counter(&self, counter: Counter) {
+        let mut ring = self.ring.lock();
+        counter.add(ring.overwritten);
+        ring.dropped = Some(counter);
+    }
+
     /// Records one event; a no-op when `severity` is below the floor.
     pub fn record(&self, severity: Severity, scope: &'static str, at_us: u64, message: String) {
         if (severity as u64) < self.min_severity.load(Ordering::Relaxed) {
@@ -129,6 +144,9 @@ impl EventLog {
         if ring.buf.len() == self.capacity {
             ring.buf.pop_front();
             ring.overwritten += 1;
+            if let Some(dropped) = &ring.dropped {
+                dropped.inc();
+            }
         }
         let seq = ring.next_seq;
         ring.next_seq += 1;
@@ -267,6 +285,23 @@ mod tests {
             "{}",
             events[0].message
         );
+    }
+
+    #[test]
+    fn dropped_counter_folds_history_and_tracks_new_overwrites() {
+        let registry = crate::Registry::new();
+        let log = EventLog::with_capacity(2);
+        // Three drops happen before the counter exists…
+        for i in 0..5u64 {
+            log.record(Severity::Info, "test", i, format!("e{i}"));
+        }
+        let counter = registry.counter(crate::names::OBS_EVENTS_DROPPED, "dropped events");
+        log.attach_dropped_counter(counter.clone());
+        assert_eq!(counter.get(), 3, "pre-attach drops are folded in");
+        // …and every later overwrite increments live.
+        log.record(Severity::Info, "test", 5, "e5".into());
+        assert_eq!(counter.get(), 4);
+        assert_eq!(log.snapshot().1, 4);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod names;
 pub mod registry;
 pub mod server;
 pub mod sync;
+pub mod trace;
 
 pub use event::{Event, EventLog, Severity, Span};
 pub use registry::{
@@ -46,13 +47,22 @@ pub use registry::{
     MetricValue, Registry, Snapshot, HISTOGRAM_BUCKETS,
 };
 pub use server::MetricsServer;
+pub use trace::{SegmentTimeline, TraceSnapshot, Tracer};
 
-/// A registry and an event log bundled for sharing: the unit a daemon
-/// hands to its worker threads and a [`MetricsServer`] exposes.
-#[derive(Debug, Default)]
+/// A registry, an event log and a segment-lifecycle tracer bundled for
+/// sharing: the unit a daemon hands to its worker threads and a
+/// [`MetricsServer`] exposes.
+///
+/// Construction wires the pieces together: the event ring mirrors its
+/// drop count into [`names::OBS_EVENTS_DROPPED`], and the tracer's
+/// `gossamer_trace_*` histograms are registered up front so every
+/// daemon's `/metrics` render carries the catalogue names even before
+/// the first segment completes.
+#[derive(Debug)]
 pub struct Observability {
     registry: Registry,
     events: EventLog,
+    tracer: Tracer,
 }
 
 impl Default for EventLog {
@@ -61,8 +71,27 @@ impl Default for EventLog {
     }
 }
 
+impl Default for Observability {
+    fn default() -> Self {
+        let registry = Registry::new();
+        let events = EventLog::default();
+        events.attach_dropped_counter(registry.counter(
+            names::OBS_EVENTS_DROPPED,
+            "events lost to ring overwrites in the event log",
+        ));
+        let tracer = Tracer::default();
+        tracer.attach_registry(&registry);
+        Self {
+            registry,
+            events,
+            tracer,
+        }
+    }
+}
+
 impl Observability {
-    /// A fresh hub: empty registry, default-capacity event ring.
+    /// A fresh hub: empty registry, default-capacity event ring,
+    /// default-capacity trace store, self-monitoring wired up.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
@@ -78,5 +107,47 @@ impl Observability {
     #[must_use]
     pub const fn events(&self) -> &EventLog {
         &self.events
+    }
+
+    /// The segment lifecycle tracer.
+    #[must_use]
+    pub const fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_wires_trace_names_and_event_drops_into_metrics() {
+        let obs = Observability::new();
+        let text = obs.registry().snapshot().prometheus_text();
+        for name in [
+            names::TRACE_GOSSIP_RESIDENCE_US,
+            names::TRACE_PULL_WAIT_US,
+            names::TRACE_DECODE_WALL_US,
+            names::TRACE_DELIVERY_DELAY_US,
+            names::TRACE_BLOCK_HOPS,
+            names::TRACE_TIMELINES_DROPPED,
+            names::OBS_EVENTS_DROPPED,
+        ] {
+            assert!(text.contains(name), "{name} missing from /metrics render");
+        }
+    }
+
+    #[test]
+    fn overflowing_the_ring_renders_a_nonzero_drop_counter() {
+        let obs = Observability::new();
+        for i in 0..=(EventLog::DEFAULT_CAPACITY as u64 + 4) {
+            obs.events()
+                .record(Severity::Info, "test", i, format!("e{i}"));
+        }
+        let text = obs.registry().snapshot().prometheus_text();
+        assert!(
+            text.contains("gossamer_obs_events_dropped_total 5"),
+            "expected 5 drops in:\n{text}"
+        );
     }
 }

@@ -78,6 +78,23 @@ pub const TRANSPORT_LINKS_QUARANTINED: &str = "gossamer_transport_links_quaranti
 /// Gauge: worst observed gap between ticker wakeups, in microseconds
 /// (scheduler stall detector).
 pub const TRANSPORT_MAX_TICK_GAP_US: &str = "gossamer_transport_max_tick_gap_us";
+/// Counter: dials re-attempted against a peer whose failure streak was
+/// still open (the health registry's retry count).
+pub const TRANSPORT_DIAL_RETRIES: &str = "gossamer_transport_dial_retries_total";
+/// Counter: failure streaks closed by a success — each increment is one
+/// backoff schedule reset to the base interval.
+pub const TRANSPORT_BACKOFF_RESETS: &str = "gossamer_transport_backoff_resets_total";
+/// Counter: links whose consecutive-failure count crossed the
+/// quarantine threshold.
+pub const TRANSPORT_QUARANTINES_ENTERED: &str = "gossamer_transport_quarantines_entered_total";
+/// Counter: quarantined links restored to service by a successful
+/// reprobe.
+pub const TRANSPORT_QUARANTINES_LIFTED: &str = "gossamer_transport_quarantines_lifted_total";
+/// Gauge: gossip targets dropped from a daemon's rotation by
+/// maintenance pruning (cumulative over the process lifetime).
+pub const TRANSPORT_TARGETS_PRUNED: &str = "gossamer_transport_targets_pruned";
+/// Gauge: connections currently held by the outbound connection pool.
+pub const TRANSPORT_POOLED_CONNECTIONS: &str = "gossamer_transport_pooled_connections";
 
 // ---- durable store (crates/store) -------------------------------------
 
@@ -95,6 +112,37 @@ pub const WAL_APPEND_LATENCY_US: &str = "gossamer_wal_append_latency_us";
 pub const WAL_FSYNC_LATENCY_US: &str = "gossamer_wal_fsync_latency_us";
 /// Histogram: latency of a full log compaction, in microseconds.
 pub const WAL_COMPACTION_LATENCY_US: &str = "gossamer_wal_compaction_latency_us";
+
+// ---- segment lifecycle tracing (crates/obs, obs::trace) ---------------
+
+/// Histogram: microseconds from a segment's injection at its origin
+/// peer to the collector first seeing any coded block of it — the time
+/// the segment spent riding the gossip layer alone.
+pub const TRACE_GOSSIP_RESIDENCE_US: &str = "gossamer_trace_gossip_residence_us";
+/// Histogram: microseconds from the first coded block seen to the first
+/// *innovative* block — how long pull rounds churned before the decode
+/// matrix actually grew.
+pub const TRACE_PULL_WAIT_US: &str = "gossamer_trace_pull_wait_us";
+/// Histogram: microseconds from the first innovative block to full
+/// decode (rank reaching the segment size).
+pub const TRACE_DECODE_WALL_US: &str = "gossamer_trace_decode_wall_us";
+/// Histogram: microseconds from injection at the origin to delivery of
+/// the decoded segment — the paper's end-to-end collection delay.
+pub const TRACE_DELIVERY_DELAY_US: &str = "gossamer_trace_delivery_delay_us";
+/// Histogram: recoding hop count carried by each coded block the
+/// collector accepted (zero = systematic block straight from its
+/// origin).
+pub const TRACE_BLOCK_HOPS: &str = "gossamer_trace_block_hops";
+/// Counter: segment timelines evicted from the bounded trace store to
+/// admit newer segments.
+pub const TRACE_TIMELINES_DROPPED: &str = "gossamer_trace_timelines_dropped_total";
+
+// ---- observability self-monitoring (crates/obs) -----------------------
+
+/// Counter: events lost to ring overwrites in the [`crate::EventLog`]
+/// (the ring keeps the newest events; this counts the overwritten
+/// oldest ones).
+pub const OBS_EVENTS_DROPPED: &str = "gossamer_obs_events_dropped_total";
 
 /// Every name in the catalogue, in rendering order.
 ///
@@ -125,6 +173,12 @@ pub const ALL: &[&str] = &[
     TRANSPORT_LINKS,
     TRANSPORT_LINKS_QUARANTINED,
     TRANSPORT_MAX_TICK_GAP_US,
+    TRANSPORT_DIAL_RETRIES,
+    TRANSPORT_BACKOFF_RESETS,
+    TRANSPORT_QUARANTINES_ENTERED,
+    TRANSPORT_QUARANTINES_LIFTED,
+    TRANSPORT_TARGETS_PRUNED,
+    TRANSPORT_POOLED_CONNECTIONS,
     WAL_APPENDS,
     WAL_APPEND_BYTES,
     WAL_FSYNCS,
@@ -132,6 +186,13 @@ pub const ALL: &[&str] = &[
     WAL_APPEND_LATENCY_US,
     WAL_FSYNC_LATENCY_US,
     WAL_COMPACTION_LATENCY_US,
+    TRACE_GOSSIP_RESIDENCE_US,
+    TRACE_PULL_WAIT_US,
+    TRACE_DECODE_WALL_US,
+    TRACE_DELIVERY_DELAY_US,
+    TRACE_BLOCK_HOPS,
+    TRACE_TIMELINES_DROPPED,
+    OBS_EVENTS_DROPPED,
 ];
 
 #[cfg(test)]

@@ -597,6 +597,63 @@ mod tests {
     }
 
     #[test]
+    fn empty_registry_renders_empty_exposition() {
+        let registry = Registry::new();
+        let snap = registry.snapshot();
+        assert_eq!(snap.prometheus_text(), "");
+        assert_eq!(snap.json(), "{\"metrics\":[]}");
+        assert!(snap.scalars().is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_render_cumulatively_with_inf_terminator() {
+        let registry = Registry::new();
+        let h = registry.histogram("gossamer_edge_us", "bucket edge test");
+        // Spread observations across several buckets, including the
+        // zero bucket and a large value.
+        for v in [0u64, 0, 1, 2, 3, 10, 10_000, 1 << 35] {
+            h.record(v);
+        }
+        let text = registry.snapshot().prometheus_text();
+
+        // Parse back the rendered bucket series and check cumulative
+        // monotonicity plus the +Inf terminator equalling _count.
+        let mut bucket_counts = Vec::new();
+        let mut inf_count = None;
+        let mut total_count = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("gossamer_edge_us_bucket{le=\"") {
+                let (le, count) = rest.split_once("\"} ").expect("bucket line shape");
+                let count: u64 = count.parse().expect("bucket count");
+                if le == "+Inf" {
+                    inf_count = Some(count);
+                } else {
+                    let _: u64 = le.parse().expect("finite le bound");
+                    bucket_counts.push(count);
+                }
+            } else if let Some(count) = line.strip_prefix("gossamer_edge_us_count ") {
+                total_count = Some(count.parse::<u64>().expect("count value"));
+            }
+        }
+        assert!(
+            bucket_counts.len() >= 3,
+            "expected several finite buckets, got {bucket_counts:?}"
+        );
+        assert!(
+            bucket_counts.windows(2).all(|w| w[0] <= w[1]),
+            "cumulative bucket counts must be monotone: {bucket_counts:?}"
+        );
+        let inf = inf_count.expect("+Inf bucket rendered");
+        let total = total_count.expect("_count rendered");
+        assert_eq!(inf, 8, "+Inf must cover every observation");
+        assert_eq!(inf, total, "+Inf bucket must equal _count");
+        assert!(
+            bucket_counts.last().copied().unwrap_or(0) <= inf,
+            "finite buckets never exceed +Inf"
+        );
+    }
+
+    #[test]
     fn histogram_quantiles_bracket_observations() {
         let h = Histogram::new();
         for v in 1..=100u64 {

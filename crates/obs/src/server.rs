@@ -8,6 +8,7 @@
 //! | `/metrics`      | Prometheus text exposition format            |
 //! | `/metrics.json` | the same registry snapshot as JSON           |
 //! | `/events`       | the retained event ring as JSON              |
+//! | `/trace`        | segment timelines as Chrome trace-event JSON |
 //! | `/`             | a plain-text index of the above              |
 //!
 //! The server is one accept-loop thread, one short-lived handler per
@@ -139,11 +140,17 @@ fn handle(mut stream: TcpStream, obs: &Observability) -> io::Result<()> {
             respond(&mut stream, 200, "application/json", &body)
         }
         "/events" => respond(&mut stream, 200, "application/json", &obs.events().json()),
+        "/trace" => respond(
+            &mut stream,
+            200,
+            "application/json",
+            &obs.tracer().chrome_trace_json(),
+        ),
         "/" => respond(
             &mut stream,
             200,
             "text/plain; charset=utf-8",
-            "gossamer metrics endpoint\n/metrics\n/metrics.json\n/events\n",
+            "gossamer metrics endpoint\n/metrics\n/metrics.json\n/events\n/trace\n",
         ),
         _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
     }
@@ -226,8 +233,16 @@ mod tests {
         let events = get(addr, "/events");
         assert!(events.contains("hello endpoint"));
 
+        obs.tracer().block_seen(9, 100, 1, 300, true, 1);
+        let trace = get(addr, "/trace");
+        assert!(trace.starts_with("HTTP/1.1 200"), "{trace}");
+        assert!(trace.contains("application/json"));
+        assert!(trace.contains("{\"traceEvents\":["));
+        assert!(trace.contains("\"name\":\"segment 9\""));
+
         let index = get(addr, "/");
         assert!(index.contains("/metrics.json"));
+        assert!(index.contains("/trace"));
 
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");

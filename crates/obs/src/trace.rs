@@ -1,0 +1,642 @@
+//! Per-segment lifecycle tracing.
+//!
+//! A [`Tracer`] reconstructs, at the collection point, the timeline of
+//! every segment it hears about: *injected at the origin → first coded
+//! block seen → first innovative block → rank milestones → decoded →
+//! delivered*. The raw material is the provenance every coded block now
+//! carries on the wire (origin timestamp + recoding hop count) plus the
+//! collector's own decode milestones; the simulator feeds the same
+//! calls from its event loop, so a simulated run and a live cluster
+//! produce directly comparable timelines and delay distributions.
+//!
+//! Two consumers hang off the store:
+//!
+//! * **Delay-decomposition histograms.** [`Tracer::attach_registry`]
+//!   registers the `gossamer_trace_*` catalogue names and from then on
+//!   every completed stage is recorded live; stages completed before
+//!   attachment are replayed into the histograms at attach time, so the
+//!   simulator (which attaches only when it drains its report) loses
+//!   nothing.
+//! * **A Chrome trace-event export.** [`Tracer::chrome_trace_json`]
+//!   renders the retained timelines as Chrome trace-event JSON — one
+//!   track per segment, one complete event per lifecycle stage, instant
+//!   events for rank milestones — which loads directly into Perfetto
+//!   (or `chrome://tracing`) from the metrics server's `/trace`
+//!   endpoint.
+//!
+//! The store is bounded: once `capacity` segments are retained, the
+//! oldest timeline is evicted to admit a new one and the eviction is
+//! counted (and exported as [`crate::names::TRACE_TIMELINES_DROPPED`]).
+//! Like everything in this crate, the tracer never reads a wall clock —
+//! timestamps are caller-supplied microseconds on whatever epoch the
+//! deployment stamps blocks with.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::registry::{Counter, Histogram, Registry};
+use crate::sync::{Arc, Mutex};
+use crate::names;
+
+/// The reconstructed lifecycle of one segment, as observed at the
+/// collection point. All timestamps are caller-epoch microseconds;
+/// `None` means the milestone has not happened yet (or was never
+/// observable — e.g. no origin timestamp on legacy frames).
+#[derive(Clone, Debug)]
+pub struct SegmentTimeline {
+    /// Raw segment id.
+    pub segment: u64,
+    /// Injection timestamp carried by the segment's blocks; zero when
+    /// every block seen so far was unstamped (legacy frames).
+    pub origin_us: u64,
+    /// When the first coded block of this segment arrived.
+    pub first_seen_us: Option<u64>,
+    /// When the first *innovative* block arrived (decode rank first
+    /// grew).
+    pub first_innovative_us: Option<u64>,
+    /// `(rank, at_us)` for each rank increase, in arrival order.
+    pub rank_milestones: Vec<(u64, u64)>,
+    /// When the decode matrix reached full rank.
+    pub decoded_us: Option<u64>,
+    /// When the decoded segment was delivered to the application layer.
+    pub delivered_us: Option<u64>,
+    /// Largest recoding hop count seen on any block of this segment.
+    pub max_hops: u16,
+    /// Total coded blocks of this segment observed (innovative or not).
+    pub blocks_seen: u64,
+}
+
+impl SegmentTimeline {
+    const fn new(segment: u64) -> Self {
+        Self {
+            segment,
+            origin_us: 0,
+            first_seen_us: None,
+            first_innovative_us: None,
+            rank_milestones: Vec::new(),
+            decoded_us: None,
+            delivered_us: None,
+            max_hops: 0,
+            blocks_seen: 0,
+        }
+    }
+
+    /// End-to-end collection delay (origin → delivery), when both
+    /// endpoints are known.
+    #[must_use]
+    pub fn delivery_delay_us(&self) -> Option<u64> {
+        if self.origin_us == 0 {
+            return None;
+        }
+        self.delivered_us
+            .map(|d| d.saturating_sub(self.origin_us))
+    }
+}
+
+/// A point-in-time copy of the tracer's state.
+#[derive(Clone, Debug)]
+pub struct TraceSnapshot {
+    /// Retained timelines, oldest first.
+    pub timelines: Vec<SegmentTimeline>,
+    /// Timelines evicted from the bounded store since creation.
+    pub dropped: u64,
+}
+
+/// Histogram handles the tracer publishes completed stages into.
+struct TraceMetrics {
+    gossip_residence: Histogram,
+    pull_wait: Histogram,
+    decode_wall: Histogram,
+    delivery_delay: Histogram,
+    block_hops: Histogram,
+    timelines_dropped: Counter,
+}
+
+/// Stage observations accumulated before a registry is attached, kept
+/// exactly so attachment replays them loss-free (the simulator attaches
+/// only when it drains its report).
+#[derive(Default)]
+struct Pending {
+    gossip_residence: Vec<u64>,
+    pull_wait: Vec<u64>,
+    decode_wall: Vec<u64>,
+    delivery_delay: Vec<u64>,
+    block_hops: Vec<u64>,
+}
+
+/// Where completed stages go: buffered until a registry is attached,
+/// straight into histograms afterwards.
+enum Sink {
+    Pending(Pending),
+    Live(TraceMetrics),
+}
+
+impl Sink {
+    fn gossip_residence(&mut self, v: u64) {
+        match self {
+            Self::Pending(p) => p.gossip_residence.push(v),
+            Self::Live(m) => m.gossip_residence.record(v),
+        }
+    }
+
+    fn pull_wait(&mut self, v: u64) {
+        match self {
+            Self::Pending(p) => p.pull_wait.push(v),
+            Self::Live(m) => m.pull_wait.record(v),
+        }
+    }
+
+    fn decode_wall(&mut self, v: u64) {
+        match self {
+            Self::Pending(p) => p.decode_wall.push(v),
+            Self::Live(m) => m.decode_wall.record(v),
+        }
+    }
+
+    fn delivery_delay(&mut self, v: u64) {
+        match self {
+            Self::Pending(p) => p.delivery_delay.push(v),
+            Self::Live(m) => m.delivery_delay.record(v),
+        }
+    }
+
+    fn block_hops(&mut self, v: u64) {
+        match self {
+            Self::Pending(p) => p.block_hops.push(v),
+            Self::Live(m) => m.block_hops.record(v),
+        }
+    }
+}
+
+struct State {
+    timelines: BTreeMap<u64, SegmentTimeline>,
+    /// Insertion order of `timelines` keys, for FIFO eviction and
+    /// stable export ordering.
+    order: VecDeque<u64>,
+    dropped: u64,
+    sink: Sink,
+}
+
+/// Bounded per-segment lifecycle store; see the module docs. Cloning is
+/// cheap and shares the store, like the registry's instrument handles.
+#[derive(Clone)]
+pub struct Tracer {
+    state: Arc<Mutex<State>>,
+    capacity: usize,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// Default number of segment timelines retained.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A tracer retaining at most `capacity` segment timelines.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace store capacity must be positive");
+        Self {
+            state: Arc::new(Mutex::new(State {
+                timelines: BTreeMap::new(),
+                order: VecDeque::new(),
+                dropped: 0,
+                sink: Sink::Pending(Pending::default()),
+            })),
+            capacity,
+        }
+    }
+
+    /// Registers the `gossamer_trace_*` catalogue metrics on `registry`
+    /// and routes every completed lifecycle stage into them; stages
+    /// completed before this call are replayed in, so nothing recorded
+    /// earlier is lost. Attach once per tracer — a second call is a
+    /// no-op.
+    pub fn attach_registry(&self, registry: &Registry) {
+        let metrics = TraceMetrics {
+            gossip_residence: registry.histogram(
+                names::TRACE_GOSSIP_RESIDENCE_US,
+                "us from segment injection to first coded block seen",
+            ),
+            pull_wait: registry.histogram(
+                names::TRACE_PULL_WAIT_US,
+                "us from first coded block to first innovative block",
+            ),
+            decode_wall: registry.histogram(
+                names::TRACE_DECODE_WALL_US,
+                "us from first innovative block to full decode",
+            ),
+            delivery_delay: registry.histogram(
+                names::TRACE_DELIVERY_DELAY_US,
+                "us from segment injection to delivery (end-to-end collection delay)",
+            ),
+            block_hops: registry.histogram(
+                names::TRACE_BLOCK_HOPS,
+                "recoding hop count per accepted coded block",
+            ),
+            timelines_dropped: registry.counter(
+                names::TRACE_TIMELINES_DROPPED,
+                "segment timelines evicted from the bounded trace store",
+            ),
+        };
+        let mut state = self.state.lock();
+        if matches!(state.sink, Sink::Live(_)) {
+            return;
+        }
+        if let Sink::Pending(pending) = std::mem::replace(&mut state.sink, Sink::Live(metrics)) {
+            if let Sink::Live(m) = &state.sink {
+                for v in pending.gossip_residence {
+                    m.gossip_residence.record(v);
+                }
+                for v in pending.pull_wait {
+                    m.pull_wait.record(v);
+                }
+                for v in pending.decode_wall {
+                    m.decode_wall.record(v);
+                }
+                for v in pending.delivery_delay {
+                    m.delivery_delay.record(v);
+                }
+                for v in pending.block_hops {
+                    m.block_hops.record(v);
+                }
+                m.timelines_dropped.add(state.dropped);
+            }
+        }
+    }
+
+    /// Records the arrival of one coded block of `segment` at `at_us`.
+    ///
+    /// `origin_us` and `hops` are the provenance carried by the block
+    /// (zero origin = unstamped legacy frame); `innovative` says
+    /// whether the block grew the decode rank, and `rank` is the rank
+    /// *after* processing it.
+    pub fn block_seen(
+        &self,
+        segment: u64,
+        origin_us: u64,
+        hops: u16,
+        at_us: u64,
+        innovative: bool,
+        rank: u64,
+    ) {
+        let mut state = self.state.lock();
+        self.admit(&mut state, segment);
+        state.sink.block_hops(u64::from(hops));
+        let Some(timeline) = state.timelines.get_mut(&segment) else {
+            return;
+        };
+        timeline.blocks_seen += 1;
+        timeline.max_hops = timeline.max_hops.max(hops);
+        if timeline.origin_us == 0 && origin_us > 0 {
+            timeline.origin_us = origin_us;
+        }
+        let mut residence = None;
+        let mut wait = None;
+        if timeline.first_seen_us.is_none() {
+            timeline.first_seen_us = Some(at_us);
+            if timeline.origin_us > 0 {
+                residence = Some(at_us.saturating_sub(timeline.origin_us));
+            }
+        }
+        if innovative {
+            if timeline.first_innovative_us.is_none() {
+                timeline.first_innovative_us = Some(at_us);
+                if let Some(seen) = timeline.first_seen_us {
+                    wait = Some(at_us.saturating_sub(seen));
+                }
+            }
+            timeline.rank_milestones.push((rank, at_us));
+        }
+        if let Some(v) = residence {
+            state.sink.gossip_residence(v);
+        }
+        if let Some(v) = wait {
+            state.sink.pull_wait(v);
+        }
+    }
+
+    /// Records that `segment` reached full decode rank at `at_us`.
+    /// Unknown (never-seen or already-evicted) segments are ignored.
+    pub fn decoded(&self, segment: u64, at_us: u64) {
+        let mut state = self.state.lock();
+        let Some(timeline) = state.timelines.get_mut(&segment) else {
+            return;
+        };
+        if timeline.decoded_us.is_some() {
+            return;
+        }
+        timeline.decoded_us = Some(at_us);
+        let wall = timeline
+            .first_innovative_us
+            .map(|fi| at_us.saturating_sub(fi));
+        if let Some(v) = wall {
+            state.sink.decode_wall(v);
+        }
+    }
+
+    /// Records that the decoded `segment` was delivered at `at_us`.
+    /// Unknown (never-seen or already-evicted) segments are ignored.
+    pub fn delivered(&self, segment: u64, at_us: u64) {
+        let mut state = self.state.lock();
+        let Some(timeline) = state.timelines.get_mut(&segment) else {
+            return;
+        };
+        if timeline.delivered_us.is_some() {
+            return;
+        }
+        timeline.delivered_us = Some(at_us);
+        let delay = if timeline.origin_us > 0 {
+            Some(at_us.saturating_sub(timeline.origin_us))
+        } else {
+            None
+        };
+        if let Some(v) = delay {
+            state.sink.delivery_delay(v);
+        }
+    }
+
+    /// Copies out the retained timelines (oldest first) and the
+    /// eviction count.
+    #[must_use]
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let state = self.state.lock();
+        let timelines = state
+            .order
+            .iter()
+            .filter_map(|id| state.timelines.get(id).cloned())
+            .collect();
+        TraceSnapshot {
+            timelines,
+            dropped: state.dropped,
+        }
+    }
+
+    /// Renders the retained timelines as a Chrome trace-event JSON
+    /// document (`{"traceEvents":[...]}`), loadable directly in
+    /// Perfetto or `chrome://tracing`.
+    ///
+    /// Each segment gets its own track (`tid`), named by a metadata
+    /// event; lifecycle stages become `"X"` complete events whose
+    /// `ts`/`dur` are the stage's start and length in microseconds, and
+    /// rank milestones plus the decoded/delivered moments become
+    /// thread-scoped instant events.
+    #[must_use]
+    pub fn chrome_trace_json(&self) -> String {
+        let snapshot = self.snapshot();
+        let mut events = Vec::new();
+        for (index, t) in snapshot.timelines.iter().enumerate() {
+            let tid = index + 1;
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"segment {}\"}}}}",
+                t.segment
+            ));
+            let mut complete = |name: &str, ts: u64, end: u64| {
+                events.push(format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"segment\",\"ph\":\"X\",\"ts\":{ts},\
+                     \"dur\":{},\"pid\":1,\"tid\":{tid},\"args\":{{\"segment\":{}}}}}",
+                    end.saturating_sub(ts),
+                    t.segment
+                ));
+            };
+            if let Some(seen) = t.first_seen_us {
+                if t.origin_us > 0 {
+                    complete("gossip_residence", t.origin_us, seen);
+                }
+                if let Some(fi) = t.first_innovative_us {
+                    complete("pull_wait", seen, fi);
+                    if let Some(decoded) = t.decoded_us {
+                        complete("decode_wall", fi, decoded);
+                    }
+                }
+            }
+            let mut instant = |name: &str, ts: u64| {
+                events.push(format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"segment\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":1,\"tid\":{tid}}}"
+                ));
+            };
+            for &(rank, at) in &t.rank_milestones {
+                instant(&format!("rank {rank}"), at);
+            }
+            if let Some(decoded) = t.decoded_us {
+                instant("decoded", decoded);
+            }
+            if let Some(delivered) = t.delivered_us {
+                instant("delivered", delivered);
+            }
+        }
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, event) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{event}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Timelines evicted from the bounded store since creation.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().dropped
+    }
+
+    /// Ensures a timeline for `segment` exists, evicting the oldest
+    /// retained timeline if the store is full.
+    fn admit(&self, state: &mut State, segment: u64) {
+        if state.timelines.contains_key(&segment) {
+            return;
+        }
+        if state.timelines.len() >= self.capacity {
+            if let Some(oldest) = state.order.pop_front() {
+                state.timelines.remove(&oldest);
+                state.dropped += 1;
+                if let Sink::Live(m) = &state.sink {
+                    m.timelines_dropped.inc();
+                }
+            }
+        }
+        state.timelines.insert(segment, SegmentTimeline::new(segment));
+        state.order.push_back(segment);
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn feed_full_lifecycle(tracer: &Tracer, segment: u64, origin: u64) {
+        tracer.block_seen(segment, origin, 2, origin + 100, false, 0);
+        tracer.block_seen(segment, origin, 3, origin + 250, true, 1);
+        tracer.block_seen(segment, origin, 1, origin + 400, true, 2);
+        tracer.decoded(segment, origin + 400);
+        tracer.delivered(segment, origin + 450);
+    }
+
+    #[test]
+    fn timeline_reconstructs_the_lifecycle() {
+        let tracer = Tracer::default();
+        feed_full_lifecycle(&tracer, 7, 1_000);
+        let snap = tracer.snapshot();
+        assert_eq!(snap.timelines.len(), 1);
+        let t = &snap.timelines[0];
+        assert_eq!(t.segment, 7);
+        assert_eq!(t.origin_us, 1_000);
+        assert_eq!(t.first_seen_us, Some(1_100));
+        assert_eq!(t.first_innovative_us, Some(1_250));
+        assert_eq!(t.rank_milestones, vec![(1, 1_250), (2, 1_400)]);
+        assert_eq!(t.decoded_us, Some(1_400));
+        assert_eq!(t.delivered_us, Some(1_450));
+        assert_eq!(t.max_hops, 3);
+        assert_eq!(t.blocks_seen, 3);
+        assert_eq!(t.delivery_delay_us(), Some(450));
+    }
+
+    #[test]
+    fn histograms_capture_the_delay_decomposition() {
+        let registry = Registry::new();
+        let tracer = Tracer::default();
+        tracer.attach_registry(&registry);
+        feed_full_lifecycle(&tracer, 7, 1_000);
+        let snap = registry.snapshot();
+        let text = snap.prometheus_text();
+        // residence 100, pull wait 150, decode wall 150, delivery 450.
+        assert!(text.contains("gossamer_trace_gossip_residence_us_sum 100"));
+        assert!(text.contains("gossamer_trace_pull_wait_us_sum 150"));
+        assert!(text.contains("gossamer_trace_decode_wall_us_sum 150"));
+        assert!(text.contains("gossamer_trace_delivery_delay_us_sum 450"));
+        assert!(text.contains("gossamer_trace_block_hops_count 3"));
+        assert!(text.contains("gossamer_trace_block_hops_sum 6"));
+    }
+
+    #[test]
+    fn late_attachment_replays_earlier_stages_exactly() {
+        // Record first, attach after — the simulator's order of
+        // operations — and compare against the attach-first registry.
+        let early = Registry::new();
+        let tracer_early = Tracer::default();
+        tracer_early.attach_registry(&early);
+        feed_full_lifecycle(&tracer_early, 7, 1_000);
+
+        let late = Registry::new();
+        let tracer_late = Tracer::default();
+        feed_full_lifecycle(&tracer_late, 7, 1_000);
+        tracer_late.attach_registry(&late);
+
+        assert_eq!(
+            early.snapshot().prometheus_text(),
+            late.snapshot().prometheus_text(),
+            "late attachment must replay pre-attach stages loss-free"
+        );
+    }
+
+    #[test]
+    fn unstamped_blocks_skip_origin_relative_stages() {
+        let registry = Registry::new();
+        let tracer = Tracer::default();
+        tracer.attach_registry(&registry);
+        tracer.block_seen(3, 0, 0, 500, true, 1);
+        tracer.decoded(3, 900);
+        tracer.delivered(3, 950);
+        let snap = registry.snapshot();
+        let scalars = snap.scalars();
+        let value = |name: &str| {
+            scalars
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(value("gossamer_trace_gossip_residence_us_count"), 0);
+        assert_eq!(value("gossamer_trace_delivery_delay_us_count"), 0);
+        assert_eq!(value("gossamer_trace_pull_wait_us_count"), 1);
+        assert_eq!(value("gossamer_trace_decode_wall_us_count"), 1);
+    }
+
+    #[test]
+    fn bounded_store_evicts_oldest_and_counts_drops() {
+        let registry = Registry::new();
+        let tracer = Tracer::with_capacity(2);
+        tracer.attach_registry(&registry);
+        for segment in 0..5u64 {
+            tracer.block_seen(segment, 10, 0, 20, true, 1);
+        }
+        let snap = tracer.snapshot();
+        assert_eq!(snap.dropped, 3);
+        assert_eq!(tracer.dropped(), 3);
+        let retained: Vec<u64> = snap.timelines.iter().map(|t| t.segment).collect();
+        assert_eq!(retained, vec![3, 4]);
+        assert_eq!(
+            registry
+                .snapshot()
+                .scalar(names::TRACE_TIMELINES_DROPPED),
+            Some(3)
+        );
+        // Milestones for an evicted segment are ignored, not resurrected.
+        tracer.decoded(0, 99);
+        assert_eq!(tracer.snapshot().timelines.len(), 2);
+    }
+
+    #[test]
+    fn chrome_trace_json_is_structurally_valid() {
+        let tracer = Tracer::default();
+        feed_full_lifecycle(&tracer, 7, 1_000);
+        let json = tracer.chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"M\""), "track metadata event");
+        assert!(json.contains("\"name\":\"segment 7\""));
+        assert!(json.contains("\"ph\":\"X\""), "complete events");
+        assert!(json.contains("\"name\":\"gossip_residence\""));
+        assert!(json.contains("\"ts\":1000,\"dur\":100"));
+        assert!(json.contains("\"name\":\"pull_wait\""));
+        assert!(json.contains("\"name\":\"decode_wall\""));
+        assert!(json.contains("\"ph\":\"i\""), "instant events");
+        assert!(json.contains("\"name\":\"rank 2\""));
+        assert!(json.contains("\"name\":\"delivered\""));
+        // Braces and brackets balance — the cheap structural JSON check
+        // available without a parser dependency.
+        let braces: i64 = json
+            .chars()
+            .map(|c| match c {
+                '{' => 1,
+                '}' => -1,
+                _ => 0,
+            })
+            .sum();
+        let brackets: i64 = json
+            .chars()
+            .map(|c| match c {
+                '[' => 1,
+                ']' => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(braces, 0);
+        assert_eq!(brackets, 0);
+    }
+
+    #[test]
+    fn empty_tracer_renders_an_empty_event_array() {
+        let tracer = Tracer::default();
+        assert_eq!(tracer.chrome_trace_json(), "{\"traceEvents\":[]}");
+    }
+}

@@ -28,11 +28,19 @@ impl InsertOutcome {
 
 /// One row of the echelon form: a coefficient vector and the matching
 /// coded payload, transformed in lockstep.
+///
+/// Each row also remembers the provenance of the arrival that created
+/// it (origin timestamp and hop count). Row reduction mixes payloads
+/// across arrivals, so this is an attribution of the *rank increment*
+/// to the block that caused it — exactly the granularity the recoder's
+/// max/increment carry-forward needs.
 #[derive(Debug, Clone)]
 struct Row {
     pivot: usize,
     coeffs: Vec<u8>,
     payload: Vec<u8>,
+    origin_us: u64,
+    hops: u16,
 }
 
 /// Stores up to `s` linearly independent coded blocks of one segment,
@@ -139,6 +147,7 @@ impl SegmentBuffer {
             });
         }
         block.validate(&self.params)?;
+        let (origin_us, hops) = (block.origin_us(), block.hops());
         let (_, mut coeffs, mut payload) = block.into_parts();
 
         // Forward-reduce the incoming block against existing rows.
@@ -179,6 +188,8 @@ impl SegmentBuffer {
                 pivot,
                 coeffs,
                 payload,
+                origin_us,
+                hops,
             },
         );
         Ok(InsertOutcome::Innovative {
@@ -208,6 +219,10 @@ impl SegmentBuffer {
     /// non-zero linear combination of the stored rows, with the header
     /// coefficients composed accordingly.
     ///
+    /// The emitted block's provenance is carried forward over the
+    /// combined rows: origin timestamp and hop count are the maxima over
+    /// the rows, with the hop count incremented for this recoding step.
+    ///
     /// Returns `None` if the buffer is empty (nothing to recode).
     ///
     /// # Panics
@@ -229,8 +244,11 @@ impl SegmentBuffer {
             slice::axpy(&mut coeffs, c, &row.coeffs);
             slice::axpy(&mut payload, c, &row.payload);
         }
+        let (origin_us, hops) = combined_provenance(self.rows.iter());
         Some(
-            CodedBlock::new(self.id, coeffs, payload).expect("recoded block is structurally valid"),
+            CodedBlock::new(self.id, coeffs, payload)
+                .expect("recoded block is structurally valid")
+                .with_provenance(origin_us, hops),
         )
     }
 
@@ -275,9 +293,11 @@ impl SegmentBuffer {
             slice::axpy(&mut coeffs, c, &self.rows[idx].coeffs);
             slice::axpy(&mut payload, c, &self.rows[idx].payload);
         }
+        let (origin_us, hops) = combined_provenance(chosen.iter().map(|&idx| &self.rows[idx]));
         Some(
             CodedBlock::new(self.id, coeffs, payload)
-                .expect("sparse recoded block is structurally valid"),
+                .expect("sparse recoded block is structurally valid")
+                .with_provenance(origin_us, hops),
         )
     }
 
@@ -335,6 +355,7 @@ impl SegmentBuffer {
             .map(|row| {
                 CodedBlock::new(self.id, row.coeffs.clone(), row.payload.clone())
                     .expect("stored rows are structurally valid")
+                    .with_provenance(row.origin_us, row.hops)
             })
             .collect()
     }
@@ -356,7 +377,21 @@ impl SegmentBuffer {
         let row = self.rows.remove(index);
         CodedBlock::new(self.id, row.coeffs, row.payload)
             .expect("stored rows are structurally valid")
+            .with_provenance(row.origin_us, row.hops)
     }
+}
+
+/// The provenance a recoded block inherits from the rows it combines:
+/// the maximum origin timestamp and one past the maximum hop count
+/// (saturating — a pathological relay loop must not wrap back to zero).
+fn combined_provenance<'a, I: Iterator<Item = &'a Row>>(rows: I) -> (u64, u16) {
+    let mut origin_us = 0;
+    let mut hops = 0;
+    for row in rows {
+        origin_us = origin_us.max(row.origin_us);
+        hops = hops.max(row.hops);
+    }
+    (origin_us, hops.saturating_add(1))
 }
 
 #[cfg(test)]
@@ -563,6 +598,50 @@ mod tests {
     fn remove_row_out_of_range_panics() {
         let (_, mut buf, _) = setup(3);
         let _ = buf.remove_row(0);
+    }
+
+    #[test]
+    fn recode_carries_provenance_as_max_plus_hop_increment() {
+        let (src, mut buf, mut rng) = setup(4);
+        for (i, (origin, hops)) in [(100, 0), (400, 2), (250, 1), (50, 5)].iter().enumerate() {
+            buf.insert(src.emit_systematic(i).with_provenance(*origin, *hops))
+                .unwrap();
+        }
+        let recoded = buf.recode(&mut rng).unwrap();
+        assert_eq!(recoded.origin_us(), 400, "max origin over combined rows");
+        assert_eq!(recoded.hops(), 6, "max hop count plus this recoding step");
+        // Sparse recoding aggregates over the chosen subset only, so the
+        // result is bounded by the dense answer.
+        let sparse = buf.recode_sparse(2, &mut rng).unwrap();
+        assert!(sparse.origin_us() <= 400);
+        assert!((1..=6).contains(&sparse.hops()));
+    }
+
+    #[test]
+    fn rows_remember_their_provenance_through_snapshot_and_eviction() {
+        let (src, mut buf, _) = setup(3);
+        for i in 0..3 {
+            buf.insert(src.emit_systematic(i).with_provenance(10 + i as u64, i as u16))
+                .unwrap();
+        }
+        let snapshot = buf.row_blocks();
+        assert_eq!(snapshot.len(), 3);
+        for (i, block) in snapshot.iter().enumerate() {
+            assert_eq!(block.origin_us(), 10 + i as u64);
+            assert_eq!(block.hops(), i as u16);
+        }
+        let evicted = buf.remove_row(1);
+        assert_eq!(evicted.origin_us(), 11);
+        assert_eq!(evicted.hops(), 1);
+    }
+
+    #[test]
+    fn hop_carry_saturates_instead_of_wrapping() {
+        let (src, mut buf, mut rng) = setup(2);
+        buf.insert(src.emit_systematic(0).with_provenance(1, u16::MAX))
+            .unwrap();
+        let recoded = buf.recode(&mut rng).unwrap();
+        assert_eq!(recoded.hops(), u16::MAX);
     }
 
     #[test]

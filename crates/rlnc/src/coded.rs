@@ -14,11 +14,42 @@ use crate::{CodingError, SegmentId, SegmentParams};
 /// regardless of how many recoding hops the block has taken — recoding
 /// composes linearly, so relays simply combine headers the same way they
 /// combine payloads.
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// Besides the coding data, every block carries **provenance**: the
+/// microsecond timestamp at which its segment was injected at the origin
+/// peer ([`CodedBlock::origin_us`]) and the number of recoding hops it
+/// has taken since ([`CodedBlock::hops`]). Provenance is observability
+/// metadata, not coding state: it is deliberately excluded from equality
+/// and hashing, so two blocks spanning the same vector compare equal no
+/// matter which route they travelled.
+#[derive(Clone)]
 pub struct CodedBlock {
     segment: SegmentId,
     coefficients: Vec<u8>,
     payload: Vec<u8>,
+    origin_us: u64,
+    hops: u16,
+}
+
+// Provenance is route metadata; equality is over the coding content
+// only, so dedup and test assertions are unaffected by which path a
+// block took through the swarm.
+impl PartialEq for CodedBlock {
+    fn eq(&self, other: &Self) -> bool {
+        self.segment == other.segment
+            && self.coefficients == other.coefficients
+            && self.payload == other.payload
+    }
+}
+
+impl Eq for CodedBlock {}
+
+impl core::hash::Hash for CodedBlock {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.segment.hash(state);
+        self.coefficients.hash(state);
+        self.payload.hash(state);
+    }
 }
 
 impl CodedBlock {
@@ -45,7 +76,36 @@ impl CodedBlock {
             segment,
             coefficients,
             payload,
+            origin_us: 0,
+            hops: 0,
         })
+    }
+
+    /// Returns the block with its provenance replaced: the microsecond
+    /// origin timestamp of its segment and the recoding hop count.
+    #[must_use]
+    pub const fn with_provenance(mut self, origin_us: u64, hops: u16) -> Self {
+        self.origin_us = origin_us;
+        self.hops = hops;
+        self
+    }
+
+    /// Microsecond timestamp at which the block's segment was injected
+    /// at its origin peer, on whatever clock the deployment stamps with
+    /// (simulation time in the simulator, a shared epoch in a cluster).
+    /// Zero means "unstamped" — e.g. a block decoded from a legacy
+    /// version-1 frame.
+    #[must_use]
+    pub const fn origin_us(&self) -> u64 {
+        self.origin_us
+    }
+
+    /// Number of recoding hops this block has taken since injection:
+    /// zero for a systematic block at its origin; a recoding relay sets
+    /// it to one past the maximum over the buffered blocks it combined.
+    #[must_use]
+    pub const fn hops(&self) -> u16 {
+        self.hops
     }
 
     /// The segment this block belongs to.
@@ -213,5 +273,26 @@ mod tests {
         let (seg, coeffs, payload) = sample().into_parts();
         let rebuilt = CodedBlock::new(seg, coeffs, payload).unwrap();
         assert_eq!(rebuilt, sample());
+    }
+
+    #[test]
+    fn provenance_defaults_to_zero_and_is_settable() {
+        let plain = sample();
+        assert_eq!(plain.origin_us(), 0);
+        assert_eq!(plain.hops(), 0);
+        let stamped = plain.with_provenance(1_500_000, 3);
+        assert_eq!(stamped.origin_us(), 1_500_000);
+        assert_eq!(stamped.hops(), 3);
+    }
+
+    #[test]
+    fn provenance_does_not_affect_equality_or_hashing() {
+        use std::collections::HashSet;
+        let a = sample();
+        let b = sample().with_provenance(42, 7);
+        assert_eq!(a, b, "provenance is metadata, not coding content");
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
     }
 }

@@ -1,14 +1,14 @@
 //! Binary wire format for coded blocks.
 //!
-//! Layout (all integers big-endian):
+//! Version-2 layout (all integers big-endian):
 //!
 //! ```text
-//! +-------+---------+------------+-----+-----------+--------------+----------+
-//! | magic | version | segment id |  s  | block len | coefficients | payload  |
-//! |  1 B  |   1 B   |    8 B     | 1 B |    4 B    |     s B      | len B    |
-//! +-------+---------+------------+-----+-----------+--------------+----------+
-//! |                            crc32 (4 B)                                   |
-//! +---------------------------------------------------------------------------+
+//! +-------+---------+------------+-----+-----------+-----------+------+
+//! | magic | version | segment id |  s  | block len | origin us | hops |
+//! |  1 B  |   1 B   |    8 B     | 1 B |    4 B    |    8 B    | 2 B  |
+//! +-------+---------+------------+-----+-----------+-----------+------+
+//! |      coefficients (s B)      |  payload (len B)  |  crc32 (4 B)   |
+//! +------------------------------+-------------------+----------------+
 //! ```
 //!
 //! The header embeds the coding coefficients exactly as the paper
@@ -16,6 +16,15 @@
 //! x are embedded in the header of the coded block"), plus a CRC-32 so a
 //! deployment over real sockets detects corruption instead of feeding
 //! garbage into Gaussian elimination.
+//!
+//! Version 2 appends block **provenance** after the block-length field:
+//! the segment's microsecond origin timestamp and a recoding hop
+//! counter, feeding the collector's per-segment lifecycle traces. The
+//! format is version-gated: [`decode`] and [`peek_frame_len`] still
+//! accept version-1 frames (the [`LEGACY_VERSION`] layout without the
+//! provenance fields), mapping them to zero provenance, so a rolling
+//! upgrade — or a write-ahead log written by an older build — keeps
+//! working.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -23,8 +32,11 @@ use crate::{CodedBlock, SegmentId, WireError};
 
 /// First byte of every frame.
 pub const MAGIC: u8 = 0x67; // 'g'
-/// Current format version.
-pub const VERSION: u8 = 1;
+/// Current format version: provenance-carrying frames.
+pub const VERSION: u8 = 2;
+/// The previous format version, still accepted on decode: identical to
+/// version 2 minus the origin-timestamp and hop-count fields.
+pub const LEGACY_VERSION: u8 = 1;
 
 /// Hard upper bound on the total size of an accepted frame.
 ///
@@ -36,11 +48,24 @@ pub const VERSION: u8 = 1;
 /// cannot drive allocation.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
-/// Bytes before the coefficient vector: magic, version, segment id,
-/// segment size, block length.
-const FIXED_HEADER: usize = 1 + 1 + 8 + 1 + 4;
+/// Bytes before the coefficient vector in a version-1 frame: magic,
+/// version, segment id, segment size, block length.
+const FIXED_HEADER_V1: usize = 1 + 1 + 8 + 1 + 4;
+/// Bytes before the coefficient vector in a version-2 frame: the
+/// version-1 header plus the origin timestamp and hop count.
+const FIXED_HEADER: usize = FIXED_HEADER_V1 + 8 + 2;
 /// Bytes after the payload: the CRC-32 of everything before it.
 const TRAILER: usize = 4;
+
+/// The fixed header size for a given version byte, or `None` if the
+/// version is unknown.
+const fn fixed_header_len(version: u8) -> Option<usize> {
+    match version {
+        LEGACY_VERSION => Some(FIXED_HEADER_V1),
+        VERSION => Some(FIXED_HEADER),
+        _ => None,
+    }
+}
 
 /// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
 const CRC_TABLE: [u32; 256] = build_crc_table();
@@ -79,14 +104,22 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
-/// Serialised size of a block with `s` coefficients and `block_len`
-/// payload bytes.
+/// Serialised size of a current-version block with `s` coefficients and
+/// `block_len` payload bytes.
 #[must_use]
 pub const fn frame_len(s: usize, block_len: usize) -> usize {
     FIXED_HEADER + s + block_len + TRAILER
 }
 
-/// Serialises a coded block into a self-delimiting frame.
+/// Serialised size of a [`LEGACY_VERSION`] frame with `s` coefficients
+/// and `block_len` payload bytes.
+#[must_use]
+pub const fn legacy_frame_len(s: usize, block_len: usize) -> usize {
+    FIXED_HEADER_V1 + s + block_len + TRAILER
+}
+
+/// Serialises a coded block into a self-delimiting current-version
+/// frame, provenance included.
 #[must_use]
 pub fn encode(block: &CodedBlock) -> Bytes {
     let s = block.segment_size();
@@ -94,6 +127,28 @@ pub fn encode(block: &CodedBlock) -> Bytes {
     let mut buf = BytesMut::with_capacity(len);
     buf.put_u8(MAGIC);
     buf.put_u8(VERSION);
+    buf.put_u64(block.segment().raw());
+    buf.put_u8(s as u8);
+    buf.put_u32(block.payload().len() as u32);
+    buf.put_u64(block.origin_us());
+    buf.put_u16(block.hops());
+    buf.put_slice(block.coefficients());
+    buf.put_slice(block.payload());
+    let crc = crc32(&buf);
+    buf.put_u32(crc);
+    buf.freeze()
+}
+
+/// Serialises a coded block as a [`LEGACY_VERSION`] frame, dropping its
+/// provenance. Kept so compatibility tests (and tools that must speak to
+/// pre-provenance builds) can produce byte-exact old-format frames.
+#[must_use]
+pub fn encode_legacy(block: &CodedBlock) -> Bytes {
+    let s = block.segment_size();
+    let len = legacy_frame_len(s, block.payload().len());
+    let mut buf = BytesMut::with_capacity(len);
+    buf.put_u8(MAGIC);
+    buf.put_u8(LEGACY_VERSION);
     buf.put_u64(block.segment().raw());
     buf.put_u8(s as u8);
     buf.put_u32(block.payload().len() as u32);
@@ -113,9 +168,9 @@ pub fn encode(block: &CodedBlock) -> Bytes {
 /// mismatch.
 pub fn decode(mut frame: &[u8]) -> Result<CodedBlock, WireError> {
     let full = frame;
-    if frame.len() < FIXED_HEADER + TRAILER {
+    if frame.len() < FIXED_HEADER_V1 + TRAILER {
         return Err(WireError::Truncated {
-            needed: FIXED_HEADER + TRAILER,
+            needed: FIXED_HEADER_V1 + TRAILER,
             available: frame.len(),
         });
     }
@@ -124,16 +179,16 @@ pub fn decode(mut frame: &[u8]) -> Result<CodedBlock, WireError> {
         return Err(WireError::BadMagic { found: magic });
     }
     let version = frame.get_u8();
-    if version != VERSION {
+    let Some(header_len) = fixed_header_len(version) else {
         return Err(WireError::UnsupportedVersion { version });
-    }
+    };
     let segment = SegmentId::new(frame.get_u64());
     let s = frame.get_u8() as usize;
     let block_len = frame.get_u32() as usize;
     if s == 0 || block_len == 0 {
         return Err(WireError::MalformedHeader);
     }
-    let needed = frame_len(s, block_len);
+    let needed = header_len + s + block_len + TRAILER;
     if needed > MAX_FRAME_LEN {
         return Err(WireError::FrameTooLarge {
             declared: needed,
@@ -146,6 +201,12 @@ pub fn decode(mut frame: &[u8]) -> Result<CodedBlock, WireError> {
             available: full.len(),
         });
     }
+    // Legacy frames carry no provenance; they decode as unstamped.
+    let (origin_us, hops) = if version == LEGACY_VERSION {
+        (0, 0)
+    } else {
+        (frame.get_u64(), frame.get_u16())
+    };
     let coefficients = frame[..s].to_vec();
     let payload = frame[s..s + block_len].to_vec();
     frame.advance(s + block_len);
@@ -154,7 +215,9 @@ pub fn decode(mut frame: &[u8]) -> Result<CodedBlock, WireError> {
     if stored != computed {
         return Err(WireError::ChecksumMismatch { stored, computed });
     }
-    CodedBlock::new(segment, coefficients, payload).map_err(|_| WireError::MalformedHeader)
+    CodedBlock::new(segment, coefficients, payload)
+        .map(|b| b.with_provenance(origin_us, hops))
+        .map_err(|_| WireError::MalformedHeader)
 }
 
 /// Inspects a partial byte stream and reports how many bytes the frame at
@@ -176,12 +239,15 @@ pub fn peek_frame_len(buf: &[u8]) -> Result<Option<usize>, WireError> {
             return Err(WireError::BadMagic { found: magic });
         }
     }
-    if let Some(&version) = buf.get(1) {
-        if version != VERSION {
-            return Err(WireError::UnsupportedVersion { version });
-        }
-    }
-    let Some((header, _)) = buf.split_first_chunk::<FIXED_HEADER>() else {
+    let Some(&version) = buf.get(1) else {
+        return Ok(None);
+    };
+    let Some(header_len) = fixed_header_len(version) else {
+        return Err(WireError::UnsupportedVersion { version });
+    };
+    // The dimensions sit at the same offsets in both versions; only the
+    // total header length differs.
+    let Some((header, _)) = buf.split_first_chunk::<FIXED_HEADER_V1>() else {
         return Ok(None);
     };
     let [_, _, _, _, _, _, _, _, _, _, s, b0, b1, b2, b3] = *header;
@@ -190,7 +256,7 @@ pub fn peek_frame_len(buf: &[u8]) -> Result<Option<usize>, WireError> {
     if s == 0 || block_len == 0 {
         return Err(WireError::MalformedHeader);
     }
-    let needed = frame_len(s, block_len);
+    let needed = header_len + s + block_len + TRAILER;
     if needed > MAX_FRAME_LEN {
         return Err(WireError::FrameTooLarge {
             declared: needed,
@@ -215,6 +281,42 @@ mod tests {
         assert_eq!(frame.len(), frame_len(4, 64));
         let decoded = decode(&frame).unwrap();
         assert_eq!(decoded, block);
+    }
+
+    #[test]
+    fn round_trip_preserves_provenance() {
+        let block = sample().with_provenance(987_654_321, 12);
+        let decoded = decode(&encode(&block)).unwrap();
+        assert_eq!(decoded, block);
+        assert_eq!(decoded.origin_us(), 987_654_321);
+        assert_eq!(decoded.hops(), 12);
+    }
+
+    #[test]
+    fn legacy_frames_decode_with_zero_provenance() {
+        let block = sample().with_provenance(123, 4);
+        let frame = encode_legacy(&block);
+        assert_eq!(frame.len(), legacy_frame_len(4, 64));
+        assert_eq!(frame[1], LEGACY_VERSION);
+        assert_eq!(peek_frame_len(&frame), Ok(Some(frame.len())));
+        let decoded = decode(&frame).unwrap();
+        assert_eq!(decoded, block, "coding content survives the downgrade");
+        assert_eq!(decoded.origin_us(), 0, "legacy frames are unstamped");
+        assert_eq!(decoded.hops(), 0);
+    }
+
+    #[test]
+    fn mixed_version_stream_splits_and_decodes() {
+        let new = sample().with_provenance(55, 2);
+        let old = CodedBlock::new(SegmentId::new(7), vec![9, 9], vec![1, 2, 3]).unwrap();
+        let mut stream = encode(&new).to_vec();
+        stream.extend_from_slice(&encode_legacy(&old));
+        let first_len = peek_frame_len(&stream).unwrap().unwrap();
+        let first = decode(&stream[..first_len]).unwrap();
+        assert_eq!(first.hops(), 2);
+        let rest = &stream[first_len..];
+        assert_eq!(peek_frame_len(rest), Ok(Some(rest.len())));
+        assert_eq!(decode(rest).unwrap(), old);
     }
 
     #[test]
@@ -286,10 +388,12 @@ mod tests {
     fn peek_frame_len_matches_encoding() {
         let frame = encode(&sample());
         assert_eq!(peek_frame_len(&frame), Ok(Some(frame.len())));
-        assert_eq!(peek_frame_len(&frame[..FIXED_HEADER - 1]), Ok(None));
-        // A prefix that includes the header is enough.
+        // The dimensions live in the version-1 header prefix, so the
+        // length is known as soon as those bytes are visible — one byte
+        // short of them it is not.
+        assert_eq!(peek_frame_len(&frame[..FIXED_HEADER_V1 - 1]), Ok(None));
         assert_eq!(
-            peek_frame_len(&frame[..FIXED_HEADER]),
+            peek_frame_len(&frame[..FIXED_HEADER_V1]),
             Ok(Some(frame.len()))
         );
     }

@@ -1,6 +1,6 @@
 //! Measurement machinery and the final report.
 
-use gossamer_obs::{names, Registry};
+use gossamer_obs::{names, Registry, Tracer};
 use serde::Serialize;
 
 /// Session-throughput statistics over the measurement window.
@@ -190,6 +190,10 @@ pub struct Accumulator {
     pub(crate) total_injected_blocks: u64,
     pub(crate) total_delivered_blocks: u64,
     pub(crate) total_useful_pulls: u64,
+    /// Segment lifecycle tracer — the same `obs::trace` module a live
+    /// collector feeds, so the delay-decomposition histograms land in
+    /// [`SimReport::metrics`] under the identical catalogue names.
+    pub(crate) tracer: Tracer,
 }
 
 impl Accumulator {
@@ -236,6 +240,10 @@ impl Accumulator {
     /// which this is the simulator's only source of.
     fn drain_metrics(&self, residual_segments: u64) -> Vec<(String, u64)> {
         let registry = Registry::new();
+        // Replay every buffered lifecycle observation into the fresh
+        // registry: the gossamer_trace_* histograms appear here exactly
+        // as a live collector's /metrics endpoint renders them.
+        self.tracer.attach_registry(&registry);
         let answered = self.useful_pulls + self.redundant_pulls;
         registry
             .counter(
@@ -455,11 +463,34 @@ mod tests {
         };
         // Every exported name must come from the workspace catalogue —
         // that identity is what makes SimReport comparable to a live
-        // deployment's scrape.
+        // deployment's scrape. Histograms flatten to `_count`/`_sum`
+        // scalars; strip the suffix before the catalogue check.
         for (name, _) in &report.metrics {
+            let base = name
+                .strip_suffix("_count")
+                .or_else(|| name.strip_suffix("_sum"))
+                .filter(|b| names::ALL.contains(b))
+                .unwrap_or(name.as_str());
             assert!(
-                names::ALL.contains(&name.as_str()),
+                names::ALL.contains(&base),
                 "{name} is not in gossamer_obs::names"
+            );
+        }
+        // The tracer's delay-decomposition histograms ride along under
+        // the same names a live collector serves.
+        for trace in [
+            names::TRACE_GOSSIP_RESIDENCE_US,
+            names::TRACE_PULL_WAIT_US,
+            names::TRACE_DECODE_WALL_US,
+            names::TRACE_DELIVERY_DELAY_US,
+            names::TRACE_BLOCK_HOPS,
+        ] {
+            assert!(
+                report
+                    .metrics
+                    .iter()
+                    .any(|(n, _)| n == &format!("{trace}_count")),
+                "missing {trace} histogram"
             );
         }
         assert_eq!(get(names::DECODER_BLOCKS_INNOVATIVE), 7);

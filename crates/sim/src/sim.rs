@@ -231,6 +231,7 @@ impl Simulation {
                 peer: p as u32,
                 segment: id,
                 kind,
+                hops: 0,
             });
             holding.blocks.push(block);
             self.schedule_ttl(block);
@@ -293,10 +294,15 @@ impl Simulation {
             }
         };
 
+        // The transferred block's lineage spans everything the sender
+        // holds for the segment: carry forward the worst-case hop count,
+        // exactly as a live daemon's recoder stamps its output blocks.
+        let hops = self.holding_max_hops(p, segment).saturating_add(1);
         let block = self.registry.insert(BlockData {
             peer: target as u32,
             segment,
             kind: kind.clone(),
+            hops,
         });
         let s = self.config.segment_size;
         let needs_subspace = self.config.coding == CodingModel::Exact;
@@ -318,6 +324,17 @@ impl Simulation {
             .expect("held segment exists")
             .degree += 1;
         self.schedule_ttl(block);
+    }
+
+    /// Worst-case gossip hop count across the blocks a peer holds for a
+    /// segment (0 for an origin still holding only its own systematics).
+    fn holding_max_hops(&self, p: usize, segment: SegmentId) -> u16 {
+        self.peers[p].holdings[&segment]
+            .blocks
+            .iter()
+            .filter_map(|&id| self.registry.get(id).map(|d| d.hops))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Collects the raw coefficient vectors a peer holds for a segment
@@ -437,6 +454,11 @@ impl Simulation {
         let s = self.config.segment_size;
         let in_window = self.in_window();
         let now = self.queue.now();
+        // Provenance of the block this pull transfers, captured before
+        // the collection state mutates: the simulated clock plays the
+        // role of the live epoch (origin = injection instant, in µs).
+        let origin_us = sim_us(self.segments[&segment].injected_at);
+        let pull_hops = self.holding_max_hops(p, segment).saturating_add(1);
 
         let outcome = {
             let seg = self
@@ -499,6 +521,16 @@ impl Simulation {
             }
         };
 
+        // Feed the shared lifecycle tracer exactly as a live collector
+        // does on every pulled block (not window-gated: timelines span
+        // the whole run).
+        let at_us = sim_us(now);
+        let innovative = matches!(outcome, Outcome::Useful { .. });
+        let rank = self.segments[&segment].collect.progress() as u64;
+        self.acc
+            .tracer
+            .block_seen(segment.raw(), origin_us, pull_hops, at_us, innovative, rank);
+
         match outcome {
             Outcome::Useful { complete } => {
                 self.acc.total_useful_pulls += 1;
@@ -511,6 +543,8 @@ impl Simulation {
                         .get_mut(&segment)
                         .expect("held segment exists");
                     seg.decoded_at = Some(now);
+                    self.acc.tracer.decoded(segment.raw(), at_us);
+                    self.acc.tracer.delivered(segment.raw(), at_us);
                     self.acc.total_delivered_blocks += s as u64;
                     if in_window {
                         let delay = now - seg.injected_at;
@@ -703,6 +737,11 @@ impl Simulation {
     }
 }
 
+/// Simulated seconds → the tracer's microsecond clock (epoch 0).
+fn sim_us(t: f64) -> u64 {
+    (t.max(0.0) * 1_000_000.0) as u64
+}
+
 /// Samples an exponential holding time with the given rate.
 fn exp_sample<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
     debug_assert!(rate > 0.0, "exponential rate must be positive");
@@ -755,6 +794,40 @@ mod tests {
         assert_eq!(a.throughput.delivered_blocks, b.throughput.delivered_blocks);
         assert_eq!(a.throughput.useful_pulls, b.throughput.useful_pulls);
         assert_eq!(a.lost_segments, b.lost_segments);
+    }
+
+    #[test]
+    fn same_seed_runs_render_byte_identical_metric_snapshots() {
+        let run = || {
+            Simulation::new(base_config().build().unwrap())
+                .unwrap()
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.metrics, b.metrics);
+        let render = |r: &SimReport| {
+            r.metrics
+                .iter()
+                .map(|(n, v)| format!("{n} {v}\n"))
+                .collect::<String>()
+        };
+        assert_eq!(render(&a), render(&b), "renders must be byte-identical");
+        // The run actually exercised the tracer: deliveries and hop
+        // counts landed in the shared-name histograms.
+        let get = |name: &str| {
+            a.metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .1
+        };
+        assert!(get("gossamer_trace_delivery_delay_us_count") > 0);
+        assert!(get("gossamer_trace_block_hops_count") > 0);
+        assert_eq!(
+            get("gossamer_trace_decode_wall_us_count"),
+            get("gossamer_trace_delivery_delay_us_count"),
+            "every traced decode also traces a delivery"
+        );
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub struct BlockData {
     pub(crate) peer: u32,
     pub(crate) segment: SegmentId,
     pub(crate) kind: BlockKind,
+    /// Gossip hops this block's lineage took from its origin: 0 at
+    /// injection, `max(inputs) + 1` on every transfer — the simulated
+    /// twin of the wire format's provenance hop counter.
+    pub(crate) hops: u16,
 }
 
 #[derive(Debug, Default)]
@@ -223,6 +227,7 @@ mod tests {
             peer,
             segment: SegmentId::new(1),
             kind: BlockKind::Anonymous,
+            hops: 0,
         }
     }
 

@@ -4,6 +4,9 @@
 //!
 //! * `lint` — the repository's own static-analysis pass; see [`lint`].
 //!   Exits non-zero if any violation is found, so CI can gate on it.
+//! * `bench-trend` — diffs fresh `BENCH_*.json` drops against the
+//!   committed baselines in `results/baselines/`; see [`trend`].
+//!   Warn-only: always exits zero so noisy hosts cannot fail a build.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -12,26 +15,35 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 mod lint;
+mod trend;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask lint [--root <workspace-root>]");
+    eprintln!("usage: cargo xtask <lint|bench-trend> [--root <workspace-root>]");
     ExitCode::FAILURE
+}
+
+/// Resolves `--root <path>` or falls back to the workspace root two
+/// levels above this crate's manifest.
+fn parse_root(args: &mut impl Iterator<Item = String>) -> Option<PathBuf> {
+    match (args.next().as_deref(), args.next()) {
+        (Some("--root"), Some(path)) => Some(PathBuf::from(path)),
+        (None, _) => {
+            // crates/xtask/ -> workspace root.
+            let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            dir.pop();
+            dir.pop();
+            Some(dir)
+        }
+        _ => None,
+    }
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => {
-            let root = match (args.next().as_deref(), args.next()) {
-                (Some("--root"), Some(path)) => PathBuf::from(path),
-                (None, _) => {
-                    // crates/xtask/ -> workspace root.
-                    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-                    dir.pop();
-                    dir.pop();
-                    dir
-                }
-                _ => return usage(),
+            let Some(root) = parse_root(&mut args) else {
+                return usage();
             };
             match lint::run(&root) {
                 Ok(violations) if violations.is_empty() => {
@@ -47,6 +59,29 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("xtask lint: cannot scan workspace: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("bench-trend") => {
+            let Some(root) = parse_root(&mut args) else {
+                return usage();
+            };
+            match trend::run(&root) {
+                Ok(warnings) if warnings.is_empty() => {
+                    println!("xtask bench-trend: within threshold");
+                    ExitCode::SUCCESS
+                }
+                Ok(warnings) => {
+                    for w in &warnings {
+                        eprintln!("warning: {w}");
+                    }
+                    eprintln!("xtask bench-trend: {} trend warning(s)", warnings.len());
+                    // Deliberately zero: trends warn, they do not gate.
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("xtask bench-trend: cannot compare: {e}");
                     ExitCode::FAILURE
                 }
             }

@@ -1,0 +1,219 @@
+//! Bench-trend comparison: `cargo xtask bench-trend`.
+//!
+//! Every bench binary drops a flat `BENCH_<name>.json` summary next to
+//! its figures. This task diffs the fresh drops in the workspace root
+//! against the committed baselines under `results/baselines/` and
+//! reports every numeric key that moved by more than the threshold.
+//!
+//! The comparison is **warn-only**: bench numbers move with the host,
+//! so a regression prints a loud warning for the reviewer (and the CI
+//! log) instead of failing the build. Keys present on only one side are
+//! reported too — a silently vanished metric is how coverage rots.
+//!
+//! The JSON dialect is the flat one the bench bins hand-roll: a single
+//! object of `"key": value` pairs where values are numbers or strings.
+//! String values (quantile labels like `"open"`) are compared for
+//! equality only; nested structure is not supported and not needed.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Relative change beyond which a numeric move counts as a trend break.
+const THRESHOLD: f64 = 0.20;
+
+/// Looser threshold for `_n` sample-count keys: how many blocks or
+/// events a quick bench run happens to observe swings with scheduling,
+/// so only collapse-scale moves (a stage that stopped being exercised)
+/// are worth a warning.
+const SAMPLE_COUNT_THRESHOLD: f64 = 0.75;
+
+/// A parsed flat-JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A JSON number (integers and floats both land here).
+    Number(f64),
+    /// A JSON string, kept verbatim without the quotes.
+    Text(String),
+}
+
+/// Parses the flat `{"key": value, ...}` dialect the bench bins emit.
+///
+/// Tolerant of whitespace and newlines; anything that is not a
+/// top-level `"key": <number|string>` pair is skipped rather than
+/// rejected, so a future bin adding a nested field does not brick the
+/// trend task for every other bench.
+pub fn parse_flat_json(text: &str) -> BTreeMap<String, Value> {
+    let mut out = BTreeMap::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        rest = &rest[start + 1..];
+        let Some(end) = rest.find('"') else { break };
+        let key = &rest[..end];
+        rest = &rest[end + 1..];
+        let after_colon = rest.trim_start();
+        let Some(value_text) = after_colon.strip_prefix(':') else {
+            continue; // a bare string value, not a key
+        };
+        let value_text = value_text.trim_start();
+        if let Some(quoted) = value_text.strip_prefix('"') {
+            let Some(end) = quoted.find('"') else { break };
+            out.insert(key.to_owned(), Value::Text(quoted[..end].to_owned()));
+            rest = &quoted[end + 1..];
+        } else {
+            let number: String = value_text
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+                .collect();
+            if let Ok(n) = number.parse::<f64>() {
+                out.insert(key.to_owned(), Value::Number(n));
+            }
+            rest = value_text;
+        }
+    }
+    out
+}
+
+/// Keys that measure host wall-clock rather than algorithmic behaviour.
+/// They swing far past any sane threshold between machines, so the
+/// trend check verifies their presence but not their magnitude.
+fn is_wall_clock(key: &str) -> bool {
+    key.contains("wall")
+}
+
+/// Diffs one bench summary against its baseline; returns warning lines.
+pub fn diff(name: &str, baseline: &BTreeMap<String, Value>, current: &BTreeMap<String, Value>) -> Vec<String> {
+    let mut warnings = Vec::new();
+    for (key, base) in baseline {
+        match (base, current.get(key)) {
+            (_, None) => {
+                warnings.push(format!("{name}: key {key} vanished from the current run"));
+            }
+            (Value::Number(_), Some(Value::Number(_))) if is_wall_clock(key) => {}
+            (Value::Number(b), Some(Value::Number(c))) => {
+                let threshold = if key.ends_with("_n") {
+                    SAMPLE_COUNT_THRESHOLD
+                } else {
+                    THRESHOLD
+                };
+                let reference = b.abs().max(f64::EPSILON);
+                let change = (c - b) / reference;
+                if change.abs() > threshold {
+                    let mut line = String::new();
+                    let _ = write!(
+                        line,
+                        "{name}: {key} moved {:+.1}% ({b} -> {c})",
+                        change * 100.0
+                    );
+                    warnings.push(line);
+                }
+            }
+            (Value::Text(b), Some(Value::Text(c))) if b != c => {
+                warnings.push(format!("{name}: {key} changed {b:?} -> {c:?}"));
+            }
+            (Value::Number(_), Some(Value::Text(_))) | (Value::Text(_), Some(Value::Number(_))) => {
+                warnings.push(format!("{name}: {key} changed type between runs"));
+            }
+            _ => {}
+        }
+    }
+    for key in current.keys() {
+        if !baseline.contains_key(key) {
+            warnings.push(format!("{name}: new key {key} has no baseline yet"));
+        }
+    }
+    warnings
+}
+
+/// Runs the trend comparison over a workspace root. Returns the warning
+/// lines; an empty vector means every tracked bench is inside the
+/// threshold.
+pub fn run(root: &Path) -> std::io::Result<Vec<String>> {
+    let baseline_dir = root.join("results/baselines");
+    let mut warnings = Vec::new();
+    let mut compared = 0usize;
+    if !baseline_dir.is_dir() {
+        return Ok(vec![format!(
+            "no baseline directory at {}",
+            baseline_dir.display()
+        )]);
+    }
+    for entry in std::fs::read_dir(&baseline_dir)? {
+        let path = entry?.path();
+        let Some(file_name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !file_name.starts_with("BENCH_") || !file_name.ends_with(".json") {
+            continue;
+        }
+        let current_path = root.join(file_name);
+        if !current_path.is_file() {
+            // Baselines cover more benches than any single CI job runs;
+            // a missing drop just means that bench did not run here.
+            continue;
+        }
+        let baseline = parse_flat_json(&std::fs::read_to_string(&path)?);
+        let current = parse_flat_json(&std::fs::read_to_string(&current_path)?);
+        warnings.extend(diff(file_name, &baseline, &current));
+        compared += 1;
+    }
+    println!("bench-trend: compared {compared} bench summaries against results/baselines/");
+    Ok(warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_flat_bench_dialect() {
+        let parsed = parse_flat_json(
+            "{\n  \"segments\": 3,\n  \"wall_s\": 0.101,\n  \"p50\": \"open\",\n  \"neg\": -2.5\n}\n",
+        );
+        assert_eq!(parsed.get("segments"), Some(&Value::Number(3.0)));
+        assert_eq!(parsed.get("wall_s"), Some(&Value::Number(0.101)));
+        assert_eq!(parsed.get("p50"), Some(&Value::Text("open".into())));
+        assert_eq!(parsed.get("neg"), Some(&Value::Number(-2.5)));
+        assert_eq!(parsed.len(), 4);
+    }
+
+    #[test]
+    fn small_moves_pass_large_moves_warn() {
+        let baseline = parse_flat_json("{\"delay_p99\": 1.00, \"ops\": 100}");
+        let steady = parse_flat_json("{\"delay_p99\": 1.10, \"ops\": 95}");
+        assert!(diff("b", &baseline, &steady).is_empty());
+        let regressed = parse_flat_json("{\"delay_p99\": 1.30, \"ops\": 100}");
+        let warnings = diff("b", &baseline, &regressed);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("delay_p99 moved +30.0%"), "{warnings:?}");
+    }
+
+    #[test]
+    fn sample_counts_tolerate_scheduling_jitter_but_not_collapse() {
+        let baseline = parse_flat_json("{\"block_hops_n\": 18}");
+        let jittered = parse_flat_json("{\"block_hops_n\": 24}");
+        assert!(diff("b", &baseline, &jittered).is_empty());
+        let collapsed = parse_flat_json("{\"block_hops_n\": 0}");
+        assert_eq!(diff("b", &baseline, &collapsed).len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_keys_are_presence_checked_only() {
+        let baseline = parse_flat_json("{\"wall_s\": 0.1}");
+        let slower_host = parse_flat_json("{\"wall_s\": 9.0}");
+        assert!(diff("b", &baseline, &slower_host).is_empty());
+        let vanished = parse_flat_json("{}");
+        assert_eq!(diff("b", &baseline, &vanished).len(), 1);
+    }
+
+    #[test]
+    fn vanished_and_new_keys_are_reported() {
+        let baseline = parse_flat_json("{\"old\": 1, \"kept\": \"x\"}");
+        let current = parse_flat_json("{\"kept\": \"y\", \"fresh\": 2}");
+        let warnings = diff("b", &baseline, &current);
+        assert_eq!(warnings.len(), 3, "{warnings:?}");
+        assert!(warnings.iter().any(|w| w.contains("old vanished")));
+        assert!(warnings.iter().any(|w| w.contains("kept changed \"x\" -> \"y\"")));
+        assert!(warnings.iter().any(|w| w.contains("new key fresh")));
+    }
+}

@@ -13,9 +13,15 @@ fuzz_target!(|data: &[u8]| {
     let peeked = wire::peek_frame_len(data);
     match wire::decode(data) {
         Ok(block) => {
-            // Round-trip identity: the accepted prefix re-encodes byte
-            // for byte, and peek saw exactly that boundary.
-            let reencoded = wire::encode(&block);
+            // Round-trip identity through the version the frame arrived
+            // in: the accepted prefix re-encodes byte for byte, and peek
+            // saw exactly that boundary. Legacy frames must come back as
+            // legacy, not silently upgraded.
+            let reencoded = if data[1] == wire::LEGACY_VERSION {
+                wire::encode_legacy(&block)
+            } else {
+                wire::encode(&block)
+            };
             assert_eq!(&data[..reencoded.len()], &reencoded[..]);
             assert_eq!(peeked, Ok(Some(reencoded.len())));
         }

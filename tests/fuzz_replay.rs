@@ -28,7 +28,14 @@ fn wire_decode_harness(data: &[u8]) {
     let peeked = wire::peek_frame_len(data);
     match wire::decode(data) {
         Ok(block) => {
-            let reencoded = wire::encode(&block);
+            // Round-trip through the version the frame arrived in: a
+            // legacy frame decodes to a provenance-free block and must
+            // re-encode byte for byte as legacy, not upgraded.
+            let reencoded = if data[1] == wire::LEGACY_VERSION {
+                wire::encode_legacy(&block)
+            } else {
+                wire::encode(&block)
+            };
             assert_eq!(&data[..reencoded.len()], &reencoded[..]);
             assert_eq!(peeked, Ok(Some(reencoded.len())));
         }
@@ -227,8 +234,14 @@ fn regenerate_corpus() {
     };
 
     // --- wire_decode ---
-    let valid = wire::encode(&sample_block());
+    // Non-zero provenance so the v2-only header fields get fuzzed too.
+    let valid = wire::encode(&sample_block().with_provenance(1_234_567, 5));
     write("wire_decode", "valid.bin", &valid);
+    write(
+        "wire_decode",
+        "legacy_valid.bin",
+        &wire::encode_legacy(&sample_block()),
+    );
     let mut mutated = valid.to_vec();
     mutated[0] = 0x00;
     write("wire_decode", "bad_magic.bin", &mutated);
